@@ -1,0 +1,38 @@
+# Convenience targets for the JouleGuard reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench replicate examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One scaled-down benchmark pass over every table/figure + ablations.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Full-size regeneration of the paper's evaluation into results/.
+replicate:
+	$(GO) run ./cmd/replicate
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/batterylife
+	$(GO) run ./examples/serversearch
+	$(GO) run ./examples/customapp
+	$(GO) run ./examples/approxhw
+	$(GO) run ./examples/realmachine
+
+clean:
+	rm -rf results

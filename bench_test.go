@@ -1,0 +1,336 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index), plus the design-choice
+// ablations. Experiment-level benchmarks run a scaled-down version of the
+// full experiment per iteration and report the paper's metrics via
+// b.ReportMetric; the cmd/ tools regenerate the full-size tables and
+// figures.
+package jouleguard_test
+
+import (
+	"strings"
+	"testing"
+
+	"jouleguard"
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/metrics"
+)
+
+// benchScale keeps experiment benchmarks affordable under `go test -bench`.
+const benchScale = 0.15
+
+// BenchmarkFig1Motivation reruns the Sec. 2 swish++ experiment and reports
+// each approach's energy gap and accuracy.
+func BenchmarkFig1Motivation(b *testing.B) {
+	goal, err := experiments.Fig1Goal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []experiments.Fig1Row
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Approach {
+		case "JouleGuard":
+			b.ReportMetric(metrics.RelativeError(r.EnergyPerIter, goal), "jg-rel-err-%")
+			b.ReportMetric(r.ResultsPct, "jg-results-%")
+		case "Uncoordinated":
+			b.ReportMetric(r.OscillationScore, "uncoord-oscillation")
+		case "System-only":
+			b.ReportMetric(metrics.RelativeError(r.EnergyPerIter, goal), "sys-rel-err-%")
+		}
+	}
+}
+
+// BenchmarkFig3Characterize sweeps the full efficiency landscapes.
+func BenchmarkFig3Characterize(b *testing.B) {
+	var curves []experiments.Fig3Curve
+	var err error
+	for i := 0; i < b.N; i++ {
+		curves, err = experiments.Fig3([]string{"bodytrack", "ferret"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var configs int
+	for _, c := range curves {
+		configs += len(c.Efficiency)
+	}
+	b.ReportMetric(float64(configs)/float64(len(curves)+1), "configs/curve")
+}
+
+// BenchmarkFig4Convergence runs the bodytrack convergence traces and
+// reports the worst relative error across platforms.
+func BenchmarkFig4Convergence(b *testing.B) {
+	var traces []experiments.Fig4Trace
+	var err error
+	for i := 0; i < b.N; i++ {
+		traces, err = experiments.Fig4(130)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worst float64
+	for _, tr := range traces {
+		if tr.RelativeErr > worst {
+			worst = tr.RelativeErr
+		}
+	}
+	b.ReportMetric(worst, "worst-rel-err-%")
+}
+
+// BenchmarkFig5RelativeError runs a reduced sweep and reports the mean
+// relative error across all feasible cells (the Fig. 5 headline).
+func BenchmarkFig5RelativeError(b *testing.B) {
+	var cells []experiments.SweepCell
+	var err error
+	factors := []float64{1.5, 2.0, 3.0}
+	for i := 0; i < b.N; i++ {
+		cells, err = experiments.Sweep(factors, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var errs []float64
+	for _, c := range cells {
+		errs = append(errs, c.RelativeError)
+	}
+	s := metrics.Summarize(errs)
+	b.ReportMetric(s.Mean, "mean-rel-err-%")
+	b.ReportMetric(s.P90, "p90-rel-err-%")
+	b.ReportMetric(float64(len(cells)), "feasible-cells")
+}
+
+// BenchmarkFig6EffectiveAccuracy reports the sweep's accuracy metric.
+func BenchmarkFig6EffectiveAccuracy(b *testing.B) {
+	var cells []experiments.SweepCell
+	var err error
+	factors := []float64{1.5, 2.0, 3.0}
+	for i := 0; i < b.N; i++ {
+		cells, err = experiments.Sweep(factors, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var accs []float64
+	for _, c := range cells {
+		accs = append(accs, c.EffectiveAccuracy)
+	}
+	s := metrics.Summarize(accs)
+	b.ReportMetric(s.Mean, "mean-eff-acc")
+	b.ReportMetric(s.Min, "min-eff-acc")
+}
+
+// BenchmarkFig7Comparison reports how often JouleGuard beats the
+// application-only approach at equal goals.
+func BenchmarkFig7Comparison(b *testing.B) {
+	var results []experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, err = experiments.Fig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var wins, total, gapSum float64
+	for _, r := range results {
+		for _, p := range r.Points {
+			total++
+			gapSum += p.JouleGuard - p.AppOnly
+			if p.JouleGuard >= p.AppOnly-1e-9 {
+				wins++
+			}
+		}
+	}
+	b.ReportMetric(wins/total*100, "jg-wins-%")
+	b.ReportMetric(gapSum/total, "mean-acc-gap")
+}
+
+// BenchmarkFig8Phases reports the accuracy uplift JouleGuard extracts from
+// the easy middle scene.
+func BenchmarkFig8Phases(b *testing.B) {
+	var traces []experiments.Fig8Trace
+	var err error
+	for i := 0; i < b.N; i++ {
+		traces, err = experiments.Fig8(80, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var uplift float64
+	for _, tr := range traces {
+		uplift += tr.PhaseAccuracy[1] - (tr.PhaseAccuracy[0]+tr.PhaseAccuracy[2])/2
+	}
+	b.ReportMetric(uplift/float64(len(traces)), "easy-scene-acc-uplift")
+}
+
+// BenchmarkTable2Profile times the PowerDial/LoopPerforation calibration of
+// all eight benchmarks.
+func BenchmarkTable2Profile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Overhead* are the paper's Table 4: runtime decision
+// latency per iteration managing x264, per platform configuration space.
+func benchOverhead(b *testing.B, platName string) {
+	tb, err := jouleguard.NewTestbed("x264", platName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gov, err := tb.NewJouleGuard(2.0, b.N+1, jouleguard.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dur := 1 / tb.DefaultRate
+	var energy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		energy += tb.DefaultPower * dur
+		experiments.ForceDecisionProbe(gov, i, dur, tb.DefaultPower, energy)
+	}
+}
+
+func BenchmarkTable4OverheadMobile(b *testing.B) { benchOverhead(b, "Mobile") }
+func BenchmarkTable4OverheadTablet(b *testing.B) { benchOverhead(b, "Tablet") }
+func BenchmarkTable4OverheadServer(b *testing.B) { benchOverhead(b, "Server") }
+
+// Ablation benchmarks (the design choices DESIGN.md calls out).
+
+// metricUnit sanitises a human label into a ReportMetric unit (no
+// whitespace allowed).
+func metricUnit(label, suffix string) string {
+	r := strings.NewReplacer(" ", "-", "(", "", ")", "")
+	return r.Replace(label) + "|" + suffix
+}
+
+func reportAblation(b *testing.B, res []experiments.AblationResult, err error) {
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range res {
+		b.ReportMetric(r.RelativeError, metricUnit(r.Variant, "rel-err-%"))
+	}
+}
+
+// BenchmarkAblationPole compares the adaptive pole with fixed poles.
+func BenchmarkAblationPole(b *testing.B) {
+	var res []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationPole("bodytrack", "Tablet", 2.0, benchScale)
+	}
+	reportAblation(b, res, err)
+}
+
+// BenchmarkAblationPriors compares linear/cubic priors with flat priors.
+func BenchmarkAblationPriors(b *testing.B) {
+	var res []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationPriors("bodytrack", "Server", 2.0, benchScale)
+	}
+	reportAblation(b, res, err)
+}
+
+// BenchmarkAblationExploration compares VDBE with epsilon-greedy and UCB1.
+func BenchmarkAblationExploration(b *testing.B) {
+	var res []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationExploration("bodytrack", "Server", 2.0, benchScale)
+	}
+	reportAblation(b, res, err)
+}
+
+// BenchmarkAblationEstimator compares EWMA with Kalman estimation.
+func BenchmarkAblationEstimator(b *testing.B) {
+	var res []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationEstimator("bodytrack", "Server", 2.0, benchScale)
+	}
+	reportAblation(b, res, err)
+}
+
+// BenchmarkAblationAlpha sweeps the EWMA gain.
+func BenchmarkAblationAlpha(b *testing.B) {
+	var res []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationAlpha("bodytrack", "Tablet", 2.0, benchScale)
+	}
+	reportAblation(b, res, err)
+}
+
+// BenchmarkRobustness runs the load-variation extension (steady vs diurnal
+// vs bursty traces) and reports the worst relative error.
+func BenchmarkRobustness(b *testing.B) {
+	var cells []experiments.RobustnessCell
+	var err error
+	for i := 0; i < b.N; i++ {
+		cells, err = experiments.Robustness(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worst float64
+	for _, c := range cells {
+		if c.RelativeError > worst {
+			worst = c.RelativeError
+		}
+	}
+	b.ReportMetric(worst, "worst-rel-err-%")
+}
+
+// BenchmarkDisturbance reports the budget error with and without a mid-run
+// co-located load (the Sec. 3.2 external-variation robustness claim).
+func BenchmarkDisturbance(b *testing.B) {
+	var res []experiments.DisturbanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Disturbance("x264", "Server", 2.5, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res {
+		b.ReportMetric(r.RelativeError, metricUnit(r.Label, "rel-err-%"))
+	}
+}
+
+// Micro-benchmarks of the moving parts.
+
+// BenchmarkKernelStep measures one default-configuration iteration of each
+// application kernel.
+func BenchmarkKernelStep(b *testing.B) {
+	for _, name := range jouleguard.Benchmarks() {
+		app, err := jouleguard.Benchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				app.Step(app.DefaultConfig(), i%64)
+			}
+		})
+	}
+}
+
+// BenchmarkFrontierLookup measures the Eqn 6 binary search.
+func BenchmarkFrontierLookup(b *testing.B) {
+	tb, err := jouleguard.NewTestbed("x264", "Server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Frontier.ForSpeedup(1 + float64(i%100)/33)
+	}
+}

@@ -1,0 +1,49 @@
+// Command characterize reproduces Fig. 3 (Sec. 4.3): the energy-efficiency
+// landscape of every system configuration for chosen benchmarks on the
+// three platforms, plus the per-platform observations the paper draws.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/trace"
+)
+
+func main() {
+	appsFlag := flag.String("apps", "bodytrack,ferret", "comma-separated benchmarks to characterise")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII charts")
+	flag.Parse()
+
+	names := strings.Split(*appsFlag, ",")
+	curves, err := experiments.Fig3(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		set := trace.NewSet("config_index")
+		for i := range curves {
+			c := &curves[i]
+			ser := set.Add(c.Platform + "/" + c.App)
+			ser.Values = c.Efficiency
+		}
+		if err := set.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("Fig. 3 — energy-efficiency landscapes (x: configuration index)")
+	for i := range curves {
+		c := &curves[i]
+		fmt.Printf("\n%s / %s: %d configs, peak at %d (default %d, eff ratio peak/default %.2fx)\n",
+			c.Platform, c.App, len(c.Efficiency), c.PeakIndex, c.DefaultIndex,
+			c.Efficiency[c.PeakIndex]/c.Efficiency[c.DefaultIndex])
+		ser := &trace.Series{Name: "efficiency", Values: c.Efficiency}
+		fmt.Print(trace.ASCIIChart(ser, 72, 10))
+	}
+}

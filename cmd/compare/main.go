@@ -1,0 +1,46 @@
+// Command compare reproduces Fig. 7 (Sec. 5.5): JouleGuard versus the best
+// application-only and system-only approaches on Server, one panel per
+// benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jouleguard/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
+	csv := flag.Bool("csv", false, "emit CSV rows")
+	flag.Parse()
+
+	results, err := experiments.Fig7(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("app,factor,jouleguard_acc,apponly_acc,apponly_feasible,sysonly_max_factor")
+		for _, r := range results {
+			for _, p := range r.Points {
+				fmt.Printf("%s,%.3f,%.4f,%.4f,%v,%.3f\n",
+					r.App, p.Factor, p.JouleGuard, p.AppOnly, p.Feasible, r.SysOnlyMaxFactor)
+			}
+		}
+		return
+	}
+	fmt.Println("Fig. 7 — JouleGuard vs application-only vs system-only on Server (higher accuracy is better)")
+	for _, r := range results {
+		fmt.Printf("\n%s (system-only can reach %.2fx at full accuracy)\n", r.App, r.SysOnlyMaxFactor)
+		fmt.Printf("  %8s %12s %12s %10s\n", "goal", "JouleGuard", "App-only", "gap")
+		for _, p := range r.Points {
+			appOnly := fmt.Sprintf("%12.4f", p.AppOnly)
+			if !p.Feasible {
+				appOnly = fmt.Sprintf("%12s", "infeasible")
+			}
+			fmt.Printf("  %7.2fx %12.4f %s %+10.4f\n", p.Factor, p.JouleGuard, appOnly, p.JouleGuard-p.AppOnly)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command jouleguard runs a single experiment — one benchmark, one
+// platform, one energy goal — and reports the run's outcome, plus the
+// Table 2 / Table 3 characterisations and Fig. 4 traces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jouleguard"
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "x264", "benchmark (x264, swaptions, bodytrack, swish++, radar, canneal, ferret, streamcluster)")
+	platName := flag.String("platform", "Server", "platform (Mobile, Tablet, Server)")
+	factor := flag.Float64("f", 2.0, "energy reduction factor vs the default configuration")
+	iters := flag.Int("iters", 0, "iterations (0 = platform default)")
+	table2 := flag.Bool("table2", false, "print Table 2 (application characteristics) and exit")
+	table3 := flag.Bool("table3", false, "print Table 3 (system characteristics) and exit")
+	fig4 := flag.Bool("fig4", false, "print Fig. 4 (bodytrack convergence traces) and exit")
+	ablate := flag.String("ablate", "", "run an ablation instead: pole | priors | exploration | estimator | alpha")
+	trials := flag.Int("trials", 1, "repeat the run under different seeds and report mean +/- std")
+	dump := flag.String("dump", "", "write the per-iteration run record to this CSV file")
+	flag.Parse()
+	dumpPath = *dump
+
+	switch {
+	case *table2:
+		runTable2()
+	case *table3:
+		runTable3()
+	case *fig4:
+		runFig4()
+	case *ablate != "":
+		runAblation(*ablate, *appName, *platName, *factor)
+	case *trials > 1:
+		runTrials(*appName, *platName, *factor, *trials)
+	default:
+		runOne(*appName, *platName, *factor, *iters)
+	}
+}
+
+func runTrials(appName, platName string, factor float64, trials int) {
+	st, err := experiments.RunTrials(appName, platName, factor, 1.0, trials)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s on %s, f=%.2f over %d seeded trials\n", appName, platName, factor, st.Trials)
+	fmt.Printf("  relative error    : %.2f%% +/- %.2f%%\n", st.RelErrMean, st.RelErrStd)
+	fmt.Printf("  effective accuracy: %.3f +/- %.3f\n", st.EffAccMean, st.EffAccStd)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// dumpPath, when set, receives the per-iteration CSV of single runs.
+var dumpPath string
+
+func maybeDump(rec *jouleguard.Record) {
+	if dumpPath == "" {
+		return
+	}
+	f, err := os.Create(dumpPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := rec.WriteCSV(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("per-iteration record written to %s\n", dumpPath)
+}
+
+func runOne(appName, platName string, factor float64, iters int) {
+	tb, err := jouleguard.NewTestbed(appName, platName)
+	if err != nil {
+		fail(err)
+	}
+	if iters <= 0 {
+		iters = experiments.ItersFor(platName, 1.0)
+	}
+	gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+	if err != nil {
+		fail(err)
+	}
+	rec, err := tb.Run(gov, iters)
+	if err != nil {
+		fail(err)
+	}
+	goal := tb.DefaultEnergy / factor
+	epi := rec.EnergyPerIterAvg()
+	fmt.Printf("%s on %s, f=%.2f over %d iterations\n", appName, platName, factor, iters)
+	fmt.Printf("  default energy/iter : %.4f J (%.1f W at %.2f iters/s)\n", tb.DefaultEnergy, tb.DefaultPower, tb.DefaultRate)
+	fmt.Printf("  goal energy/iter    : %.4f J\n", goal)
+	fmt.Printf("  achieved energy/iter: %.4f J", epi)
+	if epi > goal {
+		fmt.Printf("  (+%.2f%% over goal)", (epi-goal)/goal*100)
+	} else {
+		fmt.Printf("  (goal met)")
+	}
+	fmt.Println()
+	fmt.Printf("  mean accuracy       : %.4f\n", rec.MeanAccuracy())
+	if orc, err := tb.NewOracle(); err == nil {
+		if pt, ok := orc.BestAccuracyForFactor(factor); ok {
+			fmt.Printf("  oracle accuracy     : %.4f (effective accuracy %.3f)\n",
+				pt.AppPoint.Accuracy, rec.MeanAccuracy()/pt.AppPoint.Accuracy)
+		} else {
+			fmt.Println("  oracle              : goal infeasible even with perfect knowledge")
+		}
+	}
+	if gov.Infeasible() {
+		fmt.Println("  runtime verdict     : goal infeasible — delivering minimum energy (Sec. 3.4.3)")
+	}
+	fmt.Println()
+	norm := make([]float64, len(rec.EnergyPerIter))
+	for i, e := range rec.EnergyPerIter {
+		norm[i] = e / goal
+	}
+	fmt.Print(trace.ASCIIChart(&trace.Series{Name: "energy/iter (normalised to goal)", Values: norm}, 72, 7))
+	fmt.Print(trace.ASCIIChart(&trace.Series{Name: "accuracy", Values: rec.Accuracies}, 72, 7))
+	maybeDump(rec)
+}
+
+func runTable2() {
+	rows, err := experiments.Table2()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Table 2 — approximate application configurations (measured vs paper)")
+	fmt.Printf("%-14s %8s %8s %10s %10s %9s %9s  %s\n",
+		"app", "configs", "(paper)", "speedup", "(paper)", "loss", "(paper)", "metric")
+	for _, r := range rows {
+		fmt.Printf("%-14s %8d %8d %10.2f %10.2f %8.1f%% %8.1f%%  %s\n",
+			r.App, r.Configs, r.PaperConfigs, r.MaxSpeedup, r.PaperMaxSpeedup,
+			r.MaxLoss*100, r.PaperMaxLoss*100, r.Metric)
+	}
+}
+
+func runTable3() {
+	rows, err := experiments.Table3()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Table 3 — system configurations (measured max speedup/powerup across benchmarks)")
+	fmt.Printf("%-8s %-20s %9s %9s %9s\n", "platform", "resource", "settings", "speedup", "powerup")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-20s %9d %9.2f %9.2f\n", r.Platform, r.Resource, r.Settings, r.Speedup, r.Powerup)
+	}
+}
+
+func runFig4() {
+	traces, err := experiments.Fig4(260)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Fig. 4 — bodytrack energy/frame and accuracy (Mobile f=4, Tablet/Server f=3)")
+	for _, tr := range traces {
+		fmt.Printf("\n%s (f=%.0f): rel err %.2f%%, mean accuracy %.4f\n",
+			tr.Platform, tr.Factor, tr.RelativeErr, tr.MeanAccuracy)
+		fmt.Print(trace.ASCIIChart(&trace.Series{Name: "energy/frame (normalised to goal)", Values: tr.NormEnergy}, 72, 7))
+		fmt.Print(trace.ASCIIChart(&trace.Series{Name: "accuracy", Values: tr.Accuracy}, 72, 7))
+	}
+}
+
+func runAblation(kind, appName, platName string, factor float64) {
+	var (
+		res []experiments.AblationResult
+		err error
+	)
+	switch kind {
+	case "pole":
+		res, err = experiments.AblationPole(appName, platName, factor, 1.0)
+	case "priors":
+		res, err = experiments.AblationPriors(appName, platName, factor, 1.0)
+	case "exploration":
+		res, err = experiments.AblationExploration(appName, platName, factor, 1.0)
+	case "estimator":
+		res, err = experiments.AblationEstimator(appName, platName, factor, 1.0)
+	case "alpha":
+		res, err = experiments.AblationAlpha(appName, platName, factor, 1.0)
+	default:
+		fail(fmt.Errorf("unknown ablation %q (pole, priors, exploration, estimator, alpha)", kind))
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("Ablation %q — %s on %s, f=%.2f\n", kind, appName, platName, factor)
+	fmt.Printf("%-28s %12s %12s %12s\n", "variant", "rel err(%)", "eff acc", "mean acc")
+	for _, r := range res {
+		fmt.Printf("%-28s %12.2f %12.3f %12.4f\n", r.Variant, r.RelativeError, r.EffectiveAccuracy, r.MeanAccuracy)
+	}
+}

@@ -1,0 +1,44 @@
+// Command motivation reproduces Fig. 1 (Sec. 2): swish++ on Server chasing
+// a 1/3 energy reduction under four approaches — system-only (brute-force
+// best configuration), application-only (PowerDial-style), uncoordinated,
+// and JouleGuard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/trace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
+	charts := flag.Bool("charts", true, "render ASCII energy traces")
+	flag.Parse()
+
+	goal, err := experiments.Fig1Goal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rows, err := experiments.Fig1(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("Fig. 1 — meeting an energy goal for the swish++ search engine (Server)")
+	fmt.Printf("goal: %.4f J per query batch (1/1.5 of default)\n\n", goal)
+	fmt.Printf("%-18s %14s %14s %13s\n", "approach", "energy/iter(J)", "results(%)", "oscillation")
+	for _, r := range rows {
+		fmt.Printf("%-18s %14.4f %14.1f %13.3f\n", r.Approach, r.EnergyPerIter, r.ResultsPct, r.OscillationScore)
+	}
+	if *charts {
+		fmt.Println()
+		for _, r := range rows {
+			ser := &trace.Series{Name: r.Approach + " energy/iter", Values: r.EnergySeries}
+			fmt.Print(trace.ASCIIChart(ser, 72, 8))
+		}
+	}
+}

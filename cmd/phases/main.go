@@ -1,0 +1,56 @@
+// Command phases reproduces Fig. 8 (Sec. 5.6): x264 encodes three
+// concatenated scenes (the middle one naturally ~40% easier); JouleGuard
+// must hold the energy-per-frame goal and convert the easy scene's slack
+// into higher accuracy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/trace"
+)
+
+func main() {
+	framesPer := flag.Int("frames", 200, "frames per scene (paper: 200)")
+	factor := flag.Float64("f", 2.0, "energy reduction factor")
+	charts := flag.Bool("charts", true, "render ASCII traces")
+	csv := flag.Bool("csv", false, "emit per-frame CSV instead of text")
+	flag.Parse()
+
+	traces, err := experiments.Fig8(*framesPer, *factor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		set := trace.NewSet("frame")
+		for i := range traces {
+			tr := &traces[i]
+			e := set.Add(tr.Platform + "/energy_norm")
+			e.Values = tr.NormEnergy
+			a := set.Add(tr.Platform + "/accuracy")
+			a.Values = tr.Accuracy
+		}
+		if err := set.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Fig. 8 — phase adaptation: 3 scenes x %d frames, f=%.1f\n\n", *framesPer, *factor)
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "platform", "rel err(%)", "scene-1 acc", "scene-2 acc", "scene-3 acc")
+	for _, tr := range traces {
+		fmt.Printf("%-8s %10.2f %12.4f %12.4f %12.4f\n",
+			tr.Platform, tr.RelativeErr, tr.PhaseAccuracy[0], tr.PhaseAccuracy[1], tr.PhaseAccuracy[2])
+	}
+	if *charts {
+		for _, tr := range traces {
+			fmt.Printf("\n%s:\n", tr.Platform)
+			fmt.Print(trace.ASCIIChart(&trace.Series{Name: "energy/frame (normalised to goal)", Values: tr.NormEnergy}, 72, 7))
+			fmt.Print(trace.ASCIIChart(&trace.Series{Name: "accuracy", Values: tr.Accuracy}, 72, 7))
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Command replicate regenerates the paper's entire evaluation in one shot,
+// writing a results directory with one text report and CSV per artefact:
+//
+//	results/
+//	  fig1.txt fig1.csv      motivation experiment
+//	  table2.txt table3.txt table4.txt
+//	  fig3.csv               efficiency landscapes
+//	  fig4.txt fig4.csv      convergence traces
+//	  fig5_6.txt fig5_6.csv  error + effective-accuracy sweep
+//	  fig7.txt fig7.csv      vs app-only / system-only
+//	  fig8.txt fig8.csv      phase adaptation
+//	  ablations.txt
+//
+// Use -scale to shrink run lengths for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/metrics"
+	"jouleguard/internal/trace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiments)")
+	outDir := flag.String("out", "results", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	steps := []struct {
+		name string
+		fn   func(dir string, scale float64) error
+	}{
+		{"fig1", fig1},
+		{"table2", table2},
+		{"table3", table3},
+		{"table4", table4},
+		{"fig3", fig3},
+		{"fig4", fig4},
+		{"fig5_6", sweep},
+		{"fig7", fig7},
+		{"fig8", fig8},
+		{"ablations", ablations},
+	}
+	for _, s := range steps {
+		fmt.Printf("replicating %s...\n", s.name)
+		if err := s.fn(*outDir, *scale); err != nil {
+			fail(fmt.Errorf("%s: %w", s.name, err))
+		}
+	}
+	fmt.Printf("done: results in %s/\n", *outDir)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func create(dir, name string) (*os.File, error) {
+	return os.Create(filepath.Join(dir, name))
+}
+
+func fig1(dir string, scale float64) error {
+	rows, err := experiments.Fig1(scale)
+	if err != nil {
+		return err
+	}
+	goal, err := experiments.Fig1Goal()
+	if err != nil {
+		return err
+	}
+	txt, err := create(dir, "fig1.txt")
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	fmt.Fprintf(txt, "Fig. 1 — swish++ on Server, goal %.4f J/iter\n", goal)
+	for _, r := range rows {
+		fmt.Fprintln(txt, r.String())
+	}
+	csvF, err := create(dir, "fig1.csv")
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	set := trace.NewSet("iter")
+	for i := range rows {
+		s := set.Add(rows[i].Approach + "/energy")
+		s.Values = rows[i].EnergySeries
+	}
+	return set.WriteCSV(csvF)
+}
+
+func table2(dir string, _ float64) error {
+	rows, err := experiments.Table2()
+	if err != nil {
+		return err
+	}
+	f, err := create(dir, "table2.txt")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%-14s %8s %8s %10s %10s %9s %9s\n",
+		"app", "configs", "(paper)", "speedup", "(paper)", "loss%", "(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%-14s %8d %8d %10.2f %10.2f %9.1f %9.1f\n",
+			r.App, r.Configs, r.PaperConfigs, r.MaxSpeedup, r.PaperMaxSpeedup,
+			r.MaxLoss*100, r.PaperMaxLoss*100)
+	}
+	return nil
+}
+
+func table3(dir string, _ float64) error {
+	rows, err := experiments.Table3()
+	if err != nil {
+		return err
+	}
+	f, err := create(dir, "table3.txt")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%-8s %-20s %9s %9s %9s\n", "platform", "resource", "settings", "speedup", "powerup")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%-8s %-20s %9d %9.2f %9.2f\n", r.Platform, r.Resource, r.Settings, r.Speedup, r.Powerup)
+	}
+	return nil
+}
+
+func table4(dir string, _ float64) error {
+	rows, err := experiments.Table4(1000)
+	if err != nil {
+		return err
+	}
+	f, err := create(dir, "table4.txt")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%-8s %12s %14s\n", "platform", "sys configs", "latency (us)")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%-8s %12d %14.2f\n", r.Platform, r.SysConfigs, r.LatencyUS)
+	}
+	return nil
+}
+
+func fig3(dir string, _ float64) error {
+	curves, err := experiments.Fig3([]string{"bodytrack", "ferret"})
+	if err != nil {
+		return err
+	}
+	f, err := create(dir, "fig3.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	set := trace.NewSet("config_index")
+	for i := range curves {
+		s := set.Add(curves[i].Platform + "/" + curves[i].App)
+		s.Values = curves[i].Efficiency
+	}
+	return set.WriteCSV(f)
+}
+
+func fig4(dir string, scale float64) error {
+	frames := int(260 * scale)
+	if frames < 60 {
+		frames = 60
+	}
+	traces, err := experiments.Fig4(frames)
+	if err != nil {
+		return err
+	}
+	txt, err := create(dir, "fig4.txt")
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	for _, tr := range traces {
+		fmt.Fprintf(txt, "%s (f=%.0f): rel err %.2f%%, mean acc %.4f, converged at iter %d\n",
+			tr.Platform, tr.Factor, tr.RelativeErr, tr.MeanAccuracy, tr.ConvergenceIter)
+	}
+	csvF, err := create(dir, "fig4.csv")
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	set := trace.NewSet("frame")
+	for i := range traces {
+		e := set.Add(traces[i].Platform + "/energy_norm")
+		e.Values = traces[i].NormEnergy
+		a := set.Add(traces[i].Platform + "/accuracy")
+		a.Values = traces[i].Accuracy
+	}
+	return set.WriteCSV(csvF)
+}
+
+func sweep(dir string, scale float64) error {
+	cells, err := experiments.Sweep(nil, scale)
+	if err != nil {
+		return err
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := cells[a], cells[b]
+		if ca.Platform != cb.Platform {
+			return ca.Platform < cb.Platform
+		}
+		if ca.App != cb.App {
+			return ca.App < cb.App
+		}
+		return ca.Factor < cb.Factor
+	})
+	csvF, err := create(dir, "fig5_6.csv")
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	fmt.Fprintln(csvF, "platform,app,factor,rel_error_pct,effective_accuracy,mean_accuracy,oracle_accuracy")
+	var errs, accs []float64
+	for _, c := range cells {
+		fmt.Fprintf(csvF, "%s,%s,%.2f,%.3f,%.4f,%.4f,%.4f\n",
+			c.Platform, c.App, c.Factor, c.RelativeError, c.EffectiveAccuracy, c.MeanAccuracy, c.OracleAccuracy)
+		errs = append(errs, c.RelativeError)
+		accs = append(accs, c.EffectiveAccuracy)
+	}
+	txt, err := create(dir, "fig5_6.txt")
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	es, as := metrics.Summarize(errs), metrics.Summarize(accs)
+	fmt.Fprintf(txt, "feasible cells: %d\n", len(cells))
+	fmt.Fprintf(txt, "relative error: mean %.2f%%, p50 %.2f%%, p90 %.2f%%, max %.2f%%\n", es.Mean, es.P50, es.P90, es.Max)
+	fmt.Fprintf(txt, "effective accuracy: mean %.3f, min %.3f\n", as.Mean, as.Min)
+	return nil
+}
+
+func fig7(dir string, scale float64) error {
+	results, err := experiments.Fig7(scale)
+	if err != nil {
+		return err
+	}
+	csvF, err := create(dir, "fig7.csv")
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	fmt.Fprintln(csvF, "app,factor,jouleguard_acc,apponly_acc,apponly_feasible,sysonly_max_factor")
+	txt, err := create(dir, "fig7.txt")
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	for _, r := range results {
+		fmt.Fprintf(txt, "%s: system-only ceiling %.2fx\n", r.App, r.SysOnlyMaxFactor)
+		for _, p := range r.Points {
+			fmt.Fprintf(csvF, "%s,%.3f,%.4f,%.4f,%v,%.3f\n",
+				r.App, p.Factor, p.JouleGuard, p.AppOnly, p.Feasible, r.SysOnlyMaxFactor)
+			fmt.Fprintf(txt, "  f=%.2f jg=%.4f apponly=%.4f feasible=%v\n",
+				p.Factor, p.JouleGuard, p.AppOnly, p.Feasible)
+		}
+	}
+	return nil
+}
+
+func fig8(dir string, scale float64) error {
+	frames := int(200 * scale)
+	if frames < 50 {
+		frames = 50
+	}
+	traces, err := experiments.Fig8(frames, 2)
+	if err != nil {
+		return err
+	}
+	txt, err := create(dir, "fig8.txt")
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	for _, tr := range traces {
+		fmt.Fprintf(txt, "%s: rel err %.2f%%, scene accs %.4f / %.4f / %.4f\n",
+			tr.Platform, tr.RelativeErr, tr.PhaseAccuracy[0], tr.PhaseAccuracy[1], tr.PhaseAccuracy[2])
+	}
+	csvF, err := create(dir, "fig8.csv")
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	set := trace.NewSet("frame")
+	for i := range traces {
+		e := set.Add(traces[i].Platform + "/energy_norm")
+		e.Values = traces[i].NormEnergy
+		a := set.Add(traces[i].Platform + "/accuracy")
+		a.Values = traces[i].Accuracy
+	}
+	return set.WriteCSV(csvF)
+}
+
+func ablations(dir string, scale float64) error {
+	f, err := create(dir, "ablations.txt")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	kinds := []struct {
+		name string
+		fn   func(string, string, float64, float64) ([]experiments.AblationResult, error)
+		app  string
+		plat string
+		fac  float64
+	}{
+		{"pole", experiments.AblationPole, "swish++", "Server", 1.75},
+		{"priors", experiments.AblationPriors, "swish++", "Server", 1.5},
+		{"exploration", experiments.AblationExploration, "swish++", "Server", 1.5},
+		{"estimator", experiments.AblationEstimator, "swish++", "Server", 1.5},
+		{"alpha", experiments.AblationAlpha, "bodytrack", "Tablet", 2.0},
+	}
+	for _, k := range kinds {
+		res, err := k.fn(k.app, k.plat, k.fac, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "%s (%s/%s f=%.2f):\n", k.name, k.app, k.plat, k.fac)
+		for _, r := range res {
+			fmt.Fprintf(f, "  %-28s rel err %6.2f%%  eff acc %.3f\n", r.Variant, r.RelativeError, r.EffectiveAccuracy)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command sweep reproduces Figs. 5 and 6 (Secs. 5.3-5.4): JouleGuard's
+// relative error against the energy goal (Eqn 12) and effective accuracy
+// against the oracle (Eqn 13), for every benchmark on every platform across
+// the paper's nine energy-reduction factors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"jouleguard/internal/experiments"
+	"jouleguard/internal/metrics"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
+	what := flag.String("what", "both", "error | accuracy | both")
+	csv := flag.Bool("csv", false, "emit CSV rows")
+	flag.Parse()
+
+	cells, err := experiments.Sweep(nil, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := cells[a], cells[b]
+		if ca.Platform != cb.Platform {
+			return ca.Platform < cb.Platform
+		}
+		if ca.App != cb.App {
+			return ca.App < cb.App
+		}
+		return ca.Factor < cb.Factor
+	})
+	if *csv {
+		fmt.Println("platform,app,factor,rel_error_pct,effective_accuracy,mean_accuracy,oracle_accuracy")
+		for _, c := range cells {
+			fmt.Printf("%s,%s,%.2f,%.3f,%.4f,%.4f,%.4f\n",
+				c.Platform, c.App, c.Factor, c.RelativeError, c.EffectiveAccuracy, c.MeanAccuracy, c.OracleAccuracy)
+		}
+		return
+	}
+	if *what == "error" || *what == "both" {
+		fmt.Println("Fig. 5 — relative error (%) by platform / app / factor")
+		printGrid(cells, func(c experiments.SweepCell) float64 { return c.RelativeError })
+	}
+	if *what == "accuracy" || *what == "both" {
+		fmt.Println("\nFig. 6 — effective accuracy by platform / app / factor")
+		printGrid(cells, func(c experiments.SweepCell) float64 { return c.EffectiveAccuracy })
+	}
+	var errs, accs []float64
+	for _, c := range cells {
+		errs = append(errs, c.RelativeError)
+		accs = append(accs, c.EffectiveAccuracy)
+	}
+	es, as := metrics.Summarize(errs), metrics.Summarize(accs)
+	fmt.Printf("\nsummary over %d feasible cells: rel err mean %.2f%% (p90 %.2f%%), eff acc mean %.3f (p10 via min %.3f)\n",
+		len(cells), es.Mean, es.P90, as.Mean, as.Min)
+}
+
+func printGrid(cells []experiments.SweepCell, val func(experiments.SweepCell) float64) {
+	// Collect axes.
+	type key struct{ plat, app string }
+	factors := map[float64]bool{}
+	rows := map[key]map[float64]float64{}
+	for _, c := range cells {
+		factors[c.Factor] = true
+		k := key{c.Platform, c.App}
+		if rows[k] == nil {
+			rows[k] = map[float64]float64{}
+		}
+		rows[k][c.Factor] = val(c)
+	}
+	var fs []float64
+	for f := range factors {
+		fs = append(fs, f)
+	}
+	sort.Float64s(fs)
+	var keys []key
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].plat != keys[b].plat {
+			return keys[a].plat < keys[b].plat
+		}
+		return keys[a].app < keys[b].app
+	})
+	fmt.Printf("%-8s %-14s", "platform", "app")
+	for _, f := range fs {
+		fmt.Printf(" %6.2fx", f)
+	}
+	fmt.Println()
+	for _, k := range keys {
+		fmt.Printf("%-8s %-14s", k.plat, k.app)
+		for _, f := range fs {
+			if v, ok := rows[k][f]; ok {
+				fmt.Printf(" %7.2f", v)
+			} else {
+				fmt.Printf(" %7s", "-") // infeasible: no bar, as in the paper
+			}
+		}
+		fmt.Println()
+	}
+}

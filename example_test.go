@@ -1,0 +1,166 @@
+package jouleguard_test
+
+import (
+	"fmt"
+
+	"jouleguard"
+)
+
+// The registries expose the paper's benchmarks and platforms by name.
+func Example_registries() {
+	fmt.Println(jouleguard.Benchmarks())
+	fmt.Println(jouleguard.Platforms())
+	// Output:
+	// [x264 swaptions bodytrack swish++ radar canneal ferret streamcluster]
+	// [Mobile Tablet Server]
+}
+
+// Table 2's configuration counts are reproduced exactly.
+func ExampleTable2() {
+	for _, spec := range jouleguard.Table2() {
+		fmt.Printf("%s: %d configs\n", spec.Name, spec.Configs)
+	}
+	// Output:
+	// x264: 560 configs
+	// swaptions: 100 configs
+	// bodytrack: 200 configs
+	// swish++: 6 configs
+	// radar: 26 configs
+	// canneal: 3 configs
+	// ferret: 8 configs
+	// streamcluster: 7 configs
+}
+
+// A testbed binds one benchmark to one platform and profiles its
+// accuracy/performance frontier (the PowerDial calibration step).
+func ExampleNewTestbed() {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("app configs: %d\n", tb.App.NumConfigs())
+	fmt.Printf("sys configs: %d\n", tb.Platform.NumConfigs())
+	fmt.Printf("frontier max speedup ~19x: %v\n", tb.Frontier.MaxSpeedup() > 18)
+	// Output:
+	// app configs: 26
+	// sys configs: 44
+	// frontier max speedup ~19x: true
+}
+
+// Running JouleGuard: ask for a fraction of the default energy and get an
+// accuracy-maximising schedule that respects it.
+func ExampleTestbed_NewJouleGuard() {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	const iters = 400
+	gov, err := tb.NewJouleGuard(2.0, iters, jouleguard.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rec, err := tb.Run(gov, iters)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	goal := tb.DefaultEnergy / 2
+	fmt.Printf("goal respected (within 5%%): %v\n", rec.EnergyPerIterAvg() <= goal*1.05)
+	fmt.Printf("accuracy above 0.9: %v\n", rec.MeanAccuracy() > 0.9)
+	fmt.Printf("feasible: %v\n", !gov.Infeasible())
+	// Output:
+	// goal respected (within 5%): true
+	// accuracy above 0.9: true
+	// feasible: true
+}
+
+// The Sec. 3.7 approximate-hardware mode: the accuracy knob scales power
+// instead of timing.
+func ExampleNewHardwareTestbed() {
+	unit, err := jouleguard.NewHardwareUnit(8, 0.7, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tb, err := jouleguard.NewHardwareTestbed(unit, "Tablet")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	gov, err := tb.NewJouleGuard(1.05, 800, jouleguard.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rec, err := tb.Run(gov, 800)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("quality above 0.9: %v\n", rec.MeanAccuracy() > 0.9)
+	fmt.Printf("feasible: %v\n", !gov.Infeasible())
+	// Output:
+	// quality above 0.9: true
+	// feasible: true
+}
+
+// Driving a real application loop: the OnlineController needs only a
+// governor, a joule counter and a clock.
+func ExampleNewOnline() {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	gov, err := tb.NewJouleGuard(2, 100, jouleguard.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A toy machine: constant 5 W, 100 iterations/second.
+	var clock float64
+	readEnergy := func() (float64, error) { return 5 * clock, nil }
+	ctl, err := jouleguard.NewOnline(gov, readEnergy, func() float64 { return clock })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 100; i++ {
+		ctl.Next()
+		clock += 0.01 // the work takes 10 ms
+		if err := ctl.Done(1); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Printf("iterations: %d\n", ctl.Iterations())
+	fmt.Printf("heart rate ~100/s: %v\n", ctl.HeartRate() > 99 && ctl.HeartRate() < 101)
+	// Output:
+	// iterations: 100
+	// heart rate ~100/s: true
+}
+
+// The oracle answers "what is the best accuracy any scheduler could get?"
+// (Eqn 13's denominator).
+func ExampleTestbed_NewOracle() {
+	tb, err := jouleguard.NewTestbed("ferret", "Tablet")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	orc, err := tb.NewOracle()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, ok := orc.BestAccuracyForFactor(1.1)
+	fmt.Printf("1.1x feasible: %v\n", ok)
+	_, ok = orc.BestAccuracyForFactor(10)
+	fmt.Printf("10x feasible: %v\n", ok)
+	// Output:
+	// 1.1x feasible: true
+	// 10x feasible: false
+}

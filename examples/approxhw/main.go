@@ -1,0 +1,52 @@
+// Approxhw: the paper's Sec. 3.7 extension — JouleGuard for approximate
+// hardware. Here the accuracy knob does not change timing: a voltage-
+// overscaled functional unit keeps its clock but draws less power, paying
+// with occasional bit errors. The power-mode runtime finds the most
+// efficient system configuration first and only then dips into hardware
+// approximation for the remaining energy gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jouleguard"
+)
+
+func main() {
+	unit, err := jouleguard.NewHardwareUnit(8, 0.7, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("voltage-overscaling ladder (accuracy measured from fault-injected arithmetic):")
+	for _, p := range unit.MeasureFrontier(64) {
+		fmt.Printf("  level %d: dynamic power x%.3f, output quality %.4f\n",
+			p.Level, p.PowerScale, p.Accuracy)
+	}
+
+	tb, err := jouleguard.NewHardwareTestbed(unit, "Tablet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const iters = 800
+	for _, f := range []float64{1.05, 1.25, 1.45} {
+		gov, err := tb.NewJouleGuard(f, iters, jouleguard.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := tb.Run(gov, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goal := tb.DefaultEnergy / f
+		verdict := "met"
+		if rec.EnergyPerIterAvg() > goal*1.02 {
+			verdict = fmt.Sprintf("missed by %.1f%%", (rec.EnergyPerIterAvg()-goal)/goal*100)
+		}
+		if gov.Infeasible() {
+			verdict += " (reported infeasible)"
+		}
+		fmt.Printf("f=%.2f: goal %.4f J/iter -> %.4f (%s), quality %.4f, final power scale %.3f\n",
+			f, goal, rec.EnergyPerIterAvg(), verdict, rec.MeanAccuracy(), gov.Scale())
+	}
+}

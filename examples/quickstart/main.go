@@ -1,0 +1,52 @@
+// Quickstart: run JouleGuard on one benchmark and platform, and see the
+// energy guarantee and accuracy outcome in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jouleguard"
+)
+
+func main() {
+	// Bind the x264 video encoder to the simulated Server platform. The
+	// testbed profiles the encoder's 560 configurations into a Pareto
+	// frontier (the PowerDial calibration step) and characterises the
+	// default configuration.
+	tb, err := jouleguard.NewTestbed("x264", "Server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default: %.1f W at %.1f frames/s -> %.3f J/frame\n",
+		tb.DefaultPower, tb.DefaultRate, tb.DefaultEnergy)
+
+	// Ask for half the energy over 800 frames. JouleGuard finds the most
+	// energy-efficient system configuration (SEO) and trades just enough
+	// accuracy (AAO) to meet the budget.
+	const frames = 800
+	const factor = 2.0
+	gov, err := tb.NewJouleGuard(factor, frames, jouleguard.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := tb.Run(gov, frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	goal := tb.DefaultEnergy / factor
+	fmt.Printf("goal:     %.3f J/frame\n", goal)
+	fmt.Printf("achieved: %.3f J/frame at accuracy %.4f\n",
+		rec.EnergyPerIterAvg(), rec.MeanAccuracy())
+
+	// Compare with the omniscient oracle (Sec. 5.2 of the paper).
+	orc, err := tb.NewOracle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pt, ok := orc.BestAccuracyForFactor(factor); ok {
+		fmt.Printf("oracle:   accuracy %.4f -> effective accuracy %.3f\n",
+			pt.AppPoint.Accuracy, rec.MeanAccuracy()/pt.AppPoint.Accuracy)
+	}
+}

@@ -1,0 +1,55 @@
+// Serversearch: the paper's Sec. 2 scenario as a library user would write
+// it — the swish++ search engine on a server with an energy cost target per
+// query, comparing JouleGuard to the application-only and uncoordinated
+// alternatives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jouleguard"
+)
+
+func main() {
+	tb, err := jouleguard.NewTestbed("swish++", "Server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swish++ default: %.1f W, %.4f J per query batch\n", tb.DefaultPower, tb.DefaultEnergy)
+
+	const iters = 1600
+	const factor = 1.5 // cut energy per query by one third, as in Sec. 2
+
+	run := func(name string, gov jouleguard.Governor) {
+		rec, err := tb.Run(gov, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goal := tb.DefaultEnergy / factor
+		status := "met"
+		if rec.EnergyPerIterAvg() > goal*1.02 {
+			status = fmt.Sprintf("missed by %.1f%%", (rec.EnergyPerIterAvg()-goal)/goal*100)
+		}
+		fmt.Printf("%-16s %.4f J/batch (goal %s), %5.1f%% of results returned\n",
+			name, rec.EnergyPerIterAvg(), status, rec.MeanAccuracy()*100)
+	}
+
+	jg, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("JouleGuard", jg)
+
+	appOnly, err := tb.NewAppOnly(factor, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("application-only", appOnly)
+
+	unc, err := tb.NewUncoordinated(factor, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("uncoordinated", unc)
+}

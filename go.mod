@@ -1,0 +1,3 @@
+module jouleguard
+
+go 1.24

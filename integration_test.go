@@ -1,0 +1,137 @@
+package jouleguard_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"jouleguard"
+	"jouleguard/internal/sim"
+)
+
+// TestFullMatrixSmoke runs every benchmark on every platform at a moderate
+// goal with a short horizon: the point is breadth (no panics, valid
+// decisions, sane outputs across all 24 combinations), not convergence —
+// the convergence claims are covered by the longer targeted tests and the
+// experiment suite.
+func TestFullMatrixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix smoke is not short")
+	}
+	for _, platName := range jouleguard.Platforms() {
+		for _, appName := range jouleguard.Benchmarks() {
+			platName, appName := platName, appName
+			t.Run(platName+"/"+appName, func(t *testing.T) {
+				t.Parallel()
+				tb, err := jouleguard.NewTestbed(appName, platName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				iters := 150
+				// A goal inside every app's feasible range.
+				factor := 1.15
+				gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := tb.Run(gov, iters)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec.Iterations != iters {
+					t.Fatalf("iterations: %d", rec.Iterations)
+				}
+				for i, acc := range rec.Accuracies {
+					if acc < 0 || acc > 1 {
+						t.Fatalf("iteration %d: accuracy %v", i, acc)
+					}
+				}
+				for i, cfg := range rec.AppConfigs {
+					if cfg < 0 || cfg >= tb.App.NumConfigs() {
+						t.Fatalf("iteration %d: app config %d", i, cfg)
+					}
+				}
+				goal := tb.DefaultEnergy / factor
+				if epi := rec.EnergyPerIterAvg(); epi > goal*2 {
+					t.Fatalf("energy wildly over goal: %v vs %v", epi, goal)
+				}
+			})
+		}
+	}
+}
+
+// chaosGovWrap wraps the runtime and injects adversarial feedback
+// perturbations: duplicated iterations numbers, zero durations, absurd
+// powers. The runtime must never emit an out-of-range decision or panic —
+// robustness the paper implies by running on noisy real hardware.
+func TestRuntimeRobustToChaoticFeedback(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := tb.NewJouleGuard(2, 400, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	nApp := tb.App.NumConfigs()
+	nSys := tb.Platform.NumConfigs()
+	var energy float64
+	for i := 0; i < 400; i++ {
+		appCfg, sysCfg := gov.Decide(i)
+		if appCfg < 0 || appCfg >= nApp || sysCfg < 0 || sysCfg >= nSys {
+			t.Fatalf("iteration %d: decision out of range (%d, %d)", i, appCfg, sysCfg)
+		}
+		fb := sim.Feedback{
+			Iter:           i,
+			AppConfig:      appCfg,
+			SysConfig:      sysCfg,
+			Work:           1,
+			Duration:       rng.Float64() * 0.1,
+			Power:          rng.Float64() * 500,
+			Energy:         energy,
+			Accuracy:       rng.Float64(),
+			IterationsDone: i + 1,
+		}
+		switch rng.Intn(6) {
+		case 0:
+			fb.Duration = 0 // dropped measurement
+		case 1:
+			fb.Power = 0
+		case 2:
+			fb.Energy = energy * 2 // sensor glitch: energy jumps
+		case 3:
+			fb.SysConfig = rng.Intn(nSys) // ran somewhere unexpected
+		}
+		energy += fb.Power * fb.Duration
+		gov.Observe(fb)
+	}
+}
+
+// TestSeedsChangeTrajectoriesNotOutcomes: different seeds explore
+// differently but all respect the budget on an easy goal.
+func TestSeedsChangeTrajectoriesNotOutcomes(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("streamcluster", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 400
+	goal := tb.DefaultEnergy / 1.5
+	var firstEnergy float64
+	for seed := int64(1); seed <= 3; seed++ {
+		gov, err := tb.NewJouleGuard(1.5, iters, jouleguard.Options{Seed: seed * 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := tb.Run(gov, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epi := rec.EnergyPerIterAvg(); epi > goal*1.05 {
+			t.Errorf("seed %d: energy %v over goal %v", seed, epi, goal)
+		}
+		if seed == 1 {
+			firstEnergy = rec.TrueEnergy
+		}
+	}
+	_ = firstEnergy
+}

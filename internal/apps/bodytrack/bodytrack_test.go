@@ -1,0 +1,107 @@
+package bodytrack
+
+import (
+	"testing"
+
+	"jouleguard/internal/apps/kernel"
+)
+
+func TestConfigSpaceShape(t *testing.T) {
+	tr := New()
+	if tr.NumConfigs() != 200 {
+		t.Fatalf("configs: %d", tr.NumConfigs())
+	}
+	n, l := tr.settings(tr.DefaultConfig())
+	if n != maxParticles || l != numLayers {
+		t.Fatalf("default settings: %d particles, %d layers", n, l)
+	}
+}
+
+func TestSegmentDeterministic(t *testing.T) {
+	a := makeSegment(7)
+	b := makeSegment(7)
+	if a != b {
+		t.Fatal("segment generation not deterministic")
+	}
+	c := makeSegment(8)
+	if a == c {
+		t.Fatal("different iterations produced identical segments")
+	}
+}
+
+func TestDetectionsIncludeTruthAndClutter(t *testing.T) {
+	s := makeSegment(0)
+	for i := 0; i < segSteps; i++ {
+		dx := s.dets[i][0][0] - s.truth[i][0]
+		dy := s.dets[i][0][1] - s.truth[i][1]
+		if dx*dx+dy*dy > (5*obsNoise)*(5*obsNoise) {
+			t.Fatalf("step %d: true detection too far from truth", i)
+		}
+		for c := 1; c <= clutter; c++ {
+			cx := s.dets[i][c][0] - s.truth[i][0]
+			cy := s.dets[i][c][1] - s.truth[i][1]
+			if cx*cx+cy*cy < 1 {
+				t.Fatalf("step %d: clutter %d sits on the truth", i, c)
+			}
+		}
+	}
+}
+
+func TestMoreParticlesTrackBetterOnAverage(t *testing.T) {
+	// Averaged over segments with common random numbers, the full filter
+	// must out-track the minimal one.
+	var full, minimal float64
+	iters := 20
+	for it := 0; it < iters; it++ {
+		seg := makeSegment(it)
+		full += run(seg, maxParticles, numLayers, kernel.RNG("bodytrack-pf", it))
+		minimal += run(seg, minParticles, 1, kernel.RNG("bodytrack-pf", it))
+	}
+	if minimal <= full {
+		t.Fatalf("minimal config error %v not above full config %v", minimal/float64(iters), full/float64(iters))
+	}
+}
+
+func TestTrackErrorReasonable(t *testing.T) {
+	seg := makeSegment(3)
+	err := run(seg, maxParticles, numLayers, kernel.RNG("bodytrack-pf", 3))
+	if err < 0 || err > 30 {
+		t.Fatalf("full-config tracking error %v implausible", err)
+	}
+}
+
+func TestWorkFormula(t *testing.T) {
+	tr := New()
+	wDef, _ := tr.Step(tr.DefaultConfig(), 0)
+	rawDef := float64(maxParticles * numLayers * segSteps)
+	if wDef != tr.work.Work(rawDef) {
+		t.Fatalf("default work %v, want %v", wDef, tr.work.Work(rawDef))
+	}
+}
+
+func TestDefaultErrorCached(t *testing.T) {
+	tr := New()
+	e1 := tr.defaultError(4)
+	e2 := tr.defaultError(4)
+	if e1 != e2 {
+		t.Fatal("default error not cached/stable")
+	}
+}
+
+func TestLayersSpeedTradeoff(t *testing.T) {
+	tr := New()
+	// Config with fewer layers at same particles must report less work.
+	c4, err := tr.space.Index([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := tr.space.Index([]int{0, numLayers - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, _ := tr.Step(c4, 0)
+	w1, _ := tr.Step(c1, 0)
+	if w1 >= w4 {
+		t.Fatalf("1-layer work %v not below 4-layer %v", w1, w4)
+	}
+}

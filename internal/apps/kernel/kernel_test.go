@@ -1,0 +1,149 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	if Seed("a", 1) != Seed("a", 1) {
+		t.Fatal("seed not deterministic")
+	}
+	if Seed("a", 1) == Seed("a", 2) || Seed("a", 1) == Seed("b", 1) {
+		t.Fatal("seeds collide on trivial inputs")
+	}
+	if Seed("x", -3) < 0 {
+		t.Fatal("seed must be non-negative")
+	}
+}
+
+func TestRNGReproducible(t *testing.T) {
+	r1 := RNG("k", 5)
+	r2 := RNG("k", 5)
+	for i := 0; i < 10; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("RNG streams diverge")
+		}
+	}
+}
+
+func TestGeometricInts(t *testing.T) {
+	v := GeometricInts(1000, 10, 5)
+	if len(v) != 5 || v[0] != 1000 || v[4] != 10 {
+		t.Fatalf("ladder: %v", v)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[i-1] {
+			t.Fatalf("ladder not non-increasing: %v", v)
+		}
+	}
+	if got := GeometricInts(7, 3, 1); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single-rung ladder: %v", got)
+	}
+}
+
+// Property: geometric ladders are always within [min(1,lo), hi] and hit
+// both endpoints.
+func TestGeometricIntsProperty(t *testing.T) {
+	f := func(hiRaw, loRaw uint16, nRaw uint8) bool {
+		hi := int(hiRaw%5000) + 2
+		lo := int(loRaw)%hi + 1
+		n := int(nRaw%50) + 2
+		v := GeometricInts(hi, lo, n)
+		if len(v) != n || v[0] != hi || v[n-1] != lo {
+			return false
+		}
+		for _, x := range v {
+			if x < 1 || x > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkScaleHitsTarget(t *testing.T) {
+	ws := NewWorkScale(1000, 10, 4.26)
+	got := ws.Work(1000) / ws.Work(10)
+	if math.Abs(got-4.26) > 1e-9 {
+		t.Fatalf("calibrated speedup %v, want 4.26", got)
+	}
+}
+
+func TestWorkScaleDegenerate(t *testing.T) {
+	// Raw ratio below target: base clamps to 0 and the raw ratio stands.
+	ws := NewWorkScale(100, 90, 5)
+	if ws.Base != 0 {
+		t.Fatalf("base should clamp to 0, got %v", ws.Base)
+	}
+	if NewWorkScale(100, 10, 1).Base != 0 {
+		t.Fatal("target <= 1 must yield zero base")
+	}
+	if NewWorkScale(10, 100, 2).Base != 0 {
+		t.Fatal("inverted raw ratio must yield zero base")
+	}
+	if NewWorkScale(10, 0, 2).Base != 0 {
+		t.Fatal("zero fast work must yield zero base")
+	}
+}
+
+// Property: whenever the raw ratio exceeds the target, the calibrated ratio
+// hits the target exactly.
+func TestWorkScaleProperty(t *testing.T) {
+	f := func(defRaw, fastRaw, targetRaw float64) bool {
+		def := 1 + math.Abs(math.Mod(defRaw, 1e6))
+		fast := 1 + math.Abs(math.Mod(fastRaw, 1e3))
+		target := 1.01 + math.Abs(math.Mod(targetRaw, 50))
+		if math.IsNaN(def) || math.IsNaN(fast) || math.IsNaN(target) {
+			return true
+		}
+		if def/fast <= target {
+			return NewWorkScale(def, fast, target).Base == 0
+		}
+		ws := NewWorkScale(def, fast, target)
+		got := ws.Work(def) / ws.Work(fast)
+		return math.Abs(got-target) < 1e-6*target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyScale(t *testing.T) {
+	as := NewAccuracyScale(0.5, 0.1) // raw loss 0.5 should report loss 0.1
+	if got := as.Accuracy(0.5); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("Accuracy(0.5) = %v, want 0.9", got)
+	}
+	if got := as.Accuracy(0.25); math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("Accuracy(0.25) = %v, want 0.95", got)
+	}
+	if as.Accuracy(0) != 1 {
+		t.Fatal("zero raw loss must report full accuracy")
+	}
+	if as.Accuracy(-1) != 1 || as.Accuracy(math.NaN()) != 1 {
+		t.Fatal("invalid raw loss must clamp to full accuracy")
+	}
+	if as.Accuracy(1e9) != 0 {
+		t.Fatal("huge raw loss must clamp to zero accuracy")
+	}
+}
+
+func TestAccuracyScaleDegenerate(t *testing.T) {
+	as := NewAccuracyScale(0, 0.1)
+	if as.Accuracy(0.7) != 1 {
+		t.Fatal("degenerate scale should report full accuracy")
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if MeanAbs(nil) != 0 {
+		t.Fatal("empty MeanAbs")
+	}
+	if got := MeanAbs([]float64{1, -3}); got != 2 {
+		t.Fatalf("MeanAbs: %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"jouleguard/internal/apps/bodytrack"
+	"jouleguard/internal/apps/canneal"
+	"jouleguard/internal/apps/ferret"
+	"jouleguard/internal/apps/radar"
+	"jouleguard/internal/apps/search"
+	"jouleguard/internal/apps/streamcluster"
+	"jouleguard/internal/apps/swaptions"
+	"jouleguard/internal/apps/x264"
+)
+
+// Names lists the benchmarks in Table 2 order.
+func Names() []string {
+	out := make([]string, len(Table2))
+	for i, s := range Table2 {
+		out[i] = s.Name
+	}
+	return out
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]App{}
+)
+
+// New constructs a benchmark by name. Construction includes synthetic input
+// generation and two-point Table 2 calibration, so instances are cached and
+// shared: the kernels' Step methods are deterministic pure functions of
+// (config, iteration) and safe to share across sequential experiments.
+func New(name string) (App, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if a, ok := cache[name]; ok {
+		return a, nil
+	}
+	var (
+		a   App
+		err error
+	)
+	switch name {
+	case "x264":
+		a = x264.New(nil)
+	case "swaptions":
+		a = swaptions.New()
+	case "bodytrack":
+		a = bodytrack.New()
+	case "swish++":
+		a, err = search.New()
+	case "radar":
+		a = radar.New()
+	case "canneal":
+		a = canneal.New()
+	case "ferret":
+		a = ferret.New()
+	case "streamcluster":
+		a = streamcluster.New()
+	default:
+		return nil, fmt.Errorf("apps: unknown benchmark %q (known: %v)", name, Names())
+	}
+	if err != nil {
+		return nil, err
+	}
+	cache[name] = a
+	return a, nil
+}
+
+// NewX264WithPhases constructs a fresh x264 encoder whose scene difficulty
+// follows the given function (Fig. 8's three-phase input). Not cached.
+func NewX264WithPhases(difficulty func(iter int) float64) App {
+	return x264.New(difficulty)
+}
+
+// All constructs every benchmark.
+func All() ([]App, error) {
+	out := make([]App, 0, len(Table2))
+	for _, s := range Table2 {
+		a, err := New(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package swaptions
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKnobLadder(t *testing.T) {
+	p := New()
+	tr := p.Trials()
+	if len(tr) != 100 {
+		t.Fatalf("ladder size: %d", len(tr))
+	}
+	if tr[0] != fullTrials || tr[99] != minTrials {
+		t.Fatalf("ladder endpoints: %d .. %d", tr[0], tr[99])
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i] > tr[i-1] {
+			t.Fatalf("trials not non-increasing at %d: %v > %v", i, tr[i], tr[i-1])
+		}
+	}
+}
+
+func TestWorkMonotoneInTrials(t *testing.T) {
+	p := New()
+	var prev float64 = math.Inf(1)
+	for cfg := 0; cfg < p.NumConfigs(); cfg += 7 {
+		w, _ := p.Step(cfg, 0)
+		if w > prev {
+			t.Fatalf("work increased from config %d", cfg)
+		}
+		prev = w
+	}
+}
+
+func TestDefaultPricesExactly(t *testing.T) {
+	p := New()
+	for iter := 0; iter < instruments; iter++ {
+		_, acc := p.Step(0, iter)
+		if acc != 1 {
+			t.Fatalf("default accuracy on iter %d: %v", iter, acc)
+		}
+	}
+}
+
+func TestMonteCarloErrorShrinksWithTrials(t *testing.T) {
+	p := New()
+	// Mean raw pricing loss over all instruments must shrink as trials grow.
+	lossAt := func(cfg int) float64 {
+		var s float64
+		for i := 0; i < instruments; i++ {
+			s += p.rawLoss(cfg, i)
+		}
+		return s / instruments
+	}
+	coarse := lossAt(99) // 20 trials
+	mid := lossAt(50)
+	fine := lossAt(10)
+	if !(coarse > mid && mid > fine) {
+		t.Fatalf("MC error not shrinking: %v, %v, %v", coarse, mid, fine)
+	}
+}
+
+func TestReferencesPositive(t *testing.T) {
+	p := New()
+	for i, r := range p.refs {
+		if r <= 0 {
+			t.Fatalf("instrument %d has non-positive reference price %v", i, r)
+		}
+	}
+}
+
+func TestIterationCyclesInstruments(t *testing.T) {
+	p := New()
+	w1, a1 := p.Step(50, 3)
+	w2, a2 := p.Step(50, 3+instruments)
+	if w1 != w2 || a1 != a2 {
+		t.Fatal("iterations should cycle over the instrument pool")
+	}
+}

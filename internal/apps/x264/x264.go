@@ -1,0 +1,416 @@
+// Package x264 is the video-encoder benchmark (paper Table 2: 560
+// configurations, max speedup 4.26, max accuracy loss 6.2%, metric PSNR).
+// It is a real miniature block-matching encoder over synthetic video:
+// block motion estimation against previous frames, residual quantisation
+// with a bit-budget clip, and PSNR measured on the actual reconstruction.
+//
+// The four PowerDial knobs mirror the real x264 parameters PowerDial
+// exposes (Hoffmann et al., ASPLOS'11): subpixel refinement effort (7
+// levels), reference frames (1-5), motion search range (4 levels) and
+// partition depth (4 levels) — 7*5*4*4 = 560 configurations.
+//
+// Scene difficulty is a first-class input: the difficulty function scales
+// object motion and sensor noise per frame, and the motion search
+// terminates early on good matches, so easy scenes genuinely encode faster
+// — the property the paper's phase experiment (Fig. 8) depends on.
+package x264
+
+import (
+	"math"
+	"sync"
+
+	"jouleguard/internal/apps/kernel"
+	"jouleguard/internal/knob"
+)
+
+const (
+	name    = "x264"
+	width   = 32
+	height  = 24
+	block   = 8
+	blocksX = width / block
+	blocksY = height / block
+
+	qp         = 6   // quantisation step for residuals
+	clip       = 30  // residual clip: the bit-budget stand-in
+	termSAD    = 3.0 // early-termination threshold per pixel
+	calibIters = 4
+
+	targetSpeed = 4.26
+	targetLoss  = 0.062
+)
+
+type frame [][]float64 // [y][x] luma
+
+// Encoder implements the App interface. The two caches make Step safe for
+// concurrent use by parallel experiment sweeps.
+type Encoder struct {
+	space      *knob.Space
+	defaultCfg int
+	difficulty func(iter int) float64
+	mu         sync.RWMutex
+	frames     map[int]frame   // frame cache keyed by index
+	refPSNR    map[int]float64 // default-config PSNR per iteration
+	objects    []object
+	work       kernel.WorkScale
+	acc        kernel.AccuracyScale
+}
+
+// object is a moving bright rectangle in the synthetic scene.
+type object struct {
+	x0, y0 float64 // base position
+	vx, vy float64 // velocity at difficulty 1 (pixels/frame)
+	size   int
+	level  float64
+}
+
+// cfg decodes a configuration id into the four knob settings.
+type cfg struct {
+	subme     int // 0..6 refinement passes
+	refFrames int // 1..5
+	searchRng int // 4, 8, 12, 16
+	depth     int // 1..4 partition depth
+}
+
+// New constructs the encoder. difficulty maps an iteration (frame) index to
+// a scene difficulty multiplier (nil = constant 1); the Fig. 8 experiment
+// passes a three-phase function.
+func New(difficulty func(iter int) float64) *Encoder {
+	if difficulty == nil {
+		difficulty = func(int) float64 { return 1 }
+	}
+	space, err := knob.NewSpace(
+		knob.Knob{Name: "subme", Values: []float64{0, 1, 2, 3, 4, 5, 6}},
+		knob.Knob{Name: "ref", Values: []float64{1, 2, 3, 4, 5}},
+		knob.Knob{Name: "range", Values: []float64{4, 8, 12, 16}},
+		knob.Knob{Name: "depth", Values: []float64{1, 2, 3, 4}},
+	)
+	if err != nil {
+		panic(err) // static knob definition cannot fail
+	}
+	def, err := space.Index([]int{6, 4, 3, 3})
+	if err != nil {
+		panic(err)
+	}
+	e := &Encoder{
+		space:      space,
+		defaultCfg: def,
+		difficulty: difficulty,
+		frames:     make(map[int]frame),
+		refPSNR:    make(map[int]float64),
+	}
+	rng := kernel.RNG(name+"-scene", 0)
+	for i := 0; i < 3; i++ {
+		e.objects = append(e.objects, object{
+			x0:    rng.Float64() * width,
+			y0:    rng.Float64() * height,
+			vx:    (rng.Float64()*2 - 1) * 1.6,
+			vy:    (rng.Float64()*2 - 1) * 1.2,
+			size:  4 + rng.Intn(3),
+			level: 60 + rng.Float64()*80,
+		})
+	}
+	// Two-point calibration against Table 2.
+	var rawDef, rawFast float64
+	losses := make([]float64, calibIters)
+	for it := 0; it < calibIters; it++ {
+		wd, _ := e.encode(e.decode(e.defaultCfg), it)
+		wf, pf := e.encode(e.decode(0), it) // config 0 = all knobs minimal
+		rawDef += wd
+		rawFast += wf
+		pd := e.defaultPSNR(it)
+		losses[it] = relLoss(pf, pd)
+	}
+	e.work = kernel.NewWorkScale(rawDef/calibIters, rawFast/calibIters, targetSpeed)
+	e.acc = kernel.NewAccuracyScale(kernel.MeanAbs(losses), targetLoss)
+	return e
+}
+
+func (e *Encoder) decode(id int) cfg {
+	vals, err := e.space.Settings(id)
+	if err != nil {
+		vals, _ = e.space.Settings(e.defaultCfg)
+	}
+	return cfg{
+		subme:     int(vals[0]),
+		refFrames: int(vals[1]),
+		searchRng: int(vals[2]),
+		depth:     int(vals[3]),
+	}
+}
+
+// frameAt synthesises (and caches) frame j: gradient background, moving
+// objects, global pan, and sensor noise, all scaled by scene difficulty.
+func (e *Encoder) frameAt(j int) frame {
+	e.mu.RLock()
+	f, ok := e.frames[j]
+	e.mu.RUnlock()
+	if ok {
+		return f
+	}
+	d := e.difficulty(j)
+	f = make(frame, height)
+	rng := kernel.RNG(name+"-noise", j)
+	panX := 0.4 * d * float64(j)
+	for y := range f {
+		f[y] = make([]float64, width)
+		for x := range f[y] {
+			f[y][x] = 80 + 1.5*float64(x) + 1.0*float64(y) + 12*math.Sin((float64(x)+panX)/5)
+		}
+	}
+	for _, o := range e.objects {
+		ox := int(math.Mod(o.x0+o.vx*d*float64(j)+1e6*float64(width), float64(width)))
+		oy := int(math.Mod(o.y0+o.vy*d*float64(j)+1e6*float64(height), float64(height)))
+		for dy := 0; dy < o.size; dy++ {
+			for dx := 0; dx < o.size; dx++ {
+				x, y := (ox+dx)%width, (oy+dy)%height
+				f[y][x] = clamp255(f[y][x] + o.level)
+			}
+		}
+	}
+	noise := 4 * d
+	for y := range f {
+		for x := range f[y] {
+			f[y][x] = clamp255(f[y][x] + noise*rng.NormFloat64())
+		}
+	}
+	// Duplicate computation under a race is harmless: frames are pure
+	// functions of j, so last-writer-wins stores an identical value.
+	e.mu.Lock()
+	e.frames[j] = f
+	e.mu.Unlock()
+	return f
+}
+
+// sad computes the sum of absolute differences between the bs x bs block of
+// cur at (bx,by) and ref at offset (mx,my); out-of-frame reference pixels
+// cost a border penalty. Returns the SAD and pixel-ops performed.
+func sad(cur, ref frame, bx, by, mx, my, bs int) (float64, float64) {
+	var s float64
+	for y := 0; y < bs; y++ {
+		for x := 0; x < bs; x++ {
+			cy, cx := by+y, bx+x
+			ry, rx := cy+my, cx+mx
+			var rv float64
+			if ry >= 0 && ry < height && rx >= 0 && rx < width {
+				rv = ref[ry][rx]
+			} else {
+				rv = 128 // frame border
+			}
+			s += math.Abs(cur[cy][cx] - rv)
+		}
+	}
+	return s, float64(bs * bs)
+}
+
+// searchBlock runs a three-step (log) search with early termination and
+// subme refinement passes in one reference frame, returning the best motion
+// vector, its SAD and the work spent.
+func searchBlock(cur, ref frame, bx, by, rng, subme int) (mx, my int, best float64, work float64) {
+	var ops float64
+	best, ops = sad(cur, ref, bx, by, 0, 0, block)
+	work = ops
+	step := rng / 2
+	for step >= 1 {
+		if best < termSAD*block*block {
+			return mx, my, best, work
+		}
+		bestDX, bestDY := 0, 0
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				s, ops := sad(cur, ref, bx, by, mx+dx*step, my+dy*step, block)
+				work += ops
+				if s < best {
+					best, bestDX, bestDY = s, dx, dy
+				}
+			}
+		}
+		mx += bestDX * step
+		my += bestDY * step
+		step /= 2
+	}
+	for pass := 0; pass < subme; pass++ {
+		if best < termSAD*block*block {
+			break
+		}
+		improved := false
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				s, ops := sad(cur, ref, bx, by, mx+dx, my+dy, block)
+				work += ops
+				if s < best {
+					best, mx, my = s, mx+dx, my+dy
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return mx, my, best, work
+}
+
+// predict builds the motion-compensated prediction of the 8x8 block using
+// the chosen reference and motion vector; partition depth >= 2 refines each
+// 4x4 quadrant with its own small search around the block vector.
+func predict(cur, ref frame, bx, by, mx, my, depth int) (pred [][]float64, work float64) {
+	pred = make([][]float64, block)
+	for y := range pred {
+		pred[y] = make([]float64, block)
+		for x := range pred[y] {
+			ry, rx := by+y+my, bx+x+mx
+			if ry >= 0 && ry < height && rx >= 0 && rx < width {
+				pred[y][x] = ref[ry][rx]
+			} else {
+				pred[y][x] = 128
+			}
+		}
+	}
+	if depth < 2 {
+		return pred, 0
+	}
+	half := block / 2
+	for passes := 0; passes < depth-1; passes++ {
+		for qy := 0; qy < 2; qy++ {
+			for qx := 0; qx < 2; qx++ {
+				qbx, qby := bx+qx*half, by+qy*half
+				bestS := math.Inf(1)
+				bestMX, bestMY := mx, my
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						s, ops := sad(cur, ref, qbx, qby, mx+dx, my+dy, half)
+						work += ops
+						if s < bestS {
+							bestS, bestMX, bestMY = s, mx+dx, my+dy
+						}
+					}
+				}
+				for y := 0; y < half; y++ {
+					for x := 0; x < half; x++ {
+						ry, rx := qby+y+bestMY, qbx+x+bestMX
+						if ry >= 0 && ry < height && rx >= 0 && rx < width {
+							pred[qy*half+y][qx*half+x] = ref[ry][rx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return pred, work
+}
+
+// encode encodes frame `iter` at configuration c and returns the raw work
+// (pixel operations) and the reconstruction PSNR.
+func (e *Encoder) encode(c cfg, iter int) (rawWork, psnr float64) {
+	cur := e.frameAt(iter)
+	refs := make([]frame, 0, c.refFrames)
+	for r := 1; r <= c.refFrames; r++ {
+		refs = append(refs, e.frameAt(iter-r))
+	}
+	var sqErr float64
+	for byi := 0; byi < blocksY; byi++ {
+		for bxi := 0; bxi < blocksX; bxi++ {
+			bx, by := bxi*block, byi*block
+			bestSAD := math.Inf(1)
+			var bestRef frame
+			var bmx, bmy int
+			for _, ref := range refs {
+				mx, my, s, w := searchBlock(cur, ref, bx, by, c.searchRng, c.subme)
+				rawWork += w
+				if s < bestSAD {
+					bestSAD, bestRef, bmx, bmy = s, ref, mx, my
+				}
+			}
+			pred, w := predict(cur, bestRef, bx, by, bmx, bmy, c.depth)
+			rawWork += w
+			// Residual quantisation with clipping (bit budget stand-in).
+			for y := 0; y < block; y++ {
+				for x := 0; x < block; x++ {
+					resid := cur[by+y][bx+x] - pred[y][x]
+					q := math.Round(resid/qp) * qp
+					if q > clip {
+						q = clip
+					} else if q < -clip {
+						q = -clip
+					}
+					recon := pred[y][x] + q
+					d := cur[by+y][bx+x] - recon
+					sqErr += d * d
+				}
+			}
+		}
+	}
+	mse := sqErr / float64(width*height)
+	if mse < 1e-6 {
+		mse = 1e-6
+	}
+	return rawWork, 10 * math.Log10(255*255/mse)
+}
+
+// defaultPSNR returns (and caches) the default configuration's PSNR for an
+// iteration — the reference the accuracy metric normalises against.
+func (e *Encoder) defaultPSNR(iter int) float64 {
+	e.mu.RLock()
+	p, ok := e.refPSNR[iter]
+	e.mu.RUnlock()
+	if ok {
+		return p
+	}
+	_, p = e.encode(e.decode(e.defaultCfg), iter)
+	e.mu.Lock()
+	e.refPSNR[iter] = p
+	e.mu.Unlock()
+	return p
+}
+
+func relLoss(got, ref float64) float64 {
+	if ref <= 0 {
+		return 0
+	}
+	l := (ref - got) / ref
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// Name implements the App interface.
+func (e *Encoder) Name() string { return name }
+
+// Metric implements the App interface.
+func (e *Encoder) Metric() string { return "Peak Signal to Noise Ratio (PSNR)" }
+
+// NumConfigs implements the App interface.
+func (e *Encoder) NumConfigs() int { return e.space.Size() }
+
+// DefaultConfig implements the App interface.
+func (e *Encoder) DefaultConfig() int { return e.defaultCfg }
+
+// Space exposes the knob space (for tests and docs).
+func (e *Encoder) Space() *knob.Space { return e.space }
+
+// Step implements the App interface: encode one frame.
+func (e *Encoder) Step(cfgID, iter int) (work, accuracy float64) {
+	if cfgID < 0 || cfgID >= e.space.Size() {
+		cfgID = e.defaultCfg
+	}
+	raw, psnr := e.encode(e.decode(cfgID), iter)
+	return e.work.Work(raw), e.acc.Accuracy(relLoss(psnr, e.defaultPSNR(iter)))
+}
+
+func clamp255(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

@@ -1,0 +1,183 @@
+package x264
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigSpaceShape(t *testing.T) {
+	e := New(nil)
+	if e.NumConfigs() != 560 {
+		t.Fatalf("configs: %d", e.NumConfigs())
+	}
+	def := e.decode(e.DefaultConfig())
+	if def.subme != 6 || def.refFrames != 5 || def.searchRng != 16 || def.depth != 4 {
+		t.Fatalf("default config decoded to %+v", def)
+	}
+	min := e.decode(0)
+	if min.subme != 0 || min.refFrames != 1 || min.searchRng != 4 || min.depth != 1 {
+		t.Fatalf("config 0 decoded to %+v", min)
+	}
+}
+
+func TestFramesDeterministicAndCached(t *testing.T) {
+	e := New(nil)
+	f1 := e.frameAt(10)
+	f2 := e.frameAt(10)
+	if &f1[0][0] != &f2[0][0] {
+		t.Fatal("frame cache miss on repeated access")
+	}
+	e2 := New(nil)
+	g := e2.frameAt(10)
+	for y := range f1 {
+		for x := range f1[y] {
+			if f1[y][x] != g[y][x] {
+				t.Fatal("frame synthesis not deterministic across instances")
+			}
+		}
+	}
+}
+
+func TestPixelRangeValid(t *testing.T) {
+	e := New(nil)
+	f := e.frameAt(3)
+	for y := range f {
+		for x := range f[y] {
+			if f[y][x] < 0 || f[y][x] > 255 {
+				t.Fatalf("pixel (%d,%d) out of range: %v", x, y, f[y][x])
+			}
+		}
+	}
+}
+
+func TestMoreEffortNeverHurtsPSNROnAverage(t *testing.T) {
+	e := New(nil)
+	mean := func(cfg int) float64 {
+		var s float64
+		for it := 0; it < 6; it++ {
+			_, psnr := e.encode(e.decode(cfg), it)
+			s += psnr
+		}
+		return s / 6
+	}
+	low := mean(0)
+	high := mean(e.DefaultConfig())
+	if high <= low {
+		t.Fatalf("full-effort PSNR %v not above minimal-effort %v", high, low)
+	}
+}
+
+func TestWorkGrowsWithSearchEffort(t *testing.T) {
+	e := New(nil)
+	wLow, _ := e.encode(e.decode(0), 0)
+	wHigh, _ := e.encode(e.decode(e.DefaultConfig()), 0)
+	if wHigh <= wLow*2 {
+		t.Fatalf("default config work %v not well above minimal %v", wHigh, wLow)
+	}
+}
+
+func TestSADExactOnIdenticalBlocks(t *testing.T) {
+	f := make(frame, height)
+	for y := range f {
+		f[y] = make([]float64, width)
+		for x := range f[y] {
+			f[y][x] = float64((x*7 + y*13) % 251)
+		}
+	}
+	s, ops := sad(f, f, 8, 8, 0, 0, block)
+	if s != 0 {
+		t.Fatalf("SAD of identical blocks: %v", s)
+	}
+	if ops != block*block {
+		t.Fatalf("ops: %v", ops)
+	}
+}
+
+func TestSearchFindsKnownMotion(t *testing.T) {
+	// Build two frames where the second is the first shifted by (3, 2);
+	// the search must recover the motion vector for an interior block. The
+	// content is smooth (like real video), so the log search's coarse-to-
+	// fine descent is well conditioned.
+	a := make(frame, height)
+	b := make(frame, height)
+	rngVals := func(x, y int) float64 {
+		return 110 + 60*math.Sin(float64(x)/4.5) + 45*math.Cos(float64(y)/3.5) + 25*math.Sin(float64(x+y)/6)
+	}
+	for y := 0; y < height; y++ {
+		a[y] = make([]float64, width)
+		b[y] = make([]float64, width)
+		for x := 0; x < width; x++ {
+			a[y][x] = rngVals(x, y)
+		}
+	}
+	dx, dy := 3, 2
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			sx, sy := x+dx, y+dy
+			if sx >= 0 && sx < width && sy >= 0 && sy < height {
+				b[y][x] = a[sy][sx]
+			} else {
+				b[y][x] = 128
+			}
+		}
+	}
+	mx, my, best, _ := searchBlock(b, a, 8, 8, 16, 6)
+	if mx != dx || my != dy || best > 1e-9 {
+		t.Fatalf("motion search found (%d,%d) SAD %v, want (%d,%d) SAD 0", mx, my, best, dx, dy)
+	}
+}
+
+func TestEasySceneTerminatesEarly(t *testing.T) {
+	hard := New(func(int) float64 { return 1 })
+	easy := New(func(int) float64 { return 0.25 })
+	var wh, we float64
+	for it := 2; it < 8; it++ {
+		w, _ := hard.encode(hard.decode(hard.DefaultConfig()), it)
+		wh += w
+		w2, _ := easy.encode(easy.decode(easy.DefaultConfig()), it)
+		we += w2
+	}
+	if we >= wh {
+		t.Fatalf("easy scene (%v raw ops) not cheaper than hard (%v)", we, wh)
+	}
+}
+
+func TestPSNRReferenceCached(t *testing.T) {
+	e := New(nil)
+	p1 := e.defaultPSNR(5)
+	p2 := e.defaultPSNR(5)
+	if p1 != p2 {
+		t.Fatal("reference PSNR unstable")
+	}
+	if p1 < 20 || p1 > 60 {
+		t.Fatalf("default PSNR %v outside plausible range", p1)
+	}
+}
+
+func TestRelLoss(t *testing.T) {
+	if relLoss(35, 40) != (40.0-35)/40 {
+		t.Fatal("relLoss arithmetic")
+	}
+	if relLoss(45, 40) != 0 {
+		t.Fatal("negative loss must clamp to 0")
+	}
+	if relLoss(10, 0) != 0 {
+		t.Fatal("degenerate reference must yield 0")
+	}
+}
+
+func TestClamp255(t *testing.T) {
+	if clamp255(-3) != 0 || clamp255(300) != 255 || clamp255(128) != 128 {
+		t.Fatal("clamp255 wrong")
+	}
+}
+
+func TestStepAccuracyWithinBounds(t *testing.T) {
+	e := New(nil)
+	for _, cfg := range []int{0, 100, 300, 559} {
+		_, acc := e.Step(cfg, 4)
+		if acc < 0 || acc > 1 || math.IsNaN(acc) {
+			t.Fatalf("cfg %d: accuracy %v", cfg, acc)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package baselines implements the three comparison approaches of the
+// paper's motivation (Sec. 2) and evaluation (Sec. 5.5):
+//
+//   - SystemOnly: adapt system resource usage toward the most energy-
+//     efficient configuration, never touching application accuracy
+//     (Sec. 2.1; the best any energy-aware resource manager can do).
+//   - AppOnly: a PowerDial-style application performance controller on the
+//     default system configuration, deriving its rate target from the
+//     default system power (Sec. 2.2).
+//   - Uncoordinated: both at once with no communication — the learner
+//     attributes application speedups to system configurations and the
+//     controller assumes the system is static, producing the oscillation
+//     of Fig. 1 (Sec. 2.3).
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jouleguard/internal/control"
+	"jouleguard/internal/knob"
+	"jouleguard/internal/learning"
+	"jouleguard/internal/sim"
+)
+
+// SystemOnly learns the most efficient system configuration with the same
+// bandit machinery as JouleGuard's SEO but leaves the application at full
+// accuracy.
+type SystemOnly struct {
+	bandit  *learning.Bandit
+	vdbe    *learning.VDBE
+	appCfg  int
+	nextSys int
+}
+
+// NewSystemOnly builds the governor. priors are in iterations/second.
+func NewSystemOnly(appDefault, nSys int, priors learning.Priors, seed int64) (*SystemOnly, error) {
+	rng := rand.New(rand.NewSource(seed + 11))
+	b, err := learning.NewBandit(nSys, control.DefaultAlpha, priors, rng)
+	if err != nil {
+		return nil, err
+	}
+	v := learning.NewVDBE(nSys, control.DefaultAlpha, rng,
+		learning.WithUpdateWeight(math.Max(1.0/float64(nSys), 1.0/100)))
+	return &SystemOnly{bandit: b, vdbe: v, appCfg: appDefault, nextSys: b.BestArm()}, nil
+}
+
+// Decide implements sim.Governor.
+func (g *SystemOnly) Decide(int) (int, int) { return g.appCfg, g.nextSys }
+
+// Observe implements sim.Governor.
+func (g *SystemOnly) Observe(fb sim.Feedback) {
+	if fb.Duration <= 0 {
+		return
+	}
+	rate := 1 / fb.Duration
+	preEff := g.bandit.Efficiency(fb.SysConfig)
+	effErr, err := g.bandit.Observe(fb.SysConfig, rate, fb.Power)
+	if err == nil {
+		norm := preEff
+		if norm <= 0 {
+			norm = 1
+		}
+		var measEff float64
+		if fb.Power > 0 {
+			measEff = rate / fb.Power
+		}
+		g.vdbe.Update(effErr/norm, measEff)
+	}
+	g.nextSys, _ = g.vdbe.Select(g.bandit)
+}
+
+// BestArm exposes the learner's current belief (for the experiment
+// harness).
+func (g *SystemOnly) BestArm() int { return g.bandit.BestArm() }
+
+// AppOnly is the PowerDial-style baseline: it guarantees a performance
+// target on the default system configuration, converting the energy budget
+// into a rate target via the known default power (Sec. 2.2: "we tell
+// PowerDial to operate at 4700 qps knowing the default power is 280
+// Watts").
+type AppOnly struct {
+	frontier *knob.Frontier
+	ctrl     *control.SpeedupController
+	rateEst  *control.EWMA // estimated default-config iteration rate
+	defaultW float64       // measured default system power
+	workload float64
+	budget   float64
+	sysCfg   int
+	nextApp  knob.Point
+}
+
+// NewAppOnly builds the governor. defaultPower and defaultRate come from
+// the baseline characterisation run; workload/budget mirror Algorithm 1's
+// inputs.
+func NewAppOnly(workload, budget float64, frontier *knob.Frontier, sysDefault int, defaultRate, defaultPower float64) (*AppOnly, error) {
+	if defaultRate <= 0 || defaultPower <= 0 {
+		return nil, fmt.Errorf("baselines: default rate %v / power %v must be positive", defaultRate, defaultPower)
+	}
+	est := control.MustEWMA(control.DefaultAlpha)
+	est.Prime(defaultRate)
+	g := &AppOnly{
+		frontier: frontier,
+		ctrl: control.NewSpeedupController(
+			control.WithSpeedupBounds(frontier.MinSpeedup(), frontier.MaxSpeedup()),
+			control.WithInitialSpeedup(frontier.MinSpeedup()),
+			control.WithFixedPole(0), // PowerDial's deadbeat controller
+		),
+		rateEst:  est,
+		defaultW: defaultPower,
+		workload: workload,
+		budget:   budget,
+		sysCfg:   sysDefault,
+	}
+	g.nextApp, _ = frontier.ForSpeedup(0)
+	return g, nil
+}
+
+// Decide implements sim.Governor.
+func (g *AppOnly) Decide(int) (int, int) { return g.nextApp.Config, g.sysCfg }
+
+// Observe implements sim.Governor.
+func (g *AppOnly) Observe(fb sim.Feedback) {
+	if fb.Duration <= 0 {
+		return
+	}
+	rawRate := 1 / fb.Duration
+	s := g.nextApp.Speedup
+	if s <= 0 {
+		s = 1
+	}
+	g.rateEst.Observe(rawRate / s)
+	wRem := g.workload - float64(fb.IterationsDone)
+	if wRem <= 0 {
+		return
+	}
+	eRem := g.budget - fb.Energy
+	if eRem <= 0 {
+		g.nextApp, _ = g.frontier.ForSpeedup(math.Inf(1))
+		return
+	}
+	eReq := eRem / wRem
+	// PowerDial knows only the default power; the rate target assumes the
+	// system will keep drawing it.
+	target := g.defaultW / eReq
+	sp := g.ctrl.Step(target, rawRate, g.rateEst.Value())
+	g.nextApp, _ = g.frontier.ForSpeedup(sp)
+}
+
+// Uncoordinated runs a SystemOnly-style learner and an AppOnly-style
+// controller concurrently with no communication. Two pathologies follow,
+// both called out in Sec. 2.3: the learner sees raw performance (it cannot
+// distinguish application speedup from system speed, corrupting its
+// efficiency estimates), and the controller assumes a static system (its
+// loop gain is wrong whenever the learner moves or explores). The result
+// is the oscillatory trace of Fig. 1.
+type Uncoordinated struct {
+	bandit   *learning.Bandit
+	vdbe     *learning.VDBE
+	frontier *knob.Frontier
+	ctrl     *control.SpeedupController
+	workload float64
+	budget   float64
+	defaultW float64
+	defaultR float64
+	nextSys  int
+	nextApp  knob.Point
+}
+
+// NewUncoordinated builds the governor from the same inputs the two
+// layered approaches get individually.
+func NewUncoordinated(workload, budget float64, frontier *knob.Frontier, nSys int, priors learning.Priors, defaultRate, defaultPower float64, seed int64) (*Uncoordinated, error) {
+	if defaultRate <= 0 || defaultPower <= 0 {
+		return nil, fmt.Errorf("baselines: default rate %v / power %v must be positive", defaultRate, defaultPower)
+	}
+	rng := rand.New(rand.NewSource(seed + 23))
+	b, err := learning.NewBandit(nSys, control.DefaultAlpha, priors, rng)
+	if err != nil {
+		return nil, err
+	}
+	g := &Uncoordinated{
+		bandit:   b,
+		vdbe:     learning.NewVDBE(nSys, control.DefaultAlpha, rng, learning.WithUpdateWeight(math.Max(1.0/float64(nSys), 1.0/100))),
+		frontier: frontier,
+		ctrl: control.NewSpeedupController(
+			control.WithSpeedupBounds(frontier.MinSpeedup(), frontier.MaxSpeedup()),
+			control.WithInitialSpeedup(frontier.MinSpeedup()),
+			control.WithFixedPole(0),
+		),
+		workload: workload,
+		budget:   budget,
+		defaultW: defaultPower,
+		defaultR: defaultRate,
+		nextSys:  b.BestArm(),
+	}
+	g.nextApp, _ = frontier.ForSpeedup(0)
+	return g, nil
+}
+
+// Decide implements sim.Governor.
+func (g *Uncoordinated) Decide(int) (int, int) { return g.nextApp.Config, g.nextSys }
+
+// Observe implements sim.Governor.
+func (g *Uncoordinated) Observe(fb sim.Feedback) {
+	if fb.Duration <= 0 {
+		return
+	}
+	rawRate := 1 / fb.Duration
+	// Flaw 1: the learner folds the RAW rate into its per-configuration
+	// estimates — application speedups masquerade as system speed.
+	preEff := g.bandit.Efficiency(fb.SysConfig)
+	effErr, err := g.bandit.Observe(fb.SysConfig, rawRate, fb.Power)
+	if err == nil {
+		norm := preEff
+		if norm <= 0 {
+			norm = 1
+		}
+		var measEff float64
+		if fb.Power > 0 {
+			measEff = rawRate / fb.Power
+		}
+		g.vdbe.Update(effErr/norm, measEff)
+	}
+	g.nextSys, _ = g.vdbe.Select(g.bandit)
+	// Flaw 2: the controller still believes the system is the default one.
+	wRem := g.workload - float64(fb.IterationsDone)
+	if wRem <= 0 {
+		return
+	}
+	eRem := g.budget - fb.Energy
+	if eRem <= 0 {
+		g.nextApp, _ = g.frontier.ForSpeedup(math.Inf(1))
+		return
+	}
+	eReq := eRem / wRem
+	target := g.defaultW / eReq
+	sp := g.ctrl.Step(target, rawRate, g.defaultR)
+	g.nextApp, _ = g.frontier.ForSpeedup(sp)
+}

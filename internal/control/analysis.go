@@ -1,0 +1,112 @@
+package control
+
+import "math"
+
+// StepMetrics summarises a closed loop's unit-step response in the terms
+// control engineers (and Sec. 3.4's analysis) care about.
+type StepMetrics struct {
+	// Overshoot is the peak excursion above the final value, as a fraction
+	// of the final value (0 for a monotone response).
+	Overshoot float64
+	// RiseTime is the first step index at which the response crosses 90%
+	// of the final value (-1 if never).
+	RiseTime int
+	// Settling is the first index after which the response stays within 2%
+	// of the final value (-1 if it never settles in the horizon).
+	Settling int
+	// SteadyStateError is |1 - final value| averaged over the last tenth
+	// of the horizon (0 for a convergent tracking loop, Sec. 3.4.1).
+	SteadyStateError float64
+	// Diverged reports whether the response grows without bound.
+	Diverged bool
+}
+
+// AnalyzeStep computes StepMetrics for a recorded unit-step response.
+func AnalyzeStep(resp []float64) StepMetrics {
+	m := StepMetrics{RiseTime: -1, Settling: -1}
+	if len(resp) == 0 {
+		return m
+	}
+	// Steady state: mean of the last tenth.
+	tail := len(resp) / 10
+	if tail < 1 {
+		tail = 1
+	}
+	var ss float64
+	for _, v := range resp[len(resp)-tail:] {
+		ss += v
+	}
+	ss /= float64(tail)
+	m.SteadyStateError = math.Abs(1 - ss)
+	var peak float64
+	for i, v := range resp {
+		if math.Abs(v) > 100 || math.IsNaN(v) || math.IsInf(v, 0) {
+			m.Diverged = true
+		}
+		if v > peak {
+			peak = v
+		}
+		if m.RiseTime < 0 && v >= 0.9 {
+			m.RiseTime = i
+		}
+	}
+	if peak > 1 {
+		m.Overshoot = peak - 1
+	}
+	m.Settling = SettlingTime(resp, 0.02)
+	return m
+}
+
+// DesignPole returns the pole that settles a first-order loop (Eqn 7)
+// within the requested number of steps at 2% tolerance: the response is
+// 1 - pole^k, so pole = 0.02^(1/steps). Returns 0 (deadbeat) for steps
+// <= 1.
+func DesignPole(steps int) float64 {
+	if steps <= 1 {
+		return 0
+	}
+	return math.Pow(0.02, 1/float64(steps))
+}
+
+// FrequencyPoint is the loop's response at one normalised frequency.
+type FrequencyPoint struct {
+	Omega     float64 // radians/sample, in [0, pi]
+	Magnitude float64
+	PhaseRad  float64
+}
+
+// FrequencyResponse evaluates the transfer function along the unit circle
+// at n evenly spaced frequencies from DC to Nyquist — the discrete Bode
+// data for a loop. Useful for seeing how aggressively a pole filters the
+// measurement noise the paper's Sec. 5.3 traces show.
+func FrequencyResponse(tf TransferFunction, n int) []FrequencyPoint {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]FrequencyPoint, n)
+	for i := 0; i < n; i++ {
+		w := math.Pi * float64(i) / float64(n-1)
+		z := complex(math.Cos(w), math.Sin(w))
+		g := tf.Eval(z)
+		out[i] = FrequencyPoint{
+			Omega:     w,
+			Magnitude: cmplxAbs(g),
+			PhaseRad:  cmplxPhase(g),
+		}
+	}
+	return out
+}
+
+func cmplxAbs(z complex128) float64   { return math.Hypot(real(z), imag(z)) }
+func cmplxPhase(z complex128) float64 { return math.Atan2(imag(z), real(z)) }
+
+// RobustnessMargin returns how much multiplicative model error the loop at
+// the given pole tolerates before the closed loop (Eqn 8) leaves the unit
+// circle, as a fraction of the current operating delta: margin =
+// MaxTolerableDelta(pole)/delta. Values above 1 mean stable.
+func RobustnessMargin(pole, delta float64) float64 {
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	return MaxTolerableDelta(pole) / delta
+}

@@ -1,0 +1,135 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeStepFirstOrder(t *testing.T) {
+	// A first-order loop (pole 0.5) is monotone: no overshoot, small
+	// steady-state error, finite rise and settling times.
+	m := AnalyzeStep(ClosedLoop(0.5, 1, 1).StepResponse(100))
+	if m.Overshoot != 0 {
+		t.Fatalf("overshoot: %v", m.Overshoot)
+	}
+	if m.RiseTime < 1 || m.RiseTime > 10 {
+		t.Fatalf("rise time: %d", m.RiseTime)
+	}
+	if m.Settling < 0 {
+		t.Fatal("never settled")
+	}
+	if m.SteadyStateError > 1e-9 {
+		t.Fatalf("steady-state error: %v", m.SteadyStateError)
+	}
+	if m.Diverged {
+		t.Fatal("flagged divergent")
+	}
+}
+
+func TestAnalyzeStepOscillatoryOvershoot(t *testing.T) {
+	// delta just inside the bound: pole at z = 1-g with g in (1,2) is
+	// negative -> alternating response that overshoots.
+	m := AnalyzeStep(ClosedLoop(0, 1, 1.8).StepResponse(200))
+	if m.Overshoot <= 0 {
+		t.Fatalf("expected overshoot, got %v", m.Overshoot)
+	}
+	if m.Diverged {
+		t.Fatal("stable loop flagged divergent")
+	}
+	if m.SteadyStateError > 1e-6 {
+		t.Fatalf("steady-state error: %v", m.SteadyStateError)
+	}
+}
+
+func TestAnalyzeStepDivergence(t *testing.T) {
+	m := AnalyzeStep(ClosedLoop(0, 1, 3).StepResponse(120))
+	if !m.Diverged {
+		t.Fatal("unstable loop not flagged")
+	}
+}
+
+func TestAnalyzeStepEmpty(t *testing.T) {
+	m := AnalyzeStep(nil)
+	if m.RiseTime != -1 || m.Settling != -1 {
+		t.Fatalf("empty response metrics: %+v", m)
+	}
+}
+
+func TestDesignPoleMeetsSpec(t *testing.T) {
+	for _, steps := range []int{2, 5, 20, 100} {
+		pole := DesignPole(steps)
+		if pole < 0 || pole >= 1 {
+			t.Fatalf("steps=%d: pole %v out of range", steps, pole)
+		}
+		resp := ClosedLoop(pole, 1, 1).StepResponse(steps * 4)
+		m := AnalyzeStep(resp)
+		if m.Settling < 0 || m.Settling > steps+1 {
+			t.Fatalf("steps=%d pole=%v: settled at %d", steps, pole, m.Settling)
+		}
+	}
+	if DesignPole(1) != 0 || DesignPole(-3) != 0 {
+		t.Fatal("degenerate specs must give the deadbeat pole")
+	}
+}
+
+func TestRobustnessMargin(t *testing.T) {
+	// pole 0.1 tolerates delta up to ~2.22 (the paper's example); at
+	// delta 1 the margin is ~2.2x, at delta 3 it is below 1 (unstable).
+	if m := RobustnessMargin(0.1, 1); math.Abs(m-2/0.9) > 1e-12 {
+		t.Fatalf("margin: %v", m)
+	}
+	if m := RobustnessMargin(0.1, 3); m >= 1 {
+		t.Fatalf("margin at delta 3 should be <1: %v", m)
+	}
+	if !math.IsInf(RobustnessMargin(0.5, 0), 1) {
+		t.Fatal("zero delta margin should be infinite")
+	}
+}
+
+func TestFrequencyResponseFirstOrder(t *testing.T) {
+	// F(z) = (1-p)/(z-p): DC gain 1, low-pass (monotone decreasing
+	// magnitude), Nyquist gain (1-p)/(1+p).
+	p := 0.6
+	resp := FrequencyResponse(ClosedLoop(p, 1, 1), 64)
+	if len(resp) != 64 {
+		t.Fatalf("points: %d", len(resp))
+	}
+	if math.Abs(resp[0].Magnitude-1) > 1e-9 {
+		t.Fatalf("DC magnitude: %v", resp[0].Magnitude)
+	}
+	for i := 1; i < len(resp); i++ {
+		if resp[i].Magnitude > resp[i-1].Magnitude+1e-9 {
+			t.Fatalf("first-order loop must be low-pass; rose at %d", i)
+		}
+	}
+	nyq := resp[len(resp)-1].Magnitude
+	want := (1 - p) / (1 + p)
+	if math.Abs(nyq-want) > 1e-9 {
+		t.Fatalf("Nyquist magnitude %v, want %v", nyq, want)
+	}
+	// A slower pole filters noise harder: smaller Nyquist gain.
+	slower := FrequencyResponse(ClosedLoop(0.9, 1, 1), 64)
+	if slower[63].Magnitude >= nyq {
+		t.Fatal("higher pole should attenuate high frequencies more")
+	}
+}
+
+func TestFrequencyResponseDegenerate(t *testing.T) {
+	resp := FrequencyResponse(ClosedLoop(0.5, 1, 1), 1)
+	if len(resp) != 2 {
+		t.Fatalf("n clamp: %d", len(resp))
+	}
+}
+
+// The margin predicts actual loop behaviour: margin > 1 iff stable.
+func TestMarginPredictsStability(t *testing.T) {
+	for _, pole := range []float64{0, 0.3, 0.7} {
+		for _, delta := range []float64{0.5, 1.5, 2.5, 5, 9} {
+			margin := RobustnessMargin(pole, delta)
+			stable := ClosedLoop(pole, 1, delta).Stable()
+			if (margin > 1) != stable {
+				t.Errorf("pole=%v delta=%v: margin %v but stable=%v", pole, delta, margin, stable)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package control
+
+import "testing"
+
+func BenchmarkControllerStep(b *testing.B) {
+	c := NewSpeedupController(WithSpeedupBounds(1, 10))
+	for i := 0; i < b.N; i++ {
+		c.Step(100, 95, 50)
+	}
+}
+
+func BenchmarkAdaptPole(b *testing.B) {
+	c := NewSpeedupController()
+	for i := 0; i < b.N; i++ {
+		c.AdaptPole(123.4, 100)
+	}
+}
+
+func BenchmarkEWMAObserve(b *testing.B) {
+	e := MustEWMA(DefaultAlpha)
+	e.Prime(1)
+	for i := 0; i < b.N; i++ {
+		e.Observe(float64(i % 100))
+	}
+}
+
+func BenchmarkRootsDegree8(b *testing.B) {
+	p := NewPoly(1, -2, 3, -4, 5, -6, 7, -8, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Roots()
+	}
+}
+
+func BenchmarkStepResponse(b *testing.B) {
+	f := ClosedLoop(0.5, 1, 1)
+	for i := 0; i < b.N; i++ {
+		f.StepResponse(100)
+	}
+}

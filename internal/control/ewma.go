@@ -1,0 +1,121 @@
+// Package control implements the control-theoretic machinery JouleGuard is
+// built on: exponentially weighted moving-average estimators (paper Eqn 1),
+// the proportional-integral speedup controller with adaptive pole placement
+// (Eqns 5, 10 and 11), and Z-domain analysis tools used to verify the formal
+// stability and robustness guarantees of Sec. 3.4 numerically.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultAlpha is the EWMA gain the paper selects after sweeping all
+// applications and systems (Sec. 3.2): "We use alpha = .85".
+const DefaultAlpha = 0.85
+
+// EWMA is an exponentially weighted moving average of a scalar signal,
+// implementing paper Eqn 1:
+//
+//	v(t) = (1-alpha) * v(t-1) + alpha * v(t)
+//
+// Note the paper's convention: alpha weighs the *new* observation, so large
+// alpha tracks quickly and small alpha smooths heavily. The zero value is
+// not ready for use; construct with NewEWMA.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with the given gain. The gain must lie in (0, 1].
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("control: EWMA alpha %v outside (0, 1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// MustEWMA is NewEWMA for statically known gains; it panics on a bad gain.
+func MustEWMA(alpha float64) *EWMA {
+	e, err := NewEWMA(alpha)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Observe folds a new measurement into the average and returns the updated
+// estimate. The first observation primes the filter (the paper initialises
+// estimates from priors instead; see Prime).
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return e.value
+	}
+	e.value = (1-e.alpha)*e.value + e.alpha*x
+	return e.value
+}
+
+// Prime seeds the filter with an a-priori estimate, as JouleGuard does with
+// its linear-performance / cubic-power initialisation (Sec. 3.2). Subsequent
+// observations blend into this prior rather than replacing it.
+func (e *EWMA) Prime(x float64) {
+	e.value = x
+	e.primed = true
+}
+
+// Value returns the current estimate (the prior if nothing was observed yet).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether the filter holds any estimate at all.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Alpha returns the filter gain.
+func (e *EWMA) Alpha() float64 { return e.alpha }
+
+// ErrNotPrimed is returned by estimator helpers that need a primed filter.
+var ErrNotPrimed = errors.New("control: estimator not primed")
+
+// RatePowerEstimate couples the two per-configuration filters JouleGuard
+// keeps for every system configuration: computation rate r and power p
+// (Eqn 1). Efficiency is their ratio r/p, the bandit reward of Sec. 3.2.
+type RatePowerEstimate struct {
+	Rate  *EWMA
+	Power *EWMA
+}
+
+// NewRatePowerEstimate builds the filter pair with a shared gain and primes
+// both from the supplied priors.
+func NewRatePowerEstimate(alpha, ratePrior, powerPrior float64) (*RatePowerEstimate, error) {
+	r, err := NewEWMA(alpha)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewEWMA(alpha)
+	if err != nil {
+		return nil, err
+	}
+	r.Prime(ratePrior)
+	p.Prime(powerPrior)
+	return &RatePowerEstimate{Rate: r, Power: p}, nil
+}
+
+// Observe folds one (rate, power) measurement into the pair.
+func (rp *RatePowerEstimate) Observe(rate, power float64) {
+	rp.Rate.Observe(rate)
+	rp.Power.Observe(power)
+}
+
+// Efficiency returns the estimated energy efficiency r/p. A non-positive
+// power estimate yields zero efficiency rather than an infinity so that the
+// bandit's arg-max stays well defined.
+func (rp *RatePowerEstimate) Efficiency() float64 {
+	p := rp.Power.Value()
+	if p <= 0 {
+		return 0
+	}
+	return rp.Rate.Value() / p
+}

@@ -1,0 +1,311 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// This file provides the discrete-time (Z-domain) analysis machinery used to
+// verify JouleGuard's formal guarantees (Sec. 3.4) numerically:
+//
+//   - Polynomial and rational transfer-function arithmetic.
+//   - The closed-loop composition F = CA/(1+CA) of Eqn 7.
+//   - Pole extraction and the stability criterion |pole| < 1.
+//   - DC gain F(1) = 1, the convergence criterion.
+//   - Step-response simulation, used by tests to check settling behaviour
+//     and by the robustness tests to watch the loop diverge when delta
+//     exceeds the Eqn 9 bound.
+
+// Poly is a real polynomial in z with Coeffs[i] the coefficient of z^i.
+type Poly struct {
+	Coeffs []float64
+}
+
+// NewPoly builds a polynomial from ascending-power coefficients and trims
+// trailing zero coefficients so Degree is meaningful.
+func NewPoly(coeffs ...float64) Poly {
+	n := len(coeffs)
+	for n > 1 && coeffs[n-1] == 0 {
+		n--
+	}
+	out := make([]float64, n)
+	copy(out, coeffs[:n])
+	return Poly{Coeffs: out}
+}
+
+// Degree returns the polynomial degree (0 for constants, including the zero
+// polynomial).
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates the polynomial at a complex point via Horner's rule.
+func (p Poly) Eval(z complex128) complex128 {
+	var acc complex128
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc = acc*z + complex(p.Coeffs[i], 0)
+	}
+	return acc
+}
+
+// Mul returns the product of two polynomials.
+func (p Poly) Mul(q Poly) Poly {
+	out := make([]float64, p.Degree()+q.Degree()+1)
+	for i, a := range p.Coeffs {
+		for j, b := range q.Coeffs {
+			out[i+j] += a * b
+		}
+	}
+	return NewPoly(out...)
+}
+
+// Add returns the sum of two polynomials.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p.Coeffs)
+	if len(q.Coeffs) > n {
+		n = len(q.Coeffs)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(p.Coeffs) {
+			out[i] += p.Coeffs[i]
+		}
+		if i < len(q.Coeffs) {
+			out[i] += q.Coeffs[i]
+		}
+	}
+	return NewPoly(out...)
+}
+
+// Scale returns k*p.
+func (p Poly) Scale(k float64) Poly {
+	out := make([]float64, len(p.Coeffs))
+	for i, a := range p.Coeffs {
+		out[i] = k * a
+	}
+	return NewPoly(out...)
+}
+
+// Roots returns all complex roots of the polynomial, found with the
+// Durand-Kerner (Weierstrass) simultaneous iteration. It handles the
+// low-degree cases in closed form. The zero polynomial has no roots.
+func (p Poly) Roots() []complex128 {
+	c := p.Coeffs
+	// Strip leading (low-order) zero coefficients as roots at z=0.
+	var zeros int
+	for zeros < len(c)-1 && c[zeros] == 0 {
+		zeros++
+	}
+	c = c[zeros:]
+	roots := make([]complex128, 0, p.Degree())
+	for i := 0; i < zeros; i++ {
+		roots = append(roots, 0)
+	}
+	switch len(c) {
+	case 0, 1:
+		return roots
+	case 2: // c0 + c1 z
+		return append(roots, complex(-c[0]/c[1], 0))
+	case 3: // quadratic
+		a, b, cc := c[2], c[1], c[0]
+		disc := complex(b*b-4*a*cc, 0)
+		sq := cmplx.Sqrt(disc)
+		return append(roots,
+			(-complex(b, 0)+sq)/complex(2*a, 0),
+			(-complex(b, 0)-sq)/complex(2*a, 0))
+	}
+	// Durand-Kerner on the monic normalisation.
+	n := len(c) - 1
+	monic := make([]complex128, len(c))
+	lead := complex(c[n], 0)
+	for i, a := range c {
+		monic[i] = complex(a, 0) / lead
+	}
+	eval := func(z complex128) complex128 {
+		var acc complex128
+		for i := n; i >= 0; i-- {
+			acc = acc*z + monic[i]
+		}
+		return acc
+	}
+	guess := make([]complex128, n)
+	seed := complex(0.4, 0.9) // standard non-real, non-unit seed
+	cur := complex(1, 0)
+	for i := range guess {
+		cur *= seed
+		guess[i] = cur
+	}
+	for iter := 0; iter < 500; iter++ {
+		var moved float64
+		for i := range guess {
+			num := eval(guess[i])
+			den := complex(1, 0)
+			for j := range guess {
+				if j != i {
+					den *= guess[i] - guess[j]
+				}
+			}
+			if den == 0 {
+				continue
+			}
+			d := num / den
+			guess[i] -= d
+			moved += cmplx.Abs(d)
+		}
+		if moved < 1e-13 {
+			break
+		}
+	}
+	return append(roots, guess...)
+}
+
+// TransferFunction is a rational function Num(z)/Den(z) describing a
+// discrete-time LTI system.
+type TransferFunction struct {
+	Num Poly
+	Den Poly
+}
+
+// NewTransferFunction builds a transfer function; the denominator must be
+// nonzero.
+func NewTransferFunction(num, den Poly) (TransferFunction, error) {
+	if den.Degree() == 0 && den.Coeffs[0] == 0 {
+		return TransferFunction{}, fmt.Errorf("control: zero denominator")
+	}
+	return TransferFunction{Num: num, Den: den}, nil
+}
+
+// Eval evaluates the transfer function at z.
+func (tf TransferFunction) Eval(z complex128) complex128 {
+	return tf.Num.Eval(z) / tf.Den.Eval(z)
+}
+
+// DCGain returns F(1), the steady-state gain. A convergent tracking loop
+// has DC gain exactly 1 (Sec. 3.4.1).
+func (tf TransferFunction) DCGain() float64 {
+	return real(tf.Eval(1))
+}
+
+// Poles returns the roots of the denominator.
+func (tf TransferFunction) Poles() []complex128 { return tf.Den.Roots() }
+
+// Stable reports whether every pole lies strictly inside the unit circle,
+// the discrete-time stability criterion used throughout Sec. 3.4.
+func (tf TransferFunction) Stable() bool {
+	for _, p := range tf.Poles() {
+		if cmplx.Abs(p) >= 1-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Series composes two systems in cascade: (tf*g)(z) = tf(z)g(z).
+func (tf TransferFunction) Series(g TransferFunction) TransferFunction {
+	return TransferFunction{Num: tf.Num.Mul(g.Num), Den: tf.Den.Mul(g.Den)}
+}
+
+// Feedback closes a unity negative-feedback loop around the open-loop
+// system L: F = L/(1+L). With L = C*A this is exactly Eqn 7.
+func (tf TransferFunction) Feedback() TransferFunction {
+	return TransferFunction{
+		Num: tf.Num,
+		Den: tf.Den.Add(tf.Num),
+	}
+}
+
+// String renders the transfer function for diagnostics.
+func (tf TransferFunction) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%v) / (%v)", tf.Num.Coeffs, tf.Den.Coeffs)
+	return b.String()
+}
+
+// PIController returns C(z) = (1-pole) z / (z-1), the Z-transform of
+// JouleGuard's integral control law (Sec. 3.4.1).
+func PIController(pole float64) TransferFunction {
+	return TransferFunction{
+		Num: NewPoly(0, 1-pole), // (1-pole) z
+		Den: NewPoly(-1, 1),     // z - 1
+	}
+}
+
+// ApplicationPlant returns A(z) = r/z, the one-step-delay application model
+// with gain r = rbestsys (Sec. 3.4.1).
+func ApplicationPlant(r float64) TransferFunction {
+	return TransferFunction{
+		Num: NewPoly(r),    // r
+		Den: NewPoly(0, 1), // z
+	}
+}
+
+// ClosedLoop composes Eqn 7 (or Eqn 8 when the plant gain carries a
+// multiplicative model error delta): the closed loop mapping the target
+// performance to the measured performance, for controller pole `pole`,
+// estimated plant gain rhat and true plant gain delta*rhat.
+func ClosedLoop(pole, rhat, delta float64) TransferFunction {
+	// The controller is designed against rhat: its integral gain is
+	// (1-pole)/rhat. The true plant has gain delta*rhat, so the open loop is
+	// L(z) = (1-pole) delta z / ((z-1) z) * z ... algebraically the loop
+	// reduces to F(z) = (1-pole) delta / (z + (1-pole) delta - 1) (Eqn 8).
+	g := (1 - pole) * delta
+	return TransferFunction{
+		Num: NewPoly(g),
+		Den: NewPoly(g-1, 1),
+	}
+}
+
+// StepResponse simulates n steps of the closed loop's response to a unit
+// step using the difference equation implied by the transfer function
+// b(z)/a(z):  sum_i a_i y(t+i) = sum_j b_j u(t+j), normalised so the
+// highest-order output coefficient is 1. The returned slice holds y(1..n).
+func (tf TransferFunction) StepResponse(n int) []float64 {
+	na := tf.Den.Degree()
+	nb := tf.Num.Degree()
+	a := tf.Den.Coeffs
+	b := tf.Num.Coeffs
+	lead := a[na]
+	y := make([]float64, n)
+	yAt := func(k int) float64 {
+		if k < 0 || k >= len(y) {
+			return 0
+		}
+		return y[k]
+	}
+	u := func(k int) float64 {
+		if k >= 0 {
+			return 1
+		}
+		return 0
+	}
+	// From a(z)Y(z) = b(z)U(z): for every output index k >= 0,
+	//   a[na] y(k) = sum_j b[j] u(k-na+j) - sum_{i<na} a[i] y(k-na+i).
+	for k := 0; k < n; k++ {
+		var rhs float64
+		for j := 0; j <= nb; j++ {
+			rhs += b[j] * u(k-na+j)
+		}
+		for i := 0; i < na; i++ {
+			rhs -= a[i] * yAt(k-na+i)
+		}
+		y[k] = rhs / lead
+	}
+	return y
+}
+
+// SettlingTime returns the first step index after which the response stays
+// within tol of its final value 1, or -1 if it never settles within the
+// simulated horizon.
+func SettlingTime(resp []float64, tol float64) int {
+	settled := -1
+	for i, v := range resp {
+		if math.Abs(v-1) <= tol {
+			if settled == -1 {
+				settled = i
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}

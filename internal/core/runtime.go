@@ -1,0 +1,300 @@
+// Package core implements the JouleGuard runtime (paper Sec. 3, Algorithm
+// 1): the System Energy Optimizer (SEO, Sec. 3.2) — a VDBE multi-armed
+// bandit that finds the most energy-efficient system configuration — and
+// the Application Accuracy Optimizer (AAO, Sec. 3.3) — an adaptive-pole PI
+// controller that extracts any further speedup the energy goal requires
+// from the application's accuracy/performance frontier while maximising
+// accuracy.
+//
+// The runtime is deliberately decoupled from the simulator: it sees the
+// world only through the sim.Governor interface (decide a configuration,
+// observe rate/power/energy feedback), exactly as the paper's C runtime
+// sees real machines through its performance and power callbacks
+// (Sec. 3.5).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jouleguard/internal/control"
+	"jouleguard/internal/knob"
+	"jouleguard/internal/learning"
+	"jouleguard/internal/sim"
+)
+
+// SelectorKind names an exploration policy for the SEO ablations.
+type SelectorKind string
+
+// Exploration policies.
+const (
+	SelectVDBE     SelectorKind = "vdbe"      // the paper's choice
+	SelectFixedEps SelectorKind = "fixed-eps" // classical epsilon-greedy
+	SelectUCB      SelectorKind = "ucb"       // UCB1
+)
+
+// Options configures a Runtime. The zero value of each field selects the
+// paper's behaviour.
+type Options struct {
+	Alpha           float64 // EWMA gain; 0 = paper's 0.85
+	FixedPole       float64 // >= 0 with FixedPoleSet: disable Eqns 10-11
+	FixedPoleSet    bool
+	FlatPriors      bool         // replace linear/cubic priors with flat ones
+	Selector        SelectorKind // exploration policy; "" = VDBE
+	FixedEpsilon    float64      // epsilon for SelectFixedEps
+	VDBEWeight      float64      // Eqn 2 blending weight; 0 = min(1/|Sys|, capped)
+	InfeasibleSlack float64      // tolerated overshoot of max speedup; 0 = 5%
+	KalmanEstimator bool         // replace Eqn 1's EWMA with Kalman filters
+	Seed            int64
+}
+
+// Runtime is JouleGuard. It implements sim.Governor.
+type Runtime struct {
+	// Goal (Algorithm 1's Require lines).
+	workload float64 // W: total iterations to complete
+	budget   float64 // E: energy budget in measured joules
+
+	frontier *knob.Frontier
+	bandit   *learning.Bandit
+	selector learning.Selector
+	ctrl     *control.SpeedupController
+	defSys   int
+
+	// Decision state for the next iteration.
+	nextApp    knob.Point
+	nextSys    int
+	explored   bool
+	iters      int
+	done       bool
+	infeasible bool
+	slack      float64 // tolerated overshoot of max speedup before flagging
+
+	// Telemetry.
+	lastTarget  float64
+	lastSpeedup float64
+	lastF       float64
+	lastEps     float64
+}
+
+// New builds a JouleGuard runtime.
+//
+//	workload   total iterations the user needs completed (W)
+//	budget     total energy allowed, in measured joules (E)
+//	frontier   the application's profiled Pareto frontier
+//	nSys       number of system configurations
+//	priors     initial (rate, power) estimates per system configuration, in
+//	           iterations/second and watts (Sec. 3.2's optimistic models)
+//	defaultSys the system's default configuration index
+func New(workload, budget float64, frontier *knob.Frontier, nSys int, priors learning.Priors, defaultSys int, opts Options) (*Runtime, error) {
+	if workload <= 0 || math.IsNaN(workload) {
+		return nil, fmt.Errorf("core: workload %v must be positive", workload)
+	}
+	if budget <= 0 || math.IsNaN(budget) {
+		return nil, fmt.Errorf("core: energy budget %v must be positive", budget)
+	}
+	if frontier == nil || frontier.Len() == 0 {
+		return nil, fmt.Errorf("core: empty application frontier")
+	}
+	if defaultSys < 0 || defaultSys >= nSys {
+		return nil, fmt.Errorf("core: default system config %d out of range [0,%d)", defaultSys, nSys)
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = control.DefaultAlpha
+	}
+	if opts.FlatPriors {
+		// Uninformative start: average the informed priors into one flat
+		// value so the ablation isolates the *shape*, not the magnitude.
+		var rSum, pSum float64
+		for i := 0; i < nSys; i++ {
+			r, p := priors.Estimate(i)
+			rSum += r
+			pSum += p
+		}
+		priors = learning.FlatPriors{Rate: rSum / float64(nSys), Power: pSum / float64(nSys)}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	factory := learning.EWMAFactory(alpha)
+	if opts.KalmanEstimator {
+		factory = learning.KalmanFactory()
+	}
+	bandit, err := learning.NewBanditWithEstimators(nSys, factory, priors, rng)
+	if err != nil {
+		return nil, err
+	}
+	var sel learning.Selector
+	switch opts.Selector {
+	case "", SelectVDBE:
+		w := opts.VDBEWeight
+		if w == 0 {
+			// Eqn 2 uses 1/|Sys|; cap the time constant at 100 updates so
+			// exploration can settle within a few-hundred-iteration run.
+			w = math.Max(1.0/float64(nSys), 1.0/40)
+		}
+		sel = learning.NewVDBE(nSys, alpha, rng, learning.WithUpdateWeight(w))
+	case SelectFixedEps:
+		sel = learning.NewFixedEpsilon(opts.FixedEpsilon, rng)
+	case SelectUCB:
+		sel = learning.NewUCB1(0)
+	default:
+		return nil, fmt.Errorf("core: unknown selector %q", opts.Selector)
+	}
+	ctrlOpts := []control.ControllerOption{
+		control.WithSpeedupBounds(frontier.MinSpeedup(), frontier.MaxSpeedup()),
+		control.WithInitialSpeedup(frontier.MinSpeedup()),
+	}
+	if opts.FixedPoleSet {
+		ctrlOpts = append(ctrlOpts, control.WithFixedPole(opts.FixedPole))
+	}
+	slack := opts.InfeasibleSlack
+	if slack <= 0 {
+		slack = 0.05
+	}
+	r := &Runtime{
+		workload: workload,
+		budget:   budget,
+		frontier: frontier,
+		bandit:   bandit,
+		selector: sel,
+		ctrl:     control.NewSpeedupController(ctrlOpts...),
+		defSys:   defaultSys,
+		slack:    slack,
+	}
+	// Before any feedback: most accurate application configuration, and the
+	// prior-optimal system configuration (the priors stand in for the
+	// models the bandit has not yet learned).
+	r.nextApp, _ = r.frontier.ForSpeedup(0)
+	r.nextSys = bandit.BestArm()
+	return r, nil
+}
+
+// Decide implements sim.Governor.
+func (r *Runtime) Decide(int) (appCfg, sysCfg int) {
+	return r.nextApp.Config, r.nextSys
+}
+
+// Observe implements sim.Governor: one pass of Algorithm 1.
+func (r *Runtime) Observe(fb sim.Feedback) {
+	r.iters++
+	if fb.Duration <= 0 {
+		return // degenerate measurement; hold every decision
+	}
+	// Measure performance r(t) and normalise out the application speedup to
+	// recover the system's rate in default-app terms (the SEO must not
+	// attribute application-level speedup to the system configuration —
+	// that mis-attribution is what destabilises the uncoordinated approach
+	// of Sec. 2.3).
+	rawRate := 1 / fb.Duration
+	sNominal := r.nextApp.Speedup
+	if sNominal <= 0 {
+		sNominal = 1
+	}
+	sysRate := rawRate / sNominal
+
+	// Adapt the controller pole to the learner's current model error
+	// (Eqns 10-11) before folding in the new measurement.
+	preEstimate := r.bandit.Rate(fb.SysConfig)
+	r.ctrl.AdaptPole(sysRate, preEstimate)
+
+	// Update the estimates (Eqn 1) and the exploration rate (Eqn 2).
+	preEff := r.bandit.Efficiency(fb.SysConfig)
+	effErr, err := r.bandit.Observe(fb.SysConfig, sysRate, fb.Power)
+	if err == nil {
+		norm := preEff
+		if norm <= 0 {
+			norm = 1
+		}
+		measuredEff := 0.0
+		if fb.Power > 0 {
+			measuredEff = sysRate / fb.Power
+		}
+		r.selector.Update(effErr/norm, measuredEff)
+	}
+	if v, ok := r.selector.(*learning.VDBE); ok {
+		r.lastEps = v.Epsilon()
+	}
+
+	// Select the next system configuration (explore vs exploit, Eqn 3).
+	r.nextSys, r.explored = r.selector.Select(r.bandit)
+
+	// Remaining energy and work determine the required energy per
+	// iteration; Eqn 4 turns that into a speedup demand. Feasibility is
+	// judged against the best configuration's estimates; the control target
+	// uses the estimates of the configuration the system will actually run
+	// next (Algorithm 1: "Select random/energy-optimal system configuration
+	// ... Use those values to compute speedup target"), so the application
+	// compensates proactively while the SEO explores slow configurations.
+	best := r.bandit.BestArm()
+	rBest := r.bandit.Rate(best)
+	pBest := r.bandit.Power(best)
+	rSel := r.bandit.Rate(r.nextSys)
+	pSel := r.bandit.Power(r.nextSys)
+	wRem := r.workload - float64(fb.IterationsDone)
+	if wRem <= 0 {
+		r.done = true
+		return // workload complete: hold the final configuration
+	}
+	eRem := r.budget - fb.Energy
+	if eRem <= 0 {
+		// Budget already spent: the only sane action is the minimum-energy
+		// configuration (Sec. 3.4.3).
+		r.infeasible = true
+		r.nextSys = best
+		r.nextApp, _ = r.frontier.ForSpeedup(math.Inf(1))
+		r.ctrl.Reset(r.nextApp.Speedup)
+		return
+	}
+	eReq := eRem / wRem // joules per iteration allowed from here on
+	sReq := pBest / (rBest * eReq)
+	slack := r.slack
+	if sReq > r.frontier.MaxSpeedup()*(1+slack) {
+		// The goal is not achievable even at maximum approximation on the
+		// most efficient system configuration: report infeasibility and
+		// deliver the smallest possible energy (Sec. 3.4.3).
+		r.infeasible = true
+	} else if sReq <= r.frontier.MaxSpeedup() {
+		r.infeasible = false
+	}
+	r.lastF = eReq
+
+	// Control step (Eqn 5): drive the measured iteration rate to the
+	// target pSel/eReq — the rate at which the next configuration's power
+	// draw meets the per-iteration energy allowance.
+	target := pSel / eReq
+	r.lastTarget = target
+	r.lastSpeedup = r.ctrl.Step(target, rawRate, rSel)
+
+	// Eqn 6: highest-accuracy application configuration delivering the
+	// commanded speedup (binary search over the frontier).
+	r.nextApp, _ = r.frontier.ForSpeedup(r.lastSpeedup)
+}
+
+// Infeasible reports whether the runtime has concluded the energy goal
+// cannot be met (Sec. 3.4.3).
+func (r *Runtime) Infeasible() bool { return r.infeasible }
+
+// Exploring reports whether the most recent system choice was exploratory.
+func (r *Runtime) Exploring() bool { return r.explored }
+
+// Epsilon returns the VDBE exploration rate (0 for other selectors).
+func (r *Runtime) Epsilon() float64 { return r.lastEps }
+
+// Pole returns the controller's current pole.
+func (r *Runtime) Pole() float64 { return r.ctrl.Pole() }
+
+// Speedup returns the current application speedup command s(t).
+func (r *Runtime) Speedup() float64 { return r.ctrl.Speedup() }
+
+// TargetRate returns the controller's current performance target.
+func (r *Runtime) TargetRate() float64 { return r.lastTarget }
+
+// BestSystemArm returns the SEO's current best configuration estimate.
+func (r *Runtime) BestSystemArm() int { return r.bandit.BestArm() }
+
+// EnergyPerIterAllowed returns the current per-iteration energy allowance
+// (the budget's derivative target).
+func (r *Runtime) EnergyPerIterAllowed() float64 { return r.lastF }
+
+// Done reports whether the configured workload has completed.
+func (r *Runtime) Done() bool { return r.done }

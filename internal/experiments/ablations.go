@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"jouleguard"
+)
+
+// AblationResult compares one design-choice variant against the paper's
+// configuration on the same workload.
+type AblationResult struct {
+	Variant           string
+	RelativeError     float64
+	EffectiveAccuracy float64
+	MeanAccuracy      float64
+}
+
+// ablationCase is one (label, options) pair.
+type ablationCase struct {
+	label string
+	opts  jouleguard.Options
+}
+
+func runAblation(appName, platName string, factor, scale float64, cases []ablationCase) ([]AblationResult, error) {
+	out := make([]AblationResult, len(cases))
+	err := parallelMap(len(cases), func(i int) error {
+		res, err := RunJouleGuard(appName, platName, factor, scale, cases[i].opts)
+		if err != nil {
+			return err
+		}
+		out[i] = AblationResult{
+			Variant:           cases[i].label,
+			RelativeError:     res.RelativeError,
+			EffectiveAccuracy: res.EffectiveAccuracy,
+			MeanAccuracy:      res.MeanAccuracy,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// AblationPole isolates the adaptive pole (Eqns 10-11): the paper's
+// adaptive controller versus fixed poles, including the aggressive pole-0
+// deadbeat that the uncoordinated approach implicitly uses.
+func AblationPole(appName, platName string, factor, scale float64) ([]AblationResult, error) {
+	return runAblation(appName, platName, factor, scale, []ablationCase{
+		{"adaptive pole (paper)", jouleguard.Options{}},
+		{"fixed pole 0.0", jouleguard.Options{FixedPoleSet: true, FixedPole: 0}},
+		{"fixed pole 0.5", jouleguard.Options{FixedPoleSet: true, FixedPole: 0.5}},
+		{"fixed pole 0.9", jouleguard.Options{FixedPoleSet: true, FixedPole: 0.9}},
+	})
+}
+
+// AblationPriors isolates the optimistic linear/cubic initialisation
+// (Sec. 3.2) against uninformative flat priors.
+func AblationPriors(appName, platName string, factor, scale float64) ([]AblationResult, error) {
+	return runAblation(appName, platName, factor, scale, []ablationCase{
+		{"linear/cubic priors (paper)", jouleguard.Options{}},
+		{"flat priors", jouleguard.Options{FlatPriors: true}},
+	})
+}
+
+// AblationExploration compares VDBE against fixed epsilon-greedy and UCB1.
+func AblationExploration(appName, platName string, factor, scale float64) ([]AblationResult, error) {
+	return runAblation(appName, platName, factor, scale, []ablationCase{
+		{"VDBE (paper)", jouleguard.Options{}},
+		{"epsilon-greedy 0.05", jouleguard.Options{Selector: jouleguard.SelectFixedEps, FixedEpsilon: 0.05}},
+		{"epsilon-greedy 0.2", jouleguard.Options{Selector: jouleguard.SelectFixedEps, FixedEpsilon: 0.2}},
+		{"UCB1", jouleguard.Options{Selector: jouleguard.SelectUCB}},
+	})
+}
+
+// AblationEstimator compares the paper's EWMA estimators (Eqn 1) against
+// Kalman filters (the adaptive-control alternative cited in Sec. 6.4).
+func AblationEstimator(appName, platName string, factor, scale float64) ([]AblationResult, error) {
+	return runAblation(appName, platName, factor, scale, []ablationCase{
+		{"EWMA alpha 0.85 (paper)", jouleguard.Options{}},
+		{"Kalman filters", jouleguard.Options{KalmanEstimator: true}},
+	})
+}
+
+// AblationAlpha sweeps the EWMA gain around the paper's 0.85.
+func AblationAlpha(appName, platName string, factor, scale float64) ([]AblationResult, error) {
+	return runAblation(appName, platName, factor, scale, []ablationCase{
+		{"alpha 0.50", jouleguard.Options{Alpha: 0.50}},
+		{"alpha 0.70", jouleguard.Options{Alpha: 0.70}},
+		{"alpha 0.85 (paper)", jouleguard.Options{Alpha: 0.85}},
+		{"alpha 0.95", jouleguard.Options{Alpha: 0.95}},
+	})
+}

@@ -1,0 +1,175 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Sec. 5), shared by the cmd tools and the benchmark
+// harness. Each driver returns structured results so callers can render
+// them as terminal tables, CSV, or testing.B metrics.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"jouleguard"
+	"jouleguard/internal/metrics"
+)
+
+// PaperFactors are the energy-reduction factors of Sec. 5.2.
+var PaperFactors = []float64{1.1, 1.2, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0}
+
+// ItersFor returns the run length for a platform. Server gets a longer run:
+// its 1024-configuration space needs more iterations for the SEO's
+// optimistic priors to deflate (the paper's server runs similarly span many
+// more actuation periods than its mobile runs).
+func ItersFor(platform string, scale float64) int {
+	base := 600
+	if platform == "Server" {
+		base = 1600
+	}
+	n := int(float64(base) * scale)
+	if n < 50 {
+		n = 50
+	}
+	return n
+}
+
+// RunResult is the outcome of one (app, platform, factor, governor) run.
+type RunResult struct {
+	App, Platform, Approach string
+	Factor                  float64
+	Iterations              int
+	EnergyPerIter           float64 // true joules per iteration
+	GoalPerIter             float64
+	RelativeError           float64 // Eqn 12, percent
+	MeanAccuracy            float64
+	OracleAccuracy          float64
+	EffectiveAccuracy       float64 // Eqn 13
+	Feasible                bool
+	Infeasible              bool // runtime's own feasibility verdict
+}
+
+// RunJouleGuard executes one JouleGuard run and computes its metrics.
+// opts.Seed (when nonzero) seeds both the runtime and the simulation
+// engine, so repeated trials observe genuinely different noise.
+func RunJouleGuard(appName, platName string, factor float64, scale float64, opts jouleguard.Options) (RunResult, error) {
+	tb, err := jouleguard.NewTestbed(appName, platName)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if opts.Seed != 0 {
+		tb.Seed = opts.Seed
+	}
+	iters := ItersFor(platName, scale)
+	gov, err := tb.NewJouleGuard(factor, iters, opts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	rec, err := tb.Run(gov, iters)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := buildResult(tb, rec, appName, platName, "JouleGuard", factor, iters)
+	res.Infeasible = gov.Infeasible()
+	return res, nil
+}
+
+// buildResult computes Eqn 12/13 metrics for a finished run.
+func buildResult(tb *jouleguard.Testbed, rec *jouleguard.Record, appName, platName, approach string, factor float64, iters int) RunResult {
+	goal := tb.DefaultEnergy / factor
+	epi := rec.TrueEnergy / float64(rec.Iterations)
+	res := RunResult{
+		App: appName, Platform: platName, Approach: approach,
+		Factor: factor, Iterations: iters,
+		EnergyPerIter: epi, GoalPerIter: goal,
+		RelativeError: metrics.RelativeError(epi, goal),
+		MeanAccuracy:  rec.MeanAccuracy(),
+	}
+	if orc, err := tb.NewOracle(); err == nil {
+		if pt, ok := orc.BestAccuracyForFactor(factor); ok {
+			res.Feasible = true
+			res.OracleAccuracy = pt.AppPoint.Accuracy
+			res.EffectiveAccuracy = metrics.EffectiveAccuracy(res.MeanAccuracy, res.OracleAccuracy)
+		}
+	}
+	return res
+}
+
+// TrialStats aggregates one configuration's outcome over repeated seeded
+// trials — mean and standard deviation of the Eqn 12/13 metrics.
+type TrialStats struct {
+	App, Platform string
+	Factor        float64
+	Trials        int
+	RelErrMean    float64
+	RelErrStd     float64
+	EffAccMean    float64
+	EffAccStd     float64
+}
+
+// RunTrials repeats a JouleGuard run under different seeds and aggregates
+// the metrics — the variance view a single deterministic run cannot give.
+func RunTrials(appName, platName string, factor, scale float64, trials int) (TrialStats, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	errsV := make([]float64, trials)
+	accsV := make([]float64, trials)
+	err := parallelMap(trials, func(t int) error {
+		res, err := RunJouleGuard(appName, platName, factor, scale,
+			jouleguard.Options{Seed: int64(1000 + 17*t)})
+		if err != nil {
+			return err
+		}
+		errsV[t] = res.RelativeError
+		accsV[t] = res.EffectiveAccuracy
+		return nil
+	})
+	if err != nil {
+		return TrialStats{}, err
+	}
+	es := metrics.Summarize(errsV)
+	as := metrics.Summarize(accsV)
+	return TrialStats{
+		App: appName, Platform: platName, Factor: factor, Trials: trials,
+		RelErrMean: es.Mean, RelErrStd: es.StdDev,
+		EffAccMean: as.Mean, EffAccStd: as.StdDev,
+	}, nil
+}
+
+// parallelMap runs jobs over a worker pool sized to the machine and
+// collects results in order. Any job error aborts the batch.
+func parallelMap(n int, job func(i int) error) error {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := job(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("experiments: job %d: %w", i, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"time"
+
+	"jouleguard"
+	"jouleguard/internal/apps"
+	"jouleguard/internal/platform"
+)
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row compares a benchmark's measured characteristics to the paper.
+type Table2Row struct {
+	App             string
+	Configs         int
+	PaperConfigs    int
+	MaxSpeedup      float64
+	PaperMaxSpeedup float64
+	MaxLoss         float64
+	PaperMaxLoss    float64
+	Metric          string
+	Framework       string
+}
+
+// Table2 profiles every benchmark and reports measured vs paper values.
+func Table2() ([]Table2Row, error) {
+	rows := make([]Table2Row, len(apps.Table2))
+	err := parallelMap(len(apps.Table2), func(i int) error {
+		spec := apps.Table2[i]
+		a, err := apps.New(spec.Name)
+		if err != nil {
+			return err
+		}
+		f, err := apps.CalibratedFrontier(a)
+		if err != nil {
+			return err
+		}
+		last := f.Points()[f.Len()-1]
+		rows[i] = Table2Row{
+			App:             spec.Name,
+			Configs:         a.NumConfigs(),
+			PaperConfigs:    spec.Configs,
+			MaxSpeedup:      f.MaxSpeedup(),
+			PaperMaxSpeedup: spec.MaxSpeedup,
+			MaxLoss:         1 - last.Accuracy,
+			PaperMaxLoss:    spec.MaxLoss,
+			Metric:          spec.Metric,
+			Framework:       spec.Framework,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one resource row with measured max speedup and powerup
+// (maximum across benchmarks, as the paper reports).
+type Table3Row struct {
+	Platform string
+	Resource string
+	Settings int
+	Speedup  float64
+	Powerup  float64
+}
+
+// Table3 sweeps each platform resource dimension with all others at their
+// maximum and reports the largest rate and power ratios across benchmarks.
+func Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, platName := range platform.Names() {
+		plat, err := platform.ByName(platName)
+		if err != nil {
+			return nil, err
+		}
+		for _, rr := range plat.Table3() {
+			row := Table3Row{Platform: platName, Resource: rr.Resource, Settings: rr.Settings}
+			for _, appName := range apps.Names() {
+				prof, err := platform.ProfileFor(appName)
+				if err != nil {
+					return nil, err
+				}
+				s, p := resourceSweep(plat, prof, rr.Resource)
+				if s > row.Speedup {
+					row.Speedup = s
+				}
+				if p > row.Powerup {
+					row.Powerup = p
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// resourceSweep finds the max/min rate and power along one resource
+// dimension with the other dimensions pinned at their default values,
+// returning the speedup and powerup ratios.
+func resourceSweep(plat *platform.Platform, prof platform.AppProfile, resource string) (speedup, powerup float64) {
+	def, err := plat.Config(plat.DefaultConfig())
+	if err != nil {
+		return 1, 1
+	}
+	match := func(c platform.Config) bool {
+		switch resource {
+		case "clock speed", "big core speeds":
+			return c.Cluster == def.Cluster && c.Cores == def.Cores && c.HT == def.HT && c.MemCtrls == def.MemCtrls
+		case "LITTLE core speeds":
+			return c.Cluster != def.Cluster && c.Cores == def.Cores && c.HT == def.HT && c.MemCtrls == def.MemCtrls
+		case "core usage", "big cores":
+			return c.Cluster == def.Cluster && c.FreqIdx == freqMaxIdx(plat, c.Cluster) && c.HT == def.HT && c.MemCtrls == def.MemCtrls
+		case "LITTLE cores":
+			return c.Cluster != def.Cluster && c.FreqIdx == freqMaxIdx(plat, c.Cluster) && c.HT == def.HT && c.MemCtrls == def.MemCtrls
+		case "hyperthreading":
+			return c.Cluster == def.Cluster && c.Cores == def.Cores && c.FreqIdx == def.FreqIdx && c.MemCtrls == def.MemCtrls
+		case "mem controllers":
+			return c.Cluster == def.Cluster && c.Cores == def.Cores && c.FreqIdx == def.FreqIdx && c.HT == def.HT
+		}
+		return false
+	}
+	minRate, maxRate := -1.0, -1.0
+	minPow, maxPow := -1.0, -1.0
+	for i := 0; i < plat.NumConfigs(); i++ {
+		c, err := plat.Config(i)
+		if err != nil || !match(c) {
+			continue
+		}
+		r := plat.Rate(i, prof)
+		p := plat.Power(i, prof)
+		if minRate < 0 || r < minRate {
+			minRate = r
+		}
+		if r > maxRate {
+			maxRate = r
+		}
+		if minPow < 0 || p < minPow {
+			minPow = p
+		}
+		if p > maxPow {
+			maxPow = p
+		}
+	}
+	if minRate <= 0 || minPow <= 0 {
+		return 1, 1
+	}
+	return maxRate / minRate, maxPow / minPow
+}
+
+func freqMaxIdx(plat *platform.Platform, cluster int) int {
+	return len(plat.CoreTypes[cluster].Freqs) - 1
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Table4Row reports the runtime's per-iteration decision latency for one
+// platform's configuration-space size, managing x264 (the benchmark with
+// the most application configurations, as in the paper).
+type Table4Row struct {
+	Platform   string
+	SysConfigs int
+	LatencyUS  float64
+}
+
+// Table4 measures the overhead of Algorithm 1 (Sec. 5.1): wall-clock
+// microseconds per Decide+Observe round, with synthetic feedback so only
+// runtime work is timed.
+func Table4(rounds int) ([]Table4Row, error) {
+	if rounds <= 0 {
+		rounds = 100
+	}
+	platNames := platform.Names()
+	rows := make([]Table4Row, len(platNames))
+	for i, platName := range platNames {
+		tb, err := jouleguard.NewTestbed("x264", platName)
+		if err != nil {
+			return nil, err
+		}
+		iters := rounds + 10
+		gov, err := tb.NewJouleGuard(2.0, iters, jouleguard.Options{})
+		if err != nil {
+			return nil, err
+		}
+		dur := 1 / tb.DefaultRate
+		var energy float64
+		// Warm up.
+		for k := 0; k < 10; k++ {
+			energy += tb.DefaultPower * dur
+			ForceDecisionProbe(gov, k, dur, tb.DefaultPower, energy)
+		}
+		start := time.Now()
+		for k := 10; k < iters; k++ {
+			energy += tb.DefaultPower * dur
+			ForceDecisionProbe(gov, k, dur, tb.DefaultPower, energy)
+		}
+		elapsed := time.Since(start)
+		rows[i] = Table4Row{
+			Platform:   platName,
+			SysConfigs: tb.Platform.NumConfigs(),
+			LatencyUS:  float64(elapsed.Microseconds()) / float64(rounds),
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,54 @@
+package knob
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// profileFile is the on-disk representation of a calibration profile.
+type profileFile struct {
+	Version int     `json:"version"`
+	App     string  `json:"app,omitempty"`
+	Points  []Point `json:"points"`
+}
+
+const profileVersion = 1
+
+// SaveProfile serialises a calibration profile as JSON, so the (possibly
+// expensive) PowerDial calibration step can be cached across processes.
+func SaveProfile(w io.Writer, appName string, prof *Profile) error {
+	if prof == nil || len(prof.Points) == 0 {
+		return fmt.Errorf("knob: refusing to save an empty profile")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(profileFile{Version: profileVersion, App: appName, Points: prof.Points})
+}
+
+// LoadProfile reads a profile saved by SaveProfile and validates it.
+func LoadProfile(r io.Reader) (appName string, prof *Profile, err error) {
+	var f profileFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return "", nil, fmt.Errorf("knob: decoding profile: %w", err)
+	}
+	if f.Version != profileVersion {
+		return "", nil, fmt.Errorf("knob: unsupported profile version %d", f.Version)
+	}
+	if len(f.Points) == 0 {
+		return "", nil, fmt.Errorf("knob: profile has no points")
+	}
+	for i, p := range f.Points {
+		if p.Speedup <= 0 || math.IsNaN(p.Speedup) || math.IsInf(p.Speedup, 0) {
+			return "", nil, fmt.Errorf("knob: point %d has invalid speedup %v", i, p.Speedup)
+		}
+		if p.Accuracy < 0 || p.Accuracy > 1 || math.IsNaN(p.Accuracy) {
+			return "", nil, fmt.Errorf("knob: point %d has invalid accuracy %v", i, p.Accuracy)
+		}
+		if p.Config < 0 {
+			return "", nil, fmt.Errorf("knob: point %d has invalid config %d", i, p.Config)
+		}
+	}
+	return f.App, &Profile{Points: f.Points}, nil
+}

@@ -1,0 +1,73 @@
+package knob
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	prof := &Profile{Points: []Point{
+		{Config: 0, Speedup: 1, Accuracy: 1},
+		{Config: 3, Speedup: 2.5, Accuracy: 0.8},
+	}}
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, "x264", prof); err != nil {
+		t.Fatal(err)
+	}
+	app, got, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != "x264" {
+		t.Fatalf("app: %q", app)
+	}
+	if len(got.Points) != 2 || got.Points[1] != prof.Points[1] {
+		t.Fatalf("points: %+v", got.Points)
+	}
+	// The loaded profile must feed the frontier machinery unchanged.
+	f, err := NewFrontier(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaxSpeedup() != 2.5 {
+		t.Fatalf("frontier from loaded profile: %v", f.MaxSpeedup())
+	}
+}
+
+func TestSaveProfileRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, "a", nil); err == nil {
+		t.Error("want error for nil profile")
+	}
+	if err := SaveProfile(&buf, "a", &Profile{}); err == nil {
+		t.Error("want error for empty profile")
+	}
+}
+
+func TestLoadProfileValidates(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{not json",
+		"bad version":  `{"version": 9, "points": [{"Config":0,"Speedup":1,"Accuracy":1}]}`,
+		"no points":    `{"version": 1, "points": []}`,
+		"bad speedup":  `{"version": 1, "points": [{"Config":0,"Speedup":0,"Accuracy":1}]}`,
+		"bad accuracy": `{"version": 1, "points": [{"Config":0,"Speedup":1,"Accuracy":2}]}`,
+		"bad config":   `{"version": 1, "points": [{"Config":-1,"Speedup":1,"Accuracy":1}]}`,
+	}
+	for name, raw := range cases {
+		if _, _, err := LoadProfile(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestLoadProfileRejectsNaN(t *testing.T) {
+	// JSON cannot encode NaN, but a hand-edited file could hold absurd
+	// magnitudes; ensure the validator treats Inf-like values as invalid.
+	raw := `{"version": 1, "points": [{"Config":0,"Speedup":1e999,"Accuracy":0.5}]}`
+	if _, _, err := LoadProfile(strings.NewReader(raw)); err == nil {
+		t.Error("want error for overflowing speedup")
+	}
+	_ = math.Inf // keep the math import honest if cases change
+}

@@ -1,0 +1,47 @@
+package learning
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBandit(b *testing.B, n int) *Bandit {
+	b.Helper()
+	bd, err := NewBandit(n, 0.85, FlatPriors{Rate: 10, Power: 5}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bd
+}
+
+func BenchmarkBanditObserve(b *testing.B) {
+	bd := benchBandit(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.Observe(i%1024, 10, 5)
+	}
+}
+
+// BenchmarkBestArm1024 is the Eqn 3 arg-max on the Server-sized space —
+// the dominant term in the paper's Table 4 overhead.
+func BenchmarkBestArm1024(b *testing.B) {
+	bd := benchBandit(b, 1024)
+	for i := 0; i < 1024; i++ {
+		bd.Observe(i, float64(i+1), 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.BestArm()
+	}
+}
+
+func BenchmarkVDBESelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	bd := benchBandit(b, 1024)
+	v := NewVDBE(1024, 0.85, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Select(bd)
+		v.Update(0.01, 2)
+	}
+}

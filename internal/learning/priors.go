@@ -1,0 +1,75 @@
+package learning
+
+import "math"
+
+// Priors supplies the initial (rate, power) estimate for every bandit arm.
+// JouleGuard does not start from random values: Sec. 3.2 initialises
+// performance to grow linearly with allocated resources and power to grow
+// cubically with clock speed and linearly with core count — a deliberate
+// overestimate ("it is not a gross overestimate") that makes unexplored
+// richly-provisioned configurations look attractive until measured.
+type Priors interface {
+	Estimate(arm int) (rate, power float64)
+}
+
+// PriorsFunc adapts a function to the Priors interface.
+type PriorsFunc func(arm int) (rate, power float64)
+
+// Estimate implements Priors.
+func (f PriorsFunc) Estimate(arm int) (rate, power float64) { return f(arm) }
+
+// ResourceShape describes one configuration's resource allocation in the
+// normalised terms the prior model needs: how many cores it uses, the clock
+// as a fraction of the maximum, and any constant resource bonus factors
+// (hyperthreading, extra memory controllers).
+type ResourceShape struct {
+	Cores       int     // total cores allocated (>= 1)
+	ClockFrac   float64 // clock / max clock, in (0, 1]
+	ExtraFactor float64 // multiplicative speed factor for other resources (>= 1); 0 means 1
+}
+
+// LinearCubicPriors implements the paper's initialisation over a concrete
+// configuration space:
+//
+//	rate(c)  = BaseRate  * cores * clockFrac * extra      (linear in resources)
+//	power(c) = BasePower + CorePower * cores * clockFrac^3 (cubic in clock,
+//	                                                        linear in cores)
+//
+// BaseRate is the rate of one core at full clock; BasePower is the
+// platform's idle power and CorePower the per-core power at full clock.
+type LinearCubicPriors struct {
+	Shapes    []ResourceShape
+	BaseRate  float64
+	BasePower float64
+	CorePower float64
+}
+
+// Estimate implements Priors.
+func (p LinearCubicPriors) Estimate(arm int) (rate, power float64) {
+	s := p.Shapes[arm]
+	extra := s.ExtraFactor
+	if extra <= 0 {
+		extra = 1
+	}
+	cores := float64(s.Cores)
+	if cores < 1 {
+		cores = 1
+	}
+	clock := s.ClockFrac
+	if clock <= 0 || clock > 1 {
+		clock = 1
+	}
+	rate = p.BaseRate * cores * clock * extra
+	power = p.BasePower + p.CorePower*cores*math.Pow(clock, 3)
+	return rate, power
+}
+
+// FlatPriors gives every arm the same initial estimate; used by the priors
+// ablation ("what if we had started from uninformative values?").
+type FlatPriors struct {
+	Rate  float64
+	Power float64
+}
+
+// Estimate implements Priors.
+func (p FlatPriors) Estimate(arm int) (rate, power float64) { return p.Rate, p.Power }

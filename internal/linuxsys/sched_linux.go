@@ -1,0 +1,40 @@
+//go:build linux
+
+package linuxsys
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// SchedAffinity pins the calling process to the given CPUs via the raw
+// sched_setaffinity(2) syscall — the stdlib-only equivalent of the paper's
+// "process affinity masks" (Sec. 4.2).
+func SchedAffinity(cpus []int) error {
+	if len(cpus) == 0 {
+		return fmt.Errorf("linuxsys: empty CPU set")
+	}
+	const wordBits = 8 * int(unsafe.Sizeof(uintptr(0)))
+	max := 0
+	for _, c := range cpus {
+		if c < 0 {
+			return fmt.Errorf("linuxsys: negative CPU id %d", c)
+		}
+		if c > max {
+			max = c
+		}
+	}
+	mask := make([]uintptr, max/wordBits+1)
+	for _, c := range cpus {
+		mask[c/wordBits] |= 1 << (c % wordBits)
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, // current process
+		uintptr(len(mask))*unsafe.Sizeof(uintptr(0)),
+		uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("linuxsys: sched_setaffinity: %w", errno)
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+//go:build linux
+
+package linuxsys
+
+import "testing"
+
+func TestSchedAffinityValidates(t *testing.T) {
+	if err := SchedAffinity(nil); err == nil {
+		t.Error("want error for empty set")
+	}
+	if err := SchedAffinity([]int{-1}); err == nil {
+		t.Error("want error for negative CPU")
+	}
+}
+
+func TestSchedAffinitySelf(t *testing.T) {
+	// Pinning to CPU 0 and then to all CPUs must both succeed in any
+	// normal environment (the process necessarily has at least CPU 0).
+	if err := SchedAffinity([]int{0}); err != nil {
+		t.Skipf("sched_setaffinity unavailable here: %v", err)
+	}
+	// Restore a broad mask so the rest of the test binary is not pinned.
+	wide := make([]int, 64)
+	for i := range wide {
+		wide[i] = i
+	}
+	if err := SchedAffinity(wide); err != nil {
+		t.Logf("restoring wide mask failed (harmless in constrained envs): %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package linuxsys
+
+import "fmt"
+
+// SchedAffinity is unavailable off Linux; the dry-run actuator still works
+// everywhere.
+func SchedAffinity(cpus []int) error {
+	return fmt.Errorf("linuxsys: sched_setaffinity requires Linux")
+}

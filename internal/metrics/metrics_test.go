@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeErrorEqn12(t *testing.T) {
+	cases := []struct {
+		measured, goal, want float64
+	}{
+		{120, 100, 20},
+		{100, 100, 0},
+		{80, 100, 0}, // under the target counts as zero error
+		{0, 100, 0},
+	}
+	for _, tc := range cases {
+		if got := RelativeError(tc.measured, tc.goal); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RelativeError(%v, %v) = %v, want %v", tc.measured, tc.goal, got, tc.want)
+		}
+	}
+	if RelativeError(1, 0) != 0 || RelativeError(math.NaN(), 1) != 0 {
+		t.Error("degenerate inputs must yield zero")
+	}
+}
+
+func TestRelativeErrorNonNegativeProperty(t *testing.T) {
+	f := func(m, g float64) bool {
+		return RelativeError(m, g) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveAccuracyEqn13(t *testing.T) {
+	if got := EffectiveAccuracy(0.9, 0.95); math.Abs(got-0.9/0.95) > 1e-12 {
+		t.Fatalf("EffectiveAccuracy: %v", got)
+	}
+	if EffectiveAccuracy(0.5, 0) != 0 {
+		t.Fatal("zero oracle must yield 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev: %v", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 {
+		t.Fatalf("singleton summary: %+v", one)
+	}
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndClamp(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.5) != 0.5 || Clamp01(math.NaN()) != 0 {
+		t.Fatal("Clamp01 wrong")
+	}
+}

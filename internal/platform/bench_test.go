@@ -1,0 +1,38 @@
+package platform
+
+import "testing"
+
+func BenchmarkRate(b *testing.B) {
+	p := Server()
+	prof := Profiles["x264"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rate(i%p.NumConfigs(), prof)
+	}
+}
+
+func BenchmarkPower(b *testing.B) {
+	p := Server()
+	prof := Profiles["x264"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Power(i%p.NumConfigs(), prof)
+	}
+}
+
+// BenchmarkBestEfficiency is the brute-force sweep of Sec. 2.1 over the
+// 1024-configuration Server space.
+func BenchmarkBestEfficiency(b *testing.B) {
+	p := Server()
+	prof := Profiles["swish++"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BestEfficiency(prof)
+	}
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Server()
+	}
+}

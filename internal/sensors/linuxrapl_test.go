@@ -1,0 +1,146 @@
+package sensors
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fakePowercap builds a synthetic /sys/class/powercap tree.
+type fakePowercap struct {
+	root  string
+	zones []string
+}
+
+func newFakePowercap(t *testing.T, zones int) *fakePowercap {
+	t.Helper()
+	root := t.TempDir()
+	f := &fakePowercap{root: root}
+	for z := 0; z < zones; z++ {
+		name := "intel-rapl:" + strconv.Itoa(z)
+		dir := filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f.zones = append(f.zones, dir)
+		f.set(t, z, 0)
+		if err := os.WriteFile(filepath.Join(dir, "max_energy_range_uj"), []byte("1000000\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A subzone that must NOT be double counted.
+		sub := filepath.Join(root, name+":0")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "energy_uj"), []byte("999999999\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func (f *fakePowercap) set(t *testing.T, zone int, uj uint64) {
+	t.Helper()
+	path := filepath.Join(f.zones[zone], "energy_uj")
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(uj, 10)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinuxRAPLDiscovery(t *testing.T) {
+	f := newFakePowercap(t, 2)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Zones() != 2 {
+		t.Fatalf("zones: %d (subzones must be excluded)", r.Zones())
+	}
+}
+
+func TestLinuxRAPLUnavailable(t *testing.T) {
+	if _, err := NewLinuxRAPLReader(filepath.Join(t.TempDir(), "nope"), 0); err == nil {
+		t.Error("want error for missing root")
+	}
+	if _, err := NewLinuxRAPLReader(t.TempDir(), 0); err == nil {
+		t.Error("want error for empty powercap dir")
+	}
+}
+
+func TestLinuxRAPLAccumulates(t *testing.T) {
+	f := newFakePowercap(t, 2)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.set(t, 0, 500000) // 0.5 J
+	f.set(t, 1, 250000) // 0.25 J
+	got, err := r.ReadEnergyAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("energy: %v, want 0.75", got)
+	}
+	// Second read with no counter movement: unchanged.
+	got, _ = r.ReadEnergyAt(2)
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("second read: %v", got)
+	}
+}
+
+func TestLinuxRAPLWrapAround(t *testing.T) {
+	f := newFakePowercap(t, 1)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.set(t, 0, 900000)
+	if _, err := r.ReadEnergyAt(1); err != nil {
+		t.Fatal(err)
+	}
+	// Wrap: max range is 1,000,000 uJ; the counter falls to 100,000.
+	f.set(t, 0, 100000)
+	got, err := r.ReadEnergyAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 + 0.2 // 900k uJ, then (1e6-900k)+100k = 200k uJ
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("wrapped energy: %v, want %v", got, want)
+	}
+}
+
+func TestLinuxRAPLFixedAdder(t *testing.T) {
+	f := newFakePowercap(t, 1)
+	r, err := NewLinuxRAPLReader(f.root, 10) // 10 W of non-CPU power
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadEnergyAt(100); err != nil { // anchors the clock
+		t.Fatal(err)
+	}
+	got, err := r.ReadEnergyAt(105) // 5 seconds later
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("fixed adder energy: %v, want 50", got)
+	}
+}
+
+func TestLinuxRAPLBadCounter(t *testing.T) {
+	f := newFakePowercap(t, 1)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(f.zones[0], "energy_uj"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadEnergyAt(1); err == nil {
+		t.Error("want error for unparsable counter")
+	}
+}

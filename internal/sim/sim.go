@@ -1,0 +1,249 @@
+// Package sim is the discrete-event testbed: it binds an approximate
+// application kernel, a simulated platform, the platform's power
+// instrumentation and a governor (JouleGuard or a baseline) into a single
+// experiment run over virtual time. Each iteration executes the kernel for
+// real (its accuracy is measured, not synthesised), converts the work it
+// performed into virtual seconds via the platform's speed model, integrates
+// power into the sensors, and hands the governor its feedback.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"jouleguard/internal/apps"
+	"jouleguard/internal/heartbeats"
+	"jouleguard/internal/platform"
+	"jouleguard/internal/sensors"
+	"jouleguard/internal/workload"
+)
+
+// Feedback is what a governor observes after each iteration.
+type Feedback struct {
+	Iter           int
+	AppConfig      int
+	SysConfig      int
+	Work           float64 // kernel work units executed this iteration
+	Duration       float64 // virtual seconds this iteration took
+	Power          float64 // measured average power this iteration (W)
+	Energy         float64 // cumulative measured energy (J), from the sensors
+	Accuracy       float64 // measured accuracy of this iteration's output
+	IterationsDone int     // iterations completed so far (including this one)
+}
+
+// PowerScaler is implemented by approximate-hardware applications
+// (Sec. 3.7): the configuration scales the platform's dynamic power rather
+// than the computation's duration.
+type PowerScaler interface {
+	PowerScale(cfg int) float64
+}
+
+// Governor decides configurations and observes feedback.
+type Governor interface {
+	// Decide returns the application and system configuration to use for
+	// iteration iter.
+	Decide(iter int) (appCfg, sysCfg int)
+	// Observe delivers the measured feedback for the iteration just run.
+	Observe(fb Feedback)
+}
+
+// Record captures one run.
+type Record struct {
+	AppName       string
+	PlatformName  string
+	Iterations    int
+	Time          float64 // total virtual seconds
+	TrueEnergy    float64 // joules, ground truth
+	MeasEnergy    float64 // joules, as the sensors reconstructed
+	Accuracies    []float64
+	Powers        []float64
+	Durations     []float64
+	EnergyPerIter []float64 // true energy per iteration
+	AppConfigs    []int
+	SysConfigs    []int
+}
+
+// MeanAccuracy returns the run's average measured accuracy.
+func (r *Record) MeanAccuracy() float64 {
+	if len(r.Accuracies) == 0 {
+		return 0
+	}
+	var s float64
+	for _, a := range r.Accuracies {
+		s += a
+	}
+	return s / float64(len(r.Accuracies))
+}
+
+// EnergyPerIterAvg returns true energy divided by iterations.
+func (r *Record) EnergyPerIterAvg() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return r.TrueEnergy / float64(r.Iterations)
+}
+
+// WriteCSV emits the per-iteration record for offline analysis/plotting.
+func (r *Record) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "iter,energy_j,power_w,duration_s,accuracy,app_config,sys_config"); err != nil {
+		return err
+	}
+	for i := 0; i < r.Iterations; i++ {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%g,%d,%d\n",
+			i, r.EnergyPerIter[i], r.Powers[i], r.Durations[i],
+			r.Accuracies[i], r.AppConfigs[i], r.SysConfigs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Engine runs experiments.
+type Engine struct {
+	App                   apps.App
+	Platform              *platform.Platform
+	Profile               platform.AppProfile
+	Reader                sensors.Advancer
+	Meter                 *sensors.ExternalMeter // authoritative whole-run energy
+	Trace                 *workload.Trace        // optional external difficulty trace
+	RateNoise, PowerNoise float64                // multiplicative log-normal sigmas
+	HB                    *heartbeats.Monitor    // per-iteration heartbeat stream
+	// Disturb, when set, returns per-iteration multiplicative disturbances
+	// on rate and power — external events (a co-located job stealing
+	// cycles, a thermal excursion raising power) no model predicted.
+	Disturb func(iter int) (rateMul, powerMul float64)
+	rng     *rand.Rand
+}
+
+// New builds an engine for (app, platform) with the paper's measurement
+// setup and mild measurement noise, deterministically seeded.
+func New(app apps.App, plat *platform.Platform, seed int64) (*Engine, error) {
+	prof, err := platform.ProfileFor(app.Name())
+	if err != nil {
+		return nil, err
+	}
+	reader, err := sensors.ForPlatform(plat.Name)
+	if err != nil {
+		return nil, err
+	}
+	meter, err := sensors.NewExternalMeter(1.0)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := heartbeats.NewMonitor(20)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		App:        app,
+		Platform:   plat,
+		Profile:    prof,
+		Reader:     reader,
+		Meter:      meter,
+		RateNoise:  0.015,
+		PowerNoise: 0.02,
+		HB:         hb,
+		rng:        rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Run executes iters iterations under the governor and returns the record.
+func (e *Engine) Run(iters int, gov Governor) (*Record, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("sim: iteration count %d must be positive", iters)
+	}
+	rec := &Record{AppName: e.App.Name(), PlatformName: e.Platform.Name}
+	for i := 0; i < iters; i++ {
+		appCfg, sysCfg := gov.Decide(i)
+		if appCfg < 0 || appCfg >= e.App.NumConfigs() {
+			return nil, fmt.Errorf("sim: governor chose app config %d of %d", appCfg, e.App.NumConfigs())
+		}
+		if sysCfg < 0 || sysCfg >= e.Platform.NumConfigs() {
+			return nil, fmt.Errorf("sim: governor chose system config %d of %d", sysCfg, e.Platform.NumConfigs())
+		}
+		work, acc := e.App.Step(appCfg, i)
+		if e.Trace != nil {
+			// External difficulty multiplier for kernels that do not model
+			// scene content natively.
+			work *= e.Trace.Cost(i)
+		}
+		rate := e.Platform.Rate(sysCfg, e.Profile) * workload.LogNormal(e.rng, e.RateNoise)
+		power := e.Platform.Power(sysCfg, e.Profile) * workload.LogNormal(e.rng, e.PowerNoise)
+		if e.Disturb != nil {
+			rm, pm := e.Disturb(i)
+			if rm > 0 {
+				rate *= rm
+			}
+			if pm > 0 {
+				power *= pm
+			}
+		}
+		if ps, ok := e.App.(PowerScaler); ok {
+			// Approximate hardware scales the dynamic share of power and
+			// leaves timing untouched (Sec. 3.7).
+			idle := e.Platform.IdleW + e.Platform.UncoreW
+			if s := ps.PowerScale(appCfg); power > idle && s > 0 && s <= 1 {
+				power = idle + (power-idle)*s
+			}
+		}
+		dur := work / rate
+		e.Reader.Advance(power, dur)
+		e.Meter.Advance(power, dur)
+		rec.Time += dur
+		rec.TrueEnergy += power * dur
+		if _, err := e.HB.Beat(rec.Time, appCfg); err != nil {
+			return nil, fmt.Errorf("sim: heartbeat: %w", err)
+		}
+		rec.Iterations++
+		rec.Accuracies = append(rec.Accuracies, acc)
+		rec.Powers = append(rec.Powers, power)
+		rec.Durations = append(rec.Durations, dur)
+		rec.EnergyPerIter = append(rec.EnergyPerIter, power*dur)
+		rec.AppConfigs = append(rec.AppConfigs, appCfg)
+		rec.SysConfigs = append(rec.SysConfigs, sysCfg)
+		rec.MeasEnergy = e.Reader.ReadEnergy()
+		gov.Observe(Feedback{
+			Iter:           i,
+			AppConfig:      appCfg,
+			SysConfig:      sysCfg,
+			Work:           work,
+			Duration:       dur,
+			Power:          power,
+			Energy:         rec.MeasEnergy,
+			Accuracy:       acc,
+			IterationsDone: i + 1,
+		})
+	}
+	return rec, nil
+}
+
+// DefaultBaseline measures the application in its default configuration on
+// the platform's default configuration (Sec. 5.2: "we first measure
+// accuracy and energy consumption in the default configuration") and
+// returns the true energy per iteration and the mean iteration rate.
+func DefaultBaseline(app apps.App, plat *platform.Platform, iters int, seed int64) (energyPerIter, iterRate, power float64, err error) {
+	e, err := New(app, plat, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rec, err := e.Run(iters, FixedGovernor{AppCfg: app.DefaultConfig(), SysCfg: plat.DefaultConfig()})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return rec.TrueEnergy / float64(rec.Iterations),
+		float64(rec.Iterations) / rec.Time,
+		rec.TrueEnergy / rec.Time,
+		nil
+}
+
+// FixedGovernor pins both configurations — the "out of the box" run.
+type FixedGovernor struct {
+	AppCfg, SysCfg int
+}
+
+// Decide implements Governor.
+func (g FixedGovernor) Decide(int) (int, int) { return g.AppCfg, g.SysCfg }
+
+// Observe implements Governor.
+func (g FixedGovernor) Observe(Feedback) {}

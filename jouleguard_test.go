@@ -1,0 +1,271 @@
+package jouleguard_test
+
+import (
+	"math"
+	"testing"
+
+	"jouleguard"
+)
+
+func TestBenchmarkRegistry(t *testing.T) {
+	names := jouleguard.Benchmarks()
+	if len(names) != 8 {
+		t.Fatalf("benchmarks: %v", names)
+	}
+	for _, n := range names {
+		a, err := jouleguard.Benchmark(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if a.Name() != n {
+			t.Fatalf("name mismatch: %q vs %q", a.Name(), n)
+		}
+	}
+	if _, err := jouleguard.Benchmark("nope"); err == nil {
+		t.Fatal("want error for unknown benchmark")
+	}
+}
+
+func TestPlatformRegistry(t *testing.T) {
+	for _, n := range jouleguard.Platforms() {
+		p, err := jouleguard.PlatformByName(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if p.NumConfigs() <= 0 {
+			t.Fatalf("%s: empty config space", n)
+		}
+	}
+	if _, err := jouleguard.PlatformByName("nope"); err == nil {
+		t.Fatal("want error for unknown platform")
+	}
+}
+
+func TestTable2Exposed(t *testing.T) {
+	if len(jouleguard.Table2()) != 8 {
+		t.Fatal("Table2 should list 8 benchmarks")
+	}
+}
+
+func TestTestbedCharacterisation(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.DefaultEnergy <= 0 || tb.DefaultRate <= 0 || tb.DefaultPower <= 0 {
+		t.Fatalf("testbed characterisation: %+v", tb)
+	}
+	if math.Abs(tb.DefaultEnergy-tb.DefaultPower/tb.DefaultRate) > 1e-9 {
+		t.Fatal("energy/rate/power identity violated")
+	}
+	if tb.Frontier.Len() == 0 {
+		t.Fatal("empty frontier")
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Budget(0, 10); err == nil {
+		t.Error("want error for zero factor")
+	}
+	if _, err := tb.Budget(2, 0); err == nil {
+		t.Error("want error for zero iterations")
+	}
+	b, err := tb.Budget(2, 100)
+	if err != nil || math.Abs(b-50*tb.DefaultEnergy) > 1e-9 {
+		t.Fatalf("Budget: %v, %v", b, err)
+	}
+}
+
+// TestAbsoluteCalibration pins the simulator's absolute operating points to
+// the paper's published numbers (Sec. 2): swish++ on Server processes
+// ~3100 queries/s at ~280 W out of the box, and the best-efficiency
+// configuration runs it near 1750 qps at ~125-150 W.
+func TestAbsoluteCalibration(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("swish++", "Server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One iteration is a batch of 8 queries.
+	qps := tb.DefaultRate * 8
+	if qps < 2000 || qps > 4500 {
+		t.Errorf("swish++/Server default throughput %.0f qps, paper ~3100", qps)
+	}
+	if tb.DefaultPower < 260 || tb.DefaultPower > 295 {
+		t.Errorf("swish++/Server default power %.1f W, paper ~280", tb.DefaultPower)
+	}
+	best, _ := tb.Platform.BestEfficiency(tb.Profile)
+	bestPower := tb.Platform.Power(best, tb.Profile)
+	if bestPower > 200 {
+		t.Errorf("best-efficiency power %.1f W, paper ~125", bestPower)
+	}
+	bestQPS := tb.Platform.Rate(best, tb.Profile) / tb.WorkPerIter * 8
+	if bestQPS < 1000 || bestQPS > 3000 {
+		t.Errorf("best-efficiency throughput %.0f qps, paper ~1750", bestQPS)
+	}
+}
+
+// TestEnergyGuaranteeEndToEnd is the headline test: across a spread of
+// apps, platforms and goals, JouleGuard must land within a few percent of
+// the energy goal (Sec. 5.3's claim).
+func TestEnergyGuaranteeEndToEnd(t *testing.T) {
+	cases := []struct {
+		app, plat string
+		factor    float64
+		iters     int
+	}{
+		{"radar", "Tablet", 2.0, 500},
+		{"bodytrack", "Mobile", 3.0, 500},
+		{"streamcluster", "Mobile", 2.0, 500},
+		{"swaptions", "Tablet", 2.5, 500},
+	}
+	for _, tc := range cases {
+		tb, err := jouleguard.NewTestbed(tc.app, tc.plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gov, err := tb.NewJouleGuard(tc.factor, tc.iters, jouleguard.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := tb.Run(gov, tc.iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goal := tb.DefaultEnergy / tc.factor
+		epi := rec.EnergyPerIterAvg()
+		if epi > goal*1.06 {
+			t.Errorf("%s/%s f=%v: energy %.4f J/iter exceeds goal %.4f by %.1f%%",
+				tc.app, tc.plat, tc.factor, epi, goal, (epi-goal)/goal*100)
+		}
+	}
+}
+
+// TestAccuracyNearOracle: for an easy goal the runtime must deliver close
+// to full accuracy (Sec. 5.4's claim, spot-checked).
+func TestAccuracyNearOracle(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("x264", "Mobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 400
+	gov, err := tb.NewJouleGuard(1.5, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.Run(gov, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := tb.NewOracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := orc.BestAccuracyForFactor(1.5)
+	if !ok {
+		t.Fatal("1.5x should be feasible for x264 on Mobile")
+	}
+	eff := rec.MeanAccuracy() / pt.AppPoint.Accuracy
+	if eff < 0.9 {
+		t.Fatalf("effective accuracy %.3f below 0.9", eff)
+	}
+}
+
+// TestPhaseAdaptation: on the Fig. 8 input the middle (easy) scene must be
+// encoded with higher accuracy than the flanking hard scenes.
+func TestPhaseAdaptation(t *testing.T) {
+	framesPer := 120
+	app := jouleguard.PhasedX264(framesPer)
+	plat, err := jouleguard.PlatformByName("Mobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := jouleguard.NewTestbedFrom(app, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 3 * framesPer
+	gov, err := tb.NewJouleGuard(2.2, frames, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.Run(gov, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += rec.Accuracies[i]
+		}
+		return s / float64(hi-lo)
+	}
+	hard1 := mean(framesPer/2, framesPer) // skip the convergence transient
+	easy := mean(framesPer+framesPer/4, 2*framesPer)
+	if easy <= hard1 {
+		t.Fatalf("easy scene accuracy %.4f not above hard scene %.4f", easy, hard1)
+	}
+}
+
+// TestInfeasibleGoalSurfaces: an impossible budget must be reported.
+func TestInfeasibleGoalSurfaces(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("ferret", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 300
+	gov, err := tb.NewJouleGuard(5, iters, jouleguard.Options{}) // ferret max ~1.3x
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(gov, iters); err != nil {
+		t.Fatal(err)
+	}
+	if !gov.Infeasible() {
+		t.Fatal("impossible ferret goal not reported infeasible")
+	}
+}
+
+// TestBaselineGovernorsRunnable exercises the three baselines through the
+// public API.
+func TestBaselineGovernorsRunnable(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 200
+	govs := map[string]func() (jouleguard.Governor, error){
+		"system-only":   func() (jouleguard.Governor, error) { return tb.NewSystemOnly() },
+		"app-only":      func() (jouleguard.Governor, error) { return tb.NewAppOnly(2, iters) },
+		"uncoordinated": func() (jouleguard.Governor, error) { return tb.NewUncoordinated(2, iters) },
+	}
+	for name, mk := range govs {
+		gov, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := tb.Run(gov, iters); err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+	}
+}
+
+// TestRunDefaultMatchesCharacterisation: the out-of-the-box run's energy
+// per iteration must agree with the testbed's analytic characterisation.
+func TestRunDefaultMatchesCharacterisation(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("streamcluster", "Server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.RunDefault(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rec.EnergyPerIterAvg()-tb.DefaultEnergy) / tb.DefaultEnergy; rel > 0.1 {
+		t.Fatalf("default run energy %.4f vs characterisation %.4f (%.1f%%)",
+			rec.EnergyPerIterAvg(), tb.DefaultEnergy, rel*100)
+	}
+}

@@ -1,0 +1,124 @@
+package jouleguard
+
+import (
+	"fmt"
+
+	"jouleguard/internal/heartbeats"
+	"jouleguard/internal/sim"
+)
+
+// OnlineController adapts any Governor (the JouleGuard runtime or a
+// baseline) to a real application's main loop, the way the paper's C
+// runtime is "compiled directly into an application" (Sec. 3.5). The
+// application brackets each unit of work with Next/Done; the controller
+// measures durations through the supplied clock, reads cumulative energy
+// through the supplied meter, and feeds the governor.
+//
+//	ctl, _ := jouleguard.NewOnline(gov, readEnergyJ, nowSeconds)
+//	for i := 0; i < frames; i++ {
+//		appCfg, sysCfg := ctl.Next()
+//		applyConfigs(appCfg, sysCfg) // your actuators
+//		encodeFrame(i)
+//		ctl.Done(measuredAccuracy)
+//	}
+//
+// Use sensors' LinuxRAPLReader as the energy source on Linux hosts with
+// powercap, or any monotone joule counter.
+type OnlineController struct {
+	gov        Governor
+	readEnergy func() (float64, error)
+	now        func() float64
+	hb         *heartbeats.Monitor
+
+	iter       int
+	started    bool
+	startT     float64
+	appCfg     int
+	sysCfg     int
+	prevEnergy float64
+	lastErr    error
+}
+
+// NewOnline builds an online controller. readEnergy returns cumulative
+// full-system joules; now returns seconds on a monotone clock.
+func NewOnline(gov Governor, readEnergy func() (float64, error), now func() float64) (*OnlineController, error) {
+	if gov == nil {
+		return nil, fmt.Errorf("jouleguard: nil governor")
+	}
+	if readEnergy == nil || now == nil {
+		return nil, fmt.Errorf("jouleguard: nil energy reader or clock")
+	}
+	hb, err := heartbeats.NewMonitor(20)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineController{gov: gov, readEnergy: readEnergy, now: now, hb: hb}, nil
+}
+
+// Next returns the configurations for the upcoming iteration and starts its
+// timer. Calling Next twice without Done restarts the measurement.
+func (o *OnlineController) Next() (appCfg, sysCfg int) {
+	o.appCfg, o.sysCfg = o.gov.Decide(o.iter)
+	o.startT = o.now()
+	o.started = true
+	return o.appCfg, o.sysCfg
+}
+
+// Done completes the iteration: it measures the elapsed time and energy and
+// feeds the governor. accuracy is the application's own measure of this
+// iteration's output quality (1 if it does not quantify accuracy; the
+// runtime only needs the configuration ordering, Sec. 3.6).
+func (o *OnlineController) Done(accuracy float64) error {
+	if !o.started {
+		return fmt.Errorf("jouleguard: Done without Next")
+	}
+	o.started = false
+	end := o.now()
+	dur := end - o.startT
+	if dur < 0 {
+		return fmt.Errorf("jouleguard: clock went backwards (%v)", dur)
+	}
+	energy, err := o.readEnergy()
+	if err != nil {
+		// Sensor hiccups must not kill the loop: remember and skip the
+		// update (the governor holds its decision on zero-duration
+		// feedback).
+		o.lastErr = err
+		o.iter++
+		return nil
+	}
+	if _, err := o.hb.Beat(end, o.appCfg); err != nil {
+		return err
+	}
+	var power float64
+	if dur > 0 {
+		// Average power over the iteration, derived from the energy delta.
+		power = (energy - o.prevEnergy) / dur
+		if power < 0 {
+			power = 0
+		}
+	}
+	o.prevEnergy = energy
+	o.gov.Observe(sim.Feedback{
+		Iter:           o.iter,
+		AppConfig:      o.appCfg,
+		SysConfig:      o.sysCfg,
+		Work:           1,
+		Duration:       dur,
+		Power:          power,
+		Energy:         energy,
+		Accuracy:       accuracy,
+		IterationsDone: o.iter + 1,
+	})
+	o.iter++
+	return nil
+}
+
+// Iterations returns how many iterations completed.
+func (o *OnlineController) Iterations() int { return o.iter }
+
+// HeartRate returns the windowed iteration rate (beats/second).
+func (o *OnlineController) HeartRate() float64 { return o.hb.WindowRate() }
+
+// LastSensorError returns the most recent energy-reader failure, if any.
+func (o *OnlineController) LastSensorError() error { return o.lastErr }

@@ -1,0 +1,142 @@
+package jouleguard_test
+
+import (
+	"errors"
+
+	"testing"
+
+	"jouleguard"
+)
+
+// fakeMachine simulates a real host for the online controller: a monotone
+// clock and a cumulative joule counter whose rate depends on the system
+// configuration the controller chose.
+type fakeMachine struct {
+	tb      *jouleguard.Testbed
+	clock   float64
+	energyJ float64
+	appCfg  int
+	sysCfg  int
+	failing bool
+}
+
+func (m *fakeMachine) apply(appCfg, sysCfg int) { m.appCfg, m.sysCfg = appCfg, sysCfg }
+
+// work advances the machine by one iteration at the current configs.
+func (m *fakeMachine) work() {
+	prof := m.tb.Profile
+	rate := m.tb.Platform.Rate(m.sysCfg, prof)
+	power := m.tb.Platform.Power(m.sysCfg, prof)
+	speedup := 1.0
+	for _, p := range m.tb.Frontier.Points() {
+		if p.Config == m.appCfg {
+			speedup = p.Speedup
+		}
+	}
+	dur := m.tb.WorkPerIter / speedup / rate
+	m.clock += dur
+	m.energyJ += power * dur
+}
+
+func (m *fakeMachine) readEnergy() (float64, error) {
+	if m.failing {
+		return 0, errors.New("sensor offline")
+	}
+	return m.energyJ, nil
+}
+
+func TestOnlineControllerMeetsGoal(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 500
+	factor := 2.0
+	gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMachine{tb: tb}
+	ctl, err := jouleguard.NewOnline(gov, m.readEnergy, func() float64 { return m.clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		appCfg, sysCfg := ctl.Next()
+		m.apply(appCfg, sysCfg)
+		m.work()
+		if err := ctl.Done(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goal := tb.DefaultEnergy / factor * float64(iters)
+	if m.energyJ > goal*1.05 {
+		t.Fatalf("online loop overspent: %.2f J vs goal %.2f J", m.energyJ, goal)
+	}
+	if ctl.Iterations() != iters {
+		t.Fatalf("iterations: %d", ctl.Iterations())
+	}
+	if ctl.HeartRate() <= 0 {
+		t.Fatal("no heart rate")
+	}
+}
+
+func TestOnlineControllerValidates(t *testing.T) {
+	tb, _ := jouleguard.NewTestbed("radar", "Tablet")
+	gov, _ := tb.NewJouleGuard(2, 10, jouleguard.Options{})
+	if _, err := jouleguard.NewOnline(nil, func() (float64, error) { return 0, nil }, func() float64 { return 0 }); err == nil {
+		t.Error("want error for nil governor")
+	}
+	if _, err := jouleguard.NewOnline(gov, nil, func() float64 { return 0 }); err == nil {
+		t.Error("want error for nil reader")
+	}
+	ctl, err := jouleguard.NewOnline(gov, func() (float64, error) { return 0, nil }, func() float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Done(1); err == nil {
+		t.Error("Done without Next should error")
+	}
+}
+
+func TestOnlineControllerSurvivesSensorFailure(t *testing.T) {
+	tb, _ := jouleguard.NewTestbed("radar", "Tablet")
+	gov, _ := tb.NewJouleGuard(2, 100, jouleguard.Options{})
+	m := &fakeMachine{tb: tb}
+	ctl, err := jouleguard.NewOnline(gov, m.readEnergy, func() float64 { return m.clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		appCfg, sysCfg := ctl.Next()
+		m.apply(appCfg, sysCfg)
+		m.failing = i%5 == 0 // intermittent sensor dropout
+		m.work()
+		if err := ctl.Done(1); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if ctl.LastSensorError() == nil {
+		t.Fatal("sensor failures should be recorded")
+	}
+	if ctl.Iterations() != 50 {
+		t.Fatalf("iterations: %d", ctl.Iterations())
+	}
+}
+
+func TestOnlineControllerClockRegression(t *testing.T) {
+	tb, _ := jouleguard.NewTestbed("radar", "Tablet")
+	gov, _ := tb.NewJouleGuard(2, 10, jouleguard.Options{})
+	clock := 10.0
+	ctl, err := jouleguard.NewOnline(gov, func() (float64, error) { return 1, nil }, func() float64 {
+		clock -= 1 // broken clock
+		return clock
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Next()
+	if err := ctl.Done(1); err == nil {
+		t.Error("want error for clock regression")
+	}
+}
