@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench replicate examples clean
+.PHONY: all build vet test test-race bench replicate examples chaos-smoke clean
 
 all: build vet test
 
@@ -25,6 +25,11 @@ bench:
 # Full-size regeneration of the paper's evaluation into results/.
 replicate:
 	$(GO) run ./cmd/replicate
+
+# Scaled-down fault-injection sweep: 3 benchmarks under every default
+# chaos scenario, asserting the energy guarantee holds throughout.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -quick
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -135,3 +135,76 @@ func TestSeedsChangeTrajectoriesNotOutcomes(t *testing.T) {
 	}
 	_ = firstEnergy
 }
+
+// TestRunDisturbedKeepsBudget: external interference — a co-located job
+// stealing cycles and a thermal excursion raising power mid-run — must
+// not break the energy guarantee end to end; the runtime re-plans from
+// the measured deficit.
+func TestRunDisturbedKeepsBudget(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("streamcluster", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 600
+	factor := 1.5
+	gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.RunDisturbed(gov, iters, func(iter int) (float64, float64) {
+		if iter >= 200 && iter < 350 {
+			return 0.7, 1.25 // interference: 30% slower, 25% hotter
+		}
+		return 1, 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := tb.DefaultEnergy / factor * float64(iters)
+	if rec.TrueEnergy > budget*1.05 {
+		t.Fatalf("disturbed run broke the budget: %.1f J vs %.1f J", rec.TrueEnergy, budget)
+	}
+	if rec.Iterations != iters {
+		t.Fatalf("iterations: %d", rec.Iterations)
+	}
+}
+
+// TestRunFaultyGroundTruthHonest: fault injection corrupts only what the
+// governor perceives; the Record's ground truth must match the external
+// meter and stay finite.
+func TestRunFaultyGroundTruthHonest(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 300
+	gov, err := tb.NewJouleGuard(1.5, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := jouleguard.FaultScenariosByName([]string{"combined"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := scenarios[0].Make(7, 1/tb.DefaultRate)
+	rec, err := tb.RunFaulty(gov, iters, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Iterations != iters {
+		t.Fatalf("iterations: %d", rec.Iterations)
+	}
+	if rec.TrueEnergy <= 0 {
+		t.Fatalf("true energy: %v", rec.TrueEnergy)
+	}
+	if rec.GuardAccepted+rec.GuardRejected != iters {
+		t.Fatalf("guard verdicts %d+%d do not cover the run", rec.GuardAccepted, rec.GuardRejected)
+	}
+	var sum float64
+	for _, e := range rec.EnergyPerIter {
+		sum += e
+	}
+	if diff := (sum - rec.TrueEnergy) / rec.TrueEnergy; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-iteration energies do not sum to ground truth: %v vs %v", sum, rec.TrueEnergy)
+	}
+}

@@ -51,8 +51,8 @@ func (g *SystemOnly) Decide(int) (int, int) { return g.appCfg, g.nextSys }
 
 // Observe implements sim.Governor.
 func (g *SystemOnly) Observe(fb sim.Feedback) {
-	if fb.Duration <= 0 {
-		return
+	if !fb.Sane() || fb.Estimated {
+		return // corrupt or model-estimated sample: never learn from it
 	}
 	rate := 1 / fb.Duration
 	preEff := g.bandit.Efficiency(fb.SysConfig)
@@ -122,8 +122,8 @@ func (g *AppOnly) Decide(int) (int, int) { return g.nextApp.Config, g.sysCfg }
 
 // Observe implements sim.Governor.
 func (g *AppOnly) Observe(fb sim.Feedback) {
-	if fb.Duration <= 0 {
-		return
+	if !fb.Sane() || fb.Estimated {
+		return // corrupt or model-estimated sample: never learn from it
 	}
 	rawRate := 1 / fb.Duration
 	s := g.nextApp.Speedup
@@ -203,8 +203,8 @@ func (g *Uncoordinated) Decide(int) (int, int) { return g.nextApp.Config, g.next
 
 // Observe implements sim.Governor.
 func (g *Uncoordinated) Observe(fb sim.Feedback) {
-	if fb.Duration <= 0 {
-		return
+	if !fb.Sane() || fb.Estimated {
+		return // corrupt or model-estimated sample: never learn from it
 	}
 	rawRate := 1 / fb.Duration
 	// Flaw 1: the learner folds the RAW rate into its per-configuration

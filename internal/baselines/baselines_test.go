@@ -213,3 +213,39 @@ func TestUncoordinatedWorseThanCoordinatedBehaviour(t *testing.T) {
 		t.Fatalf("uncoordinated run suspiciously stable: %d app-config switches", churn)
 	}
 }
+
+func TestBaselinesIgnoreCorruptFeedback(t *testing.T) {
+	// Corrupt or model-estimated samples must not move any baseline's
+	// next decision: learners that ingest NaN rates or estimated power
+	// would poison their efficiency tables.
+	w := newWorld(t)
+	sys, err := NewSystemOnly(w.app.DefaultConfig(), w.plat.NumConfigs(), priorsFunc(w.priors), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewAppOnly(500, 1e5, w.frontier, w.plat.DefaultConfig(), w.defRate, w.defPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := NewUncoordinated(500, 1e5, w.frontier, w.plat.NumConfigs(), priorsFunc(w.priors), w.defRate, w.defPower, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []sim.Feedback{
+		{Duration: math.NaN(), Power: 10, Energy: 1, IterationsDone: 1},
+		{Duration: 0.1, Power: math.Inf(1), Energy: 1, IterationsDone: 1},
+		{Duration: 0.1, Power: -3, Energy: 1, IterationsDone: 1},
+		{Duration: 0, Power: 10, Energy: 1, IterationsDone: 1},
+		{Duration: 0.1, Power: 10, Energy: 1, IterationsDone: 1, Estimated: true},
+	}
+	for name, gov := range map[string]sim.Governor{"SystemOnly": sys, "AppOnly": app, "Uncoordinated": unc} {
+		a0, s0 := gov.Decide(0)
+		for i, fb := range bad {
+			gov.Observe(fb)
+			a, s := gov.Decide(0)
+			if a != a0 || s != s0 {
+				t.Errorf("%s: corrupt sample %d moved the decision (%d,%d) -> (%d,%d)", name, i, a0, s0, a, s)
+			}
+		}
+	}
+}

@@ -91,8 +91,8 @@ func (h *HardwareRuntime) scaleOf(level int) float64 {
 
 // Observe implements sim.Governor.
 func (h *HardwareRuntime) Observe(fb sim.Feedback) {
-	if fb.Duration <= 0 {
-		return
+	if !fb.Sane() || fb.Estimated {
+		return // corrupt or model-estimated sample: never learn from it
 	}
 	rate := 1 / fb.Duration
 	// Normalise the measured power back to full-voltage terms before

@@ -46,7 +46,12 @@ type Options struct {
 	VDBEWeight      float64      // Eqn 2 blending weight; 0 = min(1/|Sys|, capped)
 	InfeasibleSlack float64      // tolerated overshoot of max speedup; 0 = 5%
 	KalmanEstimator bool         // replace Eqn 1's EWMA with Kalman filters
-	Seed            int64
+	// DegradeAfter is the watchdog threshold: after this many consecutive
+	// rejected/missing observations the runtime forces its most
+	// conservative known-safe configuration until healthy feedback
+	// resumes. 0 = 5.
+	DegradeAfter int
+	Seed         int64
 }
 
 // Runtime is JouleGuard. It implements sim.Governor.
@@ -69,6 +74,15 @@ type Runtime struct {
 	done       bool
 	infeasible bool
 	slack      float64 // tolerated overshoot of max speedup before flagging
+
+	// Watchdog: graceful degradation under broken sensing or a budget
+	// trajectory that cannot recover.
+	degradeAfter  int  // rejected-observation streak before degrading
+	badStreak     int  // consecutive insane/estimated observations
+	infStreak     int  // consecutive infeasible verdicts on live feedback
+	healStreak    int  // consecutive healthy observations while degraded
+	degraded      bool // currently pinned to the conservative configuration
+	degradeEvents int  // times the watchdog tripped
 
 	// Telemetry.
 	lastTarget  float64
@@ -151,15 +165,20 @@ func New(workload, budget float64, frontier *knob.Frontier, nSys int, priors lea
 	if slack <= 0 {
 		slack = 0.05
 	}
+	degradeAfter := opts.DegradeAfter
+	if degradeAfter <= 0 {
+		degradeAfter = 5
+	}
 	r := &Runtime{
-		workload: workload,
-		budget:   budget,
-		frontier: frontier,
-		bandit:   bandit,
-		selector: sel,
-		ctrl:     control.NewSpeedupController(ctrlOpts...),
-		defSys:   defaultSys,
-		slack:    slack,
+		workload:     workload,
+		budget:       budget,
+		frontier:     frontier,
+		bandit:       bandit,
+		selector:     sel,
+		ctrl:         control.NewSpeedupController(ctrlOpts...),
+		defSys:       defaultSys,
+		slack:        slack,
+		degradeAfter: degradeAfter,
 	}
 	// Before any feedback: most accurate application configuration, and the
 	// prior-optimal system configuration (the priors stand in for the
@@ -174,19 +193,53 @@ func (r *Runtime) Decide(int) (appCfg, sysCfg int) {
 	return r.nextApp.Config, r.nextSys
 }
 
-// Observe implements sim.Governor: one pass of Algorithm 1.
+// Observe implements sim.Governor: one pass of Algorithm 1, preceded by
+// the sensing watchdog. Corrupt (NaN/Inf/negative/zero-duration) and
+// estimated observations never reach the learner or the controller —
+// one poisoned sample would corrupt the EWMA/Kalman state permanently —
+// but they do advance the watchdog, which forces the most conservative
+// known-safe configuration when feedback stays broken.
 func (r *Runtime) Observe(fb sim.Feedback) {
 	r.iters++
-	if fb.Duration <= 0 {
-		return // degenerate measurement; hold every decision
+	if !fb.Sane() {
+		r.noteRejected()
+		return // corrupt measurement; hold (or degrade) every decision
 	}
+	if fb.Estimated {
+		// The sensing layer substituted a model-based estimate: keep the
+		// budget ledger honest but do not learn from it (the estimate
+		// would only reinforce itself).
+		r.noteRejected()
+		if fb.Energy >= r.budget {
+			// Even the estimated ledger says the budget is gone: clamp
+			// now rather than waiting out the streak (Sec. 3.4.3).
+			r.infeasible = true
+			r.degrade()
+		}
+		return
+	}
+	r.badStreak = 0
+	// Readback mismatch: the iteration ran a configuration other than the
+	// one we commanded (a lagging or dropped actuation). The measurement
+	// itself is good — readback attributes it to the configuration that
+	// ran — but it says nothing about the command we just issued, so the
+	// control step below must not integrate it (a one-step actuation lag
+	// would otherwise drive the PI loop into a limit cycle).
+	actMiss := fb.SysConfig != r.nextSys || fb.AppConfig != r.nextApp.Config
 	// Measure performance r(t) and normalise out the application speedup to
 	// recover the system's rate in default-app terms (the SEO must not
 	// attribute application-level speedup to the system configuration —
 	// that mis-attribution is what destabilises the uncoordinated approach
 	// of Sec. 2.3).
 	rawRate := 1 / fb.Duration
+	// Normalise by the configuration the feedback says actually ran: with
+	// actuation readback that can differ from the one we requested, and
+	// dividing by the requested speedup would smear the actuator's failure
+	// into the system-rate estimate.
 	sNominal := r.nextApp.Speedup
+	if s, ok := r.frontier.SpeedupOf(fb.AppConfig); ok {
+		sNominal = s
+	}
 	if sNominal <= 0 {
 		sNominal = 1
 	}
@@ -213,6 +266,25 @@ func (r *Runtime) Observe(fb sim.Feedback) {
 	}
 	if v, ok := r.selector.(*learning.VDBE); ok {
 		r.lastEps = v.Epsilon()
+	}
+
+	if r.degraded {
+		// Sticky recovery: a single healthy sample between outages must
+		// not release the pin — intermittent corruption would otherwise
+		// let the explorer wander into inefficient configurations between
+		// degrade episodes. The estimates above keep learning from live
+		// data the whole time; the pin tracks the improving best arm.
+		r.healStreak++
+		if r.healStreak < r.degradeAfter {
+			r.nextSys = r.conservativeArm()
+			r.nextApp, _ = r.frontier.ForSpeedup(math.Inf(1))
+			return
+		}
+		r.degraded = false
+		r.healStreak = 0
+		// The trajectory window was frozen during the hold; restart it so
+		// a stale streak cannot re-trip the watchdog on the first sample.
+		r.infStreak = 0
 	}
 
 	// Select the next system configuration (explore vs exploit, Eqn 3).
@@ -246,7 +318,49 @@ func (r *Runtime) Observe(fb sim.Feedback) {
 		return
 	}
 	eReq := eRem / wRem // joules per iteration allowed from here on
+	if r.explored && rSel > 0 && pSel/(rSel*eReq) > r.frontier.MaxSpeedup() {
+		// Affordability gate: probing this arm would demand more speedup
+		// than the application frontier can deliver, so its energy cost
+		// could never be compensated (Eqn 4 would saturate). Exploit the
+		// best arm instead; exploration resumes once slack returns. This
+		// is what keeps persistent sensor noise — which holds the model
+		// error, and hence the exploration rate, high — from spending the
+		// budget on probes a tight goal cannot absorb.
+		r.nextSys = best
+		r.explored = false
+		rSel, pSel = rBest, pBest
+	}
 	sReq := pBest / (rBest * eReq)
+	// Saturation is judged twice: against the optimistic best arm for the
+	// infeasibility verdict below (the paper's Sec. 3.4.3 test), and
+	// against measured evidence for selection. Greedy selection over
+	// optimistic priors keeps hopping to the next untested arm — cheap
+	// while the application can absorb each mediocre probe, reckless once
+	// it cannot. When even the most efficient arm actually measured would
+	// demand more speedup than the frontier can deliver, the run is out of
+	// compensating headroom: act only on evidence until the ledger
+	// recovers.
+	ca := r.conservativeArm()
+	sEvi := sReq
+	if rC := r.bandit.Rate(ca); rC > 0 {
+		sEvi = r.bandit.Power(ca) / (rC * eReq)
+	}
+	// Optimism is paid for out of surplus or out of necessity, never
+	// out of mere deficit: an arm with no measurements may be tried
+	// while the ledger is at or ahead of the linear schedule, and also
+	// when even the best measured arm cannot meet the target at maximum
+	// application speedup (sEvi > max) — there, learning is the only way
+	// back to feasibility and withholding it locks the run onto a known
+	// overspender. Only when the run is behind plan AND a measured arm
+	// suffices does the gate exploit that arm until the ledger catches
+	// up.
+	deficit := fb.Energy > r.budget*float64(fb.IterationsDone)/r.workload
+	if deficit && sEvi <= r.frontier.MaxSpeedup() &&
+		r.bandit.Pulls(r.nextSys) == 0 && ca != r.nextSys {
+		r.nextSys = ca
+		r.explored = false
+		rSel, pSel = r.bandit.Rate(ca), r.bandit.Power(ca)
+	}
 	slack := r.slack
 	if sReq > r.frontier.MaxSpeedup()*(1+slack) {
 		// The goal is not achievable even at maximum approximation on the
@@ -256,6 +370,20 @@ func (r *Runtime) Observe(fb sim.Feedback) {
 	} else if sReq <= r.frontier.MaxSpeedup() {
 		r.infeasible = false
 	}
+	if r.infeasible {
+		r.infStreak++
+	} else {
+		r.infStreak = 0
+	}
+	if r.infStreak >= 3*r.degradeAfter {
+		// The projected trajectory has demanded more than maximum
+		// approximation for a sustained stretch: stop exploring and hold
+		// the known-safe minimum-energy configuration until the ledger
+		// says the goal is reachable again. The estimates above keep
+		// updating, so recovery is detected from live data.
+		r.degrade()
+		return
+	}
 	r.lastF = eReq
 
 	// Control step (Eqn 5): drive the measured iteration rate to the
@@ -263,12 +391,66 @@ func (r *Runtime) Observe(fb sim.Feedback) {
 	// draw meets the per-iteration energy allowance.
 	target := pSel / eReq
 	r.lastTarget = target
-	r.lastSpeedup = r.ctrl.Step(target, rawRate, rSel)
+	if !actMiss {
+		r.lastSpeedup = r.ctrl.Step(target, rawRate, rSel)
+	}
 
 	// Eqn 6: highest-accuracy application configuration delivering the
 	// commanded speedup (binary search over the frontier).
 	r.nextApp, _ = r.frontier.ForSpeedup(r.lastSpeedup)
 }
+
+// noteRejected advances the watchdog for an observation that carried no
+// usable measurement.
+func (r *Runtime) noteRejected() {
+	r.badStreak++
+	r.healStreak = 0
+	if r.badStreak >= r.degradeAfter {
+		r.degrade()
+	}
+}
+
+// degrade pins the most conservative known-safe configuration: the
+// maximum-speedup (minimum-energy) application point on the learner's
+// best system arm, with the controller reset there so recovery resumes
+// from the safe side.
+func (r *Runtime) degrade() {
+	if !r.degraded {
+		r.degraded = true
+		r.degradeEvents++
+	}
+	r.healStreak = 0
+	r.nextSys = r.conservativeArm()
+	r.nextApp, _ = r.frontier.ForSpeedup(math.Inf(1))
+	r.ctrl.Reset(r.nextApp.Speedup)
+}
+
+// conservativeArm is the system configuration the watchdog pins: the most
+// efficient arm among those actually observed. An arm the run has never
+// pulled carries only its prior, and a prior's optimism is not evidence —
+// pinning an unmeasured arm on the strength of its prior is how a
+// degraded run keeps overspending. Before any pull at all, the prior
+// ranking is all there is.
+func (r *Runtime) conservativeArm() int {
+	if r.bandit.TotalPulls() == 0 {
+		return r.bandit.BestArm()
+	}
+	if arm := r.bandit.BestFeasibleArm(func(a int) bool { return r.bandit.Pulls(a) > 0 }); arm >= 0 {
+		return arm
+	}
+	return r.bandit.BestArm()
+}
+
+// Degraded reports whether the watchdog currently pins the conservative
+// configuration (broken sensing or a sustained projected overrun).
+func (r *Runtime) Degraded() bool { return r.degraded }
+
+// DegradeEvents returns how many times the watchdog tripped.
+func (r *Runtime) DegradeEvents() int { return r.degradeEvents }
+
+// RejectedStreak returns the current run of consecutive rejected or
+// missing observations.
+func (r *Runtime) RejectedStreak() int { return r.badStreak }
 
 // Infeasible reports whether the runtime has concluded the energy goal
 // cannot be met (Sec. 3.4.3).

@@ -298,6 +298,125 @@ func TestZeroDurationFeedbackIgnored(t *testing.T) {
 	_ = w
 }
 
+func TestCorruptFeedbackDoesNotPoison(t *testing.T) {
+	// NaN/Inf/negative observations must change nothing: same next
+	// decision, no budget movement, no learner update.
+	w := newFakeWorld(4)
+	f := testFrontier(t)
+	// DegradeAfter is raised past the number of bad samples so the
+	// watchdog (tested separately) does not legitimately move the pin.
+	gov, err := New(100, 1000, f, 4, optimisticPriors(w), 3, Options{DegradeAfter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w.step(gov, f)
+	}
+	a0, s0 := gov.Decide(20)
+	sp0 := gov.Speedup()
+	bad := []sim.Feedback{
+		{Duration: math.NaN(), Power: 10, Energy: 10, IterationsDone: 21},
+		{Duration: 0.1, Power: math.Inf(1), Energy: 10, IterationsDone: 21},
+		{Duration: 0.1, Power: 10, Energy: math.NaN(), IterationsDone: 21},
+		{Duration: 0.1, Power: -5, Energy: 10, IterationsDone: 21},
+		{Duration: 0.1, Power: 10, Energy: -1, IterationsDone: 21},
+		{Duration: -0.1, Power: 10, Energy: 10, IterationsDone: 21},
+		{Duration: 0.1, Power: 10, Energy: 10, Accuracy: math.NaN(), IterationsDone: 21},
+	}
+	for i, fb := range bad {
+		gov.Observe(fb)
+		a, s := gov.Decide(21)
+		if a != a0 || s != s0 {
+			t.Fatalf("corrupt feedback %d changed the decision: (%d,%d) -> (%d,%d)", i, a0, s0, a, s)
+		}
+		if gov.Speedup() != sp0 {
+			t.Fatalf("corrupt feedback %d moved the speedup demand", i)
+		}
+	}
+	if gov.RejectedStreak() != len(bad) {
+		t.Fatalf("rejected streak: %d, want %d", gov.RejectedStreak(), len(bad))
+	}
+}
+
+func TestWatchdogDegradesAndRecovers(t *testing.T) {
+	// A run of rejected observations must trip the watchdog into the
+	// conservative pinned configuration; healthy feedback must release it.
+	w := newFakeWorld(8)
+	f := testFrontier(t)
+	gov, err := New(1000, 1e6, f, 8, optimisticPriors(w), 7, Options{DegradeAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		w.step(gov, f)
+	}
+	if gov.Degraded() {
+		t.Fatal("healthy run already degraded")
+	}
+	for i := 0; i < 4; i++ {
+		gov.Observe(sim.Feedback{Duration: math.NaN(), IterationsDone: 31 + i})
+	}
+	if !gov.Degraded() {
+		t.Fatal("watchdog did not trip after the configured streak")
+	}
+	if gov.DegradeEvents() != 1 {
+		t.Fatalf("degrade events: %d", gov.DegradeEvents())
+	}
+	appCfg, sysCfg := gov.Decide(35)
+	if appCfg != 4 {
+		t.Fatalf("degraded mode should pin max speedup (most conservative), got app %d", appCfg)
+	}
+	if sysCfg != gov.BestSystemArm() {
+		t.Fatalf("degraded mode should pin the best known arm, got %d", sysCfg)
+	}
+	// One healthy sample must NOT release the pin (sticky recovery:
+	// intermittent corruption would otherwise flap the degraded state), but
+	// a sustained healthy streak must.
+	w.step(gov, f)
+	if !gov.Degraded() {
+		t.Fatal("a single healthy sample released the pin; recovery must be sticky")
+	}
+	for i := 0; i < 4; i++ {
+		w.step(gov, f)
+	}
+	if gov.Degraded() {
+		t.Fatal("sustained healthy feedback did not release the degraded state")
+	}
+	if gov.RejectedStreak() != 0 {
+		t.Fatal("streak survived recovery")
+	}
+}
+
+func TestEstimatedFeedbackCountsTowardDegradation(t *testing.T) {
+	// Model-estimated observations keep the ledger honest but must not
+	// feed the learners, and a long run of them trips the watchdog just
+	// like missing data (an estimate must not reinforce itself).
+	w := newFakeWorld(8)
+	f := testFrontier(t)
+	gov, err := New(1000, 1e6, f, 8, optimisticPriors(w), 7, Options{DegradeAfter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		w.step(gov, f)
+	}
+	for i := 0; i < 5; i++ {
+		gov.Observe(sim.Feedback{
+			Duration: 0.1, Power: 50, Energy: w.energy, Accuracy: 1,
+			IterationsDone: 31 + i, Estimated: true,
+		})
+	}
+	if !gov.Degraded() {
+		t.Fatal("estimated-only feedback did not trip the watchdog")
+	}
+	for i := 0; i < 6; i++ {
+		w.step(gov, f)
+	}
+	if gov.Degraded() {
+		t.Fatal("sustained real feedback did not release the degraded state")
+	}
+}
+
 func TestExhaustedBudgetPinsMinEnergy(t *testing.T) {
 	w := newFakeWorld(8)
 	f := testFrontier(t)

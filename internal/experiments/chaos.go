@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jouleguard"
+	"jouleguard/internal/apps"
+	"jouleguard/internal/platform"
+)
+
+// ---------------------------------------------------------- chaos harness
+
+// ChaosTolerance is the energy-guarantee slack the robustness suite
+// allows under fault injection: consumed true energy must stay within
+// 105% of the budget in every scenario.
+const ChaosTolerance = 1.05
+
+// ChaosCell is one (app, platform, scenario) run of the chaos harness:
+// JouleGuard under an injected fault model, judged on whether the energy
+// guarantee held against ground truth.
+type ChaosCell struct {
+	App, Platform, Scenario string
+	Factor                  float64
+	Iterations              int
+
+	EnergyJ     float64 // true joules consumed (external meter)
+	BudgetJ     float64
+	BudgetRatio float64 // EnergyJ / BudgetJ; pass iff <= ChaosTolerance
+
+	MeanAccuracy     float64
+	ActuatorFailures int
+	GuardAccepted    int
+	GuardRejected    int
+	DegradeEvents    int
+	Infeasible       bool
+	Pass             bool
+}
+
+// Chaos runs JouleGuard under every scenario for every (app, platform)
+// pair, at one energy-reduction factor. Empty app/platform/scenario lists
+// select everything; combinations the oracle deems infeasible at the
+// factor are skipped (their guarantee is vacuous), and the skipped count
+// is returned so silent gaps cannot masquerade as coverage. Seeds are a
+// pure function of the cell's position, so the suite is reproducible.
+func Chaos(appNames, platNames []string, scenarios []jouleguard.FaultScenario, factor, scale float64) (cells []ChaosCell, skipped int, err error) {
+	if factor <= 0 {
+		return nil, 0, fmt.Errorf("experiments: chaos factor %v must be positive", factor)
+	}
+	if len(appNames) == 0 {
+		appNames = apps.Names()
+	}
+	if len(platNames) == 0 {
+		platNames = platform.Names()
+	}
+	if len(scenarios) == 0 {
+		scenarios = jouleguard.FaultScenarios()
+	}
+	type jobSpec struct {
+		app, plat string
+		scenario  jouleguard.FaultScenario
+		seed      int64
+	}
+	var jobs []jobSpec
+	for pi, platName := range platNames {
+		for ai, appName := range appNames {
+			tb, err := jouleguard.NewTestbed(appName, platName)
+			if err != nil {
+				return nil, 0, err
+			}
+			orc, err := tb.NewOracle()
+			if err != nil {
+				return nil, 0, err
+			}
+			if factor > orc.MaxFeasibleFactor() {
+				skipped += len(scenarios)
+				continue
+			}
+			for si, sc := range scenarios {
+				jobs = append(jobs, jobSpec{appName, platName, sc,
+					int64(1 + 97*pi + 13*ai + 7*si)})
+			}
+		}
+	}
+	cells = make([]ChaosCell, len(jobs))
+	err = parallelMap(len(jobs), func(i int) error {
+		c, err := runChaosCell(jobs[i].app, jobs[i].plat, jobs[i].scenario, factor, scale, jobs[i].seed)
+		if err != nil {
+			return err
+		}
+		cells[i] = c
+		return nil
+	})
+	return cells, skipped, err
+}
+
+// runChaosCell executes one faulted run and judges the energy guarantee.
+func runChaosCell(appName, platName string, sc jouleguard.FaultScenario, factor, scale float64, seed int64) (ChaosCell, error) {
+	tb, err := jouleguard.NewTestbed(appName, platName)
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	iters := ItersFor(platName, scale)
+	gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	inj := sc.Make(seed, 1/tb.DefaultRate)
+	rec, err := tb.RunFaulty(gov, iters, inj)
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	budget, err := tb.Budget(factor, iters)
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	c := ChaosCell{
+		App: appName, Platform: platName, Scenario: sc.Name,
+		Factor: factor, Iterations: iters,
+		EnergyJ: rec.TrueEnergy, BudgetJ: budget,
+		BudgetRatio:      rec.TrueEnergy / budget,
+		MeanAccuracy:     rec.MeanAccuracy(),
+		ActuatorFailures: rec.ActuatorFailures,
+		GuardAccepted:    rec.GuardAccepted,
+		GuardRejected:    rec.GuardRejected,
+		DegradeEvents:    gov.DegradeEvents(),
+		Infeasible:       gov.Infeasible(),
+	}
+	c.Pass = c.BudgetRatio <= ChaosTolerance
+	return c, nil
+}
+
+// ChaosFailures filters the cells where the energy guarantee broke.
+func ChaosFailures(cells []ChaosCell) []ChaosCell {
+	var out []ChaosCell
+	for _, c := range cells {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}

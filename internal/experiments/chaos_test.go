@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"jouleguard"
+)
+
+// TestChaosEnergyGuaranteeHolds is the robustness acceptance gate: one
+// benchmark per platform, the full default fault suite, and the energy
+// guarantee must hold within ChaosTolerance against ground truth in every
+// scenario — dropout, spikes, stuck sensor, drift, clock jitter, flaky
+// actuators, and all of them combined.
+func TestChaosEnergyGuaranteeHolds(t *testing.T) {
+	pairs := []struct{ app, plat string }{
+		{"radar", "Mobile"},
+		{"x264", "Tablet"},
+		{"swaptions", "Server"},
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.plat+"/"+p.app, func(t *testing.T) {
+			t.Parallel()
+			cells, skipped, err := Chaos([]string{p.app}, []string{p.plat}, nil, 1.5, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped != 0 {
+				t.Fatalf("%d scenarios skipped as infeasible; pick a feasible pair", skipped)
+			}
+			if len(cells) != len(jouleguard.FaultScenarios()) {
+				t.Fatalf("got %d cells, want one per scenario (%d)", len(cells), len(jouleguard.FaultScenarios()))
+			}
+			for _, c := range cells {
+				if !c.Pass {
+					t.Errorf("%s: energy guarantee broke: %.1f J vs budget %.1f J (ratio %.3f > %.2f)",
+						c.Scenario, c.EnergyJ, c.BudgetJ, c.BudgetRatio, ChaosTolerance)
+				}
+				if c.MeanAccuracy <= 0 {
+					t.Errorf("%s: degenerate accuracy %v", c.Scenario, c.MeanAccuracy)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosValidates covers the harness's own edges: bad factor, unknown
+// scenario filtering upstream, and the failure filter.
+func TestChaosValidates(t *testing.T) {
+	if _, _, err := Chaos(nil, nil, nil, 0, 1); err == nil {
+		t.Fatal("zero factor must error")
+	}
+	cells := []ChaosCell{{Scenario: "a", Pass: true}, {Scenario: "b", Pass: false}}
+	fails := ChaosFailures(cells)
+	if len(fails) != 1 || fails[0].Scenario != "b" {
+		t.Fatalf("failure filter: %+v", fails)
+	}
+}
+
+// TestChaosSkipsInfeasible mirrors Sweep's behaviour: a factor beyond any
+// pair's oracle ceiling produces no cells but reports the gap.
+func TestChaosSkipsInfeasible(t *testing.T) {
+	cells, skipped, err := Chaos([]string{"radar"}, []string{"Mobile"},
+		[]jouleguard.FaultScenario{jouleguard.FaultScenarios()[0]}, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 || skipped != 1 {
+		t.Fatalf("cells=%d skipped=%d, want 0/1", len(cells), skipped)
+	}
+}

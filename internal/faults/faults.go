@@ -1,0 +1,508 @@
+// Package faults provides composable, deterministically seeded fault
+// models for the three channels through which JouleGuard touches the
+// world: power/energy sensing, the clock, and configuration actuation.
+// Real INA231/RAPL pipelines drop samples, freeze, spike and drift
+// (JetsonLEAP documents exactly this on heterogeneous SoCs); real clocks
+// jitter and occasionally step backwards; real actuators silently ignore
+// writes, apply them late, or fail transiently. The models here reproduce
+// those behaviours so the control loop can be exercised against them — in
+// the simulator through sim.Engine's Faults hook, and on the online path
+// by wrapping the energy reader, clock and actuator callbacks.
+//
+// Every stochastic model carries its own rand.Rand so a fault schedule is
+// a pure function of its seed: two runs with the same seed see the same
+// faults at the same iterations.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SensorFault transforms one sensor reading (a power sample in the
+// simulator, a cumulative-energy reading on the online path). ok=false
+// means the sample was lost entirely — the consumer sees no new reading,
+// the way a failed I2C transaction or hwmon read surfaces.
+type SensorFault interface {
+	Reading(iter int, v float64) (out float64, ok bool)
+}
+
+// ClockFault transforms a timestamp in seconds.
+type ClockFault interface {
+	Now(iter int, t float64) float64
+}
+
+// Pair is an (application, system) configuration request.
+type Pair struct {
+	App, Sys int
+}
+
+// ActuatorFault resolves which configuration actually takes effect when
+// the governor requests req while prev is in effect. A non-nil error
+// models a transiently failing actuator (the returned Pair still says
+// what ended up applied — usually prev).
+type ActuatorFault interface {
+	Actuate(iter int, req, prev Pair) (Pair, error)
+}
+
+// ---------------------------------------------------------------------
+// Sensor fault models.
+
+// Dropout loses each reading independently with probability P.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewDropout builds a dropout fault losing readings with probability p.
+func NewDropout(p float64, seed int64) *Dropout {
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reading implements SensorFault.
+func (d *Dropout) Reading(_ int, v float64) (float64, bool) {
+	if d.rng.Float64() < d.P {
+		return v, false
+	}
+	return v, true
+}
+
+// Stuck freezes the sensor at its last pre-freeze value for Len
+// iterations out of every Period: the classic stuck-at-last-value
+// failure of a wedged sensor-hub firmware. The freeze occupies the tail
+// of each period so every period starts with live readings.
+type Stuck struct {
+	Period, Len int
+	last        float64
+	primed      bool
+}
+
+// NewStuck builds a periodic stuck-sensor fault.
+func NewStuck(period, length int) *Stuck {
+	if period <= 0 {
+		period = 1
+	}
+	if length > period {
+		length = period
+	}
+	return &Stuck{Period: period, Len: length}
+}
+
+// Reading implements SensorFault.
+func (s *Stuck) Reading(iter int, v float64) (float64, bool) {
+	frozen := s.Len > 0 && iter%s.Period >= s.Period-s.Len
+	if frozen && s.primed {
+		return s.last, true
+	}
+	s.last, s.primed = v, true
+	return v, true
+}
+
+// Spike corrupts each reading independently with probability P,
+// multiplying it by Mul and adding Add — an electrical transient or a
+// bit-flip in the reading path.
+type Spike struct {
+	P        float64
+	Mul, Add float64
+	rng      *rand.Rand
+}
+
+// NewSpike builds a spike fault.
+func NewSpike(p, mul, add float64, seed int64) *Spike {
+	return &Spike{P: p, Mul: mul, Add: add, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reading implements SensorFault.
+func (s *Spike) Reading(_ int, v float64) (float64, bool) {
+	if s.rng.Float64() < s.P {
+		return v*s.Mul + s.Add, true
+	}
+	return v, true
+}
+
+// Drift scales readings by a slowly growing factor (1 + PerIter*iter):
+// sensor-gain drift from temperature or ageing.
+type Drift struct {
+	PerIter float64
+}
+
+// Reading implements SensorFault.
+func (d Drift) Reading(iter int, v float64) (float64, bool) {
+	return v * (1 + d.PerIter*float64(iter)), true
+}
+
+// Quantize rounds readings to multiples of Step — coarse ADC resolution.
+type Quantize struct {
+	Step float64
+}
+
+// Reading implements SensorFault.
+func (q Quantize) Reading(_ int, v float64) (float64, bool) {
+	if q.Step <= 0 {
+		return v, true
+	}
+	steps := float64(int64(v/q.Step + 0.5))
+	return steps * q.Step, true
+}
+
+// SensorChain applies faults in order; a reading lost anywhere in the
+// chain stays lost.
+type SensorChain []SensorFault
+
+// Reading implements SensorFault.
+func (c SensorChain) Reading(iter int, v float64) (float64, bool) {
+	for _, f := range c {
+		var ok bool
+		if v, ok = f.Reading(iter, v); !ok {
+			return v, false
+		}
+	}
+	return v, true
+}
+
+// ---------------------------------------------------------------------
+// Clock fault models.
+
+// Jitter adds zero-mean Gaussian noise (sigma seconds) to every
+// timestamp read — scheduler and sampling jitter.
+type Jitter struct {
+	Sigma float64
+	rng   *rand.Rand
+}
+
+// NewJitter builds a clock-jitter fault.
+func NewJitter(sigma float64, seed int64) *Jitter {
+	return &Jitter{Sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements ClockFault.
+func (j *Jitter) Now(_ int, t float64) float64 {
+	return t + j.Sigma*j.rng.NormFloat64()
+}
+
+// BackStep makes the clock step backwards by Magnitude seconds with
+// probability P per read — an unsynchronised TSC or an NTP correction on
+// a clock that should have been monotone.
+type BackStep struct {
+	P         float64
+	Magnitude float64
+	rng       *rand.Rand
+}
+
+// NewBackStep builds a backwards-stepping clock fault.
+func NewBackStep(p, magnitude float64, seed int64) *BackStep {
+	return &BackStep{P: p, Magnitude: magnitude, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements ClockFault.
+func (b *BackStep) Now(_ int, t float64) float64 {
+	if b.rng.Float64() < b.P {
+		return t - b.Magnitude
+	}
+	return t
+}
+
+// ClockChain applies clock faults in order.
+type ClockChain []ClockFault
+
+// Now implements ClockFault.
+func (c ClockChain) Now(iter int, t float64) float64 {
+	for _, f := range c {
+		t = f.Now(iter, t)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Actuator fault models.
+
+// DropApply silently ignores each configuration request with
+// probability P: the previous configuration stays in effect and nobody
+// is told.
+type DropApply struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewDropApply builds a silently-dropping actuator fault.
+func NewDropApply(p float64, seed int64) *DropApply {
+	return &DropApply{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Actuate implements ActuatorFault.
+func (d *DropApply) Actuate(_ int, req, prev Pair) (Pair, error) {
+	if d.rng.Float64() < d.P {
+		return prev, nil
+	}
+	return req, nil
+}
+
+// DelayApply applies each request Lag iterations late — a slow sysfs
+// write path or a governor that batches updates. Until the pipeline
+// fills, the previous configuration stays in effect.
+type DelayApply struct {
+	Lag     int
+	pending []Pair
+}
+
+// NewDelayApply builds a delayed actuator fault.
+func NewDelayApply(lag int) *DelayApply {
+	if lag < 0 {
+		lag = 0
+	}
+	return &DelayApply{Lag: lag}
+}
+
+// Actuate implements ActuatorFault.
+func (d *DelayApply) Actuate(_ int, req, prev Pair) (Pair, error) {
+	if d.Lag == 0 {
+		return req, nil
+	}
+	d.pending = append(d.pending, req)
+	if len(d.pending) <= d.Lag {
+		return prev, nil
+	}
+	out := d.pending[0]
+	d.pending = d.pending[1:]
+	return out, nil
+}
+
+// FailApply errors transiently with probability P, leaving the previous
+// configuration in effect — a busy bus or an EPERM from a contended
+// cpufreq write.
+type FailApply struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewFailApply builds a transiently erroring actuator fault.
+func NewFailApply(p float64, seed int64) *FailApply {
+	return &FailApply{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Actuate implements ActuatorFault.
+func (f *FailApply) Actuate(iter int, req, prev Pair) (Pair, error) {
+	if f.rng.Float64() < f.P {
+		return prev, fmt.Errorf("faults: actuation failed at iteration %d", iter)
+	}
+	return req, nil
+}
+
+// ActuatorChain applies actuator faults in order; each stage sees the
+// previous stage's outcome as the request. The first error wins but the
+// chain still resolves the applied configuration.
+type ActuatorChain []ActuatorFault
+
+// Actuate implements ActuatorFault.
+func (c ActuatorChain) Actuate(iter int, req, prev Pair) (Pair, error) {
+	var firstErr error
+	for _, f := range c {
+		var err error
+		if req, err = f.Actuate(iter, req, prev); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return req, firstErr
+}
+
+// ---------------------------------------------------------------------
+// Injector: the engine-facing bundle.
+
+// Injector bundles one fault per channel (any may be nil) and exposes
+// nil-safe application helpers. A nil *Injector injects nothing.
+type Injector struct {
+	Sensor   SensorFault
+	Clock    ClockFault
+	Actuator ActuatorFault
+}
+
+// SensePower passes a power/energy reading through the sensor fault.
+func (inj *Injector) SensePower(iter int, v float64) (float64, bool) {
+	if inj == nil || inj.Sensor == nil {
+		return v, true
+	}
+	return inj.Sensor.Reading(iter, v)
+}
+
+// Interval measures a true interval [start, start+dur] through the
+// faulty clock, the way a consumer timing an iteration with two reads
+// would see it. The result can be zero or negative.
+func (inj *Injector) Interval(iter int, start, dur float64) float64 {
+	if inj == nil || inj.Clock == nil {
+		return dur
+	}
+	return inj.Clock.Now(iter, start+dur) - inj.Clock.Now(iter, start)
+}
+
+// Actuate resolves the configuration that actually takes effect.
+func (inj *Injector) Actuate(iter int, req, prev Pair) (Pair, error) {
+	if inj == nil || inj.Actuator == nil {
+		return req, nil
+	}
+	return inj.Actuator.Actuate(iter, req, prev)
+}
+
+// WrapEnergyReader wraps an online cumulative-energy reader: readings
+// pass through the sensor fault, and a dropped reading surfaces as an
+// error, the way a failed counter read does.
+func (inj *Injector) WrapEnergyReader(read func() (float64, error)) func() (float64, error) {
+	iter := 0
+	return func() (float64, error) {
+		i := iter
+		iter++
+		v, err := read()
+		if err != nil {
+			return v, err
+		}
+		out, ok := inj.SensePower(i, v)
+		if !ok {
+			return 0, fmt.Errorf("faults: energy reading %d dropped", i)
+		}
+		return out, nil
+	}
+}
+
+// WrapClock wraps an online clock with the clock fault.
+func (inj *Injector) WrapClock(now func() float64) func() float64 {
+	iter := 0
+	return func() float64 {
+		i := iter
+		iter++
+		if inj == nil || inj.Clock == nil {
+			return now()
+		}
+		return inj.Clock.Now(i, now())
+	}
+}
+
+// WrapApply wraps an online actuator callback: requests pass through the
+// actuator fault before reaching the real apply function, and the
+// configuration the fault says took effect is what gets applied.
+func (inj *Injector) WrapApply(apply func(appCfg, sysCfg int) error) func(appCfg, sysCfg int) error {
+	iter := 0
+	prev := Pair{App: -1, Sys: -1}
+	return func(appCfg, sysCfg int) error {
+		i := iter
+		iter++
+		got, err := inj.Actuate(i, Pair{App: appCfg, Sys: sysCfg}, prev)
+		if prev.App < 0 {
+			// Nothing applied yet: the first request always lands.
+			got = Pair{App: appCfg, Sys: sysCfg}
+		}
+		if aerr := apply(got.App, got.Sys); aerr != nil {
+			return aerr
+		}
+		prev = got
+		return err
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scenarios: the chaos harness's standing fault suite.
+
+// Scenario names one reproducible fault configuration. Make builds a
+// fresh injector; iterSeconds is the workload's typical iteration
+// duration, used to scale time-domain faults so a scenario stresses
+// every platform equally.
+type Scenario struct {
+	Name        string
+	Description string
+	Make        func(seed int64, iterSeconds float64) *Injector
+}
+
+// DefaultSuite is the standing robustness regression suite: every
+// scenario the energy guarantee must survive. The first entry is the
+// fault-free control.
+func DefaultSuite() []Scenario {
+	return []Scenario{
+		{
+			Name:        "nominal",
+			Description: "no faults injected (control)",
+			Make: func(int64, float64) *Injector {
+				return &Injector{}
+			},
+		},
+		{
+			Name:        "dropout-20",
+			Description: "20% of power samples lost",
+			Make: func(seed int64, _ float64) *Injector {
+				return &Injector{Sensor: NewDropout(0.20, seed)}
+			},
+		},
+		{
+			Name:        "spikes",
+			Description: "5% of samples spiked 3x (+5 W)",
+			Make: func(seed int64, _ float64) *Injector {
+				return &Injector{Sensor: NewSpike(0.05, 3, 5, seed)}
+			},
+		},
+		{
+			Name:        "stuck",
+			Description: "sensor frozen 40 of every 200 iterations",
+			Make: func(int64, float64) *Injector {
+				return &Injector{Sensor: NewStuck(200, 40)}
+			},
+		},
+		{
+			Name:        "drift-quantized",
+			Description: "0.01%/iter gain drift through a 0.1 W ADC",
+			Make: func(int64, float64) *Injector {
+				return &Injector{Sensor: SensorChain{Drift{PerIter: 1e-4}, Quantize{Step: 0.1}}}
+			},
+		},
+		{
+			Name:        "clock-jitter",
+			Description: "timestamp jitter (30% of an iteration) + 2% backwards steps",
+			Make: func(seed int64, iterSeconds float64) *Injector {
+				return &Injector{Clock: ClockChain{
+					NewJitter(0.3*iterSeconds, seed),
+					NewBackStep(0.02, 2*iterSeconds, seed+1),
+				}}
+			},
+		},
+		{
+			Name:        "actuator-flaky",
+			Description: "10% of requests silently dropped, 5% transiently failing, 1-iteration lag",
+			Make: func(seed int64, _ float64) *Injector {
+				return &Injector{Actuator: ActuatorChain{
+					NewDropApply(0.10, seed),
+					NewDelayApply(1),
+					NewFailApply(0.05, seed+1),
+				}}
+			},
+		},
+		{
+			Name:        "combined",
+			Description: "dropout + spikes + clock jitter + flaky actuator together",
+			Make: func(seed int64, iterSeconds float64) *Injector {
+				return &Injector{
+					Sensor:   SensorChain{NewDropout(0.10, seed), NewSpike(0.03, 3, 5, seed+1)},
+					Clock:    NewJitter(0.2*iterSeconds, seed+2),
+					Actuator: ActuatorChain{NewDropApply(0.05, seed+3), NewFailApply(0.03, seed+4)},
+				}
+			},
+		},
+	}
+}
+
+// SuiteByName returns the named scenarios from the default suite, or the
+// whole suite for an empty list.
+func SuiteByName(names []string) ([]Scenario, error) {
+	all := DefaultSuite()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]Scenario{}
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	var out []Scenario
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("faults: unknown scenario %q", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

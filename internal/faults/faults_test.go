@@ -1,0 +1,271 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDropoutRateAndDeterminism(t *testing.T) {
+	const n = 10000
+	a, b := NewDropout(0.2, 42), NewDropout(0.2, 42)
+	lost := 0
+	for i := 0; i < n; i++ {
+		va, oka := a.Reading(i, 1)
+		vb, okb := b.Reading(i, 1)
+		if oka != okb || va != vb {
+			t.Fatalf("iteration %d: same seed diverged", i)
+		}
+		if !oka {
+			lost++
+		}
+	}
+	rate := float64(lost) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("dropout rate %.3f, want ~0.20", rate)
+	}
+	other := NewDropout(0.2, 43)
+	diverged := false
+	for i := 0; i < n; i++ {
+		_, oka := NewDropout(0.2, 42).Reading(i, 1)
+		_, okb := other.Reading(i, 1)
+		if oka != okb {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestStuckFreezesTailOfPeriod(t *testing.T) {
+	s := NewStuck(10, 3)
+	for i := 0; i < 30; i++ {
+		v, ok := s.Reading(i, float64(i))
+		if !ok {
+			t.Fatalf("stuck fault must never lose samples")
+		}
+		frozen := i%10 >= 7
+		if frozen && i >= 7 {
+			// Held at the last live value (the one just before the freeze).
+			want := float64(i - i%10 + 6)
+			if v != want {
+				t.Fatalf("iteration %d: got %v, want frozen %v", i, v, want)
+			}
+		} else if v != float64(i) {
+			t.Fatalf("iteration %d: got %v, want live %v", i, v, float64(i))
+		}
+	}
+}
+
+func TestStuckDegenerateArgs(t *testing.T) {
+	s := NewStuck(0, 5) // period clamps to 1, length clamps to period
+	if s.Period != 1 || s.Len != 1 {
+		t.Fatalf("clamping: period=%d len=%d", s.Period, s.Len)
+	}
+	if v, ok := NewStuck(10, 0).Reading(5, 7); !ok || v != 7 {
+		t.Fatal("zero-length freeze must pass readings through")
+	}
+}
+
+func TestSpikeTransformsCorruptSamples(t *testing.T) {
+	const n = 10000
+	s := NewSpike(0.1, 3, 5, 7)
+	spiked := 0
+	for i := 0; i < n; i++ {
+		v, ok := s.Reading(i, 10)
+		if !ok {
+			t.Fatal("spike fault must never lose samples")
+		}
+		switch v {
+		case 10:
+		case 35: // 10*3 + 5
+			spiked++
+		default:
+			t.Fatalf("unexpected reading %v", v)
+		}
+	}
+	rate := float64(spiked) / n
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("spike rate %.3f, want ~0.10", rate)
+	}
+}
+
+func TestDriftAndQuantize(t *testing.T) {
+	d := Drift{PerIter: 0.001}
+	if v, _ := d.Reading(100, 10); math.Abs(v-11) > 1e-12 {
+		t.Fatalf("drift at iter 100: %v, want 11", v)
+	}
+	q := Quantize{Step: 0.5}
+	if v, _ := q.Reading(0, 10.3); v != 10.5 {
+		t.Fatalf("quantize: %v, want 10.5", v)
+	}
+	if v, _ := (Quantize{}).Reading(0, 10.3); v != 10.3 {
+		t.Fatal("zero step must pass through")
+	}
+}
+
+func TestSensorChainShortCircuitsOnLoss(t *testing.T) {
+	c := SensorChain{NewDropout(1, 1), Drift{PerIter: 1}}
+	if _, ok := c.Reading(5, 10); ok {
+		t.Fatal("chained loss not propagated")
+	}
+	c = SensorChain{Drift{PerIter: 0.01}, Quantize{Step: 1}}
+	if v, ok := c.Reading(100, 10); !ok || v != 20 {
+		t.Fatalf("chain order: got %v ok=%v, want 20 true", v, ok)
+	}
+}
+
+func TestClockFaults(t *testing.T) {
+	j := NewJitter(0.1, 3)
+	varies := false
+	for i := 0; i < 100; i++ {
+		if j.Now(i, 50) != 50 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("jitter never moved the clock")
+	}
+	b := NewBackStep(1, 2, 3) // always steps back
+	if got := b.Now(0, 10); got != 8 {
+		t.Fatalf("backstep: %v, want 8", got)
+	}
+	chain := ClockChain{NewBackStep(1, 2, 3), NewBackStep(1, 3, 4)}
+	if got := chain.Now(0, 10); got != 5 {
+		t.Fatalf("clock chain: %v, want 5", got)
+	}
+}
+
+func TestDelayApplyPipelines(t *testing.T) {
+	d := NewDelayApply(2)
+	prev := Pair{App: 0, Sys: 0}
+	reqs := []Pair{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	want := []Pair{{0, 0}, {0, 0}, {1, 1}, {2, 2}}
+	for i, r := range reqs {
+		got, err := d.Actuate(i, r, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("iteration %d: applied %v, want %v", i, got, want[i])
+		}
+	}
+	// Zero lag is the identity.
+	z := NewDelayApply(0)
+	if got, _ := z.Actuate(0, Pair{9, 9}, prev); got != (Pair{9, 9}) {
+		t.Fatal("zero-lag delay must apply immediately")
+	}
+}
+
+func TestDropAndFailApply(t *testing.T) {
+	drop := NewDropApply(1, 5) // always drops
+	prev, req := Pair{1, 1}, Pair{2, 2}
+	if got, err := drop.Actuate(0, req, prev); err != nil || got != prev {
+		t.Fatalf("drop: got %v err %v, want prev silently", got, err)
+	}
+	fail := NewFailApply(1, 5) // always fails
+	got, err := fail.Actuate(3, req, prev)
+	if err == nil {
+		t.Fatal("fail actuator must error")
+	}
+	if got != prev {
+		t.Fatalf("failed actuation applied %v, want prev %v", got, prev)
+	}
+	none := NewFailApply(0, 5)
+	if got, err := none.Actuate(0, req, prev); err != nil || got != req {
+		t.Fatal("zero-probability failure must apply the request")
+	}
+}
+
+func TestActuatorChainFirstErrorWins(t *testing.T) {
+	c := ActuatorChain{NewFailApply(1, 1), NewFailApply(1, 2)}
+	_, err := c.Actuate(0, Pair{2, 2}, Pair{1, 1})
+	if err == nil {
+		t.Fatal("chain swallowed the error")
+	}
+}
+
+func TestInjectorNilSafety(t *testing.T) {
+	var inj *Injector
+	if v, ok := inj.SensePower(0, 7); !ok || v != 7 {
+		t.Fatal("nil injector must pass readings through")
+	}
+	if d := inj.Interval(0, 5, 2); d != 2 {
+		t.Fatal("nil injector must pass intervals through")
+	}
+	if got, err := inj.Actuate(0, Pair{3, 4}, Pair{1, 2}); err != nil || got != (Pair{3, 4}) {
+		t.Fatal("nil injector must apply requests")
+	}
+	empty := &Injector{}
+	if v, ok := empty.SensePower(0, 7); !ok || v != 7 {
+		t.Fatal("empty injector must pass readings through")
+	}
+}
+
+func TestInjectorIntervalThroughFaultyClock(t *testing.T) {
+	inj := &Injector{Clock: NewBackStep(1, 10, 3)} // both reads step back 10
+	if d := inj.Interval(0, 100, 5); d != 5 {
+		t.Fatalf("symmetric backstep should cancel: %v", d)
+	}
+}
+
+func TestWrapEnergyReaderSurfacesDropsAsErrors(t *testing.T) {
+	inj := &Injector{Sensor: NewDropout(1, 9)} // always drops
+	read := inj.WrapEnergyReader(func() (float64, error) { return 42, nil })
+	if _, err := read(); err == nil {
+		t.Fatal("dropped reading must surface as an error")
+	}
+	clean := (&Injector{}).WrapEnergyReader(func() (float64, error) { return 42, nil })
+	if v, err := clean(); err != nil || v != 42 {
+		t.Fatal("fault-free wrap must pass through")
+	}
+}
+
+func TestWrapApplyRoutesThroughFault(t *testing.T) {
+	inj := &Injector{Actuator: NewDropApply(1, 9)} // always drops
+	var gotApp, gotSys int
+	apply := inj.WrapApply(func(a, s int) error { gotApp, gotSys = a, s; return nil })
+	if err := apply(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if gotApp != 3 || gotSys != 4 {
+		t.Fatal("first request must always land")
+	}
+	if err := apply(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if gotApp != 3 || gotSys != 4 {
+		t.Fatalf("dropped request reached the actuator: %d/%d", gotApp, gotSys)
+	}
+}
+
+func TestDefaultSuiteShape(t *testing.T) {
+	suite := DefaultSuite()
+	if len(suite) < 5 {
+		t.Fatalf("suite too small: %d scenarios", len(suite))
+	}
+	if suite[0].Name != "nominal" {
+		t.Fatal("first scenario must be the fault-free control")
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if s.Name == "" || s.Description == "" || s.Make == nil {
+			t.Fatalf("scenario %q incomplete", s.Name)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if inj := s.Make(1, 0.1); inj == nil {
+			t.Fatalf("scenario %q built a nil injector", s.Name)
+		}
+	}
+	if _, err := SuiteByName([]string{"no-such"}); err == nil {
+		t.Fatal("unknown scenario name must error")
+	}
+	got, err := SuiteByName([]string{"stuck", "spikes"})
+	if err != nil || len(got) != 2 || got[0].Name != "stuck" || got[1].Name != "spikes" {
+		t.Fatalf("SuiteByName: %v, %v", got, err)
+	}
+}

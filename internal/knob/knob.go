@@ -179,6 +179,20 @@ func (f *Frontier) ForSpeedup(s float64) (Point, bool) {
 	return f.points[i], true
 }
 
+// SpeedupOf returns the speedup of the frontier point with the given
+// configuration id, and whether the id is on the frontier. Callers use
+// it to value feedback by the configuration that actually ran, which —
+// when actuation is verified by readback — may differ from the one that
+// was requested.
+func (f *Frontier) SpeedupOf(config int) (float64, bool) {
+	for _, p := range f.points {
+		if p.Config == config {
+			return p.Speedup, true
+		}
+	}
+	return 0, false
+}
+
 // Dominates reports whether point a Pareto-dominates point b.
 func Dominates(a, b Point) bool {
 	if a.Speedup >= b.Speedup && a.Accuracy >= b.Accuracy {

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Topology describes the actuatable CPU resources found on the host.
@@ -179,4 +180,56 @@ func (a *Actuator) Apply(i int) error {
 		}
 	}
 	return nil
+}
+
+// RetryPolicy controls ApplyWithRetry. Sysfs writes fail transiently on
+// real hosts — a contended cpufreq lock returns EBUSY, a governor change
+// races the write — so actuation retries with capped exponential backoff
+// before giving up. The zero value selects the defaults.
+type RetryPolicy struct {
+	MaxAttempts int                 // total attempts including the first (default 4)
+	BaseDelay   time.Duration       // delay before the first retry (default 10ms)
+	MaxDelay    time.Duration       // backoff cap (default 250ms)
+	Sleep       func(time.Duration) // injectable for tests (default time.Sleep)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// ApplyWithRetry actuates configuration index i, retrying transient
+// failures per the policy. An out-of-range index is permanent and fails
+// immediately — retrying a bug wastes the control period. The returned
+// error is the last attempt's; attempts reports how many were made.
+func (a *Actuator) ApplyWithRetry(i int, policy RetryPolicy) (attempts int, err error) {
+	if i < 0 || i >= a.topo.NumConfigs() {
+		return 0, fmt.Errorf("linuxsys: config %d out of range [0,%d)", i, a.topo.NumConfigs())
+	}
+	policy = policy.withDefaults()
+	delay := policy.BaseDelay
+	for attempts = 1; ; attempts++ {
+		if err = a.Apply(i); err == nil {
+			return attempts, nil
+		}
+		if attempts >= policy.MaxAttempts {
+			return attempts, fmt.Errorf("linuxsys: giving up after %d attempts: %w", attempts, err)
+		}
+		policy.Sleep(delay)
+		delay *= 2
+		if delay > policy.MaxDelay {
+			delay = policy.MaxDelay
+		}
+	}
 }

@@ -10,9 +10,12 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"jouleguard/internal/apps"
+	"jouleguard/internal/faults"
+	"jouleguard/internal/guard"
 	"jouleguard/internal/heartbeats"
 	"jouleguard/internal/platform"
 	"jouleguard/internal/sensors"
@@ -30,6 +33,22 @@ type Feedback struct {
 	Energy         float64 // cumulative measured energy (J), from the sensors
 	Accuracy       float64 // measured accuracy of this iteration's output
 	IterationsDone int     // iterations completed so far (including this one)
+	// Estimated marks an iteration whose measurement was rejected or
+	// missing: Power and Energy carry the sensing layer's model-based
+	// fallback, good enough to keep the budget ledger honest but not a
+	// real observation to learn from.
+	Estimated bool
+}
+
+// Sane reports whether the measurement fields are finite and physically
+// plausible. Governors must treat insane feedback as a corrupt sample —
+// one NaN folded into an EWMA or Kalman filter poisons it permanently.
+func (fb Feedback) Sane() bool {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	return finite(fb.Duration) && fb.Duration > 0 &&
+		finite(fb.Power) && fb.Power >= 0 &&
+		finite(fb.Energy) && fb.Energy >= 0 &&
+		finite(fb.Accuracy) && finite(fb.Work)
 }
 
 // PowerScaler is implemented by approximate-hardware applications
@@ -60,8 +79,13 @@ type Record struct {
 	Powers        []float64
 	Durations     []float64
 	EnergyPerIter []float64 // true energy per iteration
-	AppConfigs    []int
+	AppConfigs    []int     // configurations actually in effect (≠ requested under actuator faults)
 	SysConfigs    []int
+
+	// Fault-tolerance telemetry (zero on fault-free runs).
+	ActuatorFailures int // transient actuation errors the run absorbed
+	GuardAccepted    int // samples the sensing guard accepted
+	GuardRejected    int // samples the sensing guard rejected or lost
 }
 
 // MeanAccuracy returns the run's average measured accuracy.
@@ -113,7 +137,19 @@ type Engine struct {
 	// on rate and power — external events (a co-located job stealing
 	// cycles, a thermal excursion raising power) no model predicted.
 	Disturb func(iter int) (rateMul, powerMul float64)
-	rng     *rand.Rand
+	// Faults, when set, corrupts the engine's measurement and actuation
+	// channels: the power stream the sensors record, the clock the
+	// governor's durations come from, and whether a requested
+	// configuration actually takes effect. Unlike Disturb, which changes
+	// the world, Faults change only what the control loop perceives and
+	// can actuate — ground truth in the Record stays honest.
+	Faults *faults.Injector
+	// Guard, when set, filters the sensed power stream before it reaches
+	// the governor: rejected or missing samples are replaced by a
+	// model-based estimate and the governor's cumulative energy comes
+	// from the guard's cleaned ledger.
+	Guard *guard.Sensor
+	rng   *rand.Rand
 }
 
 // New builds an engine for (app, platform) with the paper's measurement
@@ -154,6 +190,11 @@ func (e *Engine) Run(iters int, gov Governor) (*Record, error) {
 		return nil, fmt.Errorf("sim: iteration count %d must be positive", iters)
 	}
 	rec := &Record{AppName: e.App.Name(), PlatformName: e.Platform.Name}
+	// The configuration physically in effect: actuator faults can leave
+	// the machine where it was instead of where the governor asked.
+	actApp, actSys := e.App.DefaultConfig(), e.Platform.DefaultConfig()
+	var lastSensed float64 // sample-and-hold for lost readings
+	haveSensed := false
 	for i := 0; i < iters; i++ {
 		appCfg, sysCfg := gov.Decide(i)
 		if appCfg < 0 || appCfg >= e.App.NumConfigs() {
@@ -162,14 +203,25 @@ func (e *Engine) Run(iters int, gov Governor) (*Record, error) {
 		if sysCfg < 0 || sysCfg >= e.Platform.NumConfigs() {
 			return nil, fmt.Errorf("sim: governor chose system config %d of %d", sysCfg, e.Platform.NumConfigs())
 		}
-		work, acc := e.App.Step(appCfg, i)
+		prevApp, prevSys := actApp, actSys
+		actApp, actSys = appCfg, sysCfg
+		if e.Faults != nil {
+			got, aerr := e.Faults.Actuate(i, faults.Pair{App: appCfg, Sys: sysCfg}, faults.Pair{App: prevApp, Sys: prevSys})
+			if aerr != nil {
+				rec.ActuatorFailures++
+			}
+			if got.App >= 0 && got.App < e.App.NumConfigs() && got.Sys >= 0 && got.Sys < e.Platform.NumConfigs() {
+				actApp, actSys = got.App, got.Sys
+			}
+		}
+		work, acc := e.App.Step(actApp, i)
 		if e.Trace != nil {
 			// External difficulty multiplier for kernels that do not model
 			// scene content natively.
 			work *= e.Trace.Cost(i)
 		}
-		rate := e.Platform.Rate(sysCfg, e.Profile) * workload.LogNormal(e.rng, e.RateNoise)
-		power := e.Platform.Power(sysCfg, e.Profile) * workload.LogNormal(e.rng, e.PowerNoise)
+		rate := e.Platform.Rate(actSys, e.Profile) * workload.LogNormal(e.rng, e.RateNoise)
+		power := e.Platform.Power(actSys, e.Profile) * workload.LogNormal(e.rng, e.PowerNoise)
 		if e.Disturb != nil {
 			rm, pm := e.Disturb(i)
 			if rm > 0 {
@@ -183,16 +235,49 @@ func (e *Engine) Run(iters int, gov Governor) (*Record, error) {
 			// Approximate hardware scales the dynamic share of power and
 			// leaves timing untouched (Sec. 3.7).
 			idle := e.Platform.IdleW + e.Platform.UncoreW
-			if s := ps.PowerScale(appCfg); power > idle && s > 0 && s <= 1 {
+			if s := ps.PowerScale(actApp); power > idle && s > 0 && s <= 1 {
 				power = idle + (power-idle)*s
 			}
 		}
 		dur := work / rate
-		e.Reader.Advance(power, dur)
+		// What the instruments see: the sensed power may be corrupted or
+		// lost, and the observed duration comes from a possibly faulty
+		// clock. Ground truth (power, dur) still drives the physics.
+		obsDur := dur
+		durEstimated := false
+		sensed, sampleOK := power, true
+		if e.Faults != nil {
+			obsDur = e.Faults.Interval(i, rec.Time, dur)
+			// Duration plausibility: a jittered or backwards clock can
+			// report a non-positive or wildly wrong interval. Substituting
+			// the model duration (and flagging the sample as estimated)
+			// keeps the energy ledger from silently dropping joules —
+			// integrating power over a zero interval counts nothing and
+			// the budget accounting would drift unsafe.
+			modelDur := work / e.Platform.Rate(actSys, e.Profile)
+			if math.IsNaN(obsDur) || math.IsInf(obsDur, 0) ||
+				obsDur < modelDur/4 || obsDur > modelDur*4 {
+				obsDur = modelDur
+				durEstimated = true
+			}
+			sensed, sampleOK = e.Faults.SensePower(i, power)
+		}
+		if sampleOK {
+			lastSensed, haveSensed = sensed, true
+		}
+		deposit := sensed
+		if !sampleOK {
+			// A lost sample leaves the instrument holding its last value.
+			deposit = 0
+			if haveSensed {
+				deposit = lastSensed
+			}
+		}
+		e.Reader.Advance(deposit, dur)
 		e.Meter.Advance(power, dur)
 		rec.Time += dur
 		rec.TrueEnergy += power * dur
-		if _, err := e.HB.Beat(rec.Time, appCfg); err != nil {
+		if _, err := e.HB.Beat(rec.Time, actApp); err != nil {
 			return nil, fmt.Errorf("sim: heartbeat: %w", err)
 		}
 		rec.Iterations++
@@ -200,20 +285,51 @@ func (e *Engine) Run(iters int, gov Governor) (*Record, error) {
 		rec.Powers = append(rec.Powers, power)
 		rec.Durations = append(rec.Durations, dur)
 		rec.EnergyPerIter = append(rec.EnergyPerIter, power*dur)
-		rec.AppConfigs = append(rec.AppConfigs, appCfg)
-		rec.SysConfigs = append(rec.SysConfigs, sysCfg)
+		rec.AppConfigs = append(rec.AppConfigs, actApp)
+		rec.SysConfigs = append(rec.SysConfigs, actSys)
 		rec.MeasEnergy = e.Reader.ReadEnergy()
+		fbPower, fbEnergy, estimated := deposit, rec.MeasEnergy, !sampleOK
+		fbDur := obsDur
+		if e.Guard != nil {
+			if actApp != prevApp || actSys != prevSys {
+				e.Guard.NoteActuation()
+			}
+			e.Guard.SetModelPower(e.Platform.Power(actSys, e.Profile))
+			var v guard.Verdict
+			if sampleOK {
+				v = e.Guard.Observe(sensed, obsDur)
+			} else {
+				v = e.Guard.Missing(obsDur)
+			}
+			fbPower, fbEnergy, estimated = v.Power, v.Energy, !v.Accepted
+			// The rate path gets the median-filtered interval (jitter on
+			// 1/D is biased); the energy ledger already integrated the raw
+			// interval, where the noise is unbiased.
+			fbDur = e.Guard.Interval(obsDur, work/e.Platform.Rate(actSys, e.Profile))
+		}
+		estimated = estimated || durEstimated
 		gov.Observe(Feedback{
-			Iter:           i,
-			AppConfig:      appCfg,
-			SysConfig:      sysCfg,
+			Iter: i,
+			// The hardened actuation pipeline verifies every request by
+			// reading the applied configuration back (a register/sysfs
+			// read), so feedback is attributed to the configuration that
+			// actually ran. Without readback a silently dropped or delayed
+			// actuation would credit one configuration with another's rate
+			// and power, and those mis-attributed samples poison the
+			// learner's estimates for the rest of the run.
+			AppConfig:      actApp,
+			SysConfig:      actSys,
 			Work:           work,
-			Duration:       dur,
-			Power:          power,
-			Energy:         rec.MeasEnergy,
+			Duration:       fbDur,
+			Power:          fbPower,
+			Energy:         fbEnergy,
 			Accuracy:       acc,
 			IterationsDone: i + 1,
+			Estimated:      estimated,
 		})
+	}
+	if e.Guard != nil {
+		rec.GuardAccepted, rec.GuardRejected = e.Guard.Counts()
 	}
 	return rec, nil
 }

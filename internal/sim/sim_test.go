@@ -211,3 +211,54 @@ func (unknownApp) NumConfigs() int                  { return 1 }
 func (unknownApp) DefaultConfig() int               { return 0 }
 func (unknownApp) Metric() string                   { return "" }
 func (unknownApp) Step(c, i int) (float64, float64) { return 1, 1 }
+
+func TestDisturbIgnoresDegenerateMultipliers(t *testing.T) {
+	// Zero, negative and non-positive multipliers must be ignored rather
+	// than zeroing rates (divide-by-zero durations) or negating power.
+	base := newEngine(t)
+	plain, err := base.Run(40, FixedGovernor{AppCfg: 0, SysCfg: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := newEngine(t)
+	dist.Disturb = func(iter int) (float64, float64) {
+		switch iter % 3 {
+		case 0:
+			return 0, 0
+		case 1:
+			return -2, -0.5
+		}
+		return 1, 1
+	}
+	rec, err := dist.Run(40, FixedGovernor{AppCfg: 0, SysCfg: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rec.Time-plain.Time)/plain.Time > 1e-9 {
+		t.Fatalf("degenerate multipliers changed timing: %v vs %v", rec.Time, plain.Time)
+	}
+	if math.Abs(rec.TrueEnergy-plain.TrueEnergy)/plain.TrueEnergy > 1e-9 {
+		t.Fatalf("degenerate multipliers changed energy: %v vs %v", rec.TrueEnergy, plain.TrueEnergy)
+	}
+	for _, d := range rec.Durations {
+		if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+			t.Fatalf("degenerate duration %v", d)
+		}
+	}
+}
+
+func TestDisturbNilIsNoDisturbance(t *testing.T) {
+	a, b := newEngine(t), newEngine(t)
+	b.Disturb = nil
+	ra, err := a.Run(30, FixedGovernor{AppCfg: 0, SysCfg: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run(30, FixedGovernor{AppCfg: 0, SysCfg: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.TrueEnergy != rb.TrueEnergy || ra.Time != rb.Time {
+		t.Fatal("nil Disturb must be identical to no hook")
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"jouleguard/internal/apps"
 	"jouleguard/internal/baselines"
 	"jouleguard/internal/core"
+	"jouleguard/internal/faults"
+	"jouleguard/internal/guard"
 	"jouleguard/internal/hwapprox"
 	"jouleguard/internal/knob"
 	"jouleguard/internal/learning"
@@ -75,6 +77,19 @@ type (
 	// register one with RegisterProfile before building a testbed for a
 	// custom application.
 	AppHardwareProfile = platform.AppProfile
+	// FaultInjector bundles sensor, clock and actuator fault models for
+	// one run (see RunFaulty and the internal/faults models).
+	FaultInjector = faults.Injector
+	// FaultScenario is one named, reproducible fault configuration from
+	// the chaos suite.
+	FaultScenario = faults.Scenario
+	// SensorGuard is the hardened sensing layer: median/MAD outlier
+	// rejection, stuck-sensor detection and model-based fallback over a
+	// raw power/energy stream.
+	SensorGuard = guard.Sensor
+	// SensorGuardConfig tunes a SensorGuard; the zero value selects the
+	// defaults.
+	SensorGuardConfig = guard.Config
 )
 
 // Exploration policies for Options.Selector.
@@ -281,6 +296,33 @@ func (tb *Testbed) RunDisturbed(gov Governor, iters int, disturb func(iter int) 
 	}
 	eng.Disturb = disturb
 	return eng.Run(iters, gov)
+}
+
+// RunFaulty is Run with a fault injector corrupting the measurement and
+// actuation channels and the hardened sensing guard cleaning the power
+// stream before it reaches the governor — the configuration the chaos
+// harness (cmd/chaos) exercises. Ground truth in the Record stays
+// honest; only what the governor perceives is faulted.
+func (tb *Testbed) RunFaulty(gov Governor, iters int, inj *FaultInjector) (*Record, error) {
+	eng, err := sim.New(tb.App, tb.Platform, tb.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng.Faults = inj
+	eng.Guard = guard.New(guard.Config{ModelPower: tb.DefaultPower})
+	return eng.Run(iters, gov)
+}
+
+// NewSensorGuard builds a hardened sensing guard (see SensorGuardConfig).
+func NewSensorGuard(cfg SensorGuardConfig) *SensorGuard { return guard.New(cfg) }
+
+// FaultScenarios returns the chaos harness's standing fault suite: the
+// scenarios every JouleGuard build must keep its energy guarantee under.
+func FaultScenarios() []FaultScenario { return faults.DefaultSuite() }
+
+// FaultScenariosByName filters the standing suite by name (empty = all).
+func FaultScenariosByName(names []string) ([]FaultScenario, error) {
+	return faults.SuiteByName(names)
 }
 
 // RunDefault runs the out-of-the-box configuration (the paper's baseline

@@ -3,6 +3,7 @@ package jouleguard
 import (
 	"fmt"
 
+	"jouleguard/internal/guard"
 	"jouleguard/internal/heartbeats"
 	"jouleguard/internal/sim"
 )
@@ -24,24 +25,51 @@ import (
 //
 // Use sensors' LinuxRAPLReader as the energy source on Linux hosts with
 // powercap, or any monotone joule counter.
+//
+// The controller assumes nothing about the instruments' health: readings
+// pass through a hardened sensing guard (median/MAD outlier rejection,
+// stuck-sensor detection, counter-regression checks), a failed or
+// rejected reading is replaced by a model-based estimate so the
+// governor's iteration and budget accounting never desynchronise, and a
+// clock that steps backwards is clamped and recorded instead of killing
+// the caller's loop.
 type OnlineController struct {
 	gov        Governor
 	readEnergy func() (float64, error)
 	now        func() float64
 	hb         *heartbeats.Monitor
+	guard      *guard.Sensor
 
 	iter       int
 	started    bool
 	startT     float64
 	appCfg     int
 	sysCfg     int
-	prevEnergy float64
+	prevApp    int
+	prevSys    int
+	haveCfg    bool
+	prevEnergy float64 // counter value at the last accepted reading
+	haveEnergy bool
+	lastGoodT  float64 // clock at the last accepted reading
+	estSinceJ  float64 // provisional joules integrated since the last accepted reading
+	lastBeatT  float64
 	lastErr    error
+	failStreak int
+	failTotal  int
+	clockBack  int
 }
 
-// NewOnline builds an online controller. readEnergy returns cumulative
-// full-system joules; now returns seconds on a monotone clock.
+// NewOnline builds an online controller with the default sensing guard.
+// readEnergy returns cumulative full-system joules; now returns seconds
+// on a monotone clock.
 func NewOnline(gov Governor, readEnergy func() (float64, error), now func() float64) (*OnlineController, error) {
+	return NewOnlineGuarded(gov, readEnergy, now, SensorGuardConfig{})
+}
+
+// NewOnlineGuarded is NewOnline with an explicit sensing-guard
+// configuration (set ModelPower to the platform's expected draw so the
+// fallback estimate is meaningful before the first good reading).
+func NewOnlineGuarded(gov Governor, readEnergy func() (float64, error), now func() float64, gcfg SensorGuardConfig) (*OnlineController, error) {
 	if gov == nil {
 		return nil, fmt.Errorf("jouleguard: nil governor")
 	}
@@ -52,22 +80,35 @@ func NewOnline(gov Governor, readEnergy func() (float64, error), now func() floa
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineController{gov: gov, readEnergy: readEnergy, now: now, hb: hb}, nil
+	return &OnlineController{gov: gov, readEnergy: readEnergy, now: now, hb: hb, guard: guard.New(gcfg)}, nil
 }
 
 // Next returns the configurations for the upcoming iteration and starts its
 // timer. Calling Next twice without Done restarts the measurement.
 func (o *OnlineController) Next() (appCfg, sysCfg int) {
 	o.appCfg, o.sysCfg = o.gov.Decide(o.iter)
+	if o.haveCfg && (o.appCfg != o.prevApp || o.sysCfg != o.prevSys) {
+		// A configuration change legitimately moves the power level: tell
+		// the guard so the new level is not rejected as an outlier.
+		o.guard.NoteActuation()
+	}
+	o.prevApp, o.prevSys, o.haveCfg = o.appCfg, o.sysCfg, true
 	o.startT = o.now()
 	o.started = true
 	return o.appCfg, o.sysCfg
 }
 
-// Done completes the iteration: it measures the elapsed time and energy and
-// feeds the governor. accuracy is the application's own measure of this
-// iteration's output quality (1 if it does not quantify accuracy; the
-// runtime only needs the configuration ordering, Sec. 3.6).
+// Done completes the iteration: it measures the elapsed time and energy,
+// validates both through the sensing guard, and feeds the governor.
+// accuracy is the application's own measure of this iteration's output
+// quality (1 if it does not quantify accuracy; the runtime only needs the
+// configuration ordering, Sec. 3.6).
+//
+// Sensor failures, rejected readings and backwards clocks never kill the
+// loop and never skip the governor: the observation is delivered with the
+// guard's model-based estimate and flagged as such, so the governor's
+// iteration/budget accounting stays synchronised and its own watchdog can
+// degrade gracefully.
 func (o *OnlineController) Done(accuracy float64) error {
 	if !o.started {
 		return fmt.Errorf("jouleguard: Done without Next")
@@ -76,42 +117,93 @@ func (o *OnlineController) Done(accuracy float64) error {
 	end := o.now()
 	dur := end - o.startT
 	if dur < 0 {
-		return fmt.Errorf("jouleguard: clock went backwards (%v)", dur)
+		// Monotone-clock guard: clamp, record, continue.
+		o.clockBack++
+		dur = 0
 	}
+	var v guard.Verdict
 	energy, err := o.readEnergy()
-	if err != nil {
-		// Sensor hiccups must not kill the loop: remember and skip the
-		// update (the governor holds its decision on zero-duration
-		// feedback).
+	switch {
+	case err != nil:
+		// Sensor hiccups must not desynchronise the accounting: deliver a
+		// fallback observation instead of skipping the update.
 		o.lastErr = err
-		o.iter++
-		return nil
-	}
-	if _, err := o.hb.Beat(end, o.appCfg); err != nil {
-		return err
-	}
-	var power float64
-	if dur > 0 {
-		// Average power over the iteration, derived from the energy delta.
-		power = (energy - o.prevEnergy) / dur
-		if power < 0 {
-			power = 0
+		v = o.provisional(dur)
+	case !o.haveEnergy:
+		// First reading baselines the counter (it need not start at
+		// zero); there is no delta to validate yet.
+		o.prevEnergy, o.haveEnergy = energy, true
+		o.lastGoodT, o.estSinceJ = end, 0
+		v = o.provisional(dur)
+	default:
+		delta := energy - o.prevEnergy
+		gap := end - o.lastGoodT // spans any intervening outage
+		switch {
+		case delta < 0:
+			// Counter regression (reset or wrap): rebaseline; the
+			// provisional estimates stand for the unknowable span.
+			o.prevEnergy, o.lastGoodT, o.estSinceJ = energy, end, 0
+			v = o.provisional(dur)
+		case gap <= 0:
+			// No measurable elapsed time to attribute the delta to.
+			v = o.provisional(dur)
+		default:
+			// Average power since the last accepted reading. After an
+			// outage this is the counter's own account of the gap — if
+			// accepted, it replaces the provisional estimates so the
+			// budget ledger resynchronises exactly.
+			v = o.guard.Observe(delta/gap, gap)
+			if v.Accepted {
+				v.Energy = o.guard.AdjustEnergy(-o.estSinceJ)
+				o.prevEnergy, o.lastGoodT, o.estSinceJ = energy, end, 0
+			} else {
+				// Rejected reading: keep the old baseline so the next
+				// accepted one reconciles the whole span, and remember
+				// what was just provisionally integrated.
+				o.estSinceJ += v.Power * gap
+			}
 		}
 	}
-	o.prevEnergy = energy
+	if v.Accepted {
+		o.failStreak = 0
+		o.lastErr = nil
+	} else {
+		o.failStreak++
+		o.failTotal++
+	}
+	beatT := end
+	if beatT < o.lastBeatT {
+		beatT = o.lastBeatT
+	}
+	o.lastBeatT = beatT
+	if _, err := o.hb.Beat(beatT, o.appCfg); err != nil {
+		return err
+	}
 	o.gov.Observe(sim.Feedback{
 		Iter:           o.iter,
 		AppConfig:      o.appCfg,
 		SysConfig:      o.sysCfg,
 		Work:           1,
 		Duration:       dur,
-		Power:          power,
-		Energy:         energy,
+		Power:          v.Power,
+		Energy:         v.Energy,
 		Accuracy:       accuracy,
 		IterationsDone: o.iter + 1,
+		Estimated:      !v.Accepted,
 	})
 	o.iter++
 	return nil
+}
+
+// provisional integrates the guard's fallback estimate for an interval
+// with no usable reading, tracking the joules provisionally booked so a
+// later authoritative counter delta can replace them.
+func (o *OnlineController) provisional(dur float64) guard.Verdict {
+	v := o.guard.Missing(dur)
+	if dur > 0 {
+		o.estSinceJ += v.Power * dur
+	}
+	return v
 }
 
 // Iterations returns how many iterations completed.
@@ -120,5 +212,20 @@ func (o *OnlineController) Iterations() int { return o.iter }
 // HeartRate returns the windowed iteration rate (beats/second).
 func (o *OnlineController) HeartRate() float64 { return o.hb.WindowRate() }
 
-// LastSensorError returns the most recent energy-reader failure, if any.
+// LastSensorError returns the most recent energy-reader failure; it is
+// cleared once a reading is accepted again.
 func (o *OnlineController) LastSensorError() error { return o.lastErr }
+
+// ConsecutiveFailures returns the current run of iterations whose
+// readings were missing or rejected.
+func (o *OnlineController) ConsecutiveFailures() int { return o.failStreak }
+
+// SensorFailures returns the total count of missing or rejected readings.
+func (o *OnlineController) SensorFailures() int { return o.failTotal }
+
+// ClockAnomalies returns how many times the clock stepped backwards
+// across an iteration (each clamped to a zero-duration observation).
+func (o *OnlineController) ClockAnomalies() int { return o.clockBack }
+
+// GuardCounts returns the sensing guard's accepted/rejected totals.
+func (o *OnlineController) GuardCounts() (accepted, rejected int) { return o.guard.Counts() }

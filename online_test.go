@@ -107,6 +107,7 @@ func TestOnlineControllerSurvivesSensorFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var sawErr bool
 	for i := 0; i < 50; i++ {
 		appCfg, sysCfg := ctl.Next()
 		m.apply(appCfg, sysCfg)
@@ -115,9 +116,23 @@ func TestOnlineControllerSurvivesSensorFailure(t *testing.T) {
 		if err := ctl.Done(1); err != nil {
 			t.Fatalf("iteration %d: %v", i, err)
 		}
+		if m.failing && ctl.LastSensorError() == nil {
+			t.Fatalf("iteration %d: sensor failure not recorded", i)
+		}
+		sawErr = sawErr || ctl.LastSensorError() != nil
 	}
-	if ctl.LastSensorError() == nil {
+	if !sawErr {
 		t.Fatal("sensor failures should be recorded")
+	}
+	// The last iterations succeeded: the error must clear on recovery.
+	if ctl.LastSensorError() != nil {
+		t.Fatalf("sensor error not cleared on recovery: %v", ctl.LastSensorError())
+	}
+	if ctl.ConsecutiveFailures() != 0 {
+		t.Fatalf("failure streak not cleared: %d", ctl.ConsecutiveFailures())
+	}
+	if ctl.SensorFailures() < 10 {
+		t.Fatalf("total sensor failures undercounted: %d", ctl.SensorFailures())
 	}
 	if ctl.Iterations() != 50 {
 		t.Fatalf("iterations: %d", ctl.Iterations())
@@ -125,6 +140,8 @@ func TestOnlineControllerSurvivesSensorFailure(t *testing.T) {
 }
 
 func TestOnlineControllerClockRegression(t *testing.T) {
+	// A clock that steps backwards must not kill the caller's loop: the
+	// duration is clamped to zero, the event recorded, and the run goes on.
 	tb, _ := jouleguard.NewTestbed("radar", "Tablet")
 	gov, _ := tb.NewJouleGuard(2, 10, jouleguard.Options{})
 	clock := 10.0
@@ -135,8 +152,72 @@ func TestOnlineControllerClockRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctl.Next()
-	if err := ctl.Done(1); err == nil {
-		t.Error("want error for clock regression")
+	for i := 0; i < 3; i++ {
+		ctl.Next()
+		if err := ctl.Done(1); err != nil {
+			t.Fatalf("clock regression killed the loop: %v", err)
+		}
+	}
+	if ctl.ClockAnomalies() != 3 {
+		t.Fatalf("clock anomalies: %d", ctl.ClockAnomalies())
+	}
+	if ctl.Iterations() != 3 {
+		t.Fatalf("iterations: %d", ctl.Iterations())
+	}
+}
+
+// TestOnlineControllerOutageRecovery drives the acceptance scenario: the
+// energy reader errors for 50 consecutive iterations mid-run. The loop
+// must survive, the runtime must enter its degraded state during the
+// outage and leave it after recovery, and the run must not blow the
+// budget — the counter delta at recovery reconciles the ledger.
+func TestOnlineControllerOutageRecovery(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 400
+	factor := 1.5
+	gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMachine{tb: tb}
+	ctl, err := jouleguard.NewOnline(gov, m.readEnergy, func() float64 { return m.clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	outageLo, outageHi := 100, 150 // 50 consecutive reader errors
+	degradedDuring := false
+	for i := 0; i < iters; i++ {
+		appCfg, sysCfg := ctl.Next()
+		m.apply(appCfg, sysCfg)
+		m.failing = i >= outageLo && i < outageHi
+		m.work()
+		if err := ctl.Done(1); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if m.failing {
+			degradedDuring = degradedDuring || gov.Degraded()
+		}
+	}
+	if !degradedDuring {
+		t.Fatal("runtime never entered degraded state during the outage")
+	}
+	if gov.Degraded() {
+		t.Fatal("runtime still degraded after recovery")
+	}
+	if gov.DegradeEvents() == 0 {
+		t.Fatal("watchdog trip not counted")
+	}
+	if streak := ctl.ConsecutiveFailures(); streak != 0 {
+		t.Fatalf("failure streak not cleared after recovery: %d", streak)
+	}
+	goal := tb.DefaultEnergy / factor * float64(iters)
+	if m.energyJ > goal*1.05 {
+		t.Fatalf("outage blew the budget: %.2f J vs goal %.2f J", m.energyJ, goal)
+	}
+	if ctl.Iterations() != iters {
+		t.Fatalf("iterations: %d", ctl.Iterations())
 	}
 }
