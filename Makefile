@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench replicate examples chaos-smoke clean
+.PHONY: all build vet test test-race race bench replicate examples chaos-smoke clean
 
 all: build vet test
 
@@ -18,9 +18,15 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# One scaled-down benchmark pass over every table/figure + ablations.
+# Race-detector pass over the packages that share state across the
+# experiment worker pool: the pool itself, the drivers, and the caches.
+race:
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ .
+
+# One scaled-down benchmark pass over every table/figure + ablations,
+# leaving a machine-readable timing snapshot in BENCH_experiments.json.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./...
+	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_experiments.json
 
 # Full-size regeneration of the paper's evaluation into results/.
 replicate:

@@ -1,0 +1,78 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON timing snapshot on stdout, so `make bench` can leave a
+// machine-readable artefact (BENCH_experiments.json) that CI or a later
+// session can diff against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, e.g.
+//
+//	BenchmarkRate-4    93416    12.3 ns/op    0 B/op    0 allocs/op
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Mirror the stream so the human-readable output is not swallowed.
+		fmt.Fprintln(os.Stderr, line)
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Package: pkg, Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

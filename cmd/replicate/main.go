@@ -171,10 +171,7 @@ func fig3(dir string, _ float64) error {
 }
 
 func fig4(dir string, scale float64) error {
-	frames := int(260 * scale)
-	if frames < 60 {
-		frames = 60
-	}
+	frames := experiments.ScaledIters(260, scale)
 	traces, err := experiments.Fig4(frames)
 	if err != nil {
 		return err
@@ -272,10 +269,7 @@ func fig7(dir string, scale float64) error {
 }
 
 func fig8(dir string, scale float64) error {
-	frames := int(200 * scale)
-	if frames < 50 {
-		frames = 50
-	}
+	frames := experiments.ScaledIters(200, scale)
 	traces, err := experiments.Fig8(frames, 2)
 	if err != nil {
 		return err

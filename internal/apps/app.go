@@ -85,13 +85,17 @@ func ProfileApp(a App, calibIters int) (*knob.Profile, error) {
 		}
 		return work, acc / float64(calibIters)
 	}
-	defWork, _ := measure(a.DefaultConfig())
+	defCfg := a.DefaultConfig()
+	defWork, defAcc := measure(defCfg)
 	if defWork <= 0 {
 		return nil, fmt.Errorf("apps: %s default config reported no work", a.Name())
 	}
 	prof := &knob.Profile{Points: make([]knob.Point, n)}
 	for cfg := 0; cfg < n; cfg++ {
-		w, acc := measure(cfg)
+		w, acc := defWork, defAcc
+		if cfg != defCfg {
+			w, acc = measure(cfg)
+		}
 		if w <= 0 {
 			return nil, fmt.Errorf("apps: %s config %d reported no work", a.Name(), cfg)
 		}

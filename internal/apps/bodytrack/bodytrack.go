@@ -38,7 +38,8 @@ type Tracker struct {
 	particles []int
 	defCfg    int
 	mu        sync.RWMutex
-	defErr    map[int]float64 // cached default-config tracking error per iter
+	defErr    map[int]float64  // cached default-config tracking error per iter
+	segs      map[int]*segment // cached ground-truth segments per iter
 	work      kernel.WorkScale
 	acc       kernel.AccuracyScale
 }
@@ -61,7 +62,8 @@ func New() *Tracker {
 	if err != nil {
 		panic(err)
 	}
-	t := &Tracker{space: space, particles: particles, defCfg: def, defErr: make(map[int]float64)}
+	t := &Tracker{space: space, particles: particles, defCfg: def,
+		defErr: make(map[int]float64), segs: make(map[int]*segment)}
 	rawDef := float64(maxParticles * numLayers * segSteps)
 	rawFast := float64(minParticles * 1 * segSteps)
 	t.work = kernel.NewWorkScale(rawDef, rawFast, targetSpeed)
@@ -145,17 +147,23 @@ func run(seg segment, nParticles, layers int, rng *rand.Rand) float64 {
 			beta := math.Pow(2, float64(l)) / math.Pow(2, float64(layers-1))
 			diffuse := procNoise * (2.5 - 2.0*float64(l)/float64(layers))
 			var sum float64
+			dets := &seg.dets[t]
 			for i := range px {
 				prevX, prevY := px[i], py[i]
 				px[i] += diffuse * rng.NormFloat64()
 				py[i] += diffuse * rng.NormFloat64()
-				best := 0.0
+				// Best match over detections. Exp is monotone and beta and
+				// the 2*sigma^2 divisor are exact powers of two, so taking
+				// the largest exponent and exponentiating once gives the
+				// same weight as exponentiating each candidate.
+				bestArg := math.Inf(-1)
 				for c := 0; c <= clutter; c++ {
-					dx, dy := px[i]-seg.dets[t][c][0], py[i]-seg.dets[t][c][1]
-					if w := math.Exp(-beta * (dx*dx + dy*dy) / (2 * obsNoise * obsNoise)); w > best {
-						best = w
+					dx, dy := px[i]-dets[c][0], py[i]-dets[c][1]
+					if a := -beta * (dx*dx + dy*dy) / (2 * obsNoise * obsNoise); a > bestArg {
+						bestArg = a
 					}
 				}
+				best := math.Exp(bestArg)
 				// Motion-consistency prior: discourage jumps.
 				jx, jy := px[i]-prevX, py[i]-prevY
 				wts[i] = best * math.Exp(-(jx*jx+jy*jy)/(2*25))
@@ -205,6 +213,23 @@ func (t *Tracker) settings(cfgID int) (nParticles, layers int) {
 	return int(vals[0]), int(vals[1])
 }
 
+// segmentAt returns (and caches) the ground-truth segment for an
+// iteration. Segments are pure functions of the iteration index, so every
+// configuration profiled against the same input can share one instance.
+func (t *Tracker) segmentAt(iter int) *segment {
+	t.mu.RLock()
+	s, ok := t.segs[iter]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	seg := makeSegment(iter)
+	t.mu.Lock()
+	t.segs[iter] = &seg
+	t.mu.Unlock()
+	return &seg
+}
+
 // defaultError returns (and caches) the default configuration's tracking
 // error for an iteration.
 func (t *Tracker) defaultError(iter int) float64 {
@@ -214,8 +239,7 @@ func (t *Tracker) defaultError(iter int) float64 {
 	if ok {
 		return e
 	}
-	seg := makeSegment(iter)
-	e = run(seg, maxParticles, numLayers, kernel.RNG(name+"-pf", iter))
+	e = run(*t.segmentAt(iter), maxParticles, numLayers, kernel.RNG(name+"-pf", iter))
 	t.mu.Lock()
 	t.defErr[iter] = e
 	t.mu.Unlock()
@@ -227,7 +251,7 @@ func (t *Tracker) rawLoss(cfgID, iter int) float64 {
 	// Common random numbers: every configuration consumes the same PF
 	// stream, so differences in tracking error reflect the configuration,
 	// not sampling luck.
-	seg := makeSegment(iter)
+	seg := *t.segmentAt(iter)
 	n, l := t.settings(cfgID)
 	err := run(seg, n, l, kernel.RNG(name+"-pf", iter))
 	ref := t.defaultError(iter)

@@ -44,11 +44,24 @@ type posting struct {
 	tf  int
 }
 
+// rankedQuery is one query's precomputed ranking: the full ordered result
+// list, the work the scoring and ranking stages cost, and the snippet work
+// of each ranked result. Rankings depend only on the query (the cap knob
+// merely truncates them), so the pool's 64 rankings are computed once and
+// every configuration shares them; all work terms are integer-valued, so
+// the replayed sums are exactly the figures direct evaluation produces.
+type rankedQuery struct {
+	docs     []int
+	rankWork float64
+	snipWork []float64
+}
+
 // Engine implements the App interface for document search.
 type Engine struct {
 	corpus  *workload.Corpus
 	index   map[int][]posting
 	queries [][]int
+	ranked  []rankedQuery  // per query, precomputed in New (read-only after)
 	refSets []map[int]bool // per query: result set of the default config
 	refLens []int
 	work    kernel.WorkScale
@@ -77,11 +90,15 @@ func New() (*Engine, error) {
 		return nil, fmt.Errorf("search: %w", err)
 	}
 	e.queries = make([][]int, queryPool)
+	e.ranked = make([]rankedQuery, queryPool)
 	e.refSets = make([]map[int]bool, queryPool)
 	e.refLens = make([]int, queryPool)
 	for q := range e.queries {
 		e.queries[q] = qs.Next()
-		docs, _ := e.answer(e.queries[q], 0)
+	}
+	for q := range e.queries {
+		e.ranked[q] = e.rank(e.queries[q])
+		docs, _ := e.answer(q, 0)
 		set := make(map[int]bool, len(docs))
 		for _, d := range docs {
 			set[d] = true
@@ -96,9 +113,9 @@ func New() (*Engine, error) {
 	rawDef, rawFast := 0.0, 0.0
 	var lossFast float64
 	for q := 0; q < queryPool; q++ {
-		_, w := e.answer(e.queries[q], 0)
+		_, w := e.answer(q, 0)
 		rawDef += w
-		docs, w2 := e.answer(e.queries[q], resultCaps[len(resultCaps)-1])
+		docs, w2 := e.answer(q, resultCaps[len(resultCaps)-1])
 		rawFast += w2
 		lossFast += e.lossVersusRef(q, docs)
 	}
@@ -108,15 +125,16 @@ func New() (*Engine, error) {
 	return e, nil
 }
 
-// answer executes one query with a result cap (0 = unlimited) and returns
-// the ranked document ids plus the raw work performed: postings scanned,
-// ranking comparisons, and snippet generation for every returned result.
-func (e *Engine) answer(terms []int, cap int) (docs []int, rawWork float64) {
+// rank executes one query's scoring, ranking and per-result snippet stages
+// in full, recording the work of each stage so answer can replay any
+// truncation of it exactly.
+func (e *Engine) rank(terms []int) rankedQuery {
+	var r rankedQuery
 	scores := map[int]int{}
 	for _, t := range terms {
 		for _, p := range e.index[t] {
 			scores[p.doc] += p.tf
-			rawWork++
+			r.rankWork++
 		}
 	}
 	type cand struct{ doc, score int }
@@ -130,17 +148,33 @@ func (e *Engine) answer(terms []int, cap int) (docs []int, rawWork float64) {
 		}
 		return cands[i].doc < cands[j].doc
 	})
-	rawWork += float64(len(cands)) * 4 // ranking cost (comparison-ish)
-	n := len(cands)
+	r.rankWork += float64(len(cands)) * 4 // ranking cost (comparison-ish)
+	r.docs = make([]int, len(cands))
+	r.snipWork = make([]float64, len(cands))
+	for i, c := range cands {
+		r.docs[i] = c.doc
+		r.snipWork[i] = e.snippet(c.doc, terms)
+	}
+	return r
+}
+
+// answer executes query q with a result cap (0 = unlimited) and returns
+// the ranked document ids plus the raw work performed: postings scanned,
+// ranking comparisons, and snippet generation for every returned result.
+// The ranking itself comes from the precomputed per-query cache; every
+// work term is an integer-valued float64, so the replayed totals are
+// identical to evaluating the stages directly.
+func (e *Engine) answer(q, cap int) (docs []int, rawWork float64) {
+	r := &e.ranked[q]
+	rawWork = r.rankWork
+	n := len(r.docs)
 	if cap > 0 && cap < n {
 		n = cap
 	}
-	docs = make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		docs = append(docs, cands[i].doc)
-		rawWork += e.snippet(cands[i].doc, terms)
+		rawWork += r.snipWork[i]
 	}
-	return docs, rawWork
+	return r.docs[:n:n], rawWork
 }
 
 // snippet scans the whole document, highlighting every query-term
@@ -202,7 +236,7 @@ func (e *Engine) Step(cfg, iter int) (work, accuracy float64) {
 	var raw, loss float64
 	for b := 0; b < batchSize; b++ {
 		q := (iter*batchSize + b) % queryPool
-		docs, w := e.answer(e.queries[q], resultCaps[cfg])
+		docs, w := e.answer(q, resultCaps[cfg])
 		raw += w
 		loss += e.lossVersusRef(q, docs)
 	}

@@ -24,8 +24,8 @@ func TestResultCapsLadder(t *testing.T) {
 func TestCapTruncatesRanking(t *testing.T) {
 	e := newEngine(t)
 	for q := 0; q < 10; q++ {
-		all, _ := e.answer(e.queries[q], 0)
-		top5, _ := e.answer(e.queries[q], 5)
+		all, _ := e.answer(q, 0)
+		top5, _ := e.answer(q, 5)
 		if len(top5) > 5 {
 			t.Fatalf("query %d: cap violated, %d results", q, len(top5))
 		}
@@ -67,7 +67,7 @@ func TestPrecisionAlwaysPerfect(t *testing.T) {
 	// only truncates the same ranking, so precision stays 1).
 	e := newEngine(t)
 	for q := 0; q < 20; q++ {
-		docs, _ := e.answer(e.queries[q], 5)
+		docs, _ := e.answer(q, 5)
 		for _, d := range docs {
 			if !e.refSets[q][d] {
 				t.Fatalf("query %d returned doc %d outside the reference set", q, d)

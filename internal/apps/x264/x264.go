@@ -42,7 +42,35 @@ const (
 
 type frame [][]float64 // [y][x] luma
 
-// Encoder implements the App interface. The two caches make Step safe for
+// mvKey identifies one motion search: the frame pair (iter, iter-r), the
+// block, and the two knobs the search depends on. The depth and
+// reference-count knobs do not enter the search itself, so all
+// configurations sharing (range, subme) reuse the same result.
+type mvKey struct {
+	iter, r, blk, rng, subme int
+}
+
+// mvVal is one memoised searchBlock result.
+type mvVal struct {
+	mx, my     int
+	best, work float64
+}
+
+// prKey identifies one block prediction: the frame pair, the block, the
+// motion vector the search produced, and the partition depth. Distinct
+// configurations frequently converge to the same vector, so the
+// quadrant-refinement sads are shared across them.
+type prKey struct {
+	iter, r, blk, mx, my, depth int
+}
+
+// prVal is one memoised predict result.
+type prVal struct {
+	pred [block * block]float64
+	work float64
+}
+
+// Encoder implements the App interface. The caches make Step safe for
 // concurrent use by parallel experiment sweeps.
 type Encoder struct {
 	space      *knob.Space
@@ -51,6 +79,9 @@ type Encoder struct {
 	mu         sync.RWMutex
 	frames     map[int]frame   // frame cache keyed by index
 	refPSNR    map[int]float64 // default-config PSNR per iteration
+	mvMu       sync.RWMutex
+	mv         map[mvKey]mvVal  // motion-search memo (bit-identical replay)
+	pr         map[prKey]*prVal // prediction memo, same purity argument
 	objects    []object
 	work       kernel.WorkScale
 	acc        kernel.AccuracyScale
@@ -98,6 +129,8 @@ func New(difficulty func(iter int) float64) *Encoder {
 		difficulty: difficulty,
 		frames:     make(map[int]frame),
 		refPSNR:    make(map[int]float64),
+		mv:         make(map[mvKey]mvVal),
+		pr:         make(map[prKey]*prVal),
 	}
 	rng := kernel.RNG(name+"-scene", 0)
 	for i := 0; i < 3; i++ {
@@ -186,21 +219,73 @@ func (e *Encoder) frameAt(j int) frame {
 // cur at (bx,by) and ref at offset (mx,my); out-of-frame reference pixels
 // cost a border penalty. Returns the SAD and pixel-ops performed.
 func sad(cur, ref frame, bx, by, mx, my, bs int) (float64, float64) {
+	// Row-hoisted form of the per-pixel loop: the accumulation visits the
+	// same pixels in the same order with the same operations, so the sum
+	// is bit-identical to the naive version; only the per-pixel 2D
+	// indexing and border branches are lifted out.
 	var s float64
 	for y := 0; y < bs; y++ {
-		for x := 0; x < bs; x++ {
-			cy, cx := by+y, bx+x
-			ry, rx := cy+my, cx+mx
-			var rv float64
-			if ry >= 0 && ry < height && rx >= 0 && rx < width {
-				rv = ref[ry][rx]
-			} else {
-				rv = 128 // frame border
+		cy := by + y
+		ry := cy + my
+		curRow := cur[cy][bx : bx+bs]
+		if ry < 0 || ry >= height {
+			for x := 0; x < bs; x++ {
+				s += math.Abs(curRow[x] - 128) // frame border
 			}
-			s += math.Abs(cur[cy][cx] - rv)
+			continue
+		}
+		// Columns [lo, hi) land inside the reference frame; the rest cost
+		// the border penalty.
+		rx := bx + mx
+		lo, hi := 0, bs
+		if rx < 0 {
+			lo = -rx
+			if lo > bs {
+				lo = bs
+			}
+		}
+		if rx+bs > width {
+			hi = width - rx
+			if hi < lo {
+				hi = lo
+			}
+		}
+		for x := 0; x < lo; x++ {
+			s += math.Abs(curRow[x] - 128)
+		}
+		if lo < hi {
+			refSeg := ref[ry][rx+lo : rx+hi]
+			for x := lo; x < hi; x++ {
+				s += math.Abs(curRow[x] - refSeg[x-lo])
+			}
+		}
+		for x := hi; x < bs; x++ {
+			s += math.Abs(curRow[x] - 128)
 		}
 	}
 	return s, float64(bs * bs)
+}
+
+// searchBlockMemo returns the memoised searchBlock result for one
+// (frame pair, block, range, subme) search. searchBlock is a pure
+// function of the two frames and its parameters, and frames are pure
+// functions of their index, so replaying the stored result is
+// bit-identical to recomputing it. Configurations that differ only in
+// partition depth or reference count share entries, which is where the
+// 560-configuration profiling sweep spends most of its redundancy.
+func (e *Encoder) searchBlockMemo(iter, r, blk, rng, subme int, cur, ref frame, bx, by int) (mx, my int, best, work float64) {
+	k := mvKey{iter: iter, r: r, blk: blk, rng: rng, subme: subme}
+	e.mvMu.RLock()
+	v, ok := e.mv[k]
+	e.mvMu.RUnlock()
+	if ok {
+		return v.mx, v.my, v.best, v.work
+	}
+	mx, my, best, work = searchBlock(cur, ref, bx, by, rng, subme)
+	e.mvMu.Lock()
+	e.mv[k] = mvVal{mx: mx, my: my, best: best, work: work}
+	e.mvMu.Unlock()
+	return mx, my, best, work
 }
 
 // searchBlock runs a three-step (log) search with early termination and
@@ -257,24 +342,44 @@ func searchBlock(cur, ref frame, bx, by, rng, subme int) (mx, my int, best float
 	return mx, my, best, work
 }
 
-// predict builds the motion-compensated prediction of the 8x8 block using
-// the chosen reference and motion vector; partition depth >= 2 refines each
-// 4x4 quadrant with its own small search around the block vector.
-func predict(cur, ref frame, bx, by, mx, my, depth int) (pred [][]float64, work float64) {
-	pred = make([][]float64, block)
-	for y := range pred {
-		pred[y] = make([]float64, block)
-		for x := range pred[y] {
+// predictMemo returns predict's output for one (frame pair, block,
+// motion vector, depth), replaying the stored prediction when the same
+// vector has been predicted before. predict is pure in its inputs, so
+// the copy is bit-identical to recomputation.
+func (e *Encoder) predictMemo(iter, r, blk, mx, my, depth int, cur, ref frame, bx, by int, pred *[block * block]float64) (work float64) {
+	k := prKey{iter: iter, r: r, blk: blk, mx: mx, my: my, depth: depth}
+	e.mvMu.RLock()
+	v, ok := e.pr[k]
+	e.mvMu.RUnlock()
+	if ok {
+		*pred = v.pred
+		return v.work
+	}
+	work = predict(cur, ref, bx, by, mx, my, depth, pred)
+	e.mvMu.Lock()
+	e.pr[k] = &prVal{pred: *pred, work: work}
+	e.mvMu.Unlock()
+	return work
+}
+
+// predict fills pred (a row-major block x block buffer, reused across
+// blocks to avoid per-block allocation) with the motion-compensated
+// prediction of the 8x8 block using the chosen reference and motion
+// vector; partition depth >= 2 refines each 4x4 quadrant with its own
+// small search around the block vector.
+func predict(cur, ref frame, bx, by, mx, my, depth int, pred *[block * block]float64) (work float64) {
+	for y := 0; y < block; y++ {
+		for x := 0; x < block; x++ {
 			ry, rx := by+y+my, bx+x+mx
 			if ry >= 0 && ry < height && rx >= 0 && rx < width {
-				pred[y][x] = ref[ry][rx]
+				pred[y*block+x] = ref[ry][rx]
 			} else {
-				pred[y][x] = 128
+				pred[y*block+x] = 128
 			}
 		}
 	}
 	if depth < 2 {
-		return pred, 0
+		return 0
 	}
 	half := block / 2
 	for passes := 0; passes < depth-1; passes++ {
@@ -296,14 +401,14 @@ func predict(cur, ref frame, bx, by, mx, my, depth int) (pred [][]float64, work 
 					for x := 0; x < half; x++ {
 						ry, rx := qby+y+bestMY, qbx+x+bestMX
 						if ry >= 0 && ry < height && rx >= 0 && rx < width {
-							pred[qy*half+y][qx*half+x] = ref[ry][rx]
+							pred[(qy*half+y)*block+qx*half+x] = ref[ry][rx]
 						}
 					}
 				}
 			}
 		}
 	}
-	return pred, work
+	return work
 }
 
 // encode encodes frame `iter` at configuration c and returns the raw work
@@ -315,33 +420,36 @@ func (e *Encoder) encode(c cfg, iter int) (rawWork, psnr float64) {
 		refs = append(refs, e.frameAt(iter-r))
 	}
 	var sqErr float64
+	var pred [block * block]float64
 	for byi := 0; byi < blocksY; byi++ {
 		for bxi := 0; bxi < blocksX; bxi++ {
 			bx, by := bxi*block, byi*block
 			bestSAD := math.Inf(1)
 			var bestRef frame
+			bestR := 1
 			var bmx, bmy int
-			for _, ref := range refs {
-				mx, my, s, w := searchBlock(cur, ref, bx, by, c.searchRng, c.subme)
+			for ri, ref := range refs {
+				mx, my, s, w := e.searchBlockMemo(iter, ri+1, byi*blocksX+bxi, c.searchRng, c.subme, cur, ref, bx, by)
 				rawWork += w
 				if s < bestSAD {
-					bestSAD, bestRef, bmx, bmy = s, ref, mx, my
+					bestSAD, bestRef, bestR, bmx, bmy = s, ref, ri+1, mx, my
 				}
 			}
-			pred, w := predict(cur, bestRef, bx, by, bmx, bmy, c.depth)
-			rawWork += w
+			rawWork += e.predictMemo(iter, bestR, byi*blocksX+bxi, bmx, bmy, c.depth, cur, bestRef, bx, by, &pred)
 			// Residual quantisation with clipping (bit budget stand-in).
 			for y := 0; y < block; y++ {
+				curRow := cur[by+y][bx : bx+block]
+				predRow := pred[y*block : (y+1)*block]
 				for x := 0; x < block; x++ {
-					resid := cur[by+y][bx+x] - pred[y][x]
+					resid := curRow[x] - predRow[x]
 					q := math.Round(resid/qp) * qp
 					if q > clip {
 						q = clip
 					} else if q < -clip {
 						q = -clip
 					}
-					recon := pred[y][x] + q
-					d := cur[by+y][bx+x] - recon
+					recon := predRow[x] + q
+					d := curRow[x] - recon
 					sqErr += d * d
 				}
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"jouleguard"
+	"jouleguard/internal/par"
 )
 
 // AblationResult compares one design-choice variant against the paper's
@@ -21,7 +22,7 @@ type ablationCase struct {
 
 func runAblation(appName, platName string, factor, scale float64, cases []ablationCase) ([]AblationResult, error) {
 	out := make([]AblationResult, len(cases))
-	err := parallelMap(len(cases), func(i int) error {
+	err := par.Map(len(cases), func(i int) error {
 		res, err := RunJouleGuard(appName, platName, factor, scale, cases[i].opts)
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 
 	"jouleguard"
 	"jouleguard/internal/apps"
+	"jouleguard/internal/par"
 	"jouleguard/internal/platform"
 )
 
@@ -82,7 +83,7 @@ func Chaos(appNames, platNames []string, scenarios []jouleguard.FaultScenario, f
 		}
 	}
 	cells = make([]ChaosCell, len(jobs))
-	err = parallelMap(len(jobs), func(i int) error {
+	err = par.Map(len(jobs), func(i int) error {
 		c, err := runChaosCell(jobs[i].app, jobs[i].plat, jobs[i].scenario, factor, scale, jobs[i].seed)
 		if err != nil {
 			return err

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"jouleguard/internal/par"
+)
+
+// TestDriversDeterministicAcrossWorkerCounts is the golden-determinism
+// check: a representative driver run serially must produce byte-for-byte
+// the same structured results as the same driver run with a parallel
+// worker pool. Results are written into index-addressed slots and every
+// run's seed is a pure function of its position, so worker count must be
+// unobservable in the output.
+func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) ([]Fig1Row, []RobustnessCell, []AblationResult) {
+		restore := par.SetWorkers(workers)
+		defer restore()
+		rows, err := Fig1(testScale)
+		if err != nil {
+			t.Fatalf("Fig1 (workers=%d): %v", workers, err)
+		}
+		cells, err := Robustness(testScale)
+		if err != nil {
+			t.Fatalf("Robustness (workers=%d): %v", workers, err)
+		}
+		abl, err := AblationPole("radar", "Mobile", 2.0, testScale)
+		if err != nil {
+			t.Fatalf("AblationPole (workers=%d): %v", workers, err)
+		}
+		return rows, cells, abl
+	}
+
+	serialRows, serialCells, serialAbl := run(1)
+	for _, workers := range []int{4} {
+		rows, cells, abl := run(workers)
+		if !reflect.DeepEqual(serialRows, rows) {
+			t.Errorf("Fig1 rows differ between 1 and %d workers:\nserial:   %+v\nparallel: %+v", workers, serialRows, rows)
+		}
+		if !reflect.DeepEqual(serialCells, cells) {
+			t.Errorf("Robustness cells differ between 1 and %d workers:\nserial:   %+v\nparallel: %+v", workers, serialCells, cells)
+		}
+		if !reflect.DeepEqual(serialAbl, abl) {
+			t.Errorf("Ablation results differ between 1 and %d workers:\nserial:   %+v\nparallel: %+v", workers, serialAbl, abl)
+		}
+	}
+}
+
+// TestScaledItersFloor pins the centralised minimum-iterations clamp that
+// every scaled driver (figures, chaos, the replicate CLI) shares.
+func TestScaledItersFloor(t *testing.T) {
+	if got := ScaledIters(600, 1); got != 600 {
+		t.Fatalf("ScaledIters(600, 1) = %d, want 600", got)
+	}
+	if got := ScaledIters(600, 0.5); got != 300 {
+		t.Fatalf("ScaledIters(600, 0.5) = %d, want 300", got)
+	}
+	if got := ScaledIters(600, 0.001); got != MinIters {
+		t.Fatalf("ScaledIters(600, 0.001) = %d, want the %d floor", got, MinIters)
+	}
+	if got := ScaledIters(200, 0.1); got != MinIters {
+		t.Fatalf("ScaledIters(200, 0.1) = %d, want the %d floor", got, MinIters)
+	}
+}

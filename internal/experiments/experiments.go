@@ -5,16 +5,30 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"jouleguard"
 	"jouleguard/internal/metrics"
+	"jouleguard/internal/par"
 )
 
 // PaperFactors are the energy-reduction factors of Sec. 5.2.
 var PaperFactors = []float64{1.1, 1.2, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0}
+
+// MinIters is the floor every scaled-down run length is clamped to: below
+// ~50 actuation periods the SEO's priors cannot deflate enough for a run to
+// mean anything, so no driver is allowed to go shorter.
+const MinIters = 50
+
+// ScaledIters applies a run-length scale to a base iteration count with the
+// shared MinIters clamp. Every driver that shortens runs (figures, tables,
+// chaos, and the cmd front-ends) must derive its lengths here so they
+// cannot disagree about scaled-down runs.
+func ScaledIters(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < MinIters {
+		n = MinIters
+	}
+	return n
+}
 
 // ItersFor returns the run length for a platform. Server gets a longer run:
 // its 1024-configuration space needs more iterations for the SEO's
@@ -25,11 +39,7 @@ func ItersFor(platform string, scale float64) int {
 	if platform == "Server" {
 		base = 1600
 	}
-	n := int(float64(base) * scale)
-	if n < 50 {
-		n = 50
-	}
-	return n
+	return ScaledIters(base, scale)
 }
 
 // RunResult is the outcome of one (app, platform, factor, governor) run.
@@ -113,7 +123,7 @@ func RunTrials(appName, platName string, factor, scale float64, trials int) (Tri
 	}
 	errsV := make([]float64, trials)
 	accsV := make([]float64, trials)
-	err := parallelMap(trials, func(t int) error {
+	err := par.Map(trials, func(t int) error {
 		res, err := RunJouleGuard(appName, platName, factor, scale,
 			jouleguard.Options{Seed: int64(1000 + 17*t)})
 		if err != nil {
@@ -133,43 +143,4 @@ func RunTrials(appName, platName string, factor, scale float64, trials int) (Tri
 		RelErrMean: es.Mean, RelErrStd: es.StdDev,
 		EffAccMean: as.Mean, EffAccStd: as.StdDev,
 	}, nil
-}
-
-// parallelMap runs jobs over a worker pool sized to the machine and
-// collects results in order. Any job error aborts the batch.
-func parallelMap(n int, job func(i int) error) error {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := job(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = fmt.Errorf("experiments: job %d: %w", i, err)
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
 }

@@ -7,6 +7,7 @@ import (
 	"jouleguard"
 	"jouleguard/internal/apps"
 	"jouleguard/internal/metrics"
+	"jouleguard/internal/par"
 	"jouleguard/internal/platform"
 	"jouleguard/internal/sim"
 )
@@ -54,7 +55,7 @@ func Fig1(scale float64) ([]Fig1Row, error) {
 		}},
 	}
 	rows := make([]Fig1Row, len(jobs))
-	err = parallelMap(len(jobs), func(i int) error {
+	err = par.Map(len(jobs), func(i int) error {
 		// Each governor runs on its own engine (via a fresh testbed); the
 		// governors themselves are parameterised identically from tb.
 		tbi, err := jouleguard.NewTestbed(appName, platName)
@@ -113,32 +114,41 @@ type Fig3Curve struct {
 // Fig3 characterises the platforms (Sec. 4.3, Fig. 3): energy efficiency of
 // every system configuration with the application at full accuracy. The
 // paper plots bodytrack and ferret; any benchmark names may be passed.
+// Cells run through the shared pool, one per (platform, application), in
+// the platform-major order the serial loop used.
 func Fig3(appNames []string) ([]Fig3Curve, error) {
-	var out []Fig3Curve
+	type cellSpec struct{ plat, app string }
+	var cells []cellSpec
 	for _, platName := range platform.Names() {
-		plat, err := platform.ByName(platName)
-		if err != nil {
-			return nil, err
-		}
 		for _, appName := range appNames {
-			prof, err := platform.ProfileFor(appName)
-			if err != nil {
-				return nil, err
-			}
-			curve := Fig3Curve{App: appName, Platform: platName, DefaultIndex: plat.DefaultConfig()}
-			best, bestEff := 0, math.Inf(-1)
-			for i := 0; i < plat.NumConfigs(); i++ {
-				eff := plat.Efficiency(i, prof)
-				curve.Efficiency = append(curve.Efficiency, eff)
-				if eff > bestEff {
-					best, bestEff = i, eff
-				}
-			}
-			curve.PeakIndex = best
-			out = append(out, curve)
+			cells = append(cells, cellSpec{platName, appName})
 		}
 	}
-	return out, nil
+	out := make([]Fig3Curve, len(cells))
+	err := par.Map(len(cells), func(ci int) error {
+		plat, err := platform.ByName(cells[ci].plat)
+		if err != nil {
+			return err
+		}
+		prof, err := platform.ProfileFor(cells[ci].app)
+		if err != nil {
+			return err
+		}
+		curve := Fig3Curve{App: cells[ci].app, Platform: cells[ci].plat, DefaultIndex: plat.DefaultConfig()}
+		curve.Efficiency = make([]float64, 0, plat.NumConfigs())
+		best, bestEff := 0, math.Inf(-1)
+		for i := 0; i < plat.NumConfigs(); i++ {
+			eff := plat.Efficiency(i, prof)
+			curve.Efficiency = append(curve.Efficiency, eff)
+			if eff > bestEff {
+				best, bestEff = i, eff
+			}
+		}
+		curve.PeakIndex = best
+		out[ci] = curve
+		return nil
+	})
+	return out, err
 }
 
 // ---------------------------------------------------------------- Fig. 4
@@ -199,7 +209,7 @@ func Fig4(frames int) ([]Fig4Trace, error) {
 		factor float64
 	}{{"Mobile", 4}, {"Tablet", 3}, {"Server", 3}}
 	out := make([]Fig4Trace, len(cfg))
-	err := parallelMap(len(cfg), func(i int) error {
+	err := par.Map(len(cfg), func(i int) error {
 		tb, err := jouleguard.NewTestbed("bodytrack", cfg[i].plat)
 		if err != nil {
 			return err
@@ -266,7 +276,7 @@ func Sweep(factors []float64, scale float64) ([]SweepCell, error) {
 		}
 	}
 	cells := make([]SweepCell, len(jobs))
-	err := parallelMap(len(jobs), func(i int) error {
+	err := par.Map(len(jobs), func(i int) error {
 		res, err := RunJouleGuard(jobs[i].app, jobs[i].plat, jobs[i].factor, scale, jouleguard.Options{})
 		if err != nil {
 			return err
@@ -333,7 +343,7 @@ func Fig7(scale float64) ([]Fig7Result, error) {
 		}
 		out[ai] = res
 	}
-	err := parallelMap(len(jobs), func(j int) error {
+	err := par.Map(len(jobs), func(j int) error {
 		spec := jobs[j]
 		appName := appNames[spec.appIdx]
 		jg, err := RunJouleGuard(appName, platName, spec.factor, scale, jouleguard.Options{})
@@ -388,8 +398,12 @@ func Fig8(framesPer int, factor float64) ([]Fig8Trace, error) {
 	}
 	platNames := platform.Names()
 	out := make([]Fig8Trace, len(platNames))
-	err := parallelMap(len(platNames), func(i int) error {
-		app := jouleguard.PhasedX264(framesPer)
+	// One shared phased encoder for all three platforms: its Step method is
+	// a deterministic pure function (and concurrency-safe), so sharing the
+	// instance means the 560-configuration calibration frontier is profiled
+	// once instead of once per platform.
+	app := jouleguard.PhasedX264(framesPer)
+	err := par.Map(len(platNames), func(i int) error {
 		plat, err := jouleguard.PlatformByName(platNames[i])
 		if err != nil {
 			return err

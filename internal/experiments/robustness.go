@@ -6,6 +6,7 @@ import (
 
 	"jouleguard"
 	"jouleguard/internal/metrics"
+	"jouleguard/internal/par"
 	"jouleguard/internal/workload"
 )
 
@@ -52,7 +53,7 @@ func Disturbance(appName, platName string, factor, scale float64) ([]Disturbance
 		}, nil
 	}
 	out := make([]DisturbanceResult, 2)
-	err := parallelMap(2, func(i int) error {
+	err := par.Map(2, func(i int) error {
 		var e error
 		if i == 0 {
 			out[0], e = mk("undisturbed", nil)
@@ -107,7 +108,7 @@ func Robustness(scale float64) ([]RobustnessCell, error) {
 		}
 	}
 	cells = make([]RobustnessCell, len(jobs))
-	err := parallelMap(len(jobs), func(i int) error {
+	err := par.Map(len(jobs), func(i int) error {
 		j := jobs[i]
 		tb, err := jouleguard.NewTestbed(j.s.app, j.s.plat)
 		if err != nil {

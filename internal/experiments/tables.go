@@ -5,6 +5,7 @@ import (
 
 	"jouleguard"
 	"jouleguard/internal/apps"
+	"jouleguard/internal/par"
 	"jouleguard/internal/platform"
 )
 
@@ -26,7 +27,7 @@ type Table2Row struct {
 // Table2 profiles every benchmark and reports measured vs paper values.
 func Table2() ([]Table2Row, error) {
 	rows := make([]Table2Row, len(apps.Table2))
-	err := parallelMap(len(apps.Table2), func(i int) error {
+	err := par.Map(len(apps.Table2), func(i int) error {
 		spec := apps.Table2[i]
 		a, err := apps.New(spec.Name)
 		if err != nil {
@@ -67,32 +68,43 @@ type Table3Row struct {
 
 // Table3 sweeps each platform resource dimension with all others at their
 // maximum and reports the largest rate and power ratios across benchmarks.
+// One pool job per (platform, resource) row, in the serial loop's order.
 func Table3() ([]Table3Row, error) {
-	var rows []Table3Row
+	type rowSpec struct {
+		plat *platform.Platform
+		row  platform.ResourceRow
+	}
+	var specs []rowSpec
 	for _, platName := range platform.Names() {
 		plat, err := platform.ByName(platName)
 		if err != nil {
 			return nil, err
 		}
 		for _, rr := range plat.Table3() {
-			row := Table3Row{Platform: platName, Resource: rr.Resource, Settings: rr.Settings}
-			for _, appName := range apps.Names() {
-				prof, err := platform.ProfileFor(appName)
-				if err != nil {
-					return nil, err
-				}
-				s, p := resourceSweep(plat, prof, rr.Resource)
-				if s > row.Speedup {
-					row.Speedup = s
-				}
-				if p > row.Powerup {
-					row.Powerup = p
-				}
-			}
-			rows = append(rows, row)
+			specs = append(specs, rowSpec{plat, rr})
 		}
 	}
-	return rows, nil
+	rows := make([]Table3Row, len(specs))
+	err := par.Map(len(specs), func(i int) error {
+		plat, rr := specs[i].plat, specs[i].row
+		row := Table3Row{Platform: plat.Name, Resource: rr.Resource, Settings: rr.Settings}
+		for _, appName := range apps.Names() {
+			prof, err := platform.ProfileFor(appName)
+			if err != nil {
+				return err
+			}
+			s, p := resourceSweep(plat, prof, rr.Resource)
+			if s > row.Speedup {
+				row.Speedup = s
+			}
+			if p > row.Powerup {
+				row.Powerup = p
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
 }
 
 // resourceSweep finds the max/min rate and power along one resource
@@ -123,8 +135,7 @@ func resourceSweep(plat *platform.Platform, prof platform.AppProfile, resource s
 	minRate, maxRate := -1.0, -1.0
 	minPow, maxPow := -1.0, -1.0
 	for i := 0; i < plat.NumConfigs(); i++ {
-		c, err := plat.Config(i)
-		if err != nil || !match(c) {
+		if !match(plat.ConfigAt(i)) {
 			continue
 		}
 		r := plat.Rate(i, prof)

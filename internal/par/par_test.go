@@ -1,0 +1,82 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsAllJobs(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		got := make([]int32, 100)
+		if err := MapWorkers(w, len(got), func(i int) error {
+			atomic.AddInt32(&got[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", w, i, v)
+			}
+		}
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	fail := map[int]bool{3: true, 40: true, 97: true}
+	for _, w := range []int{1, 8} {
+		err := MapWorkers(w, 100, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", w)
+		}
+		if !strings.Contains(err.Error(), "job 3") {
+			t.Fatalf("workers=%d: want lowest-index failure (job 3), got %v", w, err)
+		}
+	}
+}
+
+func TestMapErrorAbortsUnstartedJobs(t *testing.T) {
+	var ran atomic.Int32
+	err := MapWorkers(1, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := ran.Load(); n > 10 {
+		t.Fatalf("expected early abort, but %d jobs ran", n)
+	}
+}
+
+func TestMapZeroAndNegativeJobs(t *testing.T) {
+	if err := Map(0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Map(-3, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWorkersRestores(t *testing.T) {
+	orig := Workers()
+	restore := SetWorkers(1)
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", got)
+	}
+	restore()
+	if got := Workers(); got != orig {
+		t.Fatalf("Workers() = %d after restore, want %d", got, orig)
+	}
+}

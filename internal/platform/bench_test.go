@@ -36,3 +36,40 @@ func BenchmarkEnumerate(b *testing.B) {
 		Server()
 	}
 }
+
+// BenchmarkRateDirect and BenchmarkPowerDirect measure the un-memoized
+// model evaluation that used to run on the simulator's per-iteration hot
+// path; the table variants above (BenchmarkRate/BenchmarkPower, which now
+// hit the memo) show what the lookup costs instead.
+func BenchmarkRateDirect(b *testing.B) {
+	p := Server()
+	prof := Profiles["x264"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.rateDirect(i%p.NumConfigs(), prof)
+	}
+}
+
+func BenchmarkPowerDirect(b *testing.B) {
+	p := Server()
+	prof := Profiles["x264"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.powerDirect(i%p.NumConfigs(), prof)
+	}
+}
+
+// BenchmarkModelTableBuild is the one-time cost a (platform, profile) pair
+// pays to fill its lookup table — the price of the first Rate/Power call.
+func BenchmarkModelTableBuild(b *testing.B) {
+	p := Server()
+	prof := Profiles["x264"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.memoMu.Lock()
+		p.memo = nil
+		p.memoMu.Unlock()
+		p.table(prof)
+	}
+}

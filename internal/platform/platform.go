@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"jouleguard/internal/learning"
 )
@@ -77,12 +78,59 @@ type Platform struct {
 	hasMemCtrl bool
 	configs    []Config
 	rows       []ResourceRow
+
+	// Memoized speed/power models. Rate and Power are pure functions of
+	// (configuration index, profile), but they sit on the per-iteration hot
+	// path of the simulator, the oracle's exhaustive profiling and the
+	// baselines' brute-force sweeps — so each (platform, profile) pair is
+	// evaluated once into a dense lookup table on first use. AppProfile is a
+	// comparable value type, which makes it directly usable as the map key.
+	memoMu sync.RWMutex
+	memo   map[AppProfile]*modelTable
+}
+
+// modelTable holds the fully evaluated speed/power model for one profile.
+type modelTable struct {
+	rate  []float64
+	power []float64
+}
+
+// table returns the memoized model for prof, computing it on first use. The
+// tables hold exactly the values rateDirect/powerDirect produce, so lookups
+// are bit-identical to direct evaluation.
+func (p *Platform) table(prof AppProfile) *modelTable {
+	p.memoMu.RLock()
+	t := p.memo[prof]
+	p.memoMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	p.memoMu.Lock()
+	defer p.memoMu.Unlock()
+	if t = p.memo[prof]; t != nil {
+		return t
+	}
+	t = &modelTable{
+		rate:  make([]float64, len(p.configs)),
+		power: make([]float64, len(p.configs)),
+	}
+	for i := range p.configs {
+		t.rate[i] = p.rateDirect(i, prof)
+		t.power[i] = p.powerDirect(i, prof)
+	}
+	if p.memo == nil {
+		p.memo = make(map[AppProfile]*modelTable)
+	}
+	p.memo[prof] = t
+	return t
 }
 
 // NumConfigs returns the size of the configuration space.
 func (p *Platform) NumConfigs() int { return len(p.configs) }
 
-// Configs returns a copy of the configuration list in index order.
+// Configs returns a copy of the configuration list in index order. The copy
+// makes the result safe to mutate; hot paths iterating the space should use
+// ConfigAt instead of calling this per loop.
 func (p *Platform) Configs() []Config { return append([]Config(nil), p.configs...) }
 
 // Config returns the configuration at a dense index.
@@ -92,6 +140,11 @@ func (p *Platform) Config(i int) (Config, error) {
 	}
 	return p.configs[i], nil
 }
+
+// ConfigAt is the allocation-free accessor for hot loops over the
+// configuration space: it returns the configuration at a dense index and,
+// like a slice access, panics when i is out of [0, NumConfigs()).
+func (p *Platform) ConfigAt(i int) Config { return p.configs[i] }
 
 // DefaultConfig is the highest index: all resources at their maximum — how
 // the paper runs each application "out of the box".
@@ -109,8 +162,14 @@ func (p *Platform) singleCoreSpeed(ct CoreType, f float64, prof AppProfile) floa
 }
 
 // Rate returns the application's computation rate (work units per second)
-// in configuration i.
+// in configuration i, from the memoized model table.
 func (p *Platform) Rate(i int, prof AppProfile) float64 {
+	return p.table(prof).rate[i]
+}
+
+// rateDirect evaluates the speed model from scratch (table construction and
+// the memoization benchmarks).
+func (p *Platform) rateDirect(i int, prof AppProfile) float64 {
 	c := p.configs[i]
 	ct := p.CoreTypes[c.Cluster]
 	f := ct.Freqs[c.FreqIdx]
@@ -138,8 +197,13 @@ func (p *Platform) Rate(i int, prof AppProfile) float64 {
 // runs in configuration i: platform idle + uncore + per-core static +
 // cubic-in-frequency dynamic power, with hyperthreading and memory-
 // controller powerups. Memory-bound applications stall cores and draw
-// proportionally less dynamic power.
+// proportionally less dynamic power. Served from the memoized model table.
 func (p *Platform) Power(i int, prof AppProfile) float64 {
+	return p.table(prof).power[i]
+}
+
+// powerDirect evaluates the power model from scratch.
+func (p *Platform) powerDirect(i int, prof AppProfile) float64 {
 	c := p.configs[i]
 	ct := p.CoreTypes[c.Cluster]
 	fMax := ct.Freqs[len(ct.Freqs)-1]
@@ -164,16 +228,18 @@ func (p *Platform) Power(i int, prof AppProfile) float64 {
 // Efficiency returns rate/power for configuration i — the paper's
 // energy-efficiency metric (Sec. 4.3).
 func (p *Platform) Efficiency(i int, prof AppProfile) float64 {
-	return p.Rate(i, prof) / p.Power(i, prof)
+	t := p.table(prof)
+	return t.rate[i] / t.power[i]
 }
 
 // BestEfficiency sweeps the whole space and returns the most efficient
 // configuration index and its efficiency (the brute-force search of
 // Sec. 2.1).
 func (p *Platform) BestEfficiency(prof AppProfile) (int, float64) {
+	t := p.table(prof)
 	best, bestEff := 0, math.Inf(-1)
-	for i := range p.configs {
-		if e := p.Efficiency(i, prof); e > bestEff {
+	for i := range t.rate {
+		if e := t.rate[i] / t.power[i]; e > bestEff {
 			best, bestEff = i, e
 		}
 	}

@@ -352,3 +352,53 @@ func TestRateMonotoneInFrequencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The memoized model tables must be bit-identical to direct evaluation:
+// the whole pipeline (oracle profiling, CSV regeneration) depends on the
+// memo layer being a pure cache, not an approximation.
+func TestMemoTablesMatchDirectEvaluation(t *testing.T) {
+	for _, p := range All() {
+		for _, profName := range []string{"x264", "canneal", "swish++"} {
+			prof := Profiles[profName]
+			for i := 0; i < p.NumConfigs(); i++ {
+				if got, want := p.Rate(i, prof), p.rateDirect(i, prof); got != want {
+					t.Fatalf("%s/%s cfg %d: Rate table %v != direct %v", p.Name, profName, i, got, want)
+				}
+				if got, want := p.Power(i, prof), p.powerDirect(i, prof); got != want {
+					t.Fatalf("%s/%s cfg %d: Power table %v != direct %v", p.Name, profName, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// ByName must return shared singletons; the constructors stay fresh.
+func TestByNameCachesInstances(t *testing.T) {
+	a, err := ByName("Server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("Server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("ByName returned distinct instances for the same platform")
+	}
+	if Server() == a {
+		t.Fatal("constructor returned the cached instance; it must build fresh")
+	}
+}
+
+func TestConfigAtMatchesConfig(t *testing.T) {
+	p := Tablet()
+	for i := 0; i < p.NumConfigs(); i++ {
+		want, err := p.Config(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.ConfigAt(i); got != want {
+			t.Fatalf("ConfigAt(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+}

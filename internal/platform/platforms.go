@@ -1,6 +1,9 @@
 package platform
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // freqRange returns n ascending clock speeds from lo to hi GHz inclusive.
 func freqRange(lo, hi float64, n int) []float64 {
@@ -121,24 +124,51 @@ func Server() *Platform {
 	return p
 }
 
-// ByName returns a platform by its paper name.
+var (
+	byNameMu    sync.Mutex
+	byNameCache = map[string]*Platform{}
+)
+
+// ByName returns a platform by its paper name. Instances are cached and
+// shared process-wide: a platform is immutable after construction (the
+// memoized model tables have their own lock), and enumerating + sorting
+// Server's 1024-configuration space is far too expensive to repeat for
+// every testbed an experiment sweep builds. Callers needing a private
+// mutable instance should use the Mobile/Tablet/Server constructors, which
+// always build fresh.
 func ByName(name string) (*Platform, error) {
+	byNameMu.Lock()
+	defer byNameMu.Unlock()
+	if p, ok := byNameCache[name]; ok {
+		return p, nil
+	}
+	var p *Platform
 	switch name {
 	case "Mobile":
-		return Mobile(), nil
+		p = Mobile()
 	case "Tablet":
-		return Tablet(), nil
+		p = Tablet()
 	case "Server":
-		return Server(), nil
+		p = Server()
+	default:
+		return nil, fmt.Errorf("platform: unknown platform %q (Mobile, Tablet, Server)", name)
 	}
-	return nil, fmt.Errorf("platform: unknown platform %q (Mobile, Tablet, Server)", name)
+	byNameCache[name] = p
+	return p, nil
 }
 
 // Names lists the three platforms in paper order.
 func Names() []string { return []string{"Mobile", "Tablet", "Server"} }
 
-// All returns the three platforms.
-func All() []*Platform { return []*Platform{Mobile(), Tablet(), Server()} }
+// All returns the three platforms (the shared ByName instances).
+func All() []*Platform {
+	out := make([]*Platform, 0, 3)
+	for _, n := range Names() {
+		p, _ := ByName(n)
+		out = append(out, p)
+	}
+	return out
+}
 
 // Profiles maps each benchmark to its hardware-interaction profile. The
 // parallel fractions, memory-boundness and hyperthreading gains are set to

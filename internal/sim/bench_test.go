@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"jouleguard/internal/apps"
+	"jouleguard/internal/platform"
+)
+
+// BenchmarkEngineRun measures the per-iteration cost of the simulation
+// loop under a fixed governor — the hot path every experiment driver
+// amplifies by hundreds of iterations per run. ReportAllocs keeps the
+// trace-slice preallocation honest: the loop body should not grow the
+// Record by repeated append reallocation.
+func BenchmarkEngineRun(b *testing.B) {
+	app, err := apps.New("radar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := platform.ByName("Mobile")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gov := FixedGovernor{AppCfg: app.DefaultConfig(), SysCfg: plat.DefaultConfig()}
+	const iters = 200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(app, plat, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(iters, gov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStep measures one simulated iteration by running a
+// single b.N-iteration trace, so per-op numbers are the marginal cost of
+// the loop body (the Record preallocation is amortised away).
+func BenchmarkEngineStep(b *testing.B) {
+	app, err := apps.New("radar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := platform.ByName("Mobile")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gov := FixedGovernor{AppCfg: app.DefaultConfig(), SysCfg: plat.DefaultConfig()}
+	e, err := New(app, plat, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := e.Run(b.N, gov); err != nil {
+		b.Fatal(err)
+	}
+}

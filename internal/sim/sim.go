@@ -189,7 +189,18 @@ func (e *Engine) Run(iters int, gov Governor) (*Record, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("sim: iteration count %d must be positive", iters)
 	}
-	rec := &Record{AppName: e.App.Name(), PlatformName: e.Platform.Name}
+	rec := &Record{
+		AppName:      e.App.Name(),
+		PlatformName: e.Platform.Name,
+		// The run length is known up front; growing these by append would
+		// reallocate ~log2(iters) times per trace, six traces per run.
+		Accuracies:    make([]float64, 0, iters),
+		Powers:        make([]float64, 0, iters),
+		Durations:     make([]float64, 0, iters),
+		EnergyPerIter: make([]float64, 0, iters),
+		AppConfigs:    make([]int, 0, iters),
+		SysConfigs:    make([]int, 0, iters),
+	}
 	// The configuration physically in effect: actuator faults can leave
 	// the machine where it was instead of where the governor asked.
 	actApp, actSys := e.App.DefaultConfig(), e.Platform.DefaultConfig()

@@ -27,6 +27,7 @@ package jouleguard
 
 import (
 	"fmt"
+	"sync"
 
 	"jouleguard/internal/apps"
 	"jouleguard/internal/baselines"
@@ -135,17 +136,46 @@ type Testbed struct {
 	Seed int64
 }
 
-// NewTestbed builds a testbed for (application, platform) by name.
+// The (application, platform) testbed cache. Building a testbed means
+// profiling the application into its calibrated frontier and probing its
+// default-configuration characteristics — work that is deterministic per
+// (app, platform) pair yet used to be repaid by every run of every sweep
+// (the full evaluation builds 864+ testbeds). The cache holds one immutable
+// template per pair; NewTestbed hands out shallow copies so per-run Seed
+// mutations never leak between experiments. Platform, Frontier and App are
+// shared read-only (the app kernels' Step methods are deterministic pure
+// functions, safe under the concurrent sweeps in internal/experiments).
+var (
+	testbedMu    sync.Mutex
+	testbedCache = map[[2]string]*Testbed{}
+)
+
+// NewTestbed builds a testbed for (application, platform) by name, serving
+// repeat requests from the process-wide template cache.
 func NewTestbed(appName, platName string) (*Testbed, error) {
-	app, err := apps.New(appName)
-	if err != nil {
-		return nil, err
+	key := [2]string{appName, platName}
+	testbedMu.Lock()
+	tmpl := testbedCache[key]
+	testbedMu.Unlock()
+	if tmpl == nil {
+		app, err := apps.New(appName)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := platform.ByName(platName)
+		if err != nil {
+			return nil, err
+		}
+		tmpl, err = NewTestbedFrom(app, plat)
+		if err != nil {
+			return nil, err
+		}
+		testbedMu.Lock()
+		testbedCache[key] = tmpl
+		testbedMu.Unlock()
 	}
-	plat, err := platform.ByName(platName)
-	if err != nil {
-		return nil, err
-	}
-	return NewTestbedFrom(app, plat)
+	tb := *tmpl
+	return &tb, nil
 }
 
 // NewTestbedFrom builds a testbed from already-constructed parts (use this
@@ -263,9 +293,53 @@ func (tb *Testbed) NewUncoordinated(f float64, iters int) (Governor, error) {
 		tb.Platform.NumConfigs(), tb.priors(), tb.DefaultRate, tb.DefaultPower, tb.Seed)
 }
 
-// NewOracle constructs the omniscient oracle for this testbed (Sec. 5.2).
+// The oracle cache. Constructing an oracle exhaustively profiles frontier x
+// system configurations (up to 1024 on Server), and the metrics of every
+// finished run consult one. Keyed by the identity of the testbed's shared
+// parts, so cached testbeds for the same (app, platform) hit the same
+// oracle while custom NewTestbedFrom testbeds (distinct Frontier pointers)
+// get their own. Oracles are immutable after construction.
+type oracleKey struct {
+	frontier *Frontier
+	plat     *Platform
+	prof     platform.AppProfile
+	work     float64
+}
+
+var (
+	oracleMu    sync.Mutex
+	oracleCache = map[oracleKey]*Oracle{}
+)
+
+// NewOracle constructs the omniscient oracle for this testbed (Sec. 5.2),
+// memoized process-wide per (frontier, platform, profile, work) identity.
 func (tb *Testbed) NewOracle() (*Oracle, error) {
-	return oracle.New(tb.Frontier, tb.Platform, tb.Profile, tb.WorkPerIter)
+	key := oracleKey{tb.Frontier, tb.Platform, tb.Profile, tb.WorkPerIter}
+	oracleMu.Lock()
+	orc := oracleCache[key]
+	oracleMu.Unlock()
+	if orc != nil {
+		return orc, nil
+	}
+	orc, err := oracle.New(tb.Frontier, tb.Platform, tb.Profile, tb.WorkPerIter)
+	if err != nil {
+		return nil, err
+	}
+	oracleMu.Lock()
+	oracleCache[key] = orc
+	oracleMu.Unlock()
+	return orc, nil
+}
+
+// resetExperimentCaches drops the testbed and oracle caches (benchmarks
+// measuring cold-path construction cost).
+func resetExperimentCaches() {
+	testbedMu.Lock()
+	testbedCache = map[[2]string]*Testbed{}
+	testbedMu.Unlock()
+	oracleMu.Lock()
+	oracleCache = map[oracleKey]*Oracle{}
+	oracleMu.Unlock()
 }
 
 // Run executes iters iterations under the governor on a fresh simulation
