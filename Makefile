@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race bench replicate examples chaos-smoke clean
+.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke clean
 
 all: build vet test
 
@@ -11,6 +11,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Lint: gofmt must leave no file unformatted, and vet must be clean.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# The pre-merge gate: formatting + vet + the race-detector pass.
+check: lint race
 
 test:
 	$(GO) test ./...

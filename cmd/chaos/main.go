@@ -64,12 +64,12 @@ func main() {
 	})
 
 	if *csv {
-		fmt.Println("platform,app,scenario,factor,iterations,energy_j,budget_j,ratio,mean_accuracy,actuator_failures,guard_accepted,guard_rejected,degrade_events,pass")
+		fmt.Println("platform,app,scenario,factor,iterations,energy_j,budget_j,ratio,mean_accuracy,actuator_failures,guard_accepted,guard_rejected,degrade_events,faults_injected,pass")
 		for _, c := range cells {
-			fmt.Printf("%s,%s,%s,%.2f,%d,%.2f,%.2f,%.4f,%.4f,%d,%d,%d,%d,%v\n",
+			fmt.Printf("%s,%s,%s,%.2f,%d,%.2f,%.2f,%.4f,%.4f,%d,%d,%d,%d,%d,%v\n",
 				c.Platform, c.App, c.Scenario, c.Factor, c.Iterations,
 				c.EnergyJ, c.BudgetJ, c.BudgetRatio, c.MeanAccuracy,
-				c.ActuatorFailures, c.GuardAccepted, c.GuardRejected, c.DegradeEvents, c.Pass)
+				c.ActuatorFailures, c.GuardAccepted, c.GuardRejected, c.DegradeEvents, c.FaultsInjected, c.Pass)
 		}
 	} else {
 		fmt.Printf("chaos sweep: factor %.2fx, tolerance %.0f%% of budget\n\n", *factor, experiments.ChaosTolerance*100)
@@ -84,6 +84,7 @@ func main() {
 				c.Platform, c.App, c.Scenario, c.EnergyJ, c.BudgetJ, c.BudgetRatio,
 				c.GuardAccepted, c.GuardRejected, verdict)
 		}
+		printScenarioTelemetry(cells)
 	}
 
 	fails := experiments.ChaosFailures(cells)
@@ -94,6 +95,37 @@ func main() {
 				c.Platform, c.App, c.Scenario, c.EnergyJ, c.BudgetJ, (c.BudgetRatio-1)*100)
 		}
 		os.Exit(1)
+	}
+}
+
+// printScenarioTelemetry aggregates each scenario's telemetry across all
+// (app, platform) cells into one line: how hard the injector actually
+// hit the run, and how the defences responded.
+func printScenarioTelemetry(cells []experiments.ChaosCell) {
+	type agg struct {
+		faults, rejects, trips, actFails, n int
+	}
+	byScenario := map[string]*agg{}
+	var order []string
+	for _, c := range cells {
+		a := byScenario[c.Scenario]
+		if a == nil {
+			a = &agg{}
+			byScenario[c.Scenario] = a
+			order = append(order, c.Scenario)
+		}
+		a.faults += c.FaultsInjected
+		a.rejects += c.GuardRejected
+		a.trips += c.DegradeEvents
+		a.actFails += c.ActuatorFailures
+		a.n++
+	}
+	sort.Strings(order)
+	fmt.Println("\ntelemetry by scenario (summed over cells):")
+	for _, name := range order {
+		a := byScenario[name]
+		fmt.Printf("  %-16s %6d faults injected, %6d guard rejects, %3d watchdog trips, %5d actuation failures  (%d cells)\n",
+			name, a.faults, a.rejects, a.trips, a.actFails, a.n)
 	}
 }
 

@@ -6,6 +6,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"jouleguard"
@@ -24,10 +26,14 @@ func main() {
 	ablate := flag.String("ablate", "", "run an ablation instead: pole | priors | exploration | estimator | alpha")
 	trials := flag.Int("trials", 1, "repeat the run under different seeds and report mean +/- std")
 	dump := flag.String("dump", "", "write the per-iteration run record to this CSV file")
+	serve := flag.String("serve", "", "serve live telemetry on this address (e.g. :8080) while running the experiment repeatedly: /metrics, /healthz, /decisions, /debug/pprof")
+	runs := flag.Int("runs", 0, "with -serve: stop after this many runs (0 = run until interrupted)")
 	flag.Parse()
 	dumpPath = *dump
 
 	switch {
+	case *serve != "":
+		runServe(*appName, *platName, *factor, *iters, *serve, *runs)
 	case *table2:
 		runTable2()
 	case *table3:
@@ -56,6 +62,51 @@ func runTrials(appName, platName string, factor float64, trials int) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// runServe runs the experiment repeatedly (a fresh seed per run) with
+// live telemetry exposed over HTTP: the metric registry at /metrics, a
+// liveness probe at /healthz, the decision flight recorder at /decisions
+// (JSONL) and the standard pprof endpoints under /debug/pprof/.
+func runServe(appName, platName string, factor float64, iters int, addr string, runs int) {
+	tb, err := jouleguard.NewTestbed(appName, platName)
+	if err != nil {
+		fail(err)
+	}
+	if iters <= 0 {
+		iters = experiments.ItersFor(platName, 1.0)
+	}
+	// Size the flight recorder to hold at least one whole run so
+	// /decisions can replay it end to end.
+	tel := jouleguard.NewTelemetry(iters)
+	jouleguard.SetRunnerTelemetry(tel)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("telemetry on http://%s  (/metrics /healthz /decisions /debug/pprof)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, tel.Handler()); err != nil {
+			fail(err)
+		}
+	}()
+	goal := tb.DefaultEnergy / factor
+	for r := 0; runs <= 0 || r < runs; r++ {
+		gov, err := tb.NewJouleGuard(factor, iters, jouleguard.Options{
+			Telemetry: tel,
+			Seed:      int64(r + 1),
+		})
+		if err != nil {
+			fail(err)
+		}
+		rec, err := tb.Run(gov, iters)
+		if err != nil {
+			fail(err)
+		}
+		epi := rec.EnergyPerIterAvg()
+		fmt.Printf("run %d: %s on %s f=%.2f  energy/iter %.4f J (goal %.4f, %+.2f%%)  accuracy %.4f\n",
+			r+1, appName, platName, factor, epi, goal, (epi-goal)/goal*100, rec.MeanAccuracy())
+	}
 }
 
 // dumpPath, when set, receives the per-iteration CSV of single runs.

@@ -3,6 +3,8 @@ package control
 import (
 	"fmt"
 	"math"
+
+	"jouleguard/internal/telemetry"
 )
 
 // SpeedupController is JouleGuard's proportional-integral controller
@@ -24,6 +26,8 @@ type SpeedupController struct {
 	adaptive bool    // whether AdaptPole updates are applied
 	lastErr  float64 // most recent error, for observability
 	lastDelt float64 // most recent multiplicative model error delta(t)
+
+	sink telemetry.Sink // per-step telemetry; Nop when not instrumented
 }
 
 // ControllerOption configures a SpeedupController.
@@ -49,10 +53,15 @@ func WithInitialSpeedup(s float64) ControllerOption {
 	return func(c *SpeedupController) { c.speedup = s }
 }
 
+// WithSink streams every control step into a telemetry sink.
+func WithSink(s telemetry.Sink) ControllerOption {
+	return func(c *SpeedupController) { c.sink = telemetry.OrNop(s) }
+}
+
 // NewSpeedupController returns a controller with state s(0)=1, pole 0 (the
 // deadbeat, most aggressive setting) and adaptation enabled.
 func NewSpeedupController(opts ...ControllerOption) *SpeedupController {
-	c := &SpeedupController{speedup: 1, minS: 1, maxS: math.Inf(1), adaptive: true}
+	c := &SpeedupController{speedup: 1, minS: 1, maxS: math.Inf(1), adaptive: true, sink: telemetry.Nop{}}
 	for _, o := range opts {
 		o(c)
 	}
@@ -114,6 +123,7 @@ func (c *SpeedupController) Step(target, measured, rbestsys float64) float64 {
 	if c.speedup > c.maxS {
 		c.speedup = c.maxS
 	}
+	c.sink.ControlStep(target, measured, err, c.pole, c.speedup)
 	return c.speedup
 }
 

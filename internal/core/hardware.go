@@ -10,6 +10,7 @@ import (
 	"jouleguard/internal/hwapprox"
 	"jouleguard/internal/learning"
 	"jouleguard/internal/sim"
+	"jouleguard/internal/telemetry"
 )
 
 // HardwareRuntime is the Sec. 3.7 modification of JouleGuard for
@@ -30,10 +31,15 @@ type HardwareRuntime struct {
 
 	nextLevel  int
 	nextSys    int
+	explored   bool
 	infeasible bool
 	done       bool
 	lastScale  float64
 	lastTarget float64
+	lastMiss   bool
+
+	sink   telemetry.Sink
+	traced bool
 }
 
 // NewHardware builds the approximate-hardware runtime. frontier is the
@@ -55,6 +61,8 @@ func NewHardware(workload, budget float64, frontier []hwapprox.FrontierPoint, nS
 	if err != nil {
 		return nil, err
 	}
+	sink := telemetry.OrNop(opts.Telemetry)
+	bandit.SetSink(sink)
 	pts := append([]hwapprox.FrontierPoint(nil), frontier...)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].PowerScale > pts[j].PowerScale })
 	h := &HardwareRuntime{
@@ -68,8 +76,11 @@ func NewHardware(workload, budget float64, frontier []hwapprox.FrontierPoint, nS
 		ctrl: control.NewSpeedupController(
 			control.WithSpeedupBounds(pts[len(pts)-1].PowerScale, 1),
 			control.WithInitialSpeedup(1),
+			control.WithSink(sink),
 		),
 		lastScale: 1,
+		sink:      sink,
+		traced:    opts.Telemetry != nil,
 	}
 	h.nextSys = bandit.BestArm()
 	return h, nil
@@ -91,6 +102,10 @@ func (h *HardwareRuntime) scaleOf(level int) float64 {
 
 // Observe implements sim.Governor.
 func (h *HardwareRuntime) Observe(fb sim.Feedback) {
+	h.lastMiss = fb.SysConfig != h.nextSys || fb.AppConfig != h.nextLevel
+	if h.traced {
+		defer h.record(fb)
+	}
 	if !fb.Sane() || fb.Estimated {
 		return // corrupt or model-estimated sample: never learn from it
 	}
@@ -118,7 +133,7 @@ func (h *HardwareRuntime) Observe(fb sim.Feedback) {
 		}
 		h.selector.Update(effErr/norm, measEff)
 	}
-	h.nextSys, _ = h.selector.Select(h.bandit)
+	h.nextSys, h.explored = h.selector.Select(h.bandit)
 
 	wRem := h.workload - float64(fb.IterationsDone)
 	if wRem <= 0 {
@@ -160,6 +175,41 @@ func (h *HardwareRuntime) Observe(fb sim.Feedback) {
 		i = len(h.points) - 1
 	}
 	h.nextLevel = h.points[i].Level
+}
+
+// record assembles the flight-recorder Decision for one hardware-mode
+// Observe; deferred so NextApp/NextSys reflect the decision produced.
+// SpeedupCmd carries the commanded power scale and TargetRate the power
+// target — the hardware loop's analogues of speedup and rate.
+func (h *HardwareRuntime) record(fb sim.Feedback) {
+	h.sink.RecordDecision(telemetry.Decision{
+		Iter:      fb.Iter,
+		AppConfig: fb.AppConfig,
+		SysConfig: fb.SysConfig,
+		NextApp:   h.nextLevel,
+		NextSys:   h.nextSys,
+
+		SEURate:       h.bandit.Rate(h.nextSys),
+		SEUPower:      h.bandit.Power(h.nextSys),
+		SEUEfficiency: h.bandit.Efficiency(h.nextSys),
+		EstimatorGain: h.bandit.Gain(h.nextSys),
+		BestArm:       h.bandit.BestArm(),
+		Explored:      h.explored,
+
+		SpeedupCmd: h.lastScale,
+		TargetRate: h.lastTarget,
+		PIError:    h.ctrl.LastError(),
+		Pole:       h.ctrl.Pole(),
+
+		EnergyUsedJ:      fb.Energy,
+		BudgetRemainingJ: h.budget - fb.Energy,
+
+		Sane:          fb.Sane(),
+		GuardAccepted: !fb.Estimated,
+		Estimated:     fb.Estimated,
+		ActuationMiss: h.lastMiss,
+		Infeasible:    h.infeasible,
+	})
 }
 
 // Infeasible reports whether the goal exceeds the hardware's power range.

@@ -22,6 +22,7 @@ import (
 	"jouleguard/internal/knob"
 	"jouleguard/internal/learning"
 	"jouleguard/internal/sim"
+	"jouleguard/internal/telemetry"
 )
 
 // SelectorKind names an exploration policy for the SEO ablations.
@@ -52,6 +53,10 @@ type Options struct {
 	// resumes. 0 = 5.
 	DegradeAfter int
 	Seed         int64
+	// Telemetry streams decision traces and metrics into an observability
+	// sink (telemetry.New provides the live registry + flight recorder).
+	// nil disables instrumentation at zero cost.
+	Telemetry telemetry.Sink
 }
 
 // Runtime is JouleGuard. It implements sim.Governor.
@@ -89,6 +94,9 @@ type Runtime struct {
 	lastSpeedup float64
 	lastF       float64
 	lastEps     float64
+	lastMiss    bool           // last observation ran a config other than commanded
+	sink        telemetry.Sink // never nil; Nop when Options.Telemetry unset
+	traced      bool           // whether to assemble full Decision records
 }
 
 // New builds a JouleGuard runtime.
@@ -137,6 +145,8 @@ func New(workload, budget float64, frontier *knob.Frontier, nSys int, priors lea
 	if err != nil {
 		return nil, err
 	}
+	sink := telemetry.OrNop(opts.Telemetry)
+	bandit.SetSink(sink)
 	var sel learning.Selector
 	switch opts.Selector {
 	case "", SelectVDBE:
@@ -157,6 +167,7 @@ func New(workload, budget float64, frontier *knob.Frontier, nSys int, priors lea
 	ctrlOpts := []control.ControllerOption{
 		control.WithSpeedupBounds(frontier.MinSpeedup(), frontier.MaxSpeedup()),
 		control.WithInitialSpeedup(frontier.MinSpeedup()),
+		control.WithSink(sink),
 	}
 	if opts.FixedPoleSet {
 		ctrlOpts = append(ctrlOpts, control.WithFixedPole(opts.FixedPole))
@@ -179,6 +190,8 @@ func New(workload, budget float64, frontier *knob.Frontier, nSys int, priors lea
 		defSys:       defaultSys,
 		slack:        slack,
 		degradeAfter: degradeAfter,
+		sink:         sink,
+		traced:       opts.Telemetry != nil,
 	}
 	// Before any feedback: most accurate application configuration, and the
 	// prior-optimal system configuration (the priors stand in for the
@@ -201,6 +214,13 @@ func (r *Runtime) Decide(int) (appCfg, sysCfg int) {
 // known-safe configuration when feedback stays broken.
 func (r *Runtime) Observe(fb sim.Feedback) {
 	r.iters++
+	// The trace is recorded on the way out so it captures the *next*
+	// decision alongside the feedback that produced it — including every
+	// early-return path (corrupt, estimated, degraded, budget-spent).
+	r.lastMiss = fb.SysConfig != r.nextSys || fb.AppConfig != r.nextApp.Config
+	if r.traced {
+		defer r.record(fb)
+	}
 	if !fb.Sane() {
 		r.noteRejected()
 		return // corrupt measurement; hold (or degrade) every decision
@@ -225,7 +245,7 @@ func (r *Runtime) Observe(fb sim.Feedback) {
 	// ran — but it says nothing about the command we just issued, so the
 	// control step below must not integrate it (a one-step actuation lag
 	// would otherwise drive the PI loop into a limit cycle).
-	actMiss := fb.SysConfig != r.nextSys || fb.AppConfig != r.nextApp.Config
+	actMiss := r.lastMiss
 	// Measure performance r(t) and normalise out the application speedup to
 	// recover the system's rate in default-app terms (the SEO must not
 	// attribute application-level speedup to the system configuration —
@@ -400,6 +420,44 @@ func (r *Runtime) Observe(fb sim.Feedback) {
 	r.nextApp, _ = r.frontier.ForSpeedup(r.lastSpeedup)
 }
 
+// record assembles the flight-recorder Decision for one completed
+// Observe. Deferred from Observe's entry when tracing is on, it runs
+// after the body has chosen the next configurations, so NextApp/NextSys
+// are the decision this feedback produced.
+func (r *Runtime) record(fb sim.Feedback) {
+	r.sink.RecordDecision(telemetry.Decision{
+		Iter:      fb.Iter,
+		AppConfig: fb.AppConfig,
+		SysConfig: fb.SysConfig,
+		NextApp:   r.nextApp.Config,
+		NextSys:   r.nextSys,
+
+		SEURate:       r.bandit.Rate(r.nextSys),
+		SEUPower:      r.bandit.Power(r.nextSys),
+		SEUEfficiency: r.bandit.Efficiency(r.nextSys),
+		EstimatorGain: r.bandit.Gain(r.nextSys),
+		BestArm:       r.bandit.BestArm(),
+		Explored:      r.explored,
+		Epsilon:       r.lastEps,
+
+		SpeedupCmd: r.ctrl.Speedup(),
+		TargetRate: r.lastTarget,
+		PIError:    r.ctrl.LastError(),
+		Pole:       r.ctrl.Pole(),
+
+		EnergyUsedJ:      fb.Energy,
+		BudgetRemainingJ: r.budget - fb.Energy,
+		AllowedJPerIter:  r.lastF,
+
+		Sane:          fb.Sane(),
+		GuardAccepted: !fb.Estimated,
+		Estimated:     fb.Estimated,
+		ActuationMiss: r.lastMiss,
+		Degraded:      r.degraded,
+		Infeasible:    r.infeasible,
+	})
+}
+
 // noteRejected advances the watchdog for an observation that carried no
 // usable measurement.
 func (r *Runtime) noteRejected() {
@@ -418,6 +476,7 @@ func (r *Runtime) degrade() {
 	if !r.degraded {
 		r.degraded = true
 		r.degradeEvents++
+		r.sink.WatchdogTrip()
 	}
 	r.healStreak = 0
 	r.nextSys = r.conservativeArm()

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"jouleguard"
 	"jouleguard/internal/apps"
 	"jouleguard/internal/par"
 	"jouleguard/internal/platform"
+	"jouleguard/internal/telemetry"
 )
 
 // ---------------------------------------------------------- chaos harness
@@ -33,9 +35,21 @@ type ChaosCell struct {
 	GuardAccepted    int
 	GuardRejected    int
 	DegradeEvents    int
+	FaultsInjected   int // readings/timestamps/actuations the injector actually perturbed
 	Infeasible       bool
 	Pass             bool
 }
+
+// faultCounter counts injected faults; the chaos harness attaches one to
+// each cell's injector so a scenario's report states how many operations
+// the fault models actually perturbed, not just how many the control
+// loop noticed.
+type faultCounter struct {
+	telemetry.Nop
+	n atomic.Int64
+}
+
+func (f *faultCounter) FaultInjected(uint8) { f.n.Add(1) }
 
 // Chaos runs JouleGuard under every scenario for every (app, platform)
 // pair, at one energy-reduction factor. Empty app/platform/scenario lists
@@ -106,6 +120,8 @@ func runChaosCell(appName, platName string, sc jouleguard.FaultScenario, factor,
 		return ChaosCell{}, err
 	}
 	inj := sc.Make(seed, 1/tb.DefaultRate)
+	fc := &faultCounter{}
+	inj.Sink = fc
 	rec, err := tb.RunFaulty(gov, iters, inj)
 	if err != nil {
 		return ChaosCell{}, err
@@ -124,6 +140,7 @@ func runChaosCell(appName, platName string, sc jouleguard.FaultScenario, factor,
 		GuardAccepted:    rec.GuardAccepted,
 		GuardRejected:    rec.GuardRejected,
 		DegradeEvents:    gov.DegradeEvents(),
+		FaultsInjected:   int(fc.n.Load()),
 		Infeasible:       gov.Infeasible(),
 	}
 	c.Pass = c.BudgetRatio <= ChaosTolerance

@@ -17,6 +17,8 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+
+	"jouleguard/internal/telemetry"
 )
 
 // SensorFault transforms one sensor reading (a power sample in the
@@ -309,11 +311,22 @@ func (c ActuatorChain) Actuate(iter int, req, prev Pair) (Pair, error) {
 // Injector: the engine-facing bundle.
 
 // Injector bundles one fault per channel (any may be nil) and exposes
-// nil-safe application helpers. A nil *Injector injects nothing.
+// nil-safe application helpers. A nil *Injector injects nothing. When a
+// Sink is set, every reading/timestamp/actuation the fault models
+// actually perturb is reported on its channel — the "what really
+// happened" counterpart to the control loop's own failure accounting.
 type Injector struct {
 	Sensor   SensorFault
 	Clock    ClockFault
 	Actuator ActuatorFault
+	Sink     telemetry.Sink
+}
+
+// report counts one perturbed operation on a fault channel.
+func (inj *Injector) report(ch uint8) {
+	if inj != nil && inj.Sink != nil {
+		inj.Sink.FaultInjected(ch)
+	}
 }
 
 // SensePower passes a power/energy reading through the sensor fault.
@@ -321,7 +334,11 @@ func (inj *Injector) SensePower(iter int, v float64) (float64, bool) {
 	if inj == nil || inj.Sensor == nil {
 		return v, true
 	}
-	return inj.Sensor.Reading(iter, v)
+	out, ok := inj.Sensor.Reading(iter, v)
+	if !ok || out != v {
+		inj.report(telemetry.FaultSensor)
+	}
+	return out, ok
 }
 
 // Interval measures a true interval [start, start+dur] through the
@@ -331,7 +348,11 @@ func (inj *Injector) Interval(iter int, start, dur float64) float64 {
 	if inj == nil || inj.Clock == nil {
 		return dur
 	}
-	return inj.Clock.Now(iter, start+dur) - inj.Clock.Now(iter, start)
+	got := inj.Clock.Now(iter, start+dur) - inj.Clock.Now(iter, start)
+	if got != dur {
+		inj.report(telemetry.FaultClock)
+	}
+	return got
 }
 
 // Actuate resolves the configuration that actually takes effect.
@@ -339,7 +360,11 @@ func (inj *Injector) Actuate(iter int, req, prev Pair) (Pair, error) {
 	if inj == nil || inj.Actuator == nil {
 		return req, nil
 	}
-	return inj.Actuator.Actuate(iter, req, prev)
+	got, err := inj.Actuator.Actuate(iter, req, prev)
+	if err != nil || got != req {
+		inj.report(telemetry.FaultActuator)
+	}
+	return got, err
 }
 
 // WrapEnergyReader wraps an online cumulative-energy reader: readings
@@ -371,7 +396,12 @@ func (inj *Injector) WrapClock(now func() float64) func() float64 {
 		if inj == nil || inj.Clock == nil {
 			return now()
 		}
-		return inj.Clock.Now(i, now())
+		t := now()
+		ft := inj.Clock.Now(i, t)
+		if ft != t {
+			inj.report(telemetry.FaultClock)
+		}
+		return ft
 	}
 }
 

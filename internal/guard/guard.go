@@ -19,6 +19,8 @@ package guard
 import (
 	"math"
 	"sort"
+
+	"jouleguard/internal/telemetry"
 )
 
 // Reason classifies a sample verdict.
@@ -114,13 +116,18 @@ type Sensor struct {
 
 	rejectStreak       int
 	accepted, rejected int
+
+	sink telemetry.Sink // per-verdict telemetry; Nop when not instrumented
 }
 
 // New builds a Sensor; zero-value Config fields take the defaults.
 func New(cfg Config) *Sensor {
 	cfg = cfg.withDefaults()
-	return &Sensor{cfg: cfg, model: cfg.ModelPower}
+	return &Sensor{cfg: cfg, model: cfg.ModelPower, sink: telemetry.Nop{}}
 }
+
+// SetSink streams every verdict into a telemetry sink.
+func (s *Sensor) SetSink(sink telemetry.Sink) { s.sink = telemetry.OrNop(sink) }
 
 // SetModelPower registers the current model-based power estimate used as
 // the fallback for rejected or missing samples.
@@ -289,6 +296,7 @@ func (s *Sensor) accept(power, dur float64) Verdict {
 	s.accepted++
 	s.rejectStreak = 0
 	s.integrate(power, dur)
+	s.sink.GuardVerdict(true, uint8(OK), power)
 	return Verdict{Power: power, Energy: s.energy, Accepted: true, Reason: OK}
 }
 
@@ -297,6 +305,7 @@ func (s *Sensor) reject(why Reason, dur float64) Verdict {
 	s.rejectStreak++
 	est := s.Estimate()
 	s.integrate(est, dur)
+	s.sink.GuardVerdict(false, uint8(why), est)
 	return Verdict{Power: est, Energy: s.energy, Accepted: false, Reason: why}
 }
 

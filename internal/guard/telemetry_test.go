@@ -1,0 +1,70 @@
+package guard
+
+import (
+	"testing"
+
+	"jouleguard/internal/telemetry"
+)
+
+// TestGuardReasonNames pins the correspondence between guard.Reason's
+// stable numeric values and the metric labels telemetry uses for
+// jouleguard_guard_verdicts_total. The telemetry package cannot import
+// guard (guard imports telemetry), so the names are duplicated there;
+// this test is the single place that keeps them in sync.
+func TestGuardReasonNames(t *testing.T) {
+	for r := OK; r <= Outlier; r++ {
+		if got, want := telemetry.GuardReasonName(uint8(r)), r.String(); got != want {
+			t.Errorf("telemetry.GuardReasonName(%d) = %q, want guard.Reason %q", r, got, want)
+		}
+	}
+	if got := telemetry.GuardReasonName(uint8(Outlier) + 1); got != "unknown" {
+		t.Errorf("out-of-range reason name = %q, want %q", got, "unknown")
+	}
+}
+
+// countingSink records verdict calls for the instrumentation test.
+type countingSink struct {
+	telemetry.Nop
+	accepted, rejected int
+	lastReason         uint8
+	lastPower          float64
+}
+
+func (c *countingSink) GuardVerdict(accepted bool, reason uint8, power float64) {
+	if accepted {
+		c.accepted++
+	} else {
+		c.rejected++
+	}
+	c.lastReason = reason
+	c.lastPower = power
+}
+
+// TestSensorReportsVerdicts checks that every accept/reject path emits
+// exactly one GuardVerdict, matching the Sensor's own counters.
+func TestSensorReportsVerdicts(t *testing.T) {
+	sink := &countingSink{}
+	s := New(Config{ModelPower: 20})
+	s.SetSink(sink)
+
+	for i := 0; i < 5; i++ {
+		s.Observe(20, 0.1)
+	}
+	v := s.Observe(-3, 0.1) // negative power: rejected
+	if v.Accepted {
+		t.Fatal("negative power was accepted")
+	}
+	if sink.lastReason != uint8(Negative) {
+		t.Errorf("last reason = %s, want %s", telemetry.GuardReasonName(sink.lastReason), Negative)
+	}
+	if sink.lastPower != v.Power {
+		t.Errorf("sink power = %v, want verdict power %v", sink.lastPower, v.Power)
+	}
+	s.Missing(0.1)
+
+	acc, rej := s.Counts()
+	if sink.accepted != acc || sink.rejected != rej {
+		t.Errorf("sink saw %d/%d accepted/rejected, sensor counted %d/%d",
+			sink.accepted, sink.rejected, acc, rej)
+	}
+}

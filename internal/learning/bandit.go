@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"jouleguard/internal/control"
+	"jouleguard/internal/telemetry"
 )
 
 // Estimator tracks one arm's (rate, power) estimates. The paper uses EWMA
@@ -25,6 +26,12 @@ type Estimator interface {
 	Efficiency() float64
 }
 
+// Gainer is an optional Estimator extension exposing the filter gain —
+// the EWMA alpha or the Kalman gain — for telemetry.
+type Gainer interface {
+	Gain() float64
+}
+
 // ewmaEstimator adapts control.RatePowerEstimate to the Estimator
 // interface.
 type ewmaEstimator struct {
@@ -35,6 +42,7 @@ func (e ewmaEstimator) Observe(rate, power float64) { e.rp.Observe(rate, power) 
 func (e ewmaEstimator) Rate() float64               { return e.rp.Rate.Value() }
 func (e ewmaEstimator) Power() float64              { return e.rp.Power.Value() }
 func (e ewmaEstimator) Efficiency() float64         { return e.rp.Efficiency() }
+func (e ewmaEstimator) Gain() float64               { return e.rp.Rate.Alpha() }
 
 // kalmanEstimator tracks rate and power with scalar Kalman filters.
 type kalmanEstimator struct {
@@ -48,6 +56,7 @@ func (k kalmanEstimator) Observe(rate, power float64) {
 }
 func (k kalmanEstimator) Rate() float64  { return k.rate.Value() }
 func (k kalmanEstimator) Power() float64 { return k.power.Value() }
+func (k kalmanEstimator) Gain() float64  { return k.rate.Gain() }
 func (k kalmanEstimator) Efficiency() float64 {
 	p := k.power.Value()
 	if p <= 0 {
@@ -96,6 +105,7 @@ type Arm struct {
 type Bandit struct {
 	arms []Arm
 	rng  *rand.Rand
+	sink telemetry.Sink
 }
 
 // NewBandit creates a bandit with one arm per configuration, using the
@@ -117,7 +127,7 @@ func NewBanditWithEstimators(n int, factory EstimatorFactory, priors Priors, rng
 	if factory == nil {
 		return nil, fmt.Errorf("learning: nil estimator factory")
 	}
-	b := &Bandit{arms: make([]Arm, n), rng: rng}
+	b := &Bandit{arms: make([]Arm, n), rng: rng, sink: telemetry.Nop{}}
 	for i := range b.arms {
 		rate, power := priors.Estimate(i)
 		if rate <= 0 || power <= 0 {
@@ -135,6 +145,18 @@ func NewBanditWithEstimators(n int, factory EstimatorFactory, priors Priors, rng
 // NumArms returns the number of configurations.
 func (b *Bandit) NumArms() int { return len(b.arms) }
 
+// SetSink streams estimator updates into a telemetry sink.
+func (b *Bandit) SetSink(s telemetry.Sink) { b.sink = telemetry.OrNop(s) }
+
+// Gain returns the filter gain of an arm's estimator, or NaN when the
+// estimator does not expose one.
+func (b *Bandit) Gain(arm int) float64 {
+	if g, ok := b.arms[arm].Estimate.(Gainer); ok {
+		return g.Gain()
+	}
+	return math.NaN()
+}
+
 // Observe folds a measurement of (rate, power) for the given arm into its
 // estimates and returns the prediction error used by VDBE: the absolute
 // difference between the measured efficiency and the pre-update estimate.
@@ -150,6 +172,11 @@ func (b *Bandit) Observe(arm int, rate, power float64) (effError float64, err er
 	}
 	a.Estimate.Observe(rate, power)
 	a.Pulls++
+	gain := math.NaN()
+	if g, ok := a.Estimate.(Gainer); ok {
+		gain = g.Gain()
+	}
+	b.sink.EstimatorUpdate(arm, a.Estimate.Rate(), a.Estimate.Power(), gain)
 	return math.Abs(measured - prior), nil
 }
 

@@ -39,13 +39,22 @@ type Summary struct {
 	P50, P90, P99  float64
 }
 
-// Summarize computes summary statistics; an empty sample yields zeros.
+// Summarize computes summary statistics. An empty sample yields the zero
+// Summary, and non-finite values (NaN, ±Inf) are dropped before any
+// statistic is computed — one NaN would otherwise scramble the sort
+// order and poison every percentile, and a single ±Inf would swallow the
+// mean and standard deviation. N counts only the finite samples kept.
 func Summarize(xs []float64) Summary {
 	var s Summary
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return s
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s.N = len(sorted)
 	s.Min = sorted[0]

@@ -61,6 +61,71 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizeTable(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		in   []float64
+		want Summary
+	}{
+		{
+			name: "empty yields zero value",
+			in:   nil,
+			want: Summary{},
+		},
+		{
+			name: "all non-finite yields zero value",
+			in:   []float64{math.NaN(), inf, -inf},
+			want: Summary{},
+		},
+		{
+			name: "non-finite samples dropped before statistics",
+			in:   []float64{4, math.NaN(), 1, inf, 3, -inf, 2, 5},
+			want: Summary{N: 5, Mean: 3, Min: 1, Max: 5, StdDev: math.Sqrt(2), P50: 3, P90: 4.6, P99: 4.96},
+		},
+		{
+			name: "constant sample has zero spread",
+			in:   []float64{2, 2, 2, 2},
+			want: Summary{N: 4, Mean: 2, Min: 2, Max: 2, P50: 2, P90: 2, P99: 2},
+		},
+		{
+			name: "even length interpolates the median",
+			in:   []float64{1, 2, 3, 4},
+			want: Summary{N: 4, Mean: 2.5, Min: 1, Max: 4, StdDev: math.Sqrt(1.25), P50: 2.5, P90: 3.7, P99: 3.97},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(tc.in)
+			close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+			if got.N != tc.want.N || !close(got.Mean, tc.want.Mean) ||
+				!close(got.Min, tc.want.Min) || !close(got.Max, tc.want.Max) ||
+				!close(got.StdDev, tc.want.StdDev) || !close(got.P50, tc.want.P50) ||
+				!close(got.P90, tc.want.P90) || !close(got.P99, tc.want.P99) {
+				t.Errorf("Summarize(%v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPercentileInterpolationConsistency pins that P50/P90/P99 all come
+// from the same linear-interpolation rule: the quantile of the sample
+// {0, 1, ..., n-1} at p is exactly p*(n-1).
+func TestPercentileInterpolationConsistency(t *testing.T) {
+	xs := make([]float64, 11)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	for _, tc := range []struct{ got, want float64 }{
+		{s.P50, 5}, {s.P90, 9}, {s.P99, 9.9},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-12 {
+			t.Errorf("percentile = %v, want %v", tc.got, tc.want)
+		}
+	}
+}
+
 func TestPercentilesOrdered(t *testing.T) {
 	f := func(raw []float64) bool {
 		xs := make([]float64, 0, len(raw))

@@ -25,6 +25,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"jouleguard/internal/telemetry"
 )
 
 // workers is the pool size Map uses; 0 or negative means the environment
@@ -42,6 +44,24 @@ var envWorkers = func() int {
 	}
 	return 0
 }()
+
+// sinkBox wraps the process-wide telemetry sink so atomic.Value always
+// stores one concrete type regardless of the Sink implementation.
+type sinkBox struct{ s telemetry.Sink }
+
+var sink atomic.Value // holds sinkBox
+
+// SetSink installs a process-wide telemetry sink for the runner; every
+// Map/MapWorkers job reports JobStart (with the queue depth behind it)
+// and JobDone through it. Pass nil to restore the no-op sink.
+func SetSink(s telemetry.Sink) { sink.Store(sinkBox{telemetry.OrNop(s)}) }
+
+func currentSink() telemetry.Sink {
+	if b, ok := sink.Load().(sinkBox); ok {
+		return b.s
+	}
+	return telemetry.Nop{}
+}
 
 // Workers returns the effective worker count Map will use for n jobs.
 func Workers() int {
@@ -99,6 +119,7 @@ func MapWorkers(w, n int, job func(i int) error) error {
 		defer mu.Unlock()
 		return firstIdx >= 0
 	}
+	tele := currentSink()
 	var next atomic.Int64
 	for g := 0; g < w; g++ {
 		wg.Add(1)
@@ -109,7 +130,14 @@ func MapWorkers(w, n int, job func(i int) error) error {
 				if i >= n || failed() {
 					return
 				}
-				if err := job(i); err != nil {
+				queued := n - int(next.Load())
+				if queued < 0 {
+					queued = 0
+				}
+				tele.JobStart(queued)
+				err := job(i)
+				tele.JobDone(err != nil)
+				if err != nil {
 					fail(i, err)
 				}
 			}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// DefaultFlightCapacity is the decision window kept when no capacity is
+// given: large enough to hold a full default-length run on any platform.
+const DefaultFlightCapacity = 4096
+
+// FlightRecorder is a bounded ring buffer of controller decisions — the
+// "black box" a live system can be asked about after the fact. Recording
+// is a mutex-guarded copy into a pre-allocated slot (no allocation, no
+// channel, no goroutine), so it is cheap enough to run on every control
+// iteration; once the window fills, the oldest decision is overwritten.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Decision
+	total uint64 // decisions ever recorded
+}
+
+// NewFlightRecorder builds a recorder holding the last capacity
+// decisions (DefaultFlightCapacity if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]Decision, capacity)}
+}
+
+// Record appends one decision, overwriting the oldest once full.
+func (f *FlightRecorder) Record(d Decision) {
+	f.mu.Lock()
+	f.buf[f.total%uint64(len(f.buf))] = d
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len returns how many decisions the window currently holds.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < uint64(len(f.buf)) {
+		return int(f.total)
+	}
+	return len(f.buf)
+}
+
+// Total returns how many decisions were ever recorded (including those
+// already overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the recorded window oldest-first. The result is a
+// copy; the recorder keeps running.
+func (f *FlightRecorder) Snapshot() []Decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := int(f.total)
+	if n > len(f.buf) {
+		n = len(f.buf)
+	}
+	out := make([]Decision, n)
+	start := f.total - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = f.buf[(start+uint64(i))%uint64(len(f.buf))]
+	}
+	return out
+}
+
+// WriteJSONL writes the current window oldest-first, one JSON object per
+// line — the /decisions exposition and the offline-analysis dump format.
+// last limits the output to the most recent decisions (0 = the whole
+// window). Non-finite floats are sanitised to 0 before encoding
+// (encoding/json cannot represent them); upstream guards keep the
+// runtime's state finite, so this is a defensive clamp, not a lossy
+// path.
+func (f *FlightRecorder) WriteJSONL(w io.Writer, last int) error {
+	snap := f.Snapshot()
+	if last > 0 && last < len(snap) {
+		snap = snap[len(snap)-last:]
+	}
+	enc := json.NewEncoder(w)
+	for i := range snap {
+		if err := enc.Encode(sanitizeDecision(snap[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeDecision clamps non-finite floats to 0 so the record is always
+// JSON-encodable.
+func sanitizeDecision(d Decision) Decision {
+	fin := func(v *float64) {
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			*v = 0
+		}
+	}
+	fin(&d.SEURate)
+	fin(&d.SEUPower)
+	fin(&d.SEUEfficiency)
+	fin(&d.EstimatorGain)
+	fin(&d.Epsilon)
+	fin(&d.SpeedupCmd)
+	fin(&d.TargetRate)
+	fin(&d.PIError)
+	fin(&d.Pole)
+	fin(&d.EnergyUsedJ)
+	fin(&d.BudgetRemainingJ)
+	fin(&d.AllowedJPerIter)
+	return d
+}

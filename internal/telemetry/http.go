@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler returns the live exposition endpoint:
+//
+//	/metrics    Prometheus text exposition of every registered metric
+//	/healthz    liveness probe with uptime and decision count
+//	/decisions  the flight-recorder window as JSONL (?n=K for the last K)
+//	/debug/pprof/...  the standard Go profiling endpoints
+//
+// The handler is safe to serve while experiments run; scrapes read
+// atomics and copy the flight window under its mutex.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.serveMetrics)
+	mux.HandleFunc("/healthz", t.serveHealthz)
+	mux.HandleFunc("/decisions", t.serveDecisions)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = t.Registry.WritePrometheus(w)
+}
+
+func (t *Telemetry) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok\nuptime_seconds %.1f\ndecisions_recorded %d\n",
+		time.Since(t.start).Seconds(), t.Flight.Total())
+}
+
+func (t *Telemetry) serveDecisions(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = t.Flight.WriteJSONL(w, last)
+}

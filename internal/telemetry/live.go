@@ -1,0 +1,222 @@
+package telemetry
+
+import "time"
+
+// Telemetry is the live Sink: it maintains a metric registry covering
+// the whole control path and feeds every decision into a flight
+// recorder. One Telemetry serves a whole process — its methods are safe
+// for concurrent use by the experiment worker pool — and its Handler
+// (http.go) exposes everything over HTTP.
+type Telemetry struct {
+	Registry *Registry
+	Flight   *FlightRecorder
+
+	start time.Time
+
+	// Decision stream.
+	decisions    *Counter
+	explorations *Counter
+	actMisses    *Counter
+	estimated    *Counter
+	degraded     *Gauge
+	infeasible   *Gauge
+	epsilon      *Gauge
+	speedupCmd   *Gauge
+	bestArm      *Gauge
+	energyUsed   *Gauge
+	budgetLeft   *Gauge
+	allowedPer   *Gauge
+
+	// PI controller.
+	ctrlSteps *Counter
+	pole      *Gauge
+	piError   *Gauge
+	target    *Gauge
+
+	// Bandit estimators.
+	estUpdates *Counter
+	estGain    *Gauge
+
+	// Sensing guard: accepted/rejected totals plus one counter per
+	// rejection reason (indexed by guard.Reason, a stable uint8 enum).
+	guardAccepted *Counter
+	guardRejected *Counter
+	guardReasons  []*Counter
+	guardPower    *Histogram
+
+	// Fault injection, per channel.
+	faults [numFaultChannels]*Counter
+
+	// Watchdog.
+	watchdogTrips *Counter
+
+	// Online-controller iterations.
+	iterations    *Counter
+	iterEstimated *Counter
+	iterSeconds   *Histogram
+
+	// Experiment runner.
+	jobsStarted *Counter
+	jobsDone    *Counter
+	jobsFailed  *Counter
+	queueDepth  *Gauge
+}
+
+// guardReasonNames mirrors guard.Reason's String values; the guard
+// package cannot be imported here (it imports telemetry), so the enum's
+// stable numeric values are the contract. TestGuardReasonNames in
+// telemetry_guard_test.go (package guard) pins the correspondence.
+var guardReasonNames = []string{
+	"ok", "missing", "non-finite", "negative", "stuck", "implausible", "outlier",
+}
+
+// GuardReasonName returns the metric label used for a guard rejection
+// reason code, so the guard package can pin the correspondence between
+// its Reason enum and these labels without an import cycle.
+func GuardReasonName(reason uint8) string {
+	if int(reason) < len(guardReasonNames) {
+		return guardReasonNames[reason]
+	}
+	return "unknown"
+}
+
+// New builds a live telemetry sink with a flight recorder holding the
+// last flightCapacity decisions (DefaultFlightCapacity if <= 0).
+func New(flightCapacity int) *Telemetry {
+	r := NewRegistry()
+	t := &Telemetry{
+		Registry: r,
+		Flight:   NewFlightRecorder(flightCapacity),
+		start:    time.Now(),
+
+		decisions:    r.Counter("jouleguard_decisions_total", "Control decisions recorded by the runtime."),
+		explorations: r.Counter("jouleguard_explorations_total", "Decisions where the SEO explored a random arm."),
+		actMisses:    r.Counter("jouleguard_actuation_misses_total", "Iterations that ran a configuration other than the one commanded."),
+		estimated:    r.Counter("jouleguard_estimated_observations_total", "Observations carrying a model-based estimate instead of a measurement."),
+		degraded:     r.Gauge("jouleguard_degraded", "1 while the watchdog pins the conservative configuration."),
+		infeasible:   r.Gauge("jouleguard_infeasible", "1 while the runtime judges the energy goal unreachable."),
+		epsilon:      r.Gauge("jouleguard_epsilon", "VDBE exploration probability."),
+		speedupCmd:   r.Gauge("jouleguard_speedup_command", "Application speedup command s(t)."),
+		bestArm:      r.Gauge("jouleguard_best_system_arm", "Index of the SEO's current best system configuration."),
+		energyUsed:   r.Gauge("jouleguard_energy_used_joules", "Cumulative measured energy of the current run."),
+		budgetLeft:   r.Gauge("jouleguard_budget_remaining_joules", "Energy budget remaining in the current run."),
+		allowedPer:   r.Gauge("jouleguard_allowed_joules_per_iteration", "Per-iteration energy allowance (the budget derivative target)."),
+
+		ctrlSteps: r.Counter("jouleguard_control_steps_total", "PI controller steps taken."),
+		pole:      r.Gauge("jouleguard_pole", "Adaptive controller pole (Eqn 11)."),
+		piError:   r.Gauge("jouleguard_pi_error", "PI controller error term (target rate minus measured rate)."),
+		target:    r.Gauge("jouleguard_target_rate", "PI controller performance target (iterations/s)."),
+
+		estUpdates: r.Counter("jouleguard_estimator_updates_total", "Bandit-arm estimator updates."),
+		estGain:    r.Gauge("jouleguard_estimator_gain", "Most recent estimator gain (EWMA alpha or Kalman gain)."),
+
+		guardAccepted: r.Counter("jouleguard_guard_samples_total", "Sensing-guard rulings.", Label{"verdict", "accepted"}),
+		guardRejected: r.Counter("jouleguard_guard_samples_total", "Sensing-guard rulings.", Label{"verdict", "rejected"}),
+		guardPower:    r.Histogram("jouleguard_guard_power_watts", "Power values acted on after the sensing guard.", PowerBuckets()),
+
+		watchdogTrips: r.Counter("jouleguard_watchdog_trips_total", "Times the runtime degraded to its conservative configuration."),
+
+		iterations:    r.Counter("jouleguard_iterations_total", "Online-controller iterations completed."),
+		iterEstimated: r.Counter("jouleguard_iterations_estimated_total", "Online-controller iterations whose measurement was estimated."),
+		iterSeconds:   r.Histogram("jouleguard_iteration_seconds", "Online-controller iteration durations.", DurationBuckets()),
+
+		jobsStarted: r.Counter("jouleguard_par_jobs_started_total", "Experiment-runner jobs started."),
+		jobsDone:    r.Counter("jouleguard_par_jobs_completed_total", "Experiment-runner jobs completed."),
+		jobsFailed:  r.Counter("jouleguard_par_jobs_failed_total", "Experiment-runner jobs that returned an error."),
+		queueDepth:  r.Gauge("jouleguard_par_queue_depth", "Experiment-runner jobs waiting for a worker."),
+	}
+	t.guardReasons = make([]*Counter, len(guardReasonNames))
+	for i, name := range guardReasonNames {
+		t.guardReasons[i] = r.Counter("jouleguard_guard_verdicts_total",
+			"Sensing-guard rulings by reason.", Label{"reason", name})
+	}
+	for ch := uint8(0); ch < numFaultChannels; ch++ {
+		t.faults[ch] = r.Counter("jouleguard_faults_injected_total",
+			"Faults injected into the measurement and actuation channels.",
+			Label{"channel", FaultChannelName(ch)})
+	}
+	return t
+}
+
+// RecordDecision implements Sink.
+func (t *Telemetry) RecordDecision(d Decision) {
+	t.Flight.Record(d)
+	t.decisions.Inc()
+	if d.Explored {
+		t.explorations.Inc()
+	}
+	if d.ActuationMiss {
+		t.actMisses.Inc()
+	}
+	if d.Estimated {
+		t.estimated.Inc()
+	}
+	t.degraded.SetBool(d.Degraded)
+	t.infeasible.SetBool(d.Infeasible)
+	t.epsilon.Set(d.Epsilon)
+	t.speedupCmd.Set(d.SpeedupCmd)
+	t.bestArm.Set(float64(d.BestArm))
+	t.energyUsed.Set(d.EnergyUsedJ)
+	t.budgetLeft.Set(d.BudgetRemainingJ)
+	t.allowedPer.Set(d.AllowedJPerIter)
+}
+
+// ControlStep implements Sink.
+func (t *Telemetry) ControlStep(target, measured, errTerm, pole, speedup float64) {
+	t.ctrlSteps.Inc()
+	t.pole.Set(pole)
+	t.piError.Set(errTerm)
+	t.target.Set(target)
+}
+
+// EstimatorUpdate implements Sink.
+func (t *Telemetry) EstimatorUpdate(arm int, rate, power, gain float64) {
+	t.estUpdates.Inc()
+	t.estGain.Set(gain)
+}
+
+// GuardVerdict implements Sink.
+func (t *Telemetry) GuardVerdict(accepted bool, reason uint8, power float64) {
+	if accepted {
+		t.guardAccepted.Inc()
+	} else {
+		t.guardRejected.Inc()
+	}
+	if int(reason) < len(t.guardReasons) {
+		t.guardReasons[reason].Inc()
+	}
+	t.guardPower.Observe(power)
+}
+
+// FaultInjected implements Sink.
+func (t *Telemetry) FaultInjected(channel uint8) {
+	if channel < numFaultChannels {
+		t.faults[channel].Inc()
+	}
+}
+
+// WatchdogTrip implements Sink.
+func (t *Telemetry) WatchdogTrip() { t.watchdogTrips.Inc() }
+
+// IterationDone implements Sink.
+func (t *Telemetry) IterationDone(seconds float64, estimated bool) {
+	t.iterations.Inc()
+	if estimated {
+		t.iterEstimated.Inc()
+	}
+	t.iterSeconds.Observe(seconds)
+}
+
+// JobStart implements Sink.
+func (t *Telemetry) JobStart(queued int) {
+	t.jobsStarted.Inc()
+	t.queueDepth.Set(float64(queued))
+}
+
+// JobDone implements Sink.
+func (t *Telemetry) JobDone(failed bool) {
+	t.jobsDone.Inc()
+	if failed {
+		t.jobsFailed.Inc()
+	}
+}

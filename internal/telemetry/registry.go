@@ -1,0 +1,376 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry implements the subset of the Prometheus data model the
+// runtime needs — counters, gauges and fixed-bucket histograms, with
+// optional constant labels — and renders the text exposition format
+// (version 0.0.4) that any Prometheus-compatible scraper ingests.
+// Metric updates are lock-free atomics so the hot control path never
+// contends with a scrape.
+
+// Label is one constant name="value" pair attached to a metric at
+// registration time.
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing value. The float64 is stored as
+// atomic bits so Add is lock-free.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta; negative or non-finite deltas are ignored (a counter
+// only goes up).
+func (c *Counter) Add(delta float64) {
+	if !(delta > 0) || math.IsInf(delta, 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value; non-finite values are ignored so a NaN
+// from a degenerate iteration cannot corrupt the exposition.
+func (g *Gauge) Set(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetBool sets the gauge to 1 or 0.
+func (g *Gauge) SetBool(b bool) {
+	if b {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets. Bounds
+// are the inclusive upper edges in ascending order; the +Inf bucket is
+// implicit. Observations are lock-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, the last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample; non-finite samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n exponential bucket bounds starting at start and
+// growing by factor — the fixed schema used for duration and power
+// histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the fixed schema for iteration durations, spanning
+// 100µs to ~100s.
+func DurationBuckets() []float64 { return ExpBuckets(1e-4, math.Sqrt(10), 13) }
+
+// PowerBuckets is the fixed schema for power samples, spanning 0.25W to
+// ~256W.
+func PowerBuckets() []float64 { return ExpBuckets(0.25, 2, 11) }
+
+// metricKind is the exposition TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// child is one labelled instance within a family.
+type child struct {
+	labels    []Label
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// family groups all children sharing a metric name.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	children []*child
+}
+
+// Registry holds metric families and renders them. Metric handles
+// returned by Counter/Gauge/Histogram are stable and lock-free to
+// update; registration takes the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// Counter registers (or returns the existing) counter with the given
+// name and constant labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.register(name, help, kindCounter, labels)
+	if c.counter == nil {
+		c.counter = &Counter{}
+	}
+	return c.counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.register(name, help, kindGauge, labels)
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// fixed bucket bounds (ascending upper edges; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	c := r.register(name, help, kindHistogram, labels)
+	if c.histogram == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		c.histogram = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}
+	return c.histogram
+}
+
+// register finds or creates the (family, labelset) child. Invalid names
+// and mismatched kinds panic: metric registration happens at
+// construction time with static names, so a violation is a programming
+// error, not a runtime condition.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *child {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	for _, c := range f.children {
+		if sameLabels(c.labels, labels) {
+			return c
+		}
+	}
+	c := &child{labels: append([]Label(nil), labels...)}
+	f.children = append(f.children, c)
+	return c
+}
+
+func sameLabels(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MetricNames returns the registered family names, in registration
+// order. Tests use it to assert every metric appears in the exposition.
+func (r *Registry) MetricNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.families))
+	for i, f := range r.families {
+		out[i] = f.name
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP and TYPE line per family followed by
+// its samples; histograms expand into cumulative _bucket series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.children {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, c.labels, nil, c.counter.Value())
+			case kindGauge:
+				writeSample(&b, f.name, c.labels, nil, c.gauge.Value())
+			case kindHistogram:
+				h := c.histogram
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					writeSample(&b, f.name+"_bucket", c.labels,
+						&Label{"le", formatFloat(bound)}, float64(cum))
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				writeSample(&b, f.name+"_bucket", c.labels, &Label{"le", "+Inf"}, float64(cum))
+				writeSample(&b, f.name+"_sum", c.labels, nil, h.Sum())
+				writeSample(&b, f.name+"_count", c.labels, nil, float64(h.Count()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one `name{labels} value` line. extra is an
+// additional label (the histogram `le`) appended after the constant
+// labels.
+func writeSample(b *strings.Builder, name string, labels []Label, extra *Label, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		b.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(b, "%s=%q", l.Name, escapeLabelValue(l.Value))
+		}
+		if extra != nil {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extra.Name, escapeLabelValue(extra.Value))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value; the exposition format uses Go's
+// shortest-representation float syntax.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslashes and newlines; %q adds the quote
+// escaping.
+func escapeLabelValue(s string) string {
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,161 @@
+// Package telemetry is JouleGuard's observability layer: a metric
+// registry that renders the Prometheus text exposition format, a bounded
+// flight recorder of per-iteration controller decisions with JSONL
+// export, and the Sink interface the control path is instrumented
+// against. The package is stdlib-only and sits below every other
+// internal package so the runtime, the learner, the controller, the
+// sensing guard, the fault injector and the experiment runner can all
+// report into one place without import cycles.
+//
+// Instrumentation is designed to cost nothing when disabled: every Sink
+// method takes only scalars or small value structs, so calling through
+// the no-op implementation performs no allocation and no locking — the
+// zero-alloc property is pinned by BenchmarkTelemetryNopSink and
+// TestNopSinkZeroAlloc. Components therefore call their sink
+// unconditionally instead of branching on "is telemetry on".
+package telemetry
+
+// Decision is one flight-recorder event: everything the runtime knew and
+// decided in a single control iteration. It answers "why did JouleGuard
+// pick this configuration?" without re-deriving the answer from CSV
+// dumps — the SEU (bandit) estimates, the PI controller state, the
+// budget ledger, the sensing-guard verdict and the fault/watchdog state
+// are all captured at the moment of the decision.
+//
+// AppConfig and SysConfig are the configurations that actually ran the
+// iteration (post actuation readback), so a replayed decision stream
+// matches the run's Record exactly. NextApp and NextSys are the
+// configurations chosen for the following iteration.
+type Decision struct {
+	Iter      int `json:"iter"`
+	AppConfig int `json:"app_config"`
+	SysConfig int `json:"sys_config"`
+	NextApp   int `json:"next_app"`
+	NextSys   int `json:"next_sys"`
+
+	// SEO / bandit state (the "SEU estimate": for an EWMA estimator the
+	// filter values, for a Kalman estimator the filter state and gain).
+	SEURate       float64 `json:"seu_rate"`
+	SEUPower      float64 `json:"seu_power"`
+	SEUEfficiency float64 `json:"seu_efficiency"`
+	EstimatorGain float64 `json:"estimator_gain"`
+	BestArm       int     `json:"best_arm"`
+	Explored      bool    `json:"explored"`
+	Epsilon       float64 `json:"epsilon"`
+
+	// AAO / PI controller state.
+	SpeedupCmd float64 `json:"speedup_cmd"`
+	TargetRate float64 `json:"target_rate"`
+	PIError    float64 `json:"pi_error"`
+	Pole       float64 `json:"pole"`
+
+	// Budget ledger.
+	EnergyUsedJ      float64 `json:"energy_used_j"`
+	BudgetRemainingJ float64 `json:"budget_remaining_j"`
+	AllowedJPerIter  float64 `json:"allowed_j_per_iter"`
+
+	// Sensing, fault and watchdog state.
+	Sane          bool `json:"sane"`
+	GuardAccepted bool `json:"guard_accepted"`
+	Estimated     bool `json:"estimated"`
+	ActuationMiss bool `json:"actuation_miss"`
+	Degraded      bool `json:"degraded"`
+	Infeasible    bool `json:"infeasible"`
+}
+
+// Fault channels reported through Sink.FaultInjected.
+const (
+	FaultSensor uint8 = iota
+	FaultClock
+	FaultActuator
+	numFaultChannels
+)
+
+// FaultChannelName names a fault channel.
+func FaultChannelName(ch uint8) string {
+	switch ch {
+	case FaultSensor:
+		return "sensor"
+	case FaultClock:
+		return "clock"
+	case FaultActuator:
+		return "actuator"
+	}
+	return "unknown"
+}
+
+// Sink receives instrumentation events from the control path. All
+// methods must be safe for concurrent use (the experiment runner calls
+// from its worker pool) and must not retain references to their
+// arguments. Implementations that do not care about an event simply
+// ignore it; Nop ignores everything at zero cost.
+type Sink interface {
+	// RecordDecision traces one completed control iteration.
+	RecordDecision(d Decision)
+	// ControlStep reports one PI controller step (Eqn 5).
+	ControlStep(target, measured, errTerm, pole, speedup float64)
+	// EstimatorUpdate reports one bandit-arm estimator update (Eqn 1):
+	// the post-update rate/power state and the filter gain (the EWMA
+	// alpha, or the Kalman gain of the rate filter).
+	EstimatorUpdate(arm int, rate, power, gain float64)
+	// GuardVerdict reports one sensing-guard ruling. reason is a
+	// guard.Reason value; power is the power acted on (the reading if
+	// accepted, the fallback estimate otherwise).
+	GuardVerdict(accepted bool, reason uint8, power float64)
+	// FaultInjected reports one injected fault on the given channel
+	// (FaultSensor, FaultClock, FaultActuator).
+	FaultInjected(channel uint8)
+	// WatchdogTrip reports the runtime degrading to its conservative
+	// configuration.
+	WatchdogTrip()
+	// IterationDone reports one completed online-controller iteration:
+	// its wall duration and whether the measurement was estimated
+	// (sensor failure or guard rejection).
+	IterationDone(seconds float64, estimated bool)
+	// JobStart reports an experiment-runner job starting with the
+	// number of jobs still queued behind it.
+	JobStart(queued int)
+	// JobDone reports an experiment-runner job finishing.
+	JobDone(failed bool)
+}
+
+// Nop is the no-op Sink: every method is empty, so instrumented code can
+// call it unconditionally and pay only a static interface dispatch. It
+// allocates nothing (all methods take scalars or value structs).
+type Nop struct{}
+
+// RecordDecision implements Sink.
+func (Nop) RecordDecision(Decision) {}
+
+// ControlStep implements Sink.
+func (Nop) ControlStep(target, measured, errTerm, pole, speedup float64) {}
+
+// EstimatorUpdate implements Sink.
+func (Nop) EstimatorUpdate(arm int, rate, power, gain float64) {}
+
+// GuardVerdict implements Sink.
+func (Nop) GuardVerdict(accepted bool, reason uint8, power float64) {}
+
+// FaultInjected implements Sink.
+func (Nop) FaultInjected(channel uint8) {}
+
+// WatchdogTrip implements Sink.
+func (Nop) WatchdogTrip() {}
+
+// IterationDone implements Sink.
+func (Nop) IterationDone(seconds float64, estimated bool) {}
+
+// JobStart implements Sink.
+func (Nop) JobStart(queued int) {}
+
+// JobDone implements Sink.
+func (Nop) JobDone(failed bool) {}
+
+// OrNop returns s, or the no-op sink when s is nil, so components can
+// store a never-nil sink and skip per-call nil checks.
+func OrNop(s Sink) Sink {
+	if s == nil {
+		return Nop{}
+	}
+	return s
+}

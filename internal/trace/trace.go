@@ -90,6 +90,10 @@ func ASCIIChart(ser *Series, width, height int) string {
 	if math.IsInf(lo, 1) {
 		return ""
 	}
+	// A constant series would divide by zero in the row projection below;
+	// widen the projection range only — the annotation keeps the true
+	// [lo .. hi] so a flatline reads as the level it actually held.
+	trueLo, trueHi := lo, hi
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -132,7 +136,7 @@ func ASCIIChart(ser *Series, width, height int) string {
 		grid[row][c] = '*'
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s  [%.4g .. %.4g]\n", ser.Name, lo, hi)
+	fmt.Fprintf(&b, "%s  [%.4g .. %.4g]\n", ser.Name, trueLo, trueHi)
 	for _, row := range grid {
 		b.WriteString("  |")
 		b.Write(row)

@@ -83,3 +83,58 @@ func TestASCIIChartDegenerate(t *testing.T) {
 		t.Fatal("tiny canvas should render nothing")
 	}
 }
+
+// TestASCIIChartConstantSeriesRegression pins the guard for a constant
+// series: hi == lo would make the row projection divide by zero, so the
+// chart widens the range by one and must still draw every bucket's star
+// on a single row with the true value in the annotation.
+func TestASCIIChartConstantSeriesRegression(t *testing.T) {
+	ser := &Series{Name: "flatline", Values: []float64{3.5, 3.5, 3.5, 3.5, 3.5, 3.5}}
+	out := ASCIIChart(ser, 12, 5)
+	if out == "" {
+		t.Fatal("constant series must render")
+	}
+	if !strings.Contains(out, "[3.5 .. 3.5]") {
+		t.Fatalf("annotation should show the constant level:\n%s", out)
+	}
+	starRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if n := strings.Count(line, "*"); n > 0 {
+			starRows++
+			if n != 12 {
+				t.Fatalf("constant series should fill its row (%d stars):\n%s", n, out)
+			}
+		}
+	}
+	if starRows != 1 {
+		t.Fatalf("constant series should occupy exactly one row, got %d:\n%s", starRows, out)
+	}
+}
+
+// TestASCIIChartSparseNaNRegression pins the guard for a series where
+// whole downsample buckets are non-finite: those columns stay blank,
+// finite columns still render, and the annotated range ignores the
+// non-finite values entirely.
+func TestASCIIChartSparseNaNRegression(t *testing.T) {
+	ser := &Series{Name: "holey"}
+	for i := 0; i < 40; i++ {
+		if i/10%2 == 0 {
+			ser.Append(math.NaN())
+		} else {
+			ser.Append(float64(i))
+		}
+	}
+	out := ASCIIChart(ser, 8, 4)
+	if out == "" {
+		t.Fatal("series with finite values must render")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite buckets should draw stars:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN must not leak into the chart:\n%s", out)
+	}
+	if !strings.Contains(out, "[10 .. 39]") {
+		t.Fatalf("range should cover only finite samples:\n%s", out)
+	}
+}

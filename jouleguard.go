@@ -39,9 +39,11 @@ import (
 	"jouleguard/internal/learning"
 	"jouleguard/internal/linuxsys"
 	"jouleguard/internal/oracle"
+	"jouleguard/internal/par"
 	"jouleguard/internal/platform"
 	"jouleguard/internal/sensors"
 	"jouleguard/internal/sim"
+	"jouleguard/internal/telemetry"
 	"jouleguard/internal/workload"
 )
 
@@ -91,6 +93,16 @@ type (
 	// SensorGuardConfig tunes a SensorGuard; the zero value selects the
 	// defaults.
 	SensorGuardConfig = guard.Config
+	// Telemetry is the live observability sink: a Prometheus-style metric
+	// registry plus a flight recorder of controller decisions, with an
+	// HTTP Handler exposing /metrics, /healthz and /decisions.
+	Telemetry = telemetry.Telemetry
+	// TelemetrySink receives instrumentation events from the control
+	// path; pass one via Options.Telemetry and OnlineController.SetTelemetry.
+	TelemetrySink = telemetry.Sink
+	// Decision is one flight-recorder event: everything the runtime knew
+	// and decided in a single control iteration.
+	Decision = telemetry.Decision
 )
 
 // Exploration policies for Options.Selector.
@@ -99,6 +111,17 @@ const (
 	SelectFixedEps = core.SelectFixedEps
 	SelectUCB      = core.SelectUCB
 )
+
+// NewTelemetry builds a live telemetry sink whose flight recorder holds
+// the last flightCapacity decisions (a default capacity if <= 0). Wire
+// it into a runtime via Options.Telemetry, into an OnlineController via
+// SetTelemetry, and serve its Handler to expose the run live.
+func NewTelemetry(flightCapacity int) *Telemetry { return telemetry.New(flightCapacity) }
+
+// SetRunnerTelemetry installs a process-wide sink on the parallel
+// experiment runner: every experiment job reports start/completion and
+// the queue depth behind it. Pass nil to disable.
+func SetRunnerTelemetry(s TelemetrySink) { par.SetSink(s) }
 
 // Benchmark returns one of the paper's eight approximate applications by
 // name (Table 2): "x264", "swaptions", "bodytrack", "swish++", "radar",

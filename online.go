@@ -6,6 +6,7 @@ import (
 	"jouleguard/internal/guard"
 	"jouleguard/internal/heartbeats"
 	"jouleguard/internal/sim"
+	"jouleguard/internal/telemetry"
 )
 
 // OnlineController adapts any Governor (the JouleGuard runtime or a
@@ -57,6 +58,8 @@ type OnlineController struct {
 	failStreak int
 	failTotal  int
 	clockBack  int
+
+	tele telemetry.Sink // per-iteration telemetry; Nop when not instrumented
 }
 
 // NewOnline builds an online controller with the default sensing guard.
@@ -80,7 +83,17 @@ func NewOnlineGuarded(gov Governor, readEnergy func() (float64, error), now func
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineController{gov: gov, readEnergy: readEnergy, now: now, hb: hb, guard: guard.New(gcfg)}, nil
+	return &OnlineController{gov: gov, readEnergy: readEnergy, now: now, hb: hb,
+		guard: guard.New(gcfg), tele: telemetry.Nop{}}, nil
+}
+
+// SetTelemetry streams per-iteration events — iteration durations and the
+// sensing guard's verdicts — into a telemetry sink. To also trace the
+// governor's decisions, pass the same sink through Options.Telemetry when
+// building the runtime.
+func (o *OnlineController) SetTelemetry(s TelemetrySink) {
+	o.tele = telemetry.OrNop(s)
+	o.guard.SetSink(o.tele)
 }
 
 // Next returns the configurations for the upcoming iteration and starts its
@@ -192,6 +205,7 @@ func (o *OnlineController) Done(accuracy float64) error {
 		Estimated:      !v.Accepted,
 	})
 	o.iter++
+	o.tele.IterationDone(dur, !v.Accepted)
 	return nil
 }
 

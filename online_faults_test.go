@@ -1,0 +1,142 @@
+package jouleguard_test
+
+import (
+	"testing"
+
+	"jouleguard"
+	"jouleguard/internal/telemetry"
+)
+
+// dropTail is a deterministic sensor fault: readings are lost from
+// iteration From onward, giving the test an exactly-known failure streak.
+type dropTail struct{ From int }
+
+func (d dropTail) Reading(iter int, v float64) (float64, bool) { return v, iter < d.From }
+
+// iterCounter counts IterationDone events for the online-controller
+// telemetry assertion.
+type iterCounter struct {
+	telemetry.Nop
+	done, estimated int
+}
+
+func (c *iterCounter) IterationDone(_ float64, estimated bool) {
+	c.done++
+	if estimated {
+		c.estimated++
+	}
+}
+
+// TestOnlineIntrospectionUnderFaults drives the online controller through
+// a run whose energy reader and clock are corrupted by the fault
+// injector's own models, and checks every introspection accessor reports
+// what actually happened: SensorFailures counts the lost readings,
+// ConsecutiveFailures tracks the terminal outage streak, ClockAnomalies
+// counts backwards clock steps, and GuardCounts accounts for every
+// iteration exactly once.
+func TestOnlineIntrospectionUnderFaults(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 120
+	const outageFrom = 100 // reader dead for the final 20 iterations
+	gov, err := tb.NewJouleGuard(1.5, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMachine{tb: tb}
+	inj := &jouleguard.FaultInjector{Sensor: dropTail{From: outageFrom}}
+	ctl, err := jouleguard.NewOnline(gov,
+		inj.WrapEnergyReader(m.readEnergy),
+		func() float64 { return m.clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &iterCounter{}
+	ctl.SetTelemetry(tel)
+
+	for i := 0; i < iters; i++ {
+		appCfg, sysCfg := ctl.Next()
+		m.apply(appCfg, sysCfg)
+		m.work()
+		if err := ctl.Done(1); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+
+	if got := ctl.Iterations(); got != iters {
+		t.Fatalf("Iterations() = %d, want %d", got, iters)
+	}
+	// The reader failed for exactly the tail of the run.
+	wantFailures := iters - outageFrom
+	if got := ctl.SensorFailures(); got < wantFailures {
+		t.Errorf("SensorFailures() = %d, want >= %d (tail outage)", got, wantFailures)
+	}
+	if got := ctl.ConsecutiveFailures(); got != wantFailures {
+		t.Errorf("ConsecutiveFailures() = %d, want %d (outage still in progress)", got, wantFailures)
+	}
+	if ctl.LastSensorError() == nil {
+		t.Error("LastSensorError() = nil during an outage")
+	}
+	// Guard accounting covers every iteration exactly once, and the
+	// rejected side includes at least the dropped readings.
+	acc, rej := ctl.GuardCounts()
+	if acc+rej != iters {
+		t.Errorf("GuardCounts() = %d+%d, want total %d", acc, rej, iters)
+	}
+	if rej < wantFailures {
+		t.Errorf("GuardCounts() rejected = %d, want >= %d", rej, wantFailures)
+	}
+	// Telemetry mirrors the same story.
+	if tel.done != iters {
+		t.Errorf("telemetry IterationDone count = %d, want %d", tel.done, iters)
+	}
+	if tel.estimated != ctl.SensorFailures() {
+		t.Errorf("telemetry estimated iterations = %d, want %d (one per failure)",
+			tel.estimated, ctl.SensorFailures())
+	}
+}
+
+// TestOnlineClockAnomaliesUnderFaultyClock runs the controller against a
+// clock wrapped by the injector's backwards-stepping model and checks the
+// anomaly counter: a clock fault large enough to invert every interval
+// must be clamped and counted on every iteration, without killing the
+// loop.
+func TestOnlineClockAnomaliesUnderFaultyClock(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 30
+	gov, err := tb.NewJouleGuard(1.5, iters, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMachine{tb: tb}
+	inj := &jouleguard.FaultInjector{Clock: backEvery{step: 10}}
+	ctl, err := jouleguard.NewOnline(gov, m.readEnergy, inj.WrapClock(func() float64 { return m.clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		appCfg, sysCfg := ctl.Next()
+		m.apply(appCfg, sysCfg)
+		m.work()
+		if err := ctl.Done(1); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if got := ctl.ClockAnomalies(); got != iters {
+		t.Errorf("ClockAnomalies() = %d, want %d (every interval inverted)", got, iters)
+	}
+	if got := ctl.Iterations(); got != iters {
+		t.Fatalf("Iterations() = %d, want %d", got, iters)
+	}
+}
+
+// backEvery subtracts an ever-growing offset from each clock read, so
+// consecutive reads always move backwards.
+type backEvery struct{ step float64 }
+
+func (b backEvery) Now(iter int, t float64) float64 { return t - float64(iter)*b.step }

@@ -1,0 +1,123 @@
+package jouleguard
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryEndToEnd runs a real testbed experiment with a live
+// telemetry sink and checks the two exposition contracts from the
+// outside, over HTTP:
+//
+//   - /metrics parses as Prometheus text exposition format, with a HELP
+//     and TYPE line for every metric family that has samples;
+//   - /decisions replays, in order, the exact configurations the run's
+//     Record says were in effect each iteration.
+func TestTelemetryEndToEnd(t *testing.T) {
+	const iters = 120
+	tb, err := NewTestbed("radar", "Mobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry(iters) // hold the whole run
+	gov, err := tb.NewJouleGuard(1.5, iters, Options{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.Run(gov, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	// --- /decisions replays the Record ---------------------------------
+	resp, err := srv.Client().Get(srv.URL + "/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decisions []Decision
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var d Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("decision line %d: %v", len(decisions), err)
+		}
+		decisions = append(decisions, d)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != rec.Iterations {
+		t.Fatalf("flight recorder holds %d decisions, run had %d iterations", len(decisions), rec.Iterations)
+	}
+	for i, d := range decisions {
+		if d.Iter != i {
+			t.Fatalf("decision %d carries iteration %d", i, d.Iter)
+		}
+		if d.AppConfig != rec.AppConfigs[i] || d.SysConfig != rec.SysConfigs[i] {
+			t.Fatalf("decision %d ran (app=%d, sys=%d); Record says (app=%d, sys=%d)",
+				i, d.AppConfig, d.SysConfig, rec.AppConfigs[i], rec.SysConfigs[i])
+		}
+	}
+
+	// --- /metrics parses and reflects the run --------------------------
+	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ct)
+	}
+	var (
+		helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+		typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+		sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (NaN|[-+]?(Inf|[0-9].*))$`)
+	)
+	samples := map[string]float64{}
+	sm := bufio.NewScanner(resp2.Body)
+	for sm.Scan() {
+		line := sm.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !helpRe.MatchString(line) {
+				t.Errorf("malformed HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE"):
+			if !typeRe.MatchString(line) {
+				t.Errorf("malformed TYPE line: %q", line)
+			}
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Errorf("malformed sample line: %q", line)
+			}
+			fields := strings.Fields(line)
+			if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+				samples[fields[0]] = v
+			}
+		}
+	}
+	if err := sm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := samples["jouleguard_decisions_total"]; got != float64(iters) {
+		t.Errorf("jouleguard_decisions_total = %v, want %d", got, iters)
+	}
+	if got := samples["jouleguard_control_steps_total"]; got <= 0 {
+		t.Errorf("jouleguard_control_steps_total = %v, want > 0", got)
+	}
+	if got := samples["jouleguard_estimator_updates_total"]; got != float64(iters) {
+		t.Errorf("jouleguard_estimator_updates_total = %v, want %d (one per sane iteration)", got, iters)
+	}
+}
