@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke clean
+.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke serve-smoke clean
 
 all: build vet test
 
@@ -20,8 +20,9 @@ lint:
 	fi
 	$(GO) vet ./...
 
-# The pre-merge gate: formatting + vet + the race-detector pass.
-check: lint race
+# The pre-merge gate: formatting + vet + the race-detector pass + the
+# daemon smoke test.
+check: lint race serve-smoke
 
 test:
 	$(GO) test ./...
@@ -30,9 +31,20 @@ test-race:
 	$(GO) test -race ./...
 
 # Race-detector pass over the packages that share state across the
-# experiment worker pool: the pool itself, the drivers, and the caches.
+# experiment worker pool: the pool itself, the drivers, and the caches —
+# plus the daemon, which shares sessions and the budget broker across
+# request handlers.
 race:
-	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ .
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ .
+
+# Daemon smoke test under the race detector: selfhost the daemon, drive
+# 8 concurrent tenants for 200 iterations each, restart the daemon
+# mid-run from a snapshot, and assert every tenant lands within 105% of
+# its grant. Latency quantiles are folded into BENCH_experiments.json.
+serve-smoke:
+	$(GO) run -race ./cmd/loadgen -tenants 8 -iters 200 -restart-at 800 -check 1.05 \
+		| $(GO) run ./cmd/benchjson > BENCH_experiments.json
+	@echo "serve-smoke passed; latency snapshot in BENCH_experiments.json"
 
 # One scaled-down benchmark pass over every table/figure + ablations,
 # leaving a machine-readable timing snapshot in BENCH_experiments.json.

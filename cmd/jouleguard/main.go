@@ -85,8 +85,13 @@ func runServe(appName, platName string, factor float64, iters int, addr string, 
 		fail(err)
 	}
 	fmt.Printf("telemetry on http://%s  (/metrics /healthz /decisions /debug/pprof)\n", ln.Addr())
+	// The exposition endpoints come from the shared mux builder in
+	// internal/telemetry — the same wiring cmd/jouleguardd mounts its
+	// session protocol next to.
+	mux := http.NewServeMux()
+	tel.Mount(mux)
 	go func() {
-		if err := http.Serve(ln, tel.Handler()); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			fail(err)
 		}
 	}()

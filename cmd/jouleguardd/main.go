@@ -1,0 +1,99 @@
+// Command jouleguardd is the JouleGuard governor daemon: it serves the
+// versioned session protocol of internal/wire, partitioning one
+// machine-wide energy budget across many concurrently governed
+// applications. Each session runs its own governor (SEO bandit + AAO
+// controller) under a grant from the budget broker; the shared
+// telemetry surface (/metrics, /healthz, /decisions, /debug/pprof) is
+// mounted on the same listener.
+//
+// On SIGINT/SIGTERM the daemon drains in-flight iterations, snapshots
+// its durable state to -snapshot (JSONL), and exits; restarted with the
+// same -snapshot it restores every live session bit-identically and
+// clients resume through their retry layer.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jouleguard/internal/server"
+	"jouleguard/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address for the session protocol and telemetry")
+	budget := flag.Float64("budget", 10000, "machine-wide energy budget to partition, joules")
+	reserve := flag.Float64("reserve", 0, "broker commitment multiplier (<=1 selects the default 1.05)")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored at start if present, written on shutdown")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "expire sessions with no wire activity for this long")
+	flight := flag.Int("flight", 4096, "decision flight-recorder capacity for /decisions")
+	drain := flag.Duration("drain", 10*time.Second, "max time to wait for in-flight iterations on shutdown")
+	flag.Parse()
+
+	tel := telemetry.New(*flight)
+	srv, err := server.New(server.Config{
+		GlobalBudgetJ: *budget,
+		Reserve:       *reserve,
+		IdleTimeout:   *idle,
+		Telemetry:     tel,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *snapshot != "" {
+		restored, err := srv.RestoreFile(*snapshot)
+		if err != nil {
+			fail(fmt.Errorf("restoring %s: %w", *snapshot, err))
+		}
+		if restored {
+			fmt.Printf("restored state from %s\n", *snapshot)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("jouleguardd on http://%s  budget %.0f J  (sessions: %s, telemetry: /metrics /healthz /decisions)\n",
+		ln.Addr(), *budget, "/v1/sessions")
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v, draining\n", s)
+	case err := <-errCh:
+		fail(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v (snapshotting anyway)\n", err)
+	}
+	if *snapshot != "" {
+		if err := srv.SnapshotFile(*snapshot); err != nil {
+			fail(fmt.Errorf("writing snapshot %s: %w", *snapshot, err))
+		}
+		fmt.Printf("state snapshotted to %s\n", *snapshot)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	_ = httpSrv.Shutdown(shutdownCtx)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,278 @@
+// Command loadgen drives a jouleguardd daemon with N simulated tenants
+// and reports service-layer overheads: decision latency (p50/p99 of the
+// Next and Done round trips), throughput, and the aggregate
+// budget-guarantee error across concurrently governed sessions.
+//
+// Two modes:
+//
+//   - -addr points it at an external daemon;
+//   - -selfhost (the default when -addr is empty) runs the daemon
+//     in-process over a real localhost listener, so one race-detector
+//     run covers server and client together. With -restart-at N the
+//     selfhosted daemon is drained, snapshotted and replaced mid-run
+//     once N iterations have completed across tenants — proving the
+//     guarantees survive a restart while clients ride through on their
+//     retry layer.
+//
+// Latency results are printed to stdout in `go test -bench` format so
+// cmd/benchjson can fold them into BENCH_experiments.json; the
+// human-readable summary goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"jouleguard"
+	"jouleguard/internal/load"
+	"jouleguard/internal/server"
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of an external daemon (empty = selfhost)")
+	tenants := flag.Int("tenants", 8, "concurrent tenants")
+	iters := flag.Int("iters", 200, "iterations per tenant")
+	apps := flag.String("apps", "x264", "comma-separated benchmarks, assigned round-robin")
+	platName := flag.String("platform", "Server", "platform model")
+	factor := flag.Float64("f", 2.0, "per-tenant energy-reduction factor (prices the absolute budget request)")
+	weighted := flag.Bool("weighted", false, "request weighted shares instead of factor-priced absolute budgets")
+	budget := flag.Float64("budget", 0, "selfhost: global budget in joules (0 = auto-size to fit the tenants)")
+	restartAt := flag.Int("restart-at", 0, "selfhost: drain+snapshot+restart the daemon once this many iterations completed across tenants (0 = never)")
+	check := flag.Float64("check", 0, "fail unless every tenant's spend <= this fraction of its grant (e.g. 1.05; 0 = report only)")
+	seed := flag.Int64("seed", 1, "base seed; tenant i runs with seed+i")
+	flag.Parse()
+
+	cfg := load.Config{
+		Tenants:    *tenants,
+		Iterations: *iters,
+		Apps:       strings.Split(*apps, ","),
+		Platform:   *platName,
+		Seed:       *seed,
+	}
+	if *weighted {
+		cfg.Weight = 1
+	} else {
+		cfg.Factor = *factor
+	}
+
+	var sh *selfhost
+	if *addr == "" {
+		globalJ := *budget
+		if globalJ <= 0 {
+			globalJ = autoBudget(cfg)
+		}
+		var err error
+		sh, err = startSelfhost(globalJ)
+		if err != nil {
+			fail(err)
+		}
+		cfg.BaseURL = sh.baseURL()
+		if *restartAt > 0 {
+			go sh.restartWhen(*restartAt)
+		}
+		fmt.Fprintf(os.Stderr, "selfhosted daemon on %s, global budget %.0f J\n", cfg.BaseURL, globalJ)
+	} else {
+		cfg.BaseURL = *addr
+		if !strings.HasPrefix(cfg.BaseURL, "http") {
+			cfg.BaseURL = "http://" + cfg.BaseURL
+		}
+	}
+
+	rep, err := load.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, rep.Summary())
+	if sh != nil {
+		if err := sh.verifyBroker(rep); err != nil {
+			fail(err)
+		}
+		sh.stop()
+	}
+	for _, line := range rep.BenchLines() {
+		fmt.Println(line)
+	}
+	if *check > 0 {
+		if err := rep.Check(*check); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "check passed: every tenant within %.0f%% of its grant\n", *check*100)
+	} else if rep.Errors > 0 {
+		fail(fmt.Errorf("loadgen: %d tenants reported errors", rep.Errors))
+	}
+}
+
+// autoBudget sizes the selfhosted global pool so every factor-priced
+// tenant fits under the broker's reserve, with a small admission margin.
+func autoBudget(cfg load.Config) float64 {
+	total := 0.0
+	for i := 0; i < cfg.Tenants; i++ {
+		app := cfg.Apps[i%len(cfg.Apps)]
+		tb, err := jouleguard.NewTestbed(app, cfg.Platform)
+		if err != nil {
+			fail(err)
+		}
+		per := tb.DefaultEnergy * float64(cfg.Iterations)
+		if cfg.Factor > 0 {
+			b, err := tb.Budget(cfg.Factor, cfg.Iterations)
+			if err != nil {
+				fail(err)
+			}
+			per = b
+		}
+		total += per
+	}
+	return total * server.DefaultReserve * 1.02
+}
+
+// selfhost runs the daemon in-process over a real localhost listener and
+// can replace it mid-run (drain, snapshot, restore) while clients retry
+// through the outage.
+type selfhost struct {
+	addr    string
+	snap    string
+	tel     *telemetry.Telemetry
+	globalJ float64
+	srv     *server.Server
+	httpSrv *http.Server
+}
+
+func startSelfhost(globalJ float64) (*selfhost, error) {
+	dir, err := os.MkdirTemp("", "loadgen-snap-")
+	if err != nil {
+		return nil, err
+	}
+	sh := &selfhost{
+		snap:    filepath.Join(dir, "jouleguardd.snap"),
+		tel:     telemetry.New(4096),
+		globalJ: globalJ,
+	}
+	srv, err := server.New(server.Config{GlobalBudgetJ: globalJ, Telemetry: sh.tel})
+	if err != nil {
+		return nil, err
+	}
+	sh.srv = srv
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sh.addr = ln.Addr().String()
+	sh.serve(ln)
+	return sh, nil
+}
+
+func (sh *selfhost) baseURL() string { return "http://" + sh.addr }
+
+func (sh *selfhost) serve(ln net.Listener) {
+	sh.httpSrv = &http.Server{Handler: sh.srv.Handler()}
+	go func(h *http.Server) { _ = h.Serve(ln) }(sh.httpSrv)
+}
+
+// restartWhen polls the daemon's own wire surface until the fleet has
+// completed n iterations, then replaces the daemon: drain in-flight
+// brackets, snapshot, tear the listener down, restore a fresh server on
+// the same address.
+func (sh *selfhost) restartWhen(n int) {
+	for {
+		time.Sleep(10 * time.Millisecond)
+		done, err := sh.fleetIterations()
+		if err != nil {
+			continue
+		}
+		if done >= n {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "restart trigger: fleet passed %d iterations; draining + snapshotting daemon\n", n)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sh.srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	if err := sh.srv.SnapshotFile(sh.snap); err != nil {
+		fail(fmt.Errorf("snapshot: %w", err))
+	}
+	_ = sh.httpSrv.Close() // drop the listener; clients enter retry
+
+	srv, err := server.New(server.Config{GlobalBudgetJ: sh.globalJ, Telemetry: sh.tel})
+	if err != nil {
+		fail(err)
+	}
+	if _, err := srv.RestoreFile(sh.snap); err != nil {
+		fail(fmt.Errorf("restore: %w", err))
+	}
+	sh.srv = srv
+	// Rebind the same address; the old listener may linger briefly.
+	var ln net.Listener
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", sh.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		fail(fmt.Errorf("rebinding %s: %w", sh.addr, err))
+	}
+	sh.serve(ln)
+	fmt.Fprintf(os.Stderr, "daemon restarted on %s from %s\n", sh.addr, sh.snap)
+}
+
+// fleetIterations sums completed iterations across live sessions via the
+// daemon's list endpoint.
+func (sh *selfhost) fleetIterations() (int, error) {
+	resp, err := http.Get(sh.baseURL() + wire.BasePath)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var list wire.ListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, s := range list.Sessions {
+		total += s.IterDone
+	}
+	return total, nil
+}
+
+// verifyBroker asserts the daemon-side global invariant after the run:
+// the broker never over-committed, and the fleet's total spend stayed
+// within the global pool.
+func (sh *selfhost) verifyBroker(rep *load.Report) error {
+	info := sh.srv.Broker().Info()
+	if info.CommittedJ+info.ConsumedJ > info.GlobalJ*1.0001 {
+		return fmt.Errorf("loadgen: broker over-committed: committed %.1f + consumed %.1f > global %.1f",
+			info.CommittedJ, info.ConsumedJ, info.GlobalJ)
+	}
+	if rep.TotalSpentJ > info.GlobalJ {
+		return fmt.Errorf("loadgen: fleet spent %.1f J of a %.1f J global budget", rep.TotalSpentJ, info.GlobalJ)
+	}
+	fmt.Fprintf(os.Stderr, "broker ledger: global %.0f J, consumed %.1f J, committed %.1f J, %d admitted / %d rejected\n",
+		info.GlobalJ, info.ConsumedJ, info.CommittedJ, info.Admitted, info.Rejected)
+	return nil
+}
+
+func (sh *selfhost) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = sh.srv.Shutdown(ctx)
+	_ = sh.httpSrv.Close()
+	os.RemoveAll(filepath.Dir(sh.snap))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

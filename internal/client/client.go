@@ -1,0 +1,362 @@
+// Package client is the governor daemon's client library: it mirrors
+// the in-process OnlineController contract — bracket each unit of work
+// with Next/Done — over the wire protocol of internal/wire, so an
+// application ports from local to remote governance in a handful of
+// lines:
+//
+//	sess, _ := client.Open(client.Options{
+//		BaseURL: "http://localhost:7077", Tenant: "encoder",
+//		App: "x264", Platform: "Server", Iterations: 500, Factor: 2,
+//	}, readEnergyJ, nowSeconds)
+//	defer sess.Close()
+//	for i := 0; i < frames; i++ {
+//		appCfg, sysCfg, _ := sess.Next()
+//		applyConfigs(appCfg, sysCfg)
+//		encodeFrame(i)
+//		sess.Done(measuredAccuracy)
+//	}
+//
+// Transient transport failures and daemon restarts are absorbed by
+// capped exponential backoff (the actuation-retry pattern of
+// internal/linuxsys, hardened by the PR1 fault suite): retryable
+// failures — connection errors, 5xx, the daemon's "draining" reply —
+// are retried; protocol errors are not. A daemon restart that loses the
+// in-flight iteration is re-bracketed transparently: the server's
+// sequencing contract (wire.CodeBadSequence) tells the client exactly
+// which side of the bracket was lost, and the cumulative energy meter
+// lets the restored governor's sensing guard reconcile the gap.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"jouleguard/internal/wire"
+)
+
+// RetryPolicy controls how wire calls survive transient failures, with
+// capped exponential backoff between attempts.
+type RetryPolicy struct {
+	MaxAttempts int                 // total attempts per call (default 8)
+	BaseDelay   time.Duration       // delay before the first retry (default 25ms)
+	MaxDelay    time.Duration       // backoff cap (default 1s)
+	Sleep       func(time.Duration) // injectable for tests (default time.Sleep)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Options configures a remote session; the registration fields mirror
+// wire.RegisterRequest.
+type Options struct {
+	BaseURL string // daemon address, e.g. "http://localhost:7077"
+
+	Tenant      string
+	Weight      float64
+	App         string
+	Platform    string
+	Iterations  int
+	Factor      float64 // energy-reduction factor; or
+	BudgetJ     float64 // absolute joule request; both zero = weighted share
+	MinAccuracy float64
+	Seed        int64
+	IdleTimeout time.Duration // server-side idle expiry override
+
+	HTTPClient *http.Client // default http.DefaultClient
+	Retry      RetryPolicy
+}
+
+// Error is a protocol-level failure carrying the daemon's stable code.
+type Error struct {
+	Code    string
+	Message string
+	Status  int
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("client: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Session is a remote-governed control loop. Not safe for concurrent
+// use — like the OnlineController it mirrors, one Session belongs to
+// one control loop.
+type Session struct {
+	id         string
+	base       string
+	httpc      *http.Client
+	retry      RetryPolicy
+	readEnergy func() (float64, error)
+	now        func() float64
+
+	grantJ     float64
+	iterations int
+	appConfigs int
+	sysConfigs int
+
+	armed    bool
+	lastDone wire.DoneResponse
+	closed   bool
+}
+
+// Open registers a session with the daemon. readEnergy returns the
+// application's cumulative joule counter; now returns seconds on a
+// monotone clock — the same instruments NewOnline takes, measured
+// client-side so network latency never pollutes the intervals.
+func Open(opts Options, readEnergy func() (float64, error), now func() float64) (*Session, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("client: empty BaseURL")
+	}
+	if readEnergy == nil || now == nil {
+		return nil, fmt.Errorf("client: nil energy reader or clock")
+	}
+	httpc := opts.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	s := &Session{
+		base:       strings.TrimRight(opts.BaseURL, "/"),
+		httpc:      httpc,
+		retry:      opts.Retry.withDefaults(),
+		readEnergy: readEnergy,
+		now:        now,
+	}
+	req := wire.RegisterRequest{
+		Tenant:       opts.Tenant,
+		Weight:       opts.Weight,
+		App:          opts.App,
+		Platform:     opts.Platform,
+		Iterations:   opts.Iterations,
+		Factor:       opts.Factor,
+		BudgetJ:      opts.BudgetJ,
+		MinAccuracy:  opts.MinAccuracy,
+		Seed:         opts.Seed,
+		IdleTimeoutS: opts.IdleTimeout.Seconds(),
+	}
+	var resp wire.RegisterResponse
+	if err := s.call("POST", wire.BasePath, req, &resp); err != nil {
+		return nil, err
+	}
+	s.id = resp.SessionID
+	s.grantJ = resp.GrantJ
+	s.iterations = resp.Iterations
+	s.appConfigs = resp.AppConfigs
+	s.sysConfigs = resp.SysConfigs
+	return s, nil
+}
+
+// ID returns the daemon-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// GrantJ returns the joule budget the broker committed to this session.
+func (s *Session) GrantJ() float64 { return s.grantJ }
+
+// Iterations returns the registered workload length.
+func (s *Session) Iterations() int { return s.iterations }
+
+// Configs returns the sizes of the application and system configuration
+// spaces the daemon decides over.
+func (s *Session) Configs() (app, sys int) { return s.appConfigs, s.sysConfigs }
+
+// LastStatus returns the ledger view from the most recent Done.
+func (s *Session) LastStatus() wire.DoneResponse { return s.lastDone }
+
+// Next fetches the configurations for the upcoming iteration and starts
+// its interval on the local clock. If the previous iteration's Done was
+// lost to a daemon restart, Next transparently re-brackets: the daemon's
+// bad-sequence reply is resolved by reporting the lost iteration as an
+// estimated observation first.
+func (s *Session) Next() (appCfg, sysCfg int, err error) {
+	if s.closed {
+		return 0, 0, fmt.Errorf("client: session %s is closed", s.id)
+	}
+	var resp wire.NextResponse
+	err = s.call("POST", s.path("next"), wire.NextRequest{NowS: s.now()}, &resp)
+	if IsCode(err, wire.CodeBadSequence) && !s.armed {
+		// The daemon believes an iteration is armed but we never issued
+		// one it remembers — a retried Next whose first reply was lost.
+		// Settle the phantom bracket with an estimated sample, then ask
+		// again.
+		if derr := s.reportDone(1, true); derr != nil {
+			return 0, 0, fmt.Errorf("client: recovering lost Next reply: %w", derr)
+		}
+		err = s.call("POST", s.path("next"), wire.NextRequest{NowS: s.now()}, &resp)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	s.armed = true
+	return resp.AppConfig, resp.SysConfig, nil
+}
+
+// Done reports the completed iteration: the local clock, the cumulative
+// energy reading and the application's accuracy measure. If the daemon
+// restarted and lost the bracket, Done re-brackets the iteration
+// (Next then Done) so the work — and its energy, reconciled through the
+// cumulative counter — is still accounted.
+func (s *Session) Done(accuracy float64) error {
+	if s.closed {
+		return fmt.Errorf("client: session %s is closed", s.id)
+	}
+	err := s.reportDone(accuracy, false)
+	if IsCode(err, wire.CodeBadSequence) {
+		// The daemon lost our Next to a restart: its restored state sits
+		// at the last completed iteration. Re-bracket: issue Next (we
+		// discard the decision — the work already ran) and report again.
+		var nresp wire.NextResponse
+		if nerr := s.call("POST", s.path("next"), wire.NextRequest{NowS: s.now()}, &nresp); nerr != nil {
+			return fmt.Errorf("client: re-bracketing after daemon restart: %w", nerr)
+		}
+		err = s.reportDone(accuracy, false)
+	}
+	if err != nil {
+		return err
+	}
+	s.armed = false
+	return nil
+}
+
+// reportDone sends one Done sample. estimated forces the energy-error
+// flag so the daemon treats the sample as a model-based estimate (used
+// when settling a phantom bracket whose work we cannot attribute).
+func (s *Session) reportDone(accuracy float64, estimated bool) error {
+	energy, eerr := s.readEnergy()
+	req := wire.DoneRequest{
+		NowS:      s.now(),
+		EnergyJ:   energy,
+		EnergyErr: eerr != nil || estimated,
+		Accuracy:  accuracy,
+	}
+	var resp wire.DoneResponse
+	if err := s.call("POST", s.path("done"), req, &resp); err != nil {
+		return err
+	}
+	s.lastDone = resp
+	return nil
+}
+
+// Info fetches the daemon's introspection view of this session,
+// including the governor's learned per-arm estimates.
+func (s *Session) Info() (wire.SessionInfo, error) {
+	var info wire.SessionInfo
+	err := s.call("GET", s.path(""), nil, &info)
+	return info, err
+}
+
+// Close tears the session down, releasing its budget grant to the
+// broker. Closing twice is an error (the daemon reports the session
+// gone).
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	var resp wire.CloseResponse
+	if err := s.call("DELETE", s.path(""), nil, &resp); err != nil {
+		return err
+	}
+	s.closed = true
+	s.lastDone.SpentJ = resp.SpentJ
+	return nil
+}
+
+func (s *Session) path(op string) string {
+	p := wire.BasePath + "/" + s.id
+	if op != "" {
+		p += "/" + op
+	}
+	return p
+}
+
+// IsCode reports whether err is (or wraps) a protocol Error with the
+// given wire code.
+func IsCode(err error, code string) bool {
+	if err == nil {
+		return false
+	}
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}
+
+// call performs one wire call with retry/backoff. Transport failures,
+// 5xx replies and the draining code are retried with capped exponential
+// backoff; protocol errors return immediately as *Error.
+func (s *Session) call(method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return err
+		}
+	}
+	p := s.retry
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.Sleep(delay)
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, s.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := s.httpc.Do(req)
+		if err != nil {
+			lastErr = err // connection refused mid-restart, reset, ...
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(raw, out)
+		}
+		var werr wire.ErrorResponse
+		if uerr := json.Unmarshal(raw, &werr); uerr != nil || werr.Code == "" {
+			werr = wire.ErrorResponse{Code: wire.CodeBadRequest, Error: strings.TrimSpace(string(raw))}
+		}
+		perr := &Error{Code: werr.Code, Message: werr.Error, Status: resp.StatusCode}
+		if resp.StatusCode >= 500 || werr.Code == wire.CodeDraining {
+			lastErr = perr // the daemon is restarting or unwell: retry
+			continue
+		}
+		return perr
+	}
+	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, p.MaxAttempts, lastErr)
+}

@@ -1,0 +1,258 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jouleguard"
+	"jouleguard/internal/client"
+	"jouleguard/internal/server"
+	"jouleguard/internal/wire"
+)
+
+// machine simulates the governed application's clock and meter.
+type machine struct {
+	tb      *jouleguard.Testbed
+	clockS  float64
+	energyJ float64
+}
+
+func newMachine(t *testing.T) *machine {
+	t.Helper()
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &machine{tb: tb}
+}
+
+func (m *machine) step(appCfg, sysCfg, iter int) float64 {
+	work, acc := m.tb.App.Step(appCfg, iter)
+	dur := work / m.tb.Platform.Rate(sysCfg, m.tb.Profile)
+	m.clockS += dur
+	m.energyJ += m.tb.Platform.Power(sysCfg, m.tb.Profile) * dur
+	return acc
+}
+
+func (m *machine) readEnergy() (float64, error) { return m.energyJ, nil }
+func (m *machine) readNow() float64             { return m.clockS }
+
+func newDaemon(t *testing.T, globalJ float64) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{GlobalBudgetJ: globalJ, SweepInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// TestClientSessionLoop drives a whole workload through the client
+// library against a real daemon over HTTP.
+func TestClientSessionLoop(t *testing.T) {
+	srv := newDaemon(t, 10000)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	m := newMachine(t)
+	sess, err := client.Open(client.Options{
+		BaseURL: ts.URL, Tenant: "t1", App: "radar", Platform: "Tablet",
+		Iterations: 30, Factor: 2, Seed: 3,
+	}, m.readEnergy, m.readNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() == "" || sess.GrantJ() <= 0 {
+		t.Fatalf("session %q grant %.1f", sess.ID(), sess.GrantJ())
+	}
+	for i := 0; i < 30; i++ {
+		appCfg, sysCfg, err := sess.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		if err := sess.Done(m.step(appCfg, sysCfg, i)); err != nil {
+			t.Fatalf("done %d: %v", i, err)
+		}
+	}
+	if st := sess.LastStatus(); !st.Complete || st.IterationsDone != 30 {
+		t.Fatalf("final status %+v", st)
+	}
+	info, err := sess.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "complete" || len(info.Estimates) == 0 {
+		t.Fatalf("info %+v", info)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil { // idempotent client-side
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestClientRetriesTransientFailures pins the backoff layer: 5xx and
+// draining replies are retried with exponential delays; protocol errors
+// are not retried.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	srv := newDaemon(t, 10000)
+	inner := srv.Handler()
+	var fail atomic.Int32 // fail the next N requests with 503 draining
+	outer := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() > 0 {
+			fail.Add(-1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"code":"draining","error":"restarting"}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(outer)
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var delays []time.Duration
+	retry := client.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+		},
+	}
+
+	m := newMachine(t)
+	fail.Store(2) // registration itself must survive two outages
+	sess, err := client.Open(client.Options{
+		BaseURL: ts.URL, App: "radar", Platform: "Tablet",
+		Iterations: 5, BudgetJ: 10, Retry: retry,
+	}, m.readEnergy, m.readNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(delays) != 2 || delays[0] != time.Millisecond || delays[1] != 2*time.Millisecond {
+		t.Fatalf("backoff delays %v", delays)
+	}
+	mu.Unlock()
+
+	// Exhausting the attempts surfaces the last transient error.
+	fail.Store(100)
+	if _, _, err := sess.Next(); err == nil || !strings.Contains(err.Error(), "failed after 5 attempts") {
+		t.Fatalf("expected retries-exhausted error, got %v", err)
+	}
+	fail.Store(0)
+
+	// Protocol errors do not retry: closing twice server-side is Gone
+	// immediately (one request, no sleeps).
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	before := len(delays)
+	mu.Unlock()
+	_, err = client.Open(client.Options{
+		BaseURL: ts.URL, App: "radar", Platform: "Tablet",
+		Iterations: 5, BudgetJ: 1e9, Retry: retry,
+	}, m.readEnergy, m.readNow)
+	if !client.IsCode(err, wire.CodeBudgetExhausted) {
+		t.Fatalf("over-budget registration: got %v, want budget-exhausted", err)
+	}
+	mu.Lock()
+	if len(delays) != before {
+		t.Fatalf("protocol error was retried: %d sleeps added", len(delays)-before)
+	}
+	mu.Unlock()
+}
+
+// TestClientRidesThroughRestart pins the recovery protocol: the daemon
+// dies with an iteration armed, a restored daemon comes back at the last
+// completed iteration, and the client's Done re-brackets transparently.
+func TestClientRidesThroughRestart(t *testing.T) {
+	srv1 := newDaemon(t, 10000)
+	var handler atomic.Value
+	handler.Store(srv1.Handler())
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	m := newMachine(t)
+	sess, err := client.Open(client.Options{
+		BaseURL: ts.URL, App: "radar", Platform: "Tablet",
+		Iterations: 20, Factor: 2, Seed: 5,
+		Retry: client.RetryPolicy{BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}},
+	}, m.readEnergy, m.readNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		appCfg, sysCfg, err := sess.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Done(m.step(appCfg, sysCfg, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Arm iteration 10, then kill the daemon before Done reaches it.
+	appCfg, sysCfg, err := sess.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.step(appCfg, sysCfg, 10)
+
+	var snap strings.Builder
+	if err := srv1.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newDaemon(t, 1)
+	if err := srv2.Restore(strings.NewReader(snap.String())); err != nil {
+		t.Fatal(err)
+	}
+	handler.Store(srv2.Handler())
+
+	// Done hits the restored daemon, which sits at iteration 10 with no
+	// armed bracket: the client re-brackets and the work is accounted.
+	if err := sess.Done(acc); err != nil {
+		t.Fatalf("done across restart: %v", err)
+	}
+	if st := sess.LastStatus(); st.IterationsDone != 11 {
+		t.Fatalf("iterations after recovery: %+v", st)
+	}
+
+	// The rest of the workload runs to completion on the new daemon.
+	for i := 11; i < 20; i++ {
+		appCfg, sysCfg, err := sess.Next()
+		if err != nil {
+			t.Fatalf("next %d after restart: %v", i, err)
+		}
+		if err := sess.Done(m.step(appCfg, sysCfg, i)); err != nil {
+			t.Fatalf("done %d after restart: %v", i, err)
+		}
+	}
+	if st := sess.LastStatus(); !st.Complete {
+		t.Fatalf("workload incomplete after restart: %+v", st)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Version != "v1" {
+		t.Fatal("wire version drifted")
+	}
+}

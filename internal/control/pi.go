@@ -58,6 +58,11 @@ func WithSink(s telemetry.Sink) ControllerOption {
 	return func(c *SpeedupController) { c.sink = telemetry.OrNop(s) }
 }
 
+// SetSink swaps the telemetry sink after construction (nil = no-op sink).
+// The governor daemon replays snapshot logs through a silent sink and
+// installs the live one once the restored state is current.
+func (c *SpeedupController) SetSink(s telemetry.Sink) { c.sink = telemetry.OrNop(s) }
+
 // NewSpeedupController returns a controller with state s(0)=1, pole 0 (the
 // deadbeat, most aggressive setting) and adaptation enabled.
 func NewSpeedupController(opts ...ControllerOption) *SpeedupController {

@@ -500,6 +500,29 @@ func (r *Runtime) conservativeArm() int {
 	return r.bandit.BestArm()
 }
 
+// SetTelemetry swaps the runtime's telemetry sink after construction,
+// propagating it to the bandit estimators and the PI controller. Passing
+// nil silences instrumentation. The governor daemon uses this to replay
+// snapshot logs without re-counting metrics, then attach the live sink.
+func (r *Runtime) SetTelemetry(s telemetry.Sink) {
+	r.sink = telemetry.OrNop(s)
+	r.traced = s != nil
+	r.bandit.SetSink(r.sink)
+	r.ctrl.SetSink(r.sink)
+}
+
+// NumArms returns the number of system configurations the SEO learns over.
+func (r *Runtime) NumArms() int { return r.bandit.NumArms() }
+
+// ArmEstimate exposes the learned model of one system configuration: the
+// estimated iteration rate and power draw, and how many observations the
+// arm has absorbed. This is the introspection surface the daemon's
+// per-session endpoint serves and the snapshot/restore tests pin
+// bit-identically.
+func (r *Runtime) ArmEstimate(arm int) (rate, power float64, pulls int) {
+	return r.bandit.Rate(arm), r.bandit.Power(arm), r.bandit.Pulls(arm)
+}
+
 // Degraded reports whether the watchdog currently pins the conservative
 // configuration (broken sensing or a sustained projected overrun).
 func (r *Runtime) Degraded() bool { return r.degraded }

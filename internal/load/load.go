@@ -1,0 +1,304 @@
+// Package load drives a jouleguardd daemon with N simulated tenants and
+// measures what the service layer adds on top of the governor: decision
+// latency (wall-clock Next and Done round trips), aggregate throughput,
+// and the fidelity of the budget guarantee across concurrently governed
+// sessions.
+//
+// Each tenant is a faithful stand-in for a governed application: it runs
+// its workload on a virtual clock and energy meter derived from the same
+// platform models the paper's experiments use. When the daemon says
+// (appCfg, sysCfg), the tenant "executes" the iteration by advancing its
+// clock by work/rate(sysCfg) seconds and its meter by power(sysCfg) x
+// that duration — so the governor under test observes exactly the
+// dynamics it would on the modeled machine, while the wire round trips
+// are real HTTP over real sockets.
+package load
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"jouleguard"
+	"jouleguard/internal/client"
+	"jouleguard/internal/wire"
+)
+
+// Config describes one load run.
+type Config struct {
+	BaseURL    string
+	Tenants    int
+	Iterations int      // per tenant
+	Apps       []string // assigned round-robin; default x264
+	Platform   string   // default Server
+	Factor     float64  // >0: per-tenant absolute budget priced from factor
+	Weight     float64  // used when Factor==0 (weighted-share mode)
+	MinAcc     float64
+	Seed       int64 // tenant i runs with Seed+i
+	Retry      client.RetryPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 100
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = []string{"x264"}
+	}
+	if c.Platform == "" {
+		c.Platform = "Server"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TenantResult is one simulated tenant's outcome.
+type TenantResult struct {
+	Tenant     string
+	SessionID  string
+	App        string
+	Iterations int
+	GrantJ     float64
+	SpentJ     float64 // daemon's ledger (authoritative)
+	MeteredJ   float64 // tenant's own virtual meter
+	MeanAcc    float64
+	Err        error
+}
+
+// OverGrant reports the tenant's spend as a fraction of its grant
+// (1.0 = exactly on budget).
+func (t TenantResult) OverGrant() float64 {
+	if t.GrantJ <= 0 {
+		return 0
+	}
+	return t.SpentJ / t.GrantJ
+}
+
+// Report aggregates a load run.
+type Report struct {
+	Tenants    []TenantResult
+	Elapsed    time.Duration
+	Iterations int // total completed across tenants
+
+	NextP50, NextP99 time.Duration // Next round-trip latency
+	DoneP50, DoneP99 time.Duration // Done round-trip latency
+	Throughput       float64       // governed iterations per wall-clock second
+
+	TotalSpentJ  float64
+	TotalGrantJ  float64
+	MaxOverGrant float64 // worst per-tenant spend/grant ratio
+	Errors       int
+}
+
+// Check asserts the run's guarantees: every tenant finished, and no
+// tenant overran its grant by more than slack (e.g. 1.05 for the 5%
+// tolerance the governor itself promises).
+func (r *Report) Check(slack float64) error {
+	if r.Errors > 0 {
+		for _, t := range r.Tenants {
+			if t.Err != nil {
+				return fmt.Errorf("load: tenant %s failed: %w", t.Tenant, t.Err)
+			}
+		}
+	}
+	for _, t := range r.Tenants {
+		if t.Iterations == 0 {
+			return fmt.Errorf("load: tenant %s completed no iterations", t.Tenant)
+		}
+		if og := t.OverGrant(); og > slack {
+			return fmt.Errorf("load: tenant %s spent %.1f J of a %.1f J grant (%.1f%% > %.1f%% slack)",
+				t.Tenant, t.SpentJ, t.GrantJ, og*100, slack*100)
+		}
+	}
+	return nil
+}
+
+// BenchLines renders the latency results in `go test -bench` format so
+// cmd/benchjson can fold them into BENCH_experiments.json.
+func (r *Report) BenchLines() []string {
+	lines := []string{
+		fmt.Sprintf("BenchmarkServeNextP50\t%d\t%d ns/op", r.Iterations, r.NextP50.Nanoseconds()),
+		fmt.Sprintf("BenchmarkServeNextP99\t%d\t%d ns/op", r.Iterations, r.NextP99.Nanoseconds()),
+		fmt.Sprintf("BenchmarkServeDoneP50\t%d\t%d ns/op", r.Iterations, r.DoneP50.Nanoseconds()),
+		fmt.Sprintf("BenchmarkServeDoneP99\t%d\t%d ns/op", r.Iterations, r.DoneP99.Nanoseconds()),
+	}
+	if r.Throughput > 0 {
+		lines = append(lines, fmt.Sprintf("BenchmarkServeIteration\t%d\t%d ns/op",
+			r.Iterations, int64(float64(time.Second)/r.Throughput)))
+	}
+	return lines
+}
+
+// Summary is a one-paragraph human rendering of the report.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"%d tenants, %d iterations in %v (%.0f iter/s); Next p50=%v p99=%v, Done p50=%v p99=%v; "+
+			"spent %.1f J of %.1f J granted, worst tenant at %.1f%% of grant, %d errors",
+		len(r.Tenants), r.Iterations, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.NextP50, r.NextP99, r.DoneP50, r.DoneP99,
+		r.TotalSpentJ, r.TotalGrantJ, r.MaxOverGrant*100, r.Errors)
+}
+
+// tenant is the virtual application: clock and meter advance by the
+// platform model, decisions come from the wire.
+type tenant struct {
+	name string
+	app  string
+	cfg  Config
+	tb   *jouleguard.Testbed
+
+	clockS  float64 // virtual seconds
+	energyJ float64 // virtual cumulative joules
+
+	nextLat []time.Duration
+	doneLat []time.Duration
+	res     TenantResult
+}
+
+// run executes the tenant's whole workload against the daemon.
+func (t *tenant) run() {
+	t.res = TenantResult{Tenant: t.name, App: t.app}
+	opts := client.Options{
+		BaseURL:     t.cfg.BaseURL,
+		Tenant:      t.name,
+		Weight:      t.cfg.Weight,
+		App:         t.app,
+		Platform:    t.cfg.Platform,
+		Iterations:  t.cfg.Iterations,
+		MinAccuracy: t.cfg.MinAcc,
+		Retry:       t.cfg.Retry,
+	}
+	if t.cfg.Factor > 0 {
+		b, err := t.tb.Budget(t.cfg.Factor, t.cfg.Iterations)
+		if err != nil {
+			t.res.Err = err
+			return
+		}
+		opts.BudgetJ = b
+	}
+	opts.Seed = t.cfg.Seed
+	sess, err := client.Open(opts, t.readEnergy, t.readNow)
+	if err != nil {
+		t.res.Err = err
+		return
+	}
+	t.res.SessionID = sess.ID()
+	t.res.GrantJ = sess.GrantJ()
+	accSum := 0.0
+	for i := 0; i < t.cfg.Iterations; i++ {
+		start := time.Now()
+		appCfg, sysCfg, err := sess.Next()
+		t.nextLat = append(t.nextLat, time.Since(start))
+		if err != nil {
+			if client.IsCode(err, wire.CodeSessionComplete) {
+				// A daemon restart can settle a retried iteration twice,
+				// completing the workload one client call early; that is
+				// graceful completion, not a failure.
+				t.res.Iterations = t.cfg.Iterations
+				break
+			}
+			t.res.Err = fmt.Errorf("iteration %d Next: %w", i, err)
+			break
+		}
+		// "Execute" the iteration on the modeled machine.
+		work, acc := t.tb.App.Step(appCfg, i)
+		rate := t.tb.Platform.Rate(sysCfg, t.tb.Profile)
+		dur := work / rate
+		t.clockS += dur
+		t.energyJ += t.tb.Platform.Power(sysCfg, t.tb.Profile) * dur
+		accSum += acc
+
+		start = time.Now()
+		if err := sess.Done(acc); err != nil {
+			t.doneLat = append(t.doneLat, time.Since(start))
+			t.res.Err = fmt.Errorf("iteration %d Done: %w", i, err)
+			break
+		}
+		t.doneLat = append(t.doneLat, time.Since(start))
+		t.res.Iterations++
+	}
+	t.res.SpentJ = sess.LastStatus().SpentJ
+	t.res.MeteredJ = t.energyJ
+	if t.res.Iterations > 0 {
+		t.res.MeanAcc = accSum / float64(t.res.Iterations)
+	}
+	if err := sess.Close(); err != nil && t.res.Err == nil {
+		t.res.Err = fmt.Errorf("close: %w", err)
+	}
+}
+
+func (t *tenant) readEnergy() (float64, error) { return t.energyJ, nil }
+func (t *tenant) readNow() float64             { return t.clockS }
+
+// Run drives cfg.Tenants concurrent sessions to completion and reports.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	tenants := make([]*tenant, cfg.Tenants)
+	for i := range tenants {
+		app := cfg.Apps[i%len(cfg.Apps)]
+		tb, err := jouleguard.NewTestbed(app, cfg.Platform)
+		if err != nil {
+			return nil, err
+		}
+		tcfg := cfg
+		tcfg.Seed = cfg.Seed + int64(i)
+		tenants[i] = &tenant{
+			name: fmt.Sprintf("tenant-%02d", i),
+			app:  app, cfg: tcfg, tb: tb,
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, t := range tenants {
+		wg.Add(1)
+		go func(t *tenant) {
+			defer wg.Done()
+			t.run()
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Elapsed: elapsed}
+	var nextAll, doneAll []time.Duration
+	for _, t := range tenants {
+		rep.Tenants = append(rep.Tenants, t.res)
+		rep.Iterations += t.res.Iterations
+		rep.TotalSpentJ += t.res.SpentJ
+		rep.TotalGrantJ += t.res.GrantJ
+		rep.MaxOverGrant = math.Max(rep.MaxOverGrant, t.res.OverGrant())
+		if t.res.Err != nil {
+			rep.Errors++
+		}
+		nextAll = append(nextAll, t.nextLat...)
+		doneAll = append(doneAll, t.doneLat...)
+	}
+	rep.NextP50, rep.NextP99 = quantiles(nextAll)
+	rep.DoneP50, rep.DoneP99 = quantiles(doneAll)
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Iterations) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// quantiles returns the p50 and p99 of a latency sample.
+func quantiles(d []time.Duration) (p50, p99 time.Duration) {
+	if len(d) == 0 {
+		return 0, 0
+	}
+	s := make([]time.Duration, len(d))
+	copy(s, d)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.99)
+}

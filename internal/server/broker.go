@@ -1,0 +1,256 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// ErrBudgetExhausted rejects a registration the broker's uncommitted
+// budget cannot honor (admission control): admitting it anyway would
+// turn one machine-wide guarantee into N broken per-tenant ones.
+var ErrBudgetExhausted = fmt.Errorf("server: global energy budget exhausted")
+
+// Broker partitions one machine-wide energy budget across tenants. It is
+// a pure ledger — sessions enforce their grants through their governors;
+// the broker decides who gets how many joules and keeps the global
+// invariant that commitments plus consumption never exceed the pool.
+//
+// Grants are committed with a reserve multiplier (default 1.05,
+// mirroring the runtime's infeasibility slack): a governor guarantees
+// its budget only to within that slack, so the broker must hold the
+// slack back or the sum of N individually-honoured guarantees could
+// still overrun the machine. Invariants (pinned by TestBrokerInvariants):
+//
+//	I1: committed + consumed <= global          (never over-commit)
+//	I2: sum of per-session spend <= global      (follows from I1 + reserve)
+//
+// Fairness across registrations uses weighted shares with per-tenant
+// deficit carry-over, in the spirit of deficit round-robin: a tenant
+// that closed a session underspent carries the unspent joules as a
+// priority claim on its next share; one that overdrew (within the
+// reserve slack) carries the overdraft as a debit. The carry adjusts
+// future grants, never the physical ledger — reclamation of unspent
+// energy happens at Release regardless.
+type Broker struct {
+	mu        sync.Mutex
+	globalJ   float64
+	reserve   float64
+	committed float64            // outstanding commitments of active sessions
+	consumed  float64            // energy definitively spent by released sessions
+	weight    float64            // sum of active session weights
+	carry     map[string]float64 // per-tenant deficit ledger (+credit / -debit)
+	admitted  int
+	rejected  int
+	active    int
+
+	// Gauges mirroring the ledger on /metrics (nil-safe via OrNop-style
+	// guard in publish).
+	gCommitted, gConsumed, gAvailable, gActive *telemetry.Gauge
+	cAdmitted, cRejected, cReclaims            *telemetry.Counter
+}
+
+// DefaultReserve is the commitment multiplier covering the runtime's
+// tolerated overshoot of the energy goal.
+const DefaultReserve = 1.05
+
+// NewBroker builds a broker over a global budget of globalJ joules.
+// reserve <= 1 selects DefaultReserve.
+func NewBroker(globalJ, reserve float64) (*Broker, error) {
+	if globalJ <= 0 {
+		return nil, fmt.Errorf("server: global budget %v must be positive", globalJ)
+	}
+	if reserve <= 1 {
+		reserve = DefaultReserve
+	}
+	return &Broker{globalJ: globalJ, reserve: reserve, carry: map[string]float64{}}, nil
+}
+
+// Instrument registers the broker's ledger gauges on a metric registry.
+func (b *Broker) Instrument(r *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.Gauge("jouleguardd_broker_global_joules", "Machine-wide energy budget the broker partitions.").Set(b.globalJ)
+	b.gCommitted = r.Gauge("jouleguardd_broker_committed_joules", "Outstanding budget commitments of active sessions (incl. reserve).")
+	b.gConsumed = r.Gauge("jouleguardd_broker_consumed_joules", "Energy definitively spent by released sessions.")
+	b.gAvailable = r.Gauge("jouleguardd_broker_available_joules", "Uncommitted budget available for admission.")
+	b.gActive = r.Gauge("jouleguardd_broker_active_sessions", "Sessions currently holding a grant.")
+	b.cAdmitted = r.Counter("jouleguardd_broker_admissions_total", "Registrations admitted.")
+	b.cRejected = r.Counter("jouleguardd_broker_rejections_total", "Registrations rejected by admission control.")
+	b.cReclaims = r.Counter("jouleguardd_broker_reclaims_total", "Grants released back to the pool (close or expiry).")
+	b.publish()
+}
+
+// publish refreshes the gauges; callers hold b.mu.
+func (b *Broker) publish() {
+	if b.gCommitted == nil {
+		return
+	}
+	b.gCommitted.Set(b.committed)
+	b.gConsumed.Set(b.consumed)
+	b.gAvailable.Set(b.globalJ - b.committed - b.consumed)
+	b.gActive.Set(float64(b.active))
+}
+
+// Available returns the uncommitted remainder of the global budget.
+func (b *Broker) Available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.globalJ - b.committed - b.consumed
+}
+
+// Grant is one admitted budget allocation. CommitJ (grant x reserve,
+// plus any overdraft penalty) is what the pool holds until Release.
+type Grant struct {
+	Tenant  string
+	Weight  float64
+	GrantJ  float64
+	CommitJ float64
+}
+
+// Admit runs admission control for a registration. requestJ > 0 asks for
+// an absolute grant; requestJ <= 0 asks for a weighted share of the
+// uncommitted pool. weight <= 0 counts as 1.
+func (b *Broker) Admit(tenant string, weight, requestJ float64) (Grant, error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	avail := b.globalJ - b.committed - b.consumed
+	carry := b.carry[tenant]
+	var grant float64
+	if requestJ > 0 {
+		// Absolute request. An overdrafted tenant must cover its debit on
+		// top of the request before it is admitted again; a positive
+		// credit stays on the ledger for a future weighted share.
+		need := requestJ
+		if carry < 0 {
+			need -= carry
+		}
+		if need*b.reserve > avail {
+			b.rejected++
+			if b.cRejected != nil {
+				b.cRejected.Inc()
+			}
+			return Grant{}, fmt.Errorf("%w: request %.3g J (with reserve and carry, %.3g J) exceeds available %.3g J",
+				ErrBudgetExhausted, requestJ, need*b.reserve, avail)
+		}
+		grant = requestJ
+	} else {
+		// Weighted share of what the pool can still commit, adjusted by
+		// the tenant's carry-over.
+		base := (avail / b.reserve) * weight / (b.weight + weight)
+		grant = base + carry
+		if limit := avail / b.reserve; grant > limit {
+			grant = limit
+		}
+		if grant <= 0 {
+			b.rejected++
+			if b.cRejected != nil {
+				b.cRejected.Inc()
+			}
+			return Grant{}, fmt.Errorf("%w: weighted share %.3g J (carry %.3g J) is not positive",
+				ErrBudgetExhausted, base, carry)
+		}
+	}
+	commit := grant * b.reserve
+	if requestJ > 0 && carry < 0 {
+		// Weighted shares repay a debit by shrinking the grant itself;
+		// absolute grants repay it by holding the overdraft headroom in
+		// reserve for the session's lifetime.
+		commit -= carry * b.reserve
+	}
+	if carry < 0 || requestJ <= 0 {
+		delete(b.carry, tenant) // the ledger has been applied
+	}
+	b.committed += commit
+	b.weight += weight
+	b.active++
+	b.admitted++
+	if b.cAdmitted != nil {
+		b.cAdmitted.Inc()
+	}
+	b.publish()
+	return Grant{Tenant: tenant, Weight: weight, GrantJ: grant, CommitJ: commit}, nil
+}
+
+// Release settles a grant when its session closes or expires: the actual
+// spend is booked as consumed, the rest of the commitment returns to the
+// pool, and the difference between grant and spend is carried over on
+// the tenant's deficit ledger for its next registration.
+func (b *Broker) Release(g Grant, spentJ float64) {
+	if spentJ < 0 {
+		spentJ = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.committed -= g.CommitJ
+	if b.committed < 0 {
+		b.committed = 0
+	}
+	b.consumed += spentJ
+	b.weight -= g.Weight
+	if b.weight < 0 {
+		b.weight = 0
+	}
+	b.active--
+	if b.active < 0 {
+		b.active = 0
+	}
+	b.carry[g.Tenant] += g.GrantJ - spentJ
+	if b.cReclaims != nil {
+		b.cReclaims.Inc()
+	}
+	b.publish()
+}
+
+// Carry returns a tenant's current deficit carry-over (0 if none).
+func (b *Broker) Carry(tenant string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.carry[tenant]
+}
+
+// Info snapshots the ledger for introspection.
+func (b *Broker) Info() wire.BrokerInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return wire.BrokerInfo{
+		GlobalJ:    b.globalJ,
+		CommittedJ: b.committed,
+		ConsumedJ:  b.consumed,
+		AvailableJ: b.globalJ - b.committed - b.consumed,
+		Active:     b.active,
+		Admitted:   b.admitted,
+		Rejected:   b.rejected,
+	}
+}
+
+// restore rebuilds the ledger from a snapshot: the consumed total and
+// per-tenant carries come from the file; commitments and weights are
+// re-accumulated by the sessions as they are restored.
+func (b *Broker) restore(consumedJ float64, carry map[string]float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consumed = consumedJ
+	b.carry = map[string]float64{}
+	for t, c := range carry {
+		b.carry[t] = c
+	}
+	b.publish()
+}
+
+// readopt re-registers a restored session's grant without re-running
+// admission (the grant was already admitted before the snapshot).
+func (b *Broker) readopt(g Grant) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.committed += g.CommitJ
+	b.weight += g.Weight
+	b.active++
+	b.admitted++
+	b.publish()
+}

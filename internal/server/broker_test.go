@@ -1,0 +1,143 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBrokerInvariants pins I1 (committed + consumed never exceeds the
+// global pool) across admit/release churn, and that admission control
+// rejects what the pool cannot honor.
+func TestBrokerInvariants(t *testing.T) {
+	b, err := NewBroker(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkI1 := func(when string) {
+		t.Helper()
+		info := b.Info()
+		if info.CommittedJ+info.ConsumedJ > info.GlobalJ+1e-9 {
+			t.Fatalf("%s: I1 violated: committed %.3f + consumed %.3f > global %.3f",
+				when, info.CommittedJ, info.ConsumedJ, info.GlobalJ)
+		}
+	}
+
+	// Absolute grants commit grant x reserve.
+	g1, err := b.Admit("a", 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.GrantJ != 400 || math.Abs(g1.CommitJ-400*DefaultReserve) > 1e-9 {
+		t.Fatalf("grant %.1f commit %.3f", g1.GrantJ, g1.CommitJ)
+	}
+	checkI1("after first admit")
+
+	// A request the remainder cannot cover (with reserve) is rejected.
+	if _, err := b.Admit("b", 1, 600); err == nil {
+		t.Fatal("over-budget request admitted")
+	} else if !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("unexpected rejection error: %v", err)
+	}
+	if b.Info().Rejected != 1 {
+		t.Fatalf("rejections: %d", b.Info().Rejected)
+	}
+	checkI1("after rejection")
+
+	// Weighted shares split the uncommitted pool and always fit.
+	g2, err := b.Admit("b", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkI1("after weighted admit")
+	if g2.GrantJ <= 0 {
+		t.Fatalf("weighted grant %.3f", g2.GrantJ)
+	}
+
+	// Release returns the commitment and books the real spend.
+	b.Release(g1, 390)
+	checkI1("after release")
+	if got := b.Info().ConsumedJ; got != 390 {
+		t.Fatalf("consumed %.1f", got)
+	}
+	b.Release(g2, g2.GrantJ)
+	checkI1("after releasing everything")
+	if b.Info().Active != 0 {
+		t.Fatalf("active %d", b.Info().Active)
+	}
+}
+
+// TestBrokerCarryOver pins the deficit ledger: underspend returns as a
+// credit on the tenant's next weighted share; overdraft (within the
+// reserve slack) shrinks it.
+func TestBrokerCarryOver(t *testing.T) {
+	b, err := NewBroker(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Underspender earns a credit.
+	g, _ := b.Admit("thrifty", 1, 200)
+	b.Release(g, 150)
+	if c := b.Carry("thrifty"); math.Abs(c-50) > 1e-9 {
+		t.Fatalf("credit carry %.3f, want 50", c)
+	}
+
+	// Overspender earns a debit.
+	g2, _ := b.Admit("greedy", 1, 200)
+	b.Release(g2, 210) // 5% overshoot, within the reserve
+	if c := b.Carry("greedy"); math.Abs(c+10) > 1e-9 {
+		t.Fatalf("debit carry %.3f, want -10", c)
+	}
+
+	// An anchor session keeps part of the pool committed so weighted
+	// shares are proper fractions; the carries then adjust each tenant's
+	// share exactly.
+	if _, err := b.Admit("anchor", 2, 300); err != nil {
+		t.Fatal(err)
+	}
+	baseT := (b.Available() / DefaultReserve) / 3 // weight 1 vs active weight 2
+	gt, err := b.Admit("thrifty", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gt.GrantJ-(baseT+50)) > 1e-6 {
+		t.Fatalf("thrifty grant %.3f, want base %.3f + 50 credit", gt.GrantJ, baseT)
+	}
+	baseG := (b.Available() / DefaultReserve) / 4 // weight 1 vs active weight 3
+	gg, err := b.Admit("greedy", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gg.GrantJ-(baseG-10)) > 1e-6 {
+		t.Fatalf("greedy grant %.3f, want base %.3f - 10 debit", gg.GrantJ, baseG)
+	}
+	// Both ledgers were applied.
+	if b.Carry("thrifty") != 0 || b.Carry("greedy") != 0 {
+		t.Fatalf("carries not cleared: %.3f / %.3f", b.Carry("thrifty"), b.Carry("greedy"))
+	}
+
+	info := b.Info()
+	if info.CommittedJ+info.ConsumedJ > info.GlobalJ+1e-9 {
+		t.Fatalf("I1 violated after carry application")
+	}
+}
+
+// TestBrokerDebitBlocksAbsolute pins that an overdrafted tenant must
+// cover its debit on top of an absolute request.
+func TestBrokerDebitBlocksAbsolute(t *testing.T) {
+	b, err := NewBroker(230, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := b.Admit("a", 1, 200)
+	b.Release(g, 210) // 10 J overdraft; consumed=210, avail=20
+	// 15 J would fit on its own ((15+10)*1.05 = 26.25 > 20 does not).
+	if _, err := b.Admit("a", 1, 15); err == nil {
+		t.Fatal("debit-carrying tenant admitted without covering its debit")
+	}
+	// A clean tenant with a smaller ask fits.
+	if _, err := b.Admit("b", 1, 15); err != nil {
+		t.Fatalf("clean tenant rejected: %v", err)
+	}
+}

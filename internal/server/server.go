@@ -1,0 +1,471 @@
+// Package server is the governor daemon's core: a multi-tenant energy
+// budget service that manages many concurrent sessions — each wrapping
+// its own JouleGuard runtime behind an OnlineController — over the
+// versioned JSON-over-HTTP protocol defined in internal/wire. The
+// daemon moves the paper's compiled-into-the-application runtime
+// (Sec. 3.5) out of process: applications bracket their iterations with
+// wire calls instead of function calls, and one machine-wide energy
+// budget is partitioned across them by the budget broker.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"jouleguard"
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// Config tunes a Server. GlobalBudgetJ is required.
+type Config struct {
+	// GlobalBudgetJ is the machine-wide energy budget the broker
+	// partitions across tenants.
+	GlobalBudgetJ float64
+	// Reserve is the broker's commitment multiplier (<= 1 selects
+	// DefaultReserve).
+	Reserve float64
+	// IdleTimeout expires sessions with no wire activity (default 2m).
+	IdleTimeout time.Duration
+	// SweepInterval paces the expiry watchdog (default 1s; < 0 disables
+	// the background goroutine — tests call ExpireIdle directly).
+	SweepInterval time.Duration
+	// Telemetry is the live observability sink shared by every session
+	// (nil builds a private one).
+	Telemetry *telemetry.Telemetry
+	// Clock is injectable for tests (nil = time.Now). It paces idle
+	// expiry only; iteration intervals always use client clocks.
+	Clock func() time.Time
+}
+
+// Server is the governor daemon: session registry, budget broker, expiry
+// watchdog and the wire-protocol HTTP surface.
+type Server struct {
+	cfg    Config
+	broker *Broker
+	tel    *telemetry.Telemetry
+	clock  func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	draining bool
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+
+	mOpened    *telemetry.Counter
+	mClosed    *telemetry.Counter
+	mExpired   *telemetry.Counter
+	mDecisionS *telemetry.Histogram
+}
+
+// New builds a Server and starts its expiry watchdog (unless disabled).
+func New(cfg Config) (*Server, error) {
+	broker, err := NewBroker(cfg.GlobalBudgetJ, cfg.Reserve)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = time.Second
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New(0)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		broker:   broker,
+		tel:      tel,
+		clock:    clock,
+		sessions: map[string]*session{},
+
+		mOpened:  tel.Registry.Counter("jouleguardd_sessions_opened_total", "Sessions admitted."),
+		mClosed:  tel.Registry.Counter("jouleguardd_sessions_closed_total", "Sessions closed by their clients."),
+		mExpired: tel.Registry.Counter("jouleguardd_sessions_expired_total", "Sessions expired by the idle watchdog."),
+		mDecisionS: tel.Registry.Histogram("jouleguardd_decision_seconds",
+			"Server-side latency of Next decisions.", telemetry.DurationBuckets()),
+	}
+	broker.Instrument(tel.Registry)
+	if cfg.SweepInterval > 0 {
+		s.stopSweep = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop()
+	}
+	return s, nil
+}
+
+// Telemetry returns the live sink the server reports into.
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// Broker returns the budget broker (introspection and tests).
+func (s *Server) Broker() *Broker { return s.broker }
+
+// Mount registers the wire-protocol routes on mux. The telemetry
+// endpoints are mounted separately (telemetry.Telemetry.Mount) so both
+// daemons share that wiring.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+wire.BasePath, s.handleRegister)
+	mux.HandleFunc("GET "+wire.BasePath, s.handleList)
+	mux.HandleFunc("GET "+wire.BasePath+"/{id}", s.handleInfo)
+	mux.HandleFunc("POST "+wire.BasePath+"/{id}/next", s.handleNext)
+	mux.HandleFunc("POST "+wire.BasePath+"/{id}/done", s.handleDone)
+	mux.HandleFunc("DELETE "+wire.BasePath+"/{id}", s.handleClose)
+}
+
+// Handler returns the daemon's full surface: the wire protocol plus the
+// shared telemetry exposition (/metrics, /healthz, /decisions, pprof).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.tel.Mount(mux)
+	s.Mount(mux)
+	return mux
+}
+
+// ---------------------------------------------------------------------
+// Session lifecycle.
+
+// Register admits a new session (the wire POST /v1/sessions).
+func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, error) {
+	if req.Iterations <= 0 {
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest,
+			fmt.Sprintf("iterations %d must be positive", req.Iterations)}
+	}
+	if req.Factor < 0 || req.BudgetJ < 0 {
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, "factor and budget_j must be non-negative"}
+	}
+	if req.Factor > 0 && req.BudgetJ > 0 {
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, "set at most one of factor and budget_j"}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return wire.RegisterResponse{}, &wireError{wire.CodeDraining, "daemon is draining"}
+	}
+	s.mu.Unlock()
+
+	// Resolve the testbed first: it validates app/platform and prices a
+	// factor-based request in joules.
+	tb, err := jouleguard.NewTestbed(req.App, req.Platform)
+	if err != nil {
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
+	}
+	request := req.BudgetJ
+	if req.Factor > 0 {
+		request, err = tb.Budget(req.Factor, req.Iterations)
+		if err != nil {
+			return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
+		}
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+		req.Tenant = tenant
+	}
+	grant, err := s.broker.Admit(tenant, req.Weight, request)
+	if err != nil {
+		if errors.Is(err, ErrBudgetExhausted) {
+			return wire.RegisterResponse{}, &wireError{wire.CodeBudgetExhausted, err.Error()}
+		}
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
+	}
+
+	now := s.clock()
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s-%06d", s.nextID)
+	s.mu.Unlock()
+	sess, err := newSession(id, req, grant, telemetry.WithSession(s.tel, id), now)
+	if err != nil {
+		s.broker.Release(grant, 0)
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.broker.Release(grant, 0)
+		return wire.RegisterResponse{}, &wireError{wire.CodeDraining, "daemon is draining"}
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.mOpened.Inc()
+	return wire.RegisterResponse{
+		SessionID:  id,
+		GrantJ:     grant.GrantJ,
+		Iterations: req.Iterations,
+		AppConfigs: sess.tb.App.NumConfigs(),
+		SysConfigs: sess.tb.Platform.NumConfigs(),
+	}, nil
+}
+
+// lookup finds a session by id.
+func (s *Server) lookup(id string) (*session, *wireError) {
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, &wireError{wire.CodeUnknownSession, fmt.Sprintf("unknown session %q", id)}
+	}
+	return sess, nil
+}
+
+// Close tears down a session and reclaims its budget.
+func (s *Server) Close(id string) (wire.CloseResponse, error) {
+	sess, werr := s.lookup(id)
+	if werr != nil {
+		return wire.CloseResponse{}, werr
+	}
+	spent, release := sess.teardown(stateClosed)
+	if !release {
+		return wire.CloseResponse{}, errSessionClosed("session already closed")
+	}
+	s.broker.Release(sess.grant, spent)
+	s.mClosed.Inc()
+	return wire.CloseResponse{
+		SessionID:  id,
+		SpentJ:     spent,
+		ReclaimedJ: sess.grant.GrantJ - spent,
+	}, nil
+}
+
+// ExpireIdle expires every live session whose last wire activity is
+// older than its timeout, releasing the grants. It returns how many
+// sessions it expired; the sweep loop calls it on SweepInterval.
+func (s *Server) ExpireIdle() int {
+	now := s.clock()
+	s.mu.Lock()
+	candidates := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		candidates = append(candidates, sess)
+	}
+	s.mu.Unlock()
+	expired := 0
+	for _, sess := range candidates {
+		last, live := sess.idleSince()
+		if !live {
+			continue
+		}
+		timeout := s.cfg.IdleTimeout
+		if sess.reg.IdleTimeoutS > 0 {
+			timeout = time.Duration(sess.reg.IdleTimeoutS * float64(time.Second))
+		}
+		if now.Sub(last) <= timeout {
+			continue
+		}
+		if spent, release := sess.teardown(stateExpired); release {
+			s.broker.Release(sess.grant, spent)
+			s.mExpired.Inc()
+			expired++
+		}
+	}
+	return expired
+}
+
+// sweepLoop is the expiry watchdog.
+func (s *Server) sweepLoop() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.ExpireIdle()
+		case <-s.stopSweep:
+			return
+		}
+	}
+}
+
+// Shutdown drains the daemon: new registrations and Next calls are
+// refused with a retryable "draining" error, in-flight iterations get
+// until ctx's deadline to report Done, and the expiry watchdog stops.
+// After Shutdown returns, Snapshot captures a clean state (armed
+// sessions that never reported are snapshotted at their last completed
+// iteration; their clients re-bracket the lost iteration on restore).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+		<-s.sweepDone
+		s.stopSweep = nil
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if !s.anyInFlight() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain incomplete: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) anyInFlight() bool {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if sess.inFlight() {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// HTTP surface.
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps protocol codes onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	code, msg := wire.CodeBadRequest, err.Error()
+	var werr *wireError
+	if errors.As(err, &werr) {
+		code = werr.code
+	}
+	status := http.StatusBadRequest
+	switch code {
+	case wire.CodeBudgetExhausted:
+		status = http.StatusTooManyRequests
+	case wire.CodeUnknownSession:
+		status = http.StatusNotFound
+	case wire.CodeBadSequence, wire.CodeSessionComplete:
+		status = http.StatusConflict
+	case wire.CodeSessionClosed:
+		status = http.StatusGone
+	case wire.CodeDraining:
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, wire.ErrorResponse{Code: code, Error: msg})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, &wireError{wire.CodeBadRequest, "invalid JSON body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Register(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, &wireError{wire.CodeDraining, "daemon is draining; retry against the restarted daemon"})
+		return
+	}
+	sess, werr := s.lookup(r.PathValue("id"))
+	if werr != nil {
+		writeError(w, werr)
+		return
+	}
+	var req wire.NextRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	resp, werr2 := sess.next(req, s.clock())
+	if werr2 != nil {
+		writeError(w, werr2)
+		return
+	}
+	s.mDecisionS.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+	sess, werr := s.lookup(r.PathValue("id"))
+	if werr != nil {
+		writeError(w, werr)
+		return
+	}
+	var req wire.DoneRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, werr2 := sess.done(req, s.clock())
+	if werr2 != nil {
+		writeError(w, werr2)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.Close(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, werr := s.lookup(r.PathValue("id"))
+	if werr != nil {
+		writeError(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	resp := wire.ListResponse{Broker: s.broker.Info()}
+	for _, sess := range sessions {
+		resp.Sessions = append(resp.Sessions, sess.info(false))
+	}
+	// Stable order for scripts and eyeballs: ids are zero-padded
+	// counters, so lexicographic order is creation order.
+	sort.Slice(resp.Sessions, func(i, j int) bool {
+		return resp.Sessions[i].SessionID < resp.Sessions[j].SessionID
+	})
+	writeJSON(w, http.StatusOK, resp)
+}

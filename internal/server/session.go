@@ -1,0 +1,338 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jouleguard"
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// sessionState is the wire-visible lifecycle of one session:
+//
+//	           POST next            POST done
+//	 +------+ ----------> +-------+ ----------> (iters left: idle)
+//	 | idle |             | armed |
+//	 +------+ <---------- +-------+ ----------> +----------+
+//	    |        done            \               | complete |
+//	    |                         \ daemon dies  +----------+
+//	    |  DELETE / idle expiry    \ before done      |  DELETE / expiry
+//	    v                           v                 v
+//	+--------+-----------+     restored as idle   (released)
+//	| closed  |  expired |     (client re-brackets the lost iteration)
+//	+--------+-----------+
+//
+// Only idle/armed/complete sessions hold budget; closing or expiring
+// releases the grant back to the broker.
+type sessionState int
+
+const (
+	stateIdle sessionState = iota
+	stateArmed
+	stateComplete
+	stateClosed
+	stateExpired
+)
+
+// String names the state for the wire and the logs.
+func (s sessionState) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateArmed:
+		return "armed"
+	case stateComplete:
+		return "complete"
+	case stateClosed:
+		return "closed"
+	case stateExpired:
+		return "expired"
+	}
+	return "unknown"
+}
+
+// iterRec is one completed iteration in the session's write-ahead log:
+// exactly the client-supplied inputs the controller consumed, so a
+// restored daemon can replay them through a fresh controller and land on
+// bit-identical state (the snapshot format's only session payload).
+type iterRec struct {
+	NextNow   float64 `json:"next_now"`
+	DoneNow   float64 `json:"done_now"`
+	EnergyJ   float64 `json:"energy_j"`
+	EnergyErr bool    `json:"energy_err,omitempty"`
+	Accuracy  float64 `json:"accuracy"`
+}
+
+// session wraps one tenant's governor — a JouleGuard runtime behind an
+// OnlineController — and adapts it to the wire: the client's clock and
+// meter readings arrive in request bodies and are fed to the controller
+// through the pending sample, so the controller's hardened sensing path
+// (guard, outage reconciliation, model fallback) is reused verbatim.
+type session struct {
+	mu    sync.Mutex
+	id    string
+	reg   wire.RegisterRequest
+	grant Grant
+
+	tb  *jouleguard.Testbed
+	gov *jouleguard.Runtime
+	ctl *jouleguard.OnlineController
+
+	state   sessionState
+	pending struct {
+		now    float64
+		energy float64
+		eerr   bool
+	}
+	armedNow  float64
+	log       []iterRec
+	accSum    float64
+	lastTouch time.Time
+}
+
+// newSession builds the governor stack for an admitted registration.
+// sink is the telemetry the session reports into (nil while replaying a
+// snapshot; installLiveSink attaches the real one afterwards).
+func newSession(id string, reg wire.RegisterRequest, grant Grant, sink telemetry.Sink, now time.Time) (*session, error) {
+	tb, err := jouleguard.NewTestbed(reg.App, reg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	gov, err := tb.NewJouleGuardBudget(grant.GrantJ, reg.Iterations, jouleguard.Options{
+		Seed:      reg.Seed,
+		Telemetry: sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &session{id: id, reg: reg, grant: grant, tb: tb, gov: gov, lastTouch: now}
+	ctl, err := jouleguard.NewOnlineGuarded(gov,
+		s.readPendingEnergy, s.readPendingNow,
+		jouleguard.SensorGuardConfig{ModelPower: tb.DefaultPower})
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		ctl.SetTelemetry(sink)
+	}
+	s.ctl = ctl
+	return s, nil
+}
+
+// readPendingEnergy and readPendingNow feed the controller the last
+// wire-reported sample; callers hold s.mu for the whole Next/Done call,
+// so the pending fields are stable while the controller reads them.
+func (s *session) readPendingEnergy() (float64, error) {
+	if s.pending.eerr {
+		return 0, fmt.Errorf("server: client reported an energy-meter failure")
+	}
+	return s.pending.energy, nil
+}
+
+func (s *session) readPendingNow() float64 { return s.pending.now }
+
+// installLiveSink attaches the live telemetry sink after a snapshot
+// replay, so restored state resumes reporting without the replayed
+// iterations having been double-counted.
+func (s *session) installLiveSink(sink telemetry.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gov.SetTelemetry(sink)
+	s.ctl.SetTelemetry(sink)
+}
+
+// wireError pairs a stable protocol code with a message.
+type wireError struct {
+	code string
+	msg  string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+func errBadSequence(msg string) *wireError   { return &wireError{wire.CodeBadSequence, msg} }
+func errSessionClosed(msg string) *wireError { return &wireError{wire.CodeSessionClosed, msg} }
+
+// checkLive rejects calls on torn-down sessions; callers hold s.mu.
+func (s *session) checkLive() *wireError {
+	switch s.state {
+	case stateClosed:
+		return errSessionClosed("session closed")
+	case stateExpired:
+		return errSessionClosed("session expired by the idle watchdog")
+	}
+	return nil
+}
+
+// next runs the wire Next call: decide the upcoming iteration's
+// configurations and start its interval on the client's clock.
+func (s *session) next(req wire.NextRequest, now time.Time) (wire.NextResponse, *wireError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if werr := s.checkLive(); werr != nil {
+		return wire.NextResponse{}, werr
+	}
+	switch s.state {
+	case stateComplete:
+		return wire.NextResponse{}, &wireError{wire.CodeSessionComplete,
+			fmt.Sprintf("workload of %d iterations already complete; close the session to reclaim its budget", s.reg.Iterations)}
+	case stateArmed:
+		return wire.NextResponse{}, errBadSequence("Next while an iteration is already in flight (Done not yet reported)")
+	}
+	s.pending.now, s.pending.eerr = req.NowS, false
+	app, sys := s.ctl.Next()
+	s.armedNow = req.NowS
+	s.state = stateArmed
+	s.lastTouch = now
+	return wire.NextResponse{Iter: s.ctl.Iterations(), AppConfig: app, SysConfig: sys}, nil
+}
+
+// done runs the wire Done call: deliver the client's measurements to the
+// controller and settle the iteration.
+func (s *session) done(req wire.DoneRequest, now time.Time) (wire.DoneResponse, *wireError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if werr := s.checkLive(); werr != nil {
+		return wire.DoneResponse{}, werr
+	}
+	if s.state != stateArmed {
+		return wire.DoneResponse{}, errBadSequence("Done without a pending Next")
+	}
+	s.pending.now, s.pending.energy, s.pending.eerr = req.NowS, req.EnergyJ, req.EnergyErr
+	if err := s.ctl.Done(req.Accuracy); err != nil {
+		// The armed check above rules out sequencing errors; anything
+		// else is an internal failure worth surfacing as such.
+		return wire.DoneResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
+	}
+	s.log = append(s.log, iterRec{
+		NextNow: s.armedNow, DoneNow: req.NowS,
+		EnergyJ: req.EnergyJ, EnergyErr: req.EnergyErr, Accuracy: req.Accuracy,
+	})
+	s.accSum += req.Accuracy
+	if s.ctl.Iterations() >= s.reg.Iterations {
+		s.state = stateComplete
+	} else {
+		s.state = stateIdle
+	}
+	s.lastTouch = now
+	return s.doneResponseLocked(), nil
+}
+
+// doneResponseLocked assembles the ledger view; callers hold s.mu.
+func (s *session) doneResponseLocked() wire.DoneResponse {
+	spent := s.ctl.EnergyAccounted()
+	return wire.DoneResponse{
+		IterationsDone:  s.ctl.Iterations(),
+		SpentJ:          spent,
+		GrantRemainingJ: s.grant.GrantJ - spent,
+		Degraded:        s.gov.Degraded(),
+		Infeasible:      s.gov.Infeasible(),
+		Complete:        s.state == stateComplete,
+	}
+}
+
+// spent returns the energy the session's ledger has accounted so far.
+func (s *session) spent() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctl.EnergyAccounted()
+}
+
+// teardown moves the session to a terminal state and reports what the
+// broker should settle. It is idempotent; only the first call releases.
+func (s *session) teardown(to sessionState) (spentJ float64, release bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateClosed || s.state == stateExpired {
+		return 0, false
+	}
+	s.state = to
+	return s.ctl.EnergyAccounted(), true
+}
+
+// idleSince reports the last wire activity; the expiry watchdog compares
+// it against the session's timeout.
+func (s *session) idleSince() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.state == stateIdle || s.state == stateArmed || s.state == stateComplete
+	return s.lastTouch, live
+}
+
+// inFlight reports whether a wire iteration is bracketed (armed); the
+// drain loop waits for in-flight iterations to settle before snapshot.
+func (s *session) inFlight() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateArmed
+}
+
+// info assembles the introspection view.
+func (s *session) info(includeEstimates bool) wire.SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.ctl.Iterations()
+	mean := 0.0
+	if n > 0 {
+		mean = s.accSum / float64(n)
+	}
+	si := wire.SessionInfo{
+		SessionID:   s.id,
+		Tenant:      s.reg.Tenant,
+		Weight:      s.grant.Weight,
+		App:         s.reg.App,
+		Platform:    s.reg.Platform,
+		State:       s.state.String(),
+		Iterations:  s.reg.Iterations,
+		IterDone:    n,
+		GrantJ:      s.grant.GrantJ,
+		SpentJ:      s.ctl.EnergyAccounted(),
+		MinAccuracy: s.reg.MinAccuracy,
+		MeanAcc:     mean,
+		Degraded:    s.gov.Degraded(),
+		Infeasible:  s.gov.Infeasible(),
+	}
+	if includeEstimates {
+		for arm := 0; arm < s.gov.NumArms(); arm++ {
+			rate, power, pulls := s.gov.ArmEstimate(arm)
+			si.Estimates = append(si.Estimates, wire.ArmEstimate{Arm: arm, Rate: rate, Power: power, Pulls: pulls})
+		}
+	}
+	return si
+}
+
+// replay drives one logged iteration through the controller — the
+// snapshot-restore path. It bypasses the state checks (the log was
+// produced by calls that passed them) but uses the exact same feed.
+func (s *session) replay(rec iterRec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending.now, s.pending.eerr = rec.NextNow, false
+	s.ctl.Next()
+	s.armedNow = rec.NextNow
+	s.pending.now, s.pending.energy, s.pending.eerr = rec.DoneNow, rec.EnergyJ, rec.EnergyErr
+	if err := s.ctl.Done(rec.Accuracy); err != nil {
+		return fmt.Errorf("server: replaying session %s: %w", s.id, err)
+	}
+	s.log = append(s.log, rec)
+	s.accSum += rec.Accuracy
+	if s.ctl.Iterations() >= s.reg.Iterations {
+		s.state = stateComplete
+	} else {
+		s.state = stateIdle
+	}
+	return nil
+}
+
+// snapshotLocked copies the session's durable state; callers hold s.mu
+// (via the server's session map lock discipline: the snapshotter takes
+// s.mu itself).
+func (s *session) snapshotView() (reg wire.RegisterRequest, grant Grant, log []iterRec, live bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live = s.state == stateIdle || s.state == stateArmed || s.state == stateComplete
+	log = make([]iterRec, len(s.log))
+	copy(log, s.log)
+	return s.reg, s.grant, log, live
+}

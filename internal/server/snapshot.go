@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// The snapshot is a JSONL write-ahead-style dump: one daemon header
+// line, then for every live session a session line followed by that
+// session's iteration log. Restoring replays each session's logged
+// iterations through a freshly built governor stack (same registration,
+// same grant, same seed), which — because the whole control path is
+// deterministic given its inputs — lands the bandit estimates, the PI
+// controller state, the sensing-guard window and the budget ledger on
+// bit-identical values. Event-sourcing beats serialising the learner's
+// internals directly: the log is human-auditable, versions cannot skew
+// against estimator implementations, and the replay exercises exactly
+// the code that produced the state.
+//
+// Closed and expired sessions are not written: their lasting effects —
+// consumed energy and per-tenant deficit carry-over — live in the
+// daemon header.
+
+const snapshotVersion = 1
+
+type snapDaemon struct {
+	Kind      string             `json:"kind"` // "daemon"
+	V         int                `json:"v"`
+	GlobalJ   float64            `json:"global_j"`
+	Reserve   float64            `json:"reserve"`
+	ConsumedJ float64            `json:"consumed_j"`
+	NextID    uint64             `json:"next_id"`
+	Carry     map[string]float64 `json:"carry,omitempty"`
+}
+
+type snapSession struct {
+	Kind    string               `json:"kind"` // "session"
+	ID      string               `json:"id"`
+	Reg     wire.RegisterRequest `json:"reg"`
+	GrantJ  float64              `json:"grant_j"`
+	CommitJ float64              `json:"commit_j"`
+	Weight  float64              `json:"weight"`
+}
+
+type snapIter struct {
+	Kind string `json:"kind"` // "iter"
+	SID  string `json:"sid"`
+	iterRec
+}
+
+// Snapshot writes the daemon's durable state as JSONL. Call it after
+// Shutdown has drained in-flight iterations; it is also safe mid-run
+// (each session is locked while copied), in which case an armed
+// session is captured at its last completed iteration.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	nextID := s.nextID
+	s.mu.Unlock()
+	// Creation order (ids are zero-padded counters) keeps snapshots
+	// diffable run to run.
+	sort.Strings(ids)
+	s.mu.Lock()
+	for _, id := range ids {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+
+	s.broker.mu.Lock()
+	hdr := snapDaemon{
+		Kind:      "daemon",
+		V:         snapshotVersion,
+		GlobalJ:   s.broker.globalJ,
+		Reserve:   s.broker.reserve,
+		ConsumedJ: s.broker.consumed,
+		NextID:    nextID,
+		Carry:     map[string]float64{},
+	}
+	for t, c := range s.broker.carry {
+		hdr.Carry[t] = c
+	}
+	s.broker.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, sess := range sessions {
+		reg, grant, log, live := sess.snapshotView()
+		if !live {
+			continue
+		}
+		if err := enc.Encode(snapSession{
+			Kind: "session", ID: sess.id, Reg: reg,
+			GrantJ: grant.GrantJ, CommitJ: grant.CommitJ, Weight: grant.Weight,
+		}); err != nil {
+			return err
+		}
+		for _, rec := range log {
+			if err := enc.Encode(snapIter{Kind: "iter", SID: sess.id, iterRec: rec}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SnapshotFile writes the snapshot atomically: a temp file in the same
+// directory, fsynced, then renamed over the target.
+func (s *Server) SnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Restore rebuilds sessions and the budget ledger from a snapshot
+// stream. It must run on a fresh Server (no sessions yet). Each
+// session's logged iterations are replayed through a silent telemetry
+// sink; the live sink is installed afterwards, so restored state resumes
+// reporting without double-counting the replayed decisions.
+func (s *Server) Restore(r io.Reader) error {
+	s.mu.Lock()
+	if len(s.sessions) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("server: restore requires a fresh server, have %d sessions", len(s.sessions))
+	}
+	s.mu.Unlock()
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *session
+	line := 0
+	seen := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return fmt.Errorf("server: snapshot line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "daemon":
+			if seen {
+				return fmt.Errorf("server: snapshot line %d: duplicate daemon header", line)
+			}
+			seen = true
+			var hdr snapDaemon
+			if err := json.Unmarshal(raw, &hdr); err != nil {
+				return fmt.Errorf("server: snapshot line %d: %w", line, err)
+			}
+			if hdr.V != snapshotVersion {
+				return fmt.Errorf("server: snapshot version %d, want %d", hdr.V, snapshotVersion)
+			}
+			broker, err := NewBroker(hdr.GlobalJ, hdr.Reserve)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.broker = broker
+			s.nextID = hdr.NextID
+			s.mu.Unlock()
+			broker.Instrument(s.tel.Registry)
+			broker.restore(hdr.ConsumedJ, hdr.Carry)
+		case "session":
+			if !seen {
+				return fmt.Errorf("server: snapshot line %d: session before daemon header", line)
+			}
+			var sn snapSession
+			if err := json.Unmarshal(raw, &sn); err != nil {
+				return fmt.Errorf("server: snapshot line %d: %w", line, err)
+			}
+			grant := Grant{Tenant: sn.Reg.Tenant, Weight: sn.Weight, GrantJ: sn.GrantJ, CommitJ: sn.CommitJ}
+			sess, err := newSession(sn.ID, sn.Reg, grant, nil, s.clock())
+			if err != nil {
+				return fmt.Errorf("server: snapshot line %d: rebuilding session %s: %w", line, sn.ID, err)
+			}
+			s.broker.readopt(grant)
+			s.mu.Lock()
+			s.sessions[sn.ID] = sess
+			s.mu.Unlock()
+			cur = sess
+		case "iter":
+			var it snapIter
+			if err := json.Unmarshal(raw, &it); err != nil {
+				return fmt.Errorf("server: snapshot line %d: %w", line, err)
+			}
+			if cur == nil || it.SID != cur.id {
+				return fmt.Errorf("server: snapshot line %d: iter for %q outside its session block", line, it.SID)
+			}
+			if err := cur.replay(it.iterRec); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("server: snapshot line %d: unknown kind %q", line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !seen {
+		return fmt.Errorf("server: snapshot has no daemon header")
+	}
+	// Replay done: attach the live telemetry.
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.installLiveSink(telemetry.WithSession(s.tel, sess.id))
+	}
+	return nil
+}
+
+// RestoreFile restores from a snapshot file; a missing file is not an
+// error (cold start).
+func (s *Server) RestoreFile(path string) (restored bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer f.Close()
+	if err := s.Restore(f); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -8,17 +9,20 @@ import (
 	"time"
 )
 
-// Handler returns the live exposition endpoint:
+// Mount registers the live exposition endpoints on mux:
 //
 //	/metrics    Prometheus text exposition of every registered metric
 //	/healthz    liveness probe with uptime and decision count
-//	/decisions  the flight-recorder window as JSONL (?n=K for the last K)
+//	/decisions  the flight-recorder window as JSONL (?n=K for the last K,
+//	            ?session=ID to filter one daemon session's decisions)
 //	/debug/pprof/...  the standard Go profiling endpoints
 //
-// The handler is safe to serve while experiments run; scrapes read
-// atomics and copy the flight window under its mutex.
-func (t *Telemetry) Handler() http.Handler {
-	mux := http.NewServeMux()
+// Mount is the one place these handlers are wired: cmd/jouleguard -serve
+// and cmd/jouleguardd both call it (the daemon on a mux that also
+// carries the /v1/sessions API), so the exposition surface cannot drift
+// between the binaries. The handlers are safe to serve while experiments
+// run; scrapes read atomics and copy the flight window under its mutex.
+func (t *Telemetry) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", t.serveMetrics)
 	mux.HandleFunc("/healthz", t.serveHealthz)
 	mux.HandleFunc("/decisions", t.serveDecisions)
@@ -27,6 +31,12 @@ func (t *Telemetry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a mux carrying exactly the Mount endpoints.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	t.Mount(mux)
 	return mux
 }
 
@@ -52,5 +62,26 @@ func (t *Telemetry) serveDecisions(w http.ResponseWriter, r *http.Request) {
 		last = n
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	if session := r.URL.Query().Get("session"); session != "" {
+		// Per-session view: filter the window, then apply the tail limit
+		// to the filtered stream so ?n= means "this session's last n".
+		snap := t.Flight.Snapshot()
+		kept := snap[:0]
+		for _, d := range snap {
+			if d.Session == session {
+				kept = append(kept, d)
+			}
+		}
+		if last > 0 && last < len(kept) {
+			kept = kept[len(kept)-last:]
+		}
+		enc := json.NewEncoder(w)
+		for i := range kept {
+			if err := enc.Encode(sanitizeDecision(kept[i])); err != nil {
+				return
+			}
+		}
+		return
+	}
 	_ = t.Flight.WriteJSONL(w, last)
 }

@@ -27,6 +27,10 @@ package telemetry
 // matches the run's Record exactly. NextApp and NextSys are the
 // configurations chosen for the following iteration.
 type Decision struct {
+	// Session tags decisions made on behalf of a governor-daemon session
+	// (empty for in-process runs); WithSession stamps it.
+	Session string `json:"session,omitempty"`
+
 	Iter      int `json:"iter"`
 	AppConfig int `json:"app_config"`
 	SysConfig int `json:"sys_config"`
@@ -159,3 +163,54 @@ func OrNop(s Sink) Sink {
 	}
 	return s
 }
+
+// WithSession wraps a sink so every decision it records carries the
+// given session id — the multiplexing the governor daemon needs when
+// many tenants share one flight recorder. All other events pass through
+// untouched (metrics aggregate across sessions by design).
+func WithSession(inner Sink, session string) Sink {
+	return sessionSink{inner: OrNop(inner), session: session}
+}
+
+type sessionSink struct {
+	inner   Sink
+	session string
+}
+
+// RecordDecision implements Sink, stamping the session id.
+func (s sessionSink) RecordDecision(d Decision) {
+	d.Session = s.session
+	s.inner.RecordDecision(d)
+}
+
+// ControlStep implements Sink.
+func (s sessionSink) ControlStep(target, measured, errTerm, pole, speedup float64) {
+	s.inner.ControlStep(target, measured, errTerm, pole, speedup)
+}
+
+// EstimatorUpdate implements Sink.
+func (s sessionSink) EstimatorUpdate(arm int, rate, power, gain float64) {
+	s.inner.EstimatorUpdate(arm, rate, power, gain)
+}
+
+// GuardVerdict implements Sink.
+func (s sessionSink) GuardVerdict(accepted bool, reason uint8, power float64) {
+	s.inner.GuardVerdict(accepted, reason, power)
+}
+
+// FaultInjected implements Sink.
+func (s sessionSink) FaultInjected(channel uint8) { s.inner.FaultInjected(channel) }
+
+// WatchdogTrip implements Sink.
+func (s sessionSink) WatchdogTrip() { s.inner.WatchdogTrip() }
+
+// IterationDone implements Sink.
+func (s sessionSink) IterationDone(seconds float64, estimated bool) {
+	s.inner.IterationDone(seconds, estimated)
+}
+
+// JobStart implements Sink.
+func (s sessionSink) JobStart(queued int) { s.inner.JobStart(queued) }
+
+// JobDone implements Sink.
+func (s sessionSink) JobDone(failed bool) { s.inner.JobDone(failed) }

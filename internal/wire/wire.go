@@ -1,0 +1,191 @@
+// Package wire defines the versioned JSON-over-HTTP protocol spoken
+// between the governor daemon (cmd/jouleguardd, internal/server) and its
+// clients (internal/client). The protocol mirrors the in-process
+// OnlineController contract — Next fetches the configurations for the
+// upcoming iteration, Done reports its measurements — with session
+// registration and teardown around it:
+//
+//	POST   /v1/sessions          RegisterRequest  -> RegisterResponse
+//	GET    /v1/sessions          ListResponse (all sessions + broker state)
+//	GET    /v1/sessions/{id}     SessionInfo (introspection)
+//	POST   /v1/sessions/{id}/next  NextRequest  -> NextResponse
+//	POST   /v1/sessions/{id}/done  DoneRequest  -> DoneResponse
+//	DELETE /v1/sessions/{id}     CloseResponse (budget reclaimed)
+//
+// Every error body is an ErrorResponse carrying a stable machine-readable
+// Code alongside the human-readable message; clients branch on the code,
+// never on the message text. The package is shared by the server and the
+// client so the two cannot drift; it depends on nothing but the stdlib.
+package wire
+
+// Version is the protocol version; it is the literal "v1" path segment.
+const Version = "v1"
+
+// BasePath is the versioned path prefix every route lives under.
+const BasePath = "/" + Version + "/sessions"
+
+// Stable error codes carried in ErrorResponse.Code.
+const (
+	// CodeBudgetExhausted rejects a registration the broker's remaining
+	// global budget cannot honor (admission control).
+	CodeBudgetExhausted = "budget_exhausted"
+	// CodeUnknownSession names a session id the daemon does not know.
+	CodeUnknownSession = "unknown_session"
+	// CodeBadSequence flags an out-of-order wire call: Done without a
+	// pending Next, or Next while one is already outstanding.
+	CodeBadSequence = "bad_sequence"
+	// CodeSessionClosed flags a call on a session already closed by the
+	// client or expired by the idle watchdog.
+	CodeSessionClosed = "session_closed"
+	// CodeSessionComplete flags Next on a session whose configured
+	// workload has already completed; close it to reclaim the budget.
+	CodeSessionComplete = "session_complete"
+	// CodeDraining rejects work while the daemon shuts down; the call is
+	// safe to retry against the restarted daemon.
+	CodeDraining = "draining"
+	// CodeBadRequest covers malformed bodies and invalid parameters.
+	CodeBadRequest = "bad_request"
+)
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// RegisterRequest opens a session: one tenant-side control loop governed
+// remotely. Exactly one of Factor or BudgetJ may be set; when both are
+// zero the broker grants a weighted share of its uncommitted budget.
+type RegisterRequest struct {
+	// Tenant names the budget-ledger account: the broker's deficit
+	// carry-over persists per tenant across that tenant's sessions.
+	Tenant string `json:"tenant"`
+	// Weight scales the tenant's share when the broker apportions budget
+	// (<= 0 means 1).
+	Weight float64 `json:"weight,omitempty"`
+	// App and Platform select the calibrated testbed the session's
+	// governor reasons with (apps.Names x platform.Names, or a profile
+	// registered server-side).
+	App      string `json:"app"`
+	Platform string `json:"platform"`
+	// Iterations is the session's workload W (Algorithm 1).
+	Iterations int `json:"iterations"`
+	// Factor asks for iterations x defaultEnergy / Factor joules (the
+	// paper's energy-reduction methodology, Sec. 5.2).
+	Factor float64 `json:"factor,omitempty"`
+	// BudgetJ asks for an absolute grant in joules.
+	BudgetJ float64 `json:"budget_j,omitempty"`
+	// MinAccuracy is the tenant's accuracy goal; the daemon records it
+	// and reports attainment in SessionInfo (the governor maximises
+	// accuracy subject to the energy budget regardless).
+	MinAccuracy float64 `json:"min_accuracy,omitempty"`
+	// Seed fixes the governor's exploration seed (0 = testbed default),
+	// making the session's decision sequence reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// IdleTimeoutS overrides the daemon's default idle expiry for this
+	// session (0 = daemon default).
+	IdleTimeoutS float64 `json:"idle_timeout_s,omitempty"`
+}
+
+// RegisterResponse acknowledges an admitted session.
+type RegisterResponse struct {
+	SessionID string `json:"session_id"`
+	// GrantJ is the joule budget the broker committed to this session;
+	// the session's governor enforces it.
+	GrantJ     float64 `json:"grant_j"`
+	Iterations int     `json:"iterations"`
+	// AppConfigs and SysConfigs size the configuration spaces so the
+	// client can validate its actuators.
+	AppConfigs int `json:"app_configs"`
+	SysConfigs int `json:"sys_configs"`
+}
+
+// NextRequest fetches the configurations for the upcoming iteration.
+// NowS is the client's monotone clock in seconds; the daemon timestamps
+// the iteration with the client's clock, never its own, so network and
+// scheduling delay cannot pollute the interval accounting.
+type NextRequest struct {
+	NowS float64 `json:"now_s"`
+}
+
+// NextResponse carries the decision.
+type NextResponse struct {
+	Iter      int `json:"iter"`
+	AppConfig int `json:"app_config"`
+	SysConfig int `json:"sys_config"`
+}
+
+// DoneRequest reports a completed iteration: the client's clock, its
+// cumulative energy-meter reading, and the application's own accuracy
+// measure. EnergyErr marks a failed meter read; the daemon's hardened
+// sensing guard substitutes a model-based estimate, exactly as the
+// in-process OnlineController would.
+type DoneRequest struct {
+	NowS      float64 `json:"now_s"`
+	EnergyJ   float64 `json:"energy_j"`
+	EnergyErr bool    `json:"energy_err,omitempty"`
+	Accuracy  float64 `json:"accuracy"`
+}
+
+// DoneResponse acknowledges the observation and reports the ledger.
+type DoneResponse struct {
+	IterationsDone  int     `json:"iterations_done"`
+	SpentJ          float64 `json:"spent_j"`
+	GrantRemainingJ float64 `json:"grant_remaining_j"`
+	Degraded        bool    `json:"degraded"`
+	Infeasible      bool    `json:"infeasible"`
+	Complete        bool    `json:"complete"`
+}
+
+// CloseResponse acknowledges teardown and settles the ledger.
+type CloseResponse struct {
+	SessionID  string  `json:"session_id"`
+	SpentJ     float64 `json:"spent_j"`
+	ReclaimedJ float64 `json:"reclaimed_j"`
+}
+
+// SessionInfo is the introspection view of one session.
+type SessionInfo struct {
+	SessionID   string  `json:"session_id"`
+	Tenant      string  `json:"tenant"`
+	Weight      float64 `json:"weight"`
+	App         string  `json:"app"`
+	Platform    string  `json:"platform"`
+	State       string  `json:"state"` // idle | armed | complete | closed | expired
+	Iterations  int     `json:"iterations"`
+	IterDone    int     `json:"iterations_done"`
+	GrantJ      float64 `json:"grant_j"`
+	SpentJ      float64 `json:"spent_j"`
+	MinAccuracy float64 `json:"min_accuracy,omitempty"`
+	MeanAcc     float64 `json:"mean_accuracy"`
+	Degraded    bool    `json:"degraded"`
+	Infeasible  bool    `json:"infeasible"`
+	// Estimates exposes the governor's learned per-arm bandit state, the
+	// introspection the snapshot/restore tests pin bit-identically.
+	Estimates []ArmEstimate `json:"estimates,omitempty"`
+}
+
+// ArmEstimate is one system configuration's learned model.
+type ArmEstimate struct {
+	Arm   int     `json:"arm"`
+	Rate  float64 `json:"rate"`
+	Power float64 `json:"power"`
+	Pulls int     `json:"pulls"`
+}
+
+// BrokerInfo is the broker's ledger view.
+type BrokerInfo struct {
+	GlobalJ    float64 `json:"global_j"`
+	CommittedJ float64 `json:"committed_j"`
+	ConsumedJ  float64 `json:"consumed_j"`
+	AvailableJ float64 `json:"available_j"`
+	Active     int     `json:"active_sessions"`
+	Admitted   int     `json:"admitted_total"`
+	Rejected   int     `json:"rejected_total"`
+}
+
+// ListResponse enumerates the daemon's sessions plus the broker ledger.
+type ListResponse struct {
+	Broker   BrokerInfo    `json:"broker"`
+	Sessions []SessionInfo `json:"sessions"`
+}

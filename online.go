@@ -1,6 +1,7 @@
 package jouleguard
 
 import (
+	"errors"
 	"fmt"
 
 	"jouleguard/internal/guard"
@@ -8,6 +9,15 @@ import (
 	"jouleguard/internal/sim"
 	"jouleguard/internal/telemetry"
 )
+
+// ErrOutOfSequence is returned (wrapped) by Done when no iteration is in
+// flight, and recorded by Next when one already is. The Next/Done
+// bracketing is a hard contract: out-of-order calls would silently
+// corrupt the interval accounting the budget ledger is built on, so they
+// are surfaced instead of absorbed. Callers that multiplex many control
+// loops over one controller (the governor daemon) rely on this to map
+// wire calls safely.
+var ErrOutOfSequence = errors.New("jouleguard: Next/Done called out of sequence")
 
 // OnlineController adapts any Governor (the JouleGuard runtime or a
 // baseline) to a real application's main loop, the way the paper's C
@@ -58,6 +68,8 @@ type OnlineController struct {
 	failStreak int
 	failTotal  int
 	clockBack  int
+	seqErrs    int
+	lastSeqErr error
 
 	tele telemetry.Sink // per-iteration telemetry; Nop when not instrumented
 }
@@ -97,8 +109,16 @@ func (o *OnlineController) SetTelemetry(s TelemetrySink) {
 }
 
 // Next returns the configurations for the upcoming iteration and starts its
-// timer. Calling Next twice without Done restarts the measurement.
+// timer. Calling Next again while an iteration is already in flight is a
+// sequencing error: it is recorded (SequenceErrors, LastSequenceError)
+// and the in-flight measurement is preserved — the original start time
+// stands and the same configurations are returned, so the interval
+// accounting is never silently restarted mid-iteration.
 func (o *OnlineController) Next() (appCfg, sysCfg int) {
+	if o.started {
+		o.noteSequenceError("Next while an iteration is in flight")
+		return o.appCfg, o.sysCfg
+	}
 	o.appCfg, o.sysCfg = o.gov.Decide(o.iter)
 	if o.haveCfg && (o.appCfg != o.prevApp || o.sysCfg != o.prevSys) {
 		// A configuration change legitimately moves the power level: tell
@@ -124,7 +144,8 @@ func (o *OnlineController) Next() (appCfg, sysCfg int) {
 // degrade gracefully.
 func (o *OnlineController) Done(accuracy float64) error {
 	if !o.started {
-		return fmt.Errorf("jouleguard: Done without Next")
+		o.noteSequenceError("Done without Next")
+		return fmt.Errorf("%w: Done without Next", ErrOutOfSequence)
 	}
 	o.started = false
 	end := o.now()
@@ -219,6 +240,29 @@ func (o *OnlineController) provisional(dur float64) guard.Verdict {
 	}
 	return v
 }
+
+// noteSequenceError records a Next/Done bracketing violation.
+func (o *OnlineController) noteSequenceError(what string) {
+	o.seqErrs++
+	o.lastSeqErr = fmt.Errorf("%w: %s", ErrOutOfSequence, what)
+}
+
+// SequenceErrors returns how many Next/Done calls arrived out of order.
+func (o *OnlineController) SequenceErrors() int { return o.seqErrs }
+
+// LastSequenceError returns the most recent bracketing violation (nil if
+// none); it wraps ErrOutOfSequence.
+func (o *OnlineController) LastSequenceError() error { return o.lastSeqErr }
+
+// InFlight reports whether an iteration is currently bracketed (Next
+// issued, Done pending).
+func (o *OnlineController) InFlight() bool { return o.started }
+
+// EnergyAccounted returns the cumulative joules the sensing guard has
+// attributed to the run — the cleaned ledger the governor's budget
+// accounting sees, combining accepted meter deltas and model-based
+// estimates for the gaps.
+func (o *OnlineController) EnergyAccounted() float64 { return o.guard.Energy() }
 
 // Iterations returns how many iterations completed.
 func (o *OnlineController) Iterations() int { return o.iter }

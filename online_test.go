@@ -221,3 +221,79 @@ func TestOnlineControllerOutageRecovery(t *testing.T) {
 		t.Fatalf("iterations: %d", ctl.Iterations())
 	}
 }
+
+// TestOnlineControllerSequencing pins the misuse contract: Done without a
+// bracketing Next returns ErrOutOfSequence, Next during an in-flight
+// iteration preserves the pending interval instead of restarting it, and
+// both violations are counted without corrupting the accounting.
+func TestOnlineControllerSequencing(t *testing.T) {
+	tb, err := jouleguard.NewTestbed("radar", "Tablet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := tb.NewJouleGuard(2.0, 100, jouleguard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMachine{tb: tb}
+	ctl, err := jouleguard.NewOnline(gov, m.readEnergy, func() float64 { return m.clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Done before any Next is a hard sequencing error.
+	if err := ctl.Done(1); !errors.Is(err, jouleguard.ErrOutOfSequence) {
+		t.Fatalf("Done before Next: got %v, want ErrOutOfSequence", err)
+	}
+	if n := ctl.SequenceErrors(); n != 1 {
+		t.Fatalf("sequence errors after early Done: %d", n)
+	}
+	if ctl.Iterations() != 0 {
+		t.Fatalf("early Done advanced the iteration count: %d", ctl.Iterations())
+	}
+
+	// Next twice without Done: the second call must keep the in-flight
+	// interval (same decision, no clock restart) and record the misuse.
+	app1, sys1 := ctl.Next()
+	if !ctl.InFlight() {
+		t.Fatal("controller not in flight after Next")
+	}
+	m.clock += 0.25 // interval under way
+	app2, sys2 := ctl.Next()
+	if app1 != app2 || sys1 != sys2 {
+		t.Fatalf("double Next changed the decision: (%d,%d) -> (%d,%d)", app1, sys1, app2, sys2)
+	}
+	if n := ctl.SequenceErrors(); n != 2 {
+		t.Fatalf("sequence errors after double Next: %d", n)
+	}
+	if last := ctl.LastSequenceError(); !errors.Is(last, jouleguard.ErrOutOfSequence) {
+		t.Fatalf("LastSequenceError: %v", last)
+	}
+
+	// The bracketed iteration still settles normally afterwards.
+	m.apply(app1, sys1)
+	m.work()
+	if err := ctl.Done(1); err != nil {
+		t.Fatalf("Done after recovered sequence: %v", err)
+	}
+	if ctl.Iterations() != 1 {
+		t.Fatalf("iteration not accounted: %d", ctl.Iterations())
+	}
+	if ctl.InFlight() {
+		t.Fatal("still in flight after Done")
+	}
+
+	// A clean Next/Done pair does not add sequencing errors.
+	app, sys := ctl.Next()
+	m.apply(app, sys)
+	m.work()
+	if err := ctl.Done(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := ctl.SequenceErrors(); n != 2 {
+		t.Fatalf("clean pair changed the violation count: %d", n)
+	}
+	if ctl.Iterations() != 2 {
+		t.Fatalf("iterations: %d", ctl.Iterations())
+	}
+}
