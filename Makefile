@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke serve-smoke clean
+# The smoke targets pipe loadgen through benchjson; without pipefail a
+# failed -check exit would be masked by the pipe's last command.
+SHELL := /usr/bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -21,8 +26,8 @@ lint:
 	$(GO) vet ./...
 
 # The pre-merge gate: formatting + vet + the race-detector pass + the
-# daemon smoke test.
-check: lint race serve-smoke
+# daemon and fleet smoke tests.
+check: lint race serve-smoke cluster-smoke
 
 test:
 	$(GO) test ./...
@@ -35,7 +40,7 @@ test-race:
 # plus the daemon, which shares sessions and the budget broker across
 # request handlers.
 race:
-	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ .
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/load/ .
 
 # Daemon smoke test under the race detector: selfhost the daemon, drive
 # 8 concurrent tenants for 200 iterations each, restart the daemon
@@ -43,8 +48,22 @@ race:
 # its grant. Latency quantiles are folded into BENCH_experiments.json.
 serve-smoke:
 	$(GO) run -race ./cmd/loadgen -tenants 8 -iters 200 -restart-at 800 -check 1.05 \
-		| $(GO) run ./cmd/benchjson > BENCH_experiments.json
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
 	@echo "serve-smoke passed; latency snapshot in BENCH_experiments.json"
+
+# Fleet smoke test under the race detector: run an in-process coordinator
+# plus 3 member daemons, drive 12 tenants through coordinator placement,
+# kill the busiest node once 360 iterations completed fleet-wide, and
+# assert every tenant still lands within 105% of its grant after
+# failover. Decision-latency and failover-time quantiles are merged into
+# BENCH_experiments.json alongside the single-daemon numbers.
+cluster-smoke:
+	$(GO) run -race ./cmd/loadgen -cluster -nodes 3 -tenants 12 -iters 60 \
+		-apps radar -platform Tablet -kill-at 360 -check 1.05 \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	@echo "cluster-smoke passed; failover quantiles merged into BENCH_experiments.json"
 
 # One scaled-down benchmark pass over every table/figure + ablations,
 # leaving a machine-readable timing snapshot in BENCH_experiments.json.

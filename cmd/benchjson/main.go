@@ -2,11 +2,18 @@
 // JSON timing snapshot on stdout, so `make bench` can leave a
 // machine-readable artefact (BENCH_experiments.json) that CI or a later
 // session can diff against.
+//
+// With -merge FILE, results from an existing snapshot are carried over:
+// entries parsed from stdin replace same-name entries in FILE, everything
+// else is kept. This lets separate smoke runs (e.g. the single-daemon and
+// the cluster loadgen passes) fold into one artefact without clobbering
+// each other.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -26,6 +33,9 @@ type Result struct {
 }
 
 func main() {
+	merge := flag.String("merge", "", "existing snapshot whose entries are kept unless replaced by a same-name result from stdin")
+	flag.Parse()
+
 	var results []Result
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -69,10 +79,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *merge != "" {
+		merged, err := mergeSnapshot(*merge, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		results = merged
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// mergeSnapshot keeps every entry of the snapshot at path whose name was
+// not re-measured on stdin, preserving file order, with fresh results
+// appended. A missing file is not an error: the first smoke run of a
+// clean checkout has nothing to merge with.
+func mergeSnapshot(path string, fresh []Result) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return fresh, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var old []Result
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	replaced := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		replaced[r.Name] = true
+	}
+	merged := make([]Result, 0, len(old)+len(fresh))
+	for _, r := range old {
+		if !replaced[r.Name] {
+			merged = append(merged, r)
+		}
+	}
+	return append(merged, fresh...), nil
 }

@@ -10,6 +10,19 @@
 // its durable state to -snapshot (JSONL), and exits; restarted with the
 // same -snapshot it restores every live session bit-identically and
 // clients resume through their retry layer.
+//
+// Fleet modes:
+//
+//   - -coordinator turns the process into the fleet coordinator instead
+//     of a governor daemon: it owns the fleet-wide budget (-budget),
+//     leases it to member daemons, places sessions, and fails them over
+//     when a node dies. Clients register at the coordinator and are
+//     redirected (HTTP 307) to the owning node.
+//   - -join <coordinator-url> runs a governor daemon as a fleet member:
+//     its budget comes from the coordinator's lease (the -budget flag is
+//     ignored), renewed by heartbeat; -node names it stably and
+//     -advertise is the base URL others reach it at (defaults to
+//     http://<addr>).
 package main
 
 import (
@@ -20,22 +33,34 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"jouleguard/internal/cluster"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":7077", "listen address for the session protocol and telemetry")
-	budget := flag.Float64("budget", 10000, "machine-wide energy budget to partition, joules")
+	budget := flag.Float64("budget", 10000, "machine-wide energy budget to partition, joules (fleet-wide with -coordinator)")
 	reserve := flag.Float64("reserve", 0, "broker commitment multiplier (<=1 selects the default 1.05)")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at start if present, written on shutdown")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "expire sessions with no wire activity for this long")
 	flight := flag.Int("flight", 4096, "decision flight-recorder capacity for /decisions")
 	drain := flag.Duration("drain", 10*time.Second, "max time to wait for in-flight iterations on shutdown")
+	coordinator := flag.Bool("coordinator", false, "run the fleet coordinator instead of a governor daemon")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "coordinator: lease term after which a silent node is expired")
+	join := flag.String("join", "", "member: coordinator base URL to join (enables fleet mode)")
+	node := flag.String("node", "", "member: stable node name (default the advertise address)")
+	advertise := flag.String("advertise", "", "member: base URL clients and the coordinator reach this daemon at (default http://<addr>)")
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *budget, *leaseTTL, *flight)
+		return
+	}
 
 	tel := telemetry.New(*flight)
 	srv, err := server.New(server.Config{
@@ -61,12 +86,46 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("jouleguardd on http://%s  budget %.0f J  (sessions: %s, telemetry: /metrics /healthz /decisions)\n",
-		ln.Addr(), *budget, "/v1/sessions")
+	handler := srv.Handler()
+	var member *cluster.Member
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		name := *node
+		if name == "" {
+			name = adv
+		}
+		member, err = cluster.NewMember(cluster.MemberConfig{
+			CoordinatorURL: strings.TrimRight(*join, "/"),
+			Node:           name,
+			Advertise:      adv,
+			Server:         srv,
+		})
+		if err != nil {
+			fail(err)
+		}
+		handler = member.Handler()
+	}
+	httpSrv := &http.Server{Handler: handler}
+	if member != nil {
+		fmt.Printf("jouleguardd member %q on http://%s  joining %s  (budget leased from the coordinator)\n",
+			*node, ln.Addr(), *join)
+	} else {
+		fmt.Printf("jouleguardd on http://%s  budget %.0f J  (sessions: %s, telemetry: /metrics /healthz /decisions)\n",
+			ln.Addr(), *budget, "/v1/sessions")
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	if member != nil {
+		// Join after the listener is up so the coordinator can push
+		// adoptions at us from the first heartbeat on.
+		if err := member.Run(); err != nil {
+			fail(fmt.Errorf("joining fleet at %s: %w", *join, err))
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -77,6 +136,9 @@ func main() {
 		fail(err)
 	}
 
+	if member != nil {
+		member.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -91,6 +153,43 @@ func main() {
 	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), time.Second)
 	defer cancel2()
 	_ = httpSrv.Shutdown(shutdownCtx)
+}
+
+// runCoordinator serves the fleet coordinator: cluster routes, the
+// register-redirect endpoint and the telemetry surface on one listener.
+func runCoordinator(addr string, fleetJ float64, ttl time.Duration, flight int) {
+	tel := telemetry.New(flight)
+	coord, err := cluster.New(cluster.Config{
+		FleetBudgetJ: fleetJ,
+		LeaseTTL:     ttl,
+		Telemetry:    tel,
+	})
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	fmt.Printf("jouleguard coordinator on http://%s  fleet budget %.0f J  lease TTL %v  (join: /v1/cluster/join)\n",
+		ln.Addr(), fleetJ, ttl)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down\n", s)
+	case err := <-errCh:
+		fail(err)
+	}
+	coord.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
 }
 
 func fail(err error) {

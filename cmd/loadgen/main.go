@@ -3,7 +3,7 @@
 // Next and Done round trips), throughput, and the aggregate
 // budget-guarantee error across concurrently governed sessions.
 //
-// Two modes:
+// Three modes:
 //
 //   - -addr points it at an external daemon;
 //   - -selfhost (the default when -addr is empty) runs the daemon
@@ -13,6 +13,14 @@
 //     once N iterations have completed across tenants — proving the
 //     guarantees survive a restart while clients ride through on their
 //     retry layer.
+//   - -cluster runs a fleet coordinator plus -nodes member daemons
+//     in-process, each on its own localhost listener, and registers
+//     every tenant through the coordinator. With -kill-at N one node is
+//     killed (listener closed, heartbeats stopped) once N iterations
+//     have completed fleet-wide: its lease expires, the coordinator
+//     escrows the unspent budget and fails its sessions over, and the
+//     clients ride through on their failover path. The run then reports
+//     failover latency quantiles alongside the usual decision latency.
 //
 // Latency results are printed to stdout in `go test -bench` format so
 // cmd/benchjson can fold them into BENCH_experiments.json; the
@@ -32,6 +40,8 @@ import (
 	"time"
 
 	"jouleguard"
+	"jouleguard/internal/client"
+	"jouleguard/internal/cluster"
 	"jouleguard/internal/load"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
@@ -48,6 +58,9 @@ func main() {
 	weighted := flag.Bool("weighted", false, "request weighted shares instead of factor-priced absolute budgets")
 	budget := flag.Float64("budget", 0, "selfhost: global budget in joules (0 = auto-size to fit the tenants)")
 	restartAt := flag.Int("restart-at", 0, "selfhost: drain+snapshot+restart the daemon once this many iterations completed across tenants (0 = never)")
+	clusterMode := flag.Bool("cluster", false, "run an in-process fleet (coordinator + -nodes member daemons) and register tenants through the coordinator")
+	nodes := flag.Int("nodes", 3, "cluster: member daemons in the fleet")
+	killAt := flag.Int("kill-at", 0, "cluster: kill one node once this many iterations completed fleet-wide (0 = never)")
 	check := flag.Float64("check", 0, "fail unless every tenant's spend <= this fraction of its grant (e.g. 1.05; 0 = report only)")
 	seed := flag.Int64("seed", 1, "base seed; tenant i runs with seed+i")
 	flag.Parse()
@@ -66,7 +79,34 @@ func main() {
 	}
 
 	var sh *selfhost
-	if *addr == "" {
+	var sc *selfcluster
+	prefix := "Serve"
+	if *clusterMode {
+		prefix = "Cluster"
+		fleetJ := *budget
+		if fleetJ <= 0 {
+			// Double the single-daemon sizing: failover permanently escrows
+			// the dead node's unspent lease (it never rejoins to reconcile),
+			// and the reassigned sessions are funded a second time from the
+			// coordinator's reserve.
+			fleetJ = autoBudget(cfg) * 2
+		}
+		var err error
+		sc, err = startSelfcluster(fleetJ, *nodes)
+		if err != nil {
+			fail(err)
+		}
+		cfg.CoordinatorURL = sc.baseURL()
+		// Failover-aware retries: exhaust fast enough that the client asks
+		// the coordinator for the new owner within the smoke-test window.
+		cfg.Retry = client.RetryPolicy{MaxAttempts: 6, BaseDelay: 30 * time.Millisecond, MaxDelay: 300 * time.Millisecond}
+		if *killAt > 0 {
+			cfg.KillAt = *killAt
+			cfg.Kill = sc.killOne
+		}
+		fmt.Fprintf(os.Stderr, "selfclustered fleet: coordinator on %s, %d nodes, fleet budget %.0f J\n",
+			cfg.CoordinatorURL, *nodes, fleetJ)
+	} else if *addr == "" {
 		globalJ := *budget
 		if globalJ <= 0 {
 			globalJ = autoBudget(cfg)
@@ -88,18 +128,29 @@ func main() {
 		}
 	}
 
-	rep, err := load.Run(cfg)
+	rep, err := load.Run(context.Background(), cfg)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, rep.Summary())
+	for _, tr := range rep.Tenants {
+		if tr.Err != nil {
+			fmt.Fprintf(os.Stderr, "tenant %s: %v\n", tr.Tenant, tr.Err)
+		}
+	}
 	if sh != nil {
 		if err := sh.verifyBroker(rep); err != nil {
 			fail(err)
 		}
 		sh.stop()
 	}
-	for _, line := range rep.BenchLines() {
+	if sc != nil {
+		if err := sc.verify(rep, *killAt); err != nil {
+			fail(err)
+		}
+		sc.stop()
+	}
+	for _, line := range rep.BenchLines(prefix) {
 		fmt.Println(line)
 	}
 	if *check > 0 {
@@ -270,6 +321,141 @@ func (sh *selfhost) stop() {
 	_ = sh.srv.Shutdown(ctx)
 	_ = sh.httpSrv.Close()
 	os.RemoveAll(filepath.Dir(sh.snap))
+}
+
+// selfcluster runs a fleet coordinator plus N member daemons in-process,
+// each on its own localhost listener with real heartbeat loops, so one
+// race-detector run covers coordinator, members, servers and clients
+// together.
+type selfcluster struct {
+	fleetJ  float64
+	coord   *cluster.Coordinator
+	httpSrv *http.Server
+	addr    string
+	nodes   []*clusterNode
+}
+
+type clusterNode struct {
+	name    string
+	member  *cluster.Member
+	httpSrv *http.Server
+	killed  bool
+}
+
+func startSelfcluster(fleetJ float64, n int) (*selfcluster, error) {
+	if n <= 0 {
+		n = 3
+	}
+	coord, err := cluster.New(cluster.Config{
+		FleetBudgetJ: fleetJ,
+		LeaseTTL:     800 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := &selfcluster{fleetJ: fleetJ, coord: coord}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sc.addr = ln.Addr().String()
+	sc.httpSrv = &http.Server{Handler: coord.Handler()}
+	go func(h *http.Server) { _ = h.Serve(ln) }(sc.httpSrv)
+
+	for i := 0; i < n; i++ {
+		// The 1 J placeholder budget is replaced by the first lease.
+		srv, err := server.New(server.Config{GlobalBudgetJ: 1})
+		if err != nil {
+			return nil, err
+		}
+		nln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		nd := &clusterNode{name: fmt.Sprintf("node%d", i)}
+		nd.member, err = cluster.NewMember(cluster.MemberConfig{
+			CoordinatorURL: sc.baseURL(),
+			Node:           nd.name,
+			Advertise:      "http://" + nln.Addr().String(),
+			Server:         srv,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nd.httpSrv = &http.Server{Handler: nd.member.Handler()}
+		go func(h *http.Server) { _ = h.Serve(nln) }(nd.httpSrv)
+		if err := nd.member.Run(); err != nil {
+			return nil, fmt.Errorf("node %s join: %w", nd.name, err)
+		}
+		sc.nodes = append(sc.nodes, nd)
+	}
+	return sc, nil
+}
+
+func (sc *selfcluster) baseURL() string { return "http://" + sc.addr }
+
+// killOne kills the live node owning the most active sessions: stop its
+// heartbeats (the lease is left to expire) and close its listener so
+// in-flight clients see the outage immediately.
+func (sc *selfcluster) killOne() {
+	info := sc.coord.Info(true)
+	owned := map[string]int{}
+	for _, s := range info.Sessions {
+		if !s.Complete {
+			owned[s.Node]++
+		}
+	}
+	var victim *clusterNode
+	for _, nd := range sc.nodes {
+		if nd.killed {
+			continue
+		}
+		if victim == nil || owned[nd.name] > owned[victim.name] {
+			victim = nd
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.killed = true
+	fmt.Fprintf(os.Stderr, "kill trigger: stopping %s (owns %d active sessions)\n",
+		victim.name, owned[victim.name])
+	victim.member.Stop()
+	_ = victim.httpSrv.Close()
+}
+
+// verify asserts the coordinator-side fleet invariant after the run.
+func (sc *selfcluster) verify(rep *load.Report, killAt int) error {
+	info := sc.coord.Info(false)
+	if info.InvariantViolations != 0 {
+		return fmt.Errorf("loadgen: %d fleet-ledger invariant violations", info.InvariantViolations)
+	}
+	if info.LeasedUnspentJ+info.ConsumedJ > info.FleetJ*1.0001 {
+		return fmt.Errorf("loadgen: fleet over-leased: unspent %.1f + consumed %.1f > budget %.1f",
+			info.LeasedUnspentJ, info.ConsumedJ, info.FleetJ)
+	}
+	if rep.TotalSpentJ > info.FleetJ {
+		return fmt.Errorf("loadgen: fleet spent %.1f J of a %.1f J budget", rep.TotalSpentJ, info.FleetJ)
+	}
+	if killAt > 0 && rep.Failovers == 0 {
+		return fmt.Errorf("loadgen: a node was killed mid-run but no client reported a failover")
+	}
+	fmt.Fprintf(os.Stderr, "fleet ledger: budget %.0f J, consumed %.1f J, unspent leases %.1f J, "+
+		"%d nodes live, %d reassignments; clients rode through %d failovers\n",
+		info.FleetJ, info.ConsumedJ, info.LeasedUnspentJ, info.NodesLive, info.Reassignments, rep.Failovers)
+	return nil
+}
+
+func (sc *selfcluster) stop() {
+	for _, nd := range sc.nodes {
+		if nd.killed {
+			continue
+		}
+		nd.member.Stop()
+		_ = nd.httpSrv.Close()
+	}
+	sc.coord.Stop()
+	_ = sc.httpSrv.Close()
 }
 
 func fail(err error) {

@@ -4,17 +4,21 @@
 // application ports from local to remote governance in a handful of
 // lines:
 //
-//	sess, _ := client.Open(client.Options{
+//	sess, _ := client.Open(ctx, client.Options{
 //		BaseURL: "http://localhost:7077", Tenant: "encoder",
 //		App: "x264", Platform: "Server", Iterations: 500, Factor: 2,
 //	}, readEnergyJ, nowSeconds)
-//	defer sess.Close()
+//	defer sess.Close(ctx)
 //	for i := 0; i < frames; i++ {
-//		appCfg, sysCfg, _ := sess.Next()
+//		appCfg, sysCfg, _ := sess.Next(ctx)
 //		applyConfigs(appCfg, sysCfg)
 //		encodeFrame(i)
-//		sess.Done(measuredAccuracy)
+//		sess.Done(ctx, measuredAccuracy)
 //	}
+//
+// Every call takes a context: cancellation aborts in-flight requests
+// and the retry/backoff loop alike, and Options.RequestTimeout bounds
+// each individual attempt.
 //
 // Transient transport failures and daemon restarts are absorbed by
 // capped exponential backoff (the actuation-retry pattern of
@@ -25,10 +29,20 @@
 // sequencing contract (wire.CodeBadSequence) tells the client exactly
 // which side of the bracket was lost, and the cumulative energy meter
 // lets the restored governor's sensing guard reconcile the gap.
+//
+// In a fleet (Options.CoordinatorURL + Options.Key), the client also
+// rides through node death: when the owning daemon becomes unreachable
+// or refuses its lease, the client asks the coordinator where the
+// session lives now, re-registers there (attaching by key to the
+// failed-over session), and catches the restored state up by replaying
+// its own record of completed iterations that the coordinator had not
+// yet acked — so the migrated governor resumes from exactly the
+// decision history the application experienced.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,7 +60,7 @@ type RetryPolicy struct {
 	MaxAttempts int                 // total attempts per call (default 8)
 	BaseDelay   time.Duration       // delay before the first retry (default 25ms)
 	MaxDelay    time.Duration       // backoff cap (default 1s)
-	Sleep       func(time.Duration) // injectable for tests (default time.Sleep)
+	Sleep       func(time.Duration) // injectable for tests (default: context-aware sleep)
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -59,16 +73,38 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = time.Second
 	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
-	}
 	return p
+}
+
+// sleep waits out one backoff delay, aborting early on cancellation.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Options configures a remote session; the registration fields mirror
 // wire.RegisterRequest.
 type Options struct {
 	BaseURL string // daemon address, e.g. "http://localhost:7077"
+
+	// CoordinatorURL points at the fleet coordinator. When set (with
+	// Key), Open asks the coordinator which node owns the session and
+	// registers there, and session calls fail over to the session's new
+	// owner when the current node dies. BaseURL may then be empty.
+	CoordinatorURL string
+	// Key is the stable cross-node session identity (required for
+	// coordinator placement and failover).
+	Key string
 
 	Tenant      string
 	Weight      float64
@@ -80,6 +116,15 @@ type Options struct {
 	MinAccuracy float64
 	Seed        int64
 	IdleTimeout time.Duration // server-side idle expiry override
+
+	// RequestTimeout bounds each individual attempt (0 = only the
+	// caller's context bounds it).
+	RequestTimeout time.Duration
+
+	// HistoryCap bounds the completed-iteration record kept for failover
+	// catch-up (default 4096; iterations past the window are replayed as
+	// estimated observations instead of exact ones).
+	HistoryCap int
 
 	HTTPClient *http.Client // default http.DefaultClient
 	Retry      RetryPolicy
@@ -97,14 +142,34 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("client: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
 }
 
+// errExhausted marks a call that burned its whole retry budget; in a
+// fleet that is the cue to ask the coordinator for the session's new
+// home.
+var errExhausted = errors.New("client: retries exhausted")
+
+// iterHist is the client's own record of one completed iteration — the
+// raw observations it reported. It is what failover catch-up replays,
+// which is why the restored governor's state is bit-identical: the new
+// node sees exactly the samples the old one did.
+type iterHist struct {
+	nextNow   float64
+	doneNow   float64
+	energyJ   float64
+	energyErr bool
+	accuracy  float64
+}
+
 // Session is a remote-governed control loop. Not safe for concurrent
 // use — like the OnlineController it mirrors, one Session belongs to
 // one control loop.
 type Session struct {
 	id         string
 	base       string
+	coord      string
+	reg        wire.RegisterRequest
 	httpc      *http.Client
 	retry      RetryPolicy
+	timeout    time.Duration
 	readEnergy func() (float64, error)
 	now        func() float64
 
@@ -114,17 +179,27 @@ type Session struct {
 	sysConfigs int
 
 	armed    bool
+	armedNow float64
 	lastDone wire.DoneResponse
 	closed   bool
+
+	hist     []iterHist // completed iterations [histBase, histBase+len)
+	histBase int
+	histCap  int
+
+	failovers int
 }
 
 // Open registers a session with the daemon. readEnergy returns the
 // application's cumulative joule counter; now returns seconds on a
 // monotone clock — the same instruments NewOnline takes, measured
 // client-side so network latency never pollutes the intervals.
-func Open(opts Options, readEnergy func() (float64, error), now func() float64) (*Session, error) {
-	if opts.BaseURL == "" {
-		return nil, fmt.Errorf("client: empty BaseURL")
+func Open(ctx context.Context, opts Options, readEnergy func() (float64, error), now func() float64) (*Session, error) {
+	if opts.BaseURL == "" && opts.CoordinatorURL == "" {
+		return nil, fmt.Errorf("client: need BaseURL or CoordinatorURL")
+	}
+	if opts.CoordinatorURL != "" && opts.Key == "" {
+		return nil, fmt.Errorf("client: coordinator placement requires a session Key")
 	}
 	if readEnergy == nil || now == nil {
 		return nil, fmt.Errorf("client: nil energy reader or clock")
@@ -133,15 +208,23 @@ func Open(opts Options, readEnergy func() (float64, error), now func() float64) 
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
+	histCap := opts.HistoryCap
+	if histCap <= 0 {
+		histCap = 4096
+	}
 	s := &Session{
 		base:       strings.TrimRight(opts.BaseURL, "/"),
+		coord:      strings.TrimRight(opts.CoordinatorURL, "/"),
 		httpc:      httpc,
 		retry:      opts.Retry.withDefaults(),
+		timeout:    opts.RequestTimeout,
 		readEnergy: readEnergy,
 		now:        now,
+		histCap:    histCap,
 	}
-	req := wire.RegisterRequest{
+	s.reg = wire.RegisterRequest{
 		Tenant:       opts.Tenant,
+		Key:          opts.Key,
 		Weight:       opts.Weight,
 		App:          opts.App,
 		Platform:     opts.Platform,
@@ -152,8 +235,15 @@ func Open(opts Options, readEnergy func() (float64, error), now func() float64) 
 		Seed:         opts.Seed,
 		IdleTimeoutS: opts.IdleTimeout.Seconds(),
 	}
+	if s.coord != "" {
+		place, err := s.place(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.base = place.Addr
+	}
 	var resp wire.RegisterResponse
-	if err := s.call("POST", wire.BasePath, req, &resp); err != nil {
+	if err := s.call(ctx, "POST", wire.BasePath, s.reg, &resp); err != nil {
 		return nil, err
 	}
 	s.id = resp.SessionID
@@ -180,31 +270,43 @@ func (s *Session) Configs() (app, sys int) { return s.appConfigs, s.sysConfigs }
 // LastStatus returns the ledger view from the most recent Done.
 func (s *Session) LastStatus() wire.DoneResponse { return s.lastDone }
 
+// Failovers reports how many times this session migrated to a new node.
+func (s *Session) Failovers() int { return s.failovers }
+
 // Next fetches the configurations for the upcoming iteration and starts
 // its interval on the local clock. If the previous iteration's Done was
 // lost to a daemon restart, Next transparently re-brackets: the daemon's
 // bad-sequence reply is resolved by reporting the lost iteration as an
 // estimated observation first.
-func (s *Session) Next() (appCfg, sysCfg int, err error) {
+func (s *Session) Next(ctx context.Context) (appCfg, sysCfg int, err error) {
 	if s.closed {
 		return 0, 0, fmt.Errorf("client: session %s is closed", s.id)
 	}
+	nowS := s.now()
 	var resp wire.NextResponse
-	err = s.call("POST", s.path("next"), wire.NextRequest{NowS: s.now()}, &resp)
+	err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
+	if s.shouldFailover(err) {
+		if ferr := s.failover(ctx); ferr != nil {
+			return 0, 0, errors.Join(err, ferr)
+		}
+		err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
+	}
 	if IsCode(err, wire.CodeBadSequence) && !s.armed {
 		// The daemon believes an iteration is armed but we never issued
 		// one it remembers — a retried Next whose first reply was lost.
 		// Settle the phantom bracket with an estimated sample, then ask
 		// again.
-		if derr := s.reportDone(1, true); derr != nil {
+		if derr := s.reportDone(ctx, 1, true); derr != nil {
 			return 0, 0, fmt.Errorf("client: recovering lost Next reply: %w", derr)
 		}
-		err = s.call("POST", s.path("next"), wire.NextRequest{NowS: s.now()}, &resp)
+		nowS = s.now()
+		err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
 	}
 	if err != nil {
 		return 0, 0, err
 	}
 	s.armed = true
+	s.armedNow = nowS
 	return resp.AppConfig, resp.SysConfig, nil
 }
 
@@ -213,20 +315,29 @@ func (s *Session) Next() (appCfg, sysCfg int, err error) {
 // restarted and lost the bracket, Done re-brackets the iteration
 // (Next then Done) so the work — and its energy, reconciled through the
 // cumulative counter — is still accounted.
-func (s *Session) Done(accuracy float64) error {
+func (s *Session) Done(ctx context.Context, accuracy float64) error {
 	if s.closed {
 		return fmt.Errorf("client: session %s is closed", s.id)
 	}
-	err := s.reportDone(accuracy, false)
+	err := s.reportDone(ctx, accuracy, false)
+	if s.shouldFailover(err) {
+		if ferr := s.failover(ctx); ferr != nil {
+			return errors.Join(err, ferr)
+		}
+		err = s.reportDone(ctx, accuracy, false)
+	}
 	if IsCode(err, wire.CodeBadSequence) {
-		// The daemon lost our Next to a restart: its restored state sits
-		// at the last completed iteration. Re-bracket: issue Next (we
-		// discard the decision — the work already ran) and report again.
+		// The daemon lost our Next to a restart or migration: its
+		// restored state sits at the last completed iteration.
+		// Re-bracket: issue Next (we discard the decision — the work
+		// already ran) and report again.
 		var nresp wire.NextResponse
-		if nerr := s.call("POST", s.path("next"), wire.NextRequest{NowS: s.now()}, &nresp); nerr != nil {
+		nowS := s.now()
+		if nerr := s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &nresp); nerr != nil {
 			return fmt.Errorf("client: re-bracketing after daemon restart: %w", nerr)
 		}
-		err = s.reportDone(accuracy, false)
+		s.armedNow = nowS
+		err = s.reportDone(ctx, accuracy, false)
 	}
 	if err != nil {
 		return err
@@ -238,7 +349,7 @@ func (s *Session) Done(accuracy float64) error {
 // reportDone sends one Done sample. estimated forces the energy-error
 // flag so the daemon treats the sample as a model-based estimate (used
 // when settling a phantom bracket whose work we cannot attribute).
-func (s *Session) reportDone(accuracy float64, estimated bool) error {
+func (s *Session) reportDone(ctx context.Context, accuracy float64, estimated bool) error {
 	energy, eerr := s.readEnergy()
 	req := wire.DoneRequest{
 		NowS:      s.now(),
@@ -247,30 +358,44 @@ func (s *Session) reportDone(accuracy float64, estimated bool) error {
 		Accuracy:  accuracy,
 	}
 	var resp wire.DoneResponse
-	if err := s.call("POST", s.path("done"), req, &resp); err != nil {
+	if err := s.call(ctx, "POST", s.path("done"), req, &resp); err != nil {
 		return err
 	}
 	s.lastDone = resp
+	s.record(iterHist{
+		nextNow: s.armedNow, doneNow: req.NowS,
+		energyJ: req.EnergyJ, energyErr: req.EnergyErr, accuracy: req.Accuracy,
+	})
 	return nil
+}
+
+// record appends one completed iteration to the failover history,
+// sliding the window when it outgrows the cap.
+func (s *Session) record(h iterHist) {
+	s.hist = append(s.hist, h)
+	if over := len(s.hist) - s.histCap; over > 0 {
+		s.hist = append(s.hist[:0], s.hist[over:]...)
+		s.histBase += over
+	}
 }
 
 // Info fetches the daemon's introspection view of this session,
 // including the governor's learned per-arm estimates.
-func (s *Session) Info() (wire.SessionInfo, error) {
+func (s *Session) Info(ctx context.Context) (wire.SessionInfo, error) {
 	var info wire.SessionInfo
-	err := s.call("GET", s.path(""), nil, &info)
+	err := s.call(ctx, "GET", s.path(""), nil, &info)
 	return info, err
 }
 
 // Close tears the session down, releasing its budget grant to the
 // broker. Closing twice is an error (the daemon reports the session
 // gone).
-func (s *Session) Close() error {
+func (s *Session) Close(ctx context.Context) error {
 	if s.closed {
 		return nil
 	}
 	var resp wire.CloseResponse
-	if err := s.call("DELETE", s.path(""), nil, &resp); err != nil {
+	if err := s.call(ctx, "DELETE", s.path(""), nil, &resp); err != nil {
 		return err
 	}
 	s.closed = true
@@ -286,6 +411,127 @@ func (s *Session) path(op string) string {
 	return p
 }
 
+// ---------------------------------------------------------------------
+// Fleet failover.
+
+// shouldFailover decides whether an error means "this node no longer
+// serves the session" rather than "this call failed".
+func (s *Session) shouldFailover(err error) bool {
+	if err == nil || s.coord == "" || s.reg.Key == "" {
+		return false
+	}
+	return errors.Is(err, errExhausted) ||
+		IsCode(err, wire.CodeUnknownSession) ||
+		IsCode(err, wire.CodeLeaseExpired) ||
+		IsCode(err, wire.CodeNotOwner)
+}
+
+// place asks the coordinator where the session lives. The call retries
+// through the no_nodes window while a failover is still restoring the
+// session on its new owner.
+func (s *Session) place(ctx context.Context) (wire.PlacementResponse, error) {
+	var place wire.PlacementResponse
+	err := s.callTo(ctx, s.coord, "GET", wire.ClusterBasePath+"/sessions/"+s.reg.Key, nil, &place)
+	return place, err
+}
+
+// failover migrates the client to the session's new owner: re-place via
+// the coordinator, re-register there (attaching by key to the restored
+// session), then replay from local history whatever completed
+// iterations the restored state is missing. After it returns, the new
+// node's governor has seen every sample the application produced, in
+// order — the same state an uninterrupted run would hold.
+//
+// The coordinator only expires a dead owner after its lease TTL, so the
+// first placements may still point at the corpse (or answer no_nodes
+// while the reassignment is in flight); the loop re-places with backoff
+// until a live owner takes the session.
+func (s *Session) failover(ctx context.Context) error {
+	p := s.retry
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := p.sleep(ctx, delay); err != nil {
+				return err
+			}
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		err := s.failoverOnce(ctx)
+		if err == nil {
+			s.failovers++
+			return nil
+		}
+		if !retryableFailover(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: failover of %q did not converge after %d rounds: %w",
+		s.reg.Key, p.MaxAttempts, lastErr)
+}
+
+// retryableFailover reports whether a failover round failed for a
+// reason that resolves itself once the coordinator finishes expiring
+// the old owner and restoring the session elsewhere.
+func retryableFailover(err error) bool {
+	return errors.Is(err, errExhausted) ||
+		IsCode(err, wire.CodeNoNodes) ||
+		IsCode(err, wire.CodeNotOwner) ||
+		IsCode(err, wire.CodeLeaseExpired) ||
+		IsCode(err, wire.CodeUnknownSession)
+}
+
+func (s *Session) failoverOnce(ctx context.Context) error {
+	place, err := s.place(ctx)
+	if err != nil {
+		return fmt.Errorf("client: failover placement for %q: %w", s.reg.Key, err)
+	}
+	s.base = strings.TrimRight(place.Addr, "/")
+	var resp wire.RegisterResponse
+	if err := s.call(ctx, "POST", wire.BasePath, s.reg, &resp); err != nil {
+		return fmt.Errorf("client: failover re-register on %s: %w", place.Node, err)
+	}
+	s.id = resp.SessionID
+
+	// Catch up: the restored session sits at resp.IterationsDone; we
+	// completed histBase+len(hist). Replay the gap from our own record —
+	// exact samples where the window still holds them, estimated
+	// observations beyond it.
+	completed := s.histBase + len(s.hist)
+	for i := resp.IterationsDone; i < completed; i++ {
+		var req wire.DoneRequest
+		nextNow := s.now()
+		if i >= s.histBase {
+			h := s.hist[i-s.histBase]
+			nextNow = h.nextNow
+			req = wire.DoneRequest{NowS: h.doneNow, EnergyJ: h.energyJ, EnergyErr: h.energyErr, Accuracy: h.accuracy}
+		} else {
+			energy, eerr := s.readEnergy()
+			req = wire.DoneRequest{NowS: s.now(), EnergyJ: energy, EnergyErr: eerr != nil, Accuracy: 1}
+			req.EnergyErr = true
+		}
+		var nresp wire.NextResponse
+		if err := s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nextNow}, &nresp); err != nil {
+			// bad_sequence: an earlier, interrupted catch-up round already
+			// armed this bracket — proceed straight to its Done.
+			if !IsCode(err, wire.CodeBadSequence) {
+				return fmt.Errorf("client: catch-up next %d: %w", i, err)
+			}
+		}
+		var dresp wire.DoneResponse
+		if err := s.call(ctx, "POST", s.path("done"), req, &dresp); err != nil {
+			return fmt.Errorf("client: catch-up done %d: %w", i, err)
+		}
+		s.lastDone = dresp
+	}
+	s.armed = false
+	return nil
+}
+
 // IsCode reports whether err is (or wraps) a protocol Error with the
 // given wire code.
 func IsCode(err error, code string) bool {
@@ -296,10 +542,16 @@ func IsCode(err error, code string) bool {
 	return errors.As(err, &e) && e.Code == code
 }
 
-// call performs one wire call with retry/backoff. Transport failures,
+// call performs one wire call against the session's current node.
+func (s *Session) call(ctx context.Context, method, path string, body, out any) error {
+	return s.callTo(ctx, s.base, method, path, body, out)
+}
+
+// callTo performs one wire call with retry/backoff. Transport failures,
 // 5xx replies and the draining code are retried with capped exponential
-// backoff; protocol errors return immediately as *Error.
-func (s *Session) call(method, path string, body, out any) error {
+// backoff; protocol errors return immediately as *Error. Cancelling ctx
+// aborts both in-flight requests and the backoff sleeps.
+func (s *Session) callTo(ctx context.Context, base, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -313,35 +565,31 @@ func (s *Session) call(method, path string, body, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			p.Sleep(delay)
+			if err := p.sleep(ctx, delay); err != nil {
+				return err
+			}
 			delay *= 2
 			if delay > p.MaxDelay {
 				delay = p.MaxDelay
 			}
 		}
-		var rd io.Reader
-		if payload != nil {
-			rd = bytes.NewReader(payload)
-		}
-		req, err := http.NewRequest(method, s.base+path, rd)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if payload != nil {
-			req.Header.Set("Content-Type", "application/json")
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if s.timeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, s.timeout)
 		}
-		resp, err := s.httpc.Do(req)
+		status, raw, err := s.do(attemptCtx, base, method, path, payload)
+		cancel()
 		if err != nil {
-			lastErr = err // connection refused mid-restart, reset, ...
+			if ctx.Err() != nil {
+				return ctx.Err() // cancelled mid-request: stop, do not retry
+			}
+			lastErr = err // connection refused mid-restart, reset, timeout, ...
 			continue
 		}
-		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if status >= 200 && status < 300 {
 			if out == nil {
 				return nil
 			}
@@ -351,12 +599,37 @@ func (s *Session) call(method, path string, body, out any) error {
 		if uerr := json.Unmarshal(raw, &werr); uerr != nil || werr.Code == "" {
 			werr = wire.ErrorResponse{Code: wire.CodeBadRequest, Error: strings.TrimSpace(string(raw))}
 		}
-		perr := &Error{Code: werr.Code, Message: werr.Error, Status: resp.StatusCode}
-		if resp.StatusCode >= 500 || werr.Code == wire.CodeDraining {
+		perr := &Error{Code: werr.Code, Message: werr.Error, Status: status}
+		if status >= 500 || werr.Code == wire.CodeDraining {
 			lastErr = perr // the daemon is restarting or unwell: retry
 			continue
 		}
 		return perr
 	}
-	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, p.MaxAttempts, lastErr)
+	return fmt.Errorf("%w: %s %s after %d attempts: %w", errExhausted, method, base+path, p.MaxAttempts, lastErr)
+}
+
+// do performs a single HTTP attempt.
+func (s *Session) do(ctx context.Context, base, method, path string, payload []byte) (int, []byte, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := s.httpc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
 }

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -60,12 +61,13 @@ func newDaemon(t *testing.T, globalJ float64) *server.Server {
 // TestClientSessionLoop drives a whole workload through the client
 // library against a real daemon over HTTP.
 func TestClientSessionLoop(t *testing.T) {
+	ctx := context.Background()
 	srv := newDaemon(t, 10000)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	m := newMachine(t)
-	sess, err := client.Open(client.Options{
+	sess, err := client.Open(ctx, client.Options{
 		BaseURL: ts.URL, Tenant: "t1", App: "radar", Platform: "Tablet",
 		Iterations: 30, Factor: 2, Seed: 3,
 	}, m.readEnergy, m.readNow)
@@ -76,28 +78,28 @@ func TestClientSessionLoop(t *testing.T) {
 		t.Fatalf("session %q grant %.1f", sess.ID(), sess.GrantJ())
 	}
 	for i := 0; i < 30; i++ {
-		appCfg, sysCfg, err := sess.Next()
+		appCfg, sysCfg, err := sess.Next(ctx)
 		if err != nil {
 			t.Fatalf("next %d: %v", i, err)
 		}
-		if err := sess.Done(m.step(appCfg, sysCfg, i)); err != nil {
+		if err := sess.Done(ctx, m.step(appCfg, sysCfg, i)); err != nil {
 			t.Fatalf("done %d: %v", i, err)
 		}
 	}
 	if st := sess.LastStatus(); !st.Complete || st.IterationsDone != 30 {
 		t.Fatalf("final status %+v", st)
 	}
-	info, err := sess.Info()
+	info, err := sess.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.State != "complete" || len(info.Estimates) == 0 {
 		t.Fatalf("info %+v", info)
 	}
-	if err := sess.Close(); err != nil {
+	if err := sess.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Close(); err != nil { // idempotent client-side
+	if err := sess.Close(ctx); err != nil { // idempotent client-side
 		t.Fatalf("second close: %v", err)
 	}
 }
@@ -106,6 +108,7 @@ func TestClientSessionLoop(t *testing.T) {
 // draining replies are retried with exponential delays; protocol errors
 // are not retried.
 func TestClientRetriesTransientFailures(t *testing.T) {
+	ctx := context.Background()
 	srv := newDaemon(t, 10000)
 	inner := srv.Handler()
 	var fail atomic.Int32 // fail the next N requests with 503 draining
@@ -137,7 +140,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 
 	m := newMachine(t)
 	fail.Store(2) // registration itself must survive two outages
-	sess, err := client.Open(client.Options{
+	sess, err := client.Open(ctx, client.Options{
 		BaseURL: ts.URL, App: "radar", Platform: "Tablet",
 		Iterations: 5, BudgetJ: 10, Retry: retry,
 	}, m.readEnergy, m.readNow)
@@ -152,20 +155,20 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 
 	// Exhausting the attempts surfaces the last transient error.
 	fail.Store(100)
-	if _, _, err := sess.Next(); err == nil || !strings.Contains(err.Error(), "failed after 5 attempts") {
+	if _, _, err := sess.Next(ctx); err == nil || !strings.Contains(err.Error(), "after 5 attempts") {
 		t.Fatalf("expected retries-exhausted error, got %v", err)
 	}
 	fail.Store(0)
 
 	// Protocol errors do not retry: closing twice server-side is Gone
 	// immediately (one request, no sleeps).
-	if err := sess.Close(); err != nil {
+	if err := sess.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
 	before := len(delays)
 	mu.Unlock()
-	_, err = client.Open(client.Options{
+	_, err = client.Open(ctx, client.Options{
 		BaseURL: ts.URL, App: "radar", Platform: "Tablet",
 		Iterations: 5, BudgetJ: 1e9, Retry: retry,
 	}, m.readEnergy, m.readNow)
@@ -183,6 +186,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 // dies with an iteration armed, a restored daemon comes back at the last
 // completed iteration, and the client's Done re-brackets transparently.
 func TestClientRidesThroughRestart(t *testing.T) {
+	ctx := context.Background()
 	srv1 := newDaemon(t, 10000)
 	var handler atomic.Value
 	handler.Store(srv1.Handler())
@@ -192,7 +196,7 @@ func TestClientRidesThroughRestart(t *testing.T) {
 	defer ts.Close()
 
 	m := newMachine(t)
-	sess, err := client.Open(client.Options{
+	sess, err := client.Open(ctx, client.Options{
 		BaseURL: ts.URL, App: "radar", Platform: "Tablet",
 		Iterations: 20, Factor: 2, Seed: 5,
 		Retry: client.RetryPolicy{BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}},
@@ -201,17 +205,17 @@ func TestClientRidesThroughRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		appCfg, sysCfg, err := sess.Next()
+		appCfg, sysCfg, err := sess.Next(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sess.Done(m.step(appCfg, sysCfg, i)); err != nil {
+		if err := sess.Done(ctx, m.step(appCfg, sysCfg, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	// Arm iteration 10, then kill the daemon before Done reaches it.
-	appCfg, sysCfg, err := sess.Next()
+	appCfg, sysCfg, err := sess.Next(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +233,7 @@ func TestClientRidesThroughRestart(t *testing.T) {
 
 	// Done hits the restored daemon, which sits at iteration 10 with no
 	// armed bracket: the client re-brackets and the work is accounted.
-	if err := sess.Done(acc); err != nil {
+	if err := sess.Done(ctx, acc); err != nil {
 		t.Fatalf("done across restart: %v", err)
 	}
 	if st := sess.LastStatus(); st.IterationsDone != 11 {
@@ -238,21 +242,56 @@ func TestClientRidesThroughRestart(t *testing.T) {
 
 	// The rest of the workload runs to completion on the new daemon.
 	for i := 11; i < 20; i++ {
-		appCfg, sysCfg, err := sess.Next()
+		appCfg, sysCfg, err := sess.Next(ctx)
 		if err != nil {
 			t.Fatalf("next %d after restart: %v", i, err)
 		}
-		if err := sess.Done(m.step(appCfg, sysCfg, i)); err != nil {
+		if err := sess.Done(ctx, m.step(appCfg, sysCfg, i)); err != nil {
 			t.Fatalf("done %d after restart: %v", i, err)
 		}
 	}
 	if st := sess.LastStatus(); !st.Complete {
 		t.Fatalf("workload incomplete after restart: %+v", st)
 	}
-	if err := sess.Close(); err != nil {
+	if err := sess.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if wire.Version != "v1" {
 		t.Fatal("wire version drifted")
+	}
+}
+
+// TestClientContextCancelsBackoff pins the context contract: a caller
+// cancelling mid-retry gets control back immediately — the backoff
+// sleep and any in-flight request are abandoned, not ridden out.
+func TestClientContextCancelsBackoff(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"code":"draining","error":"down"}`))
+	}))
+	defer down.Close()
+
+	m := newMachine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := client.Open(ctx, client.Options{
+		BaseURL: down.URL, App: "radar", Platform: "Tablet",
+		Iterations: 5, Factor: 2,
+		// Delays so long that only cancellation can end the call quickly.
+		Retry: client.RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Second, MaxDelay: time.Minute},
+	}, m.readEnergy, m.readNow)
+	if err == nil {
+		t.Fatal("open against a permanently draining daemon succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("cancellation took %v — backoff was not interrupted", waited)
 	}
 }

@@ -1,0 +1,716 @@
+// Package cluster is the fleet coordinator and the node-side member
+// agent: JouleGuard's energy guarantee (Sec. 3, Eq. 6) lifted from one
+// machine to a fleet of governor daemons sharing one global budget.
+//
+// The coordinator owns the fleet budget and delegates it through
+// expiring leases: each member daemon joins, receives a cumulative
+// budget lease that feeds its local broker, and renews the lease by
+// heartbeat, reporting its cumulative consumption. A node that stops
+// heartbeating is expired: its unspent lease is booked as consumed
+// (pessimistically — the partitioned node may still be spending it, up
+// to exactly that amount, before its own fence trips), and its sessions
+// are restored on surviving nodes by replaying the iteration logs the
+// dead node shipped in its heartbeats. A node that rejoins reconciles:
+// it reports its true cumulative spend and the coordinator refunds the
+// over-booked escrow. The safety invariant, re-checked after every
+// ledger mutation and pinned by the lease-safety tests:
+//
+//	sum(live nodes' unspent leases) + consumed (incl. escrow) <= fleet budget
+//
+// Because a node can spend at most its unspent lease before fencing,
+// the fleet's physical energy draw can never exceed the budget — under
+// crashes, partitions, rejoins and failover alike.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// Config tunes a Coordinator. FleetBudgetJ is required.
+type Config struct {
+	// FleetBudgetJ is the fleet-wide energy budget delegated via leases.
+	FleetBudgetJ float64
+	// ReserveFrac is the slice of the pool withheld from steady-state
+	// leasing so failover adoptions can always be funded (default 0.10).
+	ReserveFrac float64
+	// LeaseTTL is the lease term: a node that has not heartbeat within
+	// it is expired (default 3s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the renewal cadence suggested to nodes
+	// (default LeaseTTL/4).
+	HeartbeatEvery time.Duration
+	// InitialLeaseJ seeds a joining node's lease (default a 1/8 share of
+	// the leasable pool).
+	InitialLeaseJ float64
+	// SweepInterval paces the expiry watchdog (default LeaseTTL/4; < 0
+	// disables the goroutine — tests call Sweep directly).
+	SweepInterval time.Duration
+	// Telemetry is the shared observability sink (nil builds a private
+	// one).
+	Telemetry *telemetry.Telemetry
+	// Clock is injectable for tests (nil = time.Now).
+	Clock func() time.Time
+	// HTTPClient performs the coordinator->node adoption pushes.
+	HTTPClient *http.Client
+}
+
+// node is the coordinator's ledger record for one member.
+type node struct {
+	id    string
+	addr  string
+	epoch int64
+	// leaseJ is the cumulative budget granted; ackedJ the cumulative
+	// consumption acknowledged. unspent = leaseJ - ackedJ is what the
+	// node may still spend.
+	leaseJ  float64
+	ackedJ  float64
+	targetJ float64 // unspent level heartbeat top-ups restore
+	// escrowJ is the unspent lease booked as consumed when the lease
+	// expired, awaiting reconciliation if the node rejoins.
+	escrowJ  float64
+	lastBeat time.Time
+	live     bool
+}
+
+func (n *node) unspent() float64 {
+	if !n.live {
+		return 0
+	}
+	return n.leaseJ - n.ackedJ
+}
+
+// sessRec is the coordinator's copy of one session: the registration
+// and acked iteration log are exactly what failover needs to rebuild it
+// on a surviving node by replay.
+type sessRec struct {
+	key    string
+	id     string // owner-local session id
+	node   string // owner node id ("" while awaiting a node)
+	placed bool   // a node has reported it (reg/grant are authoritative)
+	reg    wire.RegisterRequest
+	grantJ float64
+	spentJ float64
+	done   int
+	comp   bool
+	log    []wire.IterRec
+}
+
+// Coordinator owns the fleet energy budget and the session placement
+// map. All state is in memory; nodes are the durable replicas (their
+// heartbeats rebuild placement, and node-local snapshots survive node
+// restarts).
+type Coordinator struct {
+	cfg   Config
+	tel   *telemetry.Telemetry
+	clock func() time.Time
+	httpc *http.Client
+
+	mu         sync.Mutex
+	nodes      map[string]*node
+	sessions   map[string]*sessRec // by key
+	byID       map[string]*sessRec // by owner-local id
+	consumedJ  float64             // booked consumption incl. escrow
+	epochCtr   int64
+	violations int
+	reassigned int
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+
+	gNodes, gUnspent, gConsumed, gPool           *telemetry.Gauge
+	cBeats, cExpiries, cReassign, cPlaced, cViol *telemetry.Counter
+	fidelity                                     map[string]*telemetry.Gauge
+}
+
+// New builds a Coordinator and starts its expiry watchdog (unless
+// disabled).
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.FleetBudgetJ <= 0 {
+		return nil, fmt.Errorf("cluster: fleet budget %v must be positive", cfg.FleetBudgetJ)
+	}
+	if cfg.ReserveFrac <= 0 || cfg.ReserveFrac >= 1 {
+		cfg.ReserveFrac = 0.10
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 3 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.InitialLeaseJ <= 0 {
+		cfg.InitialLeaseJ = cfg.FleetBudgetJ * (1 - cfg.ReserveFrac) / 8
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = cfg.LeaseTTL / 4
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New(0)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 5 * time.Second}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		tel:      tel,
+		clock:    clock,
+		httpc:    httpc,
+		nodes:    map[string]*node{},
+		sessions: map[string]*sessRec{},
+		byID:     map[string]*sessRec{},
+		fidelity: map[string]*telemetry.Gauge{},
+
+		gNodes:    tel.Registry.Gauge("jouleguard_cluster_nodes_live", "Member daemons holding a live lease."),
+		gUnspent:  tel.Registry.Gauge("jouleguard_cluster_leases_unspent_joules", "Sum of live nodes' unspent budget leases."),
+		gConsumed: tel.Registry.Gauge("jouleguard_cluster_consumed_joules", "Booked fleet consumption, incl. pessimistic escrow."),
+		gPool:     tel.Registry.Gauge("jouleguard_cluster_pool_joules", "Unleased remainder of the fleet budget."),
+		cBeats:    tel.Registry.Counter("jouleguard_cluster_heartbeats_total", "Lease renewals processed."),
+		cExpiries: tel.Registry.Counter("jouleguard_cluster_lease_expiries_total", "Leases reclaimed from silent nodes."),
+		cReassign: tel.Registry.Counter("jouleguard_cluster_reassignments_total", "Sessions moved to a new owner node."),
+		cPlaced:   tel.Registry.Counter("jouleguard_cluster_sessions_placed_total", "Sessions placed onto nodes."),
+		cViol:     tel.Registry.Counter("jouleguard_cluster_invariant_violations_total", "Failed fleet-ledger self-checks (should stay 0)."),
+	}
+	tel.Registry.Gauge("jouleguard_cluster_fleet_joules", "Fleet-wide energy budget.").Set(cfg.FleetBudgetJ)
+	if cfg.SweepInterval > 0 {
+		c.stopSweep = make(chan struct{})
+		c.sweepDone = make(chan struct{})
+		go c.sweepLoop()
+	}
+	return c, nil
+}
+
+// Telemetry returns the sink the coordinator reports into.
+func (c *Coordinator) Telemetry() *telemetry.Telemetry { return c.tel }
+
+// Stop halts the expiry watchdog.
+func (c *Coordinator) Stop() {
+	if c.stopSweep != nil {
+		close(c.stopSweep)
+		<-c.sweepDone
+		c.stopSweep = nil
+	}
+}
+
+func (c *Coordinator) sweepLoop() {
+	defer close(c.sweepDone)
+	t := time.NewTicker(c.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Sweep()
+		case <-c.stopSweep:
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ledger arithmetic. Callers hold c.mu.
+
+func (c *Coordinator) unspentLocked() float64 {
+	total := 0.0
+	for _, n := range c.nodes {
+		total += n.unspent()
+	}
+	return total
+}
+
+// poolLocked is the unleased remainder of the fleet budget.
+func (c *Coordinator) poolLocked() float64 {
+	return c.cfg.FleetBudgetJ - c.consumedJ - c.unspentLocked()
+}
+
+// reserveJ is the failover reserve withheld from steady-state leasing.
+func (c *Coordinator) reserveJ() float64 {
+	return c.cfg.FleetBudgetJ * c.cfg.ReserveFrac
+}
+
+// checkLocked asserts the safety invariant after a ledger mutation.
+func (c *Coordinator) checkLocked(op string) {
+	const eps = 1e-6
+	if c.unspentLocked()+c.consumedJ > c.cfg.FleetBudgetJ+eps || c.consumedJ < -eps {
+		c.violations++
+		c.cViol.Inc()
+	}
+	c.publishLocked()
+	_ = op
+}
+
+func (c *Coordinator) publishLocked() {
+	live := 0
+	for _, n := range c.nodes {
+		if n.live {
+			live++
+			if g := c.fidelity[n.id]; g != nil && n.leaseJ > 0 {
+				g.Set(n.ackedJ / n.leaseJ)
+			}
+		}
+	}
+	c.gNodes.Set(float64(live))
+	c.gUnspent.Set(c.unspentLocked())
+	c.gConsumed.Set(c.consumedJ)
+	c.gPool.Set(c.poolLocked())
+}
+
+// grantLocked moves up to wantJ from the pool onto n's lease; reserved
+// budget is withheld unless dipReserve (failover adoptions may use it).
+func (c *Coordinator) grantLocked(n *node, wantJ float64, dipReserve bool) float64 {
+	if wantJ <= 0 || !n.live {
+		return 0
+	}
+	avail := c.poolLocked()
+	if !dipReserve {
+		avail -= c.reserveJ()
+	}
+	if avail <= 0 {
+		return 0
+	}
+	g := wantJ
+	if g > avail {
+		g = avail
+	}
+	n.leaseJ += g
+	return g
+}
+
+// bookLocked acknowledges a node's cumulative consumption.
+func (c *Coordinator) bookLocked(n *node, consumedJ float64) {
+	delta := consumedJ - n.ackedJ
+	if delta <= 0 {
+		return
+	}
+	// Never book beyond the lease: a correct node cannot spend more than
+	// it was granted, so the excess is clamped (and would indicate a
+	// node-side accounting bug, not fleet overdraft).
+	if max := n.leaseJ - n.ackedJ; delta > max {
+		delta = max
+	}
+	n.ackedJ += delta
+	c.consumedJ += delta
+}
+
+// ---------------------------------------------------------------------
+// Membership.
+
+// Join enrolls (or re-enrolls) a node. A rejoin reconciles the
+// pessimistic escrow booked when the node's lease expired: the node
+// reports its true cumulative spend, the coordinator books the part of
+// the escrow that was actually spent and refunds the rest to the pool.
+func (c *Coordinator) Join(req wire.JoinRequest) (wire.JoinResponse, error) {
+	if req.Node == "" || req.Addr == "" {
+		return wire.JoinResponse{}, &wireError{wire.CodeBadRequest, "join requires node name and address"}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[req.Node]
+	switch {
+	case n == nil:
+		n = &node{id: req.Node, addr: req.Addr}
+		c.nodes[req.Node] = n
+		c.fidelity[req.Node] = c.tel.Registry.Gauge(
+			"jouleguard_cluster_node_fidelity", "Acked spend over cumulative lease, per node.",
+			telemetry.Label{Name: "node", Value: req.Node})
+	case req.ConsumedJ >= n.ackedJ:
+		// A continuing incarnation (kept its meter): reconcile. The
+		// unacked spend d replaces the pessimistic escrow e in the books
+		// (d <= e when the lease expired, because the node's broker caps
+		// spend at the lease and its fence stopped it; d is booked fresh
+		// when the node never expired, e = 0). The lease is reset to the
+		// reported spend — zero unspent — so the e - d refund returns
+		// only to the pool, never double-counted as leased budget; the
+		// top-up below re-grants working room from that same pool.
+		d := req.ConsumedJ - n.ackedJ
+		c.consumedJ += d - n.escrowJ
+		n.ackedJ = req.ConsumedJ
+		n.leaseJ = n.ackedJ
+		n.escrowJ = 0
+	default:
+		// A fresh incarnation (meter reset): the old incarnation's acked
+		// spend and escrow stay booked — whatever it actually drew is
+		// covered by them — and the lease restarts from zero. The escrow
+		// is never refunded (no way to learn the true final spend), which
+		// errs on the safe side of the fleet guarantee.
+		n.leaseJ, n.ackedJ, n.escrowJ = 0, 0, 0
+	}
+	n.addr = req.Addr
+	c.epochCtr++
+	n.epoch = c.epochCtr
+	n.live = true
+	n.lastBeat = c.clock()
+	n.targetJ = c.cfg.InitialLeaseJ
+	c.grantLocked(n, n.targetJ-n.unspent(), false)
+	c.checkLocked("join")
+
+	// Tell a returning node which of its sessions moved on while it was
+	// away; it must discard them (their budget was escrowed and their
+	// state restored elsewhere).
+	var drop []string
+	for _, key := range req.HeldKeys {
+		rec := c.sessions[key]
+		if rec == nil || rec.node != req.Node {
+			drop = append(drop, key)
+		}
+	}
+	sort.Strings(drop)
+	return wire.JoinResponse{
+		Epoch:       n.epoch,
+		LeaseJ:      n.leaseJ,
+		TTLMS:       c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		Drop:        drop,
+	}, nil
+}
+
+// Heartbeat renews a lease: consumption is booked, the lease is topped
+// back up to the node's target, and the session reports are folded into
+// the coordinator's placement map and logs.
+func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[req.Node]
+	if n == nil || !n.live || n.epoch != req.Epoch {
+		return wire.HeartbeatResponse{}, &wireError{wire.CodeUnknownNode,
+			fmt.Sprintf("node %q has no live lease at epoch %d; rejoin", req.Node, req.Epoch)}
+	}
+	n.lastBeat = c.clock()
+	c.bookLocked(n, req.ConsumedJ)
+	c.grantLocked(n, n.targetJ-n.unspent(), false)
+	c.cBeats.Inc()
+
+	acked := make(map[string]int, len(req.Sessions))
+	for i := range req.Sessions {
+		acked[req.Sessions[i].ID] = c.foldReportLocked(req.Node, &req.Sessions[i])
+	}
+	for _, id := range req.Closed {
+		if rec := c.byID[id]; rec != nil && rec.node == req.Node {
+			delete(c.sessions, rec.key)
+			delete(c.byID, id)
+		}
+	}
+	c.checkLocked("heartbeat")
+	return wire.HeartbeatResponse{
+		LeaseJ: n.leaseJ,
+		TTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+		Acked:  acked,
+	}, nil
+}
+
+// foldReportLocked merges one session report and returns the
+// coordinator's stored log length (the node's next From index).
+func (c *Coordinator) foldReportLocked(nodeID string, rep *wire.SessionReport) int {
+	if rep.Key == "" {
+		return 0
+	}
+	rec := c.sessions[rep.Key]
+	if rec == nil {
+		rec = &sessRec{key: rep.Key}
+		c.sessions[rep.Key] = rec
+	}
+	if rec.id != rep.ID {
+		delete(c.byID, rec.id)
+		rec.id = rep.ID
+		c.byID[rep.ID] = rec
+	}
+	rec.node = nodeID
+	rec.placed = true
+	rec.reg = rep.Reg
+	rec.grantJ = rep.GrantJ
+	rec.spentJ = rep.SpentJ
+	rec.done = rep.Done
+	rec.comp = rep.Complete
+	// Append the new log entries if they extend our copy contiguously;
+	// otherwise keep ours and let the ack re-sync the node's cursor.
+	if rep.From <= len(rec.log) && rep.From+len(rep.NewIters) > len(rec.log) {
+		rec.log = append(rec.log[:rep.From], rep.NewIters...)
+	}
+	return len(rec.log)
+}
+
+// Extend grants an on-demand lease extension (admission assists).
+func (c *Coordinator) Extend(req wire.ExtendRequest) (wire.ExtendResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[req.Node]
+	if n == nil || !n.live || n.epoch != req.Epoch {
+		return wire.ExtendResponse{}, &wireError{wire.CodeUnknownNode,
+			fmt.Sprintf("node %q has no live lease at epoch %d; rejoin", req.Node, req.Epoch)}
+	}
+	if req.NeedJ <= 0 {
+		return wire.ExtendResponse{}, &wireError{wire.CodeBadRequest, "extension must be positive"}
+	}
+	g := c.grantLocked(n, req.NeedJ, false)
+	n.targetJ += g
+	c.checkLocked("extend")
+	return wire.ExtendResponse{LeaseJ: n.leaseJ, GrantedJ: g}, nil
+}
+
+// ---------------------------------------------------------------------
+// Placement.
+
+// mix64 is the murmur3 finalizer: raw FNV-1a over short, similar
+// strings is nearly order-preserving (a "node0"/"node1"/"node2" prefix
+// can win for every key), so the rendezvous score needs a full-avalanche
+// pass to spread placement evenly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rendezvous picks the live node with the highest hash(node, key) — the
+// classic highest-random-weight placement: stable under membership
+// change, no ring state to maintain.
+func (c *Coordinator) rendezvousLocked(key string) *node {
+	var best *node
+	var bestScore uint64
+	for _, n := range c.nodes {
+		if !n.live {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(n.id))
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		if score := mix64(h.Sum64()); best == nil || score > bestScore || (score == bestScore && n.id < best.id) {
+			best, bestScore = n, score
+		}
+	}
+	return best
+}
+
+// Place resolves (or decides) the owner of a session key. It backs the
+// coordinator's register redirect and the placement lookup.
+func (c *Coordinator) Place(key string) (wire.PlacementResponse, error) {
+	if key == "" {
+		return wire.PlacementResponse{}, &wireError{wire.CodeBadRequest, "placement requires a session key"}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec := c.sessions[key]; rec != nil {
+		owner := c.nodes[rec.node]
+		if owner == nil || !owner.live {
+			return wire.PlacementResponse{}, &wireError{wire.CodeNoNodes,
+				fmt.Sprintf("session %q is between nodes (owner down, failover pending); retry", key)}
+		}
+		return wire.PlacementResponse{Key: key, Node: owner.id, Addr: owner.addr, SessionID: rec.id}, nil
+	}
+	owner := c.rendezvousLocked(key)
+	if owner == nil {
+		return wire.PlacementResponse{}, &wireError{wire.CodeNoNodes, "no live nodes in the fleet; retry"}
+	}
+	c.sessions[key] = &sessRec{key: key, node: owner.id}
+	c.cPlaced.Inc()
+	return wire.PlacementResponse{Key: key, Node: owner.id, Addr: owner.addr}, nil
+}
+
+// ---------------------------------------------------------------------
+// Failure handling.
+
+// Sweep expires leases whose nodes went silent and reassigns their
+// sessions to survivors. It returns how many leases it expired; the
+// sweep loop calls it on SweepInterval.
+func (c *Coordinator) Sweep() int {
+	now := c.clock()
+	c.mu.Lock()
+	expired := 0
+	for _, n := range c.nodes {
+		if !n.live || now.Sub(n.lastBeat) <= c.cfg.LeaseTTL {
+			continue
+		}
+		// Pessimistic escrow: book the whole unspent lease as consumed.
+		// The node can spend at most that much before its own fence
+		// trips, so the fleet total stays safe even if it is partitioned
+		// rather than dead; a rejoin refunds whatever was not spent.
+		// ackedJ is left alone — it must keep meaning "genuinely acked"
+		// so the rejoin reconcile can tell continuing incarnations
+		// (reported >= acked) from fresh ones.
+		escrow := n.leaseJ - n.ackedJ
+		if escrow < 0 {
+			escrow = 0
+		}
+		n.escrowJ += escrow
+		c.consumedJ += escrow
+		n.live = false
+		expired++
+		c.cExpiries.Inc()
+		c.checkLocked("expire")
+	}
+	c.mu.Unlock()
+	// Reassign runs on every sweep, not just fresh expiries: an adopt
+	// push that failed (new owner briefly unreachable, lease applying on
+	// its next heartbeat) leaves sessions stranded on a dead node until
+	// some later round lands them.
+	c.Reassign()
+	return expired
+}
+
+// Reassign finds sessions stranded on dead nodes and restores each on a
+// survivor: pick the new owner by rendezvous hashing, extend its lease
+// to cover the session's remaining grant, and push the registration +
+// acked iteration log for replay. Sessions the dead node never reported
+// (no authoritative record yet) are unplaced — a re-registration places
+// them fresh.
+func (c *Coordinator) Reassign() {
+	type move struct {
+		rec   *sessRec
+		adopt wire.AdoptSession
+		owner *node
+	}
+	c.mu.Lock()
+	var moves []move
+	var keys []string
+	for key := range c.sessions {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		rec := c.sessions[key]
+		owner := c.nodes[rec.node]
+		if owner != nil && owner.live {
+			continue
+		}
+		if !rec.placed {
+			// Never reported: nothing to restore. Forget the placement so
+			// the next register places it fresh.
+			delete(c.byID, rec.id)
+			delete(c.sessions, key)
+			continue
+		}
+		next := c.rendezvousLocked(key)
+		if next == nil {
+			continue // no survivors; retry on a later sweep
+		}
+		// Fund the remaining grant on the new owner (reserve may be
+		// tapped: failover must not starve behind admissions).
+		remaining := rec.grantJ - rec.spentJ
+		if remaining < 0 {
+			remaining = 0
+		}
+		need := remaining*serverReserve - (next.targetJ - next.unspent())
+		if need > 0 {
+			g := c.grantLocked(next, need, true)
+			next.targetJ += g
+		}
+		log := make([]wire.IterRec, len(rec.log))
+		copy(log, rec.log)
+		moves = append(moves, move{
+			rec:   rec,
+			owner: next,
+			adopt: wire.AdoptSession{
+				Key:    key,
+				Reg:    rec.reg,
+				GrantJ: rec.grantJ,
+				SpentJ: rec.spentJ,
+				Log:    log,
+			},
+		})
+		c.checkLocked("reassign-fund")
+	}
+	c.mu.Unlock()
+
+	for _, m := range moves {
+		resp, err := c.pushAdopt(m.owner.addr, wire.AdoptRequest{Sessions: []wire.AdoptSession{m.adopt}})
+		if err != nil {
+			continue // owner unreachable; a later sweep retries
+		}
+		c.mu.Lock()
+		delete(c.byID, m.rec.id)
+		m.rec.node = m.owner.id
+		if id := resp.IDs[m.adopt.Key]; id != "" {
+			m.rec.id = id
+			c.byID[id] = m.rec
+		}
+		m.rec.done = len(m.rec.log)
+		c.reassigned++
+		c.cReassign.Inc()
+		c.mu.Unlock()
+	}
+}
+
+// serverReserve mirrors internal/server.DefaultReserve without an
+// import cycle risk; the coordinator funds adoptions with the same 5%
+// slack the node broker will commit.
+const serverReserve = 1.05
+
+// Info snapshots the fleet ledger and placement for introspection.
+func (c *Coordinator) Info(includeDetail bool) wire.ClusterInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info := wire.ClusterInfo{
+		FleetJ:              c.cfg.FleetBudgetJ,
+		ReserveJ:            c.reserveJ(),
+		ConsumedJ:           c.consumedJ,
+		LeasedUnspentJ:      c.unspentLocked(),
+		PoolJ:               c.poolLocked(),
+		InvariantViolations: c.violations,
+		Reassignments:       c.reassigned,
+	}
+	for _, n := range c.nodes {
+		if n.live {
+			info.NodesLive++
+		}
+	}
+	if !includeDetail {
+		return info
+	}
+	var ids []string
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := c.nodes[id]
+		count := 0
+		for _, rec := range c.sessions {
+			if rec.node == id {
+				count++
+			}
+		}
+		fid := 0.0
+		if n.leaseJ > 0 {
+			fid = n.ackedJ / n.leaseJ
+		}
+		info.Nodes = append(info.Nodes, wire.NodeInfo{
+			Node: id, Addr: n.addr, Epoch: n.epoch, Live: n.live,
+			LeaseJ: n.leaseJ, AckedJ: n.ackedJ, UnspentJ: n.unspent(),
+			EscrowJ: n.escrowJ, Sessions: count, Fidelity: fid,
+		})
+	}
+	var keys []string
+	for key := range c.sessions {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		rec := c.sessions[key]
+		info.Sessions = append(info.Sessions, wire.PlacementInfo{
+			Key: key, Node: rec.node, ID: rec.id, Done: rec.done,
+			GrantJ: rec.grantJ, SpentJ: rec.spentJ, Complete: rec.comp,
+		})
+	}
+	return info
+}
+
+// Violations reports failed ledger self-checks (tests assert 0).
+func (c *Coordinator) Violations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violations
+}

@@ -1,0 +1,156 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"jouleguard/internal/server"
+	"jouleguard/internal/wire"
+)
+
+// TestFailoverGoldenReplay extends the snapshot-replay determinism
+// guarantee across nodes: a session that is migrated mid-run by the
+// coordinator (owner dies, survivor adopts by replaying the acked
+// iteration log) must take exactly the decisions the uninterrupted run
+// takes, and land on the same final estimates. Energy accounting is
+// event-sourced and the control path is deterministic given its inputs,
+// so failover is invisible to the governed application.
+func TestFailoverGoldenReplay(t *testing.T) {
+	const iters = 30
+	const preFail = 12
+
+	type decision struct {
+		App, Sys int
+	}
+
+	// Golden run: one standalone daemon, no interruptions.
+	golden := make([]decision, 0, iters)
+	var goldenInfo wire.SessionInfo
+	{
+		srv, err := server.New(server.Config{GlobalBudgetJ: 50000, SweepInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		var reg wire.RegisterResponse
+		if status, e := postJSON(t, ts.URL+wire.BasePath, wire.RegisterRequest{
+			Tenant: "golden", Key: "golden-key", App: "radar", Platform: "Tablet",
+			Iterations: iters, Factor: 2, Seed: 17,
+		}, &reg); status >= 300 {
+			t.Fatalf("golden register: %d %+v", status, e)
+		}
+		d := &driver{t: t, base: ts.URL, id: reg.SessionID, m: newMachine(t)}
+		for i := 0; i < iters; i++ {
+			next, _ := d.step()
+			golden = append(golden, decision{next.AppConfig, next.SysConfig})
+		}
+		resp, err := http.Get(ts.URL + wire.BasePath + "/" + reg.SessionID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&goldenInfo); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fleet run: same registration, owner killed after preFail iterations.
+	f := newFleet(t, 50000, 2)
+	key := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("gold-%d", i)
+		place, err := f.coord.Place(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if place.Node == "node1" {
+			key = k
+			break
+		}
+	}
+	reg := wire.RegisterRequest{
+		Tenant: "golden", Key: key, App: "radar", Platform: "Tablet",
+		Iterations: iters, Factor: 2, Seed: 17,
+	}
+	status, werr := postJSON(t, f.coordTS.URL+wire.BasePath, reg, nil)
+	if status != http.StatusTemporaryRedirect || werr.Addr == "" {
+		t.Fatalf("coordinator register: %d %+v", status, werr)
+	}
+	var regResp wire.RegisterResponse
+	if status, e := postJSON(t, werr.Addr+wire.BasePath, reg, &regResp); status >= 300 {
+		t.Fatalf("node register: %d %+v", status, e)
+	}
+	d := &driver{t: t, base: werr.Addr, id: regResp.SessionID, m: newMachine(t)}
+
+	got := make([]decision, 0, iters)
+	for i := 0; i < preFail; i++ {
+		next, _ := d.step()
+		got = append(got, decision{next.AppConfig, next.SysConfig})
+	}
+	// The owner's heartbeat ships the log; then it goes silent and dies.
+	idx := f.nodeIdx("node1")
+	if err := f.members[idx].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(f.ttl + f.ttl/2)
+	if err := f.members[0].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	f.members[idx].CheckFence()
+	if expired := f.coord.Sweep(); expired != 1 {
+		t.Fatalf("sweep expired %d leases, want 1", expired)
+	}
+	f.assertInvariant("after failover")
+
+	// The survivor adopted the session: find it and finish the workload
+	// on the same simulated machine (the meter and clock carry over).
+	place, err := f.coord.Place(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if place.Node != "node0" || place.SessionID == "" {
+		t.Fatalf("post-failover placement %+v", place)
+	}
+	d.base = f.nodeTS[0].URL
+	d.id = place.SessionID
+	for i := preFail; i < iters; i++ {
+		next, _ := d.step()
+		got = append(got, decision{next.AppConfig, next.SysConfig})
+	}
+
+	for i := range golden {
+		if golden[i] != got[i] {
+			t.Fatalf("decision %d diverged after failover: golden %+v, migrated %+v",
+				i, golden[i], got[i])
+		}
+	}
+
+	// Estimates must agree too: the learner's state, not just its
+	// choices, survived the migration bit-for-bit.
+	resp, err := http.Get(f.nodeTS[0].URL + wire.BasePath + "/" + place.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var migratedInfo wire.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&migratedInfo); err != nil {
+		t.Fatal(err)
+	}
+	if len(migratedInfo.Estimates) != len(goldenInfo.Estimates) {
+		t.Fatalf("estimate count: golden %d, migrated %d",
+			len(goldenInfo.Estimates), len(migratedInfo.Estimates))
+	}
+	for i := range goldenInfo.Estimates {
+		if goldenInfo.Estimates[i] != migratedInfo.Estimates[i] {
+			t.Fatalf("estimate %d: golden %+v, migrated %+v",
+				i, goldenInfo.Estimates[i], migratedInfo.Estimates[i])
+		}
+	}
+	if migratedInfo.State != "complete" {
+		t.Fatalf("migrated session state %q, want complete", migratedInfo.State)
+	}
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"jouleguard/internal/wire"
+)
+
+// wireError pairs a stable protocol code with a message (the cluster
+// protocol reuses the session protocol's error envelope).
+type wireError struct {
+	code string
+	msg  string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code, msg := wire.CodeBadRequest, err.Error()
+	var werr *wireError
+	if errors.As(err, &werr) {
+		code = werr.code
+	}
+	status := http.StatusBadRequest
+	switch code {
+	case wire.CodeUnknownNode:
+		status = http.StatusConflict
+	case wire.CodeNoNodes, wire.CodeLeaseExpired:
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, wire.ErrorResponse{Code: code, Error: msg})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, &wireError{wire.CodeBadRequest, "invalid JSON body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// Mount registers the coordinator's routes on mux: the cluster control
+// plane plus a redirecting POST /v1/sessions so clients can point at
+// the coordinator and be steered to the owning node.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+wire.ClusterBasePath+"/join", c.handleJoin)
+	mux.HandleFunc("POST "+wire.ClusterBasePath+"/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST "+wire.ClusterBasePath+"/lease", c.handleExtend)
+	mux.HandleFunc("GET "+wire.ClusterBasePath, c.handleInfo)
+	mux.HandleFunc("GET "+wire.ClusterBasePath+"/sessions/{key}", c.handlePlacement)
+	mux.HandleFunc("POST "+wire.BasePath, c.handleRegister)
+}
+
+// Handler returns the coordinator's full surface: the cluster control
+// plane plus the shared telemetry exposition.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.tel.Mount(mux)
+	c.Mount(mux)
+	return mux
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req wire.JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.Join(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req wire.HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.Heartbeat(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleExtend(w http.ResponseWriter, r *http.Request) {
+	var req wire.ExtendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.Extend(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Info(r.URL.Query().Get("detail") != ""))
+}
+
+func (c *Coordinator) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	resp, err := c.Place(r.PathValue("key"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRegister steers a session registration to its owning node: a
+// 307 redirect carrying a not_owner error body with the owner's
+// address, so both redirect-following HTTP clients and protocol-aware
+// ones (internal/client reads Addr) find their way.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeError(w, &wireError{wire.CodeBadRequest,
+			"registering through the coordinator requires a session key for placement"})
+		return
+	}
+	place, err := c.Place(req.Key)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", place.Addr+wire.BasePath)
+	writeJSON(w, http.StatusTemporaryRedirect, wire.ErrorResponse{
+		Code:  wire.CodeNotOwner,
+		Error: "session " + req.Key + " is owned by node " + place.Node,
+		Addr:  place.Addr,
+	})
+}
+
+// pushAdopt delivers stranded sessions to their new owner node.
+func (c *Coordinator) pushAdopt(addr string, req wire.AdoptRequest) (wire.AdoptResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return wire.AdoptResponse{}, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, addr+wire.ClusterBasePath+"/adopt", bytes.NewReader(body))
+	if err != nil {
+		return wire.AdoptResponse{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(httpReq)
+	if err != nil {
+		return wire.AdoptResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var werr wire.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&werr)
+		return wire.AdoptResponse{}, &wireError{werr.Code, "adopt push: " + werr.Error}
+	}
+	var out wire.AdoptResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return wire.AdoptResponse{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jouleguard/internal/wire"
+)
+
+// TestLeaseSafetyPartitionRejoin is the fleet-guarantee stress case the
+// lease design exists for: a node is partitioned from the coordinator,
+// keeps spending against its lease, gets its budget pessimistically
+// escrowed and its sessions failed over — then comes back and
+// reconciles. The safety invariant
+//
+//	actual fleet spend <= booked consumption + live unspent leases <= fleet budget
+//
+// is asserted after every single step: no interleaving of partition,
+// expiry, failover and rejoin may ever let the fleet overdraw or
+// double-spend a joule.
+func TestLeaseSafetyPartitionRejoin(t *testing.T) {
+	f := newFleet(t, 20000, 2)
+
+	// actualSpendJ is ground truth: what the node-side meters really drew.
+	actualSpendJ := func() float64 {
+		total := 0.0
+		for _, srv := range f.servers {
+			total += srv.TotalSpentJ()
+		}
+		return total
+	}
+	assertSafe := func(when string) {
+		t.Helper()
+		f.assertInvariant(when)
+		info := f.info()
+		if booked := info.ConsumedJ + info.LeasedUnspentJ; actualSpendJ() > booked+1e-6 {
+			t.Fatalf("%s: actual spend %.3f exceeds booked cover %.3f — double-spend window",
+				when, actualSpendJ(), booked)
+		}
+	}
+	assertSafe("initial")
+
+	// Find a key the soon-to-be-partitioned node owns.
+	victim := ""
+	key := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("part-%d", i)
+		place, err := f.coord.Place(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if place.Node == "node1" {
+			victim, key = place.Node, k
+			break
+		}
+	}
+	_ = victim
+
+	d := f.place(key, "tenant-p", 40, 2, 11)
+	for i := 0; i < 10; i++ {
+		d.step()
+		assertSafe(fmt.Sprintf("pre-partition iter %d", i))
+	}
+	for _, m := range f.members {
+		if err := m.Beat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSafe("pre-partition heartbeat")
+
+	// Partition: node1 stops heartbeating but its clients keep going.
+	// Until the local fence trips this is legitimate spend against the
+	// still-live lease.
+	idx := f.nodeIdx("node1")
+	for i := 0; i < 10; i++ {
+		if code := d.tryNext(); code != "" {
+			t.Fatalf("partition iter %d refused with %q before the fence tripped", i, code)
+		}
+		assertSafe(fmt.Sprintf("partitioned iter %d", i))
+	}
+	spentBeforeFence := f.servers[idx].TotalSpentJ()
+
+	// Lease runs out: the node fences itself...
+	f.clock.Advance(f.ttl + f.ttl/2)
+	if err := f.members[0].Beat(); err != nil { // the healthy node keeps renewing
+		t.Fatal(err)
+	}
+	if !f.members[idx].CheckFence() {
+		t.Fatal("fence did not trip after the lease TTL")
+	}
+	if code := d.tryNext(); code != wire.CodeLeaseExpired {
+		t.Fatalf("fenced node answered next with %q, want %q", code, wire.CodeLeaseExpired)
+	}
+	if got := f.servers[idx].TotalSpentJ(); got != spentBeforeFence {
+		t.Fatalf("fenced node kept spending: %.3f -> %.3f", spentBeforeFence, got)
+	}
+	assertSafe("fenced")
+
+	// ...and the coordinator, after the same TTL, escrows the unspent
+	// lease and fails the session over to the survivor.
+	if expired := f.coord.Sweep(); expired != 1 {
+		t.Fatalf("sweep expired %d leases, want 1", expired)
+	}
+	assertSafe("escrowed")
+	info := f.info()
+	if info.NodesLive != 1 {
+		t.Fatalf("nodes live %d after expiry, want 1", info.NodesLive)
+	}
+	place, err := f.coord.Place(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if place.Node != "node0" {
+		t.Fatalf("session still placed on %s after failover", place.Node)
+	}
+	escrowedConsumed := info.ConsumedJ
+
+	// Rejoin: the node reports its true cumulative spend; the coordinator
+	// books the partition-era spend, refunds the remaining escrow, and
+	// tells the node to drop its stale copy of the moved session.
+	if err := f.members[idx].Beat(); err != nil {
+		t.Fatalf("rejoin beat: %v", err)
+	}
+	assertSafe("rejoined")
+	info = f.info()
+	if info.NodesLive != 2 {
+		t.Fatalf("nodes live %d after rejoin, want 2", info.NodesLive)
+	}
+	if info.ConsumedJ >= escrowedConsumed {
+		t.Fatalf("reconcile refunded nothing: consumed %.3f -> %.3f",
+			escrowedConsumed, info.ConsumedJ)
+	}
+	if f.coord.Violations() != 0 {
+		t.Fatalf("%d ledger violations across the partition lifecycle", f.coord.Violations())
+	}
+
+	// The rejoined node must have discarded its copy: the key lives on
+	// the survivor, exactly once.
+	for _, ex := range f.servers[idx].Export(nil) {
+		if ex.Key == key && ex.Live {
+			t.Fatalf("rejoined node still holds live session %q after drop order", key)
+		}
+	}
+	place, err = f.coord.Place(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if place.Node != "node0" || place.SessionID == "" {
+		t.Fatalf("post-rejoin placement %+v, want node0 with a session id", place)
+	}
+
+	// And the unfenced node serves again.
+	d2 := f.place("fresh-after-rejoin", "tenant-p", 5, 2, 3)
+	for i := 0; i < 5; i++ {
+		d2.step()
+		assertSafe(fmt.Sprintf("post-rejoin iter %d", i))
+	}
+}

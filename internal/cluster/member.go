@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"jouleguard/internal/server"
+	"jouleguard/internal/wire"
+)
+
+// MemberConfig wires a governor daemon into a fleet.
+type MemberConfig struct {
+	// CoordinatorURL is the coordinator's base URL (e.g. http://host:port).
+	CoordinatorURL string
+	// Node is this daemon's stable fleet identity.
+	Node string
+	// Advertise is the base URL clients and the coordinator reach this
+	// daemon's wire API at.
+	Advertise string
+	// Server is the local governor daemon the lease feeds.
+	Server *server.Server
+	// Heartbeat overrides the coordinator-suggested cadence (<= 0 keeps
+	// the suggestion; tests drive Beat/CheckFence manually via Run not
+	// being started).
+	Heartbeat time.Duration
+	// HTTPClient performs coordinator calls (nil builds one).
+	HTTPClient *http.Client
+	// Clock is injectable for tests (nil = time.Now).
+	Clock func() time.Time
+}
+
+// Member runs the node side of the lease protocol: join, heartbeat,
+// self-fence when the lease runs out, and adopt sessions pushed over
+// from dead nodes. The safety half lives here: the member never lets
+// its daemon admit or advance work past the lease deadline, which is
+// exactly the window the coordinator waits before escrowing the unspent
+// lease — so node and coordinator can never both spend the same joules.
+type Member struct {
+	cfg   MemberConfig
+	srv   *server.Server
+	httpc *http.Client
+	clock func() time.Time
+
+	mu        sync.Mutex
+	joined    bool
+	epoch     int64
+	leaseJ    float64
+	deadline  time.Time
+	beatEvery time.Duration
+	acked     map[string]int // session id -> log length the coordinator holds
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMember wires srv into the fleet (the first Join happens on Run or
+// an explicit Join call).
+func NewMember(cfg MemberConfig) (*Member, error) {
+	if cfg.CoordinatorURL == "" || cfg.Node == "" || cfg.Advertise == "" || cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: member needs coordinator URL, node name, advertise address and a server")
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 5 * time.Second}
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	m := &Member{
+		cfg:   cfg,
+		srv:   cfg.Server,
+		httpc: httpc,
+		clock: clock,
+		acked: map[string]int{},
+	}
+	// When local admission runs out of lease, ask the coordinator for an
+	// on-demand extension before rejecting the tenant.
+	m.srv.SetAdmitAssist(m.assist)
+	return m, nil
+}
+
+// Server returns the governor daemon this member feeds.
+func (m *Member) Server() *server.Server { return m.srv }
+
+// Mount registers the member's cluster routes (the adoption endpoint)
+// alongside the daemon's own wire routes.
+func (m *Member) Mount(mux *http.ServeMux) {
+	m.srv.Mount(mux)
+	mux.HandleFunc("POST "+wire.ClusterBasePath+"/adopt", m.handleAdopt)
+}
+
+// Handler returns the node's full surface: wire protocol, adoption
+// endpoint, and the shared telemetry exposition.
+func (m *Member) Handler() http.Handler {
+	mux := http.NewServeMux()
+	m.srv.Telemetry().Mount(mux)
+	m.Mount(mux)
+	return mux
+}
+
+// Join enrolls with the coordinator and applies the resulting lease. A
+// rejoin after a partition reconciles: the reported cumulative spend
+// lets the coordinator refund the escrow it booked pessimistically.
+func (m *Member) Join() error {
+	held := []string{}
+	for _, ex := range m.srv.Export(nil) {
+		if ex.Live && ex.Key != "" {
+			held = append(held, ex.Key)
+		}
+	}
+	var resp wire.JoinResponse
+	err := m.post("/join", wire.JoinRequest{
+		Node:      m.cfg.Node,
+		Addr:      m.cfg.Advertise,
+		ConsumedJ: m.srv.TotalSpentJ(),
+		HeldKeys:  held,
+	}, &resp)
+	if err != nil {
+		return err
+	}
+	// Sessions that failed over while we were away: their budget was
+	// escrowed and their state restored elsewhere, so the local copies
+	// must go before we resume serving.
+	if len(resp.Drop) > 0 {
+		drop := map[string]bool{}
+		for _, key := range resp.Drop {
+			drop[key] = true
+		}
+		for _, ex := range m.srv.Export(nil) {
+			if drop[ex.Key] {
+				_, _ = m.srv.Close(ex.ID)
+			}
+		}
+	}
+
+	m.mu.Lock()
+	m.joined = true
+	m.epoch = resp.Epoch
+	m.beatEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	if m.cfg.Heartbeat > 0 {
+		m.beatEvery = m.cfg.Heartbeat
+	}
+	m.mu.Unlock()
+	m.applyLease(resp.LeaseJ, resp.TTLMS)
+	return nil
+}
+
+// Beat renews the lease: report cumulative spend and per-session
+// iteration logs, receive the topped-up lease and acked log cursors.
+// An unknown_node answer means our lease expired while we were silent —
+// rejoin, which reconciles the books.
+func (m *Member) Beat() error {
+	m.mu.Lock()
+	joined, epoch := m.joined, m.epoch
+	acked := make(map[string]int, len(m.acked))
+	for id, n := range m.acked {
+		acked[id] = n
+	}
+	m.mu.Unlock()
+	if !joined {
+		return m.Join()
+	}
+
+	exports := m.srv.Export(acked)
+	req := wire.HeartbeatRequest{
+		Node:      m.cfg.Node,
+		Epoch:     epoch,
+		ConsumedJ: m.srv.TotalSpentJ(),
+	}
+	seen := map[string]bool{}
+	for _, ex := range exports {
+		seen[ex.ID] = true
+		if !ex.Live {
+			req.Closed = append(req.Closed, ex.ID)
+			continue
+		}
+		if ex.Key == "" {
+			continue // keyless sessions are node-local; nothing to restore
+		}
+		req.Sessions = append(req.Sessions, wire.SessionReport{
+			ID:        ex.ID,
+			Key:       ex.Key,
+			Reg:       ex.Reg,
+			GrantJ:    ex.GrantJ,
+			ImportedJ: ex.ImportedJ,
+			SpentJ:    ex.SpentJ,
+			Done:      ex.Done,
+			Complete:  ex.Complete,
+			From:      ex.Done - len(ex.NewIters),
+			NewIters:  ex.NewIters,
+		})
+	}
+
+	var resp wire.HeartbeatResponse
+	if err := m.post("/heartbeat", req, &resp); err != nil {
+		if werr, ok := err.(*wireError); ok && werr.code == wire.CodeUnknownNode {
+			m.mu.Lock()
+			m.joined = false
+			m.mu.Unlock()
+			return m.Join()
+		}
+		return err
+	}
+
+	m.mu.Lock()
+	for id, n := range resp.Acked {
+		m.acked[id] = n
+	}
+	for id := range m.acked {
+		if !seen[id] {
+			delete(m.acked, id) // session record gone server-side
+		}
+	}
+	m.mu.Unlock()
+	m.applyLease(resp.LeaseJ, resp.TTLMS)
+	return nil
+}
+
+// applyLease feeds the renewed lease into the local broker and pushes
+// the fence deadline out. If the cumulative lease somehow lags local
+// commitments (a fresh coordinator incarnation), ask for the shortfall
+// before giving up.
+func (m *Member) applyLease(leaseJ float64, ttlMS int64) {
+	// The cumulative lease is monotone; a heartbeat reply that raced an
+	// on-demand extension can arrive carrying the older, smaller value —
+	// applying it would claw back budget admissions already rely on.
+	if cur := m.srv.Broker().Global(); leaseJ < cur {
+		leaseJ = cur
+	}
+	if err := m.srv.Broker().SetGlobal(leaseJ); err != nil {
+		b := m.srv.Broker()
+		if need := (b.Global() - b.Available()) - leaseJ; need > 0 {
+			if extended, ok := m.requestExtend(need); ok {
+				_ = m.srv.Broker().SetGlobal(extended)
+			}
+		}
+	}
+	m.mu.Lock()
+	m.leaseJ = m.srv.Broker().Global()
+	m.deadline = m.clock().Add(time.Duration(ttlMS) * time.Millisecond)
+	m.mu.Unlock()
+	m.srv.SetFenced(false)
+}
+
+// CheckFence trips the local fence once the lease deadline passes: the
+// daemon stops admitting and advancing work until a heartbeat gets
+// through again. This is the node's half of the no-double-spend
+// bargain — the coordinator escrows the unspent lease only after the
+// same TTL, by which point we have provably stopped drawing on it.
+func (m *Member) CheckFence() bool {
+	m.mu.Lock()
+	fence := m.joined && m.clock().After(m.deadline)
+	m.mu.Unlock()
+	if fence {
+		m.srv.SetFenced(true)
+	}
+	return fence
+}
+
+// assist is the broker's admission escape hatch: a tenant that does not
+// fit the current lease triggers an on-demand extension request. The
+// pool also grows when the coordinator granted nothing new but reports
+// a cumulative lease we have not applied yet (e.g. failover pre-funding
+// pushed ahead of our next heartbeat).
+func (m *Member) assist(needJ float64) bool {
+	extended, ok := m.requestExtend(needJ)
+	if !ok || extended <= m.srv.Broker().Global() {
+		return false
+	}
+	if err := m.srv.Broker().SetGlobal(extended); err != nil {
+		return false
+	}
+	m.mu.Lock()
+	m.leaseJ = extended
+	m.mu.Unlock()
+	return true
+}
+
+func (m *Member) requestExtend(needJ float64) (float64, bool) {
+	m.mu.Lock()
+	joined, epoch := m.joined, m.epoch
+	m.mu.Unlock()
+	if !joined {
+		return 0, false
+	}
+	var resp wire.ExtendResponse
+	if err := m.post("/lease", wire.ExtendRequest{Node: m.cfg.Node, Epoch: epoch, NeedJ: needJ}, &resp); err != nil {
+		return 0, false
+	}
+	return resp.LeaseJ, true
+}
+
+// handleAdopt restores sessions the coordinator reassigned to this node
+// after their previous owner died: replay the acked log, import the
+// prior spend, resume under the local broker.
+func (m *Member) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var req wire.AdoptRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ids := make(map[string]string, len(req.Sessions))
+	for _, a := range req.Sessions {
+		id, err := m.srv.Adopt(a)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ids[a.Key] = id
+		m.mu.Lock()
+		m.acked[id] = len(a.Log)
+		m.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, wire.AdoptResponse{IDs: ids})
+}
+
+// Run joins and then heartbeats until Stop; heartbeat failures are
+// tolerated (the fence keeps the books safe) and retried next tick.
+func (m *Member) Run() error {
+	if err := m.Join(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	every := m.beatEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = m.Beat()
+				m.CheckFence()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts the heartbeat loop (the lease is left to expire).
+func (m *Member) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// LeaseJ reports the current cumulative lease (introspection/tests).
+func (m *Member) LeaseJ() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leaseJ
+}
+
+// post sends one coordinator call and decodes the reply, converting
+// protocol error bodies into *wireError so callers can branch on codes.
+func (m *Member) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, m.cfg.CoordinatorURL+wire.ClusterBasePath+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var werr wire.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&werr)
+		if werr.Code == "" {
+			return fmt.Errorf("cluster: coordinator %s: HTTP %d", path, resp.StatusCode)
+		}
+		return &wireError{werr.Code, werr.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

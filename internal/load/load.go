@@ -15,14 +15,16 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jouleguard"
 	"jouleguard/internal/client"
+	"jouleguard/internal/metrics"
 	"jouleguard/internal/wire"
 )
 
@@ -38,6 +40,17 @@ type Config struct {
 	MinAcc     float64
 	Seed       int64 // tenant i runs with Seed+i
 	Retry      client.RetryPolicy
+
+	// CoordinatorURL switches the run to cluster mode: tenants register
+	// through the fleet coordinator (each under a stable session key) and
+	// ride through node failures via the client's failover path. BaseURL
+	// is ignored.
+	CoordinatorURL string
+	// KillAt arranges a mid-run node failure: once the fleet has
+	// completed KillAt iterations in total, Kill is invoked (once). The
+	// run then measures how tenants ride through the failover.
+	KillAt int
+	Kill   func()
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +82,7 @@ type TenantResult struct {
 	SpentJ     float64 // daemon's ledger (authoritative)
 	MeteredJ   float64 // tenant's own virtual meter
 	MeanAcc    float64
+	Failovers  int // node migrations the client rode through
 	Err        error
 }
 
@@ -95,6 +109,13 @@ type Report struct {
 	TotalGrantJ  float64
 	MaxOverGrant float64 // worst per-tenant spend/grant ratio
 	Errors       int
+
+	// Cluster-mode extras: total node migrations clients rode through,
+	// and the latency of the calls that absorbed one (placement lookup +
+	// re-register + catch-up replay, end to end as the application felt
+	// it).
+	Failovers        int
+	FailP50, FailP99 time.Duration
 }
 
 // Check asserts the run's guarantees: every tenant finished, and no
@@ -121,17 +142,26 @@ func (r *Report) Check(slack float64) error {
 }
 
 // BenchLines renders the latency results in `go test -bench` format so
-// cmd/benchjson can fold them into BENCH_experiments.json.
-func (r *Report) BenchLines() []string {
+// cmd/benchjson can fold them into BENCH_experiments.json. prefix names
+// the scenario ("Serve" for one daemon, "Cluster" for a fleet run).
+func (r *Report) BenchLines(prefix string) []string {
+	if prefix == "" {
+		prefix = "Serve"
+	}
 	lines := []string{
-		fmt.Sprintf("BenchmarkServeNextP50\t%d\t%d ns/op", r.Iterations, r.NextP50.Nanoseconds()),
-		fmt.Sprintf("BenchmarkServeNextP99\t%d\t%d ns/op", r.Iterations, r.NextP99.Nanoseconds()),
-		fmt.Sprintf("BenchmarkServeDoneP50\t%d\t%d ns/op", r.Iterations, r.DoneP50.Nanoseconds()),
-		fmt.Sprintf("BenchmarkServeDoneP99\t%d\t%d ns/op", r.Iterations, r.DoneP99.Nanoseconds()),
+		fmt.Sprintf("Benchmark%sNextP50\t%d\t%d ns/op", prefix, r.Iterations, r.NextP50.Nanoseconds()),
+		fmt.Sprintf("Benchmark%sNextP99\t%d\t%d ns/op", prefix, r.Iterations, r.NextP99.Nanoseconds()),
+		fmt.Sprintf("Benchmark%sDoneP50\t%d\t%d ns/op", prefix, r.Iterations, r.DoneP50.Nanoseconds()),
+		fmt.Sprintf("Benchmark%sDoneP99\t%d\t%d ns/op", prefix, r.Iterations, r.DoneP99.Nanoseconds()),
 	}
 	if r.Throughput > 0 {
-		lines = append(lines, fmt.Sprintf("BenchmarkServeIteration\t%d\t%d ns/op",
-			r.Iterations, int64(float64(time.Second)/r.Throughput)))
+		lines = append(lines, fmt.Sprintf("Benchmark%sIteration\t%d\t%d ns/op",
+			prefix, r.Iterations, int64(float64(time.Second)/r.Throughput)))
+	}
+	if r.Failovers > 0 {
+		lines = append(lines,
+			fmt.Sprintf("Benchmark%sFailoverP50\t%d\t%d ns/op", prefix, r.Failovers, r.FailP50.Nanoseconds()),
+			fmt.Sprintf("Benchmark%sFailoverP99\t%d\t%d ns/op", prefix, r.Failovers, r.FailP99.Nanoseconds()))
 	}
 	return lines
 }
@@ -159,11 +189,13 @@ type tenant struct {
 
 	nextLat []time.Duration
 	doneLat []time.Duration
+	failLat []time.Duration // calls that absorbed a node migration
+	done    *atomic.Int64   // fleet-wide completed-iteration counter
 	res     TenantResult
 }
 
 // run executes the tenant's whole workload against the daemon.
-func (t *tenant) run() {
+func (t *tenant) run(ctx context.Context) {
 	t.res = TenantResult{Tenant: t.name, App: t.app}
 	opts := client.Options{
 		BaseURL:     t.cfg.BaseURL,
@@ -175,6 +207,11 @@ func (t *tenant) run() {
 		MinAccuracy: t.cfg.MinAcc,
 		Retry:       t.cfg.Retry,
 	}
+	if t.cfg.CoordinatorURL != "" {
+		opts.CoordinatorURL = t.cfg.CoordinatorURL
+		opts.Key = t.name
+		opts.BaseURL = ""
+	}
 	if t.cfg.Factor > 0 {
 		b, err := t.tb.Budget(t.cfg.Factor, t.cfg.Iterations)
 		if err != nil {
@@ -184,7 +221,7 @@ func (t *tenant) run() {
 		opts.BudgetJ = b
 	}
 	opts.Seed = t.cfg.Seed
-	sess, err := client.Open(opts, t.readEnergy, t.readNow)
+	sess, err := client.Open(ctx, opts, t.readEnergy, t.readNow)
 	if err != nil {
 		t.res.Err = err
 		return
@@ -193,9 +230,14 @@ func (t *tenant) run() {
 	t.res.GrantJ = sess.GrantJ()
 	accSum := 0.0
 	for i := 0; i < t.cfg.Iterations; i++ {
+		fo := sess.Failovers()
 		start := time.Now()
-		appCfg, sysCfg, err := sess.Next()
-		t.nextLat = append(t.nextLat, time.Since(start))
+		appCfg, sysCfg, err := sess.Next(ctx)
+		lat := time.Since(start)
+		t.nextLat = append(t.nextLat, lat)
+		if sess.Failovers() > fo {
+			t.failLat = append(t.failLat, lat)
+		}
 		if err != nil {
 			if client.IsCode(err, wire.CodeSessionComplete) {
 				// A daemon restart can settle a retried iteration twice,
@@ -215,21 +257,30 @@ func (t *tenant) run() {
 		t.energyJ += t.tb.Platform.Power(sysCfg, t.tb.Profile) * dur
 		accSum += acc
 
+		fo = sess.Failovers()
 		start = time.Now()
-		if err := sess.Done(acc); err != nil {
-			t.doneLat = append(t.doneLat, time.Since(start))
+		err = sess.Done(ctx, acc)
+		lat = time.Since(start)
+		t.doneLat = append(t.doneLat, lat)
+		if sess.Failovers() > fo {
+			t.failLat = append(t.failLat, lat)
+		}
+		if err != nil {
 			t.res.Err = fmt.Errorf("iteration %d Done: %w", i, err)
 			break
 		}
-		t.doneLat = append(t.doneLat, time.Since(start))
 		t.res.Iterations++
+		if t.done != nil {
+			t.done.Add(1)
+		}
 	}
 	t.res.SpentJ = sess.LastStatus().SpentJ
 	t.res.MeteredJ = t.energyJ
 	if t.res.Iterations > 0 {
 		t.res.MeanAcc = accSum / float64(t.res.Iterations)
 	}
-	if err := sess.Close(); err != nil && t.res.Err == nil {
+	t.res.Failovers = sess.Failovers()
+	if err := sess.Close(ctx); err != nil && t.res.Err == nil {
 		t.res.Err = fmt.Errorf("close: %w", err)
 	}
 }
@@ -238,8 +289,11 @@ func (t *tenant) readEnergy() (float64, error) { return t.energyJ, nil }
 func (t *tenant) readNow() float64             { return t.clockS }
 
 // Run drives cfg.Tenants concurrent sessions to completion and reports.
-func Run(cfg Config) (*Report, error) {
+// Cancelling ctx aborts the tenants' wire calls (including retry
+// backoff) and the run returns with whatever completed.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	var done atomic.Int64
 	tenants := make([]*tenant, cfg.Tenants)
 	for i := range tenants {
 		app := cfg.Apps[i%len(cfg.Apps)]
@@ -251,8 +305,29 @@ func Run(cfg Config) (*Report, error) {
 		tcfg.Seed = cfg.Seed + int64(i)
 		tenants[i] = &tenant{
 			name: fmt.Sprintf("tenant-%02d", i),
-			app:  app, cfg: tcfg, tb: tb,
+			app:  app, cfg: tcfg, tb: tb, done: &done,
 		}
+	}
+	// The kill watcher injects the mid-run node failure once the fleet as
+	// a whole has completed KillAt iterations.
+	killCtx, stopKiller := context.WithCancel(ctx)
+	defer stopKiller()
+	if cfg.KillAt > 0 && cfg.Kill != nil {
+		go func() {
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-killCtx.Done():
+					return
+				case <-tick.C:
+					if done.Load() >= int64(cfg.KillAt) {
+						cfg.Kill()
+						return
+					}
+				}
+			}
+		}()
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -260,14 +335,14 @@ func Run(cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func(t *tenant) {
 			defer wg.Done()
-			t.run()
+			t.run(ctx)
 		}(t)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := &Report{Elapsed: elapsed}
-	var nextAll, doneAll []time.Duration
+	var nextAll, doneAll, failAll []time.Duration
 	for _, t := range tenants {
 		rep.Tenants = append(rep.Tenants, t.res)
 		rep.Iterations += t.res.Iterations
@@ -277,28 +352,30 @@ func Run(cfg Config) (*Report, error) {
 		if t.res.Err != nil {
 			rep.Errors++
 		}
+		rep.Failovers += t.res.Failovers
 		nextAll = append(nextAll, t.nextLat...)
 		doneAll = append(doneAll, t.doneLat...)
+		failAll = append(failAll, t.failLat...)
 	}
 	rep.NextP50, rep.NextP99 = quantiles(nextAll)
 	rep.DoneP50, rep.DoneP99 = quantiles(doneAll)
+	rep.FailP50, rep.FailP99 = quantiles(failAll)
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Iterations) / elapsed.Seconds()
 	}
 	return rep, nil
 }
 
-// quantiles returns the p50 and p99 of a latency sample.
+// quantiles folds a latency sample through the shared metrics summary
+// (interpolating percentiles, same estimator the experiment tables use).
 func quantiles(d []time.Duration) (p50, p99 time.Duration) {
 	if len(d) == 0 {
 		return 0, 0
 	}
-	s := make([]time.Duration, len(d))
-	copy(s, d)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(s)-1))
-		return s[i]
+	xs := make([]float64, len(d))
+	for i, v := range d {
+		xs[i] = float64(v)
 	}
-	return at(0.50), at(0.99)
+	sum := metrics.Summarize(xs)
+	return time.Duration(sum.P50), time.Duration(sum.P99)
 }

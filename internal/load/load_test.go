@@ -27,7 +27,7 @@ func TestLoadRun(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	rep, err := load.Run(load.Config{
+	rep, err := load.Run(context.Background(), load.Config{
 		BaseURL:    ts.URL,
 		Tenants:    4,
 		Iterations: 20,
@@ -59,7 +59,7 @@ func TestLoadRun(t *testing.T) {
 	if rep.TotalSpentJ > 100000 {
 		t.Fatalf("fleet overran the global pool: %.1f", rep.TotalSpentJ)
 	}
-	lines := rep.BenchLines()
+	lines := rep.BenchLines("")
 	if len(lines) < 4 {
 		t.Fatalf("bench lines: %v", lines)
 	}

@@ -48,8 +48,8 @@ type Broker struct {
 
 	// Gauges mirroring the ledger on /metrics (nil-safe via OrNop-style
 	// guard in publish).
-	gCommitted, gConsumed, gAvailable, gActive *telemetry.Gauge
-	cAdmitted, cRejected, cReclaims            *telemetry.Counter
+	gGlobal, gCommitted, gConsumed, gAvailable, gActive *telemetry.Gauge
+	cAdmitted, cRejected, cReclaims                     *telemetry.Counter
 }
 
 // DefaultReserve is the commitment multiplier covering the runtime's
@@ -72,7 +72,8 @@ func NewBroker(globalJ, reserve float64) (*Broker, error) {
 func (b *Broker) Instrument(r *telemetry.Registry) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	r.Gauge("jouleguardd_broker_global_joules", "Machine-wide energy budget the broker partitions.").Set(b.globalJ)
+	b.gGlobal = r.Gauge("jouleguardd_broker_global_joules", "Machine-wide energy budget the broker partitions.")
+	b.gGlobal.Set(b.globalJ)
 	b.gCommitted = r.Gauge("jouleguardd_broker_committed_joules", "Outstanding budget commitments of active sessions (incl. reserve).")
 	b.gConsumed = r.Gauge("jouleguardd_broker_consumed_joules", "Energy definitively spent by released sessions.")
 	b.gAvailable = r.Gauge("jouleguardd_broker_available_joules", "Uncommitted budget available for admission.")
@@ -101,13 +102,52 @@ func (b *Broker) Available() float64 {
 	return b.globalJ - b.committed - b.consumed
 }
 
+// Global returns the pool the broker partitions.
+func (b *Broker) Global() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.globalJ
+}
+
+// Consumed returns the energy booked as definitively spent (net of
+// imported pre-spend that arrived with adopted sessions).
+func (b *Broker) Consumed() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consumed
+}
+
+// SetGlobal resizes the pool. In a fleet the node's broker is fed by the
+// coordinator's cumulative budget lease: every renewal or extension
+// raises the pool, and admission control keeps partitioning whatever the
+// lease currently covers. Shrinking below committed+consumed is refused
+// — grants already made cannot be clawed back.
+func (b *Broker) SetGlobal(globalJ float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if globalJ < b.committed+b.consumed {
+		return fmt.Errorf("server: cannot shrink pool to %.3g J below committed %.3g + consumed %.3g",
+			globalJ, b.committed, b.consumed)
+	}
+	b.globalJ = globalJ
+	if b.gGlobal != nil {
+		b.gGlobal.Set(globalJ)
+	}
+	b.publish()
+	return nil
+}
+
 // Grant is one admitted budget allocation. CommitJ (grant x reserve,
 // plus any overdraft penalty) is what the pool holds until Release.
+// ImportedJ is pre-spend that arrived with an adopted (migrated)
+// session: energy already accounted on another node's lease, so this
+// broker neither commits nor consumes it.
 type Grant struct {
-	Tenant  string
-	Weight  float64
-	GrantJ  float64
-	CommitJ float64
+	Tenant    string
+	Weight    float64
+	GrantJ    float64
+	CommitJ   float64
+	ImportedJ float64
 }
 
 // Admit runs admission control for a registration. requestJ > 0 asks for
@@ -177,10 +217,51 @@ func (b *Broker) Admit(tenant string, weight, requestJ float64) (Grant, error) {
 	return Grant{Tenant: tenant, Weight: weight, GrantJ: grant, CommitJ: commit}, nil
 }
 
+// AdoptGrant admits a migrated session's remaining budget without
+// re-running placement policy: the session arrives with grantJ granted
+// fleet-wide and importedJ already spent on its previous owner's lease,
+// so this broker commits only the remainder (x reserve). The full grant
+// and spend still flow through the tenant's carry ledger at Release, but
+// the imported portion never counts against this pool.
+func (b *Broker) AdoptGrant(tenant string, weight, grantJ, importedJ float64) (Grant, error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if importedJ < 0 {
+		importedJ = 0
+	}
+	if importedJ > grantJ {
+		importedJ = grantJ
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	remaining := grantJ - importedJ
+	commit := remaining * b.reserve
+	avail := b.globalJ - b.committed - b.consumed
+	if commit > avail {
+		b.rejected++
+		if b.cRejected != nil {
+			b.cRejected.Inc()
+		}
+		return Grant{}, fmt.Errorf("%w: adopting %.3g J remaining (with reserve %.3g J) exceeds available %.3g J",
+			ErrBudgetExhausted, remaining, commit, avail)
+	}
+	b.committed += commit
+	b.weight += weight
+	b.active++
+	b.admitted++
+	if b.cAdmitted != nil {
+		b.cAdmitted.Inc()
+	}
+	b.publish()
+	return Grant{Tenant: tenant, Weight: weight, GrantJ: grantJ, CommitJ: commit, ImportedJ: importedJ}, nil
+}
+
 // Release settles a grant when its session closes or expires: the actual
-// spend is booked as consumed, the rest of the commitment returns to the
-// pool, and the difference between grant and spend is carried over on
-// the tenant's deficit ledger for its next registration.
+// spend is booked as consumed (net of any imported pre-spend, which was
+// consumed on another node's lease), the rest of the commitment returns
+// to the pool, and the difference between grant and spend is carried
+// over on the tenant's deficit ledger for its next registration.
 func (b *Broker) Release(g Grant, spentJ float64) {
 	if spentJ < 0 {
 		spentJ = 0
@@ -191,7 +272,11 @@ func (b *Broker) Release(g Grant, spentJ float64) {
 	if b.committed < 0 {
 		b.committed = 0
 	}
-	b.consumed += spentJ
+	localSpent := spentJ - g.ImportedJ
+	if localSpent < 0 {
+		localSpent = 0
+	}
+	b.consumed += localSpent
 	b.weight -= g.Weight
 	if b.weight < 0 {
 		b.weight = 0
@@ -205,6 +290,13 @@ func (b *Broker) Release(g Grant, spentJ float64) {
 		b.cReclaims.Inc()
 	}
 	b.publish()
+}
+
+// ReserveFactor returns the commitment multiplier.
+func (b *Broker) ReserveFactor() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reserve
 }
 
 // Carry returns a tenant's current deficit carry-over (0 if none).

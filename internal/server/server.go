@@ -54,8 +54,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	byKey    map[string]string // session key -> id (cluster attach/adopt)
 	nextID   uint64
 	draining bool
+	fenced   bool
+	assist   func(needJ float64) bool
 
 	stopSweep chan struct{}
 	sweepDone chan struct{}
@@ -63,6 +66,7 @@ type Server struct {
 	mOpened    *telemetry.Counter
 	mClosed    *telemetry.Counter
 	mExpired   *telemetry.Counter
+	mAdopted   *telemetry.Counter
 	mDecisionS *telemetry.Histogram
 }
 
@@ -92,10 +96,12 @@ func New(cfg Config) (*Server, error) {
 		tel:      tel,
 		clock:    clock,
 		sessions: map[string]*session{},
+		byKey:    map[string]string{},
 
 		mOpened:  tel.Registry.Counter("jouleguardd_sessions_opened_total", "Sessions admitted."),
 		mClosed:  tel.Registry.Counter("jouleguardd_sessions_closed_total", "Sessions closed by their clients."),
 		mExpired: tel.Registry.Counter("jouleguardd_sessions_expired_total", "Sessions expired by the idle watchdog."),
+		mAdopted: tel.Registry.Counter("jouleguardd_sessions_adopted_total", "Sessions adopted from a failed fleet node."),
 		mDecisionS: tel.Registry.Histogram("jouleguardd_decision_seconds",
 			"Server-side latency of Next decisions.", telemetry.DurationBuckets()),
 	}
@@ -155,7 +161,23 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 		s.mu.Unlock()
 		return wire.RegisterResponse{}, &wireError{wire.CodeDraining, "daemon is draining"}
 	}
+	if s.fenced {
+		s.mu.Unlock()
+		return wire.RegisterResponse{}, errLeaseExpired()
+	}
 	s.mu.Unlock()
+
+	// A register carrying the key of a live session attaches to it: the
+	// fleet failover path, where a client re-registers against the node
+	// that restored its session.
+	if req.Key != "" {
+		if resp, werr, ok := s.attach(req); ok {
+			if werr != nil {
+				return wire.RegisterResponse{}, werr
+			}
+			return resp, nil
+		}
+	}
 
 	// Resolve the testbed first: it validates app/platform and prices a
 	// factor-based request in joules.
@@ -175,7 +197,7 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 		tenant = "default"
 		req.Tenant = tenant
 	}
-	grant, err := s.broker.Admit(tenant, req.Weight, request)
+	grant, err := s.admitWithAssist(tenant, req.Weight, request)
 	if err != nil {
 		if errors.Is(err, ErrBudgetExhausted) {
 			return wire.RegisterResponse{}, &wireError{wire.CodeBudgetExhausted, err.Error()}
@@ -200,6 +222,9 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 		return wire.RegisterResponse{}, &wireError{wire.CodeDraining, "daemon is draining"}
 	}
 	s.sessions[id] = sess
+	if req.Key != "" {
+		s.byKey[req.Key] = id
+	}
 	s.mu.Unlock()
 	s.mOpened.Inc()
 	return wire.RegisterResponse{
@@ -209,6 +234,219 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 		AppConfigs: sess.tb.App.NumConfigs(),
 		SysConfigs: sess.tb.Platform.NumConfigs(),
 	}, nil
+}
+
+// attach resolves a register-by-key against an existing live session.
+// ok=false means no live session holds the key and registration should
+// proceed fresh; a non-nil werr reports an attach that cannot be honored
+// (the key is held by a session with a different shape).
+func (s *Server) attach(req wire.RegisterRequest) (wire.RegisterResponse, *wireError, bool) {
+	s.mu.Lock()
+	sess := s.sessions[s.byKey[req.Key]]
+	s.mu.Unlock()
+	if sess == nil {
+		return wire.RegisterResponse{}, nil, false
+	}
+	resp, reg, live := sess.attachView()
+	if !live {
+		return wire.RegisterResponse{}, nil, false
+	}
+	if reg.App != req.App || reg.Platform != req.Platform || reg.Iterations != req.Iterations {
+		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest,
+			fmt.Sprintf("key %q is held by a live session with a different workload (%s/%s x%d)",
+				req.Key, reg.App, reg.Platform, reg.Iterations)}, true
+	}
+	return resp, nil, true
+}
+
+// admitWithAssist runs broker admission, giving the admission-assist
+// hook (a cluster member asking its coordinator for a lease extension)
+// one chance to grow the pool before an absolute request is rejected.
+func (s *Server) admitWithAssist(tenant string, weight, requestJ float64) (Grant, error) {
+	grant, err := s.broker.Admit(tenant, weight, requestJ)
+	if err == nil || !errors.Is(err, ErrBudgetExhausted) || requestJ <= 0 {
+		return grant, err
+	}
+	s.mu.Lock()
+	assist := s.assist
+	s.mu.Unlock()
+	if assist == nil {
+		return grant, err
+	}
+	// Concurrent admissions race for the same extension (each computes
+	// its shortfall before the others consume the pool), so recompute and
+	// re-ask until admission sticks or the coordinator stops granting.
+	// The ask overshoots the exact shortfall by 1% of the request: an
+	// exact grant lands available == commit to within a ulp, turning the
+	// retried admission into a coin flip.
+	for attempt := 0; attempt < 6; attempt++ {
+		need := requestJ*s.broker.ReserveFactor() - s.broker.Available() + requestJ*0.01
+		// A refused assist still retries admission and stays in the loop:
+		// concurrent heartbeats, extensions by competing admissions, and
+		// out-of-order extension replies all grow the pool underneath us.
+		assist(need)
+		grant, retryErr := s.broker.Admit(tenant, weight, requestJ)
+		if retryErr == nil || !errors.Is(retryErr, ErrBudgetExhausted) {
+			return grant, retryErr
+		}
+	}
+	return grant, err
+}
+
+// SetAdmitAssist installs the hook called when broker admission fails
+// for lack of pool: in a fleet the member uses it to request an
+// on-demand lease extension from the coordinator, then admission is
+// retried. The hook returns whether the pool grew.
+func (s *Server) SetAdmitAssist(f func(needJ float64) bool) {
+	s.mu.Lock()
+	s.assist = f
+	s.mu.Unlock()
+}
+
+// SetFenced flips the node's self-fence. A fenced daemon refuses to arm
+// new iterations or admit registrations (retryable lease_expired), so a
+// node cut off from its coordinator stops drawing down a lease the
+// coordinator may already have reclaimed. Done is still accepted: the
+// energy of an in-flight iteration is spent either way, and accounting
+// it keeps the ledger truthful.
+func (s *Server) SetFenced(fenced bool) {
+	s.mu.Lock()
+	s.fenced = fenced
+	s.mu.Unlock()
+}
+
+// Fenced reports the self-fence state.
+func (s *Server) Fenced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fenced
+}
+
+// Adopt rebuilds a migrated session from its registration and iteration
+// log — the cross-node analogue of snapshot restore. The governor stack
+// is rebuilt and the log replayed (bit-identical state, same as a local
+// restore), then the remaining grant is admitted into this node's
+// broker with the pre-spend marked imported. Re-pushing an adoption the
+// node already holds returns the existing session id.
+func (s *Server) Adopt(a wire.AdoptSession) (string, error) {
+	if a.Key == "" {
+		return "", &wireError{wire.CodeBadRequest, "adoption requires a session key"}
+	}
+	if a.Reg.Iterations <= 0 {
+		return "", &wireError{wire.CodeBadRequest, "adoption with non-positive iterations"}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", &wireError{wire.CodeDraining, "daemon is draining"}
+	}
+	if prev := s.sessions[s.byKey[a.Key]]; prev != nil {
+		if _, _, live := prev.attachView(); live {
+			s.mu.Unlock()
+			return prev.id, nil
+		}
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%06d", s.nextID)
+	s.mu.Unlock()
+
+	a.Reg.Key = a.Key
+	if a.Reg.Tenant == "" {
+		a.Reg.Tenant = "default"
+	}
+	sess, err := newSession(id, a.Reg, Grant{Tenant: a.Reg.Tenant, Weight: a.Reg.Weight, GrantJ: a.GrantJ}, nil, s.clock())
+	if err != nil {
+		return "", &wireError{wire.CodeBadRequest, err.Error()}
+	}
+	for _, rec := range a.Log {
+		if err := sess.replay(rec); err != nil {
+			return "", err
+		}
+	}
+	imported := sess.spent()
+	grant, err := s.adoptAdmit(a.Reg.Tenant, a.Reg.Weight, a.GrantJ, imported)
+	if err != nil {
+		if errors.Is(err, ErrBudgetExhausted) {
+			return "", &wireError{wire.CodeBudgetExhausted, err.Error()}
+		}
+		return "", err
+	}
+	sess.setGrant(grant)
+	sess.installLiveSink(telemetry.WithSession(s.tel, id))
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.byKey[a.Key] = id
+	s.mu.Unlock()
+	s.mAdopted.Inc()
+	return id, nil
+}
+
+// adoptAdmit is AdoptGrant with one admission-assist retry, mirroring
+// admitWithAssist for the failover path.
+func (s *Server) adoptAdmit(tenant string, weight, grantJ, importedJ float64) (Grant, error) {
+	grant, err := s.broker.AdoptGrant(tenant, weight, grantJ, importedJ)
+	if err == nil || !errors.Is(err, ErrBudgetExhausted) {
+		return grant, err
+	}
+	s.mu.Lock()
+	assist := s.assist
+	s.mu.Unlock()
+	if assist == nil {
+		return grant, err
+	}
+	for attempt := 0; attempt < 6; attempt++ {
+		need := (grantJ-importedJ)*s.broker.ReserveFactor() - s.broker.Available() + grantJ*0.01
+		assist(need)
+		grant, retryErr := s.broker.AdoptGrant(tenant, weight, grantJ, importedJ)
+		if retryErr == nil || !errors.Is(retryErr, ErrBudgetExhausted) {
+			return grant, retryErr
+		}
+	}
+	return grant, err
+}
+
+// TotalSpentJ is the node's cumulative energy spend against its own
+// budget pool: released sessions' consumption plus live sessions'
+// accounted spend, net of imported pre-spend (energy adopted sessions
+// already drew from another node's lease). It is monotone while the
+// daemon lives; cluster members report it in every heartbeat.
+func (s *Server) TotalSpentJ() float64 {
+	total := s.broker.Consumed()
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if _, live := sess.idleSince(); live {
+			total += sess.localSpent()
+		}
+	}
+	return total
+}
+
+// Export copies every session's reportable state, with each iteration
+// log trimmed to what the caller has not yet acked (from[id], missing =
+// everything). The cluster member builds heartbeat session reports from
+// it; ordering is stable (creation order) for deterministic wire bodies.
+func (s *Server) Export(from map[string]int) []SessionExport {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	sessions := make([]*session, 0, len(ids))
+	for _, id := range ids {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	out := make([]SessionExport, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.export(from[sess.id]))
+	}
+	return out
 }
 
 // lookup finds a session by id.
@@ -355,11 +593,11 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case wire.CodeUnknownSession:
 		status = http.StatusNotFound
-	case wire.CodeBadSequence, wire.CodeSessionComplete:
+	case wire.CodeBadSequence, wire.CodeSessionComplete, wire.CodeUnknownNode:
 		status = http.StatusConflict
 	case wire.CodeSessionClosed:
 		status = http.StatusGone
-	case wire.CodeDraining:
+	case wire.CodeDraining, wire.CodeLeaseExpired, wire.CodeNoNodes:
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, wire.ErrorResponse{Code: code, Error: msg})
@@ -390,10 +628,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
+	draining, fenced := s.draining, s.fenced
 	s.mu.Unlock()
 	if draining {
 		writeError(w, &wireError{wire.CodeDraining, "daemon is draining; retry against the restarted daemon"})
+		return
+	}
+	if fenced {
+		writeError(w, errLeaseExpired())
 		return
 	}
 	sess, werr := s.lookup(r.PathValue("id"))

@@ -56,14 +56,9 @@ func (s sessionState) String() string {
 // iterRec is one completed iteration in the session's write-ahead log:
 // exactly the client-supplied inputs the controller consumed, so a
 // restored daemon can replay them through a fresh controller and land on
-// bit-identical state (the snapshot format's only session payload).
-type iterRec struct {
-	NextNow   float64 `json:"next_now"`
-	DoneNow   float64 `json:"done_now"`
-	EnergyJ   float64 `json:"energy_j"`
-	EnergyErr bool    `json:"energy_err,omitempty"`
-	Accuracy  float64 `json:"accuracy"`
-}
+// bit-identical state. The record is shared with the cluster protocol
+// (heartbeat session reports, failover adoption) as wire.IterRec.
+type iterRec = wire.IterRec
 
 // session wraps one tenant's governor — a JouleGuard runtime behind an
 // OnlineController — and adapts it to the wire: the client's clock and
@@ -153,6 +148,9 @@ func (e *wireError) Error() string { return e.msg }
 
 func errBadSequence(msg string) *wireError   { return &wireError{wire.CodeBadSequence, msg} }
 func errSessionClosed(msg string) *wireError { return &wireError{wire.CodeSessionClosed, msg} }
+func errLeaseExpired() *wireError {
+	return &wireError{wire.CodeLeaseExpired, "node budget lease expired; awaiting renewal or failover"}
+}
 
 // checkLive rejects calls on torn-down sessions; callers hold s.mu.
 func (s *session) checkLive() *wireError {
@@ -335,4 +333,87 @@ func (s *session) snapshotView() (reg wire.RegisterRequest, grant Grant, log []i
 	log = make([]iterRec, len(s.log))
 	copy(log, s.log)
 	return s.reg, s.grant, log, live
+}
+
+// SessionExport is one session's incremental state for the cluster
+// heartbeat: registration, ledger, and the iteration log from a given
+// index — everything the fleet coordinator needs to restore the session
+// elsewhere by replay.
+type SessionExport struct {
+	ID, Key   string
+	Reg       wire.RegisterRequest
+	GrantJ    float64
+	ImportedJ float64
+	SpentJ    float64
+	Done      int
+	Live      bool
+	Complete  bool
+	NewIters  []wire.IterRec
+}
+
+// export copies the session's reportable state, with the log trimmed to
+// entries at index >= from (what the coordinator has not yet acked).
+func (s *session) export(from int) SessionExport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(s.log) {
+		from = len(s.log)
+	}
+	recs := make([]wire.IterRec, len(s.log)-from)
+	copy(recs, s.log[from:])
+	return SessionExport{
+		ID:        s.id,
+		Key:       s.reg.Key,
+		Reg:       s.reg,
+		GrantJ:    s.grant.GrantJ,
+		ImportedJ: s.grant.ImportedJ,
+		SpentJ:    s.ctl.EnergyAccounted(),
+		Done:      len(s.log),
+		Live:      s.state == stateIdle || s.state == stateArmed || s.state == stateComplete,
+		Complete:  s.state == stateComplete,
+		NewIters:  recs,
+	}
+}
+
+// localSpent is the energy accounted against this node's lease: total
+// spend minus whatever was imported with an adopted session.
+func (s *session) localSpent() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.ctl.EnergyAccounted() - s.grant.ImportedJ
+	if sp < 0 {
+		sp = 0
+	}
+	return sp
+}
+
+// attachView reports what a register-by-key attach needs; ok is false
+// when the session is no longer live (the key may be re-registered).
+func (s *session) attachView() (resp wire.RegisterResponse, reg wire.RegisterRequest, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateClosed || s.state == stateExpired {
+		return wire.RegisterResponse{}, s.reg, false
+	}
+	return wire.RegisterResponse{
+		SessionID:      s.id,
+		GrantJ:         s.grant.GrantJ,
+		Iterations:     s.reg.Iterations,
+		AppConfigs:     s.tb.App.NumConfigs(),
+		SysConfigs:     s.tb.Platform.NumConfigs(),
+		Resumed:        true,
+		IterationsDone: len(s.log),
+	}, s.reg, true
+}
+
+// setGrant swaps in the broker's final grant record (used by Adopt,
+// where the governor is built and replayed before admission settles the
+// commitment arithmetic).
+func (s *session) setGrant(g Grant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grant = g
 }

@@ -41,12 +41,13 @@ type snapDaemon struct {
 }
 
 type snapSession struct {
-	Kind    string               `json:"kind"` // "session"
-	ID      string               `json:"id"`
-	Reg     wire.RegisterRequest `json:"reg"`
-	GrantJ  float64              `json:"grant_j"`
-	CommitJ float64              `json:"commit_j"`
-	Weight  float64              `json:"weight"`
+	Kind      string               `json:"kind"` // "session"
+	ID        string               `json:"id"`
+	Reg       wire.RegisterRequest `json:"reg"`
+	GrantJ    float64              `json:"grant_j"`
+	CommitJ   float64              `json:"commit_j"`
+	Weight    float64              `json:"weight"`
+	ImportedJ float64              `json:"imported_j,omitempty"`
 }
 
 type snapIter struct {
@@ -105,6 +106,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 		if err := enc.Encode(snapSession{
 			Kind: "session", ID: sess.id, Reg: reg,
 			GrantJ: grant.GrantJ, CommitJ: grant.CommitJ, Weight: grant.Weight,
+			ImportedJ: grant.ImportedJ,
 		}); err != nil {
 			return err
 		}
@@ -203,7 +205,7 @@ func (s *Server) Restore(r io.Reader) error {
 			if err := json.Unmarshal(raw, &sn); err != nil {
 				return fmt.Errorf("server: snapshot line %d: %w", line, err)
 			}
-			grant := Grant{Tenant: sn.Reg.Tenant, Weight: sn.Weight, GrantJ: sn.GrantJ, CommitJ: sn.CommitJ}
+			grant := Grant{Tenant: sn.Reg.Tenant, Weight: sn.Weight, GrantJ: sn.GrantJ, CommitJ: sn.CommitJ, ImportedJ: sn.ImportedJ}
 			sess, err := newSession(sn.ID, sn.Reg, grant, nil, s.clock())
 			if err != nil {
 				return fmt.Errorf("server: snapshot line %d: rebuilding session %s: %w", line, sn.ID, err)
@@ -211,6 +213,9 @@ func (s *Server) Restore(r io.Reader) error {
 			s.broker.readopt(grant)
 			s.mu.Lock()
 			s.sessions[sn.ID] = sess
+			if sn.Reg.Key != "" {
+				s.byKey[sn.Reg.Key] = sn.ID
+			}
 			s.mu.Unlock()
 			cur = sess
 		case "iter":

@@ -1,0 +1,224 @@
+// Cluster protocol: the fleet coordinator (internal/cluster) owns one
+// fleet-wide energy budget and delegates it to member daemons through
+// expiring leases. Nodes join and heartbeat against the coordinator;
+// clients register sessions at the coordinator and are redirected to
+// the owning node. All routes are versioned alongside the session
+// protocol:
+//
+//	POST /v1/cluster/join          JoinRequest      -> JoinResponse
+//	POST /v1/cluster/heartbeat     HeartbeatRequest -> HeartbeatResponse
+//	POST /v1/cluster/lease         ExtendRequest    -> ExtendResponse
+//	GET  /v1/cluster               ClusterInfo
+//	GET  /v1/cluster/sessions/{key}  PlacementResponse
+//	POST /v1/sessions  (coordinator) -> 307 + ErrorResponse{not_owner, Addr}
+//	POST /v1/cluster/adopt  (node)  AdoptRequest    -> AdoptResponse
+//
+// The adopt route is the one coordinator->node call: on failover the
+// coordinator pushes a dead node's sessions (registration + iteration
+// log) to their new owner, which rebuilds them by replay — the
+// cross-node analogue of the snapshot/restore path.
+package wire
+
+// ClusterBasePath is the versioned prefix of the cluster routes.
+const ClusterBasePath = "/" + Version + "/cluster"
+
+// Stable error codes specific to the cluster protocol.
+const (
+	// CodeNotOwner redirects a session call to the owning node; the
+	// ErrorResponse carries the owner's address in Addr.
+	CodeNotOwner = "not_owner"
+	// CodeNoNodes defers a placement because no live node can take the
+	// session yet (retryable: nodes may join or failover may finish).
+	CodeNoNodes = "no_nodes"
+	// CodeUnknownNode rejects a heartbeat from a node the coordinator
+	// does not recognise (expired lease or stale epoch); the node must
+	// rejoin and reconcile.
+	CodeUnknownNode = "unknown_node"
+	// CodeLeaseExpired rejects work on a node whose budget lease lapsed
+	// (self-fencing); retryable — the node renews or failover takes over.
+	CodeLeaseExpired = "lease_expired"
+)
+
+// IterRec is one completed iteration exactly as the controller consumed
+// it: the client's clocks, its cumulative meter reading and the reported
+// accuracy. It is the unit of the daemon snapshot, of heartbeat session
+// reports, and of cross-node adoption — replaying a log of IterRecs
+// through a fresh governor lands on bit-identical state.
+type IterRec struct {
+	NextNow   float64 `json:"next_now"`
+	DoneNow   float64 `json:"done_now"`
+	EnergyJ   float64 `json:"energy_j"`
+	EnergyErr bool    `json:"energy_err,omitempty"`
+	Accuracy  float64 `json:"accuracy"`
+}
+
+// JoinRequest enrolls (or re-enrolls) a node into the fleet. A rejoining
+// node reports its cumulative consumed joules so the coordinator can
+// reconcile the pessimistic escrow it booked when the lease expired.
+type JoinRequest struct {
+	// Node is the stable node name (survives restarts of the process).
+	Node string `json:"node"`
+	// Addr is the node's advertised base URL (clients are redirected to
+	// it; the coordinator pushes adoptions to it).
+	Addr string `json:"addr"`
+	// ConsumedJ is the node's cumulative energy spend across its
+	// lifetime (0 for a fresh incarnation that lost its meter).
+	ConsumedJ float64 `json:"consumed_j"`
+	// HeldKeys lists the session keys the node currently owns, so the
+	// coordinator can tell it which were reassigned while it was away.
+	HeldKeys []string `json:"held_keys,omitempty"`
+}
+
+// JoinResponse acknowledges membership and issues the budget lease.
+type JoinResponse struct {
+	// Epoch identifies this enrollment; heartbeats must echo it.
+	Epoch int64 `json:"epoch"`
+	// LeaseJ is the node's cumulative budget lease in joules: the node's
+	// broker may let its sessions spend up to LeaseJ total. It only
+	// grows; consumption is reported back through heartbeats.
+	LeaseJ float64 `json:"lease_j"`
+	// TTLMS is the lease term: a node that cannot renew within it must
+	// fence itself (stop arming iterations), and the coordinator
+	// reclaims the unspent lease after it.
+	TTLMS int64 `json:"ttl_ms"`
+	// HeartbeatMS is the renewal cadence the coordinator suggests.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// Drop lists session keys the node held that were reassigned to
+	// other nodes while it was partitioned; it must discard them.
+	Drop []string `json:"drop,omitempty"`
+}
+
+// SessionReport is one session's incremental state in a heartbeat: the
+// coordinator appends NewIters to its copy of the log, which is what
+// failover restores from.
+type SessionReport struct {
+	ID        string          `json:"id"`
+	Key       string          `json:"key"`
+	Reg       RegisterRequest `json:"reg"`
+	GrantJ    float64         `json:"grant_j"`
+	ImportedJ float64         `json:"imported_j,omitempty"`
+	SpentJ    float64         `json:"spent_j"`
+	Done      int             `json:"done"`
+	Complete  bool            `json:"complete,omitempty"`
+	// From is the index NewIters starts at (the node's view of what the
+	// coordinator has acked); the coordinator replies with its own log
+	// length per session so the two re-sync automatically.
+	From     int       `json:"from"`
+	NewIters []IterRec `json:"new_iters,omitempty"`
+}
+
+// HeartbeatRequest renews the lease and reports consumption.
+type HeartbeatRequest struct {
+	Node  string `json:"node"`
+	Epoch int64  `json:"epoch"`
+	// ConsumedJ is the node's cumulative spend; the coordinator books
+	// the delta against the lease.
+	ConsumedJ float64         `json:"consumed_j"`
+	Sessions  []SessionReport `json:"sessions,omitempty"`
+	// Closed lists node-local session ids torn down since the last
+	// heartbeat; the coordinator drops their placement records.
+	Closed []string `json:"closed,omitempty"`
+}
+
+// HeartbeatResponse extends the lease and acks the session logs.
+type HeartbeatResponse struct {
+	LeaseJ float64 `json:"lease_j"`
+	TTLMS  int64   `json:"ttl_ms"`
+	// Acked maps node-local session ids to the coordinator's stored log
+	// length; the node sends iterations from that index next time.
+	Acked map[string]int `json:"acked,omitempty"`
+}
+
+// ExtendRequest asks for an on-demand lease extension, typically to
+// admit a registration the node's current lease cannot cover.
+type ExtendRequest struct {
+	Node  string  `json:"node"`
+	Epoch int64   `json:"epoch"`
+	NeedJ float64 `json:"need_j"`
+}
+
+// ExtendResponse reports the (possibly partial) extension.
+type ExtendResponse struct {
+	LeaseJ   float64 `json:"lease_j"`
+	GrantedJ float64 `json:"granted_j"`
+}
+
+// AdoptSession is one migrated session: everything the new owner needs
+// to rebuild it by replay and re-admit its remaining grant.
+type AdoptSession struct {
+	Key    string          `json:"key"`
+	Reg    RegisterRequest `json:"reg"`
+	GrantJ float64         `json:"grant_j"`
+	SpentJ float64         `json:"spent_j"`
+	Log    []IterRec       `json:"log,omitempty"`
+}
+
+// AdoptRequest is the coordinator's failover push to a session's new
+// owner node.
+type AdoptRequest struct {
+	Sessions []AdoptSession `json:"sessions"`
+}
+
+// AdoptResponse maps session keys to the new owner's local session ids.
+type AdoptResponse struct {
+	IDs map[string]string `json:"ids"`
+}
+
+// PlacementResponse answers "which node owns session key K".
+type PlacementResponse struct {
+	Key       string `json:"key"`
+	Node      string `json:"node"`
+	Addr      string `json:"addr"`
+	SessionID string `json:"session_id,omitempty"`
+}
+
+// NodeInfo is the coordinator's view of one member.
+type NodeInfo struct {
+	Node     string  `json:"node"`
+	Addr     string  `json:"addr"`
+	Epoch    int64   `json:"epoch"`
+	Live     bool    `json:"live"`
+	LeaseJ   float64 `json:"lease_j"`
+	AckedJ   float64 `json:"acked_j"`
+	UnspentJ float64 `json:"unspent_j"`
+	EscrowJ  float64 `json:"escrow_j,omitempty"`
+	Sessions int     `json:"sessions"`
+	// Fidelity is acked spend over cumulative lease — how much of the
+	// delegated budget the node has actually turned into work.
+	Fidelity float64 `json:"fidelity"`
+}
+
+// ClusterInfo is the coordinator's introspection view: the fleet ledger
+// plus every node and placement.
+type ClusterInfo struct {
+	FleetJ float64 `json:"fleet_j"`
+	// ReserveJ is the slice of the pool held back from steady-state
+	// leasing so failover adoptions can always be funded.
+	ReserveJ float64 `json:"reserve_j"`
+	// ConsumedJ is all booked consumption, including pessimistic escrow
+	// for expired leases awaiting reconciliation.
+	ConsumedJ float64 `json:"consumed_j"`
+	// LeasedUnspentJ is the sum of live nodes' unspent leases. The
+	// safety invariant, checked after every ledger mutation:
+	// LeasedUnspentJ + ConsumedJ <= FleetJ.
+	LeasedUnspentJ float64 `json:"leased_unspent_j"`
+	PoolJ          float64 `json:"pool_j"`
+	// InvariantViolations counts failed ledger self-checks (always 0
+	// unless the lease arithmetic is broken; tests assert on it).
+	InvariantViolations int             `json:"invariant_violations"`
+	NodesLive           int             `json:"nodes_live"`
+	Reassignments       int             `json:"reassignments"`
+	Nodes               []NodeInfo      `json:"nodes,omitempty"`
+	Sessions            []PlacementInfo `json:"sessions,omitempty"`
+}
+
+// PlacementInfo is one session's fleet-level record.
+type PlacementInfo struct {
+	Key      string  `json:"key"`
+	Node     string  `json:"node"`
+	ID       string  `json:"id,omitempty"`
+	Done     int     `json:"done"`
+	GrantJ   float64 `json:"grant_j"`
+	SpentJ   float64 `json:"spent_j"`
+	Complete bool    `json:"complete,omitempty"`
+}

@@ -47,10 +47,12 @@ const (
 	CodeBadRequest = "bad_request"
 )
 
-// ErrorResponse is the body of every non-2xx reply.
+// ErrorResponse is the body of every non-2xx reply. Addr is set only on
+// CodeNotOwner redirects: the base URL of the node that owns the session.
 type ErrorResponse struct {
 	Code  string `json:"code"`
 	Error string `json:"error"`
+	Addr  string `json:"addr,omitempty"`
 }
 
 // RegisterRequest opens a session: one tenant-side control loop governed
@@ -60,6 +62,11 @@ type RegisterRequest struct {
 	// Tenant names the budget-ledger account: the broker's deficit
 	// carry-over persists per tenant across that tenant's sessions.
 	Tenant string `json:"tenant"`
+	// Key is an optional client-chosen stable session identity. In a
+	// fleet it drives placement (rendezvous hashing) and failover: a
+	// register carrying the key of a live session attaches to it
+	// (Resumed in the response) instead of opening a new one.
+	Key string `json:"key,omitempty"`
 	// Weight scales the tenant's share when the broker apportions budget
 	// (<= 0 means 1).
 	Weight float64 `json:"weight,omitempty"`
@@ -98,6 +105,11 @@ type RegisterResponse struct {
 	// client can validate its actuators.
 	AppConfigs int `json:"app_configs"`
 	SysConfigs int `json:"sys_configs"`
+	// Resumed marks an attach to an existing session (matched by Key,
+	// e.g. after failover restored it on a new node); IterationsDone is
+	// how far that session already got, so the client can catch up.
+	Resumed        bool `json:"resumed,omitempty"`
+	IterationsDone int  `json:"iterations_done,omitempty"`
 }
 
 // NextRequest fetches the configurations for the upcoming iteration.
