@@ -62,9 +62,16 @@ func main() {
 		return
 	}
 
+	budgetJ := *budget
+	if *join != "" {
+		// Fleet member: the budget comes from the coordinator's lease, so
+		// seed the broker near zero — nothing may be admitted against the
+		// ignored -budget flag before the first lease lands.
+		budgetJ = cluster.MemberSeedBudgetJ
+	}
 	tel := telemetry.New(*flight)
 	srv, err := server.New(server.Config{
-		GlobalBudgetJ: *budget,
+		GlobalBudgetJ: budgetJ,
 		Reserve:       *reserve,
 		IdleTimeout:   *idle,
 		Telemetry:     tel,

@@ -363,8 +363,9 @@ func startSelfcluster(fleetJ float64, n int) (*selfcluster, error) {
 	go func(h *http.Server) { _ = h.Serve(ln) }(sc.httpSrv)
 
 	for i := 0; i < n; i++ {
-		// The 1 J placeholder budget is replaced by the first lease.
-		srv, err := server.New(server.Config{GlobalBudgetJ: 1})
+		// The near-zero seed is replaced by the first lease: the lease is
+		// the member's only budget source.
+		srv, err := server.New(server.Config{GlobalBudgetJ: cluster.MemberSeedBudgetJ})
 		if err != nil {
 			return nil, err
 		}

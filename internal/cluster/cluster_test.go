@@ -75,6 +75,22 @@ type fleet struct {
 	servers []*server.Server
 	nodeTS  []*httptest.Server
 	ttl     time.Duration
+
+	mu        sync.Mutex
+	intercept []func(*http.Request) // per-node request hook (race tests)
+}
+
+// setIntercept installs a hook run before node idx serves each request.
+func (f *fleet) setIntercept(idx int, h func(*http.Request)) {
+	f.mu.Lock()
+	f.intercept[idx] = h
+	f.mu.Unlock()
+}
+
+func (f *fleet) getIntercept(idx int) func(*http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.intercept[idx]
 }
 
 func newFleet(t *testing.T, fleetJ float64, nodes int) *fleet {
@@ -99,17 +115,26 @@ func newFleet(t *testing.T, fleetJ float64, nodes int) *fleet {
 	return f
 }
 
-// addNode builds one member daemon and joins it to the fleet.
+// addNode builds one member daemon and joins it to the fleet. The
+// server is deliberately seeded with the daemon's default 10000 J
+// -budget so the join must prove the lease — not the local flag — is
+// the only budget source.
 func (f *fleet) addNode(name string) *cluster.Member {
 	f.t.Helper()
-	// The broker needs a positive budget before the first lease arrives;
-	// 1 J is a placeholder the join immediately replaces.
-	srv, err := server.New(server.Config{GlobalBudgetJ: 1, SweepInterval: -1, Clock: f.clock.Now})
+	const seedJ = 10000
+	srv, err := server.New(server.Config{GlobalBudgetJ: seedJ, SweepInterval: -1, Clock: f.clock.Now})
 	if err != nil {
 		f.t.Fatal(err)
 	}
+	idx := len(f.members)
+	f.mu.Lock()
+	f.intercept = append(f.intercept, nil)
+	f.mu.Unlock()
 	var m *cluster.Member
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := f.getIntercept(idx); h != nil {
+			h(r)
+		}
 		m.Handler().ServeHTTP(w, r)
 	}))
 	f.t.Cleanup(ts.Close)
@@ -125,6 +150,10 @@ func (f *fleet) addNode(name string) *cluster.Member {
 	}
 	if err := m.Join(); err != nil {
 		f.t.Fatalf("join %s: %v", name, err)
+	}
+	if g := srv.Broker().Global(); g != m.LeaseJ() || g == seedJ {
+		f.t.Fatalf("join left %s broker at %.1f J (lease %.1f J): the pre-join budget must be replaced by the lease",
+			name, g, m.LeaseJ())
 	}
 	f.members = append(f.members, m)
 	f.servers = append(f.servers, srv)

@@ -95,6 +95,7 @@ type sessRec struct {
 	id     string // owner-local session id
 	node   string // owner node id ("" while awaiting a node)
 	placed bool   // a node has reported it (reg/grant are authoritative)
+	moving bool // an adopt push is in flight; ownership is in transit
 	reg    wire.RegisterRequest
 	grantJ float64
 	spentJ float64
@@ -287,11 +288,12 @@ func (c *Coordinator) grantLocked(n *node, wantJ float64, dipReserve bool) float
 	return g
 }
 
-// bookLocked acknowledges a node's cumulative consumption.
-func (c *Coordinator) bookLocked(n *node, consumedJ float64) {
+// bookLocked acknowledges a node's cumulative consumption and returns
+// how many joules it booked.
+func (c *Coordinator) bookLocked(n *node, consumedJ float64) float64 {
 	delta := consumedJ - n.ackedJ
 	if delta <= 0 {
-		return
+		return 0
 	}
 	// Never book beyond the lease: a correct node cannot spend more than
 	// it was granted, so the excess is clamped (and would indicate a
@@ -301,6 +303,7 @@ func (c *Coordinator) bookLocked(n *node, consumedJ float64) {
 	}
 	n.ackedJ += delta
 	c.consumedJ += delta
+	return delta
 }
 
 // ---------------------------------------------------------------------
@@ -387,7 +390,16 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 			fmt.Sprintf("node %q has no live lease at epoch %d; rejoin", req.Node, req.Epoch)}
 	}
 	n.lastBeat = c.clock()
-	c.bookLocked(n, req.ConsumedJ)
+	booked := c.bookLocked(n, req.ConsumedJ)
+	// A node that reported no new spend does not need its historical peak
+	// headroom restored: decay the ratcheted top-up target toward the
+	// initial share so one busy-then-idle node cannot hoard the leasable
+	// pool forever. Grants already made are never clawed back — the decay
+	// only stops future top-ups; a new burst of demand re-raises the
+	// target through the on-demand extension path.
+	if booked <= 0 && n.targetJ > c.cfg.InitialLeaseJ {
+		n.targetJ -= (n.targetJ - c.cfg.InitialLeaseJ) * targetDecay
+	}
 	c.grantLocked(n, n.targetJ-n.unspent(), false)
 	c.cBeats.Inc()
 
@@ -439,6 +451,11 @@ func (c *Coordinator) foldReportLocked(nodeID string, rep *wire.SessionReport) i
 	}
 	return len(rec.log)
 }
+
+// targetDecay is the fraction of the gap between a node's ratcheted
+// top-up target and the initial lease share reclaimed per idle
+// heartbeat (one that books no new spend).
+const targetDecay = 0.1
 
 // Extend grants an on-demand lease extension (admission assists).
 func (c *Coordinator) Extend(req wire.ExtendRequest) (wire.ExtendResponse, error) {
@@ -568,10 +585,14 @@ func (c *Coordinator) Sweep() int {
 // (no authoritative record yet) are unplaced — a re-registration places
 // them fresh.
 func (c *Coordinator) Reassign() {
+	// Everything the push needs (owner id and address included) is copied
+	// while c.mu is held: the node record may be rewritten by a
+	// concurrent Join the moment the lock drops.
 	type move struct {
 		rec   *sessRec
 		adopt wire.AdoptSession
-		owner *node
+		node  string
+		addr  string
 	}
 	c.mu.Lock()
 	var moves []move
@@ -582,6 +603,9 @@ func (c *Coordinator) Reassign() {
 	sort.Strings(keys)
 	for _, key := range keys {
 		rec := c.sessions[key]
+		if rec.moving {
+			continue // an adopt push from an overlapping sweep is in flight
+		}
 		owner := c.nodes[rec.node]
 		if owner != nil && owner.live {
 			continue
@@ -610,9 +634,17 @@ func (c *Coordinator) Reassign() {
 		}
 		log := make([]wire.IterRec, len(rec.log))
 		copy(log, rec.log)
+		// Mark the record in transit before dropping the lock: if the dead
+		// owner rejoins while the push is in flight, Join must see it no
+		// longer owns the key and order the local copy dropped — otherwise
+		// the session would run live on two nodes at once.
+		rec.node = ""
+		rec.moving = true
+		delete(c.byID, rec.id)
 		moves = append(moves, move{
-			rec:   rec,
-			owner: next,
+			rec:  rec,
+			node: next.id,
+			addr: next.addr,
 			adopt: wire.AdoptSession{
 				Key:    key,
 				Reg:    rec.reg,
@@ -626,13 +658,22 @@ func (c *Coordinator) Reassign() {
 	c.mu.Unlock()
 
 	for _, m := range moves {
-		resp, err := c.pushAdopt(m.owner.addr, wire.AdoptRequest{Sessions: []wire.AdoptSession{m.adopt}})
-		if err != nil {
-			continue // owner unreachable; a later sweep retries
-		}
+		resp, err := c.pushAdopt(m.addr, wire.AdoptRequest{Sessions: []wire.AdoptSession{m.adopt}})
 		c.mu.Lock()
-		delete(c.byID, m.rec.id)
-		m.rec.node = m.owner.id
+		m.rec.moving = false
+		if err != nil {
+			c.mu.Unlock()
+			continue // owner unreachable; still in limbo, a later sweep retries
+		}
+		// Commit the new placement only if the adopting node is still live;
+		// if it died during the push, its lease (including the failover
+		// funding) was escrowed and the record stays unowned, so the next
+		// sweep moves the session again. The old owner cannot have taken
+		// the key back meanwhile: a rejoin during the in-transit window was
+		// told to drop it.
+		if n := c.nodes[m.node]; n != nil && n.live && m.rec.node == "" {
+			m.rec.node = m.node
+		}
 		if id := resp.IDs[m.adopt.Key]; id != "" {
 			m.rec.id = id
 			c.byID[id] = m.rec

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"jouleguard/internal/server"
@@ -152,5 +153,102 @@ func TestFailoverGoldenReplay(t *testing.T) {
 	}
 	if migratedInfo.State != "complete" {
 		t.Fatalf("migrated session state %q, want complete", migratedInfo.State)
+	}
+}
+
+// TestReassignRejoinRaceDropsStaleCopy pins the failover ownership
+// handoff against a resurrecting owner: the dead node rejoins exactly
+// while the adopt push to the survivor is in flight. The coordinator
+// marks the record in-transit before releasing its lock, so the rejoin
+// must be told to drop its stale copy — otherwise the session would run
+// live on two nodes, with their heartbeats flip-flopping ownership and
+// the stranded copy's budget leaking until idle expiry.
+func TestReassignRejoinRaceDropsStaleCopy(t *testing.T) {
+	const iters = 20
+	const preFail = 8
+
+	f := newFleet(t, 50000, 2)
+	key := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("race-%d", i)
+		place, err := f.coord.Place(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if place.Node == "node1" {
+			key = k
+			break
+		}
+	}
+	d := f.place(key, "race", iters, 2, 5)
+	for i := 0; i < preFail; i++ {
+		d.step()
+	}
+	idx := f.nodeIdx("node1")
+	if err := f.members[idx].Beat(); err != nil { // ship the log
+		t.Fatal(err)
+	}
+
+	// node1 goes silent past the TTL; node0 stays healthy.
+	f.clock.Advance(f.ttl + f.ttl/2)
+	if err := f.members[0].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	f.members[idx].CheckFence()
+
+	// Rejoin node1 from inside the adopt push to node0 — the exact
+	// window between the coordinator collecting the move and committing
+	// the new placement.
+	rejoined := make(chan error, 1)
+	f.setIntercept(0, func(r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/adopt") {
+			f.setIntercept(0, nil)
+			rejoined <- f.members[idx].Join()
+		}
+	})
+	if expired := f.coord.Sweep(); expired != 1 {
+		t.Fatalf("sweep expired %d leases, want 1", expired)
+	}
+	if err := <-rejoined; err != nil {
+		t.Fatalf("rejoin during adopt push: %v", err)
+	}
+
+	// Exactly one live copy, owned by the survivor.
+	place, err := f.coord.Place(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if place.Node != "node0" || place.SessionID == "" {
+		t.Fatalf("post-race placement %+v, want node0 with a session id", place)
+	}
+	for _, ex := range f.servers[idx].Export(nil) {
+		if ex.Key == key && ex.Live {
+			t.Fatalf("rejoined node still holds a live copy of %q: the session is live on two nodes", key)
+		}
+	}
+
+	// Ownership must not flip-flop under subsequent heartbeats from both
+	// nodes.
+	for round := 0; round < 3; round++ {
+		for _, m := range f.members {
+			if err := m.Beat(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		place, err := f.coord.Place(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if place.Node != "node0" {
+			t.Fatalf("heartbeat round %d flipped ownership to %s", round, place.Node)
+		}
+	}
+	f.assertInvariant("after rejoin race")
+
+	// The migrated session still finishes cleanly on its new owner.
+	d.base = f.nodeTS[0].URL
+	d.id = place.SessionID
+	for i := preFail; i < iters; i++ {
+		d.step()
 	}
 }

@@ -2,6 +2,7 @@ package cluster_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"jouleguard/internal/wire"
@@ -155,4 +156,141 @@ func TestLeaseSafetyPartitionRejoin(t *testing.T) {
 		d2.step()
 		assertSafe(fmt.Sprintf("post-rejoin iter %d", i))
 	}
+}
+
+// TestRejoinReconcilesLeaseDownward pins the no-double-spend half of
+// the rejoin reconcile on the member side: when a node's lease expires
+// and it rejoins, the coordinator resets the lease to the reported
+// spend and refunds the unspent escrow to the pool — so the member's
+// broker pool must shrink to the new lease. Keeping the old, larger
+// pool would make the refunded joules spendable twice: locally, and
+// again by whichever node the pool re-leases them to.
+func TestRejoinReconcilesLeaseDownward(t *testing.T) {
+	f := newFleet(t, 1000, 1) // initial lease 1000*0.9/8 = 112.5 J
+	broker := f.servers[0].Broker()
+
+	// A 500 J registration forces an on-demand extension well past the
+	// initial lease.
+	reg := wire.RegisterRequest{
+		Tenant: "t0", Key: "big", App: "radar", Platform: "Tablet",
+		Iterations: 20, BudgetJ: 500, Seed: 3,
+	}
+	var resp wire.RegisterResponse
+	if status, e := postJSON(t, f.nodeTS[0].URL+wire.BasePath, reg, &resp); status >= 300 {
+		t.Fatalf("register: status %d %+v", status, e)
+	}
+	d := &driver{t: t, base: f.nodeTS[0].URL, id: resp.SessionID, m: newMachine(t)}
+	for i := 0; i < 5; i++ {
+		d.step()
+	}
+	if _, err := f.servers[0].Close(resp.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.members[0].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	globalBefore := broker.Global()
+	spent := f.servers[0].TotalSpentJ()
+	if globalBefore <= 500 || spent <= 0 {
+		t.Fatalf("setup: global %.1f J spent %.3f J, want an extended lease and real spend", globalBefore, spent)
+	}
+
+	// Partition: the lease expires and the unspent remainder is escrowed.
+	f.clock.Advance(f.ttl + f.ttl/2)
+	if expired := f.coord.Sweep(); expired != 1 {
+		t.Fatalf("sweep expired %d leases, want 1", expired)
+	}
+	f.members[0].CheckFence()
+
+	// Rejoin (the heartbeat hits unknown_node and re-enrolls). The
+	// coordinator refunds the escrow; the member must shrink its pool to
+	// the fresh lease instead of keeping the pre-partition peak.
+	if err := f.members[0].Beat(); err != nil {
+		t.Fatalf("rejoin beat: %v", err)
+	}
+	info := f.info()
+	if len(info.Nodes) != 1 || !info.Nodes[0].Live {
+		t.Fatalf("node not live after rejoin: %+v", info.Nodes)
+	}
+	if g := broker.Global(); g >= globalBefore {
+		t.Fatalf("rejoin kept the stale pool: broker global %.3f J, pre-partition %.3f J — "+
+			"the refunded escrow is spendable twice", g, globalBefore)
+	}
+	if g, l := broker.Global(), info.Nodes[0].LeaseJ; math.Abs(g-l) > 1e-6 {
+		t.Fatalf("broker global %.3f J != coordinator lease %.3f J after rejoin", g, l)
+	}
+	// The coordinator's cover for this node must bound what the node can
+	// still physically draw.
+	if canSpend := broker.Global() - f.servers[0].TotalSpentJ(); canSpend > info.Nodes[0].UnspentJ+1e-6 {
+		t.Fatalf("node can still spend %.3f J but the coordinator only covers %.3f J", canSpend, info.Nodes[0].UnspentJ)
+	}
+	f.assertInvariant("after rejoin reconcile")
+	if f.coord.Violations() != 0 {
+		t.Fatalf("%d ledger violations", f.coord.Violations())
+	}
+}
+
+// TestIdleNodeTargetDecays pins that a node's top-up target does not
+// ratchet forever: after a burst of demand raises the lease target, a
+// stretch of idle heartbeats decays it back toward the initial share,
+// so later spend is NOT topped back up to the historical peak and one
+// busy-then-idle node cannot hoard the leasable pool.
+func TestIdleNodeTargetDecays(t *testing.T) {
+	f := newFleet(t, 1000, 1) // initial lease 112.5 J
+
+	// Burst: a 500 J registration ratchets the target to ~530 J.
+	reg := wire.RegisterRequest{
+		Tenant: "t0", Key: "burst", App: "radar", Platform: "Tablet",
+		Iterations: 20, BudgetJ: 500, Seed: 5,
+	}
+	var resp wire.RegisterResponse
+	if status, e := postJSON(t, f.nodeTS[0].URL+wire.BasePath, reg, &resp); status >= 300 {
+		t.Fatalf("register: status %d %+v", status, e)
+	}
+	d := &driver{t: t, base: f.nodeTS[0].URL, id: resp.SessionID, m: newMachine(t)}
+	for i := 0; i < 5; i++ {
+		d.step()
+	}
+	if _, err := f.servers[0].Close(resp.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.members[0].Beat(); err != nil { // books the burst spend, tops back up
+		t.Fatal(err)
+	}
+
+	// Idle: nothing spends, so every beat decays the ratcheted target.
+	for i := 0; i < 80; i++ {
+		if err := f.members[0].Beat(); err != nil {
+			t.Fatalf("idle beat %d: %v", i, err)
+		}
+	}
+	leaseAfterIdle := f.info().Nodes[0].LeaseJ
+
+	// New, small spend: with the target decayed to roughly the initial
+	// share, the existing unspent lease already covers it — the
+	// coordinator must NOT top the node back up to its historical peak.
+	reg2 := wire.RegisterRequest{
+		Tenant: "t0", Key: "small", App: "radar", Platform: "Tablet",
+		Iterations: 10, BudgetJ: 100, Seed: 7,
+	}
+	var resp2 wire.RegisterResponse
+	if status, e := postJSON(t, f.nodeTS[0].URL+wire.BasePath, reg2, &resp2); status >= 300 {
+		t.Fatalf("register small: status %d %+v", status, e)
+	}
+	d2 := &driver{t: t, base: f.nodeTS[0].URL, id: resp2.SessionID, m: newMachine(t)}
+	for i := 0; i < 5; i++ {
+		d2.step()
+	}
+	if _, err := f.servers[0].Close(resp2.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.members[0].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	info := f.info()
+	if lease := info.Nodes[0].LeaseJ; lease > leaseAfterIdle+1e-6 {
+		t.Fatalf("idle decay did not hold: lease grew %.3f -> %.3f J on a small spend "+
+			"(topped back up to the historical peak)", leaseAfterIdle, lease)
+	}
+	f.assertInvariant("after decayed top-up")
 }

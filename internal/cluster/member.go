@@ -12,6 +12,13 @@ import (
 	"jouleguard/internal/wire"
 )
 
+// MemberSeedBudgetJ seeds a fleet member daemon's broker before its
+// first lease arrives: effectively zero (the broker requires a positive
+// pool), so the coordinator's lease is the only real budget source and
+// nothing can be admitted against a local -budget flag the fleet never
+// granted.
+const MemberSeedBudgetJ = 1e-9
+
 // MemberConfig wires a governor daemon into a fleet.
 type MemberConfig struct {
 	// CoordinatorURL is the coordinator's base URL (e.g. http://host:port).
@@ -146,7 +153,7 @@ func (m *Member) Join() error {
 		m.beatEvery = m.cfg.Heartbeat
 	}
 	m.mu.Unlock()
-	m.applyLease(resp.LeaseJ, resp.TTLMS)
+	m.applyLease(resp.LeaseJ, resp.TTLMS, true)
 	return nil
 }
 
@@ -217,31 +224,52 @@ func (m *Member) Beat() error {
 		}
 	}
 	m.mu.Unlock()
-	m.applyLease(resp.LeaseJ, resp.TTLMS)
+	m.applyLease(resp.LeaseJ, resp.TTLMS, false)
 	return nil
 }
 
 // applyLease feeds the renewed lease into the local broker and pushes
-// the fence deadline out. If the cumulative lease somehow lags local
-// commitments (a fresh coordinator incarnation), ask for the shortfall
-// before giving up.
-func (m *Member) applyLease(leaseJ float64, ttlMS int64) {
-	// The cumulative lease is monotone; a heartbeat reply that raced an
-	// on-demand extension can arrive carrying the older, smaller value —
-	// applying it would claw back budget admissions already rely on.
-	if cur := m.srv.Broker().Global(); leaseJ < cur {
+// the fence deadline out.
+//
+// A heartbeat renewal (reconcile=false) applies the lease monotonically:
+// the cumulative lease never shrinks within an epoch, but a heartbeat
+// reply that raced an on-demand extension can arrive carrying the older,
+// smaller value — applying it would claw back budget admissions already
+// rely on.
+//
+// A (re)join (reconcile=true) must instead reconcile *downward*: the
+// coordinator has just reset our lease to the reported cumulative spend
+// (plus a fresh top-up) and refunded the unspent escrow to the pool.
+// Keeping the old, larger pool here would let the refunded joules be
+// spent twice — locally, and again by whichever node the pool re-leases
+// them to. The lease is the budget; it is floored only at what is
+// already committed+consumed locally (grants cannot be clawed back),
+// and the coordinator is asked to fund that shortfall.
+func (m *Member) applyLease(leaseJ float64, ttlMS int64, reconcile bool) {
+	b := m.srv.Broker()
+	if reconcile {
+		if floor := b.Global() - b.Available(); leaseJ < floor {
+			if extended, ok := m.requestExtend(floor - leaseJ); ok && extended > leaseJ {
+				leaseJ = extended
+			}
+			if leaseJ < floor {
+				leaseJ = floor
+			}
+		}
+	} else if cur := b.Global(); leaseJ < cur {
 		leaseJ = cur
 	}
-	if err := m.srv.Broker().SetGlobal(leaseJ); err != nil {
-		b := m.srv.Broker()
+	if err := b.SetGlobal(leaseJ); err != nil {
+		// A concurrent admission grew committed past our floor snapshot;
+		// ask for the shortfall before giving up.
 		if need := (b.Global() - b.Available()) - leaseJ; need > 0 {
 			if extended, ok := m.requestExtend(need); ok {
-				_ = m.srv.Broker().SetGlobal(extended)
+				_ = b.SetGlobal(extended)
 			}
 		}
 	}
 	m.mu.Lock()
-	m.leaseJ = m.srv.Broker().Global()
+	m.leaseJ = b.Global()
 	m.deadline = m.clock().Add(time.Duration(ttlMS) * time.Millisecond)
 	m.mu.Unlock()
 	m.srv.SetFenced(false)
