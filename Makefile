@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /usr/bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke serve-smoke cluster-smoke clean
+.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster clean
 
 all: build vet test
 
@@ -26,8 +26,8 @@ lint:
 	$(GO) vet ./...
 
 # The pre-merge gate: formatting + vet + the race-detector pass + the
-# daemon and fleet smoke tests.
-check: lint race serve-smoke cluster-smoke
+# daemon and fleet smoke tests + the coordinator-failover chaos run.
+check: lint race serve-smoke cluster-smoke chaos-cluster
 
 test:
 	$(GO) test ./...
@@ -64,6 +64,19 @@ cluster-smoke:
 		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
 	@mv BENCH_experiments.json.tmp BENCH_experiments.json
 	@echo "cluster-smoke passed; failover quantiles merged into BENCH_experiments.json"
+
+# Control-plane chaos under the race detector: the same fleet, but the
+# coordinator itself is killed after 240 iterations and a WAL-tailing
+# standby promotes (bumping the fencing epoch); a node kill at 480 then
+# forces clients through coordinator rotation on the new primary. Every
+# tenant must still land within 105% of its grant, and the failover
+# quantiles are merged into BENCH_experiments.json.
+chaos-cluster:
+	$(GO) run -race ./cmd/loadgen -cluster -nodes 3 -tenants 12 -iters 60 \
+		-apps radar -platform Tablet -kill-coordinator-at 240 -kill-at 480 -check 1.05 \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	@echo "chaos-cluster passed; coordinator-failover quantiles merged into BENCH_experiments.json"
 
 # One scaled-down benchmark pass over every table/figure + ablations,
 # leaving a machine-readable timing snapshot in BENCH_experiments.json.

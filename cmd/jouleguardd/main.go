@@ -17,12 +17,21 @@
 //     of a governor daemon: it owns the fleet-wide budget (-budget),
 //     leases it to member daemons, places sessions, and fails them over
 //     when a node dies. Clients register at the coordinator and are
-//     redirected (HTTP 307) to the owning node.
-//   - -join <coordinator-url> runs a governor daemon as a fleet member:
+//     redirected (HTTP 307) to the owning node. With -wal the budget
+//     ledger is event-sourced to an append-only JSONL log, replayed on
+//     restart so the coordinator resumes with a bit-identical ledger.
+//   - -coordinator -standby <primary-url> runs a standby coordinator: it
+//     tails the primary's WAL over HTTP into a promotion-ready shadow
+//     ledger, answers not_primary until then, and (with -promote-after)
+//     promotes itself once the primary has been silent that long — the
+//     fencing epoch bumps and the fleet rejoins under the new reign.
+//   - -join <coordinator-urls> runs a governor daemon as a fleet member:
 //     its budget comes from the coordinator's lease (the -budget flag is
 //     ignored), renewed by heartbeat; -node names it stably and
 //     -advertise is the base URL others reach it at (defaults to
-//     http://<addr>).
+//     http://<addr>). A comma-separated list names the primary first and
+//     standbys after it; the member rotates to the next entry when a
+//     coordinator is unreachable, deposed, or not yet promoted.
 package main
 
 import (
@@ -52,13 +61,16 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "max time to wait for in-flight iterations on shutdown")
 	coordinator := flag.Bool("coordinator", false, "run the fleet coordinator instead of a governor daemon")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "coordinator: lease term after which a silent node is expired")
-	join := flag.String("join", "", "member: coordinator base URL to join (enables fleet mode)")
+	wal := flag.String("wal", "", "coordinator: append-only ledger WAL file, replayed at start so a restart resumes the exact ledger")
+	standbyOf := flag.String("standby", "", "coordinator: tail this primary coordinator's WAL as a promotion-ready standby")
+	promoteAfter := flag.Duration("promote-after", 0, "standby: self-promote once the primary has been silent this long (0 = never; should exceed -lease-ttl)")
+	join := flag.String("join", "", "member: coordinator base URL(s) to join, comma-separated primary-first (enables fleet mode)")
 	node := flag.String("node", "", "member: stable node name (default the advertise address)")
 	advertise := flag.String("advertise", "", "member: base URL clients and the coordinator reach this daemon at (default http://<addr>)")
 	flag.Parse()
 
 	if *coordinator {
-		runCoordinator(*addr, *budget, *leaseTTL, *flight)
+		runCoordinator(*addr, *budget, *leaseTTL, *flight, *wal, *standbyOf, *promoteAfter)
 		return
 	}
 
@@ -104,18 +116,20 @@ func main() {
 		if name == "" {
 			name = adv
 		}
+		coords := splitURLs(*join)
 		member, err = cluster.NewMember(cluster.MemberConfig{
-			CoordinatorURL: strings.TrimRight(*join, "/"),
-			Node:           name,
-			Advertise:      adv,
-			Server:         srv,
+			CoordinatorURL:  coords[0],
+			CoordinatorURLs: coords[1:],
+			Node:            name,
+			Advertise:       adv,
+			Server:          srv,
 		})
 		if err != nil {
 			fail(err)
 		}
 		handler = member.Handler()
 	}
-	httpSrv := &http.Server{Handler: handler}
+	httpSrv := newHTTPServer(handler)
 	if member != nil {
 		fmt.Printf("jouleguardd member %q on http://%s  joining %s  (budget leased from the coordinator)\n",
 			*node, ln.Addr(), *join)
@@ -164,26 +178,50 @@ func main() {
 
 // runCoordinator serves the fleet coordinator: cluster routes, the
 // register-redirect endpoint and the telemetry surface on one listener.
-func runCoordinator(addr string, fleetJ float64, ttl time.Duration, flight int) {
+// With walPath the ledger is event-sourced to disk and replayed at
+// start; with standbyOf the coordinator starts as a follower tailing
+// that primary's WAL, promoting on operator demand or after
+// promoteAfter of primary silence.
+func runCoordinator(addr string, fleetJ float64, ttl time.Duration, flight int, walPath, standbyOf string, promoteAfter time.Duration) {
 	tel := telemetry.New(flight)
 	coord, err := cluster.New(cluster.Config{
 		FleetBudgetJ: fleetJ,
 		LeaseTTL:     ttl,
 		Telemetry:    tel,
+		WALPath:      walPath,
+		Follower:     standbyOf != "",
 	})
 	if err != nil {
 		fail(err)
+	}
+	var sb *cluster.Standby
+	if standbyOf != "" {
+		sb, err = cluster.NewStandby(coord, cluster.StandbyConfig{
+			PrimaryURL:   strings.TrimRight(standbyOf, "/"),
+			PromoteAfter: promoteAfter,
+		})
+		if err != nil {
+			fail(err)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fail(err)
 	}
-	httpSrv := &http.Server{Handler: coord.Handler()}
-	fmt.Printf("jouleguard coordinator on http://%s  fleet budget %.0f J  lease TTL %v  (join: /v1/cluster/join)\n",
-		ln.Addr(), fleetJ, ttl)
+	httpSrv := newHTTPServer(coord.Handler())
+	if sb != nil {
+		fmt.Printf("jouleguard standby coordinator on http://%s  tailing %s  fleet budget %.0f J  (promote-after %v)\n",
+			ln.Addr(), standbyOf, fleetJ, promoteAfter)
+	} else {
+		fmt.Printf("jouleguard coordinator on http://%s  fleet budget %.0f J  lease TTL %v  (join: /v1/cluster/join)\n",
+			ln.Addr(), fleetJ, ttl)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	if sb != nil {
+		sb.Run()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -193,10 +231,43 @@ func runCoordinator(addr string, fleetJ float64, ttl time.Duration, flight int) 
 	case err := <-errCh:
 		fail(err)
 	}
+	if sb != nil {
+		sb.Stop()
+	}
 	coord.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+}
+
+// newHTTPServer wraps a handler with the read-side limits every
+// jouleguardd listener gets: a header deadline against slow-loris
+// connection hoarding and a full-request read deadline. Request bodies
+// are separately capped at 1 MiB by the wire decoders, and the cluster
+// WAL tail endpoint bounds its batches, so no route needs a looser
+// limit. Write timeouts stay off: /decisions and /debug/pprof stream.
+func newHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+}
+
+// splitURLs parses a comma-separated coordinator list, trimming
+// whitespace and trailing slashes; the first entry is the primary.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		urls = []string{""}
+	}
+	return urls
 }
 
 func fail(err error) {

@@ -61,6 +61,7 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "run an in-process fleet (coordinator + -nodes member daemons) and register tenants through the coordinator")
 	nodes := flag.Int("nodes", 3, "cluster: member daemons in the fleet")
 	killAt := flag.Int("kill-at", 0, "cluster: kill one node once this many iterations completed fleet-wide (0 = never)")
+	killCoordAt := flag.Int("kill-coordinator-at", 0, "cluster: kill the primary coordinator and promote a standby once this many iterations completed fleet-wide (0 = never)")
 	check := flag.Float64("check", 0, "fail unless every tenant's spend <= this fraction of its grant (e.g. 1.05; 0 = report only)")
 	seed := flag.Int64("seed", 1, "base seed; tenant i runs with seed+i")
 	flag.Parse()
@@ -92,7 +93,7 @@ func main() {
 			fleetJ = autoBudget(cfg) * 2
 		}
 		var err error
-		sc, err = startSelfcluster(fleetJ, *nodes)
+		sc, err = startSelfcluster(fleetJ, *nodes, *killCoordAt > 0)
 		if err != nil {
 			fail(err)
 		}
@@ -103,6 +104,10 @@ func main() {
 		if *killAt > 0 {
 			cfg.KillAt = *killAt
 			cfg.Kill = sc.killOne
+		}
+		if *killCoordAt > 0 {
+			cfg.CoordinatorURLs = []string{sc.standbyURL()}
+			cfg.Kills = append(cfg.Kills, load.Kill{At: *killCoordAt, Do: sc.killCoordinator})
 		}
 		fmt.Fprintf(os.Stderr, "selfclustered fleet: coordinator on %s, %d nodes, fleet budget %.0f J\n",
 			cfg.CoordinatorURL, *nodes, fleetJ)
@@ -145,7 +150,7 @@ func main() {
 		sh.stop()
 	}
 	if sc != nil {
-		if err := sc.verify(rep, *killAt); err != nil {
+		if err := sc.verify(rep, *killAt, *killCoordAt); err != nil {
 			fail(err)
 		}
 		sc.stop()
@@ -326,13 +331,19 @@ func (sh *selfhost) stop() {
 // selfcluster runs a fleet coordinator plus N member daemons in-process,
 // each on its own localhost listener with real heartbeat loops, so one
 // race-detector run covers coordinator, members, servers and clients
-// together.
+// together. With a standby it also runs a follower coordinator tailing
+// the primary's WAL, ready for an epoch-fenced promotion mid-run.
 type selfcluster struct {
 	fleetJ  float64
 	coord   *cluster.Coordinator
 	httpSrv *http.Server
 	addr    string
-	nodes   []*clusterNode
+
+	standby   *cluster.Standby
+	sbHTTPSrv *http.Server
+	sbAddr    string
+	coordDead bool
+	nodes     []*clusterNode
 }
 
 type clusterNode struct {
@@ -342,7 +353,7 @@ type clusterNode struct {
 	killed  bool
 }
 
-func startSelfcluster(fleetJ float64, n int) (*selfcluster, error) {
+func startSelfcluster(fleetJ float64, n int, withStandby bool) (*selfcluster, error) {
 	if n <= 0 {
 		n = 3
 	}
@@ -362,6 +373,34 @@ func startSelfcluster(fleetJ float64, n int) (*selfcluster, error) {
 	sc.httpSrv = &http.Server{Handler: coord.Handler()}
 	go func(h *http.Server) { _ = h.Serve(ln) }(sc.httpSrv)
 
+	var standbys []string
+	if withStandby {
+		follower, err := cluster.New(cluster.Config{
+			FleetBudgetJ: fleetJ,
+			LeaseTTL:     800 * time.Millisecond,
+			Follower:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc.standby, err = cluster.NewStandby(follower, cluster.StandbyConfig{
+			PrimaryURL: sc.baseURL(),
+			PollEvery:  50 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		sc.sbAddr = sln.Addr().String()
+		sc.sbHTTPSrv = &http.Server{Handler: follower.Handler()}
+		go func(h *http.Server) { _ = h.Serve(sln) }(sc.sbHTTPSrv)
+		sc.standby.Run()
+		standbys = []string{sc.standbyURL()}
+	}
+
 	for i := 0; i < n; i++ {
 		// The near-zero seed is replaced by the first lease: the lease is
 		// the member's only budget source.
@@ -375,10 +414,11 @@ func startSelfcluster(fleetJ float64, n int) (*selfcluster, error) {
 		}
 		nd := &clusterNode{name: fmt.Sprintf("node%d", i)}
 		nd.member, err = cluster.NewMember(cluster.MemberConfig{
-			CoordinatorURL: sc.baseURL(),
-			Node:           nd.name,
-			Advertise:      "http://" + nln.Addr().String(),
-			Server:         srv,
+			CoordinatorURL:  sc.baseURL(),
+			CoordinatorURLs: standbys,
+			Node:            nd.name,
+			Advertise:       "http://" + nln.Addr().String(),
+			Server:          srv,
 		})
 		if err != nil {
 			return nil, err
@@ -393,7 +433,33 @@ func startSelfcluster(fleetJ float64, n int) (*selfcluster, error) {
 	return sc, nil
 }
 
-func (sc *selfcluster) baseURL() string { return "http://" + sc.addr }
+func (sc *selfcluster) baseURL() string    { return "http://" + sc.addr }
+func (sc *selfcluster) standbyURL() string { return "http://" + sc.sbAddr }
+
+// serving returns the coordinator currently holding the ledger: the
+// promoted standby after a coordinator kill, the primary otherwise.
+func (sc *selfcluster) serving() *cluster.Coordinator {
+	if sc.standby != nil && sc.standby.Promoted() {
+		return sc.standby.Coordinator()
+	}
+	return sc.coord
+}
+
+// killCoordinator kills the primary coordinator (listener closed, WAL
+// closed) and promotes the standby: the fencing epoch bumps, every live
+// lease is escrowed pending rejoin reconciliation, and members and
+// clients rotate to the standby's address.
+func (sc *selfcluster) killCoordinator() {
+	if sc.standby == nil || sc.coordDead {
+		return
+	}
+	sc.coordDead = true
+	fmt.Fprintf(os.Stderr, "kill trigger: stopping primary coordinator on %s\n", sc.addr)
+	_ = sc.httpSrv.Close()
+	sc.coord.Stop()
+	fence := sc.standby.Promote()
+	fmt.Fprintf(os.Stderr, "standby on %s promoted at fence %d\n", sc.sbAddr, fence)
+}
 
 // killOne kills the live node owning the most active sessions: stop its
 // heartbeats (the lease is left to expire) and close its listener so
@@ -425,9 +491,10 @@ func (sc *selfcluster) killOne() {
 	_ = victim.httpSrv.Close()
 }
 
-// verify asserts the coordinator-side fleet invariant after the run.
-func (sc *selfcluster) verify(rep *load.Report, killAt int) error {
-	info := sc.coord.Info(false)
+// verify asserts the coordinator-side fleet invariant after the run,
+// against whichever coordinator holds the ledger after any promotion.
+func (sc *selfcluster) verify(rep *load.Report, killAt, killCoordAt int) error {
+	info := sc.serving().Info(false)
 	if info.InvariantViolations != 0 {
 		return fmt.Errorf("loadgen: %d fleet-ledger invariant violations", info.InvariantViolations)
 	}
@@ -441,9 +508,19 @@ func (sc *selfcluster) verify(rep *load.Report, killAt int) error {
 	if killAt > 0 && rep.Failovers == 0 {
 		return fmt.Errorf("loadgen: a node was killed mid-run but no client reported a failover")
 	}
+	if killCoordAt > 0 {
+		if info.Role != "primary" || info.Fence == 0 {
+			return fmt.Errorf("loadgen: coordinator was killed but the survivor reports role %q fence %d",
+				info.Role, info.Fence)
+		}
+		if killAt > 0 && rep.CoordFailovers == 0 {
+			return fmt.Errorf("loadgen: node failover ran after a coordinator kill but no client rotated coordinators")
+		}
+	}
 	fmt.Fprintf(os.Stderr, "fleet ledger: budget %.0f J, consumed %.1f J, unspent leases %.1f J, "+
-		"%d nodes live, %d reassignments; clients rode through %d failovers\n",
-		info.FleetJ, info.ConsumedJ, info.LeasedUnspentJ, info.NodesLive, info.Reassignments, rep.Failovers)
+		"%d nodes live, %d reassignments, fence %d; clients rode through %d failovers (%d coordinator rotations)\n",
+		info.FleetJ, info.ConsumedJ, info.LeasedUnspentJ, info.NodesLive, info.Reassignments, info.Fence,
+		rep.Failovers, rep.CoordFailovers)
 	return nil
 }
 
@@ -455,8 +532,15 @@ func (sc *selfcluster) stop() {
 		nd.member.Stop()
 		_ = nd.httpSrv.Close()
 	}
-	sc.coord.Stop()
-	_ = sc.httpSrv.Close()
+	if !sc.coordDead {
+		sc.coord.Stop()
+		_ = sc.httpSrv.Close()
+	}
+	if sc.standby != nil {
+		sc.standby.Stop()
+		sc.standby.Coordinator().Stop()
+		_ = sc.sbHTTPSrv.Close()
+	}
 }
 
 func fail(err error) {

@@ -102,6 +102,12 @@ type Options struct {
 	// registers there, and session calls fail over to the session's new
 	// owner when the current node dies. BaseURL may then be empty.
 	CoordinatorURL string
+	// CoordinatorURLs is the ordered failover list tried after
+	// CoordinatorURL: when the active coordinator is unreachable, still a
+	// standby (not_primary), or deposed (stale_epoch), placement rotates
+	// to the next entry. Placements carry a fencing epoch; the client
+	// keeps the highest one seen and discards answers from older reigns.
+	CoordinatorURLs []string
 	// Key is the stable cross-node session identity (required for
 	// coordinator placement and failover).
 	Key string
@@ -165,7 +171,9 @@ type iterHist struct {
 type Session struct {
 	id         string
 	base       string
-	coord      string
+	coords     []string // ordered coordinator list; empty outside a fleet
+	coordIdx   int      // index of the coordinator currently believed primary
+	fence      int64    // highest coordinator fencing epoch seen
 	reg        wire.RegisterRequest
 	httpc      *http.Client
 	retry      RetryPolicy
@@ -187,7 +195,8 @@ type Session struct {
 	histBase int
 	histCap  int
 
-	failovers int
+	failovers      int
+	coordFailovers int
 }
 
 // Open registers a session with the daemon. readEnergy returns the
@@ -195,10 +204,17 @@ type Session struct {
 // monotone clock — the same instruments NewOnline takes, measured
 // client-side so network latency never pollutes the intervals.
 func Open(ctx context.Context, opts Options, readEnergy func() (float64, error), now func() float64) (*Session, error) {
-	if opts.BaseURL == "" && opts.CoordinatorURL == "" {
+	coords := make([]string, 0, 1+len(opts.CoordinatorURLs))
+	if opts.CoordinatorURL != "" {
+		coords = append(coords, strings.TrimRight(opts.CoordinatorURL, "/"))
+	}
+	for _, u := range opts.CoordinatorURLs {
+		coords = append(coords, strings.TrimRight(u, "/"))
+	}
+	if opts.BaseURL == "" && len(coords) == 0 {
 		return nil, fmt.Errorf("client: need BaseURL or CoordinatorURL")
 	}
-	if opts.CoordinatorURL != "" && opts.Key == "" {
+	if len(coords) > 0 && opts.Key == "" {
 		return nil, fmt.Errorf("client: coordinator placement requires a session Key")
 	}
 	if readEnergy == nil || now == nil {
@@ -214,7 +230,7 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 	}
 	s := &Session{
 		base:       strings.TrimRight(opts.BaseURL, "/"),
-		coord:      strings.TrimRight(opts.CoordinatorURL, "/"),
+		coords:     coords,
 		httpc:      httpc,
 		retry:      opts.Retry.withDefaults(),
 		timeout:    opts.RequestTimeout,
@@ -235,7 +251,7 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 		Seed:         opts.Seed,
 		IdleTimeoutS: opts.IdleTimeout.Seconds(),
 	}
-	if s.coord != "" {
+	if len(s.coords) > 0 {
 		place, err := s.place(ctx)
 		if err != nil {
 			return nil, err
@@ -272,6 +288,14 @@ func (s *Session) LastStatus() wire.DoneResponse { return s.lastDone }
 
 // Failovers reports how many times this session migrated to a new node.
 func (s *Session) Failovers() int { return s.failovers }
+
+// CoordFailovers reports how many times placement switched to a
+// different coordinator in the ordered list.
+func (s *Session) CoordFailovers() int { return s.coordFailovers }
+
+// Fence reports the highest coordinator fencing epoch this session has
+// seen.
+func (s *Session) Fence() int64 { return s.fence }
 
 // Next fetches the configurations for the upcoming iteration and starts
 // its interval on the local clock. If the previous iteration's Done was
@@ -417,7 +441,7 @@ func (s *Session) path(op string) string {
 // shouldFailover decides whether an error means "this node no longer
 // serves the session" rather than "this call failed".
 func (s *Session) shouldFailover(err error) bool {
-	if err == nil || s.coord == "" || s.reg.Key == "" {
+	if err == nil || len(s.coords) == 0 || s.reg.Key == "" {
 		return false
 	}
 	return errors.Is(err, errExhausted) ||
@@ -426,13 +450,40 @@ func (s *Session) shouldFailover(err error) bool {
 		IsCode(err, wire.CodeNotOwner)
 }
 
-// place asks the coordinator where the session lives. The call retries
-// through the no_nodes window while a failover is still restoring the
-// session on its new owner.
+// place asks the coordinators, in order from the one last known to
+// serve, where the session lives. An unreachable coordinator, a standby
+// answering not_primary, and a deposed primary answering stale_epoch
+// all rotate to the next entry; a placement carrying a fence older than
+// the highest one seen is discarded the same way — grants and
+// placements from a deposed reign must never be acted on. The per-entry
+// call retries through the no_nodes window while a failover is still
+// restoring the session on its new owner.
 func (s *Session) place(ctx context.Context) (wire.PlacementResponse, error) {
-	var place wire.PlacementResponse
-	err := s.callTo(ctx, s.coord, "GET", wire.ClusterBasePath+"/sessions/"+s.reg.Key, nil, &place)
-	return place, err
+	var lastErr error
+	for i := 0; i < len(s.coords); i++ {
+		idx := (s.coordIdx + i) % len(s.coords)
+		var place wire.PlacementResponse
+		err := s.callTo(ctx, s.coords[idx], "GET", wire.ClusterBasePath+"/sessions/"+s.reg.Key, nil, &place)
+		if err == nil {
+			if place.Fence < s.fence {
+				lastErr = &Error{Code: wire.CodeStaleEpoch, Status: http.StatusConflict,
+					Message: fmt.Sprintf("placement from fence %d, have seen %d; dropped", place.Fence, s.fence)}
+				continue
+			}
+			if idx != s.coordIdx {
+				s.coordIdx = idx
+				s.coordFailovers++
+			}
+			s.fence = place.Fence
+			return place, nil
+		}
+		lastErr = err
+		if errors.Is(err, errExhausted) || IsCode(err, wire.CodeNotPrimary) || IsCode(err, wire.CodeStaleEpoch) {
+			continue
+		}
+		return wire.PlacementResponse{}, err
+	}
+	return wire.PlacementResponse{}, lastErr
 }
 
 // failover migrates the client to the session's new owner: re-place via

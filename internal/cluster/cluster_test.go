@@ -94,18 +94,29 @@ func (f *fleet) getIntercept(idx int) func(*http.Request) {
 }
 
 func newFleet(t *testing.T, fleetJ float64, nodes int) *fleet {
+	return newFleetCfg(t, fleetJ, nodes, nil)
+}
+
+// newFleetCfg builds a fleet letting the test adjust the coordinator
+// config (e.g. a WAL path) before it starts.
+func newFleetCfg(t *testing.T, fleetJ float64, nodes int, edit func(*cluster.Config)) *fleet {
 	t.Helper()
 	clk := newManualClock()
 	ttl := 3 * time.Second
-	coord, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		FleetBudgetJ:  fleetJ,
 		LeaseTTL:      ttl,
 		SweepInterval: -1, // tests call Sweep explicitly
 		Clock:         clk.Now,
-	})
+	}
+	if edit != nil {
+		edit(&cfg)
+	}
+	coord, err := cluster.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(coord.Stop)
 	f := &fleet{t: t, clock: clk, coord: coord, ttl: ttl}
 	f.coordTS = httptest.NewServer(coord.Handler())
 	t.Cleanup(f.coordTS.Close)
@@ -120,6 +131,12 @@ func newFleet(t *testing.T, fleetJ float64, nodes int) *fleet {
 // -budget so the join must prove the lease — not the local flag — is
 // the only budget source.
 func (f *fleet) addNode(name string) *cluster.Member {
+	return f.addNodeWith(name, nil, nil)
+}
+
+// addNodeWith builds a member with an explicit standby coordinator list
+// and/or HTTP client (for fault-fabric transports); nils take defaults.
+func (f *fleet) addNodeWith(name string, standbys []string, httpc *http.Client) *cluster.Member {
 	f.t.Helper()
 	const seedJ = 10000
 	srv, err := server.New(server.Config{GlobalBudgetJ: seedJ, SweepInterval: -1, Clock: f.clock.Now})
@@ -139,11 +156,13 @@ func (f *fleet) addNode(name string) *cluster.Member {
 	}))
 	f.t.Cleanup(ts.Close)
 	m, err = cluster.NewMember(cluster.MemberConfig{
-		CoordinatorURL: f.coordTS.URL,
-		Node:           name,
-		Advertise:      ts.URL,
-		Server:         srv,
-		Clock:          f.clock.Now,
+		CoordinatorURL:  f.coordTS.URL,
+		CoordinatorURLs: standbys,
+		Node:            name,
+		Advertise:       ts.URL,
+		Server:          srv,
+		Clock:           f.clock.Now,
+		HTTPClient:      httpc,
 	})
 	if err != nil {
 		f.t.Fatal(err)

@@ -60,6 +60,16 @@ type Config struct {
 	Clock func() time.Time
 	// HTTPClient performs the coordinator->node adoption pushes.
 	HTTPClient *http.Client
+	// WALPath, when non-empty, mirrors the ledger write-ahead log to an
+	// append-only JSONL file. An existing file is replayed by New, so a
+	// restarted coordinator resumes with a bit-identical ledger; the
+	// in-memory log (and the /v1/cluster/wal tail it serves to standbys)
+	// exists regardless of whether a file is configured.
+	WALPath string
+	// Follower starts the coordinator as a non-serving standby: it
+	// rejects control-plane calls with not_primary and shadows the
+	// primary's ledger by applying tailed WAL records until Promote.
+	Follower bool
 }
 
 // node is the coordinator's ledger record for one member.
@@ -95,13 +105,19 @@ type sessRec struct {
 	id     string // owner-local session id
 	node   string // owner node id ("" while awaiting a node)
 	placed bool   // a node has reported it (reg/grant are authoritative)
-	moving bool // an adopt push is in flight; ownership is in transit
-	reg    wire.RegisterRequest
-	grantJ float64
-	spentJ float64
-	done   int
-	comp   bool
-	log    []wire.IterRec
+	moving bool   // an adopt push is in flight; ownership is in transit
+	// walGhost marks a placement learned from WAL replay: ownership is
+	// known but the registration and log are not (heartbeats re-ship
+	// them). Reassign must not act on a ghost until the owner has had a
+	// lease term to rejoin and report, or it would push empty state over
+	// a live session.
+	walGhost bool
+	reg      wire.RegisterRequest
+	grantJ   float64
+	spentJ   float64
+	done     int
+	comp     bool
+	log      []wire.IterRec
 }
 
 // Coordinator owns the fleet energy budget and the session placement
@@ -122,6 +138,18 @@ type Coordinator struct {
 	epochCtr   int64
 	violations int
 	reassigned int
+	// fence is the fencing epoch: bumped on every promotion, carried in
+	// every response, and the proof of who the serving primary is — any
+	// peer presenting a higher fence deposes us on the spot.
+	fence    int64
+	follower bool // standby shadow: serves nothing until Promote
+	deposed  bool // out-fenced primary: serves nothing ever again
+	walSeq   uint64
+	// graceUntil holds Reassign back from acting on WAL-ghost placements
+	// after a promotion or restart, giving owners one lease term to
+	// rejoin and re-report their sessions.
+	graceUntil time.Time
+	wal        *ledgerWAL
 
 	stopSweep chan struct{}
 	sweepDone chan struct{}
@@ -185,7 +213,22 @@ func New(cfg Config) (*Coordinator, error) {
 		cViol:     tel.Registry.Counter("jouleguard_cluster_invariant_violations_total", "Failed fleet-ledger self-checks (should stay 0)."),
 	}
 	tel.Registry.Gauge("jouleguard_cluster_fleet_joules", "Fleet-wide energy budget.").Set(cfg.FleetBudgetJ)
-	if cfg.SweepInterval > 0 {
+	c.follower = cfg.Follower
+	// Replay an existing WAL before opening it for append: the restarted
+	// coordinator resumes the old reign's ledger (and fence) exactly, and
+	// the fresh header this run appends records the continuation.
+	if cfg.WALPath != "" {
+		if _, err := c.ReplayWALFile(cfg.WALPath); err != nil {
+			return nil, err
+		}
+	}
+	w, err := newLedgerWAL(cfg.WALPath, cfg.FleetBudgetJ, c.fence)
+	if err != nil {
+		return nil, err
+	}
+	w.seq = c.walSeq
+	c.wal = w
+	if cfg.SweepInterval > 0 && !c.follower {
 		c.stopSweep = make(chan struct{})
 		c.sweepDone = make(chan struct{})
 		go c.sweepLoop()
@@ -196,13 +239,94 @@ func New(cfg Config) (*Coordinator, error) {
 // Telemetry returns the sink the coordinator reports into.
 func (c *Coordinator) Telemetry() *telemetry.Telemetry { return c.tel }
 
-// Stop halts the expiry watchdog.
+// Stop halts the expiry watchdog and closes the WAL file mirror.
 func (c *Coordinator) Stop() {
 	if c.stopSweep != nil {
 		close(c.stopSweep)
 		<-c.sweepDone
 		c.stopSweep = nil
 	}
+	if c.wal != nil {
+		c.wal.Close()
+	}
+}
+
+// Fence reports the coordinator's fencing epoch.
+func (c *Coordinator) Fence() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fence
+}
+
+// gateLocked enforces the control-plane serving rules: a follower
+// (standby not yet promoted) serves nothing, a deposed primary serves
+// nothing, and a peer carrying a higher fence than ours is proof a
+// standby promoted over us — we step down on the spot rather than issue
+// one more grant the fleet would have to double-count.
+func (c *Coordinator) gateLocked(peerFence int64) error {
+	if c.follower {
+		return &wireError{wire.CodeNotPrimary, "standby coordinator; retry against the primary"}
+	}
+	if peerFence > c.fence {
+		c.fence = peerFence
+		c.deposed = true
+	}
+	if c.deposed {
+		return &wireError{wire.CodeStaleEpoch,
+			fmt.Sprintf("coordinator deposed at fence %d; rejoin the promoted primary", c.fence)}
+	}
+	return nil
+}
+
+// Promote turns a standby (or a recovered coordinator) into the serving
+// primary. The fencing epoch is bumped past the highest fence ever
+// seen — every response now carries it, so members and clients treat
+// the old primary's grants as stale — and every live node's unspent
+// lease is escrowed exactly as if its lease had expired: the new
+// primary cannot know how much of those grants members have spent under
+// the old reign, so it books all of it pessimistically and lets each
+// member rejoin-reconcile the truth back. The safety invariant
+// therefore holds from the first instant of the new reign, and a joule
+// promised by both coordinators is impossible by construction.
+func (c *Coordinator) Promote() int64 {
+	c.mu.Lock()
+	c.follower = false
+	c.deposed = false
+	c.fence++
+	c.logFenceLocked("promote")
+	ids := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := c.nodes[id]
+		if !n.live {
+			continue
+		}
+		escrow := n.leaseJ - n.ackedJ
+		if escrow < 0 {
+			escrow = 0
+		}
+		n.escrowJ += escrow
+		c.consumedJ += escrow
+		n.live = false
+		c.cExpiries.Inc()
+		c.logNodeLocked("promote-escrow", n)
+		c.checkLocked("promote-escrow")
+	}
+	c.graceUntil = c.clock().Add(c.cfg.LeaseTTL)
+	fence := c.fence
+	startSweep := c.cfg.SweepInterval > 0 && c.stopSweep == nil
+	if startSweep {
+		c.stopSweep = make(chan struct{})
+		c.sweepDone = make(chan struct{})
+	}
+	c.mu.Unlock()
+	if startSweep {
+		go c.sweepLoop()
+	}
+	return fence
 }
 
 func (c *Coordinator) sweepLoop() {
@@ -319,6 +443,9 @@ func (c *Coordinator) Join(req wire.JoinRequest) (wire.JoinResponse, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.gateLocked(req.Fence); err != nil {
+		return wire.JoinResponse{}, err
+	}
 	n := c.nodes[req.Node]
 	switch {
 	case n == nil:
@@ -356,15 +483,24 @@ func (c *Coordinator) Join(req wire.JoinRequest) (wire.JoinResponse, error) {
 	n.lastBeat = c.clock()
 	n.targetJ = c.cfg.InitialLeaseJ
 	c.grantLocked(n, n.targetJ-n.unspent(), false)
+	c.logNodeLocked("join", n)
 	c.checkLocked("join")
 
 	// Tell a returning node which of its sessions moved on while it was
 	// away; it must discard them (their budget was escrowed and their
-	// state restored elsewhere).
+	// state restored elsewhere). A key the coordinator has no record of
+	// is claimed, not dropped: a coordinator that lost its placement map
+	// (restart without a WAL, or a promotion racing the first report)
+	// must treat the holding node as authoritative rather than order a
+	// running session discarded.
 	var drop []string
 	for _, key := range req.HeldKeys {
 		rec := c.sessions[key]
-		if rec == nil || rec.node != req.Node {
+		switch {
+		case rec == nil:
+			c.sessions[key] = &sessRec{key: key, node: req.Node, walGhost: true}
+			c.logSessLocked("place", key, req.Node)
+		case rec.node != req.Node:
 			drop = append(drop, key)
 		}
 	}
@@ -375,6 +511,7 @@ func (c *Coordinator) Join(req wire.JoinRequest) (wire.JoinResponse, error) {
 		TTLMS:       c.cfg.LeaseTTL.Milliseconds(),
 		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
 		Drop:        drop,
+		Fence:       c.fence,
 	}, nil
 }
 
@@ -384,6 +521,9 @@ func (c *Coordinator) Join(req wire.JoinRequest) (wire.JoinResponse, error) {
 func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.gateLocked(req.Fence); err != nil {
+		return wire.HeartbeatResponse{}, err
+	}
 	n := c.nodes[req.Node]
 	if n == nil || !n.live || n.epoch != req.Epoch {
 		return wire.HeartbeatResponse{}, &wireError{wire.CodeUnknownNode,
@@ -411,13 +551,16 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 		if rec := c.byID[id]; rec != nil && rec.node == req.Node {
 			delete(c.sessions, rec.key)
 			delete(c.byID, id)
+			c.logSessLocked("close", rec.key, "")
 		}
 	}
+	c.logNodeLocked("heartbeat", n)
 	c.checkLocked("heartbeat")
 	return wire.HeartbeatResponse{
 		LeaseJ: n.leaseJ,
 		TTLMS:  c.cfg.LeaseTTL.Milliseconds(),
 		Acked:  acked,
+		Fence:  c.fence,
 	}, nil
 }
 
@@ -437,8 +580,12 @@ func (c *Coordinator) foldReportLocked(nodeID string, rep *wire.SessionReport) i
 		rec.id = rep.ID
 		c.byID[rep.ID] = rec
 	}
+	if rec.node != nodeID || !rec.placed {
+		c.logSessLocked("place", rep.Key, nodeID)
+	}
 	rec.node = nodeID
 	rec.placed = true
+	rec.walGhost = false
 	rec.reg = rep.Reg
 	rec.grantJ = rep.GrantJ
 	rec.spentJ = rep.SpentJ
@@ -461,6 +608,9 @@ const targetDecay = 0.1
 func (c *Coordinator) Extend(req wire.ExtendRequest) (wire.ExtendResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.gateLocked(req.Fence); err != nil {
+		return wire.ExtendResponse{}, err
+	}
 	n := c.nodes[req.Node]
 	if n == nil || !n.live || n.epoch != req.Epoch {
 		return wire.ExtendResponse{}, &wireError{wire.CodeUnknownNode,
@@ -471,8 +621,9 @@ func (c *Coordinator) Extend(req wire.ExtendRequest) (wire.ExtendResponse, error
 	}
 	g := c.grantLocked(n, req.NeedJ, false)
 	n.targetJ += g
+	c.logNodeLocked("extend", n)
 	c.checkLocked("extend")
-	return wire.ExtendResponse{LeaseJ: n.leaseJ, GrantedJ: g}, nil
+	return wire.ExtendResponse{LeaseJ: n.leaseJ, GrantedJ: g, Fence: c.fence}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -520,21 +671,25 @@ func (c *Coordinator) Place(key string) (wire.PlacementResponse, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.gateLocked(0); err != nil {
+		return wire.PlacementResponse{}, err
+	}
 	if rec := c.sessions[key]; rec != nil {
 		owner := c.nodes[rec.node]
 		if owner == nil || !owner.live {
 			return wire.PlacementResponse{}, &wireError{wire.CodeNoNodes,
 				fmt.Sprintf("session %q is between nodes (owner down, failover pending); retry", key)}
 		}
-		return wire.PlacementResponse{Key: key, Node: owner.id, Addr: owner.addr, SessionID: rec.id}, nil
+		return wire.PlacementResponse{Key: key, Node: owner.id, Addr: owner.addr, SessionID: rec.id, Fence: c.fence}, nil
 	}
 	owner := c.rendezvousLocked(key)
 	if owner == nil {
 		return wire.PlacementResponse{}, &wireError{wire.CodeNoNodes, "no live nodes in the fleet; retry"}
 	}
 	c.sessions[key] = &sessRec{key: key, node: owner.id}
+	c.logSessLocked("place", key, owner.id)
 	c.cPlaced.Inc()
-	return wire.PlacementResponse{Key: key, Node: owner.id, Addr: owner.addr}, nil
+	return wire.PlacementResponse{Key: key, Node: owner.id, Addr: owner.addr, Fence: c.fence}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -546,6 +701,10 @@ func (c *Coordinator) Place(key string) (wire.PlacementResponse, error) {
 func (c *Coordinator) Sweep() int {
 	now := c.clock()
 	c.mu.Lock()
+	if c.follower || c.deposed {
+		c.mu.Unlock()
+		return 0
+	}
 	expired := 0
 	for _, n := range c.nodes {
 		if !n.live || now.Sub(n.lastBeat) <= c.cfg.LeaseTTL {
@@ -567,6 +726,7 @@ func (c *Coordinator) Sweep() int {
 		n.live = false
 		expired++
 		c.cExpiries.Inc()
+		c.logNodeLocked("expire", n)
 		c.checkLocked("expire")
 	}
 	c.mu.Unlock()
@@ -594,7 +754,13 @@ func (c *Coordinator) Reassign() {
 		node  string
 		addr  string
 	}
+	now := c.clock()
 	c.mu.Lock()
+	if c.follower || c.deposed {
+		c.mu.Unlock()
+		return
+	}
+	fence := c.fence
 	var moves []move
 	var keys []string
 	for key := range c.sessions {
@@ -608,6 +774,18 @@ func (c *Coordinator) Reassign() {
 		}
 		owner := c.nodes[rec.node]
 		if owner != nil && owner.live {
+			continue
+		}
+		if rec.walGhost {
+			// Ownership came from WAL replay; there is nothing to restore
+			// from yet. Give the owner one lease term to rejoin and
+			// re-report before concluding the session is gone.
+			if now.Before(c.graceUntil) {
+				continue
+			}
+			delete(c.byID, rec.id)
+			delete(c.sessions, key)
+			c.logSessLocked("close", key, "")
 			continue
 		}
 		if !rec.placed {
@@ -631,6 +809,7 @@ func (c *Coordinator) Reassign() {
 		if need > 0 {
 			g := c.grantLocked(next, need, true)
 			next.targetJ += g
+			c.logNodeLocked("reassign-fund", next)
 		}
 		log := make([]wire.IterRec, len(rec.log))
 		copy(log, rec.log)
@@ -658,7 +837,7 @@ func (c *Coordinator) Reassign() {
 	c.mu.Unlock()
 
 	for _, m := range moves {
-		resp, err := c.pushAdopt(m.addr, wire.AdoptRequest{Sessions: []wire.AdoptSession{m.adopt}})
+		resp, err := c.pushAdopt(m.addr, wire.AdoptRequest{Sessions: []wire.AdoptSession{m.adopt}, Fence: fence})
 		c.mu.Lock()
 		m.rec.moving = false
 		if err != nil {
@@ -673,6 +852,7 @@ func (c *Coordinator) Reassign() {
 		// told to drop it.
 		if n := c.nodes[m.node]; n != nil && n.live && m.rec.node == "" {
 			m.rec.node = m.node
+			c.logSessLocked("move", m.adopt.Key, m.node)
 		}
 		if id := resp.IDs[m.adopt.Key]; id != "" {
 			m.rec.id = id
@@ -694,8 +874,17 @@ const serverReserve = 1.05
 func (c *Coordinator) Info(includeDetail bool) wire.ClusterInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	role := "primary"
+	switch {
+	case c.follower:
+		role = "standby"
+	case c.deposed:
+		role = "deposed"
+	}
 	info := wire.ClusterInfo{
 		FleetJ:              c.cfg.FleetBudgetJ,
+		Fence:               c.fence,
+		Role:                role,
 		ReserveJ:            c.reserveJ(),
 		ConsumedJ:           c.consumedJ,
 		LeasedUnspentJ:      c.unspentLocked(),

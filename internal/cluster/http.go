@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"jouleguard/internal/wire"
 )
@@ -36,6 +37,12 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case wire.CodeNoNodes, wire.CodeLeaseExpired:
 		status = http.StatusServiceUnavailable
+	case wire.CodeStaleEpoch:
+		// Conflict, not retryable-here: the caller must move to the
+		// coordinator holding the higher fence, never retry this one.
+		status = http.StatusConflict
+	case wire.CodeNotPrimary:
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, wire.ErrorResponse{Code: code, Error: msg})
 }
@@ -59,6 +66,7 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST "+wire.ClusterBasePath+"/lease", c.handleExtend)
 	mux.HandleFunc("GET "+wire.ClusterBasePath, c.handleInfo)
 	mux.HandleFunc("GET "+wire.ClusterBasePath+"/sessions/{key}", c.handlePlacement)
+	mux.HandleFunc("GET "+wire.ClusterBasePath+"/wal", c.handleWAL)
 	mux.HandleFunc("POST "+wire.BasePath, c.handleRegister)
 }
 
@@ -112,6 +120,22 @@ func (c *Coordinator) handleExtend(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.Info(r.URL.Query().Get("detail") != ""))
+}
+
+// handleWAL serves the ledger log tail to a replicating standby:
+// GET /v1/cluster/wal?from=N returns the records with Seq >= N (or a
+// full compacted resync when N has been folded away).
+func (c *Coordinator) handleWAL(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeError(w, &wireError{wire.CodeBadRequest, "invalid from cursor: " + err.Error()})
+			return
+		}
+		from = v
+	}
+	writeJSON(w, http.StatusOK, c.wal.Tail(from))
 }
 
 func (c *Coordinator) handlePlacement(w http.ResponseWriter, r *http.Request) {

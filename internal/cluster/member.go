@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -23,6 +25,11 @@ const MemberSeedBudgetJ = 1e-9
 type MemberConfig struct {
 	// CoordinatorURL is the coordinator's base URL (e.g. http://host:port).
 	CoordinatorURL string
+	// CoordinatorURLs is the ordered failover list tried after
+	// CoordinatorURL: a standby that answers not_primary (or a deposed
+	// primary answering stale_epoch, or one that is simply unreachable)
+	// rotates the member to the next entry.
+	CoordinatorURLs []string
 	// Node is this daemon's stable fleet identity.
 	Node string
 	// Advertise is the base URL clients and the coordinator reach this
@@ -47,12 +54,15 @@ type MemberConfig struct {
 // exactly the window the coordinator waits before escrowing the unspent
 // lease — so node and coordinator can never both spend the same joules.
 type Member struct {
-	cfg   MemberConfig
-	srv   *server.Server
-	httpc *http.Client
-	clock func() time.Time
+	cfg    MemberConfig
+	srv    *server.Server
+	httpc  *http.Client
+	clock  func() time.Time
+	coords []string // ordered coordinator list; immutable after New
 
 	mu        sync.Mutex
+	cur       int // index into coords of the coordinator we believe serves
+	fence     int64
 	joined    bool
 	epoch     int64
 	leaseJ    float64
@@ -67,8 +77,13 @@ type Member struct {
 // NewMember wires srv into the fleet (the first Join happens on Run or
 // an explicit Join call).
 func NewMember(cfg MemberConfig) (*Member, error) {
-	if cfg.CoordinatorURL == "" || cfg.Node == "" || cfg.Advertise == "" || cfg.Server == nil {
-		return nil, fmt.Errorf("cluster: member needs coordinator URL, node name, advertise address and a server")
+	coords := make([]string, 0, 1+len(cfg.CoordinatorURLs))
+	if cfg.CoordinatorURL != "" {
+		coords = append(coords, cfg.CoordinatorURL)
+	}
+	coords = append(coords, cfg.CoordinatorURLs...)
+	if len(coords) == 0 || cfg.Node == "" || cfg.Advertise == "" || cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: member needs coordinator URL(s), node name, advertise address and a server")
 	}
 	httpc := cfg.HTTPClient
 	if httpc == nil {
@@ -79,11 +94,12 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 		clock = time.Now
 	}
 	m := &Member{
-		cfg:   cfg,
-		srv:   cfg.Server,
-		httpc: httpc,
-		clock: clock,
-		acked: map[string]int{},
+		cfg:    cfg,
+		srv:    cfg.Server,
+		httpc:  httpc,
+		clock:  clock,
+		coords: coords,
+		acked:  map[string]int{},
 	}
 	// When local admission runs out of lease, ask the coordinator for an
 	// on-demand extension before rejecting the tenant.
@@ -126,9 +142,13 @@ func (m *Member) Join() error {
 		Addr:      m.cfg.Advertise,
 		ConsumedJ: m.srv.TotalSpentJ(),
 		HeldKeys:  held,
+		Fence:     m.Fence(),
 	}, &resp)
 	if err != nil {
 		return err
+	}
+	if !m.acceptFence(resp.Fence) {
+		return &wireError{wire.CodeStaleEpoch, "join answered by a deposed coordinator; grant dropped"}
 	}
 	// Sessions that failed over while we were away: their budget was
 	// escrowed and their state restored elsewhere, so the local copies
@@ -178,6 +198,7 @@ func (m *Member) Beat() error {
 		Node:      m.cfg.Node,
 		Epoch:     epoch,
 		ConsumedJ: m.srv.TotalSpentJ(),
+		Fence:     m.Fence(),
 	}
 	seen := map[string]bool{}
 	for _, ex := range exports {
@@ -212,6 +233,9 @@ func (m *Member) Beat() error {
 			return m.Join()
 		}
 		return err
+	}
+	if !m.acceptFence(resp.Fence) {
+		return &wireError{wire.CodeStaleEpoch, "heartbeat answered by a deposed coordinator; grant dropped"}
 	}
 
 	m.mu.Lock()
@@ -317,10 +341,36 @@ func (m *Member) requestExtend(needJ float64) (float64, bool) {
 		return 0, false
 	}
 	var resp wire.ExtendResponse
-	if err := m.post("/lease", wire.ExtendRequest{Node: m.cfg.Node, Epoch: epoch, NeedJ: needJ}, &resp); err != nil {
+	if err := m.post("/lease", wire.ExtendRequest{Node: m.cfg.Node, Epoch: epoch, NeedJ: needJ, Fence: m.Fence()}, &resp); err != nil {
 		return 0, false
 	}
+	if !m.acceptFence(resp.Fence) {
+		return 0, false // extension granted by a deposed coordinator
+	}
 	return resp.LeaseJ, true
+}
+
+// Fence reports the highest coordinator fencing epoch this member has
+// seen.
+func (m *Member) Fence() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fence
+}
+
+// acceptFence records a response's fencing epoch and reports whether
+// the grant it came with may be applied: a fence below the highest one
+// we have seen identifies a deposed primary whose grants are no longer
+// backed by the fleet ledger (the promoted coordinator escrowed them) —
+// applying one would let the same joules be spent under both reigns.
+func (m *Member) acceptFence(fence int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fence < m.fence {
+		return false
+	}
+	m.fence = fence
+	return true
 }
 
 // handleAdopt restores sessions the coordinator reassigned to this node
@@ -329,6 +379,13 @@ func (m *Member) requestExtend(needJ float64) (float64, bool) {
 func (m *Member) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	var req wire.AdoptRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	// A deposed primary must not seed sessions: its placement decisions
+	// are no longer backed by the ledger the promoted coordinator owns.
+	if !m.acceptFence(req.Fence) {
+		writeError(w, &wireError{wire.CodeStaleEpoch,
+			fmt.Sprintf("adopt push carries fence %d, node has seen %d", req.Fence, m.Fence())})
 		return
 	}
 	ids := make(map[string]string, len(req.Sessions))
@@ -347,7 +404,12 @@ func (m *Member) handleAdopt(w http.ResponseWriter, r *http.Request) {
 }
 
 // Run joins and then heartbeats until Stop; heartbeat failures are
-// tolerated (the fence keeps the books safe) and retried next tick.
+// tolerated (the fence keeps the books safe) and retried with jittered
+// capped-exponential backoff. The jitter is seeded from the node name:
+// deterministic per node, but different across the fleet, so a
+// restarting coordinator sees the herd of rejoins spread over the
+// backoff window instead of arriving in one synchronized thundering
+// wave.
 func (m *Member) Run() error {
 	if err := m.Join(); err != nil {
 		return err
@@ -361,16 +423,34 @@ func (m *Member) Run() error {
 	m.done = make(chan struct{})
 	stop, done := m.stop, m.done
 	m.mu.Unlock()
+	seed := fnv.New64a()
+	seed.Write([]byte(m.cfg.Node))
+	rng := rand.New(rand.NewSource(int64(seed.Sum64())))
 	go func() {
 		defer close(done)
-		t := time.NewTicker(every)
-		defer t.Stop()
+		fails := 0
 		for {
+			delay := every
+			if fails > 0 {
+				// Exponential in the failure count, capped at 8 beats, with
+				// a uniform [0.5, 1.5) jitter factor.
+				backoff := every << uint(min(fails-1, 3))
+				if max := 8 * every; backoff > max {
+					backoff = max
+				}
+				delay = backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+			}
+			t := time.NewTimer(delay)
 			select {
 			case <-t.C:
-				_ = m.Beat()
+				if err := m.Beat(); err != nil {
+					fails++
+				} else {
+					fails = 0
+				}
 				m.CheckFence()
 			case <-stop:
+				t.Stop()
 				return
 			}
 		}
@@ -397,14 +477,51 @@ func (m *Member) LeaseJ() float64 {
 	return m.leaseJ
 }
 
-// post sends one coordinator call and decodes the reply, converting
-// protocol error bodies into *wireError so callers can branch on codes.
+// post sends one coordinator call, rotating through the ordered
+// coordinator list: an unreachable coordinator, a standby answering
+// not_primary, or a deposed primary answering stale_epoch all advance
+// to the next entry; any other protocol answer comes from the serving
+// primary and is returned to the caller. The coordinator that finally
+// answers becomes the member's active one.
 func (m *Member) post(path string, in, out any) error {
+	m.mu.Lock()
+	start, coords := m.cur, m.coords
+	m.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(coords); i++ {
+		idx := (start + i) % len(coords)
+		err := m.postTo(coords[idx], path, in, out)
+		var werr *wireError
+		retryNext := err != nil && (!errorAs(err, &werr) ||
+			werr.code == wire.CodeNotPrimary || werr.code == wire.CodeStaleEpoch)
+		if !retryNext {
+			m.mu.Lock()
+			m.cur = idx
+			m.mu.Unlock()
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// errorAs is errors.As narrowed to *wireError (post's only sniff).
+func errorAs(err error, target **wireError) bool {
+	if werr, ok := err.(*wireError); ok {
+		*target = werr
+		return true
+	}
+	return false
+}
+
+// postTo sends one coordinator call and decodes the reply, converting
+// protocol error bodies into *wireError so callers can branch on codes.
+func (m *Member) postTo(coord, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, m.cfg.CoordinatorURL+wire.ClusterBasePath+path, bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, coord+wire.ClusterBasePath+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

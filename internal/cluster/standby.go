@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"jouleguard/internal/wire"
+)
+
+// StandbyConfig tunes a Standby replication loop. PrimaryURL is
+// required.
+type StandbyConfig struct {
+	// PrimaryURL is the primary coordinator's base URL.
+	PrimaryURL string
+	// PollEvery paces the WAL tail polls (default: the coordinator's
+	// heartbeat cadence).
+	PollEvery time.Duration
+	// PromoteAfter auto-promotes the standby once the primary has been
+	// silent this long (0 disables auto-promotion — an operator or test
+	// calls Promote). It should comfortably exceed the lease TTL: the
+	// members' self-fencing is what makes a late, spurious promotion
+	// safe, but an eager one still forces a full fleet rejoin.
+	PromoteAfter time.Duration
+	// HTTPClient performs the tail polls (nil builds a 5s-timeout one).
+	HTTPClient *http.Client
+	// Clock is injectable for tests (nil = time.Now).
+	Clock func() time.Time
+}
+
+// Standby tails a primary coordinator's write-ahead log into a follower
+// Coordinator, keeping a promotion-ready shadow of the fleet ledger.
+// On promotion the shadow becomes the serving primary: the fencing
+// epoch bumps, all live leases are escrowed pending rejoin
+// reconciliation, and the old primary is deposed the moment any peer
+// relays the new fence to it.
+type Standby struct {
+	c     *Coordinator
+	cfg   StandbyConfig
+	httpc *http.Client
+	clock func() time.Time
+
+	mu       sync.Mutex
+	cursor   uint64
+	lastOK   time.Time
+	promoted bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewStandby wraps a follower coordinator (built with Config.Follower)
+// with a replication loop against the primary.
+func NewStandby(c *Coordinator, cfg StandbyConfig) (*Standby, error) {
+	if cfg.PrimaryURL == "" {
+		return nil, fmt.Errorf("cluster: standby requires the primary's URL")
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = c.cfg.HeartbeatEvery
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 5 * time.Second}
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Standby{c: c, cfg: cfg, httpc: httpc, clock: clock}, nil
+}
+
+// Coordinator returns the shadow (or, after promotion, primary)
+// coordinator.
+func (s *Standby) Coordinator() *Coordinator { return s.c }
+
+// Poll performs one WAL tail round against the primary and folds the
+// records into the shadow ledger. Tests and the Run loop share it.
+func (s *Standby) Poll() error {
+	s.mu.Lock()
+	cursor := s.cursor
+	s.mu.Unlock()
+	resp, err := s.httpc.Get(s.cfg.PrimaryURL + wire.ClusterBasePath + "/wal?from=" + fmt.Sprint(cursor))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: WAL tail: primary answered %s", resp.Status)
+	}
+	var tail walTailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
+		return err
+	}
+	next, err := s.c.ApplyTail(tail)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cursor = next
+	s.lastOK = s.clock()
+	s.mu.Unlock()
+	return nil
+}
+
+// Promote ends replication and makes the shadow the serving primary.
+// It returns the new fencing epoch.
+func (s *Standby) Promote() int64 {
+	s.mu.Lock()
+	if s.promoted {
+		s.mu.Unlock()
+		return s.c.Fence()
+	}
+	s.promoted = true
+	s.mu.Unlock()
+	return s.c.Promote()
+}
+
+// Promoted reports whether promotion has happened.
+func (s *Standby) Promoted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// Run starts the replication loop: tail the primary on PollEvery and,
+// when PromoteAfter is set, promote once the primary has been silent
+// that long. The loop exits after promotion (the coordinator's own
+// sweeper takes over) or Stop.
+func (s *Standby) Run() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.lastOK = s.clock()
+	s.mu.Unlock()
+	go s.loop()
+}
+
+func (s *Standby) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.PollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.Poll()
+			if s.cfg.PromoteAfter > 0 {
+				s.mu.Lock()
+				silent := s.clock().Sub(s.lastOK)
+				s.mu.Unlock()
+				if silent > s.cfg.PromoteAfter {
+					s.Promote()
+					return
+				}
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the replication loop (a promoted standby's coordinator
+// keeps running; stop that separately).
+func (s *Standby) Stop() {
+	s.mu.Lock()
+	stop := s.stop
+	s.stop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-s.done
+	}
+}

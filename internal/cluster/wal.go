@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func nsToTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// The coordinator's write-ahead log makes the fleet ledger survive the
+// death of the coordinator itself — the same event-sourcing move
+// internal/server/snapshot.go makes for one daemon, applied one level
+// up. Every ledger mutation (join, heartbeat book/top-up, extend,
+// expiry escrow, reassign funding, promotion) appends one JSONL record
+// carrying the op that caused it (the audit trail) plus the resulting
+// authoritative values of the touched node and the coordinator's global
+// counters. Replay applies the values, not the ops, so the rebuilt
+// ledger cannot drift from the one that wrote the log: a restarted
+// coordinator lands on a bit-identical ledger, and a standby tailing
+// the log over HTTP holds a promotion-ready shadow of it.
+//
+// Placement mutations (a key placed, moved, or closed) are logged too —
+// key and owner only, never iteration logs or registrations, which are
+// re-shipped by member heartbeats after a failover. That keeps the log
+// small while letting a promoted standby answer "who owns key K"
+// without ever inventing a second owner for a session that is still
+// running somewhere.
+
+const walVersion = 1
+
+// walRec is one WAL record. Kind selects the payload:
+//
+//   - "hdr":  log header (version, fleet budget, fence at open)
+//   - "node": a ledger mutation — the touched node's full post-mutation
+//     record plus the coordinator's consumed total and epoch counter
+//   - "sess": a placement mutation (op "place"/"move"/"close")
+//   - "fence": a fencing-epoch bump (standby promotion)
+type walRec struct {
+	Kind  string `json:"kind"`
+	Seq   uint64 `json:"seq"`
+	Fence int64  `json:"fence"`
+	Op    string `json:"op,omitempty"`
+
+	// "hdr" payload.
+	V      int     `json:"v,omitempty"`
+	FleetJ float64 `json:"fleet_j,omitempty"`
+
+	// "node" payload: the post-mutation node record and globals.
+	Node     string  `json:"node,omitempty"`
+	Addr     string  `json:"addr,omitempty"`
+	Epoch    int64   `json:"epoch,omitempty"`
+	LeaseJ   float64 `json:"lease_j,omitempty"`
+	AckedJ   float64 `json:"acked_j,omitempty"`
+	EscrowJ  float64 `json:"escrow_j,omitempty"`
+	TargetJ  float64 `json:"target_j,omitempty"`
+	Live     bool    `json:"live,omitempty"`
+	BeatNS   int64   `json:"beat_ns,omitempty"`
+	Consumed float64 `json:"consumed_j,omitempty"`
+	EpochCtr int64   `json:"epoch_ctr,omitempty"`
+
+	// "sess" payload: key and (for place/move) the owning node.
+	Key string `json:"key,omitempty"`
+}
+
+// walTailResponse is the body of GET /v1/cluster/wal?from=N: records
+// with Seq >= From (compacted records first when the requested cursor
+// has been folded away), and the cursor to poll from next.
+type walTailResponse struct {
+	From  uint64   `json:"from"`
+	Next  uint64   `json:"next"`
+	Fence int64    `json:"fence"`
+	Recs  []walRec `json:"recs,omitempty"`
+}
+
+// walCompactAt bounds the in-memory tail: once it outgrows this, the
+// oldest records are folded into the compacted base (latest record per
+// node and per session key — sufficient because records carry resulting
+// values, so the latest one per entity IS the state).
+const walCompactAt = 4096
+
+// ledgerWAL accumulates the coordinator's ledger log: an in-memory
+// tail served to standbys over HTTP, optionally mirrored to an
+// append-only JSONL file for restart durability.
+type ledgerWAL struct {
+	mu      sync.Mutex
+	seq     uint64
+	baseSeq uint64            // first seq held in tail
+	base    map[string]walRec // compacted state by entity key ("n:"+node / "s:"+key)
+	closed  map[string]bool   // session keys closed since their base record
+	tail    []walRec
+	hdr     walRec
+
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// newLedgerWAL opens the log, appending to path when non-empty. The
+// header records the fleet budget so replay can reject a mismatched
+// restart.
+func newLedgerWAL(path string, fleetJ float64, fence int64) (*ledgerWAL, error) {
+	w := &ledgerWAL{base: map[string]walRec{}, closed: map[string]bool{}}
+	w.hdr = walRec{Kind: "hdr", V: walVersion, FleetJ: fleetJ, Fence: fence}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: opening WAL %s: %w", path, err)
+		}
+		w.f = f
+		w.bw = bufio.NewWriter(f)
+	}
+	if err := w.write(w.hdr); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// append logs one record, stamping its sequence number.
+func (w *ledgerWAL) append(rec walRec) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	rec.Seq = w.seq
+	w.tail = append(w.tail, rec)
+	if len(w.tail) > walCompactAt {
+		w.compactLocked(len(w.tail) / 2)
+	}
+	_ = w.write(rec)
+}
+
+// mirror folds a record replicated from another coordinator's log into
+// this one, preserving the original sequence number — a durable standby
+// writes the primary's history to its own file, and its own tail can
+// serve it onward.
+func (w *ledgerWAL) mirror(rec walRec) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rec.Seq > w.seq {
+		w.seq = rec.Seq
+	}
+	if rec.Kind == "fence" && rec.Fence > w.hdr.Fence {
+		w.hdr.Fence = rec.Fence
+	}
+	w.tail = append(w.tail, rec)
+	if len(w.tail) > walCompactAt {
+		w.compactLocked(len(w.tail) / 2)
+	}
+	_ = w.write(rec)
+}
+
+// write appends one record to the file mirror (no-op without one).
+// Each append is flushed and fsynced: the WAL's whole point is that the
+// grant survives the crash that follows it, and the log is written on
+// the control plane (joins/heartbeats/extends), never the per-iteration
+// decision path.
+func (w *ledgerWAL) write(rec walRec) error {
+	if w.bw == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// compactLocked folds the oldest n tail records into the compacted
+// base. Caller holds w.mu.
+func (w *ledgerWAL) compactLocked(n int) {
+	for _, rec := range w.tail[:n] {
+		switch rec.Kind {
+		case "node":
+			w.base["n:"+rec.Node] = rec
+		case "sess":
+			if rec.Op == "close" {
+				delete(w.base, "s:"+rec.Key)
+				w.closed[rec.Key] = true
+			} else {
+				w.base["s:"+rec.Key] = rec
+				delete(w.closed, rec.Key)
+			}
+		case "fence":
+			w.hdr.Fence = rec.Fence
+		}
+		w.baseSeq = rec.Seq
+	}
+	w.tail = append(w.tail[:0:0], w.tail[n:]...)
+}
+
+// baseRecsLocked renders the compacted base as a deterministic record
+// list (header first, then entities in sorted key order).
+func (w *ledgerWAL) baseRecsLocked() []walRec {
+	keys := make([]string, 0, len(w.base))
+	for k := range w.base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]walRec, 0, len(keys)+1)
+	hdr := w.hdr
+	hdr.Seq = 0
+	recs = append(recs, hdr)
+	for _, k := range keys {
+		recs = append(recs, w.base[k])
+	}
+	return recs
+}
+
+// Tail returns the records from seq `from` on. A cursor older than the
+// retained tail is answered with the compacted base followed by the
+// whole tail — the caller resets its shadow state from it (records
+// carry resulting values, so re-applying is idempotent).
+func (w *ledgerWAL) Tail(from uint64) walTailResponse {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	resp := walTailResponse{From: from, Next: w.seq + 1, Fence: w.hdr.Fence}
+	// A cursor the log cannot serve incrementally — older than the
+	// retained tail, or ahead of the log (the primary restarted with a
+	// shorter history) — gets a full resync: compacted base plus tail.
+	if (from <= w.baseSeq && w.baseSeq > 0) || from > w.seq+1 {
+		resp.Recs = append(w.baseRecsLocked(), w.tail...)
+		return resp
+	}
+	for _, rec := range w.tail {
+		if rec.Seq >= from {
+			resp.Recs = append(resp.Recs, rec)
+		}
+	}
+	return resp
+}
+
+// Close releases the file mirror.
+func (w *ledgerWAL) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.bw != nil {
+		_ = w.bw.Flush()
+	}
+	if w.f != nil {
+		_ = w.f.Sync()
+		_ = w.f.Close()
+		w.f, w.bw = nil, nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Coordinator-side logging hooks and replay.
+
+// logNodeLocked appends one ledger mutation for n. Caller holds c.mu.
+func (c *Coordinator) logNodeLocked(op string, n *node) {
+	if c.wal == nil {
+		return
+	}
+	c.wal.append(walRec{
+		Kind: "node", Op: op, Fence: c.fence,
+		Node: n.id, Addr: n.addr, Epoch: n.epoch,
+		LeaseJ: n.leaseJ, AckedJ: n.ackedJ, EscrowJ: n.escrowJ,
+		TargetJ: n.targetJ, Live: n.live, BeatNS: n.lastBeat.UnixNano(),
+		Consumed: c.consumedJ, EpochCtr: c.epochCtr,
+	})
+}
+
+// logSessLocked appends one placement mutation. Caller holds c.mu.
+func (c *Coordinator) logSessLocked(op, key, nodeID string) {
+	if c.wal == nil {
+		return
+	}
+	c.wal.append(walRec{Kind: "sess", Op: op, Fence: c.fence, Key: key, Node: nodeID})
+}
+
+// logFenceLocked appends a fencing-epoch bump. Caller holds c.mu.
+func (c *Coordinator) logFenceLocked(op string) {
+	if c.wal == nil {
+		return
+	}
+	c.wal.mu.Lock()
+	c.wal.hdr.Fence = c.fence
+	c.wal.mu.Unlock()
+	c.wal.append(walRec{Kind: "fence", Op: op, Fence: c.fence})
+}
+
+// applyWAL folds one replicated record into the ledger. It is the
+// single replay path for both a restarted coordinator reading its file
+// and a standby tailing the primary over HTTP.
+func (c *Coordinator) applyWAL(rec walRec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch rec.Kind {
+	case "hdr":
+		if rec.V != walVersion {
+			return fmt.Errorf("cluster: WAL version %d, want %d", rec.V, walVersion)
+		}
+		if rec.FleetJ != c.cfg.FleetBudgetJ {
+			return fmt.Errorf("cluster: WAL written for a %.1f J fleet, this coordinator has %.1f J",
+				rec.FleetJ, c.cfg.FleetBudgetJ)
+		}
+		if rec.Fence > c.fence {
+			c.fence = rec.Fence
+		}
+	case "node":
+		n := c.nodes[rec.Node]
+		if n == nil {
+			n = &node{id: rec.Node}
+			c.nodes[rec.Node] = n
+		}
+		n.addr = rec.Addr
+		n.epoch = rec.Epoch
+		n.leaseJ = rec.LeaseJ
+		n.ackedJ = rec.AckedJ
+		n.escrowJ = rec.EscrowJ
+		n.targetJ = rec.TargetJ
+		n.live = rec.Live
+		n.lastBeat = nsToTime(rec.BeatNS)
+		c.consumedJ = rec.Consumed
+		if rec.EpochCtr > c.epochCtr {
+			c.epochCtr = rec.EpochCtr
+		}
+		if rec.Fence > c.fence {
+			c.fence = rec.Fence
+		}
+	case "sess":
+		switch rec.Op {
+		case "close":
+			if old := c.sessions[rec.Key]; old != nil {
+				delete(c.byID, old.id)
+			}
+			delete(c.sessions, rec.Key)
+		default: // place, move
+			sr := c.sessions[rec.Key]
+			if sr == nil {
+				// Ownership only: the registration and log are re-shipped
+				// by the owner's heartbeats (walGhost marks the record as
+				// not-yet-restorable so Reassign doesn't push empty state).
+				sr = &sessRec{key: rec.Key, walGhost: true}
+				c.sessions[rec.Key] = sr
+			}
+			sr.node = rec.Node
+		}
+	case "fence":
+		if rec.Fence > c.fence {
+			c.fence = rec.Fence
+		}
+	default:
+		return fmt.Errorf("cluster: unknown WAL record kind %q", rec.Kind)
+	}
+	if rec.Seq > c.walSeq {
+		c.walSeq = rec.Seq
+	}
+	if c.wal != nil && rec.Seq > 0 && rec.Kind != "hdr" {
+		// Replicated history (a standby tailing the primary): mirror the
+		// record into our own log, preserving its sequence number, so a
+		// durable standby persists it and a promotion extends it.
+		c.wal.mirror(rec)
+	}
+	return nil
+}
+
+// ApplyTail folds one tail response from the primary into the shadow
+// ledger and returns the cursor to poll from next.
+func (c *Coordinator) ApplyTail(resp walTailResponse) (uint64, error) {
+	for _, rec := range resp.Recs {
+		if err := c.applyWAL(rec); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	if resp.Fence > c.fence {
+		c.fence = resp.Fence
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+	return resp.Next, nil
+}
+
+// ReplayWAL rebuilds the ledger from a JSONL log stream. It must run on
+// a fresh coordinator (no nodes yet) — typically at boot, before the
+// listener opens.
+func (c *Coordinator) ReplayWAL(r io.Reader) error {
+	c.mu.Lock()
+	if len(c.nodes) != 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: WAL replay requires a fresh coordinator, have %d nodes", len(c.nodes))
+	}
+	c.mu.Unlock()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line, seen := 0, false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec walRec
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("cluster: WAL line %d: %w", line, err)
+		}
+		if rec.Kind == "hdr" {
+			seen = true
+		} else if !seen {
+			return fmt.Errorf("cluster: WAL line %d: record before header", line)
+		}
+		if err := c.applyWAL(rec); err != nil {
+			return fmt.Errorf("cluster: WAL line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !seen && line > 0 {
+		return fmt.Errorf("cluster: WAL has no header")
+	}
+	c.mu.Lock()
+	// Ghost placements get one lease term for their owners to rejoin and
+	// re-report before Reassign concludes they are gone.
+	c.graceUntil = c.clock().Add(c.cfg.LeaseTTL)
+	c.publishLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// ReplayWALFile replays a WAL file; a missing file is a cold start, not
+// an error.
+func (c *Coordinator) ReplayWALFile(path string) (replayed bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer f.Close()
+	if err := c.ReplayWAL(f); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,210 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"jouleguard/internal/cluster"
+	"jouleguard/internal/wire"
+)
+
+// owners extracts the key -> node placement map from a snapshot.
+func owners(info wire.ClusterInfo) map[string]string {
+	m := map[string]string{}
+	for _, s := range info.Sessions {
+		m[s.Key] = s.Node
+	}
+	return m
+}
+
+// stripVolatile clears the snapshot fields WAL replay deliberately does
+// not restore: session payloads (re-shipped by owner heartbeats — only
+// the key->node ownership survives, checked separately via owners).
+func stripVolatile(info *wire.ClusterInfo) {
+	info.Sessions = nil
+}
+
+// TestWALReplayBitIdentical is the cluster mirror of the daemon's
+// TestSnapshotRestoreBitIdentical: a coordinator that joined nodes,
+// booked spend, extended a lease, escrowed an expiry and reconciled a
+// rejoin is killed, and a fresh coordinator replaying its WAL must land
+// on a bit-identical ledger — same leases, escrow, consumed total,
+// epochs and placement ownership, byte for byte.
+func TestWALReplayBitIdentical(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "coordinator.wal")
+	f := newFleetCfg(t, 20000, 2, func(cfg *cluster.Config) { cfg.WALPath = walPath })
+	d := f.place("job-wal", "t1", 15, 2, 7)
+	for i := 0; i < 15; i++ {
+		d.step()
+	}
+	for _, m := range f.members {
+		if err := m.Beat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Exercise the extension path: an admission that does not fit the
+	// owner's initial lease forces an on-demand extend record.
+	pl, err := f.coord.Place("job-wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerIdx := f.nodeIdx(pl.Node)
+	reg := wire.RegisterRequest{
+		Tenant: "t2", Key: "job-big", App: "radar", Platform: "Tablet",
+		Iterations: 50, BudgetJ: 3000,
+	}
+	if status, e := postJSON(t, f.nodeTS[ownerIdx].URL+wire.BasePath, reg, &wire.RegisterResponse{}); status >= 300 {
+		t.Fatalf("register job-big: status %d %+v", status, e)
+	}
+	if err := f.members[ownerIdx].Beat(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exercise expiry escrow and rejoin reconciliation on the idle node
+	// (both sessions live on the owner, so no reassignment fires).
+	otherIdx := 1 - ownerIdx
+	f.clock.Advance(f.ttl + time.Second)
+	if err := f.members[ownerIdx].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.coord.Sweep(); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+	if err := f.members[otherIdx].Beat(); err != nil {
+		t.Fatal(err)
+	}
+	f.assertInvariant("before restart")
+
+	pre := f.info()
+	f.coord.Stop() // flush and close the WAL file — the "crash"
+
+	restored, err := cluster.New(cluster.Config{
+		FleetBudgetJ:  20000,
+		LeaseTTL:      f.ttl,
+		SweepInterval: -1,
+		Clock:         f.clock.Now,
+		WALPath:       walPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	post := restored.Info(true)
+
+	if !reflect.DeepEqual(owners(pre), owners(post)) {
+		t.Fatalf("placement ownership diverged across restart:\n pre: %v\npost: %v", owners(pre), owners(post))
+	}
+	stripVolatile(&pre)
+	stripVolatile(&post)
+	a, _ := json.Marshal(pre)
+	b, _ := json.Marshal(post)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("restored ledger is not bit-identical:\n pre: %s\npost: %s", a, b)
+	}
+	if got := post.LeasedUnspentJ + post.ConsumedJ; got > post.FleetJ+1e-6 {
+		t.Fatalf("restored ledger violates the invariant: %.3f > %.3f", got, post.FleetJ)
+	}
+
+	// The restored coordinator keeps appending to the same log: a member
+	// rejoin must succeed and extend the history, not corrupt it.
+	if _, err := restored.Join(wire.JoinRequest{Node: "node0", Addr: f.nodeTS[0].URL, ConsumedJ: f.servers[0].TotalSpentJ()}); err != nil {
+		t.Fatalf("join against the restored coordinator: %v", err)
+	}
+	restored.Stop()
+	second, err := cluster.New(cluster.Config{
+		FleetBudgetJ:  20000,
+		LeaseTTL:      f.ttl,
+		SweepInterval: -1,
+		Clock:         f.clock.Now,
+		WALPath:       walPath,
+	})
+	if err != nil {
+		t.Fatalf("second replay over the extended log: %v", err)
+	}
+	second.Stop()
+}
+
+// TestWALReplayRejectsMismatchedFleet pins the header check: a WAL
+// written for one fleet budget must not silently seed a coordinator
+// configured with another.
+func TestWALReplayRejectsMismatchedFleet(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "coordinator.wal")
+	f := newFleetCfg(t, 20000, 1, func(cfg *cluster.Config) { cfg.WALPath = walPath })
+	f.coord.Stop()
+	if _, err := cluster.New(cluster.Config{
+		FleetBudgetJ:  30000,
+		LeaseTTL:      f.ttl,
+		SweepInterval: -1,
+		Clock:         f.clock.Now,
+		WALPath:       walPath,
+	}); err == nil {
+		t.Fatal("a 30000 J coordinator replayed a 20000 J fleet's WAL without complaint")
+	}
+}
+
+// TestStandbyShadowLedgerMatchesPrimary pins HTTP WAL replication: a
+// standby tailing the primary holds the same ledger the primary does,
+// serves nothing until promoted, and keeps tracking as the log grows.
+func TestStandbyShadowLedgerMatchesPrimary(t *testing.T) {
+	f := newFleet(t, 20000, 2)
+	sb, sbTS := f.addStandby("")
+	d := f.place("job-shadow", "t1", 20, 2, 7)
+	for i := 0; i < 8; i++ {
+		d.step()
+	}
+	for _, m := range f.members {
+		if err := m.Beat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sb.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	compare := func(when string) {
+		t.Helper()
+		pre := f.info()
+		shadow := sb.Coordinator().Info(true)
+		if shadow.Role != "standby" {
+			t.Fatalf("%s: shadow role %q, want standby", when, shadow.Role)
+		}
+		if !reflect.DeepEqual(owners(pre), owners(shadow)) {
+			t.Fatalf("%s: shadow placement diverged:\nprimary: %v\n shadow: %v", when, owners(pre), owners(shadow))
+		}
+		stripVolatile(&pre)
+		stripVolatile(&shadow)
+		pre.Role, shadow.Role = "", ""
+		a, _ := json.Marshal(pre)
+		b, _ := json.Marshal(shadow)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: shadow ledger diverged:\nprimary: %s\n shadow: %s", when, a, b)
+		}
+	}
+	compare("after first poll")
+
+	// The shadow refuses to serve the control plane until promoted.
+	join := wire.JoinRequest{Node: "nodeX", Addr: "http://x"}
+	if status, werr := postJSON(t, sbTS.URL+wire.ClusterBasePath+"/join", join, nil); status != http.StatusServiceUnavailable || werr.Code != wire.CodeNotPrimary {
+		t.Fatalf("standby answered a join with %d %q, want 503 not_primary", status, werr.Code)
+	}
+
+	// Incremental tailing: more history, another poll, still identical.
+	for i := 0; i < 6; i++ {
+		d.step()
+	}
+	for _, m := range f.members {
+		if err := m.Beat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sb.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	compare("after incremental poll")
+}

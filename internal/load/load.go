@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,11 +47,24 @@ type Config struct {
 	// ride through node failures via the client's failover path. BaseURL
 	// is ignored.
 	CoordinatorURL string
+	// CoordinatorURLs is the ordered failover list clients rotate to when
+	// the primary coordinator is unreachable or deposed (standbys).
+	CoordinatorURLs []string
 	// KillAt arranges a mid-run node failure: once the fleet has
 	// completed KillAt iterations in total, Kill is invoked (once). The
 	// run then measures how tenants ride through the failover.
 	KillAt int
 	Kill   func()
+	// Kills schedules additional mid-run failure injections (e.g. killing
+	// the coordinator itself); each fires once, in iteration order.
+	Kills []Kill
+}
+
+// Kill is one scheduled mid-run failure injection: Do runs once the
+// fleet as a whole has completed At iterations.
+type Kill struct {
+	At int
+	Do func()
 }
 
 func (c Config) withDefaults() Config {
@@ -83,7 +97,11 @@ type TenantResult struct {
 	MeteredJ   float64 // tenant's own virtual meter
 	MeanAcc    float64
 	Failovers  int // node migrations the client rode through
-	Err        error
+	// CoordFailovers counts coordinator rotations: placement lookups the
+	// client had to re-aim at a standby after the primary died or was
+	// deposed.
+	CoordFailovers int
+	Err            error
 }
 
 // OverGrant reports the tenant's spend as a fraction of its grant
@@ -111,10 +129,11 @@ type Report struct {
 	Errors       int
 
 	// Cluster-mode extras: total node migrations clients rode through,
-	// and the latency of the calls that absorbed one (placement lookup +
-	// re-register + catch-up replay, end to end as the application felt
-	// it).
+	// the coordinator rotations absorbed inside them, and the latency of
+	// the calls that absorbed a migration (placement lookup + re-register
+	// + catch-up replay, end to end as the application felt it).
 	Failovers        int
+	CoordFailovers   int
 	FailP50, FailP99 time.Duration
 }
 
@@ -209,6 +228,7 @@ func (t *tenant) run(ctx context.Context) {
 	}
 	if t.cfg.CoordinatorURL != "" {
 		opts.CoordinatorURL = t.cfg.CoordinatorURL
+		opts.CoordinatorURLs = t.cfg.CoordinatorURLs
 		opts.Key = t.name
 		opts.BaseURL = ""
 	}
@@ -280,6 +300,7 @@ func (t *tenant) run(ctx context.Context) {
 		t.res.MeanAcc = accSum / float64(t.res.Iterations)
 	}
 	t.res.Failovers = sess.Failovers()
+	t.res.CoordFailovers = sess.CoordFailovers()
 	if err := sess.Close(ctx); err != nil && t.res.Err == nil {
 		t.res.Err = fmt.Errorf("close: %w", err)
 	}
@@ -308,11 +329,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			app:  app, cfg: tcfg, tb: tb, done: &done,
 		}
 	}
-	// The kill watcher injects the mid-run node failure once the fleet as
-	// a whole has completed KillAt iterations.
+	// The kill watcher injects the scheduled mid-run failures (node
+	// and/or coordinator kills) as the fleet-wide iteration count passes
+	// each trigger, in order.
+	kills := append([]Kill(nil), cfg.Kills...)
+	if cfg.KillAt > 0 && cfg.Kill != nil {
+		kills = append(kills, Kill{At: cfg.KillAt, Do: cfg.Kill})
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].At < kills[j].At })
 	killCtx, stopKiller := context.WithCancel(ctx)
 	defer stopKiller()
-	if cfg.KillAt > 0 && cfg.Kill != nil {
+	if len(kills) > 0 {
 		go func() {
 			tick := time.NewTicker(time.Millisecond)
 			defer tick.Stop()
@@ -321,8 +348,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				case <-killCtx.Done():
 					return
 				case <-tick.C:
-					if done.Load() >= int64(cfg.KillAt) {
-						cfg.Kill()
+					for len(kills) > 0 && done.Load() >= int64(kills[0].At) {
+						kills[0].Do()
+						kills = kills[1:]
+					}
+					if len(kills) == 0 {
 						return
 					}
 				}
@@ -353,6 +383,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rep.Errors++
 		}
 		rep.Failovers += t.res.Failovers
+		rep.CoordFailovers += t.res.CoordFailovers
 		nextAll = append(nextAll, t.nextLat...)
 		doneAll = append(doneAll, t.doneLat...)
 		failAll = append(failAll, t.failLat...)

@@ -72,6 +72,7 @@ const (
 	FaultSensor uint8 = iota
 	FaultClock
 	FaultActuator
+	FaultNetwork
 	numFaultChannels
 )
 
@@ -84,6 +85,8 @@ func FaultChannelName(ch uint8) string {
 		return "clock"
 	case FaultActuator:
 		return "actuator"
+	case FaultNetwork:
+		return "network"
 	}
 	return "unknown"
 }

@@ -12,6 +12,7 @@
 //	GET  /v1/cluster/sessions/{key}  PlacementResponse
 //	POST /v1/sessions  (coordinator) -> 307 + ErrorResponse{not_owner, Addr}
 //	POST /v1/cluster/adopt  (node)  AdoptRequest    -> AdoptResponse
+//	GET  /v1/cluster/wal?from=N    write-ahead-log tail (standby replication)
 //
 // The adopt route is the one coordinator->node call: on failover the
 // coordinator pushes a dead node's sessions (registration + iteration
@@ -37,6 +38,16 @@ const (
 	// CodeLeaseExpired rejects work on a node whose budget lease lapsed
 	// (self-fencing); retryable — the node renews or failover takes over.
 	CodeLeaseExpired = "lease_expired"
+	// CodeStaleEpoch rejects a message across a coordinator failover: the
+	// sender (a deposed primary, or a peer still talking to one) carries a
+	// fencing epoch older than the receiver's. The cure is to re-join the
+	// coordinator holding the highest fence; grants carrying a stale fence
+	// must be dropped, never applied.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeNotPrimary rejects control-plane calls on a standby coordinator
+	// that has not (yet) promoted; retryable against the next coordinator
+	// in the caller's ordered list.
+	CodeNotPrimary = "not_primary"
 )
 
 // IterRec is one completed iteration exactly as the controller consumed
@@ -67,6 +78,10 @@ type JoinRequest struct {
 	// HeldKeys lists the session keys the node currently owns, so the
 	// coordinator can tell it which were reassigned while it was away.
 	HeldKeys []string `json:"held_keys,omitempty"`
+	// Fence is the highest coordinator fencing epoch the node has seen.
+	// A coordinator receiving a higher fence than its own has been
+	// deposed by a promoted standby and must step down.
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // JoinResponse acknowledges membership and issues the budget lease.
@@ -86,6 +101,10 @@ type JoinResponse struct {
 	// Drop lists session keys the node held that were reassigned to
 	// other nodes while it was partitioned; it must discard them.
 	Drop []string `json:"drop,omitempty"`
+	// Fence is the coordinator's fencing epoch, bumped on every standby
+	// promotion. Members record the highest fence they have seen and
+	// reject any grant carrying a lower one (a deposed primary).
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // SessionReport is one session's incremental state in a heartbeat: the
@@ -118,6 +137,9 @@ type HeartbeatRequest struct {
 	// Closed lists node-local session ids torn down since the last
 	// heartbeat; the coordinator drops their placement records.
 	Closed []string `json:"closed,omitempty"`
+	// Fence is the highest fencing epoch the node has seen (see
+	// JoinRequest.Fence).
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // HeartbeatResponse extends the lease and acks the session logs.
@@ -127,6 +149,8 @@ type HeartbeatResponse struct {
 	// Acked maps node-local session ids to the coordinator's stored log
 	// length; the node sends iterations from that index next time.
 	Acked map[string]int `json:"acked,omitempty"`
+	// Fence is the coordinator's fencing epoch (see JoinResponse.Fence).
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // ExtendRequest asks for an on-demand lease extension, typically to
@@ -135,12 +159,17 @@ type ExtendRequest struct {
 	Node  string  `json:"node"`
 	Epoch int64   `json:"epoch"`
 	NeedJ float64 `json:"need_j"`
+	// Fence is the highest fencing epoch the node has seen.
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // ExtendResponse reports the (possibly partial) extension.
 type ExtendResponse struct {
 	LeaseJ   float64 `json:"lease_j"`
 	GrantedJ float64 `json:"granted_j"`
+	// Fence is the coordinator's fencing epoch; a member must drop the
+	// extension if it is older than the highest fence it has seen.
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // AdoptSession is one migrated session: everything the new owner needs
@@ -157,6 +186,10 @@ type AdoptSession struct {
 // owner node.
 type AdoptRequest struct {
 	Sessions []AdoptSession `json:"sessions"`
+	// Fence is the pushing coordinator's fencing epoch; a node that has
+	// seen a higher one rejects the push (stale_epoch) — a deposed
+	// primary must not be able to seed sessions.
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // AdoptResponse maps session keys to the new owner's local session ids.
@@ -170,6 +203,9 @@ type PlacementResponse struct {
 	Node      string `json:"node"`
 	Addr      string `json:"addr"`
 	SessionID string `json:"session_id,omitempty"`
+	// Fence is the answering coordinator's fencing epoch; clients keep
+	// the highest fence seen and discard placements from older ones.
+	Fence int64 `json:"fence,omitempty"`
 }
 
 // NodeInfo is the coordinator's view of one member.
@@ -192,6 +228,10 @@ type NodeInfo struct {
 // plus every node and placement.
 type ClusterInfo struct {
 	FleetJ float64 `json:"fleet_j"`
+	// Fence is the coordinator's fencing epoch; Role is "primary",
+	// "standby" or "deposed".
+	Fence int64  `json:"fence"`
+	Role  string `json:"role,omitempty"`
 	// ReserveJ is the slice of the pool held back from steady-state
 	// leasing so failover adoptions can always be funded.
 	ReserveJ float64 `json:"reserve_j"`
