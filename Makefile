@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /usr/bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet lint check test test-race race bench replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster clean
+.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke clean
 
 all: build vet test
 
@@ -26,8 +26,9 @@ lint:
 	$(GO) vet ./...
 
 # The pre-merge gate: formatting + vet + the race-detector pass + the
-# daemon and fleet smoke tests + the coordinator-failover chaos run.
-check: lint race serve-smoke cluster-smoke chaos-cluster
+# full-size shard-churn race test + the daemon, fleet and hot-path smoke
+# tests + the coordinator-failover chaos run.
+check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster
 
 test:
 	$(GO) test ./...
@@ -41,6 +42,13 @@ test-race:
 # request handlers.
 race:
 	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/load/ .
+
+# The full-size (10k-session) shard-churn test under the race detector:
+# the concurrent registry/broker workload the sharded session map exists
+# for. `race` above already runs it at -short scale; this is the
+# pre-merge full run.
+churn-race:
+	$(GO) test -race -run TestShardChurnRace ./internal/server/
 
 # Daemon smoke test under the race detector: selfhost the daemon, drive
 # 8 concurrent tenants for 200 iterations each, restart the daemon
@@ -78,10 +86,49 @@ chaos-cluster:
 	@mv BENCH_experiments.json.tmp BENCH_experiments.json
 	@echo "chaos-cluster passed; coordinator-failover quantiles merged into BENCH_experiments.json"
 
+# Hot-path smoke: the v2 binary frame stream end to end. A closed-loop
+# pass pins correctness-under-batching (every tenant within 105% of its
+# grant over DoneNext frames), then an open-loop pass measures sustained
+# decisions/s and the in-process pass isolates the governor itself; all
+# three land in BENCH_experiments.json.
+hotpath-smoke:
+	$(GO) run -race ./cmd/loadgen -tenants 8 -iters 200 -v2 -check 1.05 \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	$(GO) run ./cmd/loadgen -tenants 8 -v2 -open-loop 3s \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	$(GO) run ./cmd/loadgen -inproc -tenants 8 -open-loop 3s \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	@echo "hotpath-smoke passed; v2 wire + in-process numbers merged into BENCH_experiments.json"
+
 # One scaled-down benchmark pass over every table/figure + ablations,
 # leaving a machine-readable timing snapshot in BENCH_experiments.json.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_experiments.json
+
+# Perf regression gate: re-measure the pinned hot-path benchmarks and
+# fail if any got >20% slower than the committed snapshot — or allocates
+# where the snapshot says it must not (the wire codecs and the decision
+# path are pinned at 0 allocs/op).
+bench-check:
+	$(GO) test -run xxx -bench 'BenchmarkFrame|BenchmarkInprocDecision|BenchmarkSessionLookup' \
+		-benchmem ./internal/wire/ ./internal/server/ \
+		| $(GO) run ./cmd/benchjson -compare BENCH_experiments.json \
+			-pin 'Frame|InprocDecision|SessionLookup'
+
+# CPU + allocation profiles of the decision path into results/profiles/,
+# ready for `go tool pprof`.
+bench-profile:
+	@mkdir -p results/profiles
+	$(GO) test -run xxx -bench BenchmarkInprocDecision -benchtime 200000x \
+		-cpuprofile results/profiles/decision_cpu.prof \
+		-memprofile results/profiles/decision_mem.prof ./internal/server/
+	$(GO) run ./cmd/loadgen -tenants 8 -v2 -open-loop 3s \
+		-cpuprofile results/profiles/wire_cpu.prof \
+		-memprofile results/profiles/wire_mem.prof > /dev/null
+	@echo "profiles in results/profiles/ (decision_*.prof, wire_*.prof)"
 
 # Full-size regeneration of the paper's evaluation into results/.
 replicate:

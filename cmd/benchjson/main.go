@@ -8,6 +8,15 @@
 // else is kept. This lets separate smoke runs (e.g. the single-daemon and
 // the cluster loadgen passes) fold into one artefact without clobbering
 // each other.
+//
+// With -compare FILE, the fresh results are checked against a previous
+// snapshot instead of merged: a pinned benchmark that got more than
+// -threshold slower (ns/op up, or a rate unit like decisions/s down), or
+// that allocates where it previously did not, fails the run with a
+// non-zero exit. -pin restricts the comparison to names matching a
+// regular expression; the default pins everything present in both
+// snapshots. `make bench-check` wires this up as the perf regression
+// gate.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -23,26 +33,67 @@ import (
 // Result is one benchmark line, e.g.
 //
 //	BenchmarkRate-4    93416    12.3 ns/op    0 B/op    0 allocs/op
+//
+// BytesPerOp/AllocsPerOp are pointers so that a measured zero — the
+// zero-allocation guarantee this artefact exists to pin — is recorded
+// explicitly, while benchmarks run without -benchmem stay absent.
 type Result struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom units, e.g. "decisions/s"
 }
 
 func main() {
 	merge := flag.String("merge", "", "existing snapshot whose entries are kept unless replaced by a same-name result from stdin")
+	compare := flag.String("compare", "", "previous snapshot to diff the fresh results against; regressions exit non-zero")
+	pin := flag.String("pin", "", "with -compare: only benchmarks matching this regexp are gated (default: all common names)")
+	threshold := flag.Float64("threshold", 0.20, "with -compare: fractional slowdown tolerated before failing")
 	flag.Parse()
 
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if *compare != "" {
+		if err := compareSnapshots(*compare, results, *pin, *threshold); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: no pinned regressions")
+		return
+	}
+	if *merge != "" {
+		merged, err := mergeSnapshot(*merge, results)
+		if err != nil {
+			fatal(err)
+		}
+		results = merged
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` text, mirroring every line to stderr so
+// the human-readable stream is not swallowed when benchjson sits at the
+// end of a pipeline.
+func parse(in *os.File) ([]Result, error) {
 	var results []Result
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
-		// Mirror the stream so the human-readable output is not swallowed.
 		fmt.Fprintln(os.Stderr, line)
 		if strings.HasPrefix(line, "pkg: ") {
 			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
@@ -52,47 +103,40 @@ func main() {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[3] != "ns/op" {
+		if len(fields) < 4 {
 			continue
 		}
-		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
-		ns, err2 := strconv.ParseFloat(fields[2], 64)
-		if err1 != nil || err2 != nil {
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
 			continue
 		}
-		r := Result{Name: fields[0], Package: pkg, Iterations: iters, NsPerOp: ns}
-		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+		r := Result{Name: fields[0], Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
 			case "B/op":
-				r.BytesPerOp = v
+				b := int64(v)
+				r.BytesPerOp = &b
 			case "allocs/op":
-				r.AllocsPerOp = v
+				a := int64(v)
+				r.AllocsPerOp = &a
+			default:
+				// Custom testing.B.ReportMetric-style units — the load
+				// generator's "decisions/s" throughput among them.
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
 			}
 		}
 		results = append(results, r)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	if *merge != "" {
-		merged, err := mergeSnapshot(*merge, results)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		results = merged
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return results, sc.Err()
 }
 
 // mergeSnapshot keeps every entry of the snapshot at path whose name was
@@ -122,4 +166,76 @@ func mergeSnapshot(path string, fresh []Result) ([]Result, error) {
 		}
 	}
 	return append(merged, fresh...), nil
+}
+
+// compareSnapshots gates the fresh results against the snapshot at path.
+// A pinned benchmark regresses when:
+//   - ns/op grew by more than threshold,
+//   - a rate metric (any "<x>/s" unit) shrank by more than threshold, or
+//   - allocs/op grew at all — including 0 -> N, which silently voids a
+//     zero-allocation guarantee no timing threshold would catch.
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate: machines differ in which smokes they run.
+func compareSnapshots(path string, fresh []Result, pin string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	var old []Result
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var pinRe *regexp.Regexp
+	if pin != "" {
+		if pinRe, err = regexp.Compile(pin); err != nil {
+			return fmt.Errorf("bad -pin: %w", err)
+		}
+	}
+	byName := make(map[string]Result, len(old))
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	compared := 0
+	for _, cur := range fresh {
+		prev, ok := byName[cur.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: new benchmark, nothing to compare\n", cur.Name)
+			continue
+		}
+		if pinRe != nil && !pinRe.MatchString(cur.Name) {
+			continue
+		}
+		compared++
+		if prev.NsPerOp > 0 && cur.NsPerOp > prev.NsPerOp*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op, was %.0f (+%.0f%%)",
+				cur.Name, cur.NsPerOp, prev.NsPerOp, 100*(cur.NsPerOp/prev.NsPerOp-1)))
+		}
+		for unit, was := range prev.Metrics {
+			if !strings.HasSuffix(unit, "/s") || was <= 0 {
+				continue
+			}
+			if now, ok := cur.Metrics[unit]; ok && now < was*(1-threshold) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f %s, was %.0f (-%.0f%%)",
+					cur.Name, now, unit, was, 100*(1-now/was)))
+			}
+		}
+		if prev.AllocsPerOp != nil && cur.AllocsPerOp != nil && *cur.AllocsPerOp > *prev.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op, was %d", cur.Name, *cur.AllocsPerOp, *prev.AllocsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		return fmt.Errorf("%d pinned benchmark(s) regressed beyond %.0f%%", len(regressions), threshold*100)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks matched the pin %q in both snapshots", pin)
+	}
+	return nil
 }

@@ -22,6 +22,13 @@
 //     clients ride through on their failover path. The run then reports
 //     failover latency quantiles alongside the usual decision latency.
 //
+// Cross-cutting switches: -v2 moves the per-iteration traffic onto the
+// v2 binary frame stream (batched DoneNext, one round trip per
+// iteration); -open-loop 5s runs for a fixed wall-clock window at
+// saturation and reports sustained decisions/s; -inproc bypasses
+// sockets entirely and drives the exported Server.Next/Done decision
+// path directly, isolating the governor+session cost from transport.
+//
 // Latency results are printed to stdout in `go test -bench` format so
 // cmd/benchjson can fold them into BENCH_experiments.json; the
 // human-readable summary goes to stderr.
@@ -36,13 +43,17 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"jouleguard"
 	"jouleguard/internal/client"
 	"jouleguard/internal/cluster"
 	"jouleguard/internal/load"
+	"jouleguard/internal/metrics"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
@@ -64,7 +75,34 @@ func main() {
 	killCoordAt := flag.Int("kill-coordinator-at", 0, "cluster: kill the primary coordinator and promote a standby once this many iterations completed fleet-wide (0 = never)")
 	check := flag.Float64("check", 0, "fail unless every tenant's spend <= this fraction of its grant (e.g. 1.05; 0 = report only)")
 	seed := flag.Int64("seed", 1, "base seed; tenant i runs with seed+i")
+	v2 := flag.Bool("v2", false, "speak the v2 binary frame stream with the batched DoneNext loop (default: v1 JSON/HTTP)")
+	openLoop := flag.Duration("open-loop", 0, "run for this wall-clock window instead of to workload completion, measuring sustained decisions/s (sizes -iters up automatically)")
+	inproc := flag.Bool("inproc", false, "drive Server.Next/Done directly in-process (no sockets): the decision path alone")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.WriteHeapProfile(f)
+		}()
+	}
 
 	cfg := load.Config{
 		Tenants:    *tenants,
@@ -72,11 +110,23 @@ func main() {
 		Apps:       strings.Split(*apps, ","),
 		Platform:   *platName,
 		Seed:       *seed,
+		WireV2:     *v2,
+		Duration:   *openLoop,
+	}
+	if *openLoop > 0 && *iters <= 200 {
+		// Throughput mode must not end by workload completion: give every
+		// tenant more iterations than the window can possibly consume.
+		cfg.Iterations = 1 << 20
 	}
 	if *weighted {
 		cfg.Weight = 1
 	} else {
 		cfg.Factor = *factor
+	}
+
+	if *inproc {
+		runInproc(cfg, *budget, *check)
+		return
 	}
 
 	var sh *selfhost
@@ -133,6 +183,12 @@ func main() {
 		}
 	}
 
+	if *v2 {
+		// Distinct snapshot names: the v2 hot path must not overwrite the
+		// v1 JSON baseline (and vice versa) in BENCH_experiments.json.
+		prefix += "V2"
+	}
+
 	rep, err := load.Run(context.Background(), cfg)
 	if err != nil {
 		fail(err)
@@ -166,6 +222,180 @@ func main() {
 	} else if rep.Errors > 0 {
 		fail(fmt.Errorf("loadgen: %d tenants reported errors", rep.Errors))
 	}
+}
+
+// runInproc drives the exported Server.Next/Done decision path directly
+// — no sockets, no codecs — with one goroutine per tenant against one
+// Server. It measures what the daemon itself costs per decision
+// (session shard lookup + session lock + governor), the floor under
+// every wire number.
+func runInproc(cfg load.Config, budget, check float64) {
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = []string{"x264"}
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = "Server"
+	}
+	globalJ := budget
+	if globalJ <= 0 {
+		globalJ = autoBudget(cfg)
+	}
+	srv, err := server.New(server.Config{GlobalBudgetJ: globalJ, SweepInterval: -1})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "in-process daemon, global budget %.0f J\n", globalJ)
+
+	type result struct {
+		res              load.TenantResult
+		nextLat, doneLat []time.Duration
+	}
+	results := make([]result, cfg.Tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			r := &results[ti]
+			app := cfg.Apps[ti%len(cfg.Apps)]
+			r.res = load.TenantResult{Tenant: fmt.Sprintf("tenant-%02d", ti), App: app}
+			tb, err := jouleguard.NewTestbed(app, cfg.Platform)
+			if err != nil {
+				r.res.Err = err
+				return
+			}
+			reg := wire.RegisterRequest{
+				Tenant: r.res.Tenant, App: app, Platform: cfg.Platform,
+				Iterations: cfg.Iterations, Weight: cfg.Weight, Seed: cfg.Seed + int64(ti),
+			}
+			if cfg.Factor > 0 {
+				if reg.BudgetJ, err = tb.Budget(cfg.Factor, cfg.Iterations); err != nil {
+					r.res.Err = err
+					return
+				}
+			}
+			resp, err := srv.Register(reg)
+			if err != nil {
+				r.res.Err = err
+				return
+			}
+			r.res.SessionID = resp.SessionID
+			r.res.GrantJ = resp.GrantJ
+			var deadline time.Time
+			var stepMemo map[int][2]float64
+			if cfg.Duration > 0 {
+				deadline = time.Now().Add(cfg.Duration)
+				stepMemo = map[int][2]float64{} // see load.tenant.step
+			}
+			clockS, energyJ, accSum := 0.0, 0.0, 0.0
+			for i := 0; i < cfg.Iterations; i++ {
+				t0 := time.Now()
+				nresp, err := srv.Next(resp.SessionID, wire.NextRequest{NowS: clockS})
+				r.nextLat = append(r.nextLat, time.Since(t0))
+				if err != nil {
+					r.res.Err = fmt.Errorf("iteration %d Next: %w", i, err)
+					return
+				}
+				var work, acc float64
+				if v, ok := stepMemo[nresp.AppConfig]; ok {
+					work, acc = v[0], v[1]
+				} else {
+					work, acc = tb.App.Step(nresp.AppConfig, i)
+					if stepMemo != nil {
+						stepMemo[nresp.AppConfig] = [2]float64{work, acc}
+					}
+				}
+				dur := work / tb.Platform.Rate(nresp.SysConfig, tb.Profile)
+				clockS += dur
+				energyJ += tb.Platform.Power(nresp.SysConfig, tb.Profile) * dur
+				accSum += acc
+				t0 = time.Now()
+				dresp, err := srv.Done(resp.SessionID, wire.DoneRequest{NowS: clockS, EnergyJ: energyJ, Accuracy: acc})
+				r.doneLat = append(r.doneLat, time.Since(t0))
+				if err != nil {
+					r.res.Err = fmt.Errorf("iteration %d Done: %w", i, err)
+					return
+				}
+				r.res.Iterations++
+				r.res.SpentJ = dresp.SpentJ
+				if dresp.Complete || (!deadline.IsZero() && time.Now().After(deadline)) {
+					break
+				}
+			}
+			r.res.MeteredJ = energyJ
+			if r.res.Iterations > 0 {
+				r.res.MeanAcc = accSum / float64(r.res.Iterations)
+			}
+			if _, err := srv.Close(resp.SessionID); err != nil {
+				r.res.Err = fmt.Errorf("close: %w", err)
+			}
+		}(ti)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &load.Report{Elapsed: elapsed}
+	var nextAll, doneAll, iterAll []time.Duration
+	for _, r := range results {
+		rep.Tenants = append(rep.Tenants, r.res)
+		rep.Iterations += r.res.Iterations
+		rep.TotalSpentJ += r.res.SpentJ
+		rep.TotalGrantJ += r.res.GrantJ
+		if og := r.res.OverGrant(); og > rep.MaxOverGrant {
+			rep.MaxOverGrant = og
+		}
+		if r.res.Err != nil {
+			rep.Errors++
+			fmt.Fprintf(os.Stderr, "tenant %s: %v\n", r.res.Tenant, r.res.Err)
+		}
+		nextAll = append(nextAll, r.nextLat...)
+		doneAll = append(doneAll, r.doneLat...)
+		for i := range r.nextLat {
+			if i < len(r.doneLat) {
+				iterAll = append(iterAll, r.nextLat[i]+r.doneLat[i])
+			}
+		}
+	}
+	rep.NextP50, rep.NextP99 = inprocQuantiles(nextAll)
+	rep.DoneP50, rep.DoneP99 = inprocQuantiles(doneAll)
+	rep.IterP50, rep.IterP99 = inprocQuantiles(iterAll)
+	rep.Decisions = len(nextAll) + len(doneAll)
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Iterations) / elapsed.Seconds()
+		rep.DecisionsPerSec = float64(rep.Decisions) / elapsed.Seconds()
+	}
+	fmt.Fprintln(os.Stderr, rep.Summary())
+	info := srv.Broker().Info()
+	if info.CommittedJ+info.ConsumedJ > info.GlobalJ*1.0001 {
+		fail(fmt.Errorf("loadgen: broker over-committed: committed %.1f + consumed %.1f > global %.1f",
+			info.CommittedJ, info.ConsumedJ, info.GlobalJ))
+	}
+	for _, line := range rep.BenchLines("Inproc") {
+		fmt.Println(line)
+	}
+	if check > 0 {
+		if err := rep.Check(check); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "check passed: every tenant within %.0f%% of its grant\n", check*100)
+	} else if rep.Errors > 0 {
+		fail(fmt.Errorf("loadgen: %d tenants reported errors", rep.Errors))
+	}
+}
+
+// inprocQuantiles mirrors load's estimator (metrics.Summarize) for the
+// in-process mode's latency samples.
+func inprocQuantiles(d []time.Duration) (p50, p99 time.Duration) {
+	if len(d) == 0 {
+		return 0, 0
+	}
+	xs := make([]float64, len(d))
+	for i, v := range d {
+		xs[i] = float64(v)
+	}
+	s := metrics.Summarize(xs)
+	return time.Duration(s.P50), time.Duration(s.P99)
 }
 
 // autoBudget sizes the selfhosted global pool so every factor-priced

@@ -132,8 +132,27 @@ type Options struct {
 	// estimated observations instead of exact ones).
 	HistoryCap int
 
-	HTTPClient *http.Client // default http.DefaultClient
+	// DisableV2 pins the session to v1 JSON/HTTP even when the daemon
+	// offers the v2 frame stream (diagnostics; v1 is always available).
+	DisableV2 bool
+
+	HTTPClient *http.Client // default: a tuned keep-alive pool (defaultHTTPClient)
 	Retry      RetryPolicy
+}
+
+// defaultHTTPClient is the v1 transport used when Options.HTTPClient is
+// nil. http.DefaultClient caps idle conns per host at 2, which
+// serializes a many-session process onto a trickle of connections and
+// pays a TCP handshake per call beyond them; the hot path lives or dies
+// on connection reuse, so the pool is sized explicitly.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		ForceAttemptHTTP2:   true,
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
+	},
 }
 
 // Error is a protocol-level failure carrying the daemon's stable code.
@@ -191,8 +210,14 @@ type Session struct {
 	lastDone wire.DoneResponse
 	closed   bool
 
-	hist     []iterHist // completed iterations [histBase, histBase+len)
+	num        uint32    // numeric session id for v2 frame headers (0 = v1 only)
+	v2         *v2Stream // live upgraded stream, nil until first use
+	v2Off      bool      // v2 off for the current node (dial failed / closed)
+	v2Disabled bool      // v2 off for the session's lifetime (Options.DisableV2)
+
+	hist     []iterHist // ring of completed iterations [histBase, histBase+len)
 	histBase int
+	histHead int // ring slot holding iteration histBase
 	histCap  int
 
 	failovers      int
@@ -222,7 +247,7 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 	}
 	httpc := opts.HTTPClient
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = defaultHTTPClient
 	}
 	histCap := opts.HistoryCap
 	if histCap <= 0 {
@@ -237,6 +262,7 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 		readEnergy: readEnergy,
 		now:        now,
 		histCap:    histCap,
+		v2Disabled: opts.DisableV2,
 	}
 	s.reg = wire.RegisterRequest{
 		Tenant:       opts.Tenant,
@@ -263,6 +289,7 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 		return nil, err
 	}
 	s.id = resp.SessionID
+	s.num = resp.SessionNum
 	s.grantJ = resp.GrantJ
 	s.iterations = resp.Iterations
 	s.appConfigs = resp.AppConfigs
@@ -307,6 +334,15 @@ func (s *Session) Next(ctx context.Context) (appCfg, sysCfg int, err error) {
 		return 0, 0, fmt.Errorf("client: session %s is closed", s.id)
 	}
 	nowS := s.now()
+	if s.v2Ok() {
+		if resp, ok := s.v2Next(nowS); ok {
+			s.armed = true
+			s.armedNow = nowS
+			return resp.AppConfig, resp.SysConfig, nil
+		}
+		// Any v2 failure — stream death or a server-reported error —
+		// falls through to v1, whose machinery owns error recovery.
+	}
 	var resp wire.NextResponse
 	err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
 	if s.shouldFailover(err) {
@@ -381,26 +417,38 @@ func (s *Session) reportDone(ctx context.Context, accuracy float64, estimated bo
 		EnergyErr: eerr != nil || estimated,
 		Accuracy:  accuracy,
 	}
+	if s.v2Ok() {
+		if resp, ok := s.v2Done(req); ok {
+			s.settleDone(req, resp)
+			return nil
+		}
+	}
 	var resp wire.DoneResponse
 	if err := s.call(ctx, "POST", s.path("done"), req, &resp); err != nil {
 		return err
 	}
-	s.lastDone = resp
-	s.record(iterHist{
-		nextNow: s.armedNow, doneNow: req.NowS,
-		energyJ: req.EnergyJ, energyErr: req.EnergyErr, accuracy: req.Accuracy,
-	})
+	s.settleDone(req, resp)
 	return nil
 }
 
-// record appends one completed iteration to the failover history,
-// sliding the window when it outgrows the cap.
+// record appends one completed iteration to the failover history. Once
+// the window is full it overwrites the oldest ring slot — record runs
+// once per governed iteration, and sliding a 4096-entry window down by
+// one per call was the client hot loop's largest single cost.
 func (s *Session) record(h iterHist) {
-	s.hist = append(s.hist, h)
-	if over := len(s.hist) - s.histCap; over > 0 {
-		s.hist = append(s.hist[:0], s.hist[over:]...)
-		s.histBase += over
+	if len(s.hist) < s.histCap {
+		s.hist = append(s.hist, h)
+		return
 	}
+	s.hist[s.histHead] = h
+	s.histHead = (s.histHead + 1) % len(s.hist)
+	s.histBase++
+}
+
+// histAt returns the record for absolute iteration i; the caller must
+// keep histBase <= i < histBase+len(hist).
+func (s *Session) histAt(i int) iterHist {
+	return s.hist[(s.histHead+(i-s.histBase))%len(s.hist)]
 }
 
 // Info fetches the daemon's introspection view of this session,
@@ -418,6 +466,7 @@ func (s *Session) Close(ctx context.Context) error {
 	if s.closed {
 		return nil
 	}
+	s.v2Teardown(false)
 	var resp wire.CloseResponse
 	if err := s.call(ctx, "DELETE", s.path(""), nil, &resp); err != nil {
 		return err
@@ -542,11 +591,15 @@ func (s *Session) failoverOnce(ctx context.Context) error {
 		return fmt.Errorf("client: failover placement for %q: %w", s.reg.Key, err)
 	}
 	s.base = strings.TrimRight(place.Addr, "/")
+	// The old stream points at the dead node; the new owner assigns a
+	// fresh numeric id, so v2 re-dials lazily after re-registration.
+	s.v2Teardown(true)
 	var resp wire.RegisterResponse
 	if err := s.call(ctx, "POST", wire.BasePath, s.reg, &resp); err != nil {
 		return fmt.Errorf("client: failover re-register on %s: %w", place.Node, err)
 	}
 	s.id = resp.SessionID
+	s.num = resp.SessionNum
 
 	// Catch up: the restored session sits at resp.IterationsDone; we
 	// completed histBase+len(hist). Replay the gap from our own record —
@@ -557,7 +610,7 @@ func (s *Session) failoverOnce(ctx context.Context) error {
 		var req wire.DoneRequest
 		nextNow := s.now()
 		if i >= s.histBase {
-			h := s.hist[i-s.histBase]
+			h := s.histAt(i)
 			nextNow = h.nextNow
 			req = wire.DoneRequest{NowS: h.doneNow, EnergyJ: h.energyJ, EnergyErr: h.energyErr, Accuracy: h.accuracy}
 		} else {

@@ -1,0 +1,250 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"jouleguard/internal/wire"
+)
+
+// The client side of the v2 hot path. After registering over v1, the
+// session upgrades one HTTP request on the daemon into a persistent
+// binary-frame stream and moves its per-iteration Next/Done traffic
+// there; DoneNext batches the settle of the previous iteration with the
+// fetch of the upcoming decision into a single round trip.
+//
+// v2 is strictly an optimization with a hard fallback rule: any v2
+// failure — upgrade refused, transport error, or an error frame —
+// executes the v1 JSON/HTTP path for that call. All of the client's
+// resilience machinery (retry/backoff, re-bracketing after daemon
+// restarts, fleet failover) lives on the v1 path, so v2 never needs to
+// reimplement it: the stream only ever carries calls that succeed
+// outright.
+
+// v2Stream is one upgraded connection. The Session owns it exclusively
+// (Sessions are single-loop by contract), so no locking.
+type v2Stream struct {
+	conn net.Conn
+	enc  *wire.Encoder
+	dec  *wire.Decoder
+}
+
+func (v *v2Stream) close() {
+	wire.PutEncoder(v.enc)
+	wire.PutDecoder(v.dec)
+	v.conn.Close()
+}
+
+// v2DialTimeout bounds the upgrade handshake when Options.RequestTimeout
+// is unset.
+const v2DialTimeout = 5 * time.Second
+
+// v2Ok reports whether the session can speak v2 right now, dialing the
+// stream on first use. A failed dial turns v2 off for this node; fleet
+// failover re-enables it against the session's new owner.
+func (s *Session) v2Ok() bool {
+	if s.v2Disabled || s.v2Off || s.num == 0 {
+		return false
+	}
+	if s.v2 != nil {
+		return true
+	}
+	v, err := dialV2(s.base, s.timeout)
+	if err != nil {
+		s.v2Off = true
+		return false
+	}
+	s.v2 = v
+	return true
+}
+
+// v2Teardown drops the stream (transport error or node switch). reDial
+// keeps v2 eligible — the next call dials fresh — while false pins the
+// session to v1 until failover moves it.
+func (s *Session) v2Teardown(reDial bool) {
+	if s.v2 != nil {
+		s.v2.close()
+		s.v2 = nil
+	}
+	s.v2Off = !reDial
+}
+
+// dialV2 opens a TCP connection to the daemon and upgrades it to the
+// frame protocol with a plain HTTP/1.1 Upgrade handshake.
+func dialV2(base string, timeout time.Duration) (*v2Stream, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme != "http" {
+		return nil, fmt.Errorf("client: v2 stream requires http base URL, have %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	if timeout <= 0 {
+		timeout = v2DialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	req := "POST " + wire.V2Path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: " + wire.V2Proto + "\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Content-Length: 0\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 4096)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols || resp.Header.Get("Upgrade") != wire.V2Proto {
+		conn.Close()
+		return nil, fmt.Errorf("client: daemon refused v2 upgrade (HTTP %d)", resp.StatusCode)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	// The decoder adopts br: the daemon's first frames may already sit in
+	// its buffer behind the 101 response.
+	return &v2Stream{conn: conn, enc: wire.GetEncoder(conn), dec: wire.GetDecoder(br)}, nil
+}
+
+// v2Round sends one frame and reads the single response frame, under a
+// per-attempt deadline when one is configured. A transport failure
+// tears the stream down (reply-less writes are unrecoverable framing
+// loss) and reports !ok so the caller runs the v1 path.
+func (s *Session) v2Round(send func(enc *wire.Encoder) error) (wire.Hdr, []byte, bool) {
+	if s.timeout > 0 {
+		_ = s.v2.conn.SetDeadline(time.Now().Add(s.timeout))
+	}
+	if err := send(s.v2.enc); err != nil {
+		s.v2Teardown(true)
+		return wire.Hdr{}, nil, false
+	}
+	if err := s.v2.enc.Flush(); err != nil {
+		s.v2Teardown(true)
+		return wire.Hdr{}, nil, false
+	}
+	h, p, err := s.v2.dec.ReadFrame()
+	if err != nil {
+		s.v2Teardown(true)
+		return wire.Hdr{}, nil, false
+	}
+	if s.timeout > 0 {
+		_ = s.v2.conn.SetDeadline(time.Time{})
+	}
+	return h, p, true
+}
+
+// v2Next runs one Next over the stream. ok=false means "use v1" — for
+// any reason, including server-reported errors, so the v1 path's error
+// handling (re-bracketing, failover) stays the single source of truth.
+func (s *Session) v2Next(nowS float64) (wire.NextResponse, bool) {
+	h, p, ok := s.v2Round(func(enc *wire.Encoder) error {
+		return enc.Next(s.num, wire.NextRequest{NowS: nowS})
+	})
+	if !ok || h.Type != wire.TNextResp {
+		return wire.NextResponse{}, false
+	}
+	resp, err := wire.ParseNextResp(h, p)
+	if err != nil {
+		s.v2Teardown(true)
+		return wire.NextResponse{}, false
+	}
+	return resp, true
+}
+
+// v2Done runs one Done over the stream; same fallback contract.
+func (s *Session) v2Done(req wire.DoneRequest) (wire.DoneResponse, bool) {
+	h, p, ok := s.v2Round(func(enc *wire.Encoder) error {
+		return enc.Done(s.num, req)
+	})
+	if !ok || h.Type != wire.TDoneResp {
+		return wire.DoneResponse{}, false
+	}
+	resp, err := wire.ParseDoneResp(h, p)
+	if err != nil {
+		s.v2Teardown(true)
+		return wire.DoneResponse{}, false
+	}
+	return resp, true
+}
+
+// DoneNext settles the completed iteration and fetches the next
+// decision in one round trip — the steady-state batch. Semantically it
+// is exactly Done(accuracy) followed by Next(), and over v1 (or on any
+// v2 error) that is literally what runs; over v2 both ride one frame.
+// The final iteration of a workload still ends with a plain Done.
+func (s *Session) DoneNext(ctx context.Context, accuracy float64) (appCfg, sysCfg int, err error) {
+	if s.closed {
+		return 0, 0, fmt.Errorf("client: session %s is closed", s.id)
+	}
+	if s.armed && s.v2Ok() {
+		energy, eerr := s.readEnergy()
+		doneReq := wire.DoneRequest{
+			NowS:      s.now(),
+			EnergyJ:   energy,
+			EnergyErr: eerr != nil,
+			Accuracy:  accuracy,
+		}
+		nextNow := s.now()
+		h, p, ok := s.v2Round(func(enc *wire.Encoder) error {
+			return enc.DoneNext(s.num, doneReq, wire.NextRequest{NowS: nextNow})
+		})
+		if ok {
+			switch h.Type {
+			case wire.TDoneNextResp:
+				dresp, nresp, perr := wire.ParseDoneNextResp(h, p)
+				if perr != nil {
+					s.v2Teardown(true)
+					break
+				}
+				s.settleDone(doneReq, dresp)
+				s.armed = true
+				s.armedNow = nextNow
+				return nresp.AppConfig, nresp.SysConfig, nil
+			case wire.TDoneResp:
+				// Done settled but Next could not be served (workload
+				// complete, draining, ...): bank the settle, then let the
+				// v1 Next report the authoritative error.
+				dresp, perr := wire.ParseDoneResp(h, p)
+				if perr != nil {
+					s.v2Teardown(true)
+					break
+				}
+				s.settleDone(doneReq, dresp)
+				s.armed = false
+				return s.Next(ctx)
+			}
+			// TErr (done itself failed) or an unexpected type: fall through
+			// to the full v1 Done+Next below.
+		}
+	}
+	if err := s.Done(ctx, accuracy); err != nil {
+		return 0, 0, err
+	}
+	return s.Next(ctx)
+}
+
+// settleDone applies a successful Done settlement to the session's
+// ledger mirror and failover history (shared by the v1 and v2 paths).
+func (s *Session) settleDone(req wire.DoneRequest, resp wire.DoneResponse) {
+	s.lastDone = resp
+	s.record(iterHist{
+		nextNow: s.armedNow, doneNow: req.NowS,
+		energyJ: req.EnergyJ, energyErr: req.EnergyErr, accuracy: req.Accuracy,
+	})
+}

@@ -1,0 +1,119 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"jouleguard/internal/client"
+	"jouleguard/internal/wire"
+)
+
+// countingHandler wraps a daemon handler and counts per-iteration v1
+// JSON calls (next/done), so tests can prove which protocol carried the
+// decision traffic.
+func countingHandler(inner http.Handler) (http.Handler, *atomic.Int64) {
+	var decisionCalls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/next") || strings.HasSuffix(r.URL.Path, "/done") {
+			decisionCalls.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	return h, &decisionCalls
+}
+
+// runGoldenWorkload drives one full fixed-seed workload against a fresh
+// daemon and returns the daemon's final introspection view plus the
+// number of v1 decision calls the wire saw.
+func runGoldenWorkload(t *testing.T, disableV2 bool) (wire.SessionInfo, int64) {
+	t.Helper()
+	const iters = 40
+	srv := newDaemon(t, 20000)
+	h, decisionCalls := countingHandler(srv.Handler())
+	ts := httptest.NewServer(h)
+	defer func() {
+		// Hijacked v2 streams are invisible to httptest's teardown.
+		srv.CloseV2Streams()
+		ts.Close()
+	}()
+
+	ctx := context.Background()
+	m := newMachine(t)
+	sess, err := client.Open(ctx, client.Options{
+		BaseURL: ts.URL, Tenant: "golden", App: "radar", Platform: "Tablet",
+		Iterations: iters, Factor: 2, Seed: 77,
+		DisableV2: disableV2,
+	}, m.readEnergy, m.readNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The steady-state loop every governed application runs: the v2
+	// client batches Done+Next into one frame; the v1 client issues two
+	// JSON POSTs. Both must produce the same governor trajectory.
+	appCfg, sysCfg, err := sess.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		acc := m.step(appCfg, sysCfg, i)
+		if i == iters-1 {
+			if err := sess.Done(ctx, acc); err != nil {
+				t.Fatalf("final done: %v", err)
+			}
+			break
+		}
+		appCfg, sysCfg, err = sess.DoneNext(ctx, acc)
+		if err != nil {
+			t.Fatalf("done+next %d: %v", i, err)
+		}
+	}
+	if st := sess.LastStatus(); !st.Complete || st.IterationsDone != iters {
+		t.Fatalf("final status %+v", st)
+	}
+	info, err := sess.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return info, decisionCalls.Load()
+}
+
+// TestV2ReplayMatchesV1Golden pins the compatibility contract of the v2
+// frame protocol: a session replayed over batched binary DoneNext frames
+// must land the daemon on EXACTLY the state the v1 JSON protocol
+// produces — same iteration count, same spend, same learned per-arm
+// estimates, bit for bit. Floats cross the v2 wire as raw IEEE-754 bits
+// and cross v1 as shortest-round-trip JSON, so any divergence here means
+// one of the codecs is lossy.
+func TestV2ReplayMatchesV1Golden(t *testing.T) {
+	v1Info, v1Calls := runGoldenWorkload(t, true)
+	v2Info, v2Calls := runGoldenWorkload(t, false)
+
+	// Prove the two runs actually took different transports: v1 pays two
+	// JSON decision calls per iteration; v2 moves them onto the stream.
+	if v1Calls == 0 {
+		t.Fatalf("v1 run made no JSON decision calls")
+	}
+	if v2Calls != 0 {
+		t.Fatalf("v2 run leaked %d decision calls onto the v1 JSON wire", v2Calls)
+	}
+
+	v1JSON, err := json.Marshal(v1Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2JSON, err := json.Marshal(v2Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1JSON) != string(v2JSON) {
+		t.Fatalf("v2 session state diverged from v1 golden:\n v1: %s\n v2: %s", v1JSON, v2JSON)
+	}
+}

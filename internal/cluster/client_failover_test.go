@@ -74,6 +74,10 @@ func TestClientRidesThroughNodeDeath(t *testing.T) {
 	step() // iterations 9..10 happen after the last ack
 	step()
 	f.nodeTS[idx].Close()
+	// Closing the httptest listener does not sever hijacked v2 streams
+	// (the HTTP server forgot them at upgrade); a real crash kills the
+	// TCP connection too, so the simulated one must as well.
+	f.servers[idx].CloseV2Streams()
 	f.clock.Advance(f.ttl + f.ttl/2)
 	if err := f.members[0].Beat(); err != nil {
 		t.Fatal(err)

@@ -491,10 +491,7 @@ func (r *Runtime) degrade() {
 // degraded run keeps overspending. Before any pull at all, the prior
 // ranking is all there is.
 func (r *Runtime) conservativeArm() int {
-	if r.bandit.TotalPulls() == 0 {
-		return r.bandit.BestArm()
-	}
-	if arm := r.bandit.BestFeasibleArm(func(a int) bool { return r.bandit.Pulls(a) > 0 }); arm >= 0 {
+	if arm := r.bandit.BestMeasuredArm(); arm >= 0 {
 		return arm
 	}
 	return r.bandit.BestArm()

@@ -114,10 +114,22 @@ type Sensor struct {
 
 	ivals []float64 // recent intervals on the current configuration
 
+	tmp []float64 // scratch for medianMAD; windows are a handful of samples
+
 	rejectStreak       int
 	accepted, rejected int
 
 	sink telemetry.Sink // per-verdict telemetry; Nop when not instrumented
+}
+
+// medianMAD is the Sensor's allocation-free variant: the guard runs once
+// per governed iteration on the daemon's decision path, and a fresh
+// scratch slice per call was the path's dominant allocator.
+func (s *Sensor) medianMAD(xs []float64) (med, mad float64) {
+	if cap(s.tmp) < len(xs) {
+		s.tmp = make([]float64, len(xs))
+	}
+	return medianMADInto(s.tmp[:len(xs)], xs)
 }
 
 // New builds a Sensor; zero-value Config fields take the defaults.
@@ -175,14 +187,11 @@ func (s *Sensor) Interval(dur, expected float64) float64 {
 	if expected > 0 && !math.IsInf(expected, 0) {
 		x, scale = dur/expected, expected
 	}
-	s.ivals = append(s.ivals, x)
-	if len(s.ivals) > ivalWindow {
-		s.ivals = s.ivals[1:]
-	}
+	s.ivals = slideAppend(s.ivals, x, ivalWindow)
 	if len(s.ivals) < 3 {
 		return dur
 	}
-	med, _ := medianMAD(s.ivals)
+	med, _ := s.medianMAD(s.ivals)
 	return med * scale
 }
 
@@ -193,7 +202,7 @@ func (s *Sensor) Estimate() float64 {
 		return s.model
 	}
 	if len(s.win) > 0 {
-		med, _ := medianMAD(s.win)
+		med, _ := s.medianMAD(s.win)
 		return med
 	}
 	return 0
@@ -224,7 +233,7 @@ func (s *Sensor) Observe(power, dur float64) Verdict {
 		return s.reject(Implausible, dur)
 	}
 	if len(s.win) >= 3 {
-		med, mad := medianMAD(s.win)
+		med, mad := s.medianMAD(s.win)
 		gate := s.cfg.MADGate * math.Max(mad, s.cfg.RelFloor*math.Abs(med))
 		if math.Abs(power-med) > gate {
 			if s.havePending && math.Abs(power-s.pending) <= s.cfg.ConfirmTol*math.Abs(s.pending) {
@@ -255,7 +264,7 @@ func (s *Sensor) isStuck() bool {
 	if s.stuckRun < s.cfg.StuckRun || len(s.win) < 3 {
 		return false
 	}
-	_, mad := medianMAD(s.win)
+	_, mad := s.medianMAD(s.win)
 	return mad > 0
 }
 
@@ -289,10 +298,7 @@ func (s *Sensor) AdjustEnergy(dj float64) float64 {
 }
 
 func (s *Sensor) accept(power, dur float64) Verdict {
-	s.win = append(s.win, power)
-	if len(s.win) > s.cfg.Window {
-		s.win = s.win[1:]
-	}
+	s.win = slideAppend(s.win, power, s.cfg.Window)
 	s.accepted++
 	s.rejectStreak = 0
 	s.integrate(power, dur)
@@ -318,13 +324,31 @@ func (s *Sensor) integrate(power, dur float64) {
 	}
 }
 
+// slideAppend appends x to a bounded window, shifting in place once the
+// window is full so the backing array never migrates forward (reslicing
+// with win[1:] forces a reallocation every cap-len appends — a steady
+// drip of garbage on the per-iteration path).
+func slideAppend(win []float64, x float64, max int) []float64 {
+	if len(win) < max {
+		return append(win, x)
+	}
+	copy(win, win[1:])
+	win[len(win)-1] = x
+	return win
+}
+
 // medianMAD returns the median and the median absolute deviation of xs.
 func medianMAD(xs []float64) (med, mad float64) {
+	return medianMADInto(make([]float64, len(xs)), xs)
+}
+
+// medianMADInto computes medianMAD using tmp (len(tmp) == len(xs)) as
+// scratch; xs is left untouched.
+func medianMADInto(tmp, xs []float64) (med, mad float64) {
 	n := len(xs)
 	if n == 0 {
 		return 0, 0
 	}
-	tmp := make([]float64, n)
 	copy(tmp, xs)
 	sort.Float64s(tmp)
 	med = tmp[n/2]

@@ -104,8 +104,17 @@ type Arm struct {
 // random draw.
 type Bandit struct {
 	arms []Arm
-	rng  *rand.Rand
-	sink telemetry.Sink
+	// eff caches Estimate.Efficiency() per arm. Estimators change only
+	// inside Observe, so the cache — and the running argmax below — stay
+	// exact without ever re-querying the estimator interface. BestArm sat
+	// at the top of the daemon's decision-path profile before this: every
+	// Done rescanned all arms through two interface calls each.
+	eff        []float64
+	best       int // lowest-index argmax of eff
+	bestPulled int // same, restricted to arms with Pulls > 0; -1 = none
+	totalPulls int
+	rng        *rand.Rand
+	sink       telemetry.Sink
 }
 
 // NewBandit creates a bandit with one arm per configuration, using the
@@ -127,7 +136,7 @@ func NewBanditWithEstimators(n int, factory EstimatorFactory, priors Priors, rng
 	if factory == nil {
 		return nil, fmt.Errorf("learning: nil estimator factory")
 	}
-	b := &Bandit{arms: make([]Arm, n), rng: rng, sink: telemetry.Nop{}}
+	b := &Bandit{arms: make([]Arm, n), eff: make([]float64, n), rng: rng, sink: telemetry.Nop{}}
 	for i := range b.arms {
 		rate, power := priors.Estimate(i)
 		if rate <= 0 || power <= 0 {
@@ -138,7 +147,10 @@ func NewBanditWithEstimators(n int, factory EstimatorFactory, priors Priors, rng
 			return nil, err
 		}
 		b.arms[i].Estimate = est
+		b.eff[i] = est.Efficiency()
 	}
+	b.best = b.rescan()
+	b.bestPulled = -1
 	return b, nil
 }
 
@@ -165,13 +177,42 @@ func (b *Bandit) Observe(arm int, rate, power float64) (effError float64, err er
 		return 0, fmt.Errorf("learning: arm %d out of range [0,%d)", arm, len(b.arms))
 	}
 	a := &b.arms[arm]
-	prior := a.Estimate.Efficiency()
+	prior := b.eff[arm]
 	var measured float64
 	if power > 0 {
 		measured = rate / power
 	}
 	a.Estimate.Observe(rate, power)
 	a.Pulls++
+	b.totalPulls++
+
+	// Maintain the cached efficiency and the running argmax. Only this
+	// arm's score moved, so the champion changes in O(1) — except when
+	// the champion itself got worse (or turned NaN), where another arm
+	// may now lead and a rescan is required.
+	newEff := a.Estimate.Efficiency()
+	b.eff[arm] = newEff
+	switch {
+	case arm == b.best:
+		if !(newEff >= prior) {
+			b.best = b.rescan()
+		}
+	case newEff > b.eff[b.best] || (newEff == b.eff[b.best] && arm < b.best):
+		b.best = arm
+	}
+	switch {
+	case b.bestPulled < 0:
+		if !math.IsNaN(newEff) {
+			b.bestPulled = arm
+		}
+	case arm == b.bestPulled:
+		if !(newEff >= prior) {
+			b.bestPulled = b.rescanPulled()
+		}
+	case newEff > b.eff[b.bestPulled] || (newEff == b.eff[b.bestPulled] && arm < b.bestPulled):
+		b.bestPulled = arm
+	}
+
 	gain := math.NaN()
 	if g, ok := a.Estimate.(Gainer); ok {
 		gain = g.Gain()
@@ -182,17 +223,38 @@ func (b *Bandit) Observe(arm int, rate, power float64) (effError float64, err er
 
 // BestArm implements Eqn 3: the arm with the highest estimated energy
 // efficiency rate/power. Ties break toward the lower index, which (with our
-// index convention) prefers fewer resources.
-func (b *Bandit) BestArm() int {
+// index convention) prefers fewer resources. O(1): the argmax is maintained
+// incrementally by Observe.
+func (b *Bandit) BestArm() int { return b.best }
+
+// rescan recomputes the lowest-index argmax over the cached efficiencies.
+func (b *Bandit) rescan() int {
 	best := 0
 	bestEff := math.Inf(-1)
-	for i := range b.arms {
-		if eff := b.arms[i].Estimate.Efficiency(); eff > bestEff {
+	for i, eff := range b.eff {
+		if eff > bestEff {
 			best, bestEff = i, eff
 		}
 	}
 	return best
 }
+
+// rescanPulled recomputes the argmax over arms that have observations.
+func (b *Bandit) rescanPulled() int {
+	best := -1
+	bestEff := math.Inf(-1)
+	for i, eff := range b.eff {
+		if b.arms[i].Pulls > 0 && eff > bestEff {
+			best, bestEff = i, eff
+		}
+	}
+	return best
+}
+
+// BestMeasuredArm returns the most efficient arm among those with at
+// least one observation, or -1 before any pull. Like BestArm it is O(1):
+// the watchdog's conservative pin consults it every iteration.
+func (b *Bandit) BestMeasuredArm() int { return b.bestPulled }
 
 // BestFeasibleArm returns the most efficient arm among those accepted by
 // keep. It returns -1 if keep rejects every arm. The runtime uses this to
@@ -200,11 +262,11 @@ func (b *Bandit) BestArm() int {
 func (b *Bandit) BestFeasibleArm(keep func(arm int) bool) int {
 	best := -1
 	bestEff := math.Inf(-1)
-	for i := range b.arms {
+	for i, eff := range b.eff {
 		if !keep(i) {
 			continue
 		}
-		if eff := b.arms[i].Estimate.Efficiency(); eff > bestEff {
+		if eff > bestEff {
 			best, bestEff = i, eff
 		}
 	}
@@ -221,19 +283,13 @@ func (b *Bandit) Rate(arm int) float64 { return b.arms[arm].Estimate.Rate() }
 func (b *Bandit) Power(arm int) float64 { return b.arms[arm].Estimate.Power() }
 
 // Efficiency returns the estimated energy efficiency of an arm.
-func (b *Bandit) Efficiency(arm int) float64 { return b.arms[arm].Estimate.Efficiency() }
+func (b *Bandit) Efficiency(arm int) float64 { return b.eff[arm] }
 
 // Pulls returns how many observations an arm has absorbed.
 func (b *Bandit) Pulls(arm int) int { return b.arms[arm].Pulls }
 
 // TotalPulls returns the number of observations across all arms.
-func (b *Bandit) TotalPulls() int {
-	var n int
-	for i := range b.arms {
-		n += b.arms[i].Pulls
-	}
-	return n
-}
+func (b *Bandit) TotalPulls() int { return b.totalPulls }
 
 // Selector is an exploration policy: given the bandit state it picks the
 // next arm to run.

@@ -42,6 +42,18 @@ type Config struct {
 	Seed       int64 // tenant i runs with Seed+i
 	Retry      client.RetryPolicy
 
+	// WireV2 moves the per-iteration traffic onto the v2 binary frame
+	// stream with the batched DoneNext loop (settle + next decision in
+	// one round trip). False pins tenants to v1 JSON/HTTP, keeping the
+	// baseline measurement honest.
+	WireV2 bool
+	// Duration switches the run open-loop: tenants issue iterations as
+	// fast as the daemon answers until the wall-clock window closes (or
+	// their workload completes), measuring sustained decisions/s rather
+	// than time-to-complete-N. Set Iterations high enough that no tenant
+	// finishes early.
+	Duration time.Duration
+
 	// CoordinatorURL switches the run to cluster mode: tenants register
 	// through the fleet coordinator (each under a stable session key) and
 	// ride through node failures via the client's failover path. BaseURL
@@ -121,7 +133,14 @@ type Report struct {
 
 	NextP50, NextP99 time.Duration // Next round-trip latency
 	DoneP50, DoneP99 time.Duration // Done round-trip latency
+	IterP50, IterP99 time.Duration // whole-iteration wire latency
 	Throughput       float64       // governed iterations per wall-clock second
+
+	// Decisions counts the individual decisions the daemon served (each
+	// iteration is one Next plus one Done, however they were framed);
+	// DecisionsPerSec is their sustained rate over the run.
+	Decisions       int
+	DecisionsPerSec float64
 
 	TotalSpentJ  float64
 	TotalGrantJ  float64
@@ -173,9 +192,18 @@ func (r *Report) BenchLines(prefix string) []string {
 		fmt.Sprintf("Benchmark%sDoneP50\t%d\t%d ns/op", prefix, r.Iterations, r.DoneP50.Nanoseconds()),
 		fmt.Sprintf("Benchmark%sDoneP99\t%d\t%d ns/op", prefix, r.Iterations, r.DoneP99.Nanoseconds()),
 	}
+	if r.IterP50 > 0 {
+		lines = append(lines,
+			fmt.Sprintf("Benchmark%sIterP50\t%d\t%d ns/op", prefix, r.Iterations, r.IterP50.Nanoseconds()),
+			fmt.Sprintf("Benchmark%sIterP99\t%d\t%d ns/op", prefix, r.Iterations, r.IterP99.Nanoseconds()))
+	}
 	if r.Throughput > 0 {
 		lines = append(lines, fmt.Sprintf("Benchmark%sIteration\t%d\t%d ns/op",
 			prefix, r.Iterations, int64(float64(time.Second)/r.Throughput)))
+	}
+	if r.DecisionsPerSec > 0 {
+		lines = append(lines, fmt.Sprintf("Benchmark%sThroughput\t%d\t%.0f decisions/s",
+			prefix, r.Decisions, r.DecisionsPerSec))
 	}
 	if r.Failovers > 0 {
 		lines = append(lines,
@@ -188,10 +216,11 @@ func (r *Report) BenchLines(prefix string) []string {
 // Summary is a one-paragraph human rendering of the report.
 func (r *Report) Summary() string {
 	return fmt.Sprintf(
-		"%d tenants, %d iterations in %v (%.0f iter/s); Next p50=%v p99=%v, Done p50=%v p99=%v; "+
+		"%d tenants, %d iterations in %v (%.0f iter/s, %.0f decisions/s); "+
+			"Next p50=%v p99=%v, Done p50=%v p99=%v, iter p50=%v p99=%v; "+
 			"spent %.1f J of %.1f J granted, worst tenant at %.1f%% of grant, %d errors",
-		len(r.Tenants), r.Iterations, r.Elapsed.Round(time.Millisecond), r.Throughput,
-		r.NextP50, r.NextP99, r.DoneP50, r.DoneP99,
+		len(r.Tenants), r.Iterations, r.Elapsed.Round(time.Millisecond), r.Throughput, r.DecisionsPerSec,
+		r.NextP50, r.NextP99, r.DoneP50, r.DoneP99, r.IterP50, r.IterP99,
 		r.TotalSpentJ, r.TotalGrantJ, r.MaxOverGrant*100, r.Errors)
 }
 
@@ -206,11 +235,35 @@ type tenant struct {
 	clockS  float64 // virtual seconds
 	energyJ float64 // virtual cumulative joules
 
-	nextLat []time.Duration
-	doneLat []time.Duration
-	failLat []time.Duration // calls that absorbed a node migration
-	done    *atomic.Int64   // fleet-wide completed-iteration counter
-	res     TenantResult
+	nextLat   []time.Duration
+	doneLat   []time.Duration
+	iterLat   []time.Duration // whole-iteration wire latency
+	failLat   []time.Duration // calls that absorbed a node migration
+	wireCalls int             // decisions served (Next + Done, however framed)
+	done      *atomic.Int64   // fleet-wide completed-iteration counter
+	stepMemo  map[int][2]float64
+	res       TenantResult
+}
+
+// step returns the app model's (work, accuracy) for a configuration.
+// Open-loop runs (Duration > 0) memoize per configuration: the frame
+// models cost hundreds of microseconds per simulated iteration, which
+// at saturation would measure the simulator, not the daemon.
+// Closed-loop runs keep the full per-iteration model so accuracy and
+// energy trajectories stay faithful.
+func (t *tenant) step(appCfg, i int) (work, acc float64) {
+	if t.cfg.Duration <= 0 {
+		return t.tb.App.Step(appCfg, i)
+	}
+	if v, ok := t.stepMemo[appCfg]; ok {
+		return v[0], v[1]
+	}
+	if t.stepMemo == nil {
+		t.stepMemo = map[int][2]float64{}
+	}
+	work, acc = t.tb.App.Step(appCfg, i)
+	t.stepMemo[appCfg] = [2]float64{work, acc}
+	return work, acc
 }
 
 // run executes the tenant's whole workload against the daemon.
@@ -225,6 +278,7 @@ func (t *tenant) run(ctx context.Context) {
 		Iterations:  t.cfg.Iterations,
 		MinAccuracy: t.cfg.MinAcc,
 		Retry:       t.cfg.Retry,
+		DisableV2:   !t.cfg.WireV2,
 	}
 	if t.cfg.CoordinatorURL != "" {
 		opts.CoordinatorURL = t.cfg.CoordinatorURL
@@ -249,39 +303,90 @@ func (t *tenant) run(ctx context.Context) {
 	t.res.SessionID = sess.ID()
 	t.res.GrantJ = sess.GrantJ()
 	accSum := 0.0
+	var deadline time.Time
+	if t.cfg.Duration > 0 {
+		deadline = time.Now().Add(t.cfg.Duration)
+	}
+	armed := false
+	var appCfg, sysCfg int
+	var nextLat time.Duration
 	for i := 0; i < t.cfg.Iterations; i++ {
-		fo := sess.Failovers()
-		start := time.Now()
-		appCfg, sysCfg, err := sess.Next(ctx)
-		lat := time.Since(start)
-		t.nextLat = append(t.nextLat, lat)
-		if sess.Failovers() > fo {
-			t.failLat = append(t.failLat, lat)
-		}
-		if err != nil {
-			if client.IsCode(err, wire.CodeSessionComplete) {
-				// A daemon restart can settle a retried iteration twice,
-				// completing the workload one client call early; that is
-				// graceful completion, not a failure.
-				t.res.Iterations = t.cfg.Iterations
+		if !armed {
+			fo := sess.Failovers()
+			start := time.Now()
+			var err error
+			appCfg, sysCfg, err = sess.Next(ctx)
+			nextLat = time.Since(start)
+			t.nextLat = append(t.nextLat, nextLat)
+			t.wireCalls++
+			if sess.Failovers() > fo {
+				t.failLat = append(t.failLat, nextLat)
+			}
+			if err != nil {
+				if client.IsCode(err, wire.CodeSessionComplete) {
+					// A daemon restart can settle a retried iteration twice,
+					// completing the workload one client call early; that is
+					// graceful completion, not a failure.
+					t.res.Iterations = t.cfg.Iterations
+					break
+				}
+				t.res.Err = fmt.Errorf("iteration %d Next: %w", i, err)
 				break
 			}
-			t.res.Err = fmt.Errorf("iteration %d Next: %w", i, err)
-			break
+			armed = true
 		}
 		// "Execute" the iteration on the modeled machine.
-		work, acc := t.tb.App.Step(appCfg, i)
+		work, acc := t.step(appCfg, i)
 		rate := t.tb.Platform.Rate(sysCfg, t.tb.Profile)
 		dur := work / rate
 		t.clockS += dur
 		t.energyJ += t.tb.Platform.Power(sysCfg, t.tb.Profile) * dur
 		accSum += acc
 
-		fo = sess.Failovers()
-		start = time.Now()
-		err = sess.Done(ctx, acc)
-		lat = time.Since(start)
+		last := i == t.cfg.Iterations-1 ||
+			(!deadline.IsZero() && time.Now().After(deadline))
+		if t.cfg.WireV2 && !last {
+			// Steady state: settle this iteration and fetch the next
+			// decision in one batched round trip.
+			fo := sess.Failovers()
+			start := time.Now()
+			nextApp, nextSys, err := sess.DoneNext(ctx, acc)
+			lat := time.Since(start)
+			t.iterLat = append(t.iterLat, lat)
+			t.wireCalls += 2
+			if sess.Failovers() > fo {
+				t.failLat = append(t.failLat, lat)
+			}
+			if err != nil {
+				if client.IsCode(err, wire.CodeSessionComplete) {
+					// The Done half settled before the workload completed.
+					t.res.Iterations++
+					if t.done != nil {
+						t.done.Add(1)
+					}
+					break
+				}
+				t.res.Err = fmt.Errorf("iteration %d DoneNext: %w", i, err)
+				break
+			}
+			appCfg, sysCfg = nextApp, nextSys
+			t.res.Iterations++
+			if t.done != nil {
+				t.done.Add(1)
+			}
+			continue
+		}
+		fo := sess.Failovers()
+		start := time.Now()
+		err := sess.Done(ctx, acc)
+		lat := time.Since(start)
 		t.doneLat = append(t.doneLat, lat)
+		if !t.cfg.WireV2 {
+			// One v1 iteration's wire cost is its own Next plus this Done;
+			// in batched mode the DoneNext round trip above is the sample.
+			t.iterLat = append(t.iterLat, nextLat+lat)
+		}
+		t.wireCalls++
 		if sess.Failovers() > fo {
 			t.failLat = append(t.failLat, lat)
 		}
@@ -289,9 +394,13 @@ func (t *tenant) run(ctx context.Context) {
 			t.res.Err = fmt.Errorf("iteration %d Done: %w", i, err)
 			break
 		}
+		armed = false
 		t.res.Iterations++
 		if t.done != nil {
 			t.done.Add(1)
+		}
+		if last {
+			break
 		}
 	}
 	t.res.SpentJ = sess.LastStatus().SpentJ
@@ -372,7 +481,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	elapsed := time.Since(start)
 
 	rep := &Report{Elapsed: elapsed}
-	var nextAll, doneAll, failAll []time.Duration
+	var nextAll, doneAll, iterAll, failAll []time.Duration
 	for _, t := range tenants {
 		rep.Tenants = append(rep.Tenants, t.res)
 		rep.Iterations += t.res.Iterations
@@ -384,15 +493,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		rep.Failovers += t.res.Failovers
 		rep.CoordFailovers += t.res.CoordFailovers
+		rep.Decisions += t.wireCalls
 		nextAll = append(nextAll, t.nextLat...)
 		doneAll = append(doneAll, t.doneLat...)
+		iterAll = append(iterAll, t.iterLat...)
 		failAll = append(failAll, t.failLat...)
 	}
 	rep.NextP50, rep.NextP99 = quantiles(nextAll)
 	rep.DoneP50, rep.DoneP99 = quantiles(doneAll)
+	rep.IterP50, rep.IterP99 = quantiles(iterAll)
 	rep.FailP50, rep.FailP99 = quantiles(failAll)
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Iterations) / elapsed.Seconds()
+		rep.DecisionsPerSec = float64(rep.Decisions) / elapsed.Seconds()
 	}
 	return rep, nil
 }

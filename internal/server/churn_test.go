@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jouleguard/internal/wire"
+)
+
+// TestShardChurnRace churns thousands of short-lived sessions through
+// the sharded registry from many goroutines at once — the workload the
+// shard map exists for. Run under -race (make check does) it doubles as
+// the data-race proof for the lock-free decision path. It pins three
+// invariants:
+//
+//   - broker conservation: at every instant, committed + consumed never
+//     exceeds the global budget (sampled concurrently with the churn);
+//   - per-session monotonicity: each Done advances IterationsDone by
+//     exactly one — a cross-session leak through a mis-sharded lookup
+//     would break the sequence;
+//   - clean drain: once every session is closed, the registry is empty
+//     and the broker's committed pool is fully released.
+func TestShardChurnRace(t *testing.T) {
+	const workers = 16
+	perWorker := 625 // 10k sessions total
+	if testing.Short() {
+		perWorker = 64
+	}
+	const itersPerSession = 3
+
+	srv := testServer(t, 1e9, nil)
+	defer shutdown(srv)
+
+	// A concurrent auditor samples the broker ledger while the churn
+	// runs; conservation must hold at every instant, not just at rest.
+	stop := make(chan struct{})
+	auditDone := make(chan error, 1)
+	go func() {
+		defer close(auditDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			info := srv.Broker().Info()
+			if info.CommittedJ+info.ConsumedJ > info.GlobalJ*1.0001 {
+				auditDone <- fmt.Errorf("broker over-committed mid-churn: committed %.1f + consumed %.1f > global %.1f",
+					info.CommittedJ, info.ConsumedJ, info.GlobalJ)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < perWorker; n++ {
+				resp, err := srv.Register(wire.RegisterRequest{
+					Tenant: fmt.Sprintf("churn-%02d-%04d", w, n),
+					App:    "radar", Platform: "Tablet",
+					Iterations: itersPerSession, BudgetJ: 50,
+					Seed: int64(w*perWorker + n + 1),
+				})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d session %d register: %w", w, n, err)
+					return
+				}
+				clockS, energyJ := 0.0, 0.0
+				for i := 0; i < itersPerSession; i++ {
+					if _, err := srv.Next(resp.SessionID, wire.NextRequest{NowS: clockS}); err != nil {
+						errs <- fmt.Errorf("session %s next %d: %w", resp.SessionID, i, err)
+						return
+					}
+					clockS += 0.05
+					energyJ += 0.1
+					dresp, err := srv.Done(resp.SessionID, wire.DoneRequest{
+						NowS: clockS, EnergyJ: energyJ, Accuracy: 0.9,
+					})
+					if err != nil {
+						errs <- fmt.Errorf("session %s done %d: %w", resp.SessionID, i, err)
+						return
+					}
+					// Another session's settle leaking into this one would
+					// show up as a jumped (or repeated) iteration count.
+					if dresp.IterationsDone != i+1 {
+						errs <- fmt.Errorf("session %s: Done %d reported IterationsDone %d",
+							resp.SessionID, i, dresp.IterationsDone)
+						return
+					}
+				}
+				if _, err := srv.Close(resp.SessionID); err != nil {
+					errs <- fmt.Errorf("session %s close: %w", resp.SessionID, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-auditDone; err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Terminal sessions are retained for introspection only up to the
+	// cap; churn beyond it must not grow the registry.
+	if n := srv.sessions.size(); n > terminalRetainCap {
+		t.Fatalf("registry holds %d sessions after full churn drain, cap is %d", n, terminalRetainCap)
+	}
+	info := srv.Broker().Info()
+	if info.CommittedJ > 1e-6 {
+		t.Fatalf("broker still holds %.3f J committed after every session closed", info.CommittedJ)
+	}
+	if want := workers * perWorker; info.Admitted != want {
+		t.Fatalf("broker admitted %d sessions, want %d", info.Admitted, want)
+	}
+}

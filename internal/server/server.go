@@ -13,9 +13,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jouleguard"
@@ -45,20 +46,33 @@ type Config struct {
 }
 
 // Server is the governor daemon: session registry, budget broker, expiry
-// watchdog and the wire-protocol HTTP surface.
+// watchdog and the wire-protocol surfaces (v1 JSON/HTTP, v2 binary
+// frames). The session registry is striped (see shards.go) and the
+// drain/fence bits are atomics, so the per-iteration decision path
+// never takes a server-wide lock.
 type Server struct {
 	cfg    Config
 	broker *Broker
 	tel    *telemetry.Telemetry
 	clock  func() time.Time
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	byKey    map[string]string // session key -> id (cluster attach/adopt)
-	nextID   uint64
-	draining bool
-	fenced   bool
+	sessions *sessionMap
+	nextID   atomic.Uint64
+	draining atomic.Bool
+	fenced   atomic.Bool
+
+	assistMu sync.Mutex
 	assist   func(needJ float64) bool
+
+	v2Mu     sync.Mutex
+	v2Conns  map[net.Conn]struct{}
+	v2Closed bool
+
+	// Terminal (closed/expired) sessions stay introspectable for a
+	// while, but not forever: a churn-heavy daemon would otherwise grow
+	// the registry without bound. retired is the FIFO eviction queue.
+	retiredMu sync.Mutex
+	retired   []*session
 
 	stopSweep chan struct{}
 	sweepDone chan struct{}
@@ -95,8 +109,7 @@ func New(cfg Config) (*Server, error) {
 		broker:   broker,
 		tel:      tel,
 		clock:    clock,
-		sessions: map[string]*session{},
-		byKey:    map[string]string{},
+		sessions: newSessionMap(),
 
 		mOpened:  tel.Registry.Counter("jouleguardd_sessions_opened_total", "Sessions admitted."),
 		mClosed:  tel.Registry.Counter("jouleguardd_sessions_closed_total", "Sessions closed by their clients."),
@@ -130,6 +143,7 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST "+wire.BasePath+"/{id}/next", s.handleNext)
 	mux.HandleFunc("POST "+wire.BasePath+"/{id}/done", s.handleDone)
 	mux.HandleFunc("DELETE "+wire.BasePath+"/{id}", s.handleClose)
+	mux.HandleFunc("POST "+wire.V2Path, s.handleV2Stream)
 }
 
 // Handler returns the daemon's full surface: the wire protocol plus the
@@ -156,16 +170,12 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 	if req.Factor > 0 && req.BudgetJ > 0 {
 		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, "set at most one of factor and budget_j"}
 	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	if s.draining.Load() {
 		return wire.RegisterResponse{}, &wireError{wire.CodeDraining, "daemon is draining"}
 	}
-	if s.fenced {
-		s.mu.Unlock()
+	if s.fenced.Load() {
 		return wire.RegisterResponse{}, errLeaseExpired()
 	}
-	s.mu.Unlock()
 
 	// A register carrying the key of a live session attaches to it: the
 	// fleet failover path, where a client re-registers against the node
@@ -206,29 +216,27 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 	}
 
 	now := s.clock()
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s-%06d", s.nextID)
-	s.mu.Unlock()
+	id := s.newID()
 	sess, err := newSession(id, req, grant, telemetry.WithSession(s.tel, id), now)
 	if err != nil {
 		s.broker.Release(grant, 0)
 		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
 	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	s.sessions.put(sess)
+	if s.draining.Load() {
+		// Shutdown flipped the drain bit while we were inserting: back the
+		// session out so the snapshot never sees a post-drain admission.
+		s.sessions.remove(sess)
 		s.broker.Release(grant, 0)
 		return wire.RegisterResponse{}, &wireError{wire.CodeDraining, "daemon is draining"}
 	}
-	s.sessions[id] = sess
 	if req.Key != "" {
-		s.byKey[req.Key] = id
+		s.sessions.setKey(req.Key, id)
 	}
-	s.mu.Unlock()
 	s.mOpened.Inc()
 	return wire.RegisterResponse{
 		SessionID:  id,
+		SessionNum: sess.num,
 		GrantJ:     grant.GrantJ,
 		Iterations: req.Iterations,
 		AppConfigs: sess.tb.App.NumConfigs(),
@@ -236,14 +244,19 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 	}, nil
 }
 
+// newID mints the next session id. The numeric form rides in v2 frame
+// headers; the string form is the v1 wire id (zero-padded so
+// lexicographic order is creation order).
+func (s *Server) newID() string {
+	return fmt.Sprintf("s-%06d", s.nextID.Add(1))
+}
+
 // attach resolves a register-by-key against an existing live session.
 // ok=false means no live session holds the key and registration should
 // proceed fresh; a non-nil werr reports an attach that cannot be honored
 // (the key is held by a session with a different shape).
 func (s *Server) attach(req wire.RegisterRequest) (wire.RegisterResponse, *wireError, bool) {
-	s.mu.Lock()
-	sess := s.sessions[s.byKey[req.Key]]
-	s.mu.Unlock()
+	sess := s.sessions.byKey(req.Key)
 	if sess == nil {
 		return wire.RegisterResponse{}, nil, false
 	}
@@ -267,9 +280,9 @@ func (s *Server) admitWithAssist(tenant string, weight, requestJ float64) (Grant
 	if err == nil || !errors.Is(err, ErrBudgetExhausted) || requestJ <= 0 {
 		return grant, err
 	}
-	s.mu.Lock()
+	s.assistMu.Lock()
 	assist := s.assist
-	s.mu.Unlock()
+	s.assistMu.Unlock()
 	if assist == nil {
 		return grant, err
 	}
@@ -298,9 +311,9 @@ func (s *Server) admitWithAssist(tenant string, weight, requestJ float64) (Grant
 // on-demand lease extension from the coordinator, then admission is
 // retried. The hook returns whether the pool grew.
 func (s *Server) SetAdmitAssist(f func(needJ float64) bool) {
-	s.mu.Lock()
+	s.assistMu.Lock()
 	s.assist = f
-	s.mu.Unlock()
+	s.assistMu.Unlock()
 }
 
 // SetFenced flips the node's self-fence. A fenced daemon refuses to arm
@@ -309,18 +322,10 @@ func (s *Server) SetAdmitAssist(f func(needJ float64) bool) {
 // coordinator may already have reclaimed. Done is still accepted: the
 // energy of an in-flight iteration is spent either way, and accounting
 // it keeps the ledger truthful.
-func (s *Server) SetFenced(fenced bool) {
-	s.mu.Lock()
-	s.fenced = fenced
-	s.mu.Unlock()
-}
+func (s *Server) SetFenced(fenced bool) { s.fenced.Store(fenced) }
 
 // Fenced reports the self-fence state.
-func (s *Server) Fenced() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fenced
-}
+func (s *Server) Fenced() bool { return s.fenced.Load() }
 
 // Adopt rebuilds a migrated session from its registration and iteration
 // log — the cross-node analogue of snapshot restore. The governor stack
@@ -335,20 +340,15 @@ func (s *Server) Adopt(a wire.AdoptSession) (string, error) {
 	if a.Reg.Iterations <= 0 {
 		return "", &wireError{wire.CodeBadRequest, "adoption with non-positive iterations"}
 	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	if s.draining.Load() {
 		return "", &wireError{wire.CodeDraining, "daemon is draining"}
 	}
-	if prev := s.sessions[s.byKey[a.Key]]; prev != nil {
+	if prev := s.sessions.byKey(a.Key); prev != nil {
 		if _, _, live := prev.attachView(); live {
-			s.mu.Unlock()
 			return prev.id, nil
 		}
 	}
-	s.nextID++
-	id := fmt.Sprintf("s-%06d", s.nextID)
-	s.mu.Unlock()
+	id := s.newID()
 
 	a.Reg.Key = a.Key
 	if a.Reg.Tenant == "" {
@@ -373,10 +373,8 @@ func (s *Server) Adopt(a wire.AdoptSession) (string, error) {
 	}
 	sess.setGrant(grant)
 	sess.installLiveSink(telemetry.WithSession(s.tel, id))
-	s.mu.Lock()
-	s.sessions[id] = sess
-	s.byKey[a.Key] = id
-	s.mu.Unlock()
+	s.sessions.put(sess)
+	s.sessions.setKey(a.Key, id)
 	s.mAdopted.Inc()
 	return id, nil
 }
@@ -388,9 +386,9 @@ func (s *Server) adoptAdmit(tenant string, weight, grantJ, importedJ float64) (G
 	if err == nil || !errors.Is(err, ErrBudgetExhausted) {
 		return grant, err
 	}
-	s.mu.Lock()
+	s.assistMu.Lock()
 	assist := s.assist
-	s.mu.Unlock()
+	s.assistMu.Unlock()
 	if assist == nil {
 		return grant, err
 	}
@@ -412,13 +410,7 @@ func (s *Server) adoptAdmit(tenant string, weight, grantJ, importedJ float64) (G
 // daemon lives; cluster members report it in every heartbeat.
 func (s *Server) TotalSpentJ() float64 {
 	total := s.broker.Consumed()
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
-	for _, sess := range sessions {
+	for _, sess := range s.sessions.all() {
 		if _, live := sess.idleSince(); live {
 			total += sess.localSpent()
 		}
@@ -431,17 +423,7 @@ func (s *Server) TotalSpentJ() float64 {
 // everything). The cluster member builds heartbeat session reports from
 // it; ordering is stable (creation order) for deterministic wire bodies.
 func (s *Server) Export(from map[string]int) []SessionExport {
-	s.mu.Lock()
-	ids := make([]string, 0, len(s.sessions))
-	for id := range s.sessions {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	sessions := make([]*session, 0, len(ids))
-	for _, id := range ids {
-		sessions = append(sessions, s.sessions[id])
-	}
-	s.mu.Unlock()
+	sessions := s.sessions.allSorted()
 	out := make([]SessionExport, 0, len(sessions))
 	for _, sess := range sessions {
 		out = append(out, sess.export(from[sess.id]))
@@ -451,9 +433,7 @@ func (s *Server) Export(from map[string]int) []SessionExport {
 
 // lookup finds a session by id.
 func (s *Server) lookup(id string) (*session, *wireError) {
-	s.mu.Lock()
-	sess := s.sessions[id]
-	s.mu.Unlock()
+	sess := s.sessions.get(id)
 	if sess == nil {
 		return nil, &wireError{wire.CodeUnknownSession, fmt.Sprintf("unknown session %q", id)}
 	}
@@ -471,6 +451,7 @@ func (s *Server) Close(id string) (wire.CloseResponse, error) {
 		return wire.CloseResponse{}, errSessionClosed("session already closed")
 	}
 	s.broker.Release(sess.grant, spent)
+	s.retire(sess)
 	s.mClosed.Inc()
 	return wire.CloseResponse{
 		SessionID:  id,
@@ -479,19 +460,37 @@ func (s *Server) Close(id string) (wire.CloseResponse, error) {
 	}, nil
 }
 
+// terminalRetainCap bounds how many closed/expired sessions stay in the
+// registry for introspection. Beyond it the oldest terminal session is
+// evicted — under sustained churn the registry stays O(live + cap)
+// instead of growing with every session ever served.
+const terminalRetainCap = 1024
+
+// retire queues a terminal session for bounded retention, evicting the
+// oldest terminal session once the cap is exceeded. Never called with a
+// shard or session lock held.
+func (s *Server) retire(sess *session) {
+	s.retiredMu.Lock()
+	s.retired = append(s.retired, sess)
+	var evict *session
+	if len(s.retired) > terminalRetainCap {
+		evict = s.retired[0]
+		copy(s.retired, s.retired[1:])
+		s.retired = s.retired[:len(s.retired)-1]
+	}
+	s.retiredMu.Unlock()
+	if evict != nil {
+		s.sessions.remove(evict)
+	}
+}
+
 // ExpireIdle expires every live session whose last wire activity is
 // older than its timeout, releasing the grants. It returns how many
 // sessions it expired; the sweep loop calls it on SweepInterval.
 func (s *Server) ExpireIdle() int {
 	now := s.clock()
-	s.mu.Lock()
-	candidates := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		candidates = append(candidates, sess)
-	}
-	s.mu.Unlock()
 	expired := 0
-	for _, sess := range candidates {
+	for _, sess := range s.sessions.all() {
 		last, live := sess.idleSince()
 		if !live {
 			continue
@@ -505,6 +504,7 @@ func (s *Server) ExpireIdle() int {
 		}
 		if spent, release := sess.teardown(stateExpired); release {
 			s.broker.Release(sess.grant, spent)
+			s.retire(sess)
 			s.mExpired.Inc()
 			expired++
 		}
@@ -534,9 +534,10 @@ func (s *Server) sweepLoop() {
 // sessions that never reported are snapshotted at their last completed
 // iteration; their clients re-bracket the lost iteration on restore).
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.draining.Store(true)
+	// Hijacked v2 streams outlive the HTTP listener; sever them once the
+	// drain settles so no stream serves a daemon that no longer exists.
+	defer s.CloseV2Streams()
 	if s.stopSweep != nil {
 		close(s.stopSweep)
 		<-s.sweepDone
@@ -557,13 +558,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) anyInFlight() bool {
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
-	for _, sess := range sessions {
+	for _, sess := range s.sessions.all() {
 		if sess.inFlight() {
 			return true
 		}
@@ -626,50 +621,71 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining, fenced := s.draining, s.fenced
-	s.mu.Unlock()
-	if draining {
-		writeError(w, &wireError{wire.CodeDraining, "daemon is draining; retry against the restarted daemon"})
-		return
+// Next arms the session's upcoming iteration and returns its decision.
+// This is the whole per-iteration decision path — shared verbatim by the
+// v1 JSON handler, the v2 frame loop and the in-process benchmark — and
+// it takes no server-wide lock: one shard map read, then the session's
+// own mutex.
+func (s *Server) Next(id string, req wire.NextRequest) (wire.NextResponse, error) {
+	if s.draining.Load() {
+		return wire.NextResponse{}, &wireError{wire.CodeDraining, "daemon is draining; retry against the restarted daemon"}
 	}
-	if fenced {
-		writeError(w, errLeaseExpired())
-		return
+	if s.fenced.Load() {
+		return wire.NextResponse{}, errLeaseExpired()
 	}
-	sess, werr := s.lookup(r.PathValue("id"))
+	sess, werr := s.lookup(id)
 	if werr != nil {
-		writeError(w, werr)
-		return
+		return wire.NextResponse{}, werr
 	}
+	return s.sessionNext(sess, req)
+}
+
+func (s *Server) sessionNext(sess *session, req wire.NextRequest) (wire.NextResponse, error) {
+	start := time.Now()
+	resp, werr := sess.next(req, s.clock())
+	if werr != nil {
+		return wire.NextResponse{}, werr
+	}
+	s.mDecisionS.Observe(time.Since(start).Seconds())
+	return resp, nil
+}
+
+// Done settles a completed iteration. Accepted even while draining or
+// fenced: the energy of an in-flight iteration is spent either way, and
+// accounting it keeps the ledger truthful.
+func (s *Server) Done(id string, req wire.DoneRequest) (wire.DoneResponse, error) {
+	sess, werr := s.lookup(id)
+	if werr != nil {
+		return wire.DoneResponse{}, werr
+	}
+	resp, werr2 := sess.done(req, s.clock())
+	if werr2 != nil {
+		return wire.DoneResponse{}, werr2
+	}
+	return resp, nil
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	var req wire.NextRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	start := time.Now()
-	resp, werr2 := sess.next(req, s.clock())
-	if werr2 != nil {
-		writeError(w, werr2)
+	resp, err := s.Next(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	s.mDecisionS.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
-	sess, werr := s.lookup(r.PathValue("id"))
-	if werr != nil {
-		writeError(w, werr)
-		return
-	}
 	var req wire.DoneRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, werr2 := sess.done(req, s.clock())
-	if werr2 != nil {
-		writeError(w, werr2)
+	resp, err := s.Done(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -694,20 +710,11 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
 	resp := wire.ListResponse{Broker: s.broker.Info()}
-	for _, sess := range sessions {
-		resp.Sessions = append(resp.Sessions, sess.info(false))
-	}
 	// Stable order for scripts and eyeballs: ids are zero-padded
 	// counters, so lexicographic order is creation order.
-	sort.Slice(resp.Sessions, func(i, j int) bool {
-		return resp.Sessions[i].SessionID < resp.Sessions[j].SessionID
-	})
+	for _, sess := range s.sessions.allSorted() {
+		resp.Sessions = append(resp.Sessions, sess.info(false))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -68,6 +69,7 @@ type iterRec = wire.IterRec
 type session struct {
 	mu    sync.Mutex
 	id    string
+	num   uint32 // numeric id for v2 frame headers (0 = v1-only)
 	reg   wire.RegisterRequest
 	grant Grant
 
@@ -102,7 +104,7 @@ func newSession(id string, reg wire.RegisterRequest, grant Grant, sink telemetry
 	if err != nil {
 		return nil, err
 	}
-	s := &session{id: id, reg: reg, grant: grant, tb: tb, gov: gov, lastTouch: now}
+	s := &session{id: id, num: sessionNum(id), reg: reg, grant: grant, tb: tb, gov: gov, lastTouch: now}
 	ctl, err := jouleguard.NewOnlineGuarded(gov,
 		s.readPendingEnergy, s.readPendingNow,
 		jouleguard.SensorGuardConfig{ModelPower: tb.DefaultPower})
@@ -114,6 +116,19 @@ func newSession(id string, reg wire.RegisterRequest, grant Grant, sink telemetry
 	}
 	s.ctl = ctl
 	return s, nil
+}
+
+// sessionNum derives the v2 frame-header id from the "s-%06d" string id
+// (snapshot restore and adoption mint sessions from logged ids, so
+// deriving rather than storing keeps the two forms consistent across
+// every path). Ids that do not parse, or overflow uint32, yield 0 —
+// such a session is served over v1 only.
+func sessionNum(id string) uint32 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "s-%d", &n); err != nil || n == 0 || n > math.MaxUint32 {
+		return 0
+	}
+	return uint32(n)
 }
 
 // readPendingEnergy and readPendingNow feed the controller the last
@@ -400,6 +415,7 @@ func (s *session) attachView() (resp wire.RegisterResponse, reg wire.RegisterReq
 	}
 	return wire.RegisterResponse{
 		SessionID:      s.id,
+		SessionNum:     s.num,
 		GrantJ:         s.grant.GrantJ,
 		Iterations:     s.reg.Iterations,
 		AppConfigs:     s.tb.App.NumConfigs(),

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// The session registry is striped across sessionShards independently
+// locked shards so 10k+ concurrent sessions do not contend on one
+// mutex: a Next/Done call touches exactly one shard lock (a map read)
+// and then the session's own fine-grained lock, never a global one. The
+// broker is touched only on register, close/expiry and lease top-up —
+// the steady-state decision path stays off it entirely.
+//
+// Locking order: at most ONE shard lock is ever held at a time, and no
+// session lock is taken while a shard lock is held (lookups copy the
+// *session pointer out, then operate on the session's own mutex).
+// Key→id and id→session live in different shards in general, so a
+// by-key lookup is two sequential single-shard acquisitions; the worst
+// that can happen between them is observing a concurrently-closed
+// session, which every caller already tolerates (session_closed is a
+// normal reply). This rule makes lock-ordering deadlocks structurally
+// impossible.
+const sessionShards = 64 // power of two, so masking replaces modulo
+
+type sessionShard struct {
+	mu    sync.Mutex
+	byID  map[string]*session
+	byNum map[uint32]*session
+	byKey map[string]string // session key -> id (cluster attach/adopt)
+}
+
+// sessionMap is the fnv-sharded session registry.
+type sessionMap struct {
+	shards [sessionShards]sessionShard
+}
+
+func newSessionMap() *sessionMap {
+	m := &sessionMap{}
+	for i := range m.shards {
+		m.shards[i].byID = map[string]*session{}
+		m.shards[i].byNum = map[uint32]*session{}
+		m.shards[i].byKey = map[string]string{}
+	}
+	return m
+}
+
+// shardIndex hashes a string id/key onto a shard (fnv-1a, masked).
+func shardIndex(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32() & (sessionShards - 1)
+}
+
+// get returns the session with the given string id (nil if unknown).
+func (m *sessionMap) get(id string) *session {
+	sh := &m.shards[shardIndex(id)]
+	sh.mu.Lock()
+	sess := sh.byID[id]
+	sh.mu.Unlock()
+	return sess
+}
+
+// getNum returns the session with the given numeric id — the v2 frame
+// path, one masked index and one map read, no string formatting.
+func (m *sessionMap) getNum(num uint32) *session {
+	if num == 0 {
+		return nil
+	}
+	sh := &m.shards[num&(sessionShards-1)]
+	sh.mu.Lock()
+	sess := sh.byNum[num]
+	sh.mu.Unlock()
+	return sess
+}
+
+// put registers a session under its string id and (if nonzero) its
+// numeric id. The two indexes live in different shards; each insert
+// takes only its own shard lock.
+func (m *sessionMap) put(sess *session) {
+	sh := &m.shards[shardIndex(sess.id)]
+	sh.mu.Lock()
+	sh.byID[sess.id] = sess
+	sh.mu.Unlock()
+	if sess.num != 0 {
+		nh := &m.shards[sess.num&(sessionShards-1)]
+		nh.mu.Lock()
+		nh.byNum[sess.num] = sess
+		nh.mu.Unlock()
+	}
+}
+
+// remove undoes put (the register-during-drain backout path).
+func (m *sessionMap) remove(sess *session) {
+	sh := &m.shards[shardIndex(sess.id)]
+	sh.mu.Lock()
+	delete(sh.byID, sess.id)
+	sh.mu.Unlock()
+	if sess.num != 0 {
+		nh := &m.shards[sess.num&(sessionShards-1)]
+		nh.mu.Lock()
+		delete(nh.byNum, sess.num)
+		nh.mu.Unlock()
+	}
+}
+
+// setKey binds a cluster session key to an id.
+func (m *sessionMap) setKey(key, id string) {
+	sh := &m.shards[shardIndex(key)]
+	sh.mu.Lock()
+	sh.byKey[key] = id
+	sh.mu.Unlock()
+}
+
+// idByKey resolves a session key to its current id ("" if unbound).
+func (m *sessionMap) idByKey(key string) string {
+	sh := &m.shards[shardIndex(key)]
+	sh.mu.Lock()
+	id := sh.byKey[key]
+	sh.mu.Unlock()
+	return id
+}
+
+// byKey resolves a key straight to its session (nil if unbound). Two
+// sequential single-shard acquisitions, per the locking order above.
+func (m *sessionMap) byKey(key string) *session {
+	id := m.idByKey(key)
+	if id == "" {
+		return nil
+	}
+	return m.get(id)
+}
+
+// all snapshots every registered session. The copy is per-shard
+// consistent, not globally atomic — callers (expiry sweep, export,
+// list, drain wait) all tolerate sessions appearing or closing while
+// they iterate, exactly as they did under the former global lock, which
+// they also released before touching the sessions.
+func (m *sessionMap) all() []*session {
+	out := make([]*session, 0, 64)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.byID {
+			out = append(out, sess)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// allSorted is all() in creation order (ids are zero-padded counters,
+// so lexicographic order is creation order) — snapshots and heartbeat
+// exports need deterministic bodies.
+func (m *sessionMap) allSorted() []*session {
+	out := m.all()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// size counts registered sessions.
+func (m *sessionMap) size() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.byID)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
@@ -61,22 +60,10 @@ type snapIter struct {
 // (each session is locked while copied), in which case an armed
 // session is captured at its last completed iteration.
 func (s *Server) Snapshot(w io.Writer) error {
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	ids := make([]string, 0, len(s.sessions))
-	for id := range s.sessions {
-		ids = append(ids, id)
-	}
-	nextID := s.nextID
-	s.mu.Unlock()
 	// Creation order (ids are zero-padded counters) keeps snapshots
 	// diffable run to run.
-	sort.Strings(ids)
-	s.mu.Lock()
-	for _, id := range ids {
-		sessions = append(sessions, s.sessions[id])
-	}
-	s.mu.Unlock()
+	sessions := s.sessions.allSorted()
+	nextID := s.nextID.Load()
 
 	s.broker.mu.Lock()
 	hdr := snapDaemon{
@@ -150,12 +137,9 @@ func (s *Server) SnapshotFile(path string) error {
 // sink; the live sink is installed afterwards, so restored state resumes
 // reporting without double-counting the replayed decisions.
 func (s *Server) Restore(r io.Reader) error {
-	s.mu.Lock()
-	if len(s.sessions) != 0 {
-		s.mu.Unlock()
-		return fmt.Errorf("server: restore requires a fresh server, have %d sessions", len(s.sessions))
+	if n := s.sessions.size(); n != 0 {
+		return fmt.Errorf("server: restore requires a fresh server, have %d sessions", n)
 	}
-	s.mu.Unlock()
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -191,10 +175,8 @@ func (s *Server) Restore(r io.Reader) error {
 			if err != nil {
 				return err
 			}
-			s.mu.Lock()
 			s.broker = broker
-			s.nextID = hdr.NextID
-			s.mu.Unlock()
+			s.nextID.Store(hdr.NextID)
 			broker.Instrument(s.tel.Registry)
 			broker.restore(hdr.ConsumedJ, hdr.Carry)
 		case "session":
@@ -211,12 +193,10 @@ func (s *Server) Restore(r io.Reader) error {
 				return fmt.Errorf("server: snapshot line %d: rebuilding session %s: %w", line, sn.ID, err)
 			}
 			s.broker.readopt(grant)
-			s.mu.Lock()
-			s.sessions[sn.ID] = sess
+			s.sessions.put(sess)
 			if sn.Reg.Key != "" {
-				s.byKey[sn.Reg.Key] = sn.ID
+				s.sessions.setKey(sn.Reg.Key, sn.ID)
 			}
-			s.mu.Unlock()
 			cur = sess
 		case "iter":
 			var it snapIter
@@ -240,13 +220,7 @@ func (s *Server) Restore(r io.Reader) error {
 		return fmt.Errorf("server: snapshot has no daemon header")
 	}
 	// Replay done: attach the live telemetry.
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
-	for _, sess := range sessions {
+	for _, sess := range s.sessions.all() {
 		sess.installLiveSink(telemetry.WithSession(s.tel, sess.id))
 	}
 	return nil

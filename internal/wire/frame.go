@@ -1,0 +1,474 @@
+package wire
+
+// The v2 wire layer: length-prefixed binary frames over a persistent
+// connection, replacing one JSON/HTTP round trip per governed iteration
+// with one write + one read on a long-lived stream. v1 (JSON over HTTP)
+// remains the registration, introspection, teardown and cluster control
+// plane; v2 carries only the per-iteration hot path — Next, Done and
+// the pipelined DoneNext batch that settles the previous iteration and
+// fetches the upcoming decision in a single frame.
+//
+// A v2 stream is opened by upgrading an HTTP/1.1 request on V2Path
+// (`POST /v2/stream` with `Upgrade: jouleguard-frames/2`); the server
+// hijacks the connection and both sides speak frames from then on. One
+// stream may multiplex any number of sessions: every frame header
+// carries the numeric session id the daemon returned at registration
+// (RegisterResponse.SessionNum), so 10k sessions do not need 10k
+// connections. Replies are returned in request order.
+//
+// Frame layout (all integers little-endian, floats IEEE-754 bits):
+//
+//	offset  size  field
+//	0       2     magic 0x32 0x4A ("2J" on the wire; MagicV2)
+//	2       1     type (TNext, TDone, ...)
+//	3       1     flags (per-type bit set, see Flag*)
+//	4       4     session (numeric session id, uint32)
+//	8       4     length (payload bytes that follow, uint32)
+//	12      —     payload
+//
+// Payloads are fixed-width binary except TErr, which carries one code
+// byte followed by a UTF-8 message. The codec allocates nothing on the
+// steady-state encode/decode path (pinned by BenchmarkFrame* at
+// 0 allocs/op); encoders and decoders are pooled (GetEncoder /
+// GetDecoder) so connection churn reuses their buffers.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// V2Path is the HTTP route a v2 stream upgrade is requested on.
+const V2Path = "/v2/stream"
+
+// V2Proto names the protocol in the Upgrade header.
+const V2Proto = "jouleguard-frames/2"
+
+// MagicV2 is the two-byte frame preamble ("2J" little-endian).
+const MagicV2 = uint16(0x4A32)
+
+// HeaderLen is the fixed frame-header size in bytes.
+const HeaderLen = 12
+
+// MaxFramePayload bounds a frame's payload; anything larger is a
+// protocol error (the hot-path payloads are all under 64 bytes, and
+// even an error message has no business being bigger than this).
+const MaxFramePayload = 64 << 10
+
+// Frame types.
+const (
+	// TNext asks for the upcoming iteration's decision (payload:
+	// NextRequest, 8 bytes).
+	TNext = byte(1)
+	// TNextResp carries the decision (payload: NextResponse, 12 bytes).
+	TNextResp = byte(2)
+	// TDone reports a completed iteration (payload: DoneRequest,
+	// 24 bytes; FlagEnergyErr in the header).
+	TDone = byte(3)
+	// TDoneResp acknowledges it with the ledger view (payload:
+	// DoneResponse, 20 bytes; Degraded/Infeasible/Complete as flags).
+	TDoneResp = byte(4)
+	// TDoneNext settles the previous iteration and asks for the next
+	// decision in one frame — the steady-state batch (payload:
+	// DoneRequest + NextRequest.NowS, 32 bytes).
+	TDoneNext = byte(5)
+	// TDoneNextResp answers it (payload: DoneResponse + NextResponse,
+	// 32 bytes). When Done succeeds but Next cannot (e.g. the workload
+	// just completed), the server answers TDoneResp instead.
+	TDoneNextResp = byte(6)
+	// TErr reports a failed request (payload: one ErrCode byte + UTF-8
+	// message). The stream stays usable.
+	TErr = byte(7)
+)
+
+// Header flag bits (meaning depends on the frame type).
+const (
+	// FlagEnergyErr on TDone/TDoneNext marks a failed client meter read.
+	FlagEnergyErr = byte(1 << 0)
+	// FlagDegraded, FlagInfeasible, FlagComplete on TDoneResp /
+	// TDoneNextResp mirror the DoneResponse booleans.
+	FlagDegraded   = byte(1 << 1)
+	FlagInfeasible = byte(1 << 2)
+	FlagComplete   = byte(1 << 3)
+)
+
+// Payload sizes per type.
+const (
+	nextLen         = 8
+	nextRespLen     = 12
+	doneLen         = 24
+	doneRespLen     = 20
+	doneNextLen     = doneLen + 8
+	doneNextRespLen = doneRespLen + nextRespLen
+)
+
+// ErrCode is the single-byte rendering of the stable v1 error codes, so
+// a TErr frame round-trips onto exactly the code a JSON ErrorResponse
+// would have carried.
+var errCodes = []string{
+	1: CodeBadRequest,
+	2: CodeUnknownSession,
+	3: CodeBadSequence,
+	4: CodeSessionClosed,
+	5: CodeSessionComplete,
+	6: CodeDraining,
+	7: CodeBudgetExhausted,
+	8: CodeLeaseExpired,
+	9: CodeNotOwner,
+}
+
+// ErrCodeByte maps a stable string code onto its wire byte (0 if the
+// code has no v2 rendering; it is sent as bad_request's byte then).
+func ErrCodeByte(code string) byte {
+	for b, c := range errCodes {
+		if c == code {
+			return byte(b)
+		}
+	}
+	return 1 // bad_request
+}
+
+// ErrCodeString maps a wire byte back onto the stable string code.
+func ErrCodeString(b byte) string {
+	if int(b) < len(errCodes) && errCodes[b] != "" {
+		return errCodes[b]
+	}
+	return CodeBadRequest
+}
+
+// Hdr is one decoded frame header.
+type Hdr struct {
+	Type    byte
+	Flags   byte
+	Session uint32
+	Len     uint32
+}
+
+// ---------------------------------------------------------------------
+// Encoder.
+
+// Encoder writes frames into a buffered writer. Not safe for concurrent
+// use; each connection owns one (GetEncoder/PutEncoder pool them).
+type Encoder struct {
+	w       *bufio.Writer
+	scratch [HeaderLen + doneNextRespLen]byte
+}
+
+// NewEncoder builds an unpooled encoder (tests; prefer GetEncoder).
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriterSize(w, 4096)}
+}
+
+// header fills the scratch prefix.
+func (e *Encoder) header(t, flags byte, session, length uint32) {
+	binary.LittleEndian.PutUint16(e.scratch[0:2], MagicV2)
+	e.scratch[2] = t
+	e.scratch[3] = flags
+	binary.LittleEndian.PutUint32(e.scratch[4:8], session)
+	binary.LittleEndian.PutUint32(e.scratch[8:12], length)
+}
+
+// Next writes a TNext frame.
+func (e *Encoder) Next(session uint32, req NextRequest) error {
+	e.header(TNext, 0, session, nextLen)
+	binary.LittleEndian.PutUint64(e.scratch[12:20], math.Float64bits(req.NowS))
+	_, err := e.w.Write(e.scratch[:HeaderLen+nextLen])
+	return err
+}
+
+// NextResp writes a TNextResp frame.
+func (e *Encoder) NextResp(session uint32, resp NextResponse) error {
+	e.header(TNextResp, 0, session, nextRespLen)
+	putNextResp(e.scratch[12:], resp)
+	_, err := e.w.Write(e.scratch[:HeaderLen+nextRespLen])
+	return err
+}
+
+// Done writes a TDone frame.
+func (e *Encoder) Done(session uint32, req DoneRequest) error {
+	var flags byte
+	if req.EnergyErr {
+		flags |= FlagEnergyErr
+	}
+	e.header(TDone, flags, session, doneLen)
+	putDone(e.scratch[12:], req)
+	_, err := e.w.Write(e.scratch[:HeaderLen+doneLen])
+	return err
+}
+
+// DoneResp writes a TDoneResp frame.
+func (e *Encoder) DoneResp(session uint32, resp DoneResponse) error {
+	e.header(TDoneResp, doneFlags(resp), session, doneRespLen)
+	putDoneResp(e.scratch[12:], resp)
+	_, err := e.w.Write(e.scratch[:HeaderLen+doneRespLen])
+	return err
+}
+
+// DoneNext writes the batched TDoneNext frame: settle the previous
+// iteration (done) and ask for the next decision (next) in one write.
+func (e *Encoder) DoneNext(session uint32, done DoneRequest, next NextRequest) error {
+	var flags byte
+	if done.EnergyErr {
+		flags |= FlagEnergyErr
+	}
+	e.header(TDoneNext, flags, session, doneNextLen)
+	putDone(e.scratch[12:], done)
+	binary.LittleEndian.PutUint64(e.scratch[12+doneLen:], math.Float64bits(next.NowS))
+	_, err := e.w.Write(e.scratch[:HeaderLen+doneNextLen])
+	return err
+}
+
+// DoneNextResp writes the batched TDoneNextResp frame.
+func (e *Encoder) DoneNextResp(session uint32, done DoneResponse, next NextResponse) error {
+	e.header(TDoneNextResp, doneFlags(done), session, doneNextRespLen)
+	putDoneResp(e.scratch[12:], done)
+	putNextResp(e.scratch[12+doneRespLen:], next)
+	_, err := e.w.Write(e.scratch[:HeaderLen+doneNextRespLen])
+	return err
+}
+
+// Err writes a TErr frame carrying a stable code and a message.
+func (e *Encoder) Err(session uint32, code, msg string) error {
+	if len(msg) > MaxFramePayload-1 {
+		msg = msg[:MaxFramePayload-1]
+	}
+	e.header(TErr, 0, session, uint32(1+len(msg)))
+	if _, err := e.w.Write(e.scratch[:HeaderLen]); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte(ErrCodeByte(code)); err != nil {
+		return err
+	}
+	_, err := e.w.WriteString(msg)
+	return err
+}
+
+// Flush pushes buffered frames onto the connection.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+func doneFlags(resp DoneResponse) byte {
+	var flags byte
+	if resp.Degraded {
+		flags |= FlagDegraded
+	}
+	if resp.Infeasible {
+		flags |= FlagInfeasible
+	}
+	if resp.Complete {
+		flags |= FlagComplete
+	}
+	return flags
+}
+
+func putDone(b []byte, req DoneRequest) {
+	binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(req.NowS))
+	binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(req.EnergyJ))
+	binary.LittleEndian.PutUint64(b[16:24], math.Float64bits(req.Accuracy))
+}
+
+func putDoneResp(b []byte, resp DoneResponse) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(resp.IterationsDone))
+	binary.LittleEndian.PutUint64(b[4:12], math.Float64bits(resp.SpentJ))
+	binary.LittleEndian.PutUint64(b[12:20], math.Float64bits(resp.GrantRemainingJ))
+}
+
+func putNextResp(b []byte, resp NextResponse) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(resp.Iter))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(resp.AppConfig))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(resp.SysConfig))
+}
+
+// ---------------------------------------------------------------------
+// Decoder.
+
+// Decoder reads frames from a buffered reader into a reusable payload
+// buffer. Not safe for concurrent use; each connection owns one
+// (GetDecoder/PutDecoder pool them).
+type Decoder struct {
+	r       *bufio.Reader
+	hdr     [HeaderLen]byte
+	payload []byte
+}
+
+// NewDecoder builds an unpooled decoder. If r is already a
+// *bufio.Reader with a large enough buffer (the HTTP-hijack path hands
+// one over, possibly holding pipelined frames the client sent behind
+// the upgrade request), it is used directly.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 4096)}
+}
+
+// ReadFrame reads one frame. The returned payload slice is valid only
+// until the next ReadFrame call (it aliases the decoder's buffer).
+func (d *Decoder) ReadFrame() (Hdr, []byte, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return Hdr{}, nil, err
+	}
+	if binary.LittleEndian.Uint16(d.hdr[0:2]) != MagicV2 {
+		return Hdr{}, nil, fmt.Errorf("wire: bad frame magic %#x", binary.LittleEndian.Uint16(d.hdr[0:2]))
+	}
+	h := Hdr{
+		Type:    d.hdr[2],
+		Flags:   d.hdr[3],
+		Session: binary.LittleEndian.Uint32(d.hdr[4:8]),
+		Len:     binary.LittleEndian.Uint32(d.hdr[8:12]),
+	}
+	if h.Len > MaxFramePayload {
+		return Hdr{}, nil, fmt.Errorf("wire: frame payload %d exceeds %d-byte cap", h.Len, MaxFramePayload)
+	}
+	if cap(d.payload) < int(h.Len) {
+		d.payload = make([]byte, h.Len)
+	}
+	p := d.payload[:h.Len]
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		return Hdr{}, nil, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	return h, p, nil
+}
+
+// Buffered reports bytes already read from the connection but not yet
+// consumed — a pipelining server flushes replies only when it drops to
+// zero, so a burst of frames gets one write back.
+func (d *Decoder) Buffered() int { return d.r.Buffered() }
+
+// ParseNext decodes a TNext payload.
+func ParseNext(h Hdr, p []byte) (NextRequest, error) {
+	if h.Len != nextLen {
+		return NextRequest{}, fmt.Errorf("wire: TNext payload %d bytes, want %d", h.Len, nextLen)
+	}
+	return NextRequest{NowS: math.Float64frombits(binary.LittleEndian.Uint64(p[0:8]))}, nil
+}
+
+// ParseNextResp decodes a TNextResp payload.
+func ParseNextResp(h Hdr, p []byte) (NextResponse, error) {
+	if h.Len != nextRespLen {
+		return NextResponse{}, fmt.Errorf("wire: TNextResp payload %d bytes, want %d", h.Len, nextRespLen)
+	}
+	return getNextResp(p), nil
+}
+
+// ParseDone decodes a TDone payload (EnergyErr rides in the header).
+func ParseDone(h Hdr, p []byte) (DoneRequest, error) {
+	if h.Len != doneLen {
+		return DoneRequest{}, fmt.Errorf("wire: TDone payload %d bytes, want %d", h.Len, doneLen)
+	}
+	return getDone(h.Flags, p), nil
+}
+
+// ParseDoneResp decodes a TDoneResp payload.
+func ParseDoneResp(h Hdr, p []byte) (DoneResponse, error) {
+	if h.Len != doneRespLen {
+		return DoneResponse{}, fmt.Errorf("wire: TDoneResp payload %d bytes, want %d", h.Len, doneRespLen)
+	}
+	return getDoneResp(h.Flags, p), nil
+}
+
+// ParseDoneNext decodes the batched TDoneNext payload.
+func ParseDoneNext(h Hdr, p []byte) (DoneRequest, NextRequest, error) {
+	if h.Len != doneNextLen {
+		return DoneRequest{}, NextRequest{}, fmt.Errorf("wire: TDoneNext payload %d bytes, want %d", h.Len, doneNextLen)
+	}
+	return getDone(h.Flags, p),
+		NextRequest{NowS: math.Float64frombits(binary.LittleEndian.Uint64(p[doneLen : doneLen+8]))}, nil
+}
+
+// ParseDoneNextResp decodes the batched TDoneNextResp payload.
+func ParseDoneNextResp(h Hdr, p []byte) (DoneResponse, NextResponse, error) {
+	if h.Len != doneNextRespLen {
+		return DoneResponse{}, NextResponse{}, fmt.Errorf("wire: TDoneNextResp payload %d bytes, want %d", h.Len, doneNextRespLen)
+	}
+	return getDoneResp(h.Flags, p), getNextResp(p[doneRespLen:]), nil
+}
+
+// ParseErr decodes a TErr payload into (code, message). The message
+// string is copied (errors are off the hot path).
+func ParseErr(h Hdr, p []byte) (code, msg string, err error) {
+	if h.Len < 1 {
+		return "", "", fmt.Errorf("wire: empty TErr payload")
+	}
+	return ErrCodeString(p[0]), string(p[1:]), nil
+}
+
+func getDone(flags byte, p []byte) DoneRequest {
+	return DoneRequest{
+		NowS:      math.Float64frombits(binary.LittleEndian.Uint64(p[0:8])),
+		EnergyJ:   math.Float64frombits(binary.LittleEndian.Uint64(p[8:16])),
+		Accuracy:  math.Float64frombits(binary.LittleEndian.Uint64(p[16:24])),
+		EnergyErr: flags&FlagEnergyErr != 0,
+	}
+}
+
+func getDoneResp(flags byte, p []byte) DoneResponse {
+	return DoneResponse{
+		IterationsDone:  int(binary.LittleEndian.Uint32(p[0:4])),
+		SpentJ:          math.Float64frombits(binary.LittleEndian.Uint64(p[4:12])),
+		GrantRemainingJ: math.Float64frombits(binary.LittleEndian.Uint64(p[12:20])),
+		Degraded:        flags&FlagDegraded != 0,
+		Infeasible:      flags&FlagInfeasible != 0,
+		Complete:        flags&FlagComplete != 0,
+	}
+}
+
+func getNextResp(p []byte) NextResponse {
+	return NextResponse{
+		Iter:      int(binary.LittleEndian.Uint32(p[0:4])),
+		AppConfig: int(binary.LittleEndian.Uint32(p[4:8])),
+		SysConfig: int(binary.LittleEndian.Uint32(p[8:12])),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pools. Connections are long-lived, but a node cycling 10k sessions
+// through reconnects should not re-grow codec buffers each time.
+
+var encPool = sync.Pool{New: func() any { return NewEncoder(io.Discard) }}
+var decPool = sync.Pool{New: func() any { return &Decoder{} }}
+
+// GetEncoder leases a pooled encoder bound to w.
+func GetEncoder(w io.Writer) *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.w.Reset(w)
+	return e
+}
+
+// PutEncoder returns an encoder to the pool; the caller must not use it
+// afterwards. Buffered frames are discarded — Flush first.
+func PutEncoder(e *Encoder) {
+	e.w.Reset(io.Discard)
+	encPool.Put(e)
+}
+
+// GetDecoder leases a pooled decoder bound to r. A *bufio.Reader with a
+// large enough buffer is adopted directly (it may hold pipelined frames
+// already read off the socket), replacing the pooled one.
+func GetDecoder(r io.Reader) *Decoder {
+	d := decPool.Get().(*Decoder)
+	if br, ok := r.(*bufio.Reader); ok && br.Size() >= 4096 {
+		d.r = br
+		return d
+	}
+	if d.r == nil {
+		d.r = bufio.NewReaderSize(r, 4096)
+	} else {
+		d.r.Reset(r)
+	}
+	return d
+}
+
+// PutDecoder returns a decoder to the pool. The payload buffer is kept
+// (that is the point of pooling); the reader is detached so the pool
+// never pins a connection.
+func PutDecoder(d *Decoder) {
+	if d.r != nil {
+		d.r.Reset(eofReader{})
+	}
+	decPool.Put(d)
+}
+
+// eofReader detaches a pooled decoder from its former connection.
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }

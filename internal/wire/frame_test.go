@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+
+	next := NextRequest{NowS: 12.375}
+	nextResp := NextResponse{Iter: 7, AppConfig: 3, SysConfig: 11}
+	done := DoneRequest{NowS: 13.5, EnergyJ: 101.25, Accuracy: 0.875, EnergyErr: true}
+	doneResp := DoneResponse{IterationsDone: 7, SpentJ: 55.5, GrantRemainingJ: 44.5,
+		Degraded: true, Infeasible: false, Complete: true}
+
+	if err := enc.Next(42, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.NextResp(42, nextResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Done(43, done); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.DoneResp(43, doneResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.DoneNext(44, done, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.DoneNextResp(44, doneResp, nextResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Err(45, CodeSessionComplete, "workload complete"); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf)
+
+	h, p, err := dec.ReadFrame()
+	if err != nil || h.Type != TNext || h.Session != 42 {
+		t.Fatalf("frame 1: hdr %+v err %v", h, err)
+	}
+	if got, err := ParseNext(h, p); err != nil || got != next {
+		t.Fatalf("ParseNext: %+v %v", got, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TNextResp {
+		t.Fatalf("frame 2: hdr %+v err %v", h, err)
+	}
+	if got, err := ParseNextResp(h, p); err != nil || got != nextResp {
+		t.Fatalf("ParseNextResp: %+v %v", got, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TDone || h.Session != 43 {
+		t.Fatalf("frame 3: hdr %+v err %v", h, err)
+	}
+	if got, err := ParseDone(h, p); err != nil || got != done {
+		t.Fatalf("ParseDone: %+v %v", got, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TDoneResp {
+		t.Fatalf("frame 4: hdr %+v err %v", h, err)
+	}
+	if got, err := ParseDoneResp(h, p); err != nil || got != doneResp {
+		t.Fatalf("ParseDoneResp: %+v %v", got, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TDoneNext || h.Session != 44 {
+		t.Fatalf("frame 5: hdr %+v err %v", h, err)
+	}
+	if gd, gn, err := ParseDoneNext(h, p); err != nil || gd != done || gn != next {
+		t.Fatalf("ParseDoneNext: %+v %+v %v", gd, gn, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TDoneNextResp {
+		t.Fatalf("frame 6: hdr %+v err %v", h, err)
+	}
+	if gd, gn, err := ParseDoneNextResp(h, p); err != nil || gd != doneResp || gn != nextResp {
+		t.Fatalf("ParseDoneNextResp: %+v %+v %v", gd, gn, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TErr || h.Session != 45 {
+		t.Fatalf("frame 7: hdr %+v err %v", h, err)
+	}
+	code, msg, err := ParseErr(h, p)
+	if err != nil || code != CodeSessionComplete || msg != "workload complete" {
+		t.Fatalf("ParseErr: %q %q %v", code, msg, err)
+	}
+
+	if _, _, err := dec.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestFrameRejectsBadMagic(t *testing.T) {
+	raw := make([]byte, HeaderLen)
+	raw[0], raw[1] = 0xde, 0xad
+	dec := NewDecoder(bytes.NewReader(raw))
+	if _, _, err := dec.ReadFrame(); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	raw := make([]byte, HeaderLen)
+	binary.LittleEndian.PutUint16(raw[0:2], MagicV2)
+	raw[2] = TErr
+	binary.LittleEndian.PutUint32(raw[8:12], MaxFramePayload+1)
+	dec := NewDecoder(bytes.NewReader(raw))
+	if _, _, err := dec.ReadFrame(); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("want payload-cap error, got %v", err)
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Next(1, NextRequest{NowS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		dec := NewDecoder(bytes.NewReader(raw[:len(raw)-cut]))
+		if _, _, err := dec.ReadFrame(); err == nil {
+			t.Fatalf("cut %d bytes: decode unexpectedly succeeded", cut)
+		}
+	}
+}
+
+func TestFrameWrongLengthForType(t *testing.T) {
+	// A TNext header claiming a Done-sized payload must fail the parse,
+	// not read garbage.
+	h := Hdr{Type: TNext, Len: doneLen}
+	if _, err := ParseNext(h, make([]byte, doneLen)); err == nil {
+		t.Fatal("ParseNext accepted a mis-sized payload")
+	}
+	if _, err := ParseDoneResp(Hdr{Type: TDoneResp, Len: 3}, make([]byte, 3)); err == nil {
+		t.Fatal("ParseDoneResp accepted a mis-sized payload")
+	}
+}
+
+func TestErrCodeBytesRoundTrip(t *testing.T) {
+	for _, code := range []string{
+		CodeBadRequest, CodeUnknownSession, CodeBadSequence, CodeSessionClosed,
+		CodeSessionComplete, CodeDraining, CodeBudgetExhausted, CodeLeaseExpired, CodeNotOwner,
+	} {
+		if got := ErrCodeString(ErrCodeByte(code)); got != code {
+			t.Errorf("code %q round-tripped to %q", code, got)
+		}
+	}
+	// Unknown codes degrade to bad_request rather than dropping the frame.
+	if got := ErrCodeString(ErrCodeByte("no_such_code")); got != CodeBadRequest {
+		t.Errorf("unknown code mapped to %q", got)
+	}
+	if got := ErrCodeString(0xff); got != CodeBadRequest {
+		t.Errorf("unknown byte mapped to %q", got)
+	}
+}
+
+func TestCodecPoolsReuse(t *testing.T) {
+	var buf bytes.Buffer
+	enc := GetEncoder(&buf)
+	if err := enc.DoneNext(9, DoneRequest{NowS: 2, EnergyJ: 3, Accuracy: 1}, NextRequest{NowS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	PutEncoder(enc)
+
+	dec := GetDecoder(&buf)
+	h, p, err := dec.ReadFrame()
+	if err != nil || h.Type != TDoneNext || h.Session != 9 {
+		t.Fatalf("pooled decode: hdr %+v err %v", h, err)
+	}
+	if _, _, err := ParseDoneNext(h, p); err != nil {
+		t.Fatal(err)
+	}
+	PutDecoder(dec)
+
+	// A returned decoder must not read from its former stream.
+	d2 := decPool.Get().(*Decoder)
+	if d2.r != nil {
+		if _, _, err := d2.ReadFrame(); err != io.EOF {
+			t.Fatalf("pooled decoder still attached to old stream: %v", err)
+		}
+	}
+	decPool.Put(d2)
+}
+
+// countingWriter swallows writes without buffering growth, so encoder
+// benchmarks measure the codec, not a bytes.Buffer.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// BenchmarkFrameEncodeDoneNext pins the steady-state encode path at
+// 0 allocs/op: one batched frame per governed iteration.
+func BenchmarkFrameEncodeDoneNext(b *testing.B) {
+	enc := NewEncoder(&countingWriter{})
+	done := DoneRequest{NowS: 13.5, EnergyJ: 101.25, Accuracy: 0.875}
+	next := NextRequest{NowS: 13.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.DoneNext(42, done, next); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// loopReader replays one frame forever, alloc-free.
+type loopReader struct {
+	raw []byte
+	off int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.raw) {
+		r.off = 0
+	}
+	n := copy(p, r.raw[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// BenchmarkFrameDecodeDoneNext pins the steady-state decode path at
+// 0 allocs/op.
+func BenchmarkFrameDecodeDoneNext(b *testing.B) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.DoneNext(42, DoneRequest{NowS: 13.5, EnergyJ: 101.25, Accuracy: 0.875}, NextRequest{NowS: 13.5}); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	dec := NewDecoder(&loopReader{raw: buf.Bytes()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, p, err := dec.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ParseDoneNext(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameRoundTrip is the full encode+decode cost of one batched
+// iteration frame pair, also at 0 allocs/op.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	dec := NewDecoder(&buf)
+	done := DoneRequest{NowS: 13.5, EnergyJ: 101.25, Accuracy: 0.875}
+	next := NextRequest{NowS: 13.5}
+	doneResp := DoneResponse{IterationsDone: 7, SpentJ: 55.5, GrantRemainingJ: 44.5}
+	nextResp := NextResponse{Iter: 8, AppConfig: 3, SysConfig: 11}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.DoneNext(42, done, next); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		h, p, err := dec.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ParseDoneNext(h, p); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.DoneNextResp(42, doneResp, nextResp); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		h, p, err = dec.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ParseDoneNextResp(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

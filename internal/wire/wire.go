@@ -97,6 +97,9 @@ type RegisterRequest struct {
 // RegisterResponse acknowledges an admitted session.
 type RegisterResponse struct {
 	SessionID string `json:"session_id"`
+	// SessionNum is the session's numeric id, used in v2 binary frame
+	// headers (0 = the daemon does not serve this session over v2).
+	SessionNum uint32 `json:"session_num,omitempty"`
 	// GrantJ is the joule budget the broker committed to this session;
 	// the session's governor enforces it.
 	GrantJ     float64 `json:"grant_j"`
