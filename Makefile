@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /usr/bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke clean
+.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke obs-smoke clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ lint:
 # The pre-merge gate: formatting + vet + the race-detector pass + the
 # full-size shard-churn race test + the daemon, fleet and hot-path smoke
 # tests + the coordinator-failover chaos run.
-check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster
+check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster obs-smoke
 
 test:
 	$(GO) test ./...
@@ -85,6 +85,20 @@ chaos-cluster:
 		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
 	@mv BENCH_experiments.json.tmp BENCH_experiments.json
 	@echo "chaos-cluster passed; coordinator-failover quantiles merged into BENCH_experiments.json"
+
+# Observability smoke under the race detector: a traced 3-node fleet
+# (v2 frames, every 8th round sampled) with a provenance auditor
+# polling both halves of the custody chain while the primary
+# coordinator is killed mid-run and a standby promotes. Asserts one
+# distributed trace joins client -> daemon -> broker -> coordinator
+# across the per-node /traces windows, and that every provenance layer
+# sampled — including through the failover — conserves joules to
+# within 1e-6.
+obs-smoke:
+	$(GO) run -race ./cmd/loadgen -cluster -nodes 3 -tenants 8 -iters 60 \
+		-apps radar -platform Tablet -v2 -trace-every 8 -obs-check \
+		-kill-coordinator-at 240 -check 1.05 > /dev/null
+	@echo "obs-smoke passed: cross-node trace join + provenance conservation through coordinator failover"
 
 # Hot-path smoke: the v2 binary frame stream end to end. A closed-loop
 # pass pins correctness-under-batching (every tenant within 105% of its

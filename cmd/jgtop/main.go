@@ -1,0 +1,261 @@
+// Command jgtop is a terminal view of a running JouleGuard fleet: it
+// polls the coordinator's introspection surfaces — /v1/cluster?detail=1
+// for the ledger and placements, /healthz for role and fencing epoch,
+// /v1/cluster/metrics for the rolled-up burn rates — and renders nodes,
+// leases, tenant burn and failovers as one refreshing screen.
+//
+//	jgtop -coordinator http://coord:7077            # refresh every 2s
+//	jgtop -coordinator http://coord:7077 -once      # one frame to stdout
+//
+// jgtop is read-only and fleet-scoped: everything it shows comes from
+// the two coordinator endpoints plus the metrics rollup, so it works
+// identically against a promoted standby.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"jouleguard/internal/wire"
+)
+
+func main() {
+	coord := flag.String("coordinator", "http://127.0.0.1:7077", "coordinator base URL (primary or promoted standby)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "render one frame to stdout and exit (no screen clearing)")
+	flag.Parse()
+
+	base := strings.TrimRight(*coord, "/")
+	httpc := &http.Client{Timeout: 3 * time.Second}
+	for {
+		frame, err := render(httpc, base)
+		if err != nil {
+			frame = fmt.Sprintf("jgtop: %v\n", err)
+			if *once {
+				fmt.Fprint(os.Stderr, frame)
+				os.Exit(1)
+			}
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear + home: one repainted screen per poll
+		}
+		fmt.Print(frame)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// health is the JSON /healthz body a coordinator with a role provider
+// serves.
+type health struct {
+	Role    string  `json:"role"`
+	Fence   int64   `json:"fence"`
+	UptimeS float64 `json:"uptime_seconds"`
+}
+
+// render builds one full screen from the coordinator's surfaces.
+func render(httpc *http.Client, base string) (string, error) {
+	var info wire.ClusterInfo
+	if err := getJSON(httpc, base+wire.ClusterBasePath+"?detail=1", &info); err != nil {
+		return "", fmt.Errorf("cluster info: %w", err)
+	}
+	var h health
+	_ = getJSON(httpc, base+"/healthz", &h) // best-effort; info carries role too
+	metrics := fetchMetrics(httpc, base+wire.ClusterBasePath+"/metrics")
+
+	var b strings.Builder
+	role := info.Role
+	if role == "" {
+		role = h.Role
+	}
+	fmt.Fprintf(&b, "jgtop — %s — role %s, fence %d", base, role, info.Fence)
+	if h.UptimeS > 0 {
+		fmt.Fprintf(&b, ", up %s", (time.Duration(h.UptimeS) * time.Second).String())
+	}
+	fmt.Fprintf(&b, " — %s\n\n", time.Now().Format("15:04:05"))
+
+	fmt.Fprintf(&b, "fleet   budget %9.1f J   pool %9.1f J   reserve %8.1f J   leased %9.1f J   consumed %9.1f J\n",
+		info.FleetJ, info.PoolJ, info.ReserveJ, info.LeasedUnspentJ, info.ConsumedJ)
+	fmt.Fprintf(&b, "        burn %6.2f W   decisions %s   iterations %s   %d nodes live   %d reassignments   %d invariant violations\n\n",
+		metrics.val("jouleguard_fleet_burn_watts", ""),
+		thousands(metrics.val("jouleguard_fleet_decisions_total", "")),
+		thousands(metrics.val("jouleguard_fleet_iterations_total", "")),
+		info.NodesLive, info.Reassignments, info.InvariantViolations)
+
+	fmt.Fprintf(&b, "%-12s %-5s %6s %12s %12s %12s %10s %6s %9s\n",
+		"NODE", "LIVE", "EPOCH", "LEASE J", "ACKED J", "UNSPENT J", "ESCROW J", "SESS", "FIDELITY")
+	for _, n := range info.Nodes {
+		live := "yes"
+		if !n.Live {
+			live = "DEAD"
+		}
+		fmt.Fprintf(&b, "%-12s %-5s %6d %12.1f %12.1f %12.1f %10.1f %6d %8.1f%%\n",
+			n.Node, live, n.Epoch, n.LeaseJ, n.AckedJ, n.UnspentJ, n.EscrowJ, n.Sessions, n.Fidelity*100)
+	}
+
+	tenants := metrics.series("jouleguard_fleet_tenant_burn_watts")
+	if len(tenants) > 0 {
+		spent := metrics.series("jouleguard_fleet_tenant_spent_joules")
+		fmt.Fprintf(&b, "\n%-16s %10s %14s\n", "TENANT", "BURN W", "SPENT J")
+		for _, t := range tenants {
+			fmt.Fprintf(&b, "%-16s %10.2f %14.1f\n", t.label, t.value, lookup(spent, t.label))
+		}
+	}
+
+	if len(info.Sessions) > 0 {
+		fmt.Fprintf(&b, "\n%-16s %-12s %6s %12s %12s %s\n", "SESSION KEY", "NODE", "DONE", "GRANT J", "SPENT J", "STATE")
+		show := info.Sessions
+		const maxRows = 20
+		if len(show) > maxRows {
+			show = show[:maxRows]
+		}
+		for _, s := range show {
+			state := "live"
+			if s.Complete {
+				state = "complete"
+			}
+			fmt.Fprintf(&b, "%-16s %-12s %6d %12.1f %12.1f %s\n", s.Key, s.Node, s.Done, s.GrantJ, s.SpentJ, state)
+		}
+		if len(info.Sessions) > maxRows {
+			fmt.Fprintf(&b, "... and %d more sessions\n", len(info.Sessions)-maxRows)
+		}
+	}
+	return b.String(), nil
+}
+
+func getJSON(httpc *http.Client, url string, v any) error {
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// sample is one parsed exposition point: the first label value (the
+// rollup's per-tenant series carry exactly one label) and the sample.
+type sample struct {
+	label string
+	value float64
+}
+
+// promText is a minimal parse of the Prometheus text exposition — just
+// enough to read the rollup's gauges and counters.
+type promText map[string][]sample
+
+// fetchMetrics scrapes and parses one exposition page (empty on error:
+// jgtop degrades to the ledger view if the rollup is unreachable).
+func fetchMetrics(httpc *http.Client, url string) promText {
+	out := promText{}
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return out
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out
+	}
+	var body strings.Builder
+	if _, err := copyBounded(&body, resp); err != nil {
+		return out
+	}
+	for _, line := range strings.Split(body.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		name, label := line[:sp], ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			// One-label series: take the first quoted value.
+			if j := strings.IndexByte(name, '"'); j >= 0 {
+				if k := strings.IndexByte(name[j+1:], '"'); k >= 0 {
+					label = name[j+1 : j+1+k]
+				}
+			}
+			name = name[:i]
+		}
+		out[name] = append(out[name], sample{label, v})
+	}
+	return out
+}
+
+func copyBounded(dst *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 32<<10)
+	var n int64
+	for n < 4<<20 {
+		m, err := resp.Body.Read(buf)
+		dst.Write(buf[:m])
+		n += int64(m)
+		if err != nil {
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// val returns the sample with the given label ("" = unlabeled), 0 when
+// absent.
+func (p promText) val(name, label string) float64 {
+	for _, s := range p[name] {
+		if s.label == label {
+			return s.value
+		}
+	}
+	return 0
+}
+
+// series returns a metric's samples sorted by label.
+func (p promText) series(name string) []sample {
+	out := append([]sample(nil), p[name]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+func lookup(ss []sample, label string) float64 {
+	for _, s := range ss {
+		if s.label == label {
+			return s.value
+		}
+	}
+	return 0
+}
+
+// thousands renders a counter with thousands separators.
+func thousands(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 0, 64)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}

@@ -73,6 +73,8 @@ func main() {
 	nodes := flag.Int("nodes", 3, "cluster: member daemons in the fleet")
 	killAt := flag.Int("kill-at", 0, "cluster: kill one node once this many iterations completed fleet-wide (0 = never)")
 	killCoordAt := flag.Int("kill-coordinator-at", 0, "cluster: kill the primary coordinator and promote a standby once this many iterations completed fleet-wide (0 = never)")
+	traceEvery := flag.Int("trace-every", 0, "mint a distributed-trace context every N governed rounds per tenant (0 = client default 1/256; negative disables)")
+	obsChk := flag.Bool("obs-check", false, "cluster: continuously audit joule provenance during the run and assert a cross-node trace join after it")
 	check := flag.Float64("check", 0, "fail unless every tenant's spend <= this fraction of its grant (e.g. 1.05; 0 = report only)")
 	seed := flag.Int64("seed", 1, "base seed; tenant i runs with seed+i")
 	v2 := flag.Bool("v2", false, "speak the v2 binary frame stream with the batched DoneNext loop (default: v1 JSON/HTTP)")
@@ -104,6 +106,8 @@ func main() {
 		}()
 	}
 
+	tracer := telemetry.NewSpanBuffer(0)
+	tracer.SetNode("loadgen")
 	cfg := load.Config{
 		Tenants:    *tenants,
 		Iterations: *iters,
@@ -112,6 +116,8 @@ func main() {
 		Seed:       *seed,
 		WireV2:     *v2,
 		Duration:   *openLoop,
+		TraceEvery: *traceEvery,
+		Tracer:     tracer,
 	}
 	if *openLoop > 0 && *iters <= 200 {
 		// Throughput mode must not end by workload completion: give every
@@ -161,6 +167,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "selfclustered fleet: coordinator on %s, %d nodes, fleet budget %.0f J\n",
 			cfg.CoordinatorURL, *nodes, fleetJ)
+	} else if *obsChk {
+		fail(fmt.Errorf("loadgen: -obs-check requires -cluster (the trace join and provenance audit span a fleet)"))
 	} else if *addr == "" {
 		globalJ := *budget
 		if globalJ <= 0 {
@@ -189,6 +197,11 @@ func main() {
 		prefix += "V2"
 	}
 
+	var obs *obsCheck
+	if *obsChk {
+		obs = startObsCheck(sc, tracer, cfg.Tenants)
+	}
+
 	rep, err := load.Run(context.Background(), cfg)
 	if err != nil {
 		fail(err)
@@ -208,6 +221,13 @@ func main() {
 	if sc != nil {
 		if err := sc.verify(rep, *killAt, *killCoordAt); err != nil {
 			fail(err)
+		}
+		if obs != nil {
+			// Before sc.stop(): the trace join may need one more heartbeat
+			// to carry the final trace refs to the coordinator.
+			if err := obs.verify(rep); err != nil {
+				fail(err)
+			}
 		}
 		sc.stop()
 	}
@@ -578,6 +598,7 @@ type selfcluster struct {
 
 type clusterNode struct {
 	name    string
+	addr    string
 	member  *cluster.Member
 	httpSrv *http.Server
 	killed  bool
@@ -642,7 +663,7 @@ func startSelfcluster(fleetJ float64, n int, withStandby bool) (*selfcluster, er
 		if err != nil {
 			return nil, err
 		}
-		nd := &clusterNode{name: fmt.Sprintf("node%d", i)}
+		nd := &clusterNode{name: fmt.Sprintf("node%d", i), addr: nln.Addr().String()}
 		nd.member, err = cluster.NewMember(cluster.MemberConfig{
 			CoordinatorURL:  sc.baseURL(),
 			CoordinatorURLs: standbys,
@@ -665,6 +686,25 @@ func startSelfcluster(fleetJ float64, n int, withStandby bool) (*selfcluster, er
 
 func (sc *selfcluster) baseURL() string    { return "http://" + sc.addr }
 func (sc *selfcluster) standbyURL() string { return "http://" + sc.sbAddr }
+
+// nodeURLs lists every member daemon's base URL, killed nodes included
+// (callers probing them just see the connection refused).
+func (sc *selfcluster) nodeURLs() []string {
+	urls := make([]string, len(sc.nodes))
+	for i, nd := range sc.nodes {
+		urls[i] = "http://" + nd.addr
+	}
+	return urls
+}
+
+// servingURL returns the URL of the coordinator currently holding the
+// ledger (the promoted standby after a coordinator kill).
+func (sc *selfcluster) servingURL() string {
+	if sc.standby != nil && sc.standby.Promoted() {
+		return sc.standbyURL()
+	}
+	return sc.baseURL()
+}
 
 // serving returns the coordinator currently holding the ledger: the
 // promoted standby after a coordinator kill, the primary otherwise.

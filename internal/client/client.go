@@ -51,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
 
@@ -136,6 +137,16 @@ type Options struct {
 	// offers the v2 frame stream (diagnostics; v1 is always available).
 	DisableV2 bool
 
+	// TraceEvery head-samples distributed traces: every TraceEvery-th
+	// governed round-trip (and always the first) mints a 64-bit trace
+	// context that rides the wire and is recorded at every hop. 0 means
+	// the default 1/256; negative disables tracing entirely.
+	TraceEvery int
+	// Tracer records the client-side root spans of sampled rounds (nil:
+	// contexts are still minted and propagated, but nothing is recorded
+	// locally).
+	Tracer *telemetry.SpanBuffer
+
 	HTTPClient *http.Client // default: a tuned keep-alive pool (defaultHTTPClient)
 	Retry      RetryPolicy
 }
@@ -220,6 +231,14 @@ type Session struct {
 	histHead int // ring slot holding iteration histBase
 	histCap  int
 
+	traceEvery int // sampled round-trips per trace (0 = disabled)
+	tracer     *telemetry.SpanBuffer
+	traceSeed  uint64
+	rounds     uint64 // governed round-trips issued (sampling counter)
+	curTrace   uint64 // context of the iteration currently armed
+	curSpan    uint64
+	lastTrace  uint64 // most recent minted trace id (introspection)
+
 	failovers      int
 	coordFailovers int
 }
@@ -253,6 +272,12 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 	if histCap <= 0 {
 		histCap = 4096
 	}
+	traceEvery := opts.TraceEvery
+	if traceEvery == 0 {
+		traceEvery = 256
+	} else if traceEvery < 0 {
+		traceEvery = 0
+	}
 	s := &Session{
 		base:       strings.TrimRight(opts.BaseURL, "/"),
 		coords:     coords,
@@ -263,7 +288,14 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 		now:        now,
 		histCap:    histCap,
 		v2Disabled: opts.DisableV2,
+		traceEvery: traceEvery,
+		tracer:     opts.Tracer,
 	}
+	seed := uint64(14695981039346656037)
+	for _, b := range []byte(opts.Tenant + "\x00" + opts.Key) {
+		seed = (seed ^ uint64(b)) * 1099511628211
+	}
+	s.traceSeed = seed ^ uint64(opts.Seed)
 	s.reg = wire.RegisterRequest{
 		Tenant:       opts.Tenant,
 		Key:          opts.Key,
@@ -324,6 +356,47 @@ func (s *Session) CoordFailovers() int { return s.coordFailovers }
 // seen.
 func (s *Session) Fence() int64 { return s.fence }
 
+// LastTraceID reports the most recently minted trace id (0 until the
+// first sampled round) — the handle tests and harnesses use to join the
+// trace across nodes.
+func (s *Session) LastTraceID() uint64 { return s.lastTrace }
+
+// mintTrace head-samples the upcoming governed round-trip: every
+// traceEvery-th round (and always the first, so even short sessions
+// leave one trace) mints a trace context; every other round returns
+// zeros and tracing is an untaken branch the rest of the way down.
+func (s *Session) mintTrace() (trace, span uint64) {
+	if s.traceEvery == 0 {
+		return 0, 0
+	}
+	n := s.rounds
+	s.rounds++
+	if n%uint64(s.traceEvery) != 0 {
+		return 0, 0
+	}
+	trace = telemetry.MintTraceID(s.traceSeed, n)
+	if s.tracer != nil {
+		span = s.tracer.NextID()
+	} else {
+		span = telemetry.MintTraceID(trace, n)
+	}
+	s.lastTrace = trace
+	return trace, span
+}
+
+// recordClientSpan records the client-side root span of a sampled
+// round-trip (the hop every server-side span parents to).
+func (s *Session) recordClientSpan(trace, span uint64, startS, endS float64, iter int) {
+	if s.tracer == nil || trace == 0 {
+		return
+	}
+	s.tracer.Record(telemetry.Span{
+		Trace: trace, ID: span,
+		Name: telemetry.SpanClientSend, Session: s.id,
+		StartS: startS, EndS: endS, AttrIter: iter,
+	})
+}
+
 // Next fetches the configurations for the upcoming iteration and starts
 // its interval on the local clock. If the previous iteration's Done was
 // lost to a daemon restart, Next transparently re-brackets: the daemon's
@@ -334,22 +407,26 @@ func (s *Session) Next(ctx context.Context) (appCfg, sysCfg int, err error) {
 		return 0, 0, fmt.Errorf("client: session %s is closed", s.id)
 	}
 	nowS := s.now()
+	trace, span := s.mintTrace()
+	req := wire.NextRequest{NowS: nowS, TraceID: trace, SpanID: span}
 	if s.v2Ok() {
-		if resp, ok := s.v2Next(nowS); ok {
+		if resp, ok := s.v2Next(req); ok {
 			s.armed = true
 			s.armedNow = nowS
+			s.curTrace, s.curSpan = trace, span
+			s.recordClientSpan(trace, span, nowS, s.now(), resp.Iter)
 			return resp.AppConfig, resp.SysConfig, nil
 		}
 		// Any v2 failure — stream death or a server-reported error —
 		// falls through to v1, whose machinery owns error recovery.
 	}
 	var resp wire.NextResponse
-	err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
+	err = s.call(ctx, "POST", s.path("next"), req, &resp)
 	if s.shouldFailover(err) {
 		if ferr := s.failover(ctx); ferr != nil {
 			return 0, 0, errors.Join(err, ferr)
 		}
-		err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
+		err = s.call(ctx, "POST", s.path("next"), req, &resp)
 	}
 	if IsCode(err, wire.CodeBadSequence) && !s.armed {
 		// The daemon believes an iteration is armed but we never issued
@@ -360,13 +437,16 @@ func (s *Session) Next(ctx context.Context) (appCfg, sysCfg int, err error) {
 			return 0, 0, fmt.Errorf("client: recovering lost Next reply: %w", derr)
 		}
 		nowS = s.now()
-		err = s.call(ctx, "POST", s.path("next"), wire.NextRequest{NowS: nowS}, &resp)
+		req.NowS = nowS
+		err = s.call(ctx, "POST", s.path("next"), req, &resp)
 	}
 	if err != nil {
 		return 0, 0, err
 	}
 	s.armed = true
 	s.armedNow = nowS
+	s.curTrace, s.curSpan = trace, span
+	s.recordClientSpan(trace, span, nowS, s.now(), resp.Iter)
 	return resp.AppConfig, resp.SysConfig, nil
 }
 
@@ -416,6 +496,9 @@ func (s *Session) reportDone(ctx context.Context, accuracy float64, estimated bo
 		EnergyJ:   energy,
 		EnergyErr: eerr != nil || estimated,
 		Accuracy:  accuracy,
+		// The settle rides the trace minted when this iteration was armed.
+		TraceID: s.curTrace,
+		SpanID:  s.curSpan,
 	}
 	if s.v2Ok() {
 		if resp, ok := s.v2Done(req); ok {

@@ -32,6 +32,10 @@ type v2Stream struct {
 	conn net.Conn
 	enc  *wire.Encoder
 	dec  *wire.Decoder
+	// traced records whether the daemon echoed the FlagTraced capability
+	// at upgrade; without it the session strips trace contexts from its
+	// frames so an old peer never sees an extended payload.
+	traced bool
 }
 
 func (v *v2Stream) close() {
@@ -100,6 +104,7 @@ func dialV2(base string, timeout time.Duration) (*v2Stream, error) {
 		"Host: " + u.Host + "\r\n" +
 		"Upgrade: " + wire.V2Proto + "\r\n" +
 		"Connection: Upgrade\r\n" +
+		wire.V2TraceHeader + ": 1\r\n" +
 		"Content-Length: 0\r\n\r\n"
 	if _, err := conn.Write([]byte(req)); err != nil {
 		conn.Close()
@@ -119,7 +124,12 @@ func dialV2(base string, timeout time.Duration) (*v2Stream, error) {
 	_ = conn.SetDeadline(time.Time{})
 	// The decoder adopts br: the daemon's first frames may already sit in
 	// its buffer behind the 101 response.
-	return &v2Stream{conn: conn, enc: wire.GetEncoder(conn), dec: wire.GetDecoder(br)}, nil
+	return &v2Stream{
+		conn: conn, enc: wire.GetEncoder(conn), dec: wire.GetDecoder(br),
+		// A daemon that understands FlagTraced echoes the capability
+		// header; anything else gets strictly base-length frames.
+		traced: resp.Header.Get(wire.V2TraceHeader) == "1",
+	}, nil
 }
 
 // v2Round sends one frame and reads the single response frame, under a
@@ -152,9 +162,12 @@ func (s *Session) v2Round(send func(enc *wire.Encoder) error) (wire.Hdr, []byte,
 // v2Next runs one Next over the stream. ok=false means "use v1" — for
 // any reason, including server-reported errors, so the v1 path's error
 // handling (re-bracketing, failover) stays the single source of truth.
-func (s *Session) v2Next(nowS float64) (wire.NextResponse, bool) {
+func (s *Session) v2Next(req wire.NextRequest) (wire.NextResponse, bool) {
+	if !s.v2.traced {
+		req.TraceID, req.SpanID = 0, 0
+	}
 	h, p, ok := s.v2Round(func(enc *wire.Encoder) error {
-		return enc.Next(s.num, wire.NextRequest{NowS: nowS})
+		return enc.Next(s.num, &req)
 	})
 	if !ok || h.Type != wire.TNextResp {
 		return wire.NextResponse{}, false
@@ -169,8 +182,11 @@ func (s *Session) v2Next(nowS float64) (wire.NextResponse, bool) {
 
 // v2Done runs one Done over the stream; same fallback contract.
 func (s *Session) v2Done(req wire.DoneRequest) (wire.DoneResponse, bool) {
+	if !s.v2.traced {
+		req.TraceID, req.SpanID = 0, 0
+	}
 	h, p, ok := s.v2Round(func(enc *wire.Encoder) error {
-		return enc.Done(s.num, req)
+		return enc.Done(s.num, &req)
 	})
 	if !ok || h.Type != wire.TDoneResp {
 		return wire.DoneResponse{}, false
@@ -194,15 +210,25 @@ func (s *Session) DoneNext(ctx context.Context, accuracy float64) (appCfg, sysCf
 	}
 	if s.armed && s.v2Ok() {
 		energy, eerr := s.readEnergy()
+		// The batched frame carries one trace context for the pair: a
+		// sampled DoneNext traces both the settle of iteration i and the
+		// decision for i+1.
+		trace, span := s.mintTrace()
+		if !s.v2.traced {
+			trace, span = 0, 0
+		}
 		doneReq := wire.DoneRequest{
 			NowS:      s.now(),
 			EnergyJ:   energy,
 			EnergyErr: eerr != nil,
 			Accuracy:  accuracy,
+			TraceID:   trace,
+			SpanID:    span,
 		}
 		nextNow := s.now()
 		h, p, ok := s.v2Round(func(enc *wire.Encoder) error {
-			return enc.DoneNext(s.num, doneReq, wire.NextRequest{NowS: nextNow})
+			nextReq := wire.NextRequest{NowS: nextNow}
+			return enc.DoneNext(s.num, &doneReq, &nextReq)
 		})
 		if ok {
 			switch h.Type {
@@ -215,6 +241,8 @@ func (s *Session) DoneNext(ctx context.Context, accuracy float64) (appCfg, sysCf
 				s.settleDone(doneReq, dresp)
 				s.armed = true
 				s.armedNow = nextNow
+				s.curTrace, s.curSpan = trace, span
+				s.recordClientSpan(trace, span, doneReq.NowS, s.now(), nresp.Iter)
 				return nresp.AppConfig, nresp.SysConfig, nil
 			case wire.TDoneResp:
 				// Done settled but Next could not be served (workload

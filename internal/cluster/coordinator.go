@@ -154,8 +154,14 @@ type Coordinator struct {
 	stopSweep chan struct{}
 	sweepDone chan struct{}
 
+	// roll aggregates member metric summaries into the fleet-level
+	// exposition at /v1/cluster/metrics (rollup.go). Mutated only under
+	// c.mu, from Heartbeat.
+	roll *rollup
+
 	gNodes, gUnspent, gConsumed, gPool           *telemetry.Gauge
 	cBeats, cExpiries, cReassign, cPlaced, cViol *telemetry.Counter
+	gDriftFleet, gDriftNodes                     *telemetry.Gauge
 	fidelity                                     map[string]*telemetry.Gauge
 }
 
@@ -201,6 +207,7 @@ func New(cfg Config) (*Coordinator, error) {
 		sessions: map[string]*sessRec{},
 		byID:     map[string]*sessRec{},
 		fidelity: map[string]*telemetry.Gauge{},
+		roll:     newRollup(),
 
 		gNodes:    tel.Registry.Gauge("jouleguard_cluster_nodes_live", "Member daemons holding a live lease."),
 		gUnspent:  tel.Registry.Gauge("jouleguard_cluster_leases_unspent_joules", "Sum of live nodes' unspent budget leases."),
@@ -211,9 +218,36 @@ func New(cfg Config) (*Coordinator, error) {
 		cReassign: tel.Registry.Counter("jouleguard_cluster_reassignments_total", "Sessions moved to a new owner node."),
 		cPlaced:   tel.Registry.Counter("jouleguard_cluster_sessions_placed_total", "Sessions placed onto nodes."),
 		cViol:     tel.Registry.Counter("jouleguard_cluster_invariant_violations_total", "Failed fleet-ledger self-checks (should stay 0)."),
+
+		gDriftFleet: tel.Registry.Gauge("jouleguard_provenance_drift_joules",
+			"Conservation drift per custody layer (0 when the books balance).",
+			telemetry.Label{Name: "layer", Value: "fleet"}),
+		gDriftNodes: tel.Registry.Gauge("jouleguard_provenance_drift_joules",
+			"Conservation drift per custody layer (0 when the books balance).",
+			telemetry.Label{Name: "layer", Value: "nodes"}),
 	}
 	tel.Registry.Gauge("jouleguard_cluster_fleet_joules", "Fleet-wide energy budget.").Set(cfg.FleetBudgetJ)
 	c.follower = cfg.Follower
+	// /healthz answers with the coordinator's role and fence so a load
+	// balancer (or jgtop) can tell the primary from a standby without
+	// probing the control plane for a 503. The span-buffer identity stays
+	// whatever the host process set (a member daemon's node name) unless
+	// nothing claimed it yet.
+	tel.SetHealth(func() telemetry.HealthInfo {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		role := "primary"
+		switch {
+		case c.follower:
+			role = "standby"
+		case c.deposed:
+			role = "deposed"
+		}
+		return telemetry.HealthInfo{Role: role, Fence: c.fence}
+	})
+	if tel.Spans.Node() == "" {
+		tel.Spans.SetNode("coordinator")
+	}
 	// Replay an existing WAL before opening it for append: the restarted
 	// coordinator resumes the old reign's ledger (and fence) exactly, and
 	// the fresh header this run appends records the continuation.
@@ -389,6 +423,11 @@ func (c *Coordinator) publishLocked() {
 	c.gUnspent.Set(c.unspentLocked())
 	c.gConsumed.Set(c.consumedJ)
 	c.gPool.Set(c.poolLocked())
+	// Fleet-layer conservation, re-audited after every ledger mutation:
+	// pool + unspent leases + booked consumption must re-compose the
+	// budget (poolLocked is budget-minus-the-rest, so a drift here means a
+	// NaN or sign error crept into one of the terms).
+	c.gDriftFleet.Set(c.cfg.FleetBudgetJ - (c.poolLocked() + c.unspentLocked() + c.consumedJ))
 }
 
 // grantLocked moves up to wantJ from the pool onto n's lease; reserved
@@ -529,8 +568,16 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 		return wire.HeartbeatResponse{}, &wireError{wire.CodeUnknownNode,
 			fmt.Sprintf("node %q has no live lease at epoch %d; rejoin", req.Node, req.Epoch)}
 	}
-	n.lastBeat = c.clock()
+	now := c.clock()
+	// dt since the node's previous beat feeds the burn-rate EWMA; captured
+	// before the stamp below overwrites it.
+	dt := now.Sub(n.lastBeat).Seconds()
+	n.lastBeat = now
 	booked := c.bookLocked(n, req.ConsumedJ)
+	// Nodes-layer conservation: after booking, the acked total should
+	// match the node's reported cumulative spend exactly; a residue means
+	// the clamp fired — the node claims spend beyond its lease.
+	c.gDriftNodes.Set(req.ConsumedJ - n.ackedJ)
 	// A node that reported no new spend does not need its historical peak
 	// headroom restored: decay the ratcheted top-up target toward the
 	// initial share so one busy-then-idle node cannot hoard the leasable
@@ -543,9 +590,29 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 	c.grantLocked(n, n.targetJ-n.unspent(), false)
 	c.cBeats.Inc()
 
+	// Fleet rollup: fold the node's cumulative counter summary and burn,
+	// and close each forwarded trace with this coordinator's lease span —
+	// the final hop of the distributed iteration trace.
+	c.roll.foldNode(req.Node, req.Metrics)
+	c.roll.observeBurn(booked, dt)
+	nowS := unixS(now)
+	for _, ref := range req.Traces {
+		c.tel.Spans.Record(telemetry.Span{
+			Trace: ref.Trace, ID: c.tel.Spans.NextID(), Parent: ref.Span,
+			Name: telemetry.SpanCoordLease, Session: ref.Session,
+			StartS: nowS, EndS: nowS, AttrJ: booked, AttrIter: ref.Iter,
+		})
+	}
+
 	acked := make(map[string]int, len(req.Sessions))
 	for i := range req.Sessions {
-		acked[req.Sessions[i].ID] = c.foldReportLocked(req.Node, &req.Sessions[i])
+		rep := &req.Sessions[i]
+		var prevSpent float64
+		if rec := c.sessions[rep.Key]; rec != nil {
+			prevSpent = rec.spentJ
+		}
+		acked[rep.ID] = c.foldReportLocked(req.Node, rep)
+		c.roll.observeTenant(rep.Reg.Tenant, rep.SpentJ-prevSpent, dt)
 	}
 	for _, id := range req.Closed {
 		if rec := c.byID[id]; rec != nil && rec.node == req.Node {

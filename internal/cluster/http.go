@@ -67,6 +67,8 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET "+wire.ClusterBasePath, c.handleInfo)
 	mux.HandleFunc("GET "+wire.ClusterBasePath+"/sessions/{key}", c.handlePlacement)
 	mux.HandleFunc("GET "+wire.ClusterBasePath+"/wal", c.handleWAL)
+	mux.HandleFunc("GET "+wire.ClusterBasePath+"/metrics", c.handleClusterMetrics)
+	mux.HandleFunc("GET "+wire.ClusterBasePath+"/provenance", c.handleClusterProvenance)
 	mux.HandleFunc("POST "+wire.BasePath, c.handleRegister)
 }
 
@@ -136,6 +138,19 @@ func (c *Coordinator) handleWAL(w http.ResponseWriter, r *http.Request) {
 		from = v
 	}
 	writeJSON(w, http.StatusOK, c.wal.Tail(from))
+}
+
+// handleClusterMetrics serves the fleet-level rollup — member counters
+// aggregated from heartbeat summaries — as Prometheus text exposition.
+func (c *Coordinator) handleClusterMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.roll.reg.WritePrometheus(w)
+}
+
+// handleClusterProvenance serves the coordinator's half of the joule
+// custody chain.
+func (c *Coordinator) handleClusterProvenance(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Provenance())
 }
 
 func (c *Coordinator) handlePlacement(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jouleguard/internal/server"
+	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
 
@@ -104,6 +105,14 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 	// When local admission runs out of lease, ask the coordinator for an
 	// on-demand extension before rejecting the tenant.
 	m.srv.SetAdmitAssist(m.assist)
+	// Observability identity: spans this daemon records carry the fleet
+	// node name, and /healthz reports the member role with the highest
+	// fence it has seen.
+	tel := m.srv.Telemetry()
+	tel.Spans.SetNode(cfg.Node)
+	tel.SetHealth(func() telemetry.HealthInfo {
+		return telemetry.HealthInfo{Role: "member", Fence: m.Fence()}
+	})
 	return m, nil
 }
 
@@ -194,11 +203,19 @@ func (m *Member) Beat() error {
 	}
 
 	exports := m.srv.Export(acked)
+	summary := m.srv.MetricSummary()
+	// Sampled trace contexts ride the beat so the coordinator can close
+	// each trace with its lease span; a beat that fails requeues them for
+	// the next one (a coordinator failover would otherwise swallow every
+	// ref drained into beats against the dead primary).
+	traces := m.srv.DrainTraceRefs()
 	req := wire.HeartbeatRequest{
 		Node:      m.cfg.Node,
 		Epoch:     epoch,
 		ConsumedJ: m.srv.TotalSpentJ(),
 		Fence:     m.Fence(),
+		Traces:    traces,
+		Metrics:   &summary,
 	}
 	seen := map[string]bool{}
 	for _, ex := range exports {
@@ -226,6 +243,7 @@ func (m *Member) Beat() error {
 
 	var resp wire.HeartbeatResponse
 	if err := m.post("/heartbeat", req, &resp); err != nil {
+		m.srv.RequeueTraceRefs(traces)
 		if werr, ok := err.(*wireError); ok && werr.code == wire.CodeUnknownNode {
 			m.mu.Lock()
 			m.joined = false
@@ -235,6 +253,7 @@ func (m *Member) Beat() error {
 		return err
 	}
 	if !m.acceptFence(resp.Fence) {
+		m.srv.RequeueTraceRefs(traces)
 		return &wireError{wire.CodeStaleEpoch, "heartbeat answered by a deposed coordinator; grant dropped"}
 	}
 

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// Cluster metrics rollup: members ship cumulative counter summaries on
+// the heartbeats they already send (the coordinator never scrapes), and
+// the coordinator folds the deltas into fleet-level series served at
+// /v1/cluster/metrics — a separate registry from the coordinator's own
+// control-plane metrics, so a fleet dashboard scrapes one endpoint and
+// sees the whole fleet's decision volume and energy burn.
+
+// burnAlpha is the EWMA smoothing for burn-rate gauges: heavy enough to
+// ride out heartbeat-to-heartbeat jitter, light enough that a tenant
+// going quiet shows within a few beats.
+const burnAlpha = 0.3
+
+// unixS renders a wall-clock instant as float seconds for span records.
+func unixS(t time.Time) float64 { return float64(t.UnixNano()) / 1e9 }
+
+// tenantRoll is one tenant's rollup state: cumulative spend counter and
+// EWMA burn gauge.
+type tenantRoll struct {
+	burn   float64
+	gBurn  *telemetry.Gauge
+	cSpent *telemetry.Counter
+}
+
+// rollup is the coordinator's fleet-metrics aggregator. All mutation
+// happens under the coordinator's mutex (from Heartbeat), so the struct
+// itself needs no lock; the registry handles concurrent scrapes.
+type rollup struct {
+	reg *telemetry.Registry
+
+	cDecisions *telemetry.Counter
+	cIters     *telemetry.Counter
+	cGuardRej  *telemetry.Counter
+	cWatchdog  *telemetry.Counter
+	cFaults    *telemetry.Counter
+	cDecSumS   *telemetry.Counter
+	cDecCount  *telemetry.Counter
+
+	gBurn    *telemetry.Gauge
+	gNodes   *telemetry.Gauge
+	burnEWMA float64
+
+	last    map[string]wire.MetricSummary // per-node last cumulative summary
+	tenants map[string]*tenantRoll
+}
+
+func newRollup() *rollup {
+	reg := telemetry.NewRegistry()
+	return &rollup{
+		reg: reg,
+
+		cDecisions: reg.Counter("jouleguard_fleet_decisions_total", "Control decisions across all member daemons."),
+		cIters:     reg.Counter("jouleguard_fleet_iterations_total", "Governed iterations completed across the fleet."),
+		cGuardRej:  reg.Counter("jouleguard_fleet_guard_rejected_total", "Sensing-guard rejections across the fleet."),
+		cWatchdog:  reg.Counter("jouleguard_fleet_watchdog_trips_total", "Watchdog degradations across the fleet."),
+		cFaults:    reg.Counter("jouleguard_fleet_faults_injected_total", "Injected faults across the fleet."),
+		cDecSumS:   reg.Counter("jouleguard_fleet_decision_seconds_sum", "Summed server-side decision latency across the fleet."),
+		cDecCount:  reg.Counter("jouleguard_fleet_decision_seconds_count", "Decision-latency observations across the fleet."),
+
+		gBurn:  reg.Gauge("jouleguard_fleet_burn_watts", "Fleet-wide energy burn rate (EWMA of booked spend per heartbeat)."),
+		gNodes: reg.Gauge("jouleguard_fleet_nodes_reporting", "Member daemons whose heartbeats carried a metric summary."),
+
+		last:    map[string]wire.MetricSummary{},
+		tenants: map[string]*tenantRoll{},
+	}
+}
+
+// foldNode merges one node's cumulative summary: the positive deltas
+// since its previous report advance the fleet counters. A field that
+// shrank means the node restarted (counters reset); the whole summary
+// re-baselines and the current values count as fresh deltas — nothing
+// already rolled up is ever subtracted back out.
+func (r *rollup) foldNode(node string, cur *wire.MetricSummary) {
+	if cur == nil {
+		return
+	}
+	prev, seen := r.last[node]
+	if cur.Decisions < prev.Decisions || cur.Iterations < prev.Iterations ||
+		cur.DecisionCount < prev.DecisionCount {
+		prev = wire.MetricSummary{}
+	}
+	r.cDecisions.Add(cur.Decisions - prev.Decisions)
+	r.cIters.Add(cur.Iterations - prev.Iterations)
+	r.cGuardRej.Add(cur.GuardRejected - prev.GuardRejected)
+	r.cWatchdog.Add(cur.WatchdogTrips - prev.WatchdogTrips)
+	r.cFaults.Add(cur.FaultsInjected - prev.FaultsInjected)
+	r.cDecSumS.Add(cur.DecisionSecondsSum - prev.DecisionSecondsSum)
+	r.cDecCount.Add(cur.DecisionCount - prev.DecisionCount)
+	r.last[node] = *cur
+	if !seen {
+		r.gNodes.Set(float64(len(r.last)))
+	}
+}
+
+// observeBurn folds one heartbeat's booked consumption into the
+// fleet-wide burn gauge: bookedJ joules over the dt seconds since the
+// node's previous beat.
+func (r *rollup) observeBurn(bookedJ, dtS float64) {
+	if dtS <= 0 {
+		return
+	}
+	r.burnEWMA += burnAlpha * (bookedJ/dtS - r.burnEWMA)
+	r.gBurn.Set(r.burnEWMA)
+}
+
+// observeTenant folds one session report's spend delta into its
+// tenant's cumulative counter and burn gauge.
+func (r *rollup) observeTenant(tenant string, spentDeltaJ, dtS float64) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t := r.tenants[tenant]
+	if t == nil {
+		t = &tenantRoll{
+			gBurn: r.reg.Gauge("jouleguard_fleet_tenant_burn_watts",
+				"Per-tenant energy burn rate (EWMA).", telemetry.Label{Name: "tenant", Value: tenant}),
+			cSpent: r.reg.Counter("jouleguard_fleet_tenant_spent_joules",
+				"Per-tenant cumulative energy spend across the fleet.", telemetry.Label{Name: "tenant", Value: tenant}),
+		}
+		r.tenants[tenant] = t
+	}
+	if spentDeltaJ > 0 {
+		t.cSpent.Add(spentDeltaJ)
+	}
+	if dtS > 0 {
+		t.burn += burnAlpha * (spentDeltaJ/dtS - t.burn)
+		t.gBurn.Set(t.burn)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cluster provenance: the upper half of the custody chain.
+
+// Provenance renders the coordinator's custody chain: the fleet budget
+// split into the leasable pool, the failover reserve, live nodes'
+// unspent leases, and booked consumption. PoolJ here excludes the
+// reserve (ClusterInfo.PoolJ includes it) so the four parts of the
+// fleet layer are disjoint and sum back to the budget.
+func (c *Coordinator) Provenance() wire.ClusterProvenance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	role := "primary"
+	switch {
+	case c.follower:
+		role = "standby"
+	case c.deposed:
+		role = "deposed"
+	}
+	reserve := c.reserveJ()
+	unspent := c.unspentLocked()
+	p := wire.ClusterProvenance{
+		Fence:          c.fence,
+		Role:           role,
+		FleetJ:         c.cfg.FleetBudgetJ,
+		PoolJ:          c.poolLocked() - reserve,
+		ReserveJ:       reserve,
+		LeasedUnspentJ: unspent,
+		ConsumedJ:      c.consumedJ,
+	}
+	ids := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var nodeUnspent float64
+	for _, id := range ids {
+		n := c.nodes[id]
+		nodeUnspent += n.unspent()
+		p.Nodes = append(p.Nodes, wire.NodeCustody{
+			Node: id, Live: n.live,
+			LeaseJ: n.leaseJ, AckedJ: n.ackedJ, EscrowJ: n.escrowJ, UnspentJ: n.unspent(),
+		})
+	}
+	p.Layers = []wire.ProvenanceLayer{
+		provLayer("fleet", p.FleetJ, p.PoolJ+p.ReserveJ+p.LeasedUnspentJ+p.ConsumedJ),
+		provLayer("nodes", p.LeasedUnspentJ, nodeUnspent),
+	}
+	return p
+}
+
+func provLayer(name string, expect, sum float64) wire.ProvenanceLayer {
+	return wire.ProvenanceLayer{Layer: name, ExpectJ: expect, SumJ: sum, DriftJ: expect - sum}
+}

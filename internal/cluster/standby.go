@@ -137,12 +137,13 @@ func (s *Standby) Run() {
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
 	s.lastOK = s.clock()
+	stop, done := s.stop, s.done
 	s.mu.Unlock()
-	go s.loop()
+	go s.loop(stop, done)
 }
 
-func (s *Standby) loop() {
-	defer close(s.done)
+func (s *Standby) loop(stop chan struct{}, done chan struct{}) {
+	defer close(done)
 	t := time.NewTicker(s.cfg.PollEvery)
 	defer t.Stop()
 	for {
@@ -158,7 +159,7 @@ func (s *Standby) loop() {
 					return
 				}
 			}
-		case <-s.stop:
+		case <-stop:
 			return
 		}
 	}
@@ -168,11 +169,11 @@ func (s *Standby) loop() {
 // keeps running; stop that separately).
 func (s *Standby) Stop() {
 	s.mu.Lock()
-	stop := s.stop
+	stop, done := s.stop, s.done
 	s.stop = nil
 	s.mu.Unlock()
 	if stop != nil {
 		close(stop)
-		<-s.done
+		<-done
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"jouleguard"
 	"jouleguard/internal/client"
 	"jouleguard/internal/metrics"
+	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
 
@@ -70,6 +71,16 @@ type Config struct {
 	// Kills schedules additional mid-run failure injections (e.g. killing
 	// the coordinator itself); each fires once, in iteration order.
 	Kills []Kill
+
+	// TraceEvery head-samples distributed traces on every tenant's
+	// session: each tenant mints a trace context on its first governed
+	// round and every TraceEvery-th after (0 = the client default 1/256;
+	// negative disables tracing).
+	TraceEvery int
+	// Tracer records the client-side root spans of sampled rounds; shared
+	// across all tenants (SpanBuffer is concurrency-safe). Nil: contexts
+	// are still minted and propagated, nothing is recorded locally.
+	Tracer *telemetry.SpanBuffer
 }
 
 // Kill is one scheduled mid-run failure injection: Do runs once the
@@ -113,7 +124,11 @@ type TenantResult struct {
 	// client had to re-aim at a standby after the primary died or was
 	// deposed.
 	CoordFailovers int
-	Err            error
+	// TraceID is the tenant's most recently minted distributed-trace id
+	// (0 if tracing was disabled or no round was sampled) — the join key
+	// harnesses use to find this tenant's spans across nodes.
+	TraceID uint64
+	Err     error
 }
 
 // OverGrant reports the tenant's spend as a fraction of its grant
@@ -279,6 +294,8 @@ func (t *tenant) run(ctx context.Context) {
 		MinAccuracy: t.cfg.MinAcc,
 		Retry:       t.cfg.Retry,
 		DisableV2:   !t.cfg.WireV2,
+		TraceEvery:  t.cfg.TraceEvery,
+		Tracer:      t.cfg.Tracer,
 	}
 	if t.cfg.CoordinatorURL != "" {
 		opts.CoordinatorURL = t.cfg.CoordinatorURL
@@ -410,6 +427,7 @@ func (t *tenant) run(ctx context.Context) {
 	}
 	t.res.Failovers = sess.Failovers()
 	t.res.CoordFailovers = sess.CoordFailovers()
+	t.res.TraceID = sess.LastTraceID()
 	if err := sess.Close(ctx); err != nil && t.res.Err == nil {
 		t.res.Err = fmt.Errorf("close: %w", err)
 	}

@@ -77,11 +77,21 @@ type Server struct {
 	stopSweep chan struct{}
 	sweepDone chan struct{}
 
+	// traced queues the trace contexts of sampled settles for the next
+	// heartbeat (spans.go).
+	traced traceRefs
+
 	mOpened    *telemetry.Counter
 	mClosed    *telemetry.Counter
 	mExpired   *telemetry.Counter
 	mAdopted   *telemetry.Counter
 	mDecisionS *telemetry.Histogram
+
+	// Conservation-auditor drift gauges, one per custody layer
+	// (provenance.go).
+	mDriftPool  *telemetry.Gauge
+	mDriftGrant *telemetry.Gauge
+	mDriftIters *telemetry.Gauge
 }
 
 // New builds a Server and starts its expiry watchdog (unless disabled).
@@ -116,7 +126,17 @@ func New(cfg Config) (*Server, error) {
 		mExpired: tel.Registry.Counter("jouleguardd_sessions_expired_total", "Sessions expired by the idle watchdog."),
 		mAdopted: tel.Registry.Counter("jouleguardd_sessions_adopted_total", "Sessions adopted from a failed fleet node."),
 		mDecisionS: tel.Registry.Histogram("jouleguardd_decision_seconds",
-			"Server-side latency of Next decisions.", telemetry.DurationBuckets()),
+			"Server-side latency of Next decisions.", telemetry.MicroDurationBuckets()),
+
+		mDriftPool: tel.Registry.Gauge("jouleguard_provenance_drift_joules",
+			"Conservation drift per custody layer (0 when the books balance).",
+			telemetry.Label{Name: "layer", Value: "pool"}),
+		mDriftGrant: tel.Registry.Gauge("jouleguard_provenance_drift_joules",
+			"Conservation drift per custody layer (0 when the books balance).",
+			telemetry.Label{Name: "layer", Value: "grant"}),
+		mDriftIters: tel.Registry.Gauge("jouleguard_provenance_drift_joules",
+			"Conservation drift per custody layer (0 when the books balance).",
+			telemetry.Label{Name: "layer", Value: "iterations"}),
 	}
 	broker.Instrument(tel.Registry)
 	if cfg.SweepInterval > 0 {
@@ -129,6 +149,22 @@ func New(cfg Config) (*Server, error) {
 
 // Telemetry returns the live sink the server reports into.
 func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// MetricSummary snapshots the daemon's cumulative telemetry counters —
+// what a cluster member ships on each heartbeat for the coordinator's
+// fleet rollup.
+func (s *Server) MetricSummary() wire.MetricSummary {
+	dec, iters, rej, trips, faults := s.tel.CounterSummary()
+	return wire.MetricSummary{
+		Decisions:          dec,
+		Iterations:         iters,
+		GuardRejected:      rej,
+		WatchdogTrips:      trips,
+		FaultsInjected:     faults,
+		DecisionSecondsSum: s.mDecisionS.Sum(),
+		DecisionCount:      float64(s.mDecisionS.Count()),
+	}
+}
 
 // Broker returns the budget broker (introspection and tests).
 func (s *Server) Broker() *Broker { return s.broker }
@@ -144,6 +180,7 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST "+wire.BasePath+"/{id}/done", s.handleDone)
 	mux.HandleFunc("DELETE "+wire.BasePath+"/{id}", s.handleClose)
 	mux.HandleFunc("POST "+wire.V2Path, s.handleV2Stream)
+	mux.HandleFunc("GET "+wire.ProvenancePath, s.handleProvenance)
 }
 
 // Handler returns the daemon's full surface: the wire protocol plus the
@@ -521,6 +558,7 @@ func (s *Server) sweepLoop() {
 		select {
 		case <-t.C:
 			s.ExpireIdle()
+			s.auditProvenance()
 		case <-s.stopSweep:
 			return
 		}
@@ -647,6 +685,9 @@ func (s *Server) sessionNext(sess *session, req wire.NextRequest) (wire.NextResp
 		return wire.NextResponse{}, werr
 	}
 	s.mDecisionS.Observe(time.Since(start).Seconds())
+	if req.TraceID != 0 {
+		s.traceNext(sess.id, req, start, resp.Iter)
+	}
 	return resp, nil
 }
 
@@ -658,9 +699,28 @@ func (s *Server) Done(id string, req wire.DoneRequest) (wire.DoneResponse, error
 	if werr != nil {
 		return wire.DoneResponse{}, werr
 	}
-	resp, werr2 := sess.done(req, s.clock())
+	resp, werr2 := s.sessionDone(sess, req)
 	if werr2 != nil {
 		return wire.DoneResponse{}, werr2
+	}
+	return resp, nil
+}
+
+// sessionDone settles one iteration against its session — the single
+// Done path shared by the v1 handler and the v2 frame loop, so both
+// record identical spans and the traced/untraced settle mutates session
+// state identically (the golden replay test pins this).
+func (s *Server) sessionDone(sess *session, req wire.DoneRequest) (wire.DoneResponse, *wireError) {
+	var start time.Time
+	if req.TraceID != 0 {
+		start = time.Now()
+	}
+	resp, werr := sess.done(req, s.clock())
+	if werr != nil {
+		return wire.DoneResponse{}, werr
+	}
+	if req.TraceID != 0 {
+		s.traceDone(sess.id, req, start, resp)
 	}
 	return resp, nil
 }

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"jouleguard/internal/telemetry"
+	"jouleguard/internal/wire"
+)
+
+// Daemon-side distributed tracing: when a wire request carries a trace
+// context (TraceID != 0 — head-sampled by the client), the decision and
+// settle paths record one span per hop into the process's SpanBuffer,
+// parented to the client's root span so the per-node /traces windows
+// join into one tree. The untraced path is a single predictable branch;
+// spans are value structs copied into a pre-allocated ring, so the
+// 0 allocs/op decision pin survives with tracing compiled in.
+
+// unixS renders a wall-clock instant as float seconds — span timestamps
+// are per-process (parent links, not clocks, order spans across nodes).
+func unixS(t time.Time) float64 { return float64(t.UnixNano()) / 1e9 }
+
+// traceNext records the daemon hops of a traced Next: the decode span
+// under the client's root, and the bandit decision under the decode.
+func (s *Server) traceNext(sessID string, req wire.NextRequest, start time.Time, iter int) {
+	sp := s.tel.Spans
+	st, end := unixS(start), unixS(time.Now())
+	decode := sp.NextID()
+	sp.Record(telemetry.Span{Trace: req.TraceID, ID: decode, Parent: req.SpanID,
+		Name: telemetry.SpanDecode, Session: sessID, StartS: st, EndS: end, AttrIter: iter})
+	sp.Record(telemetry.Span{Trace: req.TraceID, ID: sp.NextID(), Parent: decode,
+		Name: telemetry.SpanDecision, Session: sessID, StartS: st, EndS: end, AttrIter: iter})
+}
+
+// traceDone records the settle hops of a traced Done — the sensing-guard
+// verdict and the ledger debit (AttrJ = the joules delivered) — and
+// queues the trace context for the next heartbeat so the coordinator can
+// add its lease span to the same trace.
+func (s *Server) traceDone(sessID string, req wire.DoneRequest, start time.Time, resp wire.DoneResponse) {
+	sp := s.tel.Spans
+	st, end := unixS(start), unixS(time.Now())
+	guard := sp.NextID()
+	sp.Record(telemetry.Span{Trace: req.TraceID, ID: guard, Parent: req.SpanID,
+		Name: telemetry.SpanGuard, Session: sessID, StartS: st, EndS: end, AttrIter: resp.IterationsDone})
+	debit := sp.NextID()
+	sp.Record(telemetry.Span{Trace: req.TraceID, ID: debit, Parent: guard,
+		Name: telemetry.SpanBrokerDebit, Session: sessID, StartS: st, EndS: end,
+		AttrJ: req.EnergyJ, AttrIter: resp.IterationsDone})
+	// The heartbeat ref parents the coordinator's lease span to the debit
+	// span — the hop the booking is actually downstream of — so the
+	// cross-node tree chains client -> guard -> debit -> lease.
+	s.noteTraceRef(sessID, req, resp, debit)
+}
+
+// traceRefCap bounds the pending trace-ref queue between heartbeats;
+// beyond it the oldest refs are dropped (sampling already thinned them).
+const traceRefCap = 256
+
+// traceRefs is the bounded queue of traced settles awaiting the next
+// heartbeat, so the coordinator can join the distributed trace.
+type traceRefs struct {
+	mu   sync.Mutex
+	refs []wire.TraceRef
+}
+
+func (t *traceRefs) note(ref wire.TraceRef) {
+	t.mu.Lock()
+	if len(t.refs) >= traceRefCap {
+		copy(t.refs, t.refs[1:])
+		t.refs = t.refs[:traceRefCap-1]
+	}
+	t.refs = append(t.refs, ref)
+	t.mu.Unlock()
+}
+
+func (t *traceRefs) drain() []wire.TraceRef {
+	t.mu.Lock()
+	refs := t.refs
+	t.refs = nil
+	t.mu.Unlock()
+	return refs
+}
+
+func (s *Server) noteTraceRef(sessID string, req wire.DoneRequest, resp wire.DoneResponse, parent uint64) {
+	s.traced.note(wire.TraceRef{
+		Trace:   req.TraceID,
+		Span:    parent,
+		Session: sessID,
+		Iter:    resp.IterationsDone,
+		NowS:    req.NowS,
+	})
+}
+
+// DrainTraceRefs hands the pending traced-settle contexts to the cluster
+// member, which forwards them on its next heartbeat (and drops them on
+// the floor outside a fleet — a standalone daemon's trace ends at the
+// broker debit).
+func (s *Server) DrainTraceRefs() []wire.TraceRef { return s.traced.drain() }
+
+// RequeueTraceRefs returns undelivered refs to the pending queue: a
+// heartbeat that failed (dead or deposed coordinator) gives its refs
+// another chance on the next beat instead of swallowing them. The
+// queue's cap still bounds growth through a long outage.
+func (s *Server) RequeueTraceRefs(refs []wire.TraceRef) {
+	for _, r := range refs {
+		s.traced.note(r)
+	}
+}

@@ -98,7 +98,15 @@ func (s *Server) handleV2Stream(w http.ResponseWriter, r *http.Request) {
 	_ = conn.SetDeadline(time.Time{})
 	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
 		"Upgrade: " + wire.V2Proto + "\r\n" +
-		"Connection: Upgrade\r\n\r\n"
+		"Connection: Upgrade\r\n"
+	// Trace capability negotiation: echo the client's header so it knows
+	// this daemon accepts FlagTraced frame extensions. A client that never
+	// sent it (or an old daemon that never echoes it) stays on strictly
+	// base-length frames, so either side may lag the other.
+	if r.Header.Get(wire.V2TraceHeader) == "1" {
+		resp += wire.V2TraceHeader + ": 1\r\n"
+	}
+	resp += "\r\n"
 	if _, err := bufrw.WriteString(resp); err != nil {
 		conn.Close()
 		return
@@ -176,7 +184,7 @@ func (s *Server) dispatchV2(enc *wire.Encoder, h wire.Hdr, p []byte) error {
 			return s.v2Err(enc, h.Session, &wireError{wire.CodeUnknownSession, "unknown v2 session"})
 		}
 		// Done is accepted even while draining or fenced, same as v1.
-		resp, werr := sess.done(req, s.clock())
+		resp, werr := s.sessionDone(sess, req)
 		if werr != nil {
 			return s.v2Err(enc, h.Session, werr)
 		}
@@ -191,7 +199,7 @@ func (s *Server) dispatchV2(enc *wire.Encoder, h wire.Hdr, p []byte) error {
 		if sess == nil {
 			return s.v2Err(enc, h.Session, &wireError{wire.CodeUnknownSession, "unknown v2 session"})
 		}
-		doneResp, werr := sess.done(done, s.clock())
+		doneResp, werr := s.sessionDone(sess, done)
 		if werr != nil {
 			// Done failed: nothing was settled, so no partial answer.
 			return s.v2Err(enc, h.Session, werr)

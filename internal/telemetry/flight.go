@@ -31,9 +31,11 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 	return &FlightRecorder{buf: make([]Decision, capacity)}
 }
 
-// Record appends one decision, overwriting the oldest once full.
+// Record appends one decision, overwriting the oldest once full, and
+// stamps its sequence number (1-based; the ?since= export cursor).
 func (f *FlightRecorder) Record(d Decision) {
 	f.mu.Lock()
+	d.Seq = f.total + 1
 	f.buf[f.total%uint64(len(f.buf))] = d
 	f.total++
 	f.mu.Unlock()
@@ -68,6 +70,32 @@ func (f *FlightRecorder) Snapshot() []Decision {
 	}
 	out := make([]Decision, n)
 	start := f.total - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = f.buf[(start+uint64(i))%uint64(len(f.buf))]
+	}
+	return out
+}
+
+// SnapshotSince returns the windowed decisions with Seq > since,
+// oldest-first — the incremental-tail cursor for /decisions?since=.
+// Decisions already overwritten are gone regardless of the cursor; the
+// caller detects the gap when the first returned Seq is > since+1.
+func (f *FlightRecorder) SnapshotSince(since uint64) []Decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := int(f.total)
+	if n > len(f.buf) {
+		n = len(f.buf)
+	}
+	start := f.total - uint64(n) // seq of the oldest retained entry is start+1
+	if since > start {
+		if since >= f.total {
+			return nil
+		}
+		start = since
+		n = int(f.total - since)
+	}
+	out := make([]Decision, n)
 	for i := 0; i < n; i++ {
 		out[i] = f.buf[(start+uint64(i))%uint64(len(f.buf))]
 	}

@@ -1,20 +1,25 @@
 package telemetry
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 )
 
 // Mount registers the live exposition endpoints on mux:
 //
 //	/metrics    Prometheus text exposition of every registered metric
-//	/healthz    liveness probe with uptime and decision count
+//	/healthz    liveness probe; JSON role/fence once SetHealth is wired
 //	/decisions  the flight-recorder window as JSONL (?n=K for the last K,
-//	            ?session=ID to filter one daemon session's decisions)
+//	            ?session=ID to filter one daemon session's decisions,
+//	            ?since=SEQ to tail incrementally; gzip when accepted)
+//	/traces     the span-buffer window as JSONL (?trace=HEXID to select
+//	            one distributed trace)
 //	/debug/pprof/...  the standard Go profiling endpoints
 //
 // Mount is the one place these handlers are wired: cmd/jouleguard -serve
@@ -26,6 +31,7 @@ func (t *Telemetry) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", t.serveMetrics)
 	mux.HandleFunc("/healthz", t.serveHealthz)
 	mux.HandleFunc("/decisions", t.serveDecisions)
+	mux.HandleFunc("/traces", t.serveTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -46,6 +52,15 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (t *Telemetry) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	if info, ok := t.Health(); ok {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			HealthInfo
+			UptimeS   float64 `json:"uptime_seconds"`
+			Decisions uint64  `json:"decisions_recorded"`
+		}{info, time.Since(t.start).Seconds(), t.Flight.Total()})
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "ok\nuptime_seconds %.1f\ndecisions_recorded %d\n",
 		time.Since(t.start).Seconds(), t.Flight.Total())
@@ -61,27 +76,97 @@ func (t *Telemetry) serveDecisions(w http.ResponseWriter, r *http.Request) {
 		}
 		last = n
 	}
+	var since uint64
+	haveSince := false
+	if s := r.URL.Query().Get("since"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "since must be a non-negative integer sequence number", http.StatusBadRequest)
+			return
+		}
+		since, haveSince = n, true
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if session := r.URL.Query().Get("session"); session != "" {
-		// Per-session view: filter the window, then apply the tail limit
-		// to the filtered stream so ?n= means "this session's last n".
-		snap := t.Flight.Snapshot()
-		kept := snap[:0]
-		for _, d := range snap {
-			if d.Session == session {
-				kept = append(kept, d)
+	out := compressed(w, r)
+	defer out.close()
+	session := r.URL.Query().Get("session")
+	if haveSince || session != "" {
+		var snap []Decision
+		if haveSince {
+			snap = t.Flight.SnapshotSince(since)
+		} else {
+			snap = t.Flight.Snapshot()
+		}
+		if session != "" {
+			kept := snap[:0]
+			for _, d := range snap {
+				if d.Session == session {
+					kept = append(kept, d)
+				}
 			}
+			snap = kept
 		}
-		if last > 0 && last < len(kept) {
-			kept = kept[len(kept)-last:]
+		// ?n= tails the filtered stream, so it means "the last n of what
+		// the other filters kept".
+		if last > 0 && last < len(snap) {
+			snap = snap[len(snap)-last:]
 		}
-		enc := json.NewEncoder(w)
-		for i := range kept {
-			if err := enc.Encode(sanitizeDecision(kept[i])); err != nil {
+		enc := json.NewEncoder(out)
+		for i := range snap {
+			if err := enc.Encode(sanitizeDecision(snap[i])); err != nil {
 				return
 			}
 		}
 		return
 	}
-	_ = t.Flight.WriteJSONL(w, last)
+	_ = t.Flight.WriteJSONL(out, last)
+}
+
+func (t *Telemetry) serveTraces(w http.ResponseWriter, r *http.Request) {
+	var trace uint64
+	if s := r.URL.Query().Get("trace"); s != "" {
+		id, ok := ParseID(s)
+		if !ok {
+			http.Error(w, "trace must be a hex id (up to 16 digits)", http.StatusBadRequest)
+			return
+		}
+		trace = id
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	out := compressed(w, r)
+	defer out.close()
+	_ = t.Spans.WriteJSONL(out, trace)
+}
+
+// gzipSink pairs the negotiated response writer with its cleanup.
+type gzipSink struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (s *gzipSink) Write(p []byte) (int, error) {
+	if s.gz != nil {
+		return s.gz.Write(p)
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *gzipSink) close() {
+	if s.gz != nil {
+		_ = s.gz.Close()
+	}
+}
+
+// compressed wraps w in a gzip writer when the client accepts it — long
+// chaos runs tail /decisions and /traces repeatedly, and the JSONL is
+// highly compressible.
+func compressed(w http.ResponseWriter, r *http.Request) *gzipSink {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		e := strings.TrimSpace(enc)
+		if e == "gzip" || strings.HasPrefix(e, "gzip;") {
+			w.Header().Set("Content-Encoding", "gzip")
+			return &gzipSink{ResponseWriter: w, gz: gzip.NewWriter(w)}
+		}
+	}
+	return &gzipSink{ResponseWriter: w}
 }

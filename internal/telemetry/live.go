@@ -1,17 +1,32 @@
 package telemetry
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HealthInfo is what /healthz reports beyond liveness: the process's
+// cluster role and the highest fencing epoch it has seen, so load
+// balancers and jgtop can tell a primary coordinator from a standby
+// (or a fenced member) without probing /v1/cluster for a 503.
+type HealthInfo struct {
+	Role  string `json:"role"`
+	Fence int64  `json:"fence"`
+}
 
 // Telemetry is the live Sink: it maintains a metric registry covering
-// the whole control path and feeds every decision into a flight
-// recorder. One Telemetry serves a whole process — its methods are safe
-// for concurrent use by the experiment worker pool — and its Handler
+// the whole control path, feeds every decision into a flight recorder,
+// and keeps the process's span buffer for distributed traces. One
+// Telemetry serves a whole process — its methods are safe for
+// concurrent use by the experiment worker pool — and its Handler
 // (http.go) exposes everything over HTTP.
 type Telemetry struct {
 	Registry *Registry
 	Flight   *FlightRecorder
+	Spans    *SpanBuffer
 
-	start time.Time
+	start  time.Time
+	health atomic.Value // func() HealthInfo, nil until SetHealth
 
 	// Decision stream.
 	decisions    *Counter
@@ -87,6 +102,7 @@ func New(flightCapacity int) *Telemetry {
 	t := &Telemetry{
 		Registry: r,
 		Flight:   NewFlightRecorder(flightCapacity),
+		Spans:    NewSpanBuffer(0),
 		start:    time.Now(),
 
 		decisions:    r.Counter("jouleguard_decisions_total", "Control decisions recorded by the runtime."),
@@ -118,7 +134,7 @@ func New(flightCapacity int) *Telemetry {
 
 		iterations:    r.Counter("jouleguard_iterations_total", "Online-controller iterations completed."),
 		iterEstimated: r.Counter("jouleguard_iterations_estimated_total", "Online-controller iterations whose measurement was estimated."),
-		iterSeconds:   r.Histogram("jouleguard_iteration_seconds", "Online-controller iteration durations.", DurationBuckets()),
+		iterSeconds:   r.Histogram("jouleguard_iteration_seconds", "Online-controller iteration durations.", MicroDurationBuckets()),
 
 		jobsStarted: r.Counter("jouleguard_par_jobs_started_total", "Experiment-runner jobs started."),
 		jobsDone:    r.Counter("jouleguard_par_jobs_completed_total", "Experiment-runner jobs completed."),
@@ -136,6 +152,34 @@ func New(flightCapacity int) *Telemetry {
 			Label{"channel", FaultChannelName(ch)})
 	}
 	return t
+}
+
+// SetHealth installs the /healthz role/fence provider; the probe stays
+// a plain-text liveness line until a provider is set.
+func (t *Telemetry) SetHealth(provider func() HealthInfo) {
+	t.health.Store(provider)
+}
+
+// Health returns the current role/fence report and whether a provider
+// is installed.
+func (t *Telemetry) Health() (HealthInfo, bool) {
+	p, _ := t.health.Load().(func() HealthInfo)
+	if p == nil {
+		return HealthInfo{}, false
+	}
+	return p(), true
+}
+
+// CounterSummary snapshots the cumulative counters a cluster member
+// ships on its heartbeats for the coordinator's fleet rollup. Values
+// are cumulative, not deltas: the coordinator differences successive
+// reports itself, so a lost heartbeat loses nothing.
+func (t *Telemetry) CounterSummary() (decisions, iterations, guardRejected, watchdogTrips, faults float64) {
+	for i := range t.faults {
+		faults += t.faults[i].Value()
+	}
+	return t.decisions.Value(), t.iterations.Value(),
+		t.guardRejected.Value(), t.watchdogTrips.Value(), faults
 }
 
 // RecordDecision implements Sink.

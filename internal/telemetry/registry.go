@@ -130,6 +130,14 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // 100µs to ~100s.
 func DurationBuckets() []float64 { return ExpBuckets(1e-4, math.Sqrt(10), 13) }
 
+// MicroDurationBuckets is the duration schema for the v2-era hot path,
+// spanning 1µs to ~3s in half-decade steps. The original
+// DurationBuckets start at 100µs — chosen for millisecond-scale v1 JSON
+// round trips — which collapses the entire ~1.5µs in-process / ~99µs v2
+// decision distribution into the first bucket; decision and iteration
+// histograms use this schema instead.
+func MicroDurationBuckets() []float64 { return ExpBuckets(1e-6, math.Sqrt(10), 14) }
+
 // PowerBuckets is the fixed schema for power samples, spanning 0.25W to
 // ~256W.
 func PowerBuckets() []float64 { return ExpBuckets(0.25, 2, 11) }

@@ -27,6 +27,11 @@ package telemetry
 // matches the run's Record exactly. NextApp and NextSys are the
 // configurations chosen for the following iteration.
 type Decision struct {
+	// Seq is the flight recorder's running sequence number, stamped by
+	// Record: the ?since= cursor that lets a long chaos run be tailed
+	// incrementally from /decisions. 1-based; 0 means "not yet recorded".
+	Seq uint64 `json:"seq,omitempty"`
+
 	// Session tags decisions made on behalf of a governor-daemon session
 	// (empty for in-process runs); WithSession stamps it.
 	Session string `json:"session,omitempty"`

@@ -126,6 +126,32 @@ type SessionReport struct {
 	NewIters []IterRec `json:"new_iters,omitempty"`
 }
 
+// TraceRef forwards one sampled trace context from a member to the
+// coordinator on a heartbeat, so the coordinator can record its
+// lease-mutation span into the same distributed trace. NowS is the
+// member's clock when the traced iteration settled.
+type TraceRef struct {
+	Trace   uint64  `json:"trace"`
+	Span    uint64  `json:"span"`
+	Session string  `json:"session,omitempty"`
+	Iter    int     `json:"iter"`
+	NowS    float64 `json:"now_s"`
+}
+
+// MetricSummary ships a member's cumulative telemetry counters on its
+// heartbeats — the rollup's input. Values are cumulative (resets are
+// detected by the coordinator when a value shrinks); shipping on the
+// existing heartbeat means the coordinator never scrapes members.
+type MetricSummary struct {
+	Decisions          float64 `json:"decisions"`
+	Iterations         float64 `json:"iterations"`
+	GuardRejected      float64 `json:"guard_rejected"`
+	WatchdogTrips      float64 `json:"watchdog_trips"`
+	FaultsInjected     float64 `json:"faults_injected"`
+	DecisionSecondsSum float64 `json:"decision_seconds_sum"`
+	DecisionCount      float64 `json:"decision_count"`
+}
+
 // HeartbeatRequest renews the lease and reports consumption.
 type HeartbeatRequest struct {
 	Node  string `json:"node"`
@@ -140,6 +166,13 @@ type HeartbeatRequest struct {
 	// Fence is the highest fencing epoch the node has seen (see
 	// JoinRequest.Fence).
 	Fence int64 `json:"fence,omitempty"`
+	// Traces carries the trace contexts of sampled iterations settled
+	// since the last heartbeat (bounded member-side); the coordinator
+	// records its lease-booking span under each.
+	Traces []TraceRef `json:"traces,omitempty"`
+	// Metrics is the node's cumulative telemetry summary for the
+	// cluster-level rollup.
+	Metrics *MetricSummary `json:"metrics,omitempty"`
 }
 
 // HeartbeatResponse extends the lease and acks the session logs.
@@ -161,6 +194,10 @@ type ExtendRequest struct {
 	NeedJ float64 `json:"need_j"`
 	// Fence is the highest fencing epoch the node has seen.
 	Fence int64 `json:"fence,omitempty"`
+	// TraceID/SpanID propagate the trace context when the extension was
+	// triggered by a traced admission (0 = untraced).
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // ExtendResponse reports the (possibly partial) extension.
@@ -190,6 +227,10 @@ type AdoptRequest struct {
 	// seen a higher one rejects the push (stale_epoch) — a deposed
 	// primary must not be able to seed sessions.
 	Fence int64 `json:"fence,omitempty"`
+	// TraceID/SpanID propagate the trace context of the failover that
+	// triggered the push (0 = untraced).
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // AdoptResponse maps session keys to the new owner's local session ids.

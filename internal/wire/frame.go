@@ -93,9 +93,24 @@ const (
 	FlagDegraded   = byte(1 << 1)
 	FlagInfeasible = byte(1 << 2)
 	FlagComplete   = byte(1 << 3)
+	// FlagTraced on TNext/TDone/TDoneNext marks a TraceExtLen-byte
+	// trailing extension on the payload: TraceID then SpanID, uint64 LE.
+	// The capability is negotiated at upgrade (V2TraceHeader) so a new
+	// client never sends extended frames to an old daemon; an old client
+	// never sets the flag, and its exact-base-length frames parse as
+	// before — the two protocol generations interoperate both ways.
+	FlagTraced = byte(1 << 4)
 )
 
-// Payload sizes per type.
+// TraceExtLen is the FlagTraced trailing extension size (two uint64s).
+const TraceExtLen = 16
+
+// V2TraceHeader is the upgrade-negotiation header for the FlagTraced
+// extension: the client sends it with the upgrade request, the daemon
+// echoes it in the 101 reply iff it understands traced frames.
+const V2TraceHeader = "X-Jouleguard-Trace"
+
+// Payload sizes per type (base sizes; FlagTraced appends TraceExtLen).
 const (
 	nextLen         = 8
 	nextRespLen     = 12
@@ -154,7 +169,7 @@ type Hdr struct {
 // use; each connection owns one (GetEncoder/PutEncoder pool them).
 type Encoder struct {
 	w       *bufio.Writer
-	scratch [HeaderLen + doneNextRespLen]byte
+	scratch [HeaderLen + doneNextLen + TraceExtLen]byte
 }
 
 // NewEncoder builds an unpooled encoder (tests; prefer GetEncoder).
@@ -171,11 +186,27 @@ func (e *Encoder) header(t, flags byte, session, length uint32) {
 	binary.LittleEndian.PutUint32(e.scratch[8:12], length)
 }
 
-// Next writes a TNext frame.
-func (e *Encoder) Next(session uint32, req NextRequest) error {
-	e.header(TNext, 0, session, nextLen)
+// putTraceExt appends the FlagTraced extension at payload offset off and
+// returns the extended payload length.
+func (e *Encoder) putTraceExt(off int, trace, span uint64) uint32 {
+	binary.LittleEndian.PutUint64(e.scratch[HeaderLen+off:], trace)
+	binary.LittleEndian.PutUint64(e.scratch[HeaderLen+off+8:], span)
+	return uint32(off + TraceExtLen)
+}
+
+// Next writes a TNext frame; a nonzero req.TraceID rides the FlagTraced
+// trailing extension (the caller must have negotiated it at upgrade).
+// Requests pass by pointer: the trace fields push them past the register
+// ABI, and the by-value spill alone was measurable on the encode path.
+func (e *Encoder) Next(session uint32, req *NextRequest) error {
+	length, flags := uint32(nextLen), byte(0)
+	if req.TraceID != 0 {
+		flags |= FlagTraced
+		length = e.putTraceExt(nextLen, req.TraceID, req.SpanID)
+	}
+	e.header(TNext, flags, session, length)
 	binary.LittleEndian.PutUint64(e.scratch[12:20], math.Float64bits(req.NowS))
-	_, err := e.w.Write(e.scratch[:HeaderLen+nextLen])
+	_, err := e.w.Write(e.scratch[:HeaderLen+int(length)])
 	return err
 }
 
@@ -187,15 +218,21 @@ func (e *Encoder) NextResp(session uint32, resp NextResponse) error {
 	return err
 }
 
-// Done writes a TDone frame.
-func (e *Encoder) Done(session uint32, req DoneRequest) error {
+// Done writes a TDone frame; a nonzero req.TraceID rides the FlagTraced
+// trailing extension.
+func (e *Encoder) Done(session uint32, req *DoneRequest) error {
 	var flags byte
 	if req.EnergyErr {
 		flags |= FlagEnergyErr
 	}
-	e.header(TDone, flags, session, doneLen)
+	length := uint32(doneLen)
+	if req.TraceID != 0 {
+		flags |= FlagTraced
+		length = e.putTraceExt(doneLen, req.TraceID, req.SpanID)
+	}
+	e.header(TDone, flags, session, length)
 	putDone(e.scratch[12:], req)
-	_, err := e.w.Write(e.scratch[:HeaderLen+doneLen])
+	_, err := e.w.Write(e.scratch[:HeaderLen+int(length)])
 	return err
 }
 
@@ -209,7 +246,14 @@ func (e *Encoder) DoneResp(session uint32, resp DoneResponse) error {
 
 // DoneNext writes the batched TDoneNext frame: settle the previous
 // iteration (done) and ask for the next decision (next) in one write.
-func (e *Encoder) DoneNext(session uint32, done DoneRequest, next NextRequest) error {
+// The trace context is shared by the pair: a nonzero done.TraceID rides
+// one FlagTraced extension covering both halves.
+func (e *Encoder) DoneNext(session uint32, done *DoneRequest, next *NextRequest) error {
+	if done.TraceID != 0 {
+		return e.doneNextTraced(session, done, next)
+	}
+	// Untraced steady state: constant sizes all the way down, so the
+	// compiler keeps the slice bounds static.
 	var flags byte
 	if done.EnergyErr {
 		flags |= FlagEnergyErr
@@ -218,6 +262,21 @@ func (e *Encoder) DoneNext(session uint32, done DoneRequest, next NextRequest) e
 	putDone(e.scratch[12:], done)
 	binary.LittleEndian.PutUint64(e.scratch[12+doneLen:], math.Float64bits(next.NowS))
 	_, err := e.w.Write(e.scratch[:HeaderLen+doneNextLen])
+	return err
+}
+
+// doneNextTraced is the head-sampled slow path: same frame plus the
+// shared FlagTraced extension.
+func (e *Encoder) doneNextTraced(session uint32, done *DoneRequest, next *NextRequest) error {
+	flags := FlagTraced
+	if done.EnergyErr {
+		flags |= FlagEnergyErr
+	}
+	length := e.putTraceExt(doneNextLen, done.TraceID, done.SpanID)
+	e.header(TDoneNext, flags, session, length)
+	putDone(e.scratch[12:], done)
+	binary.LittleEndian.PutUint64(e.scratch[12+doneLen:], math.Float64bits(next.NowS))
+	_, err := e.w.Write(e.scratch[:HeaderLen+int(length)])
 	return err
 }
 
@@ -263,7 +322,7 @@ func doneFlags(resp DoneResponse) byte {
 	return flags
 }
 
-func putDone(b []byte, req DoneRequest) {
+func putDone(b []byte, req *DoneRequest) {
 	binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(req.NowS))
 	binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(req.EnergyJ))
 	binary.LittleEndian.PutUint64(b[16:24], math.Float64bits(req.Accuracy))
@@ -334,12 +393,36 @@ func (d *Decoder) ReadFrame() (Hdr, []byte, error) {
 // zero, so a burst of frames gets one write back.
 func (d *Decoder) Buffered() int { return d.r.Buffered() }
 
+// wantLen validates a payload length against its type's base size plus
+// the FlagTraced extension when the flag is set.
+func wantLen(h Hdr, base int) error {
+	want := base
+	if h.Flags&FlagTraced != 0 {
+		want += TraceExtLen
+	}
+	if int(h.Len) != want {
+		return fmt.Errorf("wire: frame type %d payload %d bytes, want %d", h.Type, h.Len, want)
+	}
+	return nil
+}
+
+// getTraceExt reads the FlagTraced extension trailing the base payload.
+func getTraceExt(h Hdr, p []byte, base int) (trace, span uint64) {
+	if h.Flags&FlagTraced == 0 {
+		return 0, 0
+	}
+	return binary.LittleEndian.Uint64(p[base : base+8]),
+		binary.LittleEndian.Uint64(p[base+8 : base+16])
+}
+
 // ParseNext decodes a TNext payload.
 func ParseNext(h Hdr, p []byte) (NextRequest, error) {
-	if h.Len != nextLen {
-		return NextRequest{}, fmt.Errorf("wire: TNext payload %d bytes, want %d", h.Len, nextLen)
+	if err := wantLen(h, nextLen); err != nil {
+		return NextRequest{}, err
 	}
-	return NextRequest{NowS: math.Float64frombits(binary.LittleEndian.Uint64(p[0:8]))}, nil
+	req := NextRequest{NowS: math.Float64frombits(binary.LittleEndian.Uint64(p[0:8]))}
+	req.TraceID, req.SpanID = getTraceExt(h, p, nextLen)
+	return req, nil
 }
 
 // ParseNextResp decodes a TNextResp payload.
@@ -352,10 +435,12 @@ func ParseNextResp(h Hdr, p []byte) (NextResponse, error) {
 
 // ParseDone decodes a TDone payload (EnergyErr rides in the header).
 func ParseDone(h Hdr, p []byte) (DoneRequest, error) {
-	if h.Len != doneLen {
-		return DoneRequest{}, fmt.Errorf("wire: TDone payload %d bytes, want %d", h.Len, doneLen)
+	if err := wantLen(h, doneLen); err != nil {
+		return DoneRequest{}, err
 	}
-	return getDone(h.Flags, p), nil
+	req := getDone(h.Flags, p)
+	req.TraceID, req.SpanID = getTraceExt(h, p, doneLen)
+	return req, nil
 }
 
 // ParseDoneResp decodes a TDoneResp payload.
@@ -366,13 +451,17 @@ func ParseDoneResp(h Hdr, p []byte) (DoneResponse, error) {
 	return getDoneResp(h.Flags, p), nil
 }
 
-// ParseDoneNext decodes the batched TDoneNext payload.
+// ParseDoneNext decodes the batched TDoneNext payload; the trace
+// context (one extension for the pair) lands on both halves.
 func ParseDoneNext(h Hdr, p []byte) (DoneRequest, NextRequest, error) {
-	if h.Len != doneNextLen {
-		return DoneRequest{}, NextRequest{}, fmt.Errorf("wire: TDoneNext payload %d bytes, want %d", h.Len, doneNextLen)
+	if err := wantLen(h, doneNextLen); err != nil {
+		return DoneRequest{}, NextRequest{}, err
 	}
-	return getDone(h.Flags, p),
-		NextRequest{NowS: math.Float64frombits(binary.LittleEndian.Uint64(p[doneLen : doneLen+8]))}, nil
+	done := getDone(h.Flags, p)
+	next := NextRequest{NowS: math.Float64frombits(binary.LittleEndian.Uint64(p[doneLen : doneLen+8]))}
+	done.TraceID, done.SpanID = getTraceExt(h, p, doneNextLen)
+	next.TraceID, next.SpanID = done.TraceID, done.SpanID
+	return done, next, nil
 }
 
 // ParseDoneNextResp decodes the batched TDoneNextResp payload.

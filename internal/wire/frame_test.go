@@ -18,19 +18,19 @@ func TestFrameRoundTrip(t *testing.T) {
 	doneResp := DoneResponse{IterationsDone: 7, SpentJ: 55.5, GrantRemainingJ: 44.5,
 		Degraded: true, Infeasible: false, Complete: true}
 
-	if err := enc.Next(42, next); err != nil {
+	if err := enc.Next(42, &next); err != nil {
 		t.Fatal(err)
 	}
 	if err := enc.NextResp(42, nextResp); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.Done(43, done); err != nil {
+	if err := enc.Done(43, &done); err != nil {
 		t.Fatal(err)
 	}
 	if err := enc.DoneResp(43, doneResp); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.DoneNext(44, done, next); err != nil {
+	if err := enc.DoneNext(44, &done, &next); err != nil {
 		t.Fatal(err)
 	}
 	if err := enc.DoneNextResp(44, doneResp, nextResp); err != nil {
@@ -130,7 +130,7 @@ func TestFrameRejectsOversizedPayload(t *testing.T) {
 func TestFrameRejectsTruncation(t *testing.T) {
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf)
-	if err := enc.Next(1, NextRequest{NowS: 1}); err != nil {
+	if err := enc.Next(1, &NextRequest{NowS: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := enc.Flush(); err != nil {
@@ -178,7 +178,7 @@ func TestErrCodeBytesRoundTrip(t *testing.T) {
 func TestCodecPoolsReuse(t *testing.T) {
 	var buf bytes.Buffer
 	enc := GetEncoder(&buf)
-	if err := enc.DoneNext(9, DoneRequest{NowS: 2, EnergyJ: 3, Accuracy: 1}, NextRequest{NowS: 2}); err != nil {
+	if err := enc.DoneNext(9, &DoneRequest{NowS: 2, EnergyJ: 3, Accuracy: 1}, &NextRequest{NowS: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if err := enc.Flush(); err != nil {
@@ -221,7 +221,7 @@ func BenchmarkFrameEncodeDoneNext(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := enc.DoneNext(42, done, next); err != nil {
+		if err := enc.DoneNext(42, &done, &next); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +250,7 @@ func (r *loopReader) Read(p []byte) (int, error) {
 func BenchmarkFrameDecodeDoneNext(b *testing.B) {
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf)
-	if err := enc.DoneNext(42, DoneRequest{NowS: 13.5, EnergyJ: 101.25, Accuracy: 0.875}, NextRequest{NowS: 13.5}); err != nil {
+	if err := enc.DoneNext(42, &DoneRequest{NowS: 13.5, EnergyJ: 101.25, Accuracy: 0.875}, &NextRequest{NowS: 13.5}); err != nil {
 		b.Fatal(err)
 	}
 	if err := enc.Flush(); err != nil {
@@ -283,7 +283,7 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := enc.DoneNext(42, done, next); err != nil {
+		if err := enc.DoneNext(42, &done, &next); err != nil {
 			b.Fatal(err)
 		}
 		if err := enc.Flush(); err != nil {

@@ -1,0 +1,102 @@
+// Joule provenance: the audit answer to "where did this joule come
+// from, and where is it now". The custody chain is
+//
+//	fleet budget -> epoch-fenced lease -> member broker pool
+//	            -> tenant share -> session grant -> per-iteration spend
+//
+// Members render the lower half at /v1/provenance?session= (broker pool
+// downward); the coordinator renders the upper half at
+// /v1/cluster/provenance (fleet budget down to node leases). Every
+// layer carries an explicit conservation check — the joules entering it
+// minus the joules its parts account for — and a continuous auditor
+// exports the same drifts as jouleguard_provenance_drift_joules so a
+// broken ledger shows up on a scrape, not just in a post-mortem.
+package wire
+
+// ProvenancePath is the member-side custody-chain route
+// (GET /v1/provenance?session=<id or key>).
+const ProvenancePath = "/" + Version + "/provenance"
+
+// ProvenanceLayer is one conservation check in the custody chain:
+// ExpectJ enters the layer, its parts sum to SumJ, DriftJ is the
+// difference (0 within 1e-6 when the books balance).
+type ProvenanceLayer struct {
+	Layer   string  `json:"layer"`
+	ExpectJ float64 `json:"expect_j"`
+	SumJ    float64 `json:"sum_j"`
+	DriftJ  float64 `json:"drift_j"`
+}
+
+// IterSpend is one iteration's energy custody record, from the flight
+// recorder: Seq is the recorder's cursor, EnergyJ the joules the
+// session ledger debited for that iteration.
+type IterSpend struct {
+	Seq     uint64  `json:"seq"`
+	Iter    int     `json:"iter"`
+	EnergyJ float64 `json:"energy_j"`
+}
+
+// SessionProvenance is a member's custody chain for one session: the
+// node's lease feeding the broker pool, the pool splitting into
+// committed/consumed/available, the tenant's share terms, the session
+// grant, and the per-iteration spends the grant dissolved into.
+type SessionProvenance struct {
+	Session string `json:"session"`
+	Key     string `json:"key,omitempty"`
+	Node    string `json:"node,omitempty"`
+	Fence   int64  `json:"fence"`
+
+	// LeaseJ is the member's cumulative coordinator lease — the broker's
+	// global pool (identical outside a fleet, where the pool is the
+	// configured budget).
+	LeaseJ float64    `json:"lease_j"`
+	Broker BrokerInfo `json:"broker"`
+
+	Tenant       string  `json:"tenant"`
+	TenantWeight float64 `json:"tenant_weight"`
+	TenantCarryJ float64 `json:"tenant_carry_j"`
+
+	GrantJ     float64 `json:"grant_j"`
+	ImportedJ  float64 `json:"imported_j,omitempty"`
+	SpentJ     float64 `json:"spent_j"`
+	RemainingJ float64 `json:"remaining_j"`
+
+	// Iterations is the session's per-iteration spend still held by the
+	// flight recorder (older iterations have been overwritten; IterDrift
+	// reconciliation only covers the retained window).
+	Iterations []IterSpend `json:"iterations,omitempty"`
+
+	// Layers are the conservation checks, outermost first.
+	Layers []ProvenanceLayer `json:"layers"`
+}
+
+// NodeCustody is the coordinator's ledger view of one node's lease in
+// the cluster provenance answer.
+type NodeCustody struct {
+	Node     string  `json:"node"`
+	Live     bool    `json:"live"`
+	LeaseJ   float64 `json:"lease_j"`
+	AckedJ   float64 `json:"acked_j"`
+	EscrowJ  float64 `json:"escrow_j,omitempty"`
+	UnspentJ float64 `json:"unspent_j"`
+}
+
+// ClusterProvenance is the coordinator's custody chain: the fleet
+// budget split into the leasable pool, the failover reserve, live
+// nodes' unspent leases, and booked consumption.
+type ClusterProvenance struct {
+	Fence int64  `json:"fence"`
+	Role  string `json:"role"`
+
+	FleetJ         float64 `json:"fleet_j"`
+	PoolJ          float64 `json:"pool_j"`
+	ReserveJ       float64 `json:"reserve_j"`
+	LeasedUnspentJ float64 `json:"leased_unspent_j"`
+	ConsumedJ      float64 `json:"consumed_j"`
+
+	Nodes []NodeCustody `json:"nodes,omitempty"`
+
+	// Layers are the conservation checks; the fleet layer asserts
+	// FleetJ = PoolJ + ReserveJ + LeasedUnspentJ + ConsumedJ.
+	Layers []ProvenanceLayer `json:"layers"`
+}

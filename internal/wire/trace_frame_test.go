@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestTracedFrameRoundTrip pins the FlagTraced extension: a nonzero
+// TraceID rides a 16-byte trailing extension on TNext/TDone/TDoneNext
+// and decodes back exactly; the batched pair shares one extension that
+// lands on both halves.
+func TestTracedFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+
+	next := NextRequest{NowS: 1.5, TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef}
+	done := DoneRequest{NowS: 2.5, EnergyJ: 7.25, Accuracy: 0.5,
+		TraceID: 0xfeedfacefeedface, SpanID: 42}
+
+	if err := enc.Next(9, &next); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Done(9, &done); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.DoneNext(9, &done, &next); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf)
+
+	h, p, err := dec.ReadFrame()
+	if err != nil || h.Type != TNext {
+		t.Fatalf("frame 1: hdr %+v err %v", h, err)
+	}
+	if h.Flags&FlagTraced == 0 || int(h.Len) != 8+TraceExtLen {
+		t.Fatalf("traced TNext hdr %+v: want FlagTraced and base+%d payload", h, TraceExtLen)
+	}
+	if got, err := ParseNext(h, p); err != nil || got != next {
+		t.Fatalf("ParseNext: %+v %v", got, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TDone || h.Flags&FlagTraced == 0 {
+		t.Fatalf("frame 2: hdr %+v err %v", h, err)
+	}
+	if got, err := ParseDone(h, p); err != nil || got != done {
+		t.Fatalf("ParseDone: %+v %v", got, err)
+	}
+
+	h, p, err = dec.ReadFrame()
+	if err != nil || h.Type != TDoneNext || h.Flags&FlagTraced == 0 {
+		t.Fatalf("frame 3: hdr %+v err %v", h, err)
+	}
+	gd, gn, err := ParseDoneNext(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd != done {
+		t.Fatalf("ParseDoneNext done half: %+v", gd)
+	}
+	// The pair shares done's extension: the next half carries the same
+	// context regardless of what the encoder was handed for it.
+	wantNext := next
+	wantNext.TraceID, wantNext.SpanID = done.TraceID, done.SpanID
+	if gn != wantNext {
+		t.Fatalf("ParseDoneNext next half: %+v want %+v", gn, wantNext)
+	}
+}
+
+// TestUntracedFramesMatchOldFormat pins backward interop: a zero
+// TraceID encodes exactly the pre-trace frame — base payload length, no
+// FlagTraced — so an old peer decodes it unchanged, and decoding one
+// yields a zero trace context.
+func TestUntracedFramesMatchOldFormat(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Next(3, &NextRequest{NowS: 4.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) != HeaderLen+8 {
+		t.Fatalf("untraced TNext is %d bytes on the wire, want %d", len(raw), HeaderLen+8)
+	}
+	if raw[3]&FlagTraced != 0 {
+		t.Fatalf("untraced TNext sets FlagTraced")
+	}
+	dec := NewDecoder(&buf)
+	h, p, err := dec.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseNext(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.SpanID != 0 {
+		t.Fatalf("untraced frame decoded a trace context: %+v", got)
+	}
+}
+
+// TestTracedFlagLengthMismatchRejected pins the length discipline: the
+// flag and the extension must agree, in both directions.
+func TestTracedFlagLengthMismatchRejected(t *testing.T) {
+	// Traced payload with the flag stripped: the 16 extra bytes no longer
+	// match TNext's base length.
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Next(1, &NextRequest{NowS: 1, TraceID: 7, SpanID: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[3] &^= FlagTraced
+	h, p, err := NewDecoder(bytes.NewReader(raw)).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := ParseNext(h, p); perr == nil {
+		t.Fatal("flag-stripped traced frame parsed")
+	}
+
+	// Base-length payload with the flag forced on: the promised extension
+	// is missing.
+	buf.Reset()
+	enc = NewEncoder(&buf)
+	if err := enc.Next(1, &NextRequest{NowS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw = buf.Bytes()
+	raw[3] |= FlagTraced
+	h, p, err = NewDecoder(bytes.NewReader(raw)).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := ParseNext(h, p); perr == nil {
+		t.Fatal("flag-forced base-length frame parsed")
+	}
+	if _, _, err := NewDecoder(bytes.NewReader(nil)).ReadFrame(); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}

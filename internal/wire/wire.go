@@ -121,6 +121,13 @@ type RegisterResponse struct {
 // scheduling delay cannot pollute the interval accounting.
 type NextRequest struct {
 	NowS float64 `json:"now_s"`
+	// TraceID/SpanID carry the distributed-trace context when this
+	// iteration was head-sampled by the client (0 = untraced, the
+	// overwhelmingly common case). SpanID is the client-side root span
+	// this hop's daemon spans parent to. Over v2 the pair rides a
+	// FlagTraced trailing extension instead of these fields.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // NextResponse carries the decision.
@@ -140,6 +147,10 @@ type DoneRequest struct {
 	EnergyJ   float64 `json:"energy_j"`
 	EnergyErr bool    `json:"energy_err,omitempty"`
 	Accuracy  float64 `json:"accuracy"`
+	// TraceID/SpanID carry the distributed-trace context for a
+	// head-sampled iteration (0 = untraced); see NextRequest.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // DoneResponse acknowledges the observation and reports the ledger.
