@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /usr/bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke obs-smoke clean
+.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke obs-smoke meter-smoke clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ lint:
 # The pre-merge gate: formatting + vet + the race-detector pass + the
 # full-size shard-churn race test + the daemon, fleet and hot-path smoke
 # tests + the coordinator-failover chaos run.
-check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster obs-smoke
+check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster obs-smoke meter-smoke
 
 test:
 	$(GO) test ./...
@@ -41,7 +41,7 @@ test-race:
 # plus the daemon, which shares sessions and the budget broker across
 # request handlers.
 race:
-	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/load/ .
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/load/ ./internal/measure/ .
 
 # The full-size (10k-session) shard-churn test under the race detector:
 # the concurrent registry/broker workload the sharded session map exists
@@ -99,6 +99,19 @@ obs-smoke:
 		-apps radar -platform Tablet -v2 -trace-every 8 -obs-check \
 		-kill-coordinator-at 240 -check 1.05 > /dev/null
 	@echo "obs-smoke passed: cross-node trace join + provenance conservation through coordinator failover"
+
+# Measurement smoke under the race detector: selfhost the daemon with
+# the calibrated simulated meter as the billed energy source (client
+# readings become physical stimulus) and seeded counter faults injected
+# into it. Asserts every tenant lands within 105% of its grant on
+# meter-attributed joules alone, and that the plausibility gate rejected
+# the injected faults without billing a corrupted sample. Calibration
+# and gate tallies are merged into BENCH_experiments.json.
+meter-smoke:
+	$(GO) run -race ./cmd/loadgen -tenants 8 -iters 200 -meter sim -meter-faults -check 1.05 \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	@echo "meter-smoke passed; calibration + gate tallies merged into BENCH_experiments.json"
 
 # Hot-path smoke: the v2 binary frame stream end to end. A closed-loop
 # pass pins correctness-under-batching (every tenant within 105% of its

@@ -55,11 +55,24 @@ func main() {
 }
 
 // health is the JSON /healthz body a coordinator with a role provider
-// serves.
+// serves. Meter is present only when the polled process runs a
+// measurement service (a daemon in -meter=sim/rapl mode).
 type health struct {
-	Role    string  `json:"role"`
-	Fence   int64   `json:"fence"`
-	UptimeS float64 `json:"uptime_seconds"`
+	Role    string     `json:"role"`
+	Fence   int64      `json:"fence"`
+	UptimeS float64    `json:"uptime_seconds"`
+	Meter   *meterInfo `json:"meter"`
+}
+
+// meterInfo mirrors telemetry.MeterInfo: active backend, last
+// calibration summary and the plausibility gate's running tallies.
+type meterInfo struct {
+	Backend      string  `json:"backend"`
+	BaselineW    float64 `json:"baseline_watts"`
+	CV           float64 `json:"calibration_cv"`
+	Trials       int     `json:"calibration_trials"`
+	GateRejected int     `json:"gate_rejected"`
+	Quarantined  bool    `json:"quarantined"`
 }
 
 // render builds one full screen from the coordinator's surfaces.
@@ -81,7 +94,16 @@ func render(httpc *http.Client, base string) (string, error) {
 	if h.UptimeS > 0 {
 		fmt.Fprintf(&b, ", up %s", (time.Duration(h.UptimeS) * time.Second).String())
 	}
-	fmt.Fprintf(&b, " — %s\n\n", time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, " — %s\n", time.Now().Format("15:04:05"))
+	if m := h.Meter; m != nil {
+		quarantine := ""
+		if m.Quarantined {
+			quarantine = "   METER QUARANTINED"
+		}
+		fmt.Fprintf(&b, "meter   %s backend   baseline %.2f W   calibration cv %.4f (%d trials)   gate rejected %d%s\n",
+			m.Backend, m.BaselineW, m.CV, m.Trials, m.GateRejected, quarantine)
+	}
+	b.WriteByte('\n')
 
 	fmt.Fprintf(&b, "fleet   budget %9.1f J   pool %9.1f J   reserve %8.1f J   leased %9.1f J   consumed %9.1f J\n",
 		info.FleetJ, info.PoolJ, info.ReserveJ, info.LeasedUnspentJ, info.ConsumedJ)

@@ -47,6 +47,9 @@ import (
 	"time"
 
 	"jouleguard/internal/cluster"
+	"jouleguard/internal/guard"
+	"jouleguard/internal/linuxsys"
+	"jouleguard/internal/measure"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
 )
@@ -67,6 +70,10 @@ func main() {
 	join := flag.String("join", "", "member: coordinator base URL(s) to join, comma-separated primary-first (enables fleet mode)")
 	node := flag.String("node", "", "member: stable node name (default the advertise address)")
 	advertise := flag.String("advertise", "", "member: base URL clients and the coordinator reach this daemon at (default http://<addr>)")
+	meterMode := flag.String("meter", "client", "energy source: client (wire-reported readings), sim (calibrated simulated meter; client reports become physical stimulus), rapl (Linux powercap; falls over to sim when unavailable)")
+	raplRoot := flag.String("rapl-root", "/sys/class/powercap", "powercap sysfs root for -meter=rapl")
+	meterIdle := flag.Float64("meter-idle", 2, "sim meter: idle baseline, watts")
+	meterModelW := flag.Float64("meter-model-power", 40, "measurement gate: expected full-load draw in watts; scales the absolute plausibility ceiling (16x)")
 	flag.Parse()
 
 	if *coordinator {
@@ -82,11 +89,20 @@ func main() {
 		budgetJ = cluster.MemberSeedBudgetJ
 	}
 	tel := telemetry.New(*flight)
+	msvc, stimulus, err := openMeter(tel, *meterMode, *raplRoot, *meterIdle, *meterModelW)
+	if err != nil {
+		fail(err)
+	}
+	if msvc != nil {
+		defer msvc.Stop()
+	}
 	srv, err := server.New(server.Config{
 		GlobalBudgetJ: budgetJ,
 		Reserve:       *reserve,
 		IdleTimeout:   *idle,
 		Telemetry:     tel,
+		Meter:         msvc,
+		MeterStimulus: stimulus,
 	})
 	if err != nil {
 		fail(err)
@@ -238,6 +254,106 @@ func runCoordinator(addr string, fleetJ float64, ttl time.Duration, flight int, 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+}
+
+// openMeter builds the daemon's measurement service for -meter (nil
+// for client mode: sessions debit wire-reported readings, the
+// pre-existing contract). The rapl backend fails over cleanly to the
+// simulator when powercap is missing or its counters cannot be
+// calibrated, so the same invocation works on any host.
+func openMeter(tel *telemetry.Telemetry, mode, raplRoot string, idleW, modelW float64) (*measure.Service, func(joules, durS float64), error) {
+	switch mode {
+	case "", "client":
+		return nil, nil, nil
+	case "sim":
+		return simMeter(tel, idleW, modelW)
+	case "rapl":
+		svc, err := raplMeter(tel, raplRoot, modelW)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meter: rapl backend unavailable (%v); failing over to the simulated meter\n", err)
+			return simMeter(tel, idleW, modelW)
+		}
+		return svc, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -meter mode %q (want client, sim or rapl)", mode)
+	}
+}
+
+// simMeter assembles the simulated backend: meter, calibration and
+// service all run on one virtual clock advanced by each settled
+// iteration's client-reported duration, so per-sample power lands at
+// the physical watt scale the gate judges. No sampling loop is started
+// — the clock only moves on stimulus, making sampling settle-driven
+// and deterministic.
+func simMeter(tel *telemetry.Telemetry, idleW, modelW float64) (*measure.Service, func(joules, durS float64), error) {
+	vc := measure.NewVirtualClock()
+	sim := measure.NewSimMeter(measure.SimConfig{IdleW: idleW, Seed: 1, Now: vc.Now})
+	cal, err := measure.Calibrate(sim, measure.CalibrationConfig{Sleep: vc.Sleep, Now: vc.Now})
+	if err != nil {
+		return nil, nil, err
+	}
+	// No ModelPower: rejected samples are debited at the accepted-window
+	// median, which tracks the fleet's governed operating point. A fixed
+	// model would over-debit every rejection once the governors have
+	// throttled the tenants below full draw; modelW only scales the
+	// absolute plausibility ceiling.
+	svc := measure.NewService(measure.ServiceConfig{
+		Meter:    sim,
+		Gate:     guard.Config{MaxPower: modelW * 16},
+		Baseline: cal,
+		Now:      vc.Now,
+		Tel:      tel,
+	})
+	installMeterHealth(tel, svc)
+	announceMeter(svc)
+	return svc, func(joules, durS float64) { sim.Deposit(joules); vc.Advance(durS) }, nil
+}
+
+// raplMeter assembles the hardware backend: the hardened powercap
+// reader, a real idle calibration (a few hundred ms at startup), host
+// busy-fraction attribution, and the hot sampling loop.
+func raplMeter(tel *telemetry.Telemetry, root string, modelW float64) (*measure.Service, error) {
+	m, err := measure.NewRAPLMeter(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := measure.Calibrate(m, measure.CalibrationConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("calibrating powercap counters: %w", err)
+	}
+	share := &linuxsys.CPUShare{}
+	svc := measure.NewService(measure.ServiceConfig{
+		Meter:    m,
+		Gate:     guard.Config{MaxPower: modelW * 16},
+		Baseline: cal,
+		CPUShare: share.Sample,
+		Tel:      tel,
+	})
+	svc.Start()
+	installMeterHealth(tel, svc)
+	announceMeter(svc)
+	return svc, nil
+}
+
+// installMeterHealth publishes the live meter summary on /healthz.
+func installMeterHealth(tel *telemetry.Telemetry, svc *measure.Service) {
+	tel.SetMeter(func() telemetry.MeterInfo {
+		st := svc.Status()
+		return telemetry.MeterInfo{
+			Backend:      st.Backend,
+			BaselineW:    st.BaselineW,
+			CV:           st.CalibrationCV,
+			Trials:       st.CalibrationTrials,
+			GateRejected: st.GateRejected,
+			Quarantined:  st.Quarantined,
+		}
+	})
+}
+
+func announceMeter(svc *measure.Service) {
+	st := svc.Status()
+	fmt.Printf("meter: %s backend, idle baseline %.2f W (calibration cv %.4f over %d trials)\n",
+		st.Backend, st.BaselineW, st.CalibrationCV, st.CalibrationTrials)
 }
 
 // newHTTPServer wraps a handler with the read-side limits every

@@ -28,6 +28,12 @@
 // saturation and reports sustained decisions/s; -inproc bypasses
 // sockets entirely and drives the exported Server.Next/Done decision
 // path directly, isolating the governor+session cost from transport.
+// -meter sim (selfhost only) swaps the billed energy source for a
+// calibrated simulated meter — tenants' wire readings become physical
+// stimulus, sessions are debited only what the measurement service
+// attributes — and -meter-faults injects counter spikes to prove the
+// plausibility gate rejects them without billing a single corrupted
+// joule.
 //
 // Latency results are printed to stdout in `go test -bench` format so
 // cmd/benchjson can fold them into BENCH_experiments.json; the
@@ -52,7 +58,10 @@ import (
 	"jouleguard"
 	"jouleguard/internal/client"
 	"jouleguard/internal/cluster"
+	"jouleguard/internal/faults"
+	"jouleguard/internal/guard"
 	"jouleguard/internal/load"
+	"jouleguard/internal/measure"
 	"jouleguard/internal/metrics"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
@@ -80,6 +89,8 @@ func main() {
 	v2 := flag.Bool("v2", false, "speak the v2 binary frame stream with the batched DoneNext loop (default: v1 JSON/HTTP)")
 	openLoop := flag.Duration("open-loop", 0, "run for this wall-clock window instead of to workload completion, measuring sustained decisions/s (sizes -iters up automatically)")
 	inproc := flag.Bool("inproc", false, "drive Server.Next/Done directly in-process (no sockets): the decision path alone")
+	meterMode := flag.String("meter", "client", "selfhost energy source: client (tenants' wire-reported readings are debited) or sim (a calibrated simulated meter measures; client reports become physical stimulus)")
+	meterFaults := flag.Bool("meter-faults", false, "with -meter sim: inject seeded counter faults into the meter and assert the plausibility gate rejects them")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -130,6 +141,19 @@ func main() {
 		cfg.Factor = *factor
 	}
 
+	switch *meterMode {
+	case "", "client":
+		if *meterFaults {
+			fail(fmt.Errorf("loadgen: -meter-faults requires -meter sim"))
+		}
+	case "sim":
+		if *addr != "" || *clusterMode || *inproc {
+			fail(fmt.Errorf("loadgen: -meter sim runs only against the selfhosted daemon (no -addr, -cluster or -inproc)"))
+		}
+	default:
+		fail(fmt.Errorf("loadgen: unknown -meter mode %q (want client or sim; rapl needs jouleguardd on real hardware)", *meterMode))
+	}
+
 	if *inproc {
 		runInproc(cfg, *budget, *check)
 		return
@@ -174,8 +198,27 @@ func main() {
 		if globalJ <= 0 {
 			globalJ = autoBudget(cfg)
 		}
+		var mo *meterOpts
+		if *meterMode == "sim" {
+			tb, err := jouleguard.NewTestbed(cfg.Apps[0], cfg.Platform)
+			if err != nil {
+				fail(err)
+			}
+			// Spikes tens of default-iterations tall: they land above the
+			// gate's absolute power ceiling at any governed operating
+			// point, so every injected one must be rejected as implausible
+			// (and its negative echo as the counter going backwards) —
+			// never confirmed as a level shift by a later lookalike spike.
+			mo = &meterOpts{
+				modelW: tb.DefaultPower,
+				spikeJ: 40 * tb.DefaultEnergy,
+				inject: *meterFaults,
+				seed:   *seed,
+			}
+			prefix = "Meter"
+		}
 		var err error
-		sh, err = startSelfhost(globalJ)
+		sh, err = startSelfhost(globalJ, mo)
 		if err != nil {
 			fail(err)
 		}
@@ -213,6 +256,11 @@ func main() {
 		}
 	}
 	if sh != nil {
+		if sh.rig != nil {
+			if err := sh.rig.report(); err != nil {
+				fail(err)
+			}
+		}
 		if err := sh.verifyBroker(rep); err != nil {
 			fail(err)
 		}
@@ -451,9 +499,10 @@ type selfhost struct {
 	globalJ float64
 	srv     *server.Server
 	httpSrv *http.Server
+	rig     *meterRig
 }
 
-func startSelfhost(globalJ float64) (*selfhost, error) {
+func startSelfhost(globalJ float64, mo *meterOpts) (*selfhost, error) {
 	dir, err := os.MkdirTemp("", "loadgen-snap-")
 	if err != nil {
 		return nil, err
@@ -463,7 +512,13 @@ func startSelfhost(globalJ float64) (*selfhost, error) {
 		tel:     telemetry.New(4096),
 		globalJ: globalJ,
 	}
-	srv, err := server.New(server.Config{GlobalBudgetJ: globalJ, Telemetry: sh.tel})
+	if mo != nil {
+		sh.rig, err = buildMeterRig(sh.tel, mo)
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv, err := server.New(sh.serverConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -475,6 +530,18 @@ func startSelfhost(globalJ float64) (*selfhost, error) {
 	sh.addr = ln.Addr().String()
 	sh.serve(ln)
 	return sh, nil
+}
+
+// serverConfig is the daemon configuration both the initial server and
+// every restart rebuild share; a meter rig survives restarts (real
+// hardware does not forget its counters when the daemon bounces).
+func (sh *selfhost) serverConfig() server.Config {
+	cfg := server.Config{GlobalBudgetJ: sh.globalJ, Telemetry: sh.tel}
+	if sh.rig != nil {
+		cfg.Meter = sh.rig.svc
+		cfg.MeterStimulus = sh.rig.stimulus
+	}
+	return cfg
 }
 
 func (sh *selfhost) baseURL() string { return "http://" + sh.addr }
@@ -510,7 +577,7 @@ func (sh *selfhost) restartWhen(n int) {
 	}
 	_ = sh.httpSrv.Close() // drop the listener; clients enter retry
 
-	srv, err := server.New(server.Config{GlobalBudgetJ: sh.globalJ, Telemetry: sh.tel})
+	srv, err := server.New(sh.serverConfig())
 	if err != nil {
 		fail(err)
 	}
@@ -576,6 +643,98 @@ func (sh *selfhost) stop() {
 	_ = sh.srv.Shutdown(ctx)
 	_ = sh.httpSrv.Close()
 	os.RemoveAll(filepath.Dir(sh.snap))
+}
+
+// meterOpts sizes the selfhosted measurement stack from the workload:
+// the gate's model power and the injected spike magnitude both scale
+// with the app so the faults are implausible at any governed setting.
+type meterOpts struct {
+	modelW float64 // gate fallback power (the app's default draw)
+	spikeJ float64 // additive counter-spike magnitude when inject is set
+	inject bool
+	seed   int64
+}
+
+// meterRig is the selfhosted daemon's measurement stack in -meter=sim
+// mode: a calibrated simulated meter on a virtual clock that the
+// stimulus path advances by each settled iteration's reported duration.
+// Wire iterations finish in microseconds of wall time but represent
+// seconds of modeled work; on the virtual timeline the meter sees
+// physically plausible watts, so the gate judges the injected faults —
+// not the load generator's speed.
+type meterRig struct {
+	vc     *measure.VirtualClock
+	sim    *measure.SimMeter
+	svc    *measure.Service
+	inject bool
+}
+
+func buildMeterRig(tel *telemetry.Telemetry, mo *meterOpts) (*meterRig, error) {
+	vc := measure.NewVirtualClock()
+	sim := measure.NewSimMeter(measure.SimConfig{IdleW: 2, Seed: mo.seed, Now: vc.Now})
+	cal, err := measure.Calibrate(sim, measure.CalibrationConfig{Sleep: vc.Sleep, Now: vc.Now})
+	if err != nil {
+		return nil, err
+	}
+	// No ModelPower: rejected samples are debited at the accepted-window
+	// median, which tracks the governed operating point. A fixed model
+	// at the app's default draw would over-debit every rejection ~2x
+	// once the governor has throttled the tenants below default.
+	svc := measure.NewService(measure.ServiceConfig{
+		Meter:    sim,
+		Gate:     guard.Config{MaxPower: mo.modelW * 16},
+		Baseline: cal,
+		Now:      vc.Now,
+		Tel:      tel,
+	})
+	r := &meterRig{vc: vc, sim: sim, svc: svc, inject: mo.inject}
+	if mo.inject {
+		// Rare additive counter spikes, installed after calibration so the
+		// baseline is honest. Each one must surface as a gate rejection
+		// (the spiked delta, then its negative echo) debited at the model
+		// estimate — never at the corrupted reading.
+		sim.SetFault(faults.NewSpike(0.03, 1, mo.spikeJ, mo.seed+99))
+	}
+	fmt.Fprintf(os.Stderr, "meter: %s backend, idle baseline %.2f W (calibration cv %.4f over %d trials)\n",
+		cal.Backend, cal.BaselineW, cal.CV, cal.Trials)
+	return r, nil
+}
+
+// stimulus is the server's MeterStimulus hook: the client's reported
+// per-iteration energy becomes physical work in the fake counter, and
+// the virtual clock advances by the iteration's reported duration.
+func (r *meterRig) stimulus(joules, durS float64) {
+	r.sim.Deposit(joules)
+	r.vc.Advance(durS)
+}
+
+// report prints the measurement service's post-run status, asserts the
+// run's meter invariants, and emits the calibration and gate tallies as
+// bench lines for BENCH_experiments.json.
+func (r *meterRig) report() error {
+	st := r.svc.Status()
+	quarantined := ""
+	if st.Quarantined {
+		quarantined = " QUARANTINED"
+	}
+	fmt.Fprintf(os.Stderr, "meter ledger: %d samples, gate %d accepted / %d rejected, %d quarantines%s, "+
+		"trusted %.1f J (raw %.1f J), attributed %.1f J, unattributed %.1f J\n",
+		st.Samples, st.GateAccepted, st.GateRejected, st.Quarantines, quarantined,
+		st.TrustedJ, st.RawJ, st.AttributedJ, st.UnattributedJ)
+	if st.OpenWindows != 0 {
+		return fmt.Errorf("loadgen: %d attribution windows left open after the run", st.OpenWindows)
+	}
+	if r.inject && st.GateRejected == 0 {
+		return fmt.Errorf("loadgen: counter faults were injected but the plausibility gate rejected nothing")
+	}
+	if !r.inject && st.Quarantined {
+		return fmt.Errorf("loadgen: meter quarantined with no faults injected")
+	}
+	fmt.Printf("BenchmarkMeterCalibrationTrials\t1\t%d trials\n", st.CalibrationTrials)
+	fmt.Printf("BenchmarkMeterCalibrationBaseline\t1\t%.1f mW\n", st.BaselineW*1000)
+	fmt.Printf("BenchmarkMeterCalibrationCV\t1\t%.1f ppm\n", st.CalibrationCV*1e6)
+	fmt.Printf("BenchmarkMeterGateRejected\t%d\t%d rejects\n", st.Samples, st.GateRejected)
+	return nil
 }
 
 // selfcluster runs a fleet coordinator plus N member daemons in-process,

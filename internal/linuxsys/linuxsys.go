@@ -209,6 +209,31 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// Do runs op under the policy's capped exponential backoff: transient
+// failures are retried until MaxAttempts, with the delay doubling from
+// BaseDelay up to MaxDelay. It is the shared retry primitive behind
+// actuation (ApplyWithRetry) and the RAPL counter reads in
+// internal/sensors — sysfs reads and writes both fail transiently on
+// real hosts, and both paths must survive that without losing a control
+// period or a sample. The returned error is the last attempt's.
+func (p RetryPolicy) Do(op func() error) (attempts int, err error) {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	for attempts = 1; ; attempts++ {
+		if err = op(); err == nil {
+			return attempts, nil
+		}
+		if attempts >= p.MaxAttempts {
+			return attempts, fmt.Errorf("linuxsys: giving up after %d attempts: %w", attempts, err)
+		}
+		p.Sleep(delay)
+		delay *= 2
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
 // ApplyWithRetry actuates configuration index i, retrying transient
 // failures per the policy. An out-of-range index is permanent and fails
 // immediately — retrying a bug wastes the control period. The returned
@@ -217,19 +242,5 @@ func (a *Actuator) ApplyWithRetry(i int, policy RetryPolicy) (attempts int, err 
 	if i < 0 || i >= a.topo.NumConfigs() {
 		return 0, fmt.Errorf("linuxsys: config %d out of range [0,%d)", i, a.topo.NumConfigs())
 	}
-	policy = policy.withDefaults()
-	delay := policy.BaseDelay
-	for attempts = 1; ; attempts++ {
-		if err = a.Apply(i); err == nil {
-			return attempts, nil
-		}
-		if attempts >= policy.MaxAttempts {
-			return attempts, fmt.Errorf("linuxsys: giving up after %d attempts: %w", attempts, err)
-		}
-		policy.Sleep(delay)
-		delay *= 2
-		if delay > policy.MaxDelay {
-			delay = policy.MaxDelay
-		}
-	}
+	return policy.Do(func() error { return a.Apply(i) })
 }

@@ -1,0 +1,123 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CalibrationConfig tunes idle-baseline estimation. The zero value
+// selects the defaults.
+type CalibrationConfig struct {
+	MinTrials int           // trials before early stop is considered (default 3)
+	MaxTrials int           // hard trial cap (default 8)
+	TrialDur  time.Duration // idle window per trial (default 50ms)
+	// TargetCV is the coefficient of variation (stddev/mean) across
+	// trials below which the baseline is declared stable and trials stop
+	// early (default 0.05) — the JouleTrace shape: repeat until the
+	// idle measurement is reproducible, not a fixed count.
+	TargetCV float64
+	Sleep    func(time.Duration) // injectable for tests (default time.Sleep)
+	Now      func() time.Time    // injectable clock (default time.Now)
+}
+
+func (c CalibrationConfig) withDefaults() CalibrationConfig {
+	if c.MinTrials <= 0 {
+		c.MinTrials = 3
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 8
+	}
+	if c.MaxTrials < c.MinTrials {
+		c.MaxTrials = c.MinTrials
+	}
+	if c.TrialDur <= 0 {
+		c.TrialDur = 50 * time.Millisecond
+	}
+	if c.TargetCV <= 0 {
+		c.TargetCV = 0.05
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Calibration is the result of an idle-baseline estimation run: what
+// the Service subtracts from every sample before attribution, plus the
+// provenance (/healthz, flight recorder) of how it was obtained.
+type Calibration struct {
+	Backend      string    `json:"backend"`
+	BaselineW    float64   `json:"baseline_watts"`
+	CV           float64   `json:"cv"`
+	Trials       int       `json:"trials"`
+	EarlyStopped bool      `json:"early_stopped"`
+	TrialW       []float64 `json:"trial_watts,omitempty"`
+}
+
+// Calibrate measures the meter's idle baseline: repeated idle trials,
+// each a (read, sleep, read) bracket, stopping early once the trial set
+// is reproducible (CV at or below target after MinTrials). Run it while
+// the host is quiescent — before the daemon admits sessions — or the
+// baseline will swallow real work. A read error is terminal: a counter
+// that cannot survive an idle calibration has no business backing
+// budgets.
+func Calibrate(m Meter, cfg CalibrationConfig) (Calibration, error) {
+	cfg = cfg.withDefaults()
+	cal := Calibration{Backend: m.Name()}
+	prevJ, err := m.ReadJoules()
+	if err != nil {
+		return cal, fmt.Errorf("measure: calibration priming read: %w", err)
+	}
+	for i := 0; i < cfg.MaxTrials; i++ {
+		t0 := cfg.Now()
+		cfg.Sleep(cfg.TrialDur)
+		dt := cfg.Now().Sub(t0).Seconds()
+		j, err := m.ReadJoules()
+		if err != nil {
+			return cal, fmt.Errorf("measure: calibration trial %d read: %w", i+1, err)
+		}
+		if dt <= 0 {
+			return cal, fmt.Errorf("measure: calibration trial %d: clock did not advance", i+1)
+		}
+		w := (j - prevJ) / dt
+		prevJ = j
+		if w < 0 {
+			// A wrap mis-read at idle; count the trial as zero draw
+			// rather than letting it drag the mean negative.
+			w = 0
+		}
+		cal.TrialW = append(cal.TrialW, w)
+		cal.Trials = len(cal.TrialW)
+		cal.BaselineW, cal.CV = meanCV(cal.TrialW)
+		if cal.Trials >= cfg.MinTrials && cal.CV <= cfg.TargetCV {
+			cal.EarlyStopped = cal.Trials < cfg.MaxTrials
+			break
+		}
+	}
+	return cal, nil
+}
+
+// meanCV returns the mean and coefficient of variation (population
+// stddev over mean; 0 when the mean is 0).
+func meanCV(xs []float64) (mean, cv float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(len(xs))) / math.Abs(mean)
+}

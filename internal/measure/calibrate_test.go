@@ -1,0 +1,104 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked time source shared by meters, calibration
+// and the service so tests are deterministic.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func (c *fakeClock) sleep(d time.Duration)   { c.advance(d) }
+
+func simForCal(clk *fakeClock, idleW, noiseW float64, seed int64) *SimMeter {
+	return NewSimMeter(SimConfig{IdleW: idleW, NoiseW: noiseW, Seed: seed, Now: clk.now})
+}
+
+func calCfg(clk *fakeClock) CalibrationConfig {
+	return CalibrationConfig{
+		TrialDur: 100 * time.Millisecond,
+		Sleep:    clk.sleep,
+		Now:      clk.now,
+	}
+}
+
+func TestCalibrateEarlyStop(t *testing.T) {
+	clk := newFakeClock()
+	m := simForCal(clk, 2.0, 0.02, 7) // 1% relative noise: stable fast
+	cal, err := Calibrate(m, calCfg(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.EarlyStopped {
+		t.Fatalf("low-noise calibration should early-stop: %+v", cal)
+	}
+	if cal.Trials != 3 { // default MinTrials
+		t.Fatalf("trials = %d, want early stop at MinTrials=3", cal.Trials)
+	}
+	if math.Abs(cal.BaselineW-2.0) > 0.1 {
+		t.Fatalf("baseline = %v, want ~2.0", cal.BaselineW)
+	}
+	if cal.CV > 0.05 {
+		t.Fatalf("CV = %v, want <= 0.05 at early stop", cal.CV)
+	}
+	if cal.Backend != "sim" {
+		t.Fatalf("backend = %q", cal.Backend)
+	}
+}
+
+func TestCalibrateNoisyRunsToMaxTrials(t *testing.T) {
+	clk := newFakeClock()
+	m := simForCal(clk, 2.0, 1.5, 3) // 75% relative noise: never stable
+	cal, err := Calibrate(m, calCfg(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.EarlyStopped {
+		t.Fatalf("noisy calibration must not early-stop: %+v", cal)
+	}
+	if cal.Trials != 8 { // default MaxTrials
+		t.Fatalf("trials = %d, want MaxTrials=8", cal.Trials)
+	}
+}
+
+// Golden: under a seeded noise model, two calibrations are trial-for-
+// trial identical — the CV early-stop is a pure function of the seed.
+func TestCalibrateDeterminism(t *testing.T) {
+	run := func() Calibration {
+		clk := newFakeClock()
+		m := simForCal(clk, 3.0, 0.4, 99)
+		cal, err := Calibrate(m, calCfg(clk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cal
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded calibration not deterministic:\n a=%+v\n b=%+v", a, b)
+	}
+	if len(a.TrialW) != a.Trials {
+		t.Fatalf("TrialW length %d != Trials %d", len(a.TrialW), a.Trials)
+	}
+}
+
+type errMeter struct{}
+
+func (errMeter) Name() string                 { return "err" }
+func (errMeter) ReadJoules() (float64, error) { return 0, errors.New("dead counter") }
+
+func TestCalibrateReadErrorIsTerminal(t *testing.T) {
+	clk := newFakeClock()
+	if _, err := Calibrate(errMeter{}, calCfg(clk)); err == nil {
+		t.Fatal("calibration over a dead counter must fail")
+	}
+}

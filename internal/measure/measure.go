@@ -1,0 +1,49 @@
+// Package measure is JouleGuard's energy-measurement subsystem: it
+// turns raw cumulative-energy counters into trusted, budget-grade
+// joules. The paper reads RAPL MSRs and treats measured energy as
+// ground truth (Sec. 4.2); production counters do not deserve that
+// trust — powercap reads fail transiently, counters wrap, wedge and
+// spike — so this package puts a calibration layer and a correctness
+// gate between the counter and the budget ledger.
+//
+// The pipeline has three stages:
+//
+//  1. A Meter backend produces cumulative joules: RAPLMeter over the
+//     hardened powercap reader on real Linux hosts, SimMeter over the
+//     internal/sensors models everywhere else (CI included).
+//  2. Calibrate estimates the idle baseline with repeated trials and a
+//     CV-targeted early stop; the Service subtracts that baseline so
+//     sessions are charged for the power their work added, not for the
+//     host existing.
+//  3. The Service samples the meter on a hot loop with monotonic
+//     timestamps, rules on every per-sample power through the
+//     internal/guard gate (spike / stuck / negative-delta verdicts
+//     with quarantine-then-recover), and splits the trusted residual
+//     energy across open attribution windows — one per in-flight
+//     session iteration — by weight and host CPU-time share.
+//
+// An implausible sample is rejected, counted, and never debited: the
+// gate substitutes its model estimate, so a 3x counter spike costs the
+// tenants nothing and a frozen counter cannot make energy free.
+package measure
+
+import "errors"
+
+// Meter is one energy-measurement backend: a monotone cumulative-joule
+// counter starting near zero at construction. Implementations need not
+// be safe for concurrent use — the Service serializes all reads on its
+// sampling loop (calibration runs before the loop starts).
+type Meter interface {
+	// Name identifies the backend ("rapl", "sim") for telemetry and
+	// /healthz.
+	Name() string
+	// ReadJoules returns cumulative energy since construction. An error
+	// means this read is lost (transient counter failure); the caller
+	// decides whether the stream is dead.
+	ReadJoules() (float64, error)
+}
+
+// ErrReadingDropped is the error a simulated backend returns when an
+// injected fault drops a read — the file-level analogue is a failed
+// sysfs read.
+var ErrReadingDropped = errors.New("measure: energy reading dropped")

@@ -1,0 +1,60 @@
+package measure
+
+import (
+	"time"
+
+	"jouleguard/internal/sensors"
+)
+
+// RAPLMeter is the real-hardware backend: the hardened powercap reader
+// (wrap-around-safe multi-zone sampling, transient-read retry, loud
+// failure when the zone set changes) fed monotonic timestamps. Go's
+// time.Since uses the monotonic clock reading embedded in the anchor,
+// so NTP steps cannot tear a sampling window.
+type RAPLMeter struct {
+	rd    *sensors.LinuxRAPLReader
+	start time.Time
+}
+
+// NewRAPLMeter opens the powercap interface under root ("" = the live
+// /sys/class/powercap). It fails cleanly when the interface is absent —
+// callers fall back to the simulator.
+func NewRAPLMeter(root string, fixedW float64) (*RAPLMeter, error) {
+	rd, err := sensors.NewLinuxRAPLReader(root, fixedW)
+	if err != nil {
+		return nil, err
+	}
+	return &RAPLMeter{rd: rd, start: time.Now()}, nil
+}
+
+// Name implements Meter.
+func (m *RAPLMeter) Name() string { return "rapl" }
+
+// Zones returns the RAPL package-domain count (for startup logging).
+func (m *RAPLMeter) Zones() int { return m.rd.Zones() }
+
+// ReadJoules implements Meter.
+func (m *RAPLMeter) ReadJoules() (float64, error) {
+	return m.rd.ReadEnergyAt(time.Since(m.start).Seconds())
+}
+
+// OpenBackend resolves a -meter flag value to a constructed meter.
+// "rapl" tries the powercap interface first and falls back to the
+// simulator when it is unavailable (non-Linux, containers, unprivileged
+// hosts) — fellBack reports that so the daemon can log it and /healthz
+// can show the backend that actually runs. "sim" is the simulator
+// directly. Anything else is nil (client-supplied readings).
+func OpenBackend(name, raplRoot string, fixedW float64, sim SimConfig) (m Meter, fellBack bool, err error) {
+	switch name {
+	case "rapl":
+		r, rerr := NewRAPLMeter(raplRoot, fixedW)
+		if rerr != nil {
+			return NewSimMeter(sim), true, rerr
+		}
+		return r, false, nil
+	case "sim":
+		return NewSimMeter(sim), false, nil
+	default:
+		return nil, false, nil
+	}
+}

@@ -1,0 +1,388 @@
+package measure
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"jouleguard/internal/guard"
+	"jouleguard/internal/telemetry"
+)
+
+// ServiceConfig tunes the measurement service. Meter is required; the
+// zero value of everything else selects the defaults.
+type ServiceConfig struct {
+	Meter        Meter
+	SamplePeriod time.Duration // hot-loop tick (default 10ms)
+	// Gate configures the per-sample plausibility gate (guard.Config
+	// semantics; ModelPower is the fallback power substituted for
+	// rejected samples).
+	Gate guard.Config
+	// Baseline is the idle calibration subtracted before attribution
+	// (zero value = no subtraction).
+	Baseline Calibration
+	// QuarantineAfter is the consecutive-reject streak that marks the
+	// meter quarantined (default 5). A quarantined meter keeps sampling
+	// — every interval is debited at the model estimate — and recovers
+	// on the first accepted sample.
+	QuarantineAfter int
+	// CPUShare, when set, scales each sample's attributable power by
+	// the host's busy fraction over the sampling interval (see
+	// linuxsys.CPUShare). Nil attributes the whole above-baseline
+	// residual — correct for the simulator, where deposits are exactly
+	// the sessions' work.
+	CPUShare func() float64
+	// MinPowerW is the low-side plausibility floor (default: half the
+	// calibrated baseline). A calibrated host can never draw less than
+	// its idle baseline, so a sample below the floor means the counter
+	// is under-reporting — the signature of a frozen counter, whose
+	// delta of exactly zero the median gate alone would eventually
+	// accept as a legitimate level shift. Samples under the floor are
+	// rejected and debited at the estimate, like any other implausible
+	// reading. Set negative to disable (a baseline-free run).
+	MinPowerW float64
+	Now       func() time.Time     // injectable clock (default time.Now)
+	Tel       *telemetry.Telemetry // optional: meter metrics + calibration record
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 10 * time.Millisecond
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 5
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.MinPowerW == 0 {
+		c.MinPowerW = c.Baseline.BaselineW / 2
+	}
+	return c
+}
+
+// Status is one self-describing snapshot of the measurement pipeline —
+// what /healthz and jgtop report.
+type Status struct {
+	Backend           string  `json:"backend"`
+	BaselineW         float64 `json:"baseline_watts"`
+	CalibrationCV     float64 `json:"calibration_cv"`
+	CalibrationTrials int     `json:"calibration_trials"`
+	EarlyStopped      bool    `json:"calibration_early_stopped"`
+	Samples           uint64  `json:"samples"`
+	GateAccepted      int     `json:"gate_accepted"`
+	GateRejected      int     `json:"gate_rejected"`
+	ReadErrors        uint64  `json:"read_errors"`
+	LowPowerRejects   uint64  `json:"low_power_rejects"`
+	Quarantined       bool    `json:"quarantined"`
+	Quarantines       uint64  `json:"quarantines"`
+	TrustedJ          float64 `json:"trusted_joules"`
+	RawJ              float64 `json:"raw_joules"`
+	AttributedJ       float64 `json:"attributed_joules"`
+	UnattributedJ     float64 `json:"unattributed_joules"`
+	OpenWindows       int     `json:"open_windows"`
+	LastPowerW        float64 `json:"last_power_watts"`
+}
+
+// window is one open attribution bracket: a session iteration between
+// Next and Done, accruing its weight-share of every sample's
+// attributable energy.
+type window struct {
+	weight  float64
+	accrued float64
+}
+
+// Service runs the measurement pipeline: a sampling loop over one Meter,
+// the guard gate ruling on every per-sample power, baseline subtraction,
+// and weight-shared attribution into open windows. All methods are safe
+// for concurrent use; the Meter itself is only ever read under the
+// service lock.
+type Service struct {
+	cfg ServiceConfig
+
+	mu          sync.Mutex
+	gate        *guard.Sensor
+	lastJ       float64
+	haveJ       bool
+	lastT       time.Time
+	haveT       bool
+	windows     map[string]*window
+	wsum        float64
+	nSamples    uint64
+	readErrs    uint64
+	lowPower    uint64
+	rawJ        float64
+	attribJ     float64
+	orphanJ     float64
+	lastW       float64
+	quarantined bool
+	quarantines uint64
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	m meterMetrics
+}
+
+// meterMetrics are the registry instruments; all nil when no Telemetry
+// was configured (checked at the single update site).
+type meterMetrics struct {
+	samples     *telemetry.Counter
+	accepted    *telemetry.Counter
+	rejected    *telemetry.Counter
+	readErrs    *telemetry.Counter
+	quarantines *telemetry.Counter
+	baselineW   *telemetry.Gauge
+	powerW      *telemetry.Gauge
+	trustedJ    *telemetry.Gauge
+	attribJ     *telemetry.Gauge
+	quarGauge   *telemetry.Gauge
+}
+
+// NewService builds the pipeline. The gate's fallback (Gate.ModelPower)
+// should be a sane expected draw; rejected intervals are debited at that
+// estimate instead of the implausible reading. When telemetry is
+// configured the calibration is also filed in the flight recorder, so a
+// recorded run carries its measurement provenance.
+func NewService(cfg ServiceConfig) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		gate:    guard.New(cfg.Gate),
+		windows: make(map[string]*window),
+	}
+	if tel := cfg.Tel; tel != nil {
+		r := tel.Registry
+		s.m = meterMetrics{
+			samples:     r.Counter("jouleguard_meter_samples_total", "Meter samples taken by the measurement service."),
+			accepted:    r.Counter("jouleguard_meter_gate_total", "Measurement-gate rulings.", telemetry.Label{Name: "verdict", Value: "accepted"}),
+			rejected:    r.Counter("jouleguard_meter_gate_total", "Measurement-gate rulings.", telemetry.Label{Name: "verdict", Value: "rejected"}),
+			readErrs:    r.Counter("jouleguard_meter_read_errors_total", "Meter reads that failed after retries."),
+			quarantines: r.Counter("jouleguard_meter_quarantines_total", "Times the meter entered quarantine."),
+			baselineW:   r.Gauge("jouleguard_meter_baseline_watts", "Calibrated idle baseline subtracted before attribution."),
+			powerW:      r.Gauge("jouleguard_meter_power_watts", "Power acted on for the latest sample (post-gate)."),
+			trustedJ:    r.Gauge("jouleguard_meter_trusted_joules", "Gate-cleaned cumulative energy ledger."),
+			attribJ:     r.Gauge("jouleguard_meter_attributed_joules", "Energy attributed to session windows."),
+			quarGauge:   r.Gauge("jouleguard_meter_quarantined", "1 while the meter is quarantined."),
+		}
+		s.m.baselineW.Set(cfg.Baseline.BaselineW)
+		tel.RecordCalibration(cfg.Meter.Name(), cfg.Baseline.BaselineW, cfg.Baseline.CV,
+			cfg.Baseline.Trials, cfg.Baseline.EarlyStopped)
+	}
+	return s
+}
+
+// Start launches the sampling loop. Stop() joins it.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopCh != nil {
+		return
+	}
+	s.stopCh = make(chan struct{})
+	s.doneCh = make(chan struct{})
+	go s.loop(s.stopCh, s.doneCh)
+}
+
+// Stop terminates the sampling loop and waits for it.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	stop, done := s.stopCh, s.doneCh
+	s.stopCh, s.doneCh = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (s *Service) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.cfg.SamplePeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// Sample takes one measurement step: read the meter, rule on the
+// interval's power, integrate the trusted ledger, attribute. Exported so
+// the Done path can force a synchronous sample before closing a window
+// (freshness) and so tests can drive the pipeline deterministically.
+func (s *Service) Sample() {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.cfg.Meter.ReadJoules()
+	if !s.haveT {
+		s.lastT, s.haveT = now, true
+		if err == nil {
+			s.lastJ, s.haveJ = j, true
+		}
+		return
+	}
+	dt := now.Sub(s.lastT).Seconds()
+	if dt <= 0 {
+		return // same tick (a forced sample raced the loop); nothing to rule on
+	}
+	s.lastT = now
+	s.nSamples++
+	if s.m.samples != nil {
+		s.m.samples.Inc()
+	}
+
+	var v guard.Verdict
+	switch {
+	case err != nil:
+		// Lost read: the interval is charged at the model estimate via
+		// the gate's Missing path, and the cumulative anchor is dropped
+		// so the next good read re-primes instead of spanning the gap.
+		s.readErrs++
+		if s.m.readErrs != nil {
+			s.m.readErrs.Inc()
+		}
+		s.haveJ = false
+		v = s.gate.Missing(dt)
+	case !s.haveJ:
+		// Re-priming after an outage: this interval has only one good
+		// endpoint, so it too is charged at the estimate.
+		s.lastJ, s.haveJ = j, true
+		v = s.gate.Missing(dt)
+	default:
+		delta := j - s.lastJ
+		s.lastJ = j
+		s.rawJ += delta
+		power := delta / dt
+		if power >= 0 && s.cfg.MinPowerW > 0 && power < s.cfg.MinPowerW {
+			// Below the calibrated floor: a frozen or under-reporting
+			// counter, not free energy. Debit the estimate.
+			s.lowPower++
+			v = s.gate.Missing(dt)
+		} else {
+			v = s.gate.Observe(power, dt)
+		}
+	}
+
+	if v.Accepted {
+		s.quarantined = false
+	} else if !s.quarantined && s.gate.ConsecutiveRejects() >= s.cfg.QuarantineAfter {
+		s.quarantined = true
+		s.quarantines++
+		if s.m.quarantines != nil {
+			s.m.quarantines.Inc()
+		}
+	}
+	s.lastW = v.Power
+
+	// Attribution: the above-baseline share of the trusted power,
+	// optionally scaled by the host's busy fraction, split across open
+	// windows by weight. With no window open the residual is orphaned
+	// (counted, not billed) — idle hosts burn joules nobody asked for.
+	attW := v.Power - s.cfg.Baseline.BaselineW
+	if attW < 0 || math.IsNaN(attW) {
+		attW = 0
+	}
+	if s.cfg.CPUShare != nil {
+		attW *= s.cfg.CPUShare()
+	}
+	if attJ := attW * dt; attJ > 0 {
+		if s.wsum > 0 {
+			for _, w := range s.windows {
+				w.accrued += attJ * w.weight / s.wsum
+			}
+			s.attribJ += attJ
+		} else {
+			s.orphanJ += attJ
+		}
+	}
+
+	if s.m.samples != nil {
+		if v.Accepted {
+			s.m.accepted.Inc()
+		} else {
+			s.m.rejected.Inc()
+		}
+		s.m.powerW.Set(v.Power)
+		s.m.trustedJ.Set(s.gate.Energy())
+		s.m.attribJ.Set(s.attribJ)
+		s.m.quarGauge.SetBool(s.quarantined)
+	}
+}
+
+// OpenWindow opens an attribution bracket for id with the given weight
+// (a session's expected draw; anything non-positive counts as 1).
+// Reopening an id resets its accrual.
+func (s *Service) OpenWindow(id string, weight float64) {
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.windows[id]; ok {
+		s.wsum -= old.weight
+	}
+	s.windows[id] = &window{weight: weight}
+	s.wsum += weight
+}
+
+// CloseWindow closes id's bracket and returns the joules attributed to
+// it. ok is false when no such window is open (already closed, or a
+// session torn down before its first Next).
+func (s *Service) CloseWindow(id string) (joules float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, found := s.windows[id]
+	if !found {
+		return 0, false
+	}
+	delete(s.windows, id)
+	s.wsum -= w.weight
+	if s.wsum < 1e-12 {
+		s.wsum = 0
+	}
+	return w.accrued, true
+}
+
+// SetModelPower updates the gate's fallback estimate as the fleet's
+// expected draw changes (sessions arriving and leaving).
+func (s *Service) SetModelPower(w float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate.SetModelPower(w)
+}
+
+// Backend names the meter behind the service.
+func (s *Service) Backend() string { return s.cfg.Meter.Name() }
+
+// Status snapshots the pipeline.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc, rej := s.gate.Counts()
+	return Status{
+		Backend:           s.cfg.Meter.Name(),
+		BaselineW:         s.cfg.Baseline.BaselineW,
+		CalibrationCV:     s.cfg.Baseline.CV,
+		CalibrationTrials: s.cfg.Baseline.Trials,
+		EarlyStopped:      s.cfg.Baseline.EarlyStopped,
+		Samples:           s.nSamples,
+		GateAccepted:      acc,
+		GateRejected:      rej,
+		ReadErrors:        s.readErrs,
+		LowPowerRejects:   s.lowPower,
+		Quarantined:       s.quarantined,
+		Quarantines:       s.quarantines,
+		TrustedJ:          s.gate.Energy(),
+		RawJ:              s.rawJ,
+		AttributedJ:       s.attribJ,
+		UnattributedJ:     s.orphanJ,
+		OpenWindows:       len(s.windows),
+		LastPowerW:        s.lastW,
+	}
+}

@@ -1,0 +1,274 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jouleguard/internal/faults"
+	"jouleguard/internal/guard"
+)
+
+// rig is a deterministic pipeline: fake clock, sim meter, calibrated
+// service. step() is one 10ms sampling interval carrying the given work
+// deposit.
+type rig struct {
+	clk *fakeClock
+	m   *SimMeter
+	svc *Service
+}
+
+func newRig(t *testing.T, gateCfg guard.Config) *rig {
+	t.Helper()
+	clk := newFakeClock()
+	m := NewSimMeter(SimConfig{IdleW: 2, NoiseW: 1e-6, Seed: 11, Now: clk.now})
+	cal, err := Calibrate(m, calCfg(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.BaselineW-2) > 0.01 {
+		t.Fatalf("baseline = %v, want ~2", cal.BaselineW)
+	}
+	svc := NewService(ServiceConfig{
+		Meter:    m,
+		Gate:     gateCfg,
+		Baseline: cal,
+		Now:      clk.now,
+	})
+	svc.Sample() // prime the anchor
+	return &rig{clk: clk, m: m, svc: svc}
+}
+
+func (r *rig) step(workJ float64) {
+	r.clk.advance(10 * time.Millisecond)
+	if workJ > 0 {
+		r.m.Deposit(workJ)
+	}
+	r.svc.Sample()
+}
+
+func TestServiceAttributionSplit(t *testing.T) {
+	r := newRig(t, guard.Config{ModelPower: 30, MaxPower: 1000})
+	r.svc.OpenWindow("a", 2)
+	r.svc.OpenWindow("b", 1)
+	for i := 0; i < 100; i++ {
+		r.step(0.3) // 30 W of work above the 2 W idle
+	}
+	aJ, ok := r.svc.CloseWindow("a")
+	if !ok {
+		t.Fatal("window a vanished")
+	}
+	bJ, ok := r.svc.CloseWindow("b")
+	if !ok {
+		t.Fatal("window b vanished")
+	}
+	// 30 J of work over 1 s; baseline subtraction strips the idle share.
+	total := aJ + bJ
+	if math.Abs(total-30) > 1.5 {
+		t.Fatalf("attributed total = %v, want ~30", total)
+	}
+	if ratio := aJ / bJ; math.Abs(ratio-2) > 0.05 {
+		t.Fatalf("split a/b = %v, want weight ratio 2", ratio)
+	}
+	st := r.svc.Status()
+	if st.GateRejected != 0 {
+		t.Fatalf("clean run rejected %d samples", st.GateRejected)
+	}
+	if math.Abs(st.AttributedJ-total) > 1e-9 {
+		t.Fatalf("ledger attributed %v != window sum %v", st.AttributedJ, total)
+	}
+	if st.OpenWindows != 0 {
+		t.Fatalf("windows left open: %d", st.OpenWindows)
+	}
+}
+
+// The core guarantee: an injected spike is rejected, counted, and never
+// debited — the window is charged the model estimate for the poisoned
+// intervals, not the spike.
+func TestServiceSpikeRejectedNeverDebited(t *testing.T) {
+	r := newRig(t, guard.Config{ModelPower: 32, MaxPower: 500})
+	r.svc.OpenWindow("s", 1)
+	trueWork := 0.0
+	for i := 0; i < 30; i++ { // warm the gate window
+		r.step(0.3)
+		trueWork += 0.3
+	}
+	// One spiked read: cumulative triples for a single sample.
+	r.m.SetFault(faults.NewSpike(1.0, 3, 0, 5))
+	r.step(0.3)
+	trueWork += 0.3
+	r.m.SetFault(nil)
+	for i := 0; i < 30; i++ {
+		r.step(0.3)
+		trueWork += 0.3
+	}
+	got, _ := r.svc.CloseWindow("s")
+	st := r.svc.Status()
+	if st.GateRejected < 2 { // the spike, then the negative-delta echo
+		t.Fatalf("rejected = %d, want >= 2 (spike + negative echo)", st.GateRejected)
+	}
+	// The spike inflated the raw stream by ~2x the cumulative total; the
+	// debited energy must stay at the true scale.
+	if got > trueWork*1.15 {
+		t.Fatalf("debited %v J for %v J of true work — spike was billed", got, trueWork)
+	}
+	if got < trueWork*0.8 {
+		t.Fatalf("debited %v J for %v J of true work — over-rejected", got, trueWork)
+	}
+	if st.Quarantined {
+		t.Fatal("two isolated rejects must not quarantine")
+	}
+}
+
+// A frozen counter (delta exactly zero while the host idles above its
+// calibrated baseline) is caught by the low-power floor, quarantined
+// after the configured streak, and recovers on the first live sample.
+func TestServiceStuckCounterQuarantineThenRecover(t *testing.T) {
+	r := newRig(t, guard.Config{ModelPower: 32, MaxPower: 10000})
+	r.svc.OpenWindow("q", 1)
+	for i := 0; i < 20; i++ {
+		r.step(0.3)
+	}
+	// Freeze the counter: every read repeats the last value.
+	r.m.SetFault(faults.NewStuck(1, 1))
+	for i := 0; i < 10; i++ {
+		r.step(0.3) // work continues, the counter does not
+	}
+	st := r.svc.Status()
+	if !st.Quarantined || st.Quarantines != 1 {
+		t.Fatalf("after 10 frozen samples: quarantined=%v count=%d, want true/1", st.Quarantined, st.Quarantines)
+	}
+	if st.LowPowerRejects == 0 {
+		t.Fatal("frozen counter should trip the low-power floor")
+	}
+	// Thaw. The catch-up delta is implausibly large (rejected), then the
+	// stream is live again and quarantine lifts.
+	r.m.SetFault(nil)
+	for i := 0; i < 5; i++ {
+		r.step(0.3)
+	}
+	st = r.svc.Status()
+	if st.Quarantined {
+		t.Fatal("quarantine must lift once samples are accepted again")
+	}
+	// The frozen stretch was debited at the estimate — energy never
+	// became free.
+	got, _ := r.svc.CloseWindow("q")
+	if got < 0.3*30 { // 35 work steps happened; demand at least ~30's worth
+		t.Fatalf("frozen stretch under-debited: %v J", got)
+	}
+}
+
+func TestServiceReadErrorsReprime(t *testing.T) {
+	r := newRig(t, guard.Config{ModelPower: 32})
+	for i := 0; i < 10; i++ {
+		r.step(0.3)
+	}
+	r.m.SetFault(faults.NewDropout(1.0, 9))
+	r.step(0.3)
+	r.step(0.3)
+	r.m.SetFault(nil)
+	r.step(0.3)
+	st := r.svc.Status()
+	if st.ReadErrors != 2 {
+		t.Fatalf("read errors = %d, want 2", st.ReadErrors)
+	}
+	// Trusted ledger kept integrating (estimates) through the outage.
+	if st.TrustedJ <= 0 {
+		t.Fatal("trusted ledger empty after outage")
+	}
+}
+
+func TestServiceWindowLifecycle(t *testing.T) {
+	r := newRig(t, guard.Config{ModelPower: 32})
+	if _, ok := r.svc.CloseWindow("ghost"); ok {
+		t.Fatal("closing a never-opened window must report !ok")
+	}
+	r.svc.OpenWindow("w", 0) // non-positive weight defaults to 1
+	r.step(0.3)
+	j, ok := r.svc.CloseWindow("w")
+	if !ok || j <= 0 {
+		t.Fatalf("window close: %v %v", j, ok)
+	}
+	if _, ok := r.svc.CloseWindow("w"); ok {
+		t.Fatal("double close must report !ok")
+	}
+	// With no window open the residual is orphaned, not billed.
+	r.step(0.3)
+	if st := r.svc.Status(); st.UnattributedJ <= 0 {
+		t.Fatal("orphaned energy not counted")
+	}
+}
+
+// End to end over the file-based pipeline: the real powercap reader on
+// a fault-fabric tree, with injected jitter, wraps and a stuck stretch
+// — the gate catches all of it and the trusted ledger stays at true
+// scale.
+func TestServiceOverFakePowercap(t *testing.T) {
+	dir := t.TempDir()
+	// 1 J wrap range: wraps happen every few samples by construction.
+	tree, err := faults.NewFakePowercap(dir, 2, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter, err := NewRAPLMeter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	svc := NewService(ServiceConfig{
+		Meter:     meter,
+		Gate:      guard.Config{ModelPower: 20, MaxPower: 45},
+		MinPowerW: 1,
+		Now:       clk.now,
+	})
+	svc.Sample()
+	step := func(j float64) {
+		clk.advance(10 * time.Millisecond)
+		if err := tree.Advance(j); err != nil {
+			t.Fatal(err)
+		}
+		svc.Sample()
+	}
+	// Real workloads jitter sample to sample; a bit-identical power
+	// stream would (correctly) look like a wedged sensor to the gate.
+	work := func(i int) float64 { return 0.19 + 0.005*float64(i%5) }
+	svc.OpenWindow("w", 1)
+	for i := 0; i < 40; i++ { // clean warmup at ~20 W, wrapping constantly
+		step(work(i))
+	}
+	if st := svc.Status(); st.GateRejected != 0 {
+		t.Fatalf("wraps alone caused %d rejections", st.GateRejected)
+	}
+	// Jitter: +0.35 J spikes on the written counter.
+	tree.SetFault(faults.NewSpike(0.5, 1, 350000, 13))
+	for i := 0; i < 20; i++ {
+		step(work(i))
+	}
+	tree.SetFault(nil)
+	jittered := svc.Status()
+	if jittered.GateRejected == 0 {
+		t.Fatal("injected jitter never rejected")
+	}
+	// Stuck: writes dropped, counter frozen below the floor.
+	tree.SetFault(faults.NewDropout(1.0, 17))
+	for i := 0; i < 8; i++ {
+		step(work(i))
+	}
+	tree.SetFault(nil)
+	st := svc.Status()
+	if st.LowPowerRejects == 0 {
+		t.Fatal("frozen powercap counter not caught")
+	}
+	if st.Quarantines == 0 {
+		t.Fatal("frozen stretch should have quarantined the meter")
+	}
+	got, _ := svc.CloseWindow("w")
+	trueJ := tree.TrueJoules()
+	if got > trueJ*1.2 {
+		t.Fatalf("debited %v J of %v J true — injected faults were billed", got, trueJ)
+	}
+	if got < trueJ*0.6 {
+		t.Fatalf("debited %v J of %v J true — pipeline lost real energy", got, trueJ)
+	}
+}

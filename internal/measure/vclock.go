@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a monotone, hand-advanced time source for
+// stimulus-driven simulated measurement. The daemon's sim-meter mode
+// runs the whole pipeline — meter accrual, calibration sleeps, service
+// sampling — on one of these, advancing it by each settled iteration's
+// client-reported duration. Iterations complete at wire speed (far
+// faster than the virtual work they represent), so deriving per-sample
+// power from wall time would turn every deposit into a megawatt spike;
+// on the virtual timeline the same deposit lands at the physical watt
+// scale the plausibility gate is calibrated to judge.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewVirtualClock starts a virtual clock at a fixed epoch; only
+// differences ever matter.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{t: time.Unix(0, 0)}
+}
+
+// Now returns the current virtual time (plug into SimConfig.Now,
+// CalibrationConfig.Now and ServiceConfig.Now).
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by the given seconds. Non-positive,
+// NaN and infinite values are ignored, and a single step is capped at a
+// virtual year — a corrupt wire duration must not wrap the timeline.
+func (c *VirtualClock) Advance(seconds float64) {
+	if !(seconds > 0) || math.IsInf(seconds, 0) {
+		return
+	}
+	const maxStepS = 365 * 24 * 3600.0
+	if seconds > maxStepS {
+		seconds = maxStepS
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(time.Duration(seconds * float64(time.Second)))
+	c.mu.Unlock()
+}
+
+// Sleep advances the clock by d and returns immediately — calibration's
+// trial wait, served in zero wall time (plug into
+// CalibrationConfig.Sleep).
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

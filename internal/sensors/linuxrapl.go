@@ -1,13 +1,24 @@
 package sensors
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"jouleguard/internal/linuxsys"
 )
+
+// ErrZoneSetChanged reports that the set of RAPL package domains changed
+// underneath a running reader — a zone directory vanished or appeared
+// between samples. Per-zone wrap state is meaningless across such a
+// change, so the reader fails loudly instead of silently resuming with a
+// corrupted accumulator; callers (the measurement service) surface it
+// and rebuild the reader.
+var ErrZoneSetChanged = errors.New("sensors: RAPL zone set changed under running reader")
 
 // LinuxRAPLReader reads real cumulative package energy from the Linux
 // powercap interface (/sys/class/powercap/intel-rapl:*/energy_uj) — the
@@ -20,6 +31,12 @@ import (
 // machine: the rest of the system only needs this one joule counter.
 type LinuxRAPLReader struct {
 	FixedW float64 // constant adder (W) for components RAPL cannot see
+	// Retry governs transient energy_uj read errors (a hot-unplugged
+	// hwmon, a momentary EIO under firmware update): each zone read is
+	// retried with capped exponential backoff before the sample is
+	// declared lost. The zero value selects linuxsys defaults.
+	Retry linuxsys.RetryPolicy
+
 	root   string
 	zones  []raplZone
 	accumJ float64
@@ -31,8 +48,28 @@ type LinuxRAPLReader struct {
 }
 
 type raplZone struct {
+	name       string
 	energyPath string
 	maxRange   uint64
+}
+
+// discoverZoneNames lists the top-level RAPL package domains under root,
+// sorted. Subzones (intel-rapl:0:0) are contained in their parent and
+// must not be double counted, so only single-colon names qualify.
+func discoverZoneNames(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("sensors: powercap unavailable: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "intel-rapl:") && strings.Count(name, ":") == 1 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // NewLinuxRAPLReader discovers RAPL zones under root (pass "" for the
@@ -43,25 +80,14 @@ func NewLinuxRAPLReader(root string, fixedW float64) (*LinuxRAPLReader, error) {
 	if root == "" {
 		root = "/sys/class/powercap"
 	}
-	entries, err := os.ReadDir(root)
+	names, err := discoverZoneNames(root)
 	if err != nil {
-		return nil, fmt.Errorf("sensors: powercap unavailable: %w", err)
-	}
-	r := &LinuxRAPLReader{FixedW: fixedW, root: root}
-	var names []string
-	for _, e := range entries {
-		name := e.Name()
-		// Top-level package domains look like intel-rapl:0; subzones
-		// (intel-rapl:0:0) are contained in their parent and must not be
-		// double counted.
-		if strings.HasPrefix(name, "intel-rapl:") && strings.Count(name, ":") == 1 {
-			names = append(names, name)
-		}
+		return nil, err
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("sensors: no intel-rapl domains under %s", root)
 	}
-	sort.Strings(names)
+	r := &LinuxRAPLReader{FixedW: fixedW, root: root}
 	for _, name := range names {
 		zoneDir := filepath.Join(root, name)
 		energyPath := filepath.Join(zoneDir, "energy_uj")
@@ -74,7 +100,7 @@ func NewLinuxRAPLReader(root string, fixedW float64) (*LinuxRAPLReader, error) {
 				maxRange = v
 			}
 		}
-		r.zones = append(r.zones, raplZone{energyPath: energyPath, maxRange: maxRange})
+		r.zones = append(r.zones, raplZone{name: name, energyPath: energyPath, maxRange: maxRange})
 	}
 	r.lastRaw = make([]uint64, len(r.zones))
 	for i, z := range r.zones {
@@ -102,12 +128,51 @@ func readCounter(path string) (uint64, error) {
 // Zones returns the number of RAPL package domains discovered.
 func (r *LinuxRAPLReader) Zones() int { return len(r.zones) }
 
+// readCounterRetry reads one zone's counter under the retry policy. When
+// every attempt fails it re-scans the powercap directory: a changed zone
+// set means the hardware inventory moved underneath us (hotplug, driver
+// reload) and the error becomes the loud, terminal ErrZoneSetChanged;
+// an unchanged set means a genuinely transient-but-persistent fault and
+// the read error itself propagates (callers treat that sample as lost).
+func (r *LinuxRAPLReader) readCounterRetry(z raplZone) (uint64, error) {
+	var v uint64
+	_, err := r.Retry.Do(func() error {
+		var e error
+		v, e = readCounter(z.energyPath)
+		return e
+	})
+	if err == nil {
+		return v, nil
+	}
+	if names, serr := discoverZoneNames(r.root); serr == nil {
+		if !sameZoneSet(names, r.zones) {
+			return 0, fmt.Errorf("%w: zone %s failed and powercap now lists %v: %v",
+				ErrZoneSetChanged, z.name, names, err)
+		}
+	}
+	return 0, err
+}
+
+// sameZoneSet reports whether a freshly discovered (sorted) name list
+// matches the zones the reader was built over.
+func sameZoneSet(names []string, zones []raplZone) bool {
+	if len(names) != len(zones) {
+		return false
+	}
+	for i, z := range zones {
+		if names[i] != z.name {
+			return false
+		}
+	}
+	return true
+}
+
 // ReadEnergyAt returns cumulative joules since construction: the summed
 // package counters (wrap-corrected) plus FixedW integrated over the wall
 // time supplied by the caller (seconds on any monotone clock).
 func (r *LinuxRAPLReader) ReadEnergyAt(nowSeconds float64) (float64, error) {
 	for i, z := range r.zones {
-		cur, err := readCounter(z.energyPath)
+		cur, err := r.readCounterRetry(z)
 		if err != nil {
 			return 0, err
 		}

@@ -1,11 +1,15 @@
 package sensors
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
+
+	"jouleguard/internal/linuxsys"
 )
 
 // fakePowercap builds a synthetic /sys/class/powercap tree.
@@ -137,10 +141,104 @@ func TestLinuxRAPLBadCounter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	r.Retry.Sleep = func(time.Duration) {} // keep the failing path fast
 	if err := os.WriteFile(filepath.Join(f.zones[0], "energy_uj"), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.ReadEnergyAt(1); err == nil {
 		t.Error("want error for unparsable counter")
+	}
+}
+
+// Golden: each of two zones wraps in a different sampling window, and the
+// accumulated total must equal the exact uJ ledger — wrap correction is
+// per-zone state, not a shared flag.
+func TestLinuxRAPLMultiZoneWrapMidWindow(t *testing.T) {
+	f := newFakePowercap(t, 2)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1: zone 0 climbs near its range, zone 1 moves a little.
+	f.set(t, 0, 950000)
+	f.set(t, 1, 300000)
+	if _, err := r.ReadEnergyAt(1); err != nil {
+		t.Fatal(err)
+	}
+	// Window 2: zone 0 wraps (range 1e6 uJ), zone 1 keeps climbing.
+	f.set(t, 0, 50000)
+	f.set(t, 1, 900000)
+	got, err := r.ReadEnergyAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.95 + 0.30 + ((1.0 - 0.95) + 0.05) + 0.60
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("after zone-0 wrap: %v, want %v", got, want)
+	}
+	// Window 3: zone 1 wraps too; zone 0 unchanged.
+	f.set(t, 1, 100000)
+	got, err = r.ReadEnergyAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want += (1.0 - 0.90) + 0.10
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("after zone-1 wrap: %v, want %v", got, want)
+	}
+}
+
+// Golden: a zone directory vanishing mid-run must surface as the loud
+// ErrZoneSetChanged, never as a silently smaller sum.
+func TestLinuxRAPLZoneDisappearance(t *testing.T) {
+	f := newFakePowercap(t, 2)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Retry.Sleep = func(time.Duration) {}
+	if _, err := r.ReadEnergyAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(f.zones[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadEnergyAt(2)
+	if !errors.Is(err, ErrZoneSetChanged) {
+		t.Fatalf("err = %v, want ErrZoneSetChanged", err)
+	}
+}
+
+// A transient read error (file momentarily unreadable) must be retried,
+// not fail the sample: the injected Sleep hook repairs the counter file
+// between attempts, standing in for the kernel finishing whatever made
+// the read fail.
+func TestLinuxRAPLTransientReadRetry(t *testing.T) {
+	f := newFakePowercap(t, 1)
+	r, err := NewLinuxRAPLReader(f.root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(f.zones[0], "energy_uj")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	repairs := 0
+	r.Retry = linuxsys.RetryPolicy{
+		MaxAttempts: 3,
+		Sleep: func(time.Duration) {
+			repairs++
+			f.set(t, 0, 400000)
+		},
+	}
+	got, err := r.ReadEnergyAt(1)
+	if err != nil {
+		t.Fatalf("retry should have recovered the sample: %v", err)
+	}
+	if repairs != 1 {
+		t.Fatalf("repairs = %d, want exactly 1 retry", repairs)
+	}
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("energy after repair: %v, want 0.4", got)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"jouleguard"
+	"jouleguard/internal/measure"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
@@ -43,6 +44,20 @@ type Config struct {
 	// Clock is injectable for tests (nil = time.Now). It paces idle
 	// expiry only; iteration intervals always use client clocks.
 	Clock func() time.Time
+	// Meter switches the daemon to measured-energy mode: every session
+	// iteration is bracketed by an attribution window on this
+	// measurement service, and the joules the pipeline attributes to the
+	// window — gate-cleaned, baseline-subtracted, weight-shared across
+	// concurrent sessions — are what the ledger debits. Client-reported
+	// readings are never billed directly. Nil (the default) keeps the
+	// wire contract as-is: clients report their own meters.
+	Meter *measure.Service
+	// MeterStimulus, for a simulated Meter backend, feeds each settled
+	// iteration's client-reported energy delta and duration into the
+	// simulator as physical stimulus (e.g. SimMeter.Deposit plus a
+	// VirtualClock advance). Nil for hardware backends, which burn real
+	// joules on their own.
+	MeterStimulus func(joules, durS float64)
 }
 
 // Server is the governor daemon: session registry, budget broker, expiry
@@ -60,6 +75,10 @@ type Server struct {
 	nextID   atomic.Uint64
 	draining atomic.Bool
 	fenced   atomic.Bool
+
+	// meter is the shared measurement hook in meter mode (nil otherwise);
+	// see Config.Meter.
+	meter *meterHook
 
 	assistMu sync.Mutex
 	assist   func(needJ float64) bool
@@ -137,6 +156,9 @@ func New(cfg Config) (*Server, error) {
 		mDriftIters: tel.Registry.Gauge("jouleguard_provenance_drift_joules",
 			"Conservation drift per custody layer (0 when the books balance).",
 			telemetry.Label{Name: "layer", Value: "iterations"}),
+	}
+	if cfg.Meter != nil {
+		s.meter = &meterHook{svc: cfg.Meter, stim: cfg.MeterStimulus}
 	}
 	broker.Instrument(tel.Registry)
 	if cfg.SweepInterval > 0 {
@@ -254,7 +276,7 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 
 	now := s.clock()
 	id := s.newID()
-	sess, err := newSession(id, req, grant, telemetry.WithSession(s.tel, id), now)
+	sess, err := newSession(id, req, grant, s.meter, telemetry.WithSession(s.tel, id), now)
 	if err != nil {
 		s.broker.Release(grant, 0)
 		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
@@ -391,7 +413,7 @@ func (s *Server) Adopt(a wire.AdoptSession) (string, error) {
 	if a.Reg.Tenant == "" {
 		a.Reg.Tenant = "default"
 	}
-	sess, err := newSession(id, a.Reg, Grant{Tenant: a.Reg.Tenant, Weight: a.Reg.Weight, GrantJ: a.GrantJ}, nil, s.clock())
+	sess, err := newSession(id, a.Reg, Grant{Tenant: a.Reg.Tenant, Weight: a.Reg.Weight, GrantJ: a.GrantJ}, s.meter, nil, s.clock())
 	if err != nil {
 		return "", &wireError{wire.CodeBadRequest, err.Error()}
 	}

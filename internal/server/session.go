@@ -7,9 +7,69 @@ import (
 	"time"
 
 	"jouleguard"
+	"jouleguard/internal/measure"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
+
+// meterHook is the sessions' shared handle on the daemon's measurement
+// service (Config.Meter). In meter mode every iteration is bracketed by
+// an attribution window — opened at Next with the session's expected
+// draw as its weight, closed at Done — and the joules the pipeline
+// attributed to the window are what the ledger debits; the client's own
+// reading is never billed. stim, when set (simulated backend), feeds the
+// client's reported energy delta into the meter as physical stimulus
+// before the settling sample, standing in for the hardware the
+// simulator does not have.
+type meterHook struct {
+	// mu serializes settles so one session's stimulus cannot land
+	// between another session's deposit and the sample meant to observe
+	// it — the deposit+advance+sample triple is atomic per iteration.
+	mu   sync.Mutex
+	svc  *measure.Service
+	stim func(joules, durS float64)
+}
+
+// open brackets the start of an iteration on a hardware meter; weight is
+// the session's expected power draw, the share key when windows overlap.
+// With a stimulus-driven meter (virtual timeline) this is a no-op: the
+// virtual clock serializes every session's work, so windows there are
+// opened exclusively inside settle — bracketing Next would hand each
+// bystander a cut of the settling session's deposit.
+func (h *meterHook) open(id string, weight float64) {
+	if h.stim != nil {
+		return
+	}
+	h.svc.OpenWindow(id, weight)
+}
+
+// settle ends an iteration: apply the stimulus (if any), force a
+// synchronous sample so the window is charged up to this instant, and
+// close it. ok is false when the iteration could not be measured — a
+// restart lost the hardware window, or a stimulus-driven meter got no
+// stimulus (the client's own counter failed).
+//
+// On the stimulus path the open+deposit+advance+sample+close run as one
+// critical section, so exactly one window is open during the sample and
+// the entire above-baseline delta is attributed to the session that
+// physically burned it.
+func (h *meterHook) settle(id string, weight, stimJ, stimDurS float64) (joules float64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stim != nil {
+		if stimJ <= 0 || stimDurS <= 0 {
+			return 0, false
+		}
+		h.svc.OpenWindow(id, weight)
+		h.stim(stimJ, stimDurS)
+	}
+	h.svc.Sample()
+	return h.svc.CloseWindow(id)
+}
+
+// discard drops a window without billing anyone — session teardown with
+// an iteration still armed.
+func (h *meterHook) discard(id string) { h.svc.CloseWindow(id) }
 
 // sessionState is the wire-visible lifecycle of one session:
 //
@@ -87,12 +147,23 @@ type session struct {
 	log       []iterRec
 	accSum    float64
 	lastTouch time.Time
+
+	// Meter mode (nil hook = client-supplied readings). meterCumJ is the
+	// session's synthesized cumulative counter — the sum of every closed
+	// window's attributed joules, fed to the controller in place of the
+	// client's reading so its guard sees a monotone series. lastClientJ
+	// anchors the client's cumulative report so each iteration's delta
+	// can be deposited as simulator stimulus.
+	meter       *meterHook
+	meterW      float64 // attribution weight of the armed iteration: the chosen config's model draw
+	meterCumJ   float64
+	lastClientJ float64
 }
 
 // newSession builds the governor stack for an admitted registration.
 // sink is the telemetry the session reports into (nil while replaying a
 // snapshot; installLiveSink attaches the real one afterwards).
-func newSession(id string, reg wire.RegisterRequest, grant Grant, sink telemetry.Sink, now time.Time) (*session, error) {
+func newSession(id string, reg wire.RegisterRequest, grant Grant, meter *meterHook, sink telemetry.Sink, now time.Time) (*session, error) {
 	tb, err := jouleguard.NewTestbed(reg.App, reg.Platform)
 	if err != nil {
 		return nil, err
@@ -104,7 +175,7 @@ func newSession(id string, reg wire.RegisterRequest, grant Grant, sink telemetry
 	if err != nil {
 		return nil, err
 	}
-	s := &session{id: id, num: sessionNum(id), reg: reg, grant: grant, tb: tb, gov: gov, lastTouch: now}
+	s := &session{id: id, num: sessionNum(id), reg: reg, grant: grant, tb: tb, gov: gov, meter: meter, lastTouch: now}
 	ctl, err := jouleguard.NewOnlineGuarded(gov,
 		s.readPendingEnergy, s.readPendingNow,
 		jouleguard.SensorGuardConfig{ModelPower: tb.DefaultPower})
@@ -198,6 +269,15 @@ func (s *session) next(req wire.NextRequest, now time.Time) (wire.NextResponse, 
 	s.armedNow = req.NowS
 	s.state = stateArmed
 	s.lastTouch = now
+	if s.meter != nil {
+		// The attribution weight is the CHOSEN operating point's model
+		// draw, not the app default: concurrent windows split each
+		// sample's energy by weight, so weighting by the actuated power
+		// keeps a tenant's debit coupled to its own knob — a throttled
+		// session must not keep paying the fleet-average rate.
+		s.meterW = s.tb.Platform.Power(sys, s.tb.Profile)
+		s.meter.open(s.id, s.meterW)
+	}
 	return wire.NextResponse{Iter: s.ctl.Iterations(), AppConfig: app, SysConfig: sys}, nil
 }
 
@@ -212,15 +292,21 @@ func (s *session) done(req wire.DoneRequest, now time.Time) (wire.DoneResponse, 
 	if s.state != stateArmed {
 		return wire.DoneResponse{}, errBadSequence("Done without a pending Next")
 	}
-	s.pending.now, s.pending.energy, s.pending.eerr = req.NowS, req.EnergyJ, req.EnergyErr
+	energyJ, energyErr := req.EnergyJ, req.EnergyErr
+	if s.meter != nil {
+		energyJ, energyErr = s.meterSettle(req)
+	}
+	s.pending.now, s.pending.energy, s.pending.eerr = req.NowS, energyJ, energyErr
 	if err := s.ctl.Done(req.Accuracy); err != nil {
 		// The armed check above rules out sequencing errors; anything
 		// else is an internal failure worth surfacing as such.
 		return wire.DoneResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
 	}
+	// The log records what the controller consumed (the meter-attributed
+	// value in meter mode), so a restore replays to bit-identical state.
 	s.log = append(s.log, iterRec{
 		NextNow: s.armedNow, DoneNow: req.NowS,
-		EnergyJ: req.EnergyJ, EnergyErr: req.EnergyErr, Accuracy: req.Accuracy,
+		EnergyJ: energyJ, EnergyErr: energyErr, Accuracy: req.Accuracy,
 	})
 	s.accSum += req.Accuracy
 	if s.ctl.Iterations() >= s.reg.Iterations {
@@ -230,6 +316,32 @@ func (s *session) done(req wire.DoneRequest, now time.Time) (wire.DoneResponse, 
 	}
 	s.lastTouch = now
 	return s.doneResponseLocked(), nil
+}
+
+// meterSettle closes the iteration's attribution window and swaps the
+// pipeline's verdict in for the client's reading: the client's
+// cumulative report contributes only its delta, deposited into a
+// simulated meter as the physical work the "hardware" just executed;
+// what the ledger debits is whatever survived calibration, the
+// plausibility gate and weight-shared attribution. Callers hold s.mu.
+func (s *session) meterSettle(req wire.DoneRequest) (cumJ float64, eerr bool) {
+	stimJ := -1.0
+	if !req.EnergyErr {
+		if d := req.EnergyJ - s.lastClientJ; d > 0 {
+			stimJ = d
+		}
+		s.lastClientJ = req.EnergyJ
+	}
+	w, ok := s.meter.settle(s.id, s.meterW, stimJ, req.NowS-s.armedNow)
+	if !ok {
+		// The iteration could not be measured (a restart rebuilt the
+		// session mid-flight, or a stimulus meter got no stimulus):
+		// report a meter outage for this interval and let the
+		// controller's own guard substitute its model estimate.
+		return s.meterCumJ, true
+	}
+	s.meterCumJ += w
+	return s.meterCumJ, false
 }
 
 // doneResponseLocked assembles the ledger view; callers hold s.mu.
@@ -259,6 +371,11 @@ func (s *session) teardown(to sessionState) (spentJ float64, release bool) {
 	defer s.mu.Unlock()
 	if s.state == stateClosed || s.state == stateExpired {
 		return 0, false
+	}
+	if s.meter != nil && s.state == stateArmed {
+		// An armed teardown leaves an open attribution window; discard it
+		// so the dead session stops absorbing shares of live samples.
+		s.meter.discard(s.id)
 	}
 	s.state = to
 	return s.ctl.EnergyAccounted(), true
@@ -330,6 +447,15 @@ func (s *session) replay(rec iterRec) error {
 	}
 	s.log = append(s.log, rec)
 	s.accSum += rec.Accuracy
+	if s.meter != nil && !rec.EnergyErr {
+		// Meter-mode records carry the synthesized cumulative series;
+		// resume it where the log left off. The client's own counter is
+		// not logged, so its last report is approximated by the same
+		// value — the first post-restore stimulus is off by one
+		// iteration's drift at worst, and the gate judges it like any
+		// other sample.
+		s.meterCumJ, s.lastClientJ = rec.EnergyJ, rec.EnergyJ
+	}
 	if s.ctl.Iterations() >= s.reg.Iterations {
 		s.state = stateComplete
 	} else {

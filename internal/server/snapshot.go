@@ -188,7 +188,7 @@ func (s *Server) Restore(r io.Reader) error {
 				return fmt.Errorf("server: snapshot line %d: %w", line, err)
 			}
 			grant := Grant{Tenant: sn.Reg.Tenant, Weight: sn.Weight, GrantJ: sn.GrantJ, CommitJ: sn.CommitJ, ImportedJ: sn.ImportedJ}
-			sess, err := newSession(sn.ID, sn.Reg, grant, nil, s.clock())
+			sess, err := newSession(sn.ID, sn.Reg, grant, s.meter, nil, s.clock())
 			if err != nil {
 				return fmt.Errorf("server: snapshot line %d: rebuilding session %s: %w", line, sn.ID, err)
 			}

@@ -52,13 +52,19 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (t *Telemetry) serveHealthz(w http.ResponseWriter, _ *http.Request) {
-	if info, ok := t.Health(); ok {
+	meter, haveMeter := t.Meter()
+	var meterPtr *MeterInfo
+	if haveMeter {
+		meterPtr = &meter
+	}
+	if info, ok := t.Health(); ok || haveMeter {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
 			HealthInfo
-			UptimeS   float64 `json:"uptime_seconds"`
-			Decisions uint64  `json:"decisions_recorded"`
-		}{info, time.Since(t.start).Seconds(), t.Flight.Total()})
+			UptimeS   float64    `json:"uptime_seconds"`
+			Decisions uint64     `json:"decisions_recorded"`
+			Meter     *MeterInfo `json:"meter,omitempty"`
+		}{info, time.Since(t.start).Seconds(), t.Flight.Total(), meterPtr})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

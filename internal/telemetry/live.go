@@ -14,6 +14,19 @@ type HealthInfo struct {
 	Fence int64  `json:"fence"`
 }
 
+// MeterInfo is the measurement-service section of /healthz: the active
+// backend, the last calibration summary and the gate's running tallies,
+// so an operator (or jgtop) can see at a glance whether the joules
+// behind the budget are measured, calibrated and currently trusted.
+type MeterInfo struct {
+	Backend      string  `json:"backend"`
+	BaselineW    float64 `json:"baseline_watts"`
+	CV           float64 `json:"calibration_cv"`
+	Trials       int     `json:"calibration_trials"`
+	GateRejected int     `json:"gate_rejected"`
+	Quarantined  bool    `json:"quarantined"`
+}
+
 // Telemetry is the live Sink: it maintains a metric registry covering
 // the whole control path, feeds every decision into a flight recorder,
 // and keeps the process's span buffer for distributed traces. One
@@ -27,6 +40,7 @@ type Telemetry struct {
 
 	start  time.Time
 	health atomic.Value // func() HealthInfo, nil until SetHealth
+	meter  atomic.Value // func() MeterInfo, nil until SetMeter
 
 	// Decision stream.
 	decisions    *Counter
@@ -168,6 +182,38 @@ func (t *Telemetry) Health() (HealthInfo, bool) {
 		return HealthInfo{}, false
 	}
 	return p(), true
+}
+
+// SetMeter installs the /healthz measurement-service provider; the
+// probe omits the meter section until one is set (client-supplied
+// readings, no meter).
+func (t *Telemetry) SetMeter(provider func() MeterInfo) {
+	t.meter.Store(provider)
+}
+
+// Meter returns the current measurement-service report and whether a
+// provider is installed.
+func (t *Telemetry) Meter() (MeterInfo, bool) {
+	p, _ := t.meter.Load().(func() MeterInfo)
+	if p == nil {
+		return MeterInfo{}, false
+	}
+	return p(), true
+}
+
+// RecordCalibration files a meter-calibration summary in the flight
+// recorder, tagged with the reserved session name "meter-calibration",
+// so exported decision streams carry their measurement provenance.
+func (t *Telemetry) RecordCalibration(backend string, baselineW, cv float64, trials int, earlyStopped bool) {
+	t.Flight.Record(Decision{
+		Session:       "meter-calibration",
+		Sane:          true,
+		GuardAccepted: earlyStopped,
+		CalBackend:    backend,
+		CalBaselineW:  baselineW,
+		CalCV:         cv,
+		CalTrials:     trials,
+	})
 }
 
 // CounterSummary snapshots the cumulative counters a cluster member

@@ -70,6 +70,15 @@ type Decision struct {
 	ActuationMiss bool `json:"actuation_miss"`
 	Degraded      bool `json:"degraded"`
 	Infeasible    bool `json:"infeasible"`
+
+	// Meter-calibration provenance: set only on the records
+	// Telemetry.RecordCalibration files (Session "meter-calibration"),
+	// so an exported flight stream carries how the run's baseline was
+	// obtained alongside the decisions made against it.
+	CalBackend   string  `json:"cal_backend,omitempty"`
+	CalBaselineW float64 `json:"cal_baseline_w,omitempty"`
+	CalCV        float64 `json:"cal_cv,omitempty"`
+	CalTrials    int     `json:"cal_trials,omitempty"`
 }
 
 // Fault channels reported through Sink.FaultInjected.
