@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /usr/bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke obs-smoke meter-smoke clean
+.PHONY: all build vet lint check test test-race race churn-race bench bench-check bench-profile replicate examples chaos-smoke serve-smoke cluster-smoke chaos-cluster hotpath-smoke obs-smoke meter-smoke qos-smoke clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ lint:
 # The pre-merge gate: formatting + vet + the race-detector pass + the
 # full-size shard-churn race test + the daemon, fleet and hot-path smoke
 # tests + the coordinator-failover chaos run.
-check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster obs-smoke meter-smoke
+check: lint race churn-race serve-smoke cluster-smoke hotpath-smoke chaos-cluster obs-smoke meter-smoke qos-smoke
 
 test:
 	$(GO) test ./...
@@ -41,7 +41,7 @@ test-race:
 # plus the daemon, which shares sessions and the budget broker across
 # request handlers.
 race:
-	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/load/ ./internal/measure/ .
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/platform/ ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/load/ ./internal/measure/ ./internal/qos/ .
 
 # The full-size (10k-session) shard-churn test under the race detector:
 # the concurrent registry/broker workload the sharded session map exists
@@ -112,6 +112,21 @@ meter-smoke:
 		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
 	@mv BENCH_experiments.json.tmp BENCH_experiments.json
 	@echo "meter-smoke passed; calibration + gate tallies merged into BENCH_experiments.json"
+
+# Tenant-protection smoke under the race detector: selfhost the daemon
+# with the QoS ladder enabled and one adversarial tenant claiming ten
+# honest tenants' worth of the pool under the best-effort tier. Asserts
+# the adversary drew enforcement denials (including at least one shed —
+# best-effort is sacrificed first, the guaranteed honest tenants never)
+# while every honest tenant landed within 105% of its grant with its
+# accuracy floor untouched. Enforcement tallies merge into
+# BENCH_experiments.json.
+qos-smoke:
+	$(GO) run -race ./cmd/loadgen -tenants 6 -adversaries 1 -tier guaranteed -iters 300 \
+		-qos-shed-at 0.5 -check 1.05 -expect-shed \
+		| $(GO) run ./cmd/benchjson -merge BENCH_experiments.json > BENCH_experiments.json.tmp
+	@mv BENCH_experiments.json.tmp BENCH_experiments.json
+	@echo "qos-smoke passed; enforcement tallies merged into BENCH_experiments.json"
 
 # Hot-path smoke: the v2 binary frame stream end to end. A closed-loop
 # pass pins correctness-under-batching (every tenant within 105% of its

@@ -127,9 +127,13 @@ func render(httpc *http.Client, base string) (string, error) {
 	tenants := metrics.series("jouleguard_fleet_tenant_burn_watts")
 	if len(tenants) > 0 {
 		spent := metrics.series("jouleguard_fleet_tenant_spent_joules")
-		fmt.Fprintf(&b, "\n%-16s %10s %14s\n", "TENANT", "BURN W", "SPENT J")
+		tiers := metrics.series("jouleguard_fleet_tenant_tier")
+		ladders := metrics.series("jouleguard_fleet_tenant_ladder_state")
+		fmt.Fprintf(&b, "\n%-16s %-12s %-10s %10s %14s\n", "TENANT", "TIER", "LADDER", "BURN W", "SPENT J")
 		for _, t := range tenants {
-			fmt.Fprintf(&b, "%-16s %10.2f %14.1f\n", t.label, t.value, lookup(spent, t.label))
+			fmt.Fprintf(&b, "%-16s %-12s %-10s %10.2f %14.1f\n",
+				t.label, tierName(lookup(tiers, t.label)), ladderName(lookup(ladders, t.label)),
+				t.value, lookup(spent, t.label))
 		}
 	}
 
@@ -260,6 +264,33 @@ func lookup(ss []sample, label string) float64 {
 		}
 	}
 	return 0
+}
+
+// tierName and ladderName decode the rollup's numeric QoS gauges
+// (jouleguard_fleet_tenant_tier / _ladder_state) into the names the
+// qos package assigns them.
+func tierName(v float64) string {
+	switch int(v) {
+	case 1:
+		return "best-effort"
+	case 2:
+		return "guaranteed"
+	}
+	return "standard"
+}
+
+func ladderName(v float64) string {
+	switch int(v) {
+	case 1:
+		return "throttled"
+	case 2:
+		return "degraded"
+	case 3:
+		return "suspended"
+	case 4:
+		return "killed"
+	}
+	return "ok"
 }
 
 // thousands renders a counter with thousands separators.

@@ -50,6 +50,7 @@ import (
 	"jouleguard/internal/guard"
 	"jouleguard/internal/linuxsys"
 	"jouleguard/internal/measure"
+	"jouleguard/internal/qos"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
 )
@@ -74,6 +75,9 @@ func main() {
 	raplRoot := flag.String("rapl-root", "/sys/class/powercap", "powercap sysfs root for -meter=rapl")
 	meterIdle := flag.Float64("meter-idle", 2, "sim meter: idle baseline, watts")
 	meterModelW := flag.Float64("meter-model-power", 40, "measurement gate: expected full-load draw in watts; scales the absolute plausibility ceiling (16x)")
+	qosEnabled := flag.Bool("qos", false, "enable the local tenant-protection ladder (graduated enforcement and overload shedding); fleet-shipped policy is enforced either way")
+	qosOverrun := flag.Float64("qos-overrun", 0, "qos: footprint-over-fair-share ratio counted as an overrun (<=0 selects the default 1.25)")
+	qosShedAt := flag.Float64("qos-shed-at", 0, "qos: pool-pressure threshold engaging overload shedding (<=0 selects the default 0.97)")
 	flag.Parse()
 
 	if *coordinator {
@@ -103,6 +107,11 @@ func main() {
 		Telemetry:     tel,
 		Meter:         msvc,
 		MeterStimulus: stimulus,
+		QoS: qos.Config{
+			Enabled:      *qosEnabled,
+			OverrunRatio: *qosOverrun,
+			ShedPressure: *qosShedAt,
+		},
 	})
 	if err != nil {
 		fail(err)

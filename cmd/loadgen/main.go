@@ -63,6 +63,7 @@ import (
 	"jouleguard/internal/load"
 	"jouleguard/internal/measure"
 	"jouleguard/internal/metrics"
+	"jouleguard/internal/qos"
 	"jouleguard/internal/server"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
@@ -85,6 +86,12 @@ func main() {
 	traceEvery := flag.Int("trace-every", 0, "mint a distributed-trace context every N governed rounds per tenant (0 = client default 1/256; negative disables)")
 	obsChk := flag.Bool("obs-check", false, "cluster: continuously audit joule provenance during the run and assert a cross-node trace join after it")
 	check := flag.Float64("check", 0, "fail unless every tenant's spend <= this fraction of its grant (e.g. 1.05; 0 = report only)")
+	tier := flag.String("tier", "", "QoS tier honest tenants claim at registration (guaranteed | standard | best-effort; empty = standard)")
+	adversaries := flag.Int("adversaries", 0, "convert this many tenants into adversaries: each claims -adv-weight honest tenants' worth of the pool under the best-effort tier and hammers the daemon until the honest tenants finish; the run is judged by tenant isolation instead of completion")
+	advWeight := flag.Float64("adv-weight", 10, "claim multiple each adversary asks for (budget in factor mode, weight in weighted mode)")
+	qosEnabled := flag.Bool("qos", false, "selfhost: enable the local QoS ladder (graduated enforcement + overload shedding); implied by -adversaries")
+	qosShedAt := flag.Float64("qos-shed-at", 0, "selfhost: pool-pressure threshold above which overload shedding engages (0 = default 0.97)")
+	expectShed := flag.Bool("expect-shed", false, "fail unless at least one adversary session was shed (requires -adversaries)")
 	seed := flag.Int64("seed", 1, "base seed; tenant i runs with seed+i")
 	v2 := flag.Bool("v2", false, "speak the v2 binary frame stream with the batched DoneNext loop (default: v1 JSON/HTTP)")
 	openLoop := flag.Duration("open-loop", 0, "run for this wall-clock window instead of to workload completion, measuring sustained decisions/s (sizes -iters up automatically)")
@@ -120,15 +127,21 @@ func main() {
 	tracer := telemetry.NewSpanBuffer(0)
 	tracer.SetNode("loadgen")
 	cfg := load.Config{
-		Tenants:    *tenants,
-		Iterations: *iters,
-		Apps:       strings.Split(*apps, ","),
-		Platform:   *platName,
-		Seed:       *seed,
-		WireV2:     *v2,
-		Duration:   *openLoop,
-		TraceEvery: *traceEvery,
-		Tracer:     tracer,
+		Tenants:         *tenants,
+		Iterations:      *iters,
+		Apps:            strings.Split(*apps, ","),
+		Platform:        *platName,
+		Seed:            *seed,
+		WireV2:          *v2,
+		Duration:        *openLoop,
+		Tier:            *tier,
+		Adversaries:     *adversaries,
+		AdversaryWeight: *advWeight,
+		TraceEvery:      *traceEvery,
+		Tracer:          tracer,
+	}
+	if *expectShed && *adversaries == 0 {
+		fail(fmt.Errorf("loadgen: -expect-shed requires -adversaries"))
 	}
 	if *openLoop > 0 && *iters <= 200 {
 		// Throughput mode must not end by workload completion: give every
@@ -217,8 +230,9 @@ func main() {
 			}
 			prefix = "Meter"
 		}
+		qcfg := qos.Config{Enabled: *qosEnabled || *adversaries > 0, ShedPressure: *qosShedAt}
 		var err error
-		sh, err = startSelfhost(globalJ, mo)
+		sh, err = startSelfhost(globalJ, mo, qcfg)
 		if err != nil {
 			fail(err)
 		}
@@ -234,6 +248,11 @@ func main() {
 		}
 	}
 
+	if *adversaries > 0 {
+		// Adversarial runs measure enforcement, not the steady-state hot
+		// path; their latency snapshots must not overwrite the baselines.
+		prefix = "Qos"
+	}
 	if *v2 {
 		// Distinct snapshot names: the v2 hot path must not overwrite the
 		// v1 JSON baseline (and vice versa) in BENCH_experiments.json.
@@ -282,11 +301,31 @@ func main() {
 	for _, line := range rep.BenchLines(prefix) {
 		fmt.Println(line)
 	}
-	if *check > 0 {
-		if err := rep.Check(*check); err != nil {
-			fail(err)
+	if *adversaries > 0 {
+		regs := 0
+		for _, tr := range rep.Tenants {
+			if tr.Adversary {
+				regs += tr.Registrations
+			}
 		}
-		fmt.Fprintf(os.Stderr, "check passed: every tenant within %.0f%% of its grant\n", *check*100)
+		fmt.Fprintf(os.Stderr, "enforcement: %d adversary registrations; denials throttled %d / suspended %d / shed %d\n",
+			regs, rep.Throttled, rep.Suspended, rep.Shed)
+		if *expectShed && rep.Shed == 0 {
+			fail(fmt.Errorf("loadgen: -expect-shed: no adversary session was shed"))
+		}
+	}
+	if *check > 0 {
+		if *adversaries > 0 {
+			if err := rep.CheckIsolation(*check); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "isolation check passed: honest tenants within %.0f%% of grant, untouched by enforcement; adversaries denied\n", *check*100)
+		} else {
+			if err := rep.Check(*check); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "check passed: every tenant within %.0f%% of its grant\n", *check*100)
+		}
 	} else if rep.Errors > 0 {
 		fail(fmt.Errorf("loadgen: %d tenants reported errors", rep.Errors))
 	}
@@ -486,6 +525,19 @@ func autoBudget(cfg load.Config) float64 {
 		}
 		total += per
 	}
+	if cfg.Adversaries > 0 {
+		// An adversary claims AdversaryWeight honest tenants' worth, so
+		// scale the pool by the claimed total or admission (which is
+		// claim-blind while the pool fits) would reject the honest
+		// tenants instead of letting the QoS ladder do its job.
+		honest := float64(cfg.Tenants - cfg.Adversaries)
+		adv := float64(cfg.Adversaries)
+		w := cfg.AdversaryWeight
+		if w <= 0 {
+			w = 10
+		}
+		total *= (honest + adv*w) / float64(cfg.Tenants)
+	}
 	return total * server.DefaultReserve * 1.02
 }
 
@@ -497,12 +549,13 @@ type selfhost struct {
 	snap    string
 	tel     *telemetry.Telemetry
 	globalJ float64
+	qos     qos.Config
 	srv     *server.Server
 	httpSrv *http.Server
 	rig     *meterRig
 }
 
-func startSelfhost(globalJ float64, mo *meterOpts) (*selfhost, error) {
+func startSelfhost(globalJ float64, mo *meterOpts, qcfg qos.Config) (*selfhost, error) {
 	dir, err := os.MkdirTemp("", "loadgen-snap-")
 	if err != nil {
 		return nil, err
@@ -511,6 +564,7 @@ func startSelfhost(globalJ float64, mo *meterOpts) (*selfhost, error) {
 		snap:    filepath.Join(dir, "jouleguardd.snap"),
 		tel:     telemetry.New(4096),
 		globalJ: globalJ,
+		qos:     qcfg,
 	}
 	if mo != nil {
 		sh.rig, err = buildMeterRig(sh.tel, mo)
@@ -536,7 +590,14 @@ func startSelfhost(globalJ float64, mo *meterOpts) (*selfhost, error) {
 // every restart rebuild share; a meter rig survives restarts (real
 // hardware does not forget its counters when the daemon bounces).
 func (sh *selfhost) serverConfig() server.Config {
-	cfg := server.Config{GlobalBudgetJ: sh.globalJ, Telemetry: sh.tel}
+	cfg := server.Config{GlobalBudgetJ: sh.globalJ, Telemetry: sh.tel, QoS: sh.qos}
+	if sh.qos.Enabled {
+		// The ladder climbs one rung per EscalateAfter observe ticks; at
+		// the daemon's default 1 s sweep an adversarial smoke run would
+		// finish before enforcement engages. Tick fast enough that the
+		// whole escalation arc fits inside the run.
+		cfg.SweepInterval = 25 * time.Millisecond
+	}
 	if sh.rig != nil {
 		cfg.Meter = sh.rig.svc
 		cfg.MeterStimulus = sh.rig.stimulus

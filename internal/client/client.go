@@ -114,6 +114,7 @@ type Options struct {
 	Key string
 
 	Tenant      string
+	Tier        string // QoS tier claim: guaranteed | standard | best-effort ("" = standard)
 	Weight      float64
 	App         string
 	Platform    string
@@ -298,6 +299,7 @@ func Open(ctx context.Context, opts Options, readEnergy func() (float64, error),
 	s.traceSeed = seed ^ uint64(opts.Seed)
 	s.reg = wire.RegisterRequest{
 		Tenant:       opts.Tenant,
+		Tier:         opts.Tier,
 		Key:          opts.Key,
 		Weight:       opts.Weight,
 		App:          opts.App,
@@ -579,7 +581,11 @@ func (s *Session) shouldFailover(err error) bool {
 	return errors.Is(err, errExhausted) ||
 		IsCode(err, wire.CodeUnknownSession) ||
 		IsCode(err, wire.CodeLeaseExpired) ||
-		IsCode(err, wire.CodeNotOwner)
+		IsCode(err, wire.CodeNotOwner) ||
+		// A shed session is gone from this node; re-placing gives the
+		// tenant its one legitimate recovery path (fleet policy decides
+		// whether the new owner will actually have it back).
+		IsCode(err, wire.CodeTenantShed)
 }
 
 // place asks the coordinators, in order from the one last known to
@@ -665,7 +671,11 @@ func retryableFailover(err error) bool {
 		IsCode(err, wire.CodeNoNodes) ||
 		IsCode(err, wire.CodeNotOwner) ||
 		IsCode(err, wire.CodeLeaseExpired) ||
-		IsCode(err, wire.CodeUnknownSession)
+		IsCode(err, wire.CodeUnknownSession) ||
+		// Tenant enforcement on the re-register path: keep backing off —
+		// the suspension lifts once the tenant's ladder de-escalates.
+		IsCode(err, wire.CodeTenantSuspended) ||
+		IsCode(err, wire.CodeTenantShed)
 }
 
 func (s *Session) failoverOnce(ctx context.Context) error {
@@ -787,8 +797,14 @@ func (s *Session) callTo(ctx context.Context, base, method, path string, body, o
 			werr = wire.ErrorResponse{Code: wire.CodeBadRequest, Error: strings.TrimSpace(string(raw))}
 		}
 		perr := &Error{Code: werr.Code, Message: werr.Error, Status: status}
-		if status >= 500 || werr.Code == wire.CodeDraining {
-			lastErr = perr // the daemon is restarting or unwell: retry
+		if werr.Code == wire.CodeTenantSuspended || werr.Code == wire.CodeTenantShed {
+			// Enforcement verdicts lift on de-escalation timescales
+			// (seconds of clean behavior), not on retry backoff; burning
+			// the attempt budget here would just hammer the daemon.
+			return perr
+		}
+		if status >= 500 || werr.Code == wire.CodeDraining || werr.Code == wire.CodeTenantThrottled {
+			lastErr = perr // restarting, unwell, or paced by the qos ladder: back off and retry
 			continue
 		}
 		return perr

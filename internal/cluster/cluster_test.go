@@ -137,9 +137,19 @@ func (f *fleet) addNode(name string) *cluster.Member {
 // addNodeWith builds a member with an explicit standby coordinator list
 // and/or HTTP client (for fault-fabric transports); nils take defaults.
 func (f *fleet) addNodeWith(name string, standbys []string, httpc *http.Client) *cluster.Member {
+	return f.addNodeCfg(name, standbys, httpc, nil)
+}
+
+// addNodeCfg additionally lets the test adjust the node's server config
+// before it starts (e.g. enabling the QoS ladder on one node).
+func (f *fleet) addNodeCfg(name string, standbys []string, httpc *http.Client, edit func(*server.Config)) *cluster.Member {
 	f.t.Helper()
 	const seedJ = 10000
-	srv, err := server.New(server.Config{GlobalBudgetJ: seedJ, SweepInterval: -1, Clock: f.clock.Now})
+	scfg := server.Config{GlobalBudgetJ: seedJ, SweepInterval: -1, Clock: f.clock.Now}
+	if edit != nil {
+		edit(&scfg)
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		f.t.Fatal(err)
 	}

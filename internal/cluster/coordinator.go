@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"jouleguard/internal/qos"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
@@ -88,6 +89,10 @@ type node struct {
 	escrowJ  float64
 	lastBeat time.Time
 	live     bool
+	// policies is the node's latest local qos ladder report (escalated
+	// tenants only); the fleet-wide policy is the max-merge across live
+	// nodes' reports, recomputed every heartbeat.
+	policies []wire.TenantPolicy
 }
 
 func (n *node) unspent() float64 {
@@ -604,6 +609,19 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 		})
 	}
 
+	// Tenant protection: adopt the node's latest local ladder report and
+	// recompute the fleet-wide merge (max escalation across live nodes).
+	// The merge rides back on this very response, so a tenant escalated
+	// on any node is enforced fleet-wide within one heartbeat interval —
+	// re-placing sessions onto a quieter node buys it nothing.
+	n.policies = req.Tenants
+	policies := c.mergePoliciesLocked()
+	states := make(map[string]string, len(policies))
+	for _, p := range policies {
+		states[p.Tenant] = p.State
+		c.roll.observeTenantQoS(p.Tenant, p.Tier, p.State)
+	}
+
 	acked := make(map[string]int, len(req.Sessions))
 	for i := range req.Sessions {
 		rep := &req.Sessions[i]
@@ -613,6 +631,9 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 		}
 		acked[rep.ID] = c.foldReportLocked(req.Node, rep)
 		c.roll.observeTenant(rep.Reg.Tenant, rep.SpentJ-prevSpent, dt)
+		if _, escalated := states[rep.Reg.Tenant]; !escalated {
+			c.roll.observeTenantQoS(rep.Reg.Tenant, rep.Reg.Tier, "ok")
+		}
 	}
 	for _, id := range req.Closed {
 		if rec := c.byID[id]; rec != nil && rec.node == req.Node {
@@ -624,11 +645,38 @@ func (c *Coordinator) Heartbeat(req wire.HeartbeatRequest) (wire.HeartbeatRespon
 	c.logNodeLocked("heartbeat", n)
 	c.checkLocked("heartbeat")
 	return wire.HeartbeatResponse{
-		LeaseJ: n.leaseJ,
-		TTLMS:  c.cfg.LeaseTTL.Milliseconds(),
-		Acked:  acked,
-		Fence:  c.fence,
+		LeaseJ:   n.leaseJ,
+		TTLMS:    c.cfg.LeaseTTL.Milliseconds(),
+		Acked:    acked,
+		Fence:    c.fence,
+		Policies: policies,
 	}, nil
+}
+
+// mergePoliciesLocked folds every live node's latest local ladder
+// report into the fleet-wide tenant policy: per tenant, the maximum
+// escalation wins. De-escalation propagates for free — the merge is
+// recomputed from the latest reports, so once the escalating node's
+// ladder cools the tenant drops out of the merge and every member's
+// remote overlay clears on its next beat. Callers hold c.mu.
+func (c *Coordinator) mergePoliciesLocked() []wire.TenantPolicy {
+	merged := map[string]wire.TenantPolicy{}
+	for _, n := range c.nodes {
+		if !n.live {
+			continue
+		}
+		for _, p := range n.policies {
+			if cur, ok := merged[p.Tenant]; !ok || qos.ParseState(p.State) > qos.ParseState(cur.State) {
+				merged[p.Tenant] = p
+			}
+		}
+	}
+	out := make([]wire.TenantPolicy, 0, len(merged))
+	for _, p := range merged {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // foldReportLocked merges one session report and returns the

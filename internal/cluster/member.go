@@ -216,6 +216,10 @@ func (m *Member) Beat() error {
 		Fence:     m.Fence(),
 		Traces:    traces,
 		Metrics:   &summary,
+		// Only this node's own ladder verdicts ship — never the merged
+		// effective state, or the coordinator's merge would echo back as
+		// our "local" opinion and ratchet the fleet to max forever.
+		Tenants: m.srv.QoS().LocalPolicies(),
 	}
 	seen := map[string]bool{}
 	for _, ex := range exports {
@@ -268,6 +272,11 @@ func (m *Member) Beat() error {
 	}
 	m.mu.Unlock()
 	m.applyLease(resp.LeaseJ, resp.TTLMS, false)
+	// Fleet-wide tenant policy: the coordinator's max-merge across live
+	// nodes becomes this node's remote overlay (an empty list clears it),
+	// so a tenant escalated anywhere is enforced everywhere and cannot
+	// escape its ladder by re-placing sessions.
+	m.srv.QoS().ApplyRemote(resp.Policies)
 	return nil
 }
 

@@ -1,0 +1,101 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"jouleguard/internal/qos"
+	"jouleguard/internal/server"
+	"jouleguard/internal/wire"
+)
+
+// TestQoSPolicyPropagatesAcrossFleet pins the no-escape-by-re-placing
+// property: a tenant whose ladder escalates to suspended on one node is
+// refused registrations on every other node after one heartbeat round —
+// and the enforcement lifts fleet-wide once the origin node de-escalates
+// (the overlay must not ratchet).
+func TestQoSPolicyPropagatesAcrossFleet(t *testing.T) {
+	f := newFleetCfg(t, 40000, 0, nil)
+	// Only node0 runs the ladder; node1 enforces purely what the
+	// coordinator merge tells it, which is exactly the deployment shape
+	// where a tenant tries to dodge enforcement by landing elsewhere.
+	mA := f.addNodeCfg("node0", nil, nil, func(c *server.Config) {
+		c.QoS = qos.Config{Enabled: true, EscalateAfter: 1, DeescalateAfter: 1}
+	})
+	mB := f.addNodeCfg("node1", nil, nil, nil)
+	engA, engB := f.servers[0].QoS(), f.servers[1].QoS()
+
+	// Three overrun observations climb node0's local ladder one rung
+	// each: throttled, degraded, suspended.
+	engA.SetTier("noisy", qos.BestEffort)
+	for i := 0; i < 3; i++ {
+		engA.Observe([]qos.Observation{{Tenant: "noisy", Overrun: 10, Sessions: 1}}, 0)
+	}
+	if st := engA.StateOf("noisy"); st != qos.StateSuspended {
+		t.Fatalf("node0 local ladder at %v after three overruns, want suspended", st)
+	}
+	// Before any heartbeat, node1 knows nothing — the policy travels on
+	// the heartbeat, not by magic.
+	if st := engB.StateOf("noisy"); st != qos.StateOK {
+		t.Fatalf("node1 at %v before any heartbeat, want ok", st)
+	}
+
+	// node0's beat ships its local verdicts; node1's beat brings back
+	// the coordinator's fleet-wide merge.
+	if err := mA.Beat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mB.Beat(); err != nil {
+		t.Fatal(err)
+	}
+	if st := engB.StateOf("noisy"); st != qos.StateSuspended {
+		t.Fatalf("node1 at %v after heartbeat round, want suspended: the verdict did not propagate", st)
+	}
+
+	// The teeth: a real registration against node1's HTTP surface is
+	// refused with the enforcement code, while an honest tenant on the
+	// same node registers untouched.
+	status, werr := postJSON(t, f.nodeTS[1].URL+wire.BasePath, wire.RegisterRequest{
+		Tenant: "noisy", App: "radar", Platform: "Tablet", Iterations: 5, Factor: 2,
+	}, nil)
+	if status != 503 || werr.Code != wire.CodeTenantSuspended {
+		t.Fatalf("suspended tenant registering on node1: status %d code %q, want 503 %s",
+			status, werr.Code, wire.CodeTenantSuspended)
+	}
+	var reg wire.RegisterResponse
+	if status, werr := postJSON(t, f.nodeTS[1].URL+wire.BasePath, wire.RegisterRequest{
+		Tenant: "polite", App: "radar", Platform: "Tablet", Iterations: 5, Factor: 2,
+	}, &reg); status != 201 {
+		t.Fatalf("honest tenant on node1 under fleet enforcement: status %d code %q", status, werr.Code)
+	}
+
+	// De-escalation must propagate the same way: clean observations walk
+	// node0 back to ok, its heartbeat report empties, and the next merge
+	// clears node1's overlay.
+	for i := 0; i < 3; i++ {
+		engA.Observe([]qos.Observation{{Tenant: "noisy", Overrun: 0, Sessions: 1}}, 0)
+	}
+	// StateOf still reads suspended here: node0's own first beat brought
+	// the fleet merge back to it, and the effective rung is the max of
+	// local and remote. The local ladder is what its next report ships.
+	if pol := engA.LocalPolicies(); len(pol) != 0 {
+		t.Fatalf("node0 still reporting %v after three clean observations, want an empty report", pol)
+	}
+	if err := mA.Beat(); err != nil {
+		t.Fatal(err)
+	}
+	// node0's beat both emptied its stored report and returned the
+	// recomputed merge, so its own overlay clears immediately.
+	if st := engA.StateOf("noisy"); st != qos.StateOK {
+		t.Fatalf("node0 at %v after its clean beat, want ok", st)
+	}
+	if err := mB.Beat(); err != nil {
+		t.Fatal(err)
+	}
+	if st := engB.StateOf("noisy"); st != qos.StateOK {
+		t.Fatalf("node1 still at %v after the origin de-escalated: the fleet overlay ratcheted", st)
+	}
+	if d := engB.CheckRegister("noisy"); d != nil {
+		t.Fatalf("node1 still refusing the de-escalated tenant: %v", d)
+	}
+	f.assertInvariant("after QoS propagation round-trips")
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"jouleguard/internal/qos"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
@@ -23,12 +24,15 @@ const burnAlpha = 0.3
 // unixS renders a wall-clock instant as float seconds for span records.
 func unixS(t time.Time) float64 { return float64(t.UnixNano()) / 1e9 }
 
-// tenantRoll is one tenant's rollup state: cumulative spend counter and
-// EWMA burn gauge.
+// tenantRoll is one tenant's rollup state: cumulative spend counter,
+// EWMA burn gauge, and the fleet-wide QoS position (tier and merged
+// ladder rung) jgtop's tenant panel reads.
 type tenantRoll struct {
-	burn   float64
-	gBurn  *telemetry.Gauge
-	cSpent *telemetry.Counter
+	burn    float64
+	gBurn   *telemetry.Gauge
+	cSpent  *telemetry.Counter
+	gTier   *telemetry.Gauge
+	gLadder *telemetry.Gauge
 }
 
 // rollup is the coordinator's fleet-metrics aggregator. All mutation
@@ -112,12 +116,8 @@ func (r *rollup) observeBurn(bookedJ, dtS float64) {
 	r.gBurn.Set(r.burnEWMA)
 }
 
-// observeTenant folds one session report's spend delta into its
-// tenant's cumulative counter and burn gauge.
-func (r *rollup) observeTenant(tenant string, spentDeltaJ, dtS float64) {
-	if tenant == "" {
-		tenant = "default"
-	}
+// tenantLocked lazily creates a tenant's rollup record and series.
+func (r *rollup) tenantLocked(tenant string) *tenantRoll {
 	t := r.tenants[tenant]
 	if t == nil {
 		t = &tenantRoll{
@@ -125,9 +125,36 @@ func (r *rollup) observeTenant(tenant string, spentDeltaJ, dtS float64) {
 				"Per-tenant energy burn rate (EWMA).", telemetry.Label{Name: "tenant", Value: tenant}),
 			cSpent: r.reg.Counter("jouleguard_fleet_tenant_spent_joules",
 				"Per-tenant cumulative energy spend across the fleet.", telemetry.Label{Name: "tenant", Value: tenant}),
+			gTier: r.reg.Gauge("jouleguard_fleet_tenant_tier",
+				"Tenant QoS tier (0 standard, 1 best-effort, 2 guaranteed).", telemetry.Label{Name: "tenant", Value: tenant}),
+			gLadder: r.reg.Gauge("jouleguard_fleet_tenant_ladder_state",
+				"Fleet-merged tenant ladder rung (0 ok, 1 throttled, 2 degraded, 3 suspended, 4 killed).",
+				telemetry.Label{Name: "tenant", Value: tenant}),
 		}
 		r.tenants[tenant] = t
 	}
+	return t
+}
+
+// observeTenantQoS publishes a tenant's fleet-wide QoS position: its
+// claimed tier and the max-merged ladder rung. state "ok" (or a tenant
+// dropping out of the policy merge) resets the rung to 0.
+func (r *rollup) observeTenantQoS(tenant, tier, state string) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t := r.tenantLocked(tenant)
+	t.gTier.Set(float64(qos.ParseTier(tier)))
+	t.gLadder.Set(float64(qos.ParseState(state)))
+}
+
+// observeTenant folds one session report's spend delta into its
+// tenant's cumulative counter and burn gauge.
+func (r *rollup) observeTenant(tenant string, spentDeltaJ, dtS float64) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t := r.tenantLocked(tenant)
 	if spentDeltaJ > 0 {
 		t.cSpent.Add(spentDeltaJ)
 	}

@@ -42,6 +42,27 @@ type Config struct {
 	MinAcc     float64
 	Seed       int64 // tenant i runs with Seed+i
 	Retry      client.RetryPolicy
+	// Tier is the QoS class honest tenants claim at registration
+	// (guaranteed | standard | best-effort; empty = standard).
+	Tier string
+
+	// Adversaries converts the last N tenants into deliberately
+	// misbehaving ones: each claims AdversaryWeight times an honest
+	// share, registers under AdversaryTier, and keeps hammering the
+	// daemon — re-registering straight through every enforcement denial
+	// — until the honest tenants finish. Their denials are tallied in
+	// the report instead of counting as run errors; the run's verdict
+	// comes from CheckIsolation, which asserts the honest tenants never
+	// felt them.
+	Adversaries int
+	// AdversaryTier is the QoS class adversaries claim (default
+	// best-effort, the first tier overload shedding sacrifices).
+	AdversaryTier string
+	// AdversaryWeight is the claim multiple an adversary asks for —
+	// AdversaryWeight times an honest tenant's absolute budget in
+	// factor-priced mode, or its weight in weighted mode (default 10:
+	// ten honest tenants' worth of the pool).
+	AdversaryWeight float64
 
 	// WireV2 moves the per-iteration traffic onto the v2 binary frame
 	// stream with the batched DoneNext loop (settle + next decision in
@@ -106,6 +127,20 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Adversaries >= c.Tenants {
+		// At least one honest tenant: the isolation property is about
+		// them, and an all-adversary run would never terminate.
+		c.Adversaries = c.Tenants - 1
+	}
+	if c.Adversaries < 0 {
+		c.Adversaries = 0
+	}
+	if c.AdversaryTier == "" {
+		c.AdversaryTier = "best-effort"
+	}
+	if c.AdversaryWeight <= 0 {
+		c.AdversaryWeight = 10
+	}
 	return c
 }
 
@@ -129,6 +164,17 @@ type TenantResult struct {
 	// harnesses use to find this tenant's spans across nodes.
 	TraceID uint64
 	Err     error
+
+	// Adversary marks a deliberately misbehaving tenant: enforcement
+	// denials are its expected outcome, so they are tallied here rather
+	// than surfacing as Err.
+	Adversary bool
+	// Registrations counts the sessions the adversary opened (it
+	// re-registers through every denial).
+	Registrations int
+	// Throttled, Suspended and Shed tally the enforcement denials the
+	// tenant drew, by wire code.
+	Throttled, Suspended, Shed int
 }
 
 // OverGrant reports the tenant's spend as a fraction of its grant
@@ -169,6 +215,10 @@ type Report struct {
 	Failovers        int
 	CoordFailovers   int
 	FailP50, FailP99 time.Duration
+
+	// Adversarial-mode extras: the enforcement denials adversaries drew
+	// across the run, by wire code.
+	Throttled, Suspended, Shed int
 }
 
 // Check asserts the run's guarantees: every tenant finished, and no
@@ -183,6 +233,9 @@ func (r *Report) Check(slack float64) error {
 		}
 	}
 	for _, t := range r.Tenants {
+		if t.Adversary {
+			continue // judged by CheckIsolation, not by completion
+		}
 		if t.Iterations == 0 {
 			return fmt.Errorf("load: tenant %s completed no iterations", t.Tenant)
 		}
@@ -190,6 +243,32 @@ func (r *Report) Check(slack float64) error {
 			return fmt.Errorf("load: tenant %s spent %.1f J of a %.1f J grant (%.1f%% > %.1f%% slack)",
 				t.Tenant, t.SpentJ, t.GrantJ, og*100, slack*100)
 		}
+	}
+	return nil
+}
+
+// CheckIsolation asserts the adversarial run's headline property: every
+// honest tenant finished its workload within slack of its grant and
+// drew no enforcement denial, while the adversaries — the only tenants
+// allowed to feel the ladder — drew at least one. Call it instead of
+// Check when Config.Adversaries > 0.
+func (r *Report) CheckIsolation(slack float64) error {
+	if err := r.Check(slack); err != nil {
+		return err
+	}
+	advDenials := 0
+	for _, t := range r.Tenants {
+		if t.Adversary {
+			advDenials += t.Throttled + t.Suspended + t.Shed
+			continue
+		}
+		if n := t.Throttled + t.Suspended + t.Shed; n > 0 {
+			return fmt.Errorf("load: honest tenant %s drew %d enforcement denials (throttled %d, suspended %d, shed %d)",
+				t.Tenant, n, t.Throttled, t.Suspended, t.Shed)
+		}
+	}
+	if advDenials == 0 {
+		return fmt.Errorf("load: adversaries ran unenforced: not one drew an enforcement denial")
 	}
 	return nil
 }
@@ -225,6 +304,13 @@ func (r *Report) BenchLines(prefix string) []string {
 			fmt.Sprintf("Benchmark%sFailoverP50\t%d\t%d ns/op", prefix, r.Failovers, r.FailP50.Nanoseconds()),
 			fmt.Sprintf("Benchmark%sFailoverP99\t%d\t%d ns/op", prefix, r.Failovers, r.FailP99.Nanoseconds()))
 	}
+	if n := r.Throttled + r.Suspended + r.Shed; n > 0 {
+		lines = append(lines,
+			fmt.Sprintf("Benchmark%sDenials\t%d\t%d denials", prefix, n, n),
+			fmt.Sprintf("Benchmark%sThrottled\t%d\t%d denials", prefix, n, r.Throttled),
+			fmt.Sprintf("Benchmark%sSuspended\t%d\t%d denials", prefix, n, r.Suspended),
+			fmt.Sprintf("Benchmark%sShed\t%d\t%d denials", prefix, n, r.Shed))
+	}
 	return lines
 }
 
@@ -242,10 +328,11 @@ func (r *Report) Summary() string {
 // tenant is the virtual application: clock and meter advance by the
 // platform model, decisions come from the wire.
 type tenant struct {
-	name string
-	app  string
-	cfg  Config
-	tb   *jouleguard.Testbed
+	name      string
+	app       string
+	cfg       Config
+	tb        *jouleguard.Testbed
+	adversary bool
 
 	clockS  float64 // virtual seconds
 	energyJ float64 // virtual cumulative joules
@@ -292,6 +379,7 @@ func (t *tenant) run(ctx context.Context) {
 		Platform:    t.cfg.Platform,
 		Iterations:  t.cfg.Iterations,
 		MinAccuracy: t.cfg.MinAcc,
+		Tier:        t.cfg.Tier,
 		Retry:       t.cfg.Retry,
 		DisableV2:   !t.cfg.WireV2,
 		TraceEvery:  t.cfg.TraceEvery,
@@ -431,10 +519,127 @@ func (t *tenant) run(ctx context.Context) {
 	if err := sess.Close(ctx); err != nil && t.res.Err == nil {
 		t.res.Err = fmt.Errorf("close: %w", err)
 	}
+	// An honest tenant hitting the ladder is an isolation failure;
+	// tally the denial so CheckIsolation can name it.
+	t.noteDenial(t.res.Err)
 }
 
 func (t *tenant) readEnergy() (float64, error) { return t.energyJ, nil }
 func (t *tenant) readNow() float64             { return t.clockS }
+
+// noteDenial classifies err as an enforcement denial and tallies it on
+// the result, reporting whether it was one.
+func (t *tenant) noteDenial(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case client.IsCode(err, wire.CodeTenantThrottled):
+		t.res.Throttled++
+	case client.IsCode(err, wire.CodeTenantSuspended):
+		t.res.Suspended++
+	case client.IsCode(err, wire.CodeTenantShed):
+		t.res.Shed++
+	default:
+		return false
+	}
+	return true
+}
+
+// runAdversary executes the tenant as a hostile load source: it claims
+// AdversaryWeight honest shares under AdversaryTier and drives
+// iterations as fast as the daemon answers, re-registering straight
+// through every enforcement denial until stop closes. Denials are
+// tallied, and every other error simply ends the current session — an
+// adversary's job is to be refused, so nothing it experiences fails
+// the run (the honest tenants are the run's verdict). Its latencies
+// are never sampled: hostile traffic must not pollute the quantiles.
+func (t *tenant) runAdversary(ctx context.Context, stop <-chan struct{}) {
+	t.res = TenantResult{Tenant: t.name, App: t.app, Adversary: true}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		// Fresh virtual clock and meter per registration: each session's
+		// readings are its own, as a restarted application's would be.
+		t.clockS, t.energyJ = 0, 0
+		opts := client.Options{
+			BaseURL:     t.cfg.BaseURL,
+			Tenant:      t.name,
+			App:         t.app,
+			Platform:    t.cfg.Platform,
+			Iterations:  t.cfg.Iterations,
+			MinAccuracy: t.cfg.MinAcc,
+			Tier:        t.cfg.AdversaryTier,
+			Retry:       t.cfg.Retry,
+			DisableV2:   true,
+			Seed:        t.cfg.Seed,
+		}
+		// Claim AdversaryWeight honest tenants' worth of the pool, in
+		// whichever pricing mode the honest tenants use. Admission is
+		// claim-blind while the pool has room — noticing and punishing
+		// the sustained hogging is the QoS ladder's job.
+		if t.cfg.Factor > 0 {
+			b, err := t.tb.Budget(t.cfg.Factor, t.cfg.Iterations)
+			if err != nil {
+				t.res.Err = err
+				return
+			}
+			opts.BudgetJ = b * t.cfg.AdversaryWeight
+		} else {
+			opts.Weight = t.cfg.AdversaryWeight * math.Max(t.cfg.Weight, 1)
+		}
+		if t.cfg.CoordinatorURL != "" {
+			opts.CoordinatorURL = t.cfg.CoordinatorURL
+			opts.CoordinatorURLs = t.cfg.CoordinatorURLs
+			// A fresh key per attempt: a suspended tenant re-placing under
+			// new keys is exactly the escape hatch fleet policy must close.
+			opts.Key = fmt.Sprintf("%s-r%d", t.name, t.res.Registrations)
+			opts.BaseURL = ""
+		}
+		sess, err := client.Open(ctx, opts, t.readEnergy, t.readNow)
+		if err != nil {
+			t.noteDenial(err)
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		t.res.Registrations++
+		t.res.SessionID = sess.ID()
+		t.res.GrantJ = sess.GrantJ()
+		for i := 0; i < t.cfg.Iterations; i++ {
+			select {
+			case <-stop:
+				_ = sess.Close(ctx)
+				return
+			default:
+			}
+			appCfg, sysCfg, err := sess.Next(ctx)
+			t.wireCalls++
+			if err != nil {
+				t.noteDenial(err)
+				break
+			}
+			work, acc := t.step(appCfg, i)
+			dur := work / t.tb.Platform.Rate(sysCfg, t.tb.Profile)
+			t.clockS += dur
+			t.energyJ += t.tb.Platform.Power(sysCfg, t.tb.Profile) * dur
+			err = sess.Done(ctx, acc)
+			t.wireCalls++
+			if err != nil {
+				t.noteDenial(err)
+				break
+			}
+			t.res.Iterations++
+		}
+		t.res.SpentJ += sess.LastStatus().SpentJ
+		_ = sess.Close(ctx)
+	}
+}
 
 // Run drives cfg.Tenants concurrent sessions to completion and reports.
 // Cancelling ctx aborts the tenants' wire calls (including retry
@@ -442,6 +647,7 @@ func (t *tenant) readNow() float64             { return t.clockS }
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	var done atomic.Int64
+	honest := cfg.Tenants - cfg.Adversaries
 	tenants := make([]*tenant, cfg.Tenants)
 	for i := range tenants {
 		app := cfg.Apps[i%len(cfg.Apps)]
@@ -451,9 +657,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		tcfg := cfg
 		tcfg.Seed = cfg.Seed + int64(i)
+		name := fmt.Sprintf("tenant-%02d", i)
+		if i >= honest {
+			name = fmt.Sprintf("adversary-%02d", i-honest)
+		}
 		tenants[i] = &tenant{
-			name: fmt.Sprintf("tenant-%02d", i),
-			app:  app, cfg: tcfg, tb: tb, done: &done,
+			name: name, adversary: i >= honest,
+			app: app, cfg: tcfg, tb: tb, done: &done,
 		}
 	}
 	// The kill watcher injects the scheduled mid-run failures (node
@@ -487,8 +697,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}()
 	}
 	start := time.Now()
-	var wg sync.WaitGroup
+	// Adversaries run until the honest tenants finish: the property
+	// under test is that honest workloads complete while hostile load
+	// is live the whole time, so the adversaries must never finish
+	// first and quietly hand the pool back.
+	advStop := make(chan struct{})
+	var wg, advWG sync.WaitGroup
 	for _, t := range tenants {
+		if t.adversary {
+			advWG.Add(1)
+			go func(t *tenant) {
+				defer advWG.Done()
+				t.runAdversary(ctx, advStop)
+			}(t)
+			continue
+		}
 		wg.Add(1)
 		go func(t *tenant) {
 			defer wg.Done()
@@ -496,6 +719,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}(t)
 	}
 	wg.Wait()
+	close(advStop)
+	advWG.Wait()
 	elapsed := time.Since(start)
 
 	rep := &Report{Elapsed: elapsed}
@@ -504,6 +729,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Tenants = append(rep.Tenants, t.res)
 		rep.Iterations += t.res.Iterations
 		rep.TotalSpentJ += t.res.SpentJ
+		rep.Decisions += t.wireCalls
+		if t.res.Adversary {
+			// Hostile traffic is reported (denials, spend) but never
+			// judged: no error count, no grant-fidelity sample, no
+			// latency samples.
+			rep.Throttled += t.res.Throttled
+			rep.Suspended += t.res.Suspended
+			rep.Shed += t.res.Shed
+			continue
+		}
 		rep.TotalGrantJ += t.res.GrantJ
 		rep.MaxOverGrant = math.Max(rep.MaxOverGrant, t.res.OverGrant())
 		if t.res.Err != nil {
@@ -511,7 +746,6 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		rep.Failovers += t.res.Failovers
 		rep.CoordFailovers += t.res.CoordFailovers
-		rep.Decisions += t.wireCalls
 		nextAll = append(nextAll, t.nextLat...)
 		doneAll = append(doneAll, t.doneLat...)
 		iterAll = append(iterAll, t.iterLat...)

@@ -1,0 +1,46 @@
+package qos
+
+import "jouleguard/internal/wire"
+
+// Joule pricing of accuracy floors. A tier's floor is a promise about
+// delivered accuracy; what it costs is joules, and the bandit's
+// learned per-arm (rate, power) estimates are the exchange rate: the
+// most efficient pulled arm bounds the cheapest joules-per-iteration
+// the platform has demonstrated, and a floor that must be delivered
+// over W iterations costs at least that rate times the work — scaled
+// by the floor itself, since delivering higher accuracy forecloses the
+// cheap low-accuracy configurations. This is a first-order price (it
+// ignores the app-level accuracy/config curve), but it is monotone in
+// the floor and in the workload, which is all admission and shedding
+// decisions need: a comparable number, not a forecast.
+
+// MinJoulesPerIter returns the cheapest demonstrated cost of one
+// iteration — min over pulled arms of power/rate — or 0 if no arm has
+// been pulled yet (no evidence, no price).
+func MinJoulesPerIter(ests []wire.ArmEstimate) float64 {
+	min := 0.0
+	for _, a := range ests {
+		if a.Pulls <= 0 || a.Rate <= 0 || a.Power <= 0 {
+			continue
+		}
+		jpi := a.Power / a.Rate
+		if min == 0 || jpi < min {
+			min = jpi
+		}
+	}
+	return min
+}
+
+// PriceFloorJ prices an accuracy floor in joules: the first-order cost
+// of delivering floor over iterations of work at the platform's
+// cheapest demonstrated joules-per-iteration. Monotone in every
+// argument; 0 when there is no evidence yet.
+func PriceFloorJ(minJPI float64, iterations int, floor float64) float64 {
+	if minJPI <= 0 || iterations <= 0 || floor <= 0 {
+		return 0
+	}
+	if floor > 1 {
+		floor = 1
+	}
+	return minJPI * float64(iterations) * floor
+}

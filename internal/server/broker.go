@@ -42,14 +42,37 @@ type Broker struct {
 	consumed  float64            // energy definitively spent by released sessions
 	weight    float64            // sum of active session weights
 	carry     map[string]float64 // per-tenant deficit ledger (+credit / -debit)
+	tenants   map[string]*tenantLedger
 	admitted  int
 	rejected  int
 	active    int
 
 	// Gauges mirroring the ledger on /metrics (nil-safe via OrNop-style
-	// guard in publish).
+	// guard in publish). reg is retained so per-tenant series can be
+	// registered lazily as tenants appear.
+	reg                                                 *telemetry.Registry
 	gGlobal, gCommitted, gConsumed, gAvailable, gActive *telemetry.Gauge
 	cAdmitted, cRejected, cReclaims                     *telemetry.Counter
+}
+
+// burnAlpha smooths the per-tenant burn-rate EWMA: heavy enough to ride
+// out settle-to-settle jitter, light enough that a tenant going quiet
+// shows within a few seconds (same constant the fleet rollup uses).
+const burnAlpha = 0.3
+
+// tenantLedger is the broker's per-tenant view: what the qos engine
+// observes. Sessions/committed track live grants; spent and the burn
+// EWMA accumulate from per-iteration settle notes.
+type tenantLedger struct {
+	sessions  int
+	weight    float64
+	committed float64 // live commitments (incl. reserve)
+	consumedJ float64 // definitively consumed by released sessions (net of imports)
+	spentJ    float64 // cumulative noted spend across all sessions
+	burnW     float64 // EWMA of noted spend over client time
+
+	gBurn  *telemetry.Gauge
+	cSpent *telemetry.Counter
 }
 
 // DefaultReserve is the commitment multiplier covering the runtime's
@@ -65,13 +88,15 @@ func NewBroker(globalJ, reserve float64) (*Broker, error) {
 	if reserve <= 1 {
 		reserve = DefaultReserve
 	}
-	return &Broker{globalJ: globalJ, reserve: reserve, carry: map[string]float64{}}, nil
+	return &Broker{globalJ: globalJ, reserve: reserve,
+		carry: map[string]float64{}, tenants: map[string]*tenantLedger{}}, nil
 }
 
 // Instrument registers the broker's ledger gauges on a metric registry.
 func (b *Broker) Instrument(r *telemetry.Registry) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.reg = r
 	b.gGlobal = r.Gauge("jouleguardd_broker_global_joules", "Machine-wide energy budget the broker partitions.")
 	b.gGlobal.Set(b.globalJ)
 	b.gCommitted = r.Gauge("jouleguardd_broker_committed_joules", "Outstanding budget commitments of active sessions (incl. reserve).")
@@ -93,6 +118,107 @@ func (b *Broker) publish() {
 	b.gConsumed.Set(b.consumed)
 	b.gAvailable.Set(b.globalJ - b.committed - b.consumed)
 	b.gActive.Set(float64(b.active))
+}
+
+// tenantLocked lazily creates a tenant's ledger (and, once the broker
+// is instrumented, its per-daemon Prometheus series — the node-local
+// source the fleet's jouleguard_fleet_tenant_* series roll up from).
+// Callers hold b.mu.
+func (b *Broker) tenantLocked(tenant string) *tenantLedger {
+	t := b.tenants[tenant]
+	if t == nil {
+		t = &tenantLedger{}
+		b.tenants[tenant] = t
+	}
+	if t.gBurn == nil && b.reg != nil {
+		t.gBurn = b.reg.Gauge("jouleguard_tenant_burn_watts",
+			"Per-tenant energy burn rate on this daemon (EWMA over client time).",
+			telemetry.Label{Name: "tenant", Value: tenant})
+		t.cSpent = b.reg.Counter("jouleguard_tenant_spent_joules",
+			"Per-tenant cumulative energy spend on this daemon.",
+			telemetry.Label{Name: "tenant", Value: tenant})
+		t.gBurn.Set(t.burnW)
+		t.cSpent.Add(t.spentJ)
+	}
+	return t
+}
+
+// NoteSpend books deltaJ joules of settled spend against the tenant's
+// running ledger, folding the burn-rate EWMA over dtS seconds of
+// client time. Called from the session settle path on every iteration;
+// it mutates only observation state, never the admission ledger (the
+// authoritative spend still lands via Release).
+func (b *Broker) NoteSpend(tenant string, deltaJ, dtS float64) {
+	if deltaJ < 0 {
+		deltaJ = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tenantLocked(tenant)
+	t.spentJ += deltaJ
+	if t.cSpent != nil && deltaJ > 0 {
+		t.cSpent.Add(deltaJ)
+	}
+	if dtS > 0 {
+		t.burnW += burnAlpha * (deltaJ/dtS - t.burnW)
+		if t.gBurn != nil {
+			t.gBurn.Set(t.burnW)
+		}
+	}
+}
+
+// TenantView is one tenant's observable footprint: what the qos engine
+// sees (it never reaches into the broker's maps).
+type TenantView struct {
+	Tenant     string
+	Sessions   int
+	Weight     float64
+	CommitJ    float64 // live commitments (incl. reserve)
+	SpentJ     float64 // cumulative noted spend
+	BurnW      float64 // smoothed burn rate
+	FairJ      float64 // weighted fair share of the pool for its live weight
+	FootprintJ float64 // live commitments + released consumption: pool pressure attributable to it
+}
+
+// viewLocked renders one ledger; callers hold b.mu. FootprintJ sums
+// live commitments with released consumption — live sessions' spend is
+// already inside their commitment, so adding spentJ here would
+// double-count it.
+func (b *Broker) viewLocked(name string, t *tenantLedger) TenantView {
+	v := TenantView{
+		Tenant: name, Sessions: t.sessions, Weight: t.weight,
+		CommitJ: t.committed, SpentJ: t.spentJ, BurnW: t.burnW,
+		FootprintJ: t.committed + t.consumedJ,
+	}
+	if b.weight > 0 && t.weight > 0 {
+		v.FairJ = b.globalJ * t.weight / b.weight
+	}
+	return v
+}
+
+// Observe returns one tenant's footprint (zero view if unknown).
+func (b *Broker) Observe(tenant string) TenantView {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.tenants[tenant]; t != nil {
+		return b.viewLocked(tenant, t)
+	}
+	return TenantView{Tenant: tenant}
+}
+
+// ObserveAll snapshots every tenant the broker has ever seen, plus the
+// pool pressure (committed+consumed over global) — the qos engine's
+// whole observation in one lock acquisition.
+func (b *Broker) ObserveAll() (views []TenantView, pressure float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name, t := range b.tenants {
+		views = append(views, b.viewLocked(name, t))
+	}
+	if b.globalJ > 0 {
+		pressure = (b.committed + b.consumed) / b.globalJ
+	}
+	return views, pressure
 }
 
 // Available returns the uncommitted remainder of the global budget.
@@ -210,6 +336,10 @@ func (b *Broker) Admit(tenant string, weight, requestJ float64) (Grant, error) {
 	b.weight += weight
 	b.active++
 	b.admitted++
+	tl := b.tenantLocked(tenant)
+	tl.sessions++
+	tl.weight += weight
+	tl.committed += commit
 	if b.cAdmitted != nil {
 		b.cAdmitted.Inc()
 	}
@@ -250,6 +380,10 @@ func (b *Broker) AdoptGrant(tenant string, weight, grantJ, importedJ float64) (G
 	b.weight += weight
 	b.active++
 	b.admitted++
+	tl := b.tenantLocked(tenant)
+	tl.sessions++
+	tl.weight += weight
+	tl.committed += commit
 	if b.cAdmitted != nil {
 		b.cAdmitted.Inc()
 	}
@@ -286,6 +420,20 @@ func (b *Broker) Release(g Grant, spentJ float64) {
 		b.active = 0
 	}
 	b.carry[g.Tenant] += g.GrantJ - spentJ
+	tl := b.tenantLocked(g.Tenant)
+	tl.sessions--
+	if tl.sessions < 0 {
+		tl.sessions = 0
+	}
+	tl.weight -= g.Weight
+	if tl.weight < 0 {
+		tl.weight = 0
+	}
+	tl.committed -= g.CommitJ
+	if tl.committed < 0 {
+		tl.committed = 0
+	}
+	tl.consumedJ += localSpent
 	if b.cReclaims != nil {
 		b.cReclaims.Inc()
 	}
@@ -344,5 +492,9 @@ func (b *Broker) readopt(g Grant) {
 	b.weight += g.Weight
 	b.active++
 	b.admitted++
+	tl := b.tenantLocked(g.Tenant)
+	tl.sessions++
+	tl.weight += g.Weight
+	tl.committed += g.CommitJ
 	b.publish()
 }

@@ -21,6 +21,7 @@ import (
 
 	"jouleguard"
 	"jouleguard/internal/measure"
+	"jouleguard/internal/qos"
 	"jouleguard/internal/telemetry"
 	"jouleguard/internal/wire"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	// VirtualClock advance). Nil for hardware backends, which burn real
 	// joules on their own.
 	MeterStimulus func(joules, durS float64)
+	// QoS tunes the tenant-protection engine. The zero value keeps the
+	// local ladder dormant (QoS.Enabled=false): fleet-shipped policy is
+	// still enforced, but this node never escalates tenants on its own.
+	QoS qos.Config
 }
 
 // Server is the governor daemon: session registry, budget broker, expiry
@@ -68,6 +73,7 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	broker *Broker
+	qos    *qos.Engine
 	tel    *telemetry.Telemetry
 	clock  func() time.Time
 
@@ -104,6 +110,7 @@ type Server struct {
 	mClosed    *telemetry.Counter
 	mExpired   *telemetry.Counter
 	mAdopted   *telemetry.Counter
+	mShed      *telemetry.Counter
 	mDecisionS *telemetry.Histogram
 
 	// Conservation-auditor drift gauges, one per custody layer
@@ -144,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 		mClosed:  tel.Registry.Counter("jouleguardd_sessions_closed_total", "Sessions closed by their clients."),
 		mExpired: tel.Registry.Counter("jouleguardd_sessions_expired_total", "Sessions expired by the idle watchdog."),
 		mAdopted: tel.Registry.Counter("jouleguardd_sessions_adopted_total", "Sessions adopted from a failed fleet node."),
+		mShed:    tel.Registry.Counter("jouleguardd_sessions_shed_total", "Sessions killed by tenant shedding (qos ladder or overload)."),
 		mDecisionS: tel.Registry.Histogram("jouleguardd_decision_seconds",
 			"Server-side latency of Next decisions.", telemetry.MicroDurationBuckets()),
 
@@ -160,6 +168,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Meter != nil {
 		s.meter = &meterHook{svc: cfg.Meter, stim: cfg.MeterStimulus}
 	}
+	s.qos = qos.New(cfg.QoS)
+	s.qos.Instrument(tel.Registry)
+	tel.SetQoS(s.qosHealth)
 	broker.Instrument(tel.Registry)
 	if cfg.SweepInterval > 0 {
 		s.stopSweep = make(chan struct{})
@@ -190,6 +201,70 @@ func (s *Server) MetricSummary() wire.MetricSummary {
 
 // Broker returns the budget broker (introspection and tests).
 func (s *Server) Broker() *Broker { return s.broker }
+
+// QoS returns the tenant-protection engine (cluster policy plumbing,
+// introspection and tests).
+func (s *Server) QoS() *qos.Engine { return s.qos }
+
+// qosHealth renders the engine's tenant standings for /healthz.
+func (s *Server) qosHealth() telemetry.QoSInfo {
+	info := telemetry.QoSInfo{Enabled: s.cfg.QoS.Enabled}
+	for _, st := range s.qos.Standings() {
+		info.Tenants = append(info.Tenants, telemetry.QoSTenant{
+			Tenant: st.Tenant, Tier: st.Tier.String(), State: st.State.String(), FloorScale: st.FloorScale,
+		})
+	}
+	return info
+}
+
+// QoSTick runs one tenant-protection round: fold the broker's
+// per-tenant books into ladder observations (footprint over the
+// tier-weighted fair share — session weights are client-claimed and
+// never trusted for enforcement), let the engine climb, descend and
+// shed, then kill the sessions of tenants the verdict names. The sweep
+// loop calls it every SweepInterval; tests call it directly.
+func (s *Server) QoSTick() {
+	views, pressure := s.broker.ObserveAll()
+	if len(views) == 0 {
+		return
+	}
+	var fairTotal float64
+	for _, v := range views {
+		fairTotal += s.qos.TierOf(v.Tenant).Spec().FairWeight
+	}
+	global := s.broker.Global()
+	obs := make([]qos.Observation, 0, len(views))
+	for _, v := range views {
+		o := qos.Observation{Tenant: v.Tenant, BurnW: v.BurnW, Sessions: v.Sessions}
+		if fair := global * s.qos.TierOf(v.Tenant).Spec().FairWeight / fairTotal; fair > 0 {
+			o.Overrun = v.FootprintJ / fair
+		}
+		obs = append(obs, o)
+	}
+	for _, tenant := range s.qos.Observe(obs, pressure).Kill {
+		s.shedTenant(tenant)
+	}
+}
+
+// shedTenant kills every live session the tenant holds on this node,
+// releasing their grants back to the pool. Shed sessions stay
+// introspectable (state "killed"); their clients get tenant_shed on
+// the next wire call.
+func (s *Server) shedTenant(tenant string) int {
+	shed := 0
+	for _, sess := range s.sessions.all() {
+		if sess.reg.Tenant != tenant {
+			continue
+		}
+		if spent, release := sess.shed(); release {
+			s.broker.Release(sess.grant, spent)
+			s.retire(sess)
+			s.mShed.Inc()
+			shed++
+		}
+	}
+	return shed
+}
 
 // Mount registers the wire-protocol routes on mux. The telemetry
 // endpoints are mounted separately (telemetry.Telemetry.Mount) so both
@@ -266,6 +341,10 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 		tenant = "default"
 		req.Tenant = tenant
 	}
+	if d := s.qos.CheckRegister(tenant); d != nil {
+		return wire.RegisterResponse{}, &wireError{d.Code, d.Msg}
+	}
+	s.qos.SetTier(tenant, qos.ParseTier(req.Tier))
 	grant, err := s.admitWithAssist(tenant, req.Weight, request)
 	if err != nil {
 		if errors.Is(err, ErrBudgetExhausted) {
@@ -281,6 +360,7 @@ func (s *Server) Register(req wire.RegisterRequest) (wire.RegisterResponse, erro
 		s.broker.Release(grant, 0)
 		return wire.RegisterResponse{}, &wireError{wire.CodeBadRequest, err.Error()}
 	}
+	sess.noteSpend = s.broker.NoteSpend
 	s.sessions.put(sess)
 	if s.draining.Load() {
 		// Shutdown flipped the drain bit while we were inserting: back the
@@ -430,7 +510,9 @@ func (s *Server) Adopt(a wire.AdoptSession) (string, error) {
 		}
 		return "", err
 	}
+	s.qos.SetTier(a.Reg.Tenant, qos.ParseTier(a.Reg.Tier))
 	sess.setGrant(grant)
+	sess.noteSpend = s.broker.NoteSpend
 	sess.installLiveSink(telemetry.WithSession(s.tel, id))
 	s.sessions.put(sess)
 	s.sessions.setKey(a.Key, id)
@@ -580,6 +662,7 @@ func (s *Server) sweepLoop() {
 		select {
 		case <-t.C:
 			s.ExpireIdle()
+			s.QoSTick()
 			s.auditProvenance()
 		case <-s.stopSweep:
 			return
@@ -654,6 +737,12 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case wire.CodeDraining, wire.CodeLeaseExpired, wire.CodeNoNodes:
 		status = http.StatusServiceUnavailable
+	case wire.CodeTenantThrottled:
+		// Paced, not refused: 429 tells the client to retry this call
+		// after backing off, against this same node.
+		status = http.StatusTooManyRequests
+	case wire.CodeTenantSuspended, wire.CodeTenantShed:
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, wire.ErrorResponse{Code: code, Error: msg})
 }
@@ -701,6 +790,13 @@ func (s *Server) Next(id string, req wire.NextRequest) (wire.NextResponse, error
 }
 
 func (s *Server) sessionNext(sess *session, req wire.NextRequest) (wire.NextResponse, error) {
+	// Tenant-protection gate, shared by v1 and v2 so neither transport
+	// escapes enforcement. reg is immutable post-construction, so the
+	// tenant read needs no lock; while no tenant is enforced the check
+	// is one atomic load.
+	if d := s.qos.CheckNext(sess.reg.Tenant, time.Now().UnixNano()); d != nil {
+		return wire.NextResponse{}, &wireError{d.Code, d.Msg}
+	}
 	start := time.Now()
 	resp, werr := sess.next(req, s.clock())
 	if werr != nil {
@@ -788,7 +884,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, werr)
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.info(true))
+	writeJSON(w, http.StatusOK, s.sessionInfo(sess, true))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -796,7 +892,19 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	// Stable order for scripts and eyeballs: ids are zero-padded
 	// counters, so lexicographic order is creation order.
 	for _, sess := range s.sessions.allSorted() {
-		resp.Sessions = append(resp.Sessions, sess.info(false))
+		resp.Sessions = append(resp.Sessions, s.sessionInfo(sess, false))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionInfo decorates a session's introspection view with its
+// tenant's QoS standing — the session itself never sees the engine.
+func (s *Server) sessionInfo(sess *session, includeEstimates bool) wire.SessionInfo {
+	si := sess.info(includeEstimates)
+	si.Tier = s.qos.TierOf(si.Tenant).String()
+	if st := s.qos.StateOf(si.Tenant); st != qos.StateOK {
+		si.QoSState = st.String()
+		si.FloorScale = s.qos.FloorScale(si.Tenant)
+	}
+	return si
 }

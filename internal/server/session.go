@@ -158,6 +158,16 @@ type session struct {
 	meterW      float64 // attribution weight of the armed iteration: the chosen config's model draw
 	meterCumJ   float64
 	lastClientJ float64
+
+	// QoS wiring. shedded marks a session killed by the tenant-protection
+	// engine: introspection reads "killed" and post-mortem wire calls
+	// answer tenant_shed (back off and re-register) instead of
+	// session_closed. noteSpend, when set, streams each settled
+	// iteration's energy delta into the broker's per-tenant ledger;
+	// lastSpentJ is the accounted total at the previous settle.
+	shedded    bool
+	lastSpentJ float64
+	noteSpend  func(tenant string, deltaJ, dtS float64)
 }
 
 // newSession builds the governor stack for an admitted registration.
@@ -240,6 +250,10 @@ func errLeaseExpired() *wireError {
 
 // checkLive rejects calls on torn-down sessions; callers hold s.mu.
 func (s *session) checkLive() *wireError {
+	if s.shedded {
+		return &wireError{wire.CodeTenantShed,
+			"session killed by tenant shedding; wait for the tenant to de-escalate, then re-register"}
+	}
 	switch s.state {
 	case stateClosed:
 		return errSessionClosed("session closed")
@@ -309,6 +323,15 @@ func (s *session) done(req wire.DoneRequest, now time.Time) (wire.DoneResponse, 
 		EnergyJ: energyJ, EnergyErr: energyErr, Accuracy: req.Accuracy,
 	})
 	s.accSum += req.Accuracy
+	if s.noteSpend != nil {
+		// Stream the settle into the broker's per-tenant ledger (lock
+		// order session.mu -> broker.mu; the broker never takes session
+		// locks). The iteration's wall time comes from the client clock
+		// that also paces the controller.
+		spent := s.ctl.EnergyAccounted()
+		s.noteSpend(s.reg.Tenant, spent-s.lastSpentJ, req.NowS-s.armedNow)
+		s.lastSpentJ = spent
+	}
 	if s.ctl.Iterations() >= s.reg.Iterations {
 		s.state = stateComplete
 	} else {
@@ -381,6 +404,25 @@ func (s *session) teardown(to sessionState) (spentJ float64, release bool) {
 	return s.ctl.EnergyAccounted(), true
 }
 
+// shed tears the session down on behalf of the tenant-protection
+// engine. It mirrors teardown but marks the session shedded, so
+// introspection reads "killed" and post-mortem wire calls answer
+// tenant_shed — a retryable verdict telling the client to back off and
+// re-register, not that its workload shape was wrong.
+func (s *session) shed() (spentJ float64, release bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateClosed || s.state == stateExpired {
+		return 0, false
+	}
+	if s.meter != nil && s.state == stateArmed {
+		s.meter.discard(s.id)
+	}
+	s.state = stateExpired
+	s.shedded = true
+	return s.ctl.EnergyAccounted(), true
+}
+
 // idleSince reports the last wire activity; the expiry watchdog compares
 // it against the session's timeout.
 func (s *session) idleSince() (time.Time, bool) {
@@ -407,13 +449,17 @@ func (s *session) info(includeEstimates bool) wire.SessionInfo {
 	if n > 0 {
 		mean = s.accSum / float64(n)
 	}
+	state := s.state.String()
+	if s.shedded {
+		state = "killed"
+	}
 	si := wire.SessionInfo{
 		SessionID:   s.id,
 		Tenant:      s.reg.Tenant,
 		Weight:      s.grant.Weight,
 		App:         s.reg.App,
 		Platform:    s.reg.Platform,
-		State:       s.state.String(),
+		State:       state,
 		Iterations:  s.reg.Iterations,
 		IterDone:    n,
 		GrantJ:      s.grant.GrantJ,
@@ -447,6 +493,9 @@ func (s *session) replay(rec iterRec) error {
 	}
 	s.log = append(s.log, rec)
 	s.accSum += rec.Accuracy
+	// Restore the settle baseline without re-noting spend: the replayed
+	// joules were already booked by the node that first served them.
+	s.lastSpentJ = s.ctl.EnergyAccounted()
 	if s.meter != nil && !rec.EnergyErr {
 		// Meter-mode records carry the synthesized cumulative series;
 		// resume it where the log left off. The client's own counter is

@@ -57,14 +57,20 @@ func (t *Telemetry) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	if haveMeter {
 		meterPtr = &meter
 	}
-	if info, ok := t.Health(); ok || haveMeter {
+	qos, haveQoS := t.QoS()
+	var qosPtr *QoSInfo
+	if haveQoS {
+		qosPtr = &qos
+	}
+	if info, ok := t.Health(); ok || haveMeter || haveQoS {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
 			HealthInfo
 			UptimeS   float64    `json:"uptime_seconds"`
 			Decisions uint64     `json:"decisions_recorded"`
 			Meter     *MeterInfo `json:"meter,omitempty"`
-		}{info, time.Since(t.start).Seconds(), t.Flight.Total(), meterPtr})
+			QoS       *QoSInfo   `json:"qos,omitempty"`
+		}{info, time.Since(t.start).Seconds(), t.Flight.Total(), meterPtr, qosPtr})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

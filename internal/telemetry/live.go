@@ -27,6 +27,23 @@ type MeterInfo struct {
 	Quarantined  bool    `json:"quarantined"`
 }
 
+// QoSTenant is one tenant's standing in the /healthz tenant-protection
+// section: its QoS tier, current ladder rung and the accuracy-floor
+// degradation in force.
+type QoSTenant struct {
+	Tenant     string  `json:"tenant"`
+	Tier       string  `json:"tier"`
+	State      string  `json:"state"`
+	FloorScale float64 `json:"floor_scale,omitempty"`
+}
+
+// QoSInfo is the tenant-protection section of /healthz: whether the
+// local ladder is active and every known tenant's standing.
+type QoSInfo struct {
+	Enabled bool        `json:"enabled"`
+	Tenants []QoSTenant `json:"tenants,omitempty"`
+}
+
 // Telemetry is the live Sink: it maintains a metric registry covering
 // the whole control path, feeds every decision into a flight recorder,
 // and keeps the process's span buffer for distributed traces. One
@@ -41,6 +58,7 @@ type Telemetry struct {
 	start  time.Time
 	health atomic.Value // func() HealthInfo, nil until SetHealth
 	meter  atomic.Value // func() MeterInfo, nil until SetMeter
+	qos    atomic.Value // func() QoSInfo, nil until SetQoS
 
 	// Decision stream.
 	decisions    *Counter
@@ -197,6 +215,22 @@ func (t *Telemetry) Meter() (MeterInfo, bool) {
 	p, _ := t.meter.Load().(func() MeterInfo)
 	if p == nil {
 		return MeterInfo{}, false
+	}
+	return p(), true
+}
+
+// SetQoS installs the /healthz tenant-protection provider; the probe
+// omits the qos section until one is set.
+func (t *Telemetry) SetQoS(provider func() QoSInfo) {
+	t.qos.Store(provider)
+}
+
+// QoS returns the current tenant-protection report and whether a
+// provider is installed.
+func (t *Telemetry) QoS() (QoSInfo, bool) {
+	p, _ := t.qos.Load().(func() QoSInfo)
+	if p == nil {
+		return QoSInfo{}, false
 	}
 	return p(), true
 }

@@ -173,6 +173,27 @@ type HeartbeatRequest struct {
 	// Metrics is the node's cumulative telemetry summary for the
 	// cluster-level rollup.
 	Metrics *MetricSummary `json:"metrics,omitempty"`
+	// Tenants reports the node's local QoS ladder verdicts so the
+	// coordinator can merge them into fleet-wide tenant policy.
+	Tenants []TenantPolicy `json:"tenants,omitempty"`
+}
+
+// TenantPolicy is one tenant's QoS standing — shipped node->coordinator
+// on heartbeats (the node's local ladder verdict) and coordinator->node
+// in the response (the fleet-wide merge, maximum escalation wins). A
+// tenant throttled on one node is therefore throttled everywhere: it
+// cannot escape enforcement by re-placing its sessions on another node.
+type TenantPolicy struct {
+	Tenant string `json:"tenant"`
+	// Tier is the tenant's QoS class ("guaranteed" | "standard" |
+	// "best-effort").
+	Tier string `json:"tier"`
+	// State is the ladder rung ("ok" | "throttled" | "degraded" |
+	// "suspended" | "killed").
+	State string `json:"state"`
+	// FloorScale is the accuracy-floor degradation multiplier in force
+	// (1 = undegraded; only meaningful at the degraded rung and above).
+	FloorScale float64 `json:"floor_scale,omitempty"`
 }
 
 // HeartbeatResponse extends the lease and acks the session logs.
@@ -184,6 +205,10 @@ type HeartbeatResponse struct {
 	Acked map[string]int `json:"acked,omitempty"`
 	// Fence is the coordinator's fencing epoch (see JoinResponse.Fence).
 	Fence int64 `json:"fence,omitempty"`
+	// Policies is the fleet-wide tenant policy merge: for every tenant
+	// any node has escalated, the maximum escalation currently in force.
+	// Members overlay these onto their local ladders as a remote floor.
+	Policies []TenantPolicy `json:"policies,omitempty"`
 }
 
 // ExtendRequest asks for an on-demand lease extension, typically to

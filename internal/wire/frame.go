@@ -124,15 +124,18 @@ const (
 // a TErr frame round-trips onto exactly the code a JSON ErrorResponse
 // would have carried.
 var errCodes = []string{
-	1: CodeBadRequest,
-	2: CodeUnknownSession,
-	3: CodeBadSequence,
-	4: CodeSessionClosed,
-	5: CodeSessionComplete,
-	6: CodeDraining,
-	7: CodeBudgetExhausted,
-	8: CodeLeaseExpired,
-	9: CodeNotOwner,
+	1:  CodeBadRequest,
+	2:  CodeUnknownSession,
+	3:  CodeBadSequence,
+	4:  CodeSessionClosed,
+	5:  CodeSessionComplete,
+	6:  CodeDraining,
+	7:  CodeBudgetExhausted,
+	8:  CodeLeaseExpired,
+	9:  CodeNotOwner,
+	10: CodeTenantThrottled,
+	11: CodeTenantSuspended,
+	12: CodeTenantShed,
 }
 
 // ErrCodeByte maps a stable string code onto its wire byte (0 if the

@@ -157,10 +157,58 @@ func TestFrameWrongLengthForType(t *testing.T) {
 	}
 }
 
+// TestEnforcementCodesFrameRoundTrip pins the QoS enforcement codes'
+// v2 rendering end to end: each code crosses a real encode/decode as a
+// TErr frame and comes back as itself, and the byte assignments are
+// frozen (changing one would silently remap errors for every deployed
+// v2 client).
+func TestEnforcementCodesFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		code string
+		b    byte
+		msg  string
+	}{
+		{CodeTenantThrottled, 10, "tenant noisy is throttled; decisions paced to the standard SLO"},
+		{CodeTenantSuspended, 11, "tenant noisy is suspended; new registrations refused until it de-escalates"},
+		{CodeTenantShed, 12, "tenant noisy was shed; its sessions are killed until it de-escalates"},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i, c := range cases {
+		if got := ErrCodeByte(c.code); got != c.b {
+			t.Errorf("ErrCodeByte(%q) = %d, want %d", c.code, got, c.b)
+		}
+		if err := enc.Err(uint32(100+i), c.code, c.msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i, c := range cases {
+		h, p, err := dec.ReadFrame()
+		if err != nil || h.Type != TErr || h.Session != uint32(100+i) {
+			t.Fatalf("frame %d: hdr %+v err %v", i, h, err)
+		}
+		if p[0] != c.b {
+			t.Errorf("frame %d: wire byte %d, want %d", i, p[0], c.b)
+		}
+		code, msg, err := ParseErr(h, p)
+		if err != nil || code != c.code || msg != c.msg {
+			t.Errorf("frame %d: ParseErr = %q %q %v, want %q %q", i, code, msg, err, c.code, c.msg)
+		}
+	}
+	if _, _, err := dec.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
 func TestErrCodeBytesRoundTrip(t *testing.T) {
 	for _, code := range []string{
 		CodeBadRequest, CodeUnknownSession, CodeBadSequence, CodeSessionClosed,
 		CodeSessionComplete, CodeDraining, CodeBudgetExhausted, CodeLeaseExpired, CodeNotOwner,
+		CodeTenantThrottled, CodeTenantSuspended, CodeTenantShed,
 	} {
 		if got := ErrCodeString(ErrCodeByte(code)); got != code {
 			t.Errorf("code %q round-tripped to %q", code, got)

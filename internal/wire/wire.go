@@ -45,6 +45,18 @@ const (
 	CodeDraining = "draining"
 	// CodeBadRequest covers malformed bodies and invalid parameters.
 	CodeBadRequest = "bad_request"
+	// CodeTenantThrottled (429) paces a tenant the QoS ladder has
+	// throttled: the decision is still coming, just not at the rate the
+	// tenant is asking for. Clients back off and retry the same call.
+	CodeTenantThrottled = "tenant_throttled"
+	// CodeTenantSuspended (503) rejects a new registration while the
+	// tenant sits at the suspend rung of the ladder; existing sessions
+	// keep running (degraded). Retry after the tenant de-escalates.
+	CodeTenantSuspended = "tenant_suspended"
+	// CodeTenantShed (503) marks a session killed by overload shedding
+	// or the ladder's final rung; its grant was reclaimed for the pool.
+	// Fleet clients may re-place elsewhere, subject to fleet-wide policy.
+	CodeTenantShed = "tenant_shed"
 )
 
 // ErrorResponse is the body of every non-2xx reply. Addr is set only on
@@ -92,6 +104,11 @@ type RegisterRequest struct {
 	// IdleTimeoutS overrides the daemon's default idle expiry for this
 	// session (0 = daemon default).
 	IdleTimeoutS float64 `json:"idle_timeout_s,omitempty"`
+	// Tier names the tenant's QoS class: "guaranteed", "standard"
+	// (default when empty), or "best-effort". The tier fixes the latency
+	// SLO and accuracy floor the qos engine defends for the tenant, and
+	// the order overload shedding sacrifices tenants in.
+	Tier string `json:"tier,omitempty"`
 }
 
 // RegisterResponse acknowledges an admitted session.
@@ -189,6 +206,14 @@ type SessionInfo struct {
 	// Estimates exposes the governor's learned per-arm bandit state, the
 	// introspection the snapshot/restore tests pin bit-identically.
 	Estimates []ArmEstimate `json:"estimates,omitempty"`
+	// Tier and QoSState expose the tenant's QoS class and current ladder
+	// rung (ok | throttled | degraded | suspended | killed) as the qos
+	// engine sees them at introspection time.
+	Tier     string `json:"tier,omitempty"`
+	QoSState string `json:"qos_state,omitempty"`
+	// FloorScale is the degradation multiplier the ladder currently
+	// applies to the tenant's accuracy floor (1 = undegraded).
+	FloorScale float64 `json:"floor_scale,omitempty"`
 }
 
 // ArmEstimate is one system configuration's learned model.
